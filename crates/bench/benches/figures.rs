@@ -1,0 +1,287 @@
+//! Criterion benchmarks — one group per paper artefact (reduced-size
+//! versions of the figure sweeps, suitable for performance regression
+//! tracking; the full regeneration lives in the `src/bin/*` binaries).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use chiplet_partition::{bisect, exact, BisectionConfig};
+use hexamesh::arrangement::{Arrangement, ArrangementKind, Regularity};
+use hexamesh::eval::{link_budget, EvalParams};
+use hexamesh::proxies;
+use hexamesh::shape::{brickwall_shape, grid_shape, ShapeParams};
+use nocsim::{measure, MeasureConfig, RoutingKind, SimConfig, Simulator};
+
+/// Fig. 4 — arrangement construction and degree statistics.
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_arrangements");
+    for (name, kind, n) in [
+        ("grid_100", ArrangementKind::Grid, 100usize),
+        ("brickwall_100", ArrangementKind::Brickwall, 100),
+        ("hexamesh_91", ArrangementKind::HexaMesh, 91),
+        ("hexamesh_irregular_75", ArrangementKind::HexaMesh, 75),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let a = Arrangement::build(kind, black_box(n)).expect("builds");
+                black_box(a.degree_stats())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 5 — shape solving for both bump layouts.
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_shape");
+    let params = ShapeParams::new(16.0, 0.4).expect("valid");
+    group.bench_function("grid_shape", |b| {
+        b.iter(|| grid_shape(black_box(&params)).expect("solvable"));
+    });
+    group.bench_function("brickwall_shape", |b| {
+        b.iter(|| brickwall_shape(black_box(&params)).expect("solvable"));
+    });
+    group.finish();
+}
+
+/// Fig. 6a — diameter measurement on constructed graphs.
+fn bench_fig6_diameter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_diameter");
+    for (name, kind, n) in [
+        ("grid_100", ArrangementKind::Grid, 100usize),
+        ("hexamesh_91", ArrangementKind::HexaMesh, 91),
+    ] {
+        let a = Arrangement::build(kind, n).expect("builds");
+        group.bench_function(name, |b| {
+            b.iter(|| proxies::measured_diameter(black_box(&a)).expect("connected"));
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 6b — bisection via the multilevel partitioner (METIS substitute)
+/// and via exact enumeration at the small end.
+fn bench_fig6_bisection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6b_bisection");
+    group.sample_size(20);
+    let irregular_grid = Arrangement::build_with_regularity(
+        ArrangementKind::Grid,
+        50,
+        Regularity::Irregular,
+    )
+    .expect("builds");
+    group.bench_function("multilevel_grid_irregular_50", |b| {
+        b.iter(|| {
+            bisect(black_box(irregular_grid.graph()), &BisectionConfig::default())
+                .expect("non-empty")
+        });
+    });
+    let hm61 = Arrangement::build(ArrangementKind::HexaMesh, 61).expect("builds");
+    group.bench_function("multilevel_hexamesh_61", |b| {
+        b.iter(|| {
+            bisect(black_box(hm61.graph()), &BisectionConfig::default()).expect("non-empty")
+        });
+    });
+    let hm19 = Arrangement::build(ArrangementKind::HexaMesh, 19).expect("builds");
+    group.bench_function("exact_hexamesh_19", |b| {
+        b.iter(|| exact::exact_bisection(black_box(hm19.graph())));
+    });
+    group.finish();
+}
+
+/// Table I — link-budget computation.
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_link_model");
+    let params = EvalParams::paper_defaults();
+    for (name, kind) in
+        [("grid", ArrangementKind::Grid), ("hexamesh", ArrangementKind::HexaMesh)]
+    {
+        let a = Arrangement::build(kind, 64).expect("builds");
+        group.bench_function(name, |b| {
+            b.iter(|| link_budget(black_box(&a), &params).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 7 — a reduced cycle-accurate load point (N = 19, short windows) per
+/// arrangement, plus the zero-load analytic path.
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_simulation");
+    group.sample_size(10);
+    let schedule =
+        MeasureConfig { warmup_cycles: 400, measure_cycles: 800, ..MeasureConfig::quick() };
+    for kind in ArrangementKind::EVALUATED {
+        let a = Arrangement::build(kind, 19).expect("builds");
+        let config = SimConfig { injection_rate: 0.1, ..SimConfig::paper_defaults() };
+        group.bench_function(format!("load_point_{}", a.kind().label()), |b| {
+            b.iter(|| {
+                measure::run_load_point(black_box(a.graph()), &config, &schedule)
+                    .expect("valid config")
+            });
+        });
+    }
+    let grid = Arrangement::build(ArrangementKind::Grid, 100).expect("builds");
+    group.bench_function("zero_load_analytic_grid_100", |b| {
+        b.iter(|| {
+            measure::zero_load_latency(black_box(grid.graph()), &SimConfig::paper_defaults())
+                .expect("connected")
+        });
+    });
+    group.finish();
+}
+
+/// EXP-A2 — simulator internals: routing-table construction and raw
+/// cycle throughput of the router model.
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_internals");
+    group.sample_size(20);
+    let grid = Arrangement::build(ArrangementKind::Grid, 100).expect("builds");
+    group.bench_function("routing_tables_grid_100", |b| {
+        b.iter(|| {
+            nocsim::routing::RoutingTables::new(
+                black_box(grid.graph()),
+                RoutingKind::MinimalAdaptiveEscape,
+            )
+            .expect("connected")
+        });
+    });
+    let hm = Arrangement::build(ArrangementKind::HexaMesh, 37).expect("builds");
+    let config = SimConfig { injection_rate: 0.2, ..SimConfig::paper_defaults() };
+    group.bench_function("simulate_1000_cycles_hexamesh_37", |b| {
+        b.iter_batched(
+            || Simulator::new(hm.graph(), config).expect("valid"),
+            |mut sim| {
+                sim.run(1_000);
+                black_box(sim.cycle())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// EXP-C1 — cost-model sweep (extension).
+fn bench_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model");
+    let params = chiplet_cost::system::CostParams::default_5nm();
+    group.bench_function("comparison_800mm2_16", |b| {
+        b.iter(|| {
+            chiplet_cost::system::system_cost_comparison(black_box(&params), 800.0, 16)
+                .expect("valid")
+        });
+    });
+    group.bench_function("best_count_800mm2", |b| {
+        let counts: Vec<usize> = (1..=128).collect();
+        b.iter(|| {
+            chiplet_cost::system::best_chiplet_count(black_box(&params), 800.0, &counts)
+                .expect("valid sweep")
+        });
+    });
+    group.finish();
+}
+
+
+/// EXP-P1 — signal-integrity model: eye analysis and capacity solvers.
+fn bench_phy(c: &mut Criterion) {
+    use chiplet_phy::{capacity, eye, SignalBudget, Technology};
+    let mut group = c.benchmark_group("phy_link_model");
+    let sub = Technology::organic_substrate();
+    let int = Technology::silicon_interposer();
+    let budget = SignalBudget::default();
+    group.bench_function("eye_analysis", |b| {
+        b.iter(|| eye::analyze(black_box(&sub), &budget, 16.0, 2.5));
+    });
+    group.bench_function("max_length_substrate_16gbps", |b| {
+        b.iter(|| capacity::max_length_mm(black_box(&sub), &budget, 16.0, -15.0));
+    });
+    group.bench_function("derated_rate_interposer_3mm", |b| {
+        b.iter(|| capacity::derated_bit_rate_gbps(black_box(&int), &budget, 3.0, 16.0, -15.0));
+    });
+    group.finish();
+}
+
+/// EXP-TH1 — thermal solver on arrangement floorplans.
+fn bench_thermal(c: &mut Criterion) {
+    use chiplet_thermal::{solve, PowerMap, ThermalParams};
+    let mut group = c.benchmark_group("thermal_solver");
+    group.sample_size(20);
+    let arrangement = Arrangement::build(ArrangementKind::HexaMesh, 37).expect("builds");
+    let placement = arrangement.placement().expect("has layout").clone();
+    let first = placement.chiplets()[0].rect;
+    let mm_per_unit =
+        (800.0 / 37.0 / (first.width() * first.height()) as f64).sqrt();
+    group.bench_function("hexamesh_37_power_map", |b| {
+        b.iter(|| {
+            PowerMap::from_placement(black_box(&placement), mm_per_unit, 0.5, 4, |_| 5.4)
+                .expect("rasterises")
+        });
+    });
+    let map = PowerMap::from_placement(&placement, mm_per_unit, 0.5, 4, |_| 5.4)
+        .expect("rasterises");
+    group.bench_function("hexamesh_37_solve", |b| {
+        b.iter(|| solve(black_box(&map), &ThermalParams::default()).expect("converges"));
+    });
+    group.finish();
+}
+
+/// EXP-K1 — topology generators and the express-link search.
+fn bench_topo(c: &mut Criterion) {
+    use chiplet_topo::express::ExpressOptions;
+    let mut group = c.benchmark_group("topologies");
+    group.sample_size(20);
+    group.bench_function("ftorus_7x7", |b| {
+        b.iter(|| chiplet_topo::ftorus(black_box(7), 7));
+    });
+    group.bench_function("express_5x5_default", |b| {
+        b.iter(|| chiplet_topo::express(black_box(5), 5, &ExpressOptions::default()).expect("builds"));
+    });
+    group.finish();
+}
+
+/// EXP-R1 — resilience analysis (bridges, connectivity).
+fn bench_resilience(c: &mut Criterion) {
+    use chiplet_graph::resilience::{bridges, edge_connectivity};
+    let mut group = c.benchmark_group("resilience");
+    group.sample_size(20);
+    let hm = Arrangement::build(ArrangementKind::HexaMesh, 91).expect("builds");
+    group.bench_function("bridges_hexamesh_91", |b| {
+        b.iter(|| bridges(black_box(hm.graph())));
+    });
+    group.bench_function("edge_connectivity_hexamesh_91", |b| {
+        b.iter(|| edge_connectivity(black_box(hm.graph())));
+    });
+    group.finish();
+}
+
+/// Partitioner extensions: spectral bisection and k-way.
+fn bench_partition_ext(c: &mut Criterion) {
+    use chiplet_partition::{partition_kway, spectral_bisection, SpectralConfig};
+    let mut group = c.benchmark_group("partition_extensions");
+    let grid = Arrangement::build(ArrangementKind::Grid, 100).expect("builds");
+    group.bench_function("spectral_grid_100", |b| {
+        b.iter(|| spectral_bisection(black_box(grid.graph()), &SpectralConfig::default()).expect("ok"));
+    });
+    group.bench_function("kway_4_grid_100", |b| {
+        b.iter(|| partition_kway(black_box(grid.graph()), 4).expect("ok"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6_diameter,
+    bench_fig6_bisection,
+    bench_table1,
+    bench_fig7,
+    bench_router,
+    bench_cost,
+    bench_phy,
+    bench_thermal,
+    bench_topo,
+    bench_partition_ext,
+    bench_resilience
+);
+criterion_main!(benches);

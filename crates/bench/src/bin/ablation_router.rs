@@ -1,0 +1,77 @@
+//! EXP-A2 — ablation of our BookSim2-substitute design choices: routing
+//! algorithm and virtual-channel count, at a fixed arrangement size.
+//!
+//! The paper fixes 8 VCs and (implicitly) BookSim2's `anynet` shortest-path
+//! routing; our default is minimal-adaptive with an up*/down* escape VC so
+//! unattended sweeps cannot deadlock. This ablation quantifies the effect of
+//! that substitution.
+//!
+//! Usage: `cargo run --release -p hexamesh-bench --bin ablation_router [--n N]`
+//! Writes `results/ablation_router.csv`.
+
+use std::path::Path;
+
+use hexamesh::arrangement::{Arrangement, ArrangementKind};
+use hexamesh_bench::csv::{f3, Table};
+use hexamesh_bench::{sweep, RESULTS_DIR};
+use nocsim::{measure, MeasureConfig, RoutingKind, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = sweep::arg_usize(&args, "--n", 37);
+
+    let schedule = MeasureConfig {
+        warmup_cycles: 3_000,
+        measure_cycles: 6_000,
+        ..MeasureConfig::default()
+    };
+    let mut table = Table::new(&[
+        "kind",
+        "routing",
+        "vcs",
+        "zero_load_latency_cycles",
+        "saturation_fraction",
+    ]);
+
+    println!("Routing/VC ablation at N = {n}:");
+    println!(
+        "{:<4} {:<22} {:>3}  {:>10} {:>10}",
+        "kind", "routing", "vcs", "lat [cyc]", "sat [frac]"
+    );
+    for kind in ArrangementKind::EVALUATED {
+        let arrangement = Arrangement::build(kind, n).expect("n >= 1 builds");
+        let graph = arrangement.graph();
+        for routing in [
+            RoutingKind::MinimalAdaptiveEscape,
+            RoutingKind::MinimalDeterministic,
+            RoutingKind::UpDownOnly,
+        ] {
+            for vcs in [2usize, 4, 8] {
+                let config = SimConfig { routing, vcs, ..SimConfig::paper_defaults() };
+                let zero_load =
+                    measure::zero_load_latency(graph, &config).expect("connected graph");
+                let sat = measure::saturation_search(graph, &config, &schedule)
+                    .expect("valid configuration");
+                let routing_name = format!("{routing:?}");
+                println!(
+                    "{:<4} {:<22} {:>3}  {:>10.1} {:>10.3}",
+                    kind.label(),
+                    routing_name,
+                    vcs,
+                    zero_load,
+                    sat.throughput
+                );
+                table.row(&[
+                    &kind.label(),
+                    &routing_name,
+                    &vcs,
+                    &f3(zero_load),
+                    &f3(sat.throughput),
+                ]);
+            }
+        }
+    }
+    let path = Path::new(RESULTS_DIR).join("ablation_router.csv");
+    table.write_to(&path).expect("write CSV");
+    println!("wrote {} ({} rows)", path.display(), table.len());
+}

@@ -1,0 +1,93 @@
+//! EXP-A3 — traffic-pattern sensitivity of the arrangement comparison.
+//!
+//! The paper evaluates under uniform-random traffic only (§VI-A). This
+//! ablation re-runs the G/BW/HM comparison under adversarial patterns
+//! (bit-complement, bit-reverse, tornado, hotspot) to check that the
+//! arrangement ranking is not an artefact of benign traffic.
+//!
+//! Usage: `cargo run --release -p hexamesh-bench --bin ablation_traffic [--n N] [--quick]`
+//! Writes `results/ablation_traffic.csv`.
+
+use std::path::Path;
+
+use hexamesh::arrangement::{Arrangement, ArrangementKind};
+use hexamesh_bench::csv::{f3, Table};
+use hexamesh_bench::{sweep, RESULTS_DIR};
+use nocsim::{measure, MeasureConfig, SimConfig, TrafficPattern};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = sweep::arg_usize(&args, "--n", 37);
+    let quick = sweep::arg_flag(&args, "--quick");
+    let schedule = if quick {
+        MeasureConfig::quick()
+    } else {
+        MeasureConfig {
+            warmup_cycles: 3_000,
+            measure_cycles: 6_000,
+            ..MeasureConfig::default()
+        }
+    };
+
+    let patterns: [(&str, TrafficPattern); 5] = [
+        ("uniform", TrafficPattern::UniformRandom),
+        ("bitcomp", TrafficPattern::BitComplement),
+        ("bitrev", TrafficPattern::BitReverse),
+        ("tornado", TrafficPattern::Tornado),
+        ("hotspot", TrafficPattern::Hotspot { num_hotspots: 4, fraction_permille: 500 }),
+    ];
+
+    let mut table = Table::new(&[
+        "n",
+        "pattern",
+        "kind",
+        "zero_load_latency_cycles",
+        "saturation_fraction",
+        "saturation_vs_grid",
+    ]);
+
+    println!("Traffic-pattern ablation at N = {n}:");
+    println!(
+        "{:<8} {:<4} {:>10} {:>10} {:>9}",
+        "pattern", "kind", "lat [cyc]", "sat [frac]", "vs grid"
+    );
+    for (pattern_name, pattern) in patterns {
+        let mut grid_sat = None;
+        for kind in ArrangementKind::EVALUATED {
+            let arrangement = Arrangement::build(kind, n).expect("any n builds");
+            let graph = arrangement.graph();
+            let config = SimConfig { pattern, ..SimConfig::paper_defaults() };
+            let zero_load =
+                measure::zero_load_latency(graph, &config).expect("connected graph");
+            let sat = measure::saturation_search(graph, &config, &schedule)
+                .expect("valid configuration");
+            if kind == ArrangementKind::Grid {
+                grid_sat = Some(sat.throughput);
+            }
+            let vs_grid = grid_sat
+                .filter(|&g| g > 0.0)
+                .map_or(f64::NAN, |g| sat.throughput / g);
+            println!(
+                "{:<8} {:<4} {:>10.1} {:>10.3} {:>9.2}",
+                pattern_name,
+                kind.label(),
+                zero_load,
+                sat.throughput,
+                vs_grid
+            );
+            table.row(&[
+                &n,
+                &pattern_name,
+                &kind.label(),
+                &f3(zero_load),
+                &f3(sat.throughput),
+                &f3(vs_grid),
+            ]);
+        }
+    }
+
+    table
+        .write_to(Path::new(RESULTS_DIR).join("ablation_traffic.csv").as_path())
+        .expect("results dir writable");
+    println!("\nwrote {RESULTS_DIR}/ablation_traffic.csv");
+}

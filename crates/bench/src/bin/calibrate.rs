@@ -1,0 +1,23 @@
+//! Quick timing calibration for the simulator (not a paper experiment).
+use hexamesh::arrangement::{Arrangement, ArrangementKind};
+use nocsim::{measure, MeasureConfig, SimConfig};
+use std::time::Instant;
+
+fn main() {
+    for n in [25usize, 100] {
+        let a = Arrangement::build(ArrangementKind::HexaMesh, n).unwrap();
+        let cfg = SimConfig { injection_rate: 0.2, ..SimConfig::paper_defaults() };
+        let sched = MeasureConfig { warmup_cycles: 3_000, measure_cycles: 6_000, ..Default::default() };
+        let t = Instant::now();
+        let point = measure::run_load_point(a.graph(), &cfg, &sched).unwrap();
+        println!(
+            "n={n}: one 9k-cycle load point in {:?} (saturated={}, lat={:?})",
+            t.elapsed(),
+            point.saturated,
+            point.stats.avg_packet_latency
+        );
+        let t = Instant::now();
+        let sat = measure::saturation_search(a.graph(), &cfg, &sched).unwrap();
+        println!("n={n}: saturation search in {:?} -> rate {:.3} thr {:.3}", t.elapsed(), sat.rate, sat.throughput);
+    }
+}

@@ -1,0 +1,131 @@
+//! EXP-F7 — regenerates Fig. 7: zero-load latency (7a), saturation
+//! throughput (7b), and their grid-normalised counterparts (7c, 7d), using
+//! the D2D link model plus the cycle-accurate simulator.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p hexamesh-bench --bin fig7_simulation [--step K] \
+//!     [--max-n N] [--quick] [--workers W] [--routing adaptive|deterministic|updown]
+//! ```
+//! `--step` samples every K-th chiplet count (default 1 = the paper's full
+//! 2..=100 sweep, ~15 min on two cores); `--quick` shortens the simulation
+//! windows. `--routing deterministic` matches BookSim2's `anynet`
+//! shortest-path routing (the paper's setup); the default `adaptive` is our
+//! deadlock-safe minimal-adaptive + escape configuration. Writes
+//! `results/fig7_results[_<routing>].csv` and the matching
+//! `fig7_normalized` CSV.
+
+use std::path::Path;
+
+use hexamesh::arrangement::ArrangementKind;
+use hexamesh::eval::{normalize, EvalParams, EvalResult};
+use hexamesh_bench::csv::{f3, Table};
+use hexamesh_bench::{sweep, RESULTS_DIR};
+use nocsim::{MeasureConfig, RoutingKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let step = sweep::arg_usize(&args, "--step", 1);
+    let max_n = sweep::arg_usize(&args, "--max-n", 100);
+    let workers = sweep::arg_usize(&args, "--workers", 2);
+    let quick = sweep::arg_flag(&args, "--quick");
+    let (routing, suffix) = match args
+        .iter()
+        .position(|a| a == "--routing")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("adaptive") => (RoutingKind::MinimalAdaptiveEscape, ""),
+        Some("deterministic") => (RoutingKind::MinimalDeterministic, "_deterministic"),
+        Some("updown") => (RoutingKind::UpDownOnly, "_updown"),
+        Some(other) => panic!("unknown --routing {other}"),
+    };
+
+    let mut params = EvalParams::paper_defaults();
+    params.sim.routing = routing;
+    params.measure = if quick {
+        MeasureConfig::quick()
+    } else {
+        MeasureConfig {
+            warmup_cycles: 3_000,
+            measure_cycles: 6_000,
+            rate_resolution: 0.01,
+            ..MeasureConfig::default()
+        }
+    };
+
+    let ns: Vec<usize> = (2..=max_n).step_by(step.max(1)).collect();
+    eprintln!(
+        "fig7: evaluating {} chiplet counts x 3 kinds on {workers} workers (quick={quick}, routing={routing:?})",
+        ns.len()
+    );
+    let results = sweep::evaluation_sweep(&ns, &params, workers);
+
+    // ── Absolute series (Fig. 7a / 7b) ──────────────────────────────────
+    let mut table = Table::new(&[
+        "kind",
+        "regularity",
+        "n",
+        "zero_load_latency_cycles",
+        "saturation_fraction",
+        "link_bandwidth_gbps",
+        "full_global_bandwidth_tbps",
+        "saturation_throughput_tbps",
+        "diameter",
+    ]);
+    for r in &results {
+        table.row(&[
+            &r.kind.label(),
+            &r.regularity.to_string(),
+            &r.n,
+            &f3(r.zero_load_latency_cycles),
+            &f3(r.saturation_fraction),
+            &f3(r.link_bandwidth_gbps),
+            &f3(r.full_global_bandwidth_tbps),
+            &f3(r.saturation_throughput_tbps),
+            &r.diameter,
+        ]);
+    }
+    let path = Path::new(RESULTS_DIR).join(format!("fig7_results{suffix}.csv"));
+    table.write_to(&path).expect("write CSV");
+
+    // ── Normalised series (Fig. 7c / 7d) ────────────────────────────────
+    let by_kind = |kind: ArrangementKind| -> Vec<EvalResult> {
+        results.iter().copied().filter(|r| r.kind == kind).collect()
+    };
+    let grid = by_kind(ArrangementKind::Grid);
+    let mut normalized = Table::new(&["kind", "n", "latency_pct", "throughput_pct"]);
+    let mut summary: Vec<(ArrangementKind, f64, f64)> = Vec::new();
+    for kind in [ArrangementKind::Brickwall, ArrangementKind::HexaMesh] {
+        let series = normalize(&by_kind(kind), &grid);
+        for p in &series {
+            normalized.row(&[&kind.label(), &p.n, &f3(p.latency_pct), &f3(p.throughput_pct)]);
+        }
+        // The paper's averages are over N >= 10, where layouts stabilise.
+        let lat: Vec<f64> =
+            series.iter().filter(|p| p.n >= 10).map(|p| p.latency_pct).collect();
+        let thr: Vec<f64> =
+            series.iter().filter(|p| p.n >= 10).map(|p| p.throughput_pct).collect();
+        summary.push((
+            kind,
+            sweep::mean(&lat).unwrap_or(f64::NAN),
+            sweep::mean(&thr).unwrap_or(f64::NAN),
+        ));
+    }
+    let norm_path = Path::new(RESULTS_DIR).join(format!("fig7_normalized{suffix}.csv"));
+    normalized.write_to(&norm_path).expect("write CSV");
+
+    println!("Fig. 7 summary (averages over N >= 10, relative to the grid):");
+    println!("  paper:    BW latency ~80%, throughput ~112%;  HM latency ~80%, throughput ~134%");
+    for (kind, lat, thr) in summary {
+        println!(
+            "  measured: {} latency {:.1}% (Δ {:+.1}%), throughput {:.1}% (Δ {:+.1}%)",
+            kind.label(),
+            lat,
+            lat - 100.0,
+            thr,
+            thr - 100.0
+        );
+    }
+    println!("wrote {} and {}", path.display(), norm_path.display());
+}

@@ -1,0 +1,143 @@
+//! EXP-K1 — HexaMesh vs. long-link grid topologies (Kite-style), with the
+//! frequency penalty of long links modelled.
+//!
+//! §VII positions HexaMesh against Kite [15]: Kite connects non-adjacent
+//! chiplets on a grid arrangement, accepting lower link frequencies for
+//! better graph properties; HexaMesh gets the better graph by *arrangement*
+//! and keeps every link short. This experiment makes the comparison
+//! quantitative: mesh, folded torus, and a Kite-style express mesh on the
+//! grid arrangement — each link derated by the signal-integrity model —
+//! against HexaMesh with all-adjacent full-rate links.
+//!
+//! Per-link bump area is `(1 − p_p)·A_C / max_degree`: a router with more
+//! ports splits the same bump budget across more links (§IV-B's argument,
+//! applied to Kite routers too).
+//!
+//! Physical link lengths follow the paper's geometry: an adjacent-chiplet
+//! wire spans bump sector to bump sector, `≈ 2·D_B` (§IV-B), *not* a full
+//! centre-to-centre pitch; an express link spanning `k` pitches adds
+//! `(k − 1)` pitches of routing on top.
+//!
+//! Usage: `cargo run --release -p hexamesh-bench --bin kite_comparison [--quick]`
+//! Writes `results/kite_comparison.csv`.
+
+use std::path::Path;
+
+use chiplet_phy::Technology;
+use chiplet_topo::express::ExpressOptions;
+use chiplet_topo::{evaluate, express, ftorus, mesh, EvalOptions, Topology};
+use hexamesh::arrangement::{Arrangement, ArrangementKind};
+use hexamesh::link::{estimate_link, LinkParams, UCIE_POWER_FRACTION, UCIE_TOTAL_AREA_MM2};
+use hexamesh::shape::{shape_for, ShapeParams};
+use hexamesh_bench::csv::{f3, Table};
+use hexamesh_bench::{sweep, RESULTS_DIR};
+use nocsim::MeasureConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = sweep::arg_flag(&args, "--quick");
+    let tech = Technology::organic_substrate();
+
+    let mut table = Table::new(&[
+        "n",
+        "topology",
+        "links",
+        "max_degree",
+        "min_link_rate_gbps",
+        "zero_load_latency_cycles",
+        "saturation_tbps",
+    ]);
+
+    println!("HexaMesh vs. length-aware grid topologies (substrate, 16 Gb/s nominal):");
+    println!(
+        "{:>3} {:<14} {:>5} {:>7} {:>9} {:>10} {:>10}",
+        "N", "topology", "links", "max_deg", "min Gb/s", "lat [cyc]", "sat [Tb/s]"
+    );
+
+    for n in [16usize, 25, 36, 49] {
+        let side = (n as f64).sqrt().round() as usize;
+        let chiplet_area = UCIE_TOTAL_AREA_MM2 / n as f64;
+        let shape_params =
+            ShapeParams::new(chiplet_area, UCIE_POWER_FRACTION).expect("valid areas");
+
+        // Grid-arrangement topologies.
+        let grid_shape = shape_for(ArrangementKind::Grid, &shape_params)
+            .expect("grid shape solvable");
+        let grid_topologies = vec![
+            mesh(side, side),
+            ftorus(side, side),
+            express(side, side, &ExpressOptions::default()).expect("express builds"),
+        ];
+        for topo in &grid_topologies {
+            let physical = with_mm_lengths(topo, grid_shape.width, grid_shape.max_bump_distance);
+            report(&physical, &tech, quick, n, &mut table);
+        }
+
+        // HexaMesh: every link adjacent, bump sector to bump sector.
+        let hm = Arrangement::build(ArrangementKind::HexaMesh, n).expect("any n builds");
+        let hm_shape = shape_for(ArrangementKind::HexaMesh, &shape_params)
+            .expect("brickwall shape solvable");
+        let hm_edges: Vec<(usize, usize, f64)> =
+            hm.graph().edges().map(|(u, v)| (u, v, 1.0)).collect();
+        let hm_topo = Topology::new(format!("hexamesh_{n}"), n, hm_edges)
+            .expect("arrangement graphs are simple");
+        let physical = with_mm_lengths(&hm_topo, hm_shape.width, hm_shape.max_bump_distance);
+        report(&physical, &tech, quick, n, &mut table);
+    }
+
+    table
+        .write_to(Path::new(RESULTS_DIR).join("kite_comparison.csv").as_path())
+        .expect("results dir writable");
+    println!("\nwrote {RESULTS_DIR}/kite_comparison.csv");
+}
+
+/// Converts generator lengths (pitch units) to physical mm: an adjacent
+/// link (1 pitch) spans bump sector to bump sector, `2·D_B`; each extra
+/// pitch adds a full chiplet crossing.
+fn with_mm_lengths(topo: &Topology, pitch_mm: f64, d_b_mm: f64) -> Topology {
+    let edges: Vec<(usize, usize, f64)> = topo
+        .edges()
+        .iter()
+        .map(|e| (e.u, e.v, 2.0 * d_b_mm + (e.length_pitch - 1.0) * pitch_mm))
+        .collect();
+    Topology::new(topo.name().to_owned(), topo.num_routers(), edges)
+        .expect("lengths stay positive")
+}
+
+fn report(topo: &Topology, tech: &Technology, quick: bool, n: usize, table: &mut Table) {
+    let mut opts = EvalOptions::paper_defaults(tech.clone());
+    opts.pitch_mm = 1.0; // lengths already in mm
+    if quick {
+        opts.schedule = MeasureConfig::quick();
+    }
+    let result = evaluate(topo, &opts).expect("feasible topologies");
+
+    // §V bandwidth with the port-count tax: A_B = (1 − p_p)·A_C / max_deg.
+    let chiplet_area = UCIE_TOTAL_AREA_MM2 / n as f64;
+    let sector_area =
+        (1.0 - UCIE_POWER_FRACTION) * chiplet_area / topo.max_degree().max(1) as f64;
+    let link = estimate_link(&LinkParams::ucie_c4(sector_area)).expect("valid params");
+    let full_global_tbps =
+        n as f64 * opts.sim.endpoints_per_router as f64 * link.bandwidth_tbps();
+    let sat_tbps = result.saturation.throughput * full_global_tbps;
+
+    println!(
+        "{:>3} {:<14} {:>5} {:>7} {:>9.1} {:>10.1} {:>10.2}",
+        n,
+        topo.name(),
+        topo.edges().len(),
+        topo.max_degree(),
+        result.min_rate_gbps,
+        result.zero_load_latency,
+        sat_tbps
+    );
+    table.row(&[
+        &n,
+        &topo.name(),
+        &topo.edges().len(),
+        &topo.max_degree(),
+        &f3(result.min_rate_gbps),
+        &f3(result.zero_load_latency),
+        &f3(sat_tbps),
+    ]);
+}

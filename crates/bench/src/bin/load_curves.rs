@@ -1,0 +1,88 @@
+//! EXP-LC — latency-vs-offered-load curves (the raw data behind Fig. 7).
+//!
+//! The paper reports two scalars per arrangement (zero-load latency and
+//! saturation throughput); this binary regenerates the full latency/load
+//! curves those scalars summarise, including tail percentiles — the
+//! standard BookSim2 presentation.
+//!
+//! Usage: `cargo run --release -p hexamesh-bench --bin load_curves [--n N]`
+//! Writes `results/load_curves.csv`.
+
+use std::path::Path;
+
+use hexamesh::arrangement::{Arrangement, ArrangementKind};
+use hexamesh_bench::csv::{f3, Table};
+use hexamesh_bench::{sweep, RESULTS_DIR};
+use nocsim::{SimConfig, Simulator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = sweep::arg_usize(&args, "--n", 37);
+
+    let mut table = Table::new(&[
+        "n",
+        "kind",
+        "offered_flits_per_cycle",
+        "accepted_flits_per_cycle",
+        "avg_latency_cycles",
+        "p50_latency_cycles",
+        "p95_latency_cycles",
+        "p99_latency_cycles",
+    ]);
+
+    println!("Latency/load curves at N = {n} (uniform random, paper §VI-A config):");
+    println!(
+        "{:<4} {:>8} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "kind", "offered", "accepted", "avg lat", "p50", "p95", "p99"
+    );
+    for kind in ArrangementKind::EVALUATED {
+        let arrangement = Arrangement::build(kind, n).expect("any n builds");
+        for step in 1..=12u32 {
+            let rate = f64::from(step) * 0.04;
+            let config = SimConfig {
+                injection_rate: rate,
+                ..SimConfig::paper_defaults()
+            };
+            let mut sim =
+                Simulator::new(arrangement.graph(), config).expect("valid configuration");
+            sim.run(4_000);
+            sim.open_measurement_window();
+            sim.run(8_000);
+            let stats = sim.stats();
+            let avg = stats.avg_packet_latency.unwrap_or(f64::NAN);
+            let p50 = sim.latency_percentile(0.50).unwrap_or(f64::NAN);
+            let p95 = sim.latency_percentile(0.95).unwrap_or(f64::NAN);
+            let p99 = sim.latency_percentile(0.99).unwrap_or(f64::NAN);
+            println!(
+                "{:<4} {:>8.2} {:>9.3} {:>9.1} {:>8.0} {:>8.0} {:>8.0}",
+                kind.label(),
+                rate,
+                stats.accepted_flits_per_cycle_per_endpoint,
+                avg,
+                p50,
+                p95,
+                p99
+            );
+            table.row(&[
+                &n,
+                &kind.label(),
+                &f3(rate),
+                &f3(stats.accepted_flits_per_cycle_per_endpoint),
+                &f3(avg),
+                &f3(p50),
+                &f3(p95),
+                &f3(p99),
+            ]);
+            // Past saturation the curve only gets noisier; stop once
+            // latency explodes to keep runtimes bounded.
+            if avg.is_finite() && avg > 1_500.0 {
+                break;
+            }
+        }
+    }
+
+    table
+        .write_to(Path::new(RESULTS_DIR).join("load_curves.csv").as_path())
+        .expect("results dir writable");
+    println!("\nwrote {RESULTS_DIR}/load_curves.csv");
+}

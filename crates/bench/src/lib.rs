@@ -1,0 +1,35 @@
+//! Shared harness for regenerating every table and figure of the HexaMesh
+//! paper.
+//!
+//! Each `src/bin/*` binary regenerates one artefact (see DESIGN.md's
+//! experiment index) and writes CSV series into `results/`:
+//!
+//! | binary | paper artefact |
+//! |--------|----------------|
+//! | `fig4_arrangements` | Fig. 4 neighbour/diameter/bisection panel |
+//! | `fig5_shape`        | Fig. 5 / §IV-B shape worked example |
+//! | `fig6_proxies`      | Fig. 6a diameter, Fig. 6b bisection |
+//! | `table1_link_model` | Table I + §VI-B link bandwidth estimates |
+//! | `fig7_simulation`   | Fig. 7a–d latency/throughput (cycle-accurate) |
+//! | `ablation_router`   | EXP-A2 routing/VC sensitivity of the simulator |
+//! | `ablation_traffic`  | EXP-A3 traffic-pattern sensitivity of the ranking |
+//! | `ablation_interposer` | EXP-A5 C4 vs. micro-bump carrier ablation |
+//! | `load_curves`       | EXP-LC latency-vs-load curves behind Fig. 7 |
+//! | `phy_sweep`         | EXP-P1 link reach/derating (§II/§V envelopes) |
+//! | `kite_comparison`   | EXP-K1 HexaMesh vs. Kite-style topologies (§VII) |
+//! | `thermal_comparison`| EXP-TH1 arrangement thermal comparison (§II/[16]) |
+//! | `cost_model`        | EXP-C1 monolithic vs. 2.5D cost (§I/[17]) |
+//! | `resilience`        | EXP-R1 bridges/connectivity fault tolerance (§IV-C) |
+//!
+//! The `benches/` directory holds Criterion benchmarks exercising reduced
+//! versions of the same code paths for performance regression tracking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod sweep;
+
+/// Directory (relative to the workspace root / current dir) where binaries
+/// write their CSV output.
+pub const RESULTS_DIR: &str = "results";

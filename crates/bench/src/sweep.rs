@@ -1,0 +1,152 @@
+//! Sweep runners shared by the figure binaries and Criterion benches.
+
+use std::sync::Mutex;
+
+use chiplet_partition::BisectionConfig;
+use hexamesh::arrangement::{Arrangement, ArrangementKind};
+use hexamesh::eval::{self, EvalParams, EvalResult};
+use hexamesh::proxies;
+
+/// One row of the Fig. 6 proxy sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProxyPoint {
+    /// Arrangement family.
+    pub kind: ArrangementKind,
+    /// Regularity used at this `n`.
+    pub regularity: hexamesh::Regularity,
+    /// Chiplet count.
+    pub n: usize,
+    /// Diameter measured on the constructed graph.
+    pub diameter: u32,
+    /// Bisection bandwidth following the paper's methodology (formula for
+    /// regular, partitioner otherwise).
+    pub bisection: f64,
+}
+
+/// Computes the Fig. 6 proxies for all chiplet counts in `ns`, for the three
+/// evaluated arrangement kinds.
+#[must_use]
+pub fn proxy_sweep(ns: &[usize]) -> Vec<ProxyPoint> {
+    let config = BisectionConfig::default();
+    let mut out = Vec::new();
+    for &n in ns {
+        for kind in ArrangementKind::EVALUATED {
+            let a = Arrangement::build(kind, n).expect("n >= 1 always builds");
+            out.push(ProxyPoint {
+                kind,
+                regularity: a.regularity(),
+                n,
+                diameter: proxies::measured_diameter(&a).expect("connected"),
+                bisection: proxies::paper_bisection(&a, &config),
+            });
+        }
+    }
+    out
+}
+
+/// Runs the full Fig. 7 evaluation for all counts in `ns` across the three
+/// evaluated kinds, spreading work over `workers` threads. Results are
+/// returned sorted by `(kind, n)`.
+///
+/// # Panics
+///
+/// Panics if any single evaluation fails — every `n ≥ 1` arrangement is
+/// connected and the paper configuration is valid, so a failure is a bug.
+#[must_use]
+pub fn evaluation_sweep(ns: &[usize], params: &EvalParams, workers: usize) -> Vec<EvalResult> {
+    let mut jobs: Vec<(ArrangementKind, usize)> = Vec::new();
+    for &n in ns {
+        for kind in ArrangementKind::EVALUATED {
+            jobs.push((kind, n));
+        }
+    }
+    // Interleave large and small jobs for better load balance.
+    jobs.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+
+    let queue = Mutex::new(jobs);
+    let results = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop();
+                let Some((kind, n)) = job else { break };
+                let arrangement = Arrangement::build(kind, n).expect("n >= 1 builds");
+                let result = eval::evaluate(&arrangement, params)
+                    .unwrap_or_else(|e| panic!("evaluate {kind} n={n}: {e}"));
+                results.lock().expect("results lock").push(result);
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("results mutex");
+    results.sort_by_key(|r| (r.kind.label(), r.n));
+    results
+}
+
+/// Arithmetic mean, `None` for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> Option<f64> {
+    (!values.is_empty()).then(|| values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Parses `--flag value` style integer arguments from a raw arg list.
+#[must_use]
+pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `true` if `--flag` is present.
+#[must_use]
+pub fn arg_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxy_sweep_covers_all_kinds() {
+        let points = proxy_sweep(&[7, 16]);
+        assert_eq!(points.len(), 6);
+        // HexaMesh at n=7 is regular with diameter 2 and bisection 5.
+        let hm7 = points
+            .iter()
+            .find(|p| p.kind == ArrangementKind::HexaMesh && p.n == 7)
+            .unwrap();
+        assert_eq!(hm7.diameter, 2);
+        assert_eq!(hm7.bisection, 5.0);
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> =
+            ["--step", "5", "--quick"].iter().map(|s| (*s).to_string()).collect();
+        assert_eq!(arg_usize(&args, "--step", 1), 5);
+        assert_eq!(arg_usize(&args, "--max-n", 100), 100);
+        assert!(arg_flag(&args, "--quick"));
+        assert!(!arg_flag(&args, "--full"));
+    }
+
+    #[test]
+    fn evaluation_sweep_tiny() {
+        let mut params = EvalParams::quick();
+        params.sim.vcs = 4;
+        params.sim.buffer_depth = 4;
+        params.measure.warmup_cycles = 500;
+        params.measure.measure_cycles = 1_000;
+        params.measure.rate_resolution = 0.1;
+        let results = evaluation_sweep(&[4], &params, 2);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.saturation_fraction > 0.0));
+    }
+}

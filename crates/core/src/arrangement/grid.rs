@@ -1,0 +1,191 @@
+//! Grid (G) arrangement generators — the paper's baseline (Fig. 4a).
+
+use chiplet_layout::Rect;
+
+use super::{is_perfect_square, Regularity, MAX_SEMI_REGULAR_ASPECT};
+
+/// Cell size in layout units (squares; any positive size works).
+const CELL: i64 = 2;
+
+/// Generates the rectangles of a grid arrangement, or `None` if `n` cannot
+/// be realised with the requested regularity.
+pub(super) fn generate(n: usize, regularity: Regularity) -> Option<Vec<Rect>> {
+    match regularity {
+        Regularity::Regular => {
+            if !is_perfect_square(n) {
+                return None;
+            }
+            let side = (n as f64).sqrt().round() as usize;
+            Some(rows_by_cols(side, side))
+        }
+        Regularity::SemiRegular => {
+            let (r, c) = best_factor_pair(n)?;
+            Some(rows_by_cols(r, c))
+        }
+        Regularity::Irregular => Some(irregular(n)),
+    }
+}
+
+/// The most-square non-trivial factorisation `R × C = n` with `R < C`,
+/// `R ≥ 2`, and aspect ratio `C / R ≤` [`MAX_SEMI_REGULAR_ASPECT`] — the
+/// "similar R and C" rule of §IV-C. `None` if no such pair exists (primes,
+/// perfect squares, and elongated-only counts).
+#[must_use]
+pub fn best_factor_pair(n: usize) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize)> = None;
+    let mut r = (n as f64).sqrt() as usize;
+    while r >= 2 {
+        if n.is_multiple_of(r) {
+            let c = n / r;
+            if c != r {
+                best = Some((r, c));
+                break; // descending from sqrt(n): first hit is most square
+            }
+        }
+        r -= 1;
+    }
+    let (r, c) = best?;
+    (c as f64 / r as f64 <= MAX_SEMI_REGULAR_ASPECT).then_some((r, c))
+}
+
+/// A full `rows × cols` block of square cells.
+fn rows_by_cols(rows: usize, cols: usize) -> Vec<Rect> {
+    let mut rects = Vec::with_capacity(rows * cols);
+    for row in 0..rows {
+        for col in 0..cols {
+            rects.push(cell(row as i64, col as i64));
+        }
+    }
+    rects
+}
+
+/// Irregular grid (§IV-C): the closest smaller regular `k × k` grid plus the
+/// remaining chiplets as incomplete rows on top.
+fn irregular(n: usize) -> Vec<Rect> {
+    let k = (n as f64).sqrt() as usize; // floor
+    let k = if k * k > n { k - 1 } else { k };
+    if k == 0 {
+        // n == 0 is rejected upstream; n < 4 lands here with k = 1.
+        return rows_by_cols(1, n);
+    }
+    let mut rects = rows_by_cols(k, k);
+    let mut remaining = n - k * k;
+    let mut row = k as i64;
+    while remaining > 0 {
+        let in_this_row = remaining.min(k);
+        for col in 0..in_this_row {
+            rects.push(cell(row, col as i64));
+        }
+        remaining -= in_this_row;
+        row += 1;
+    }
+    rects
+}
+
+fn cell(row: i64, col: i64) -> Rect {
+    Rect::new(col * CELL, row * CELL, CELL, CELL).expect("positive cell size")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Arrangement, ArrangementKind, Regularity};
+    use super::*;
+    use chiplet_graph::metrics;
+
+    #[test]
+    fn regular_grid_structure() {
+        let a =
+            Arrangement::build_with_regularity(ArrangementKind::Grid, 16, Regularity::Regular)
+                .unwrap();
+        let g = a.graph();
+        // 4x4 mesh: 2*4*3 = 24 edges.
+        assert_eq!(g.num_edges(), 24);
+        let stats = a.degree_stats();
+        assert_eq!(stats.min, 2);
+        assert_eq!(stats.max, 4);
+        assert_eq!(metrics::diameter(g), Some(6));
+    }
+
+    #[test]
+    fn regular_rejects_non_squares() {
+        assert!(generate(12, Regularity::Regular).is_none());
+    }
+
+    #[test]
+    fn semi_regular_picks_most_square_pair() {
+        assert_eq!(best_factor_pair(12), Some((3, 4)));
+        assert_eq!(best_factor_pair(24), Some((4, 6)));
+        assert_eq!(best_factor_pair(2), None); // 1x2 is trivial
+        assert_eq!(best_factor_pair(13), None); // prime
+        assert_eq!(best_factor_pair(26), None); // 2x13 too elongated
+        assert_eq!(best_factor_pair(16), None); // 2x8 too elongated (4x4 is regular)
+        assert_eq!(best_factor_pair(18), Some((3, 6)));
+    }
+
+    #[test]
+    fn semi_regular_structure() {
+        let a = Arrangement::build_with_regularity(
+            ArrangementKind::Grid,
+            12,
+            Regularity::SemiRegular,
+        )
+        .unwrap();
+        // 3x4 mesh: 3*3 + 4*2 = 17 edges.
+        assert_eq!(a.graph().num_edges(), 17);
+        assert_eq!(metrics::diameter(a.graph()), Some(5));
+    }
+
+    #[test]
+    fn irregular_counts_match() {
+        for n in 2..=60 {
+            let rects = irregular(n);
+            assert_eq!(rects.len(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn irregular_min_degree_can_drop_to_one() {
+        // 10 = 3x3 + 1 extra: the lone extra chiplet has one neighbour
+        // (the paper: "reduces the minimum number of neighbors to 1").
+        let a = Arrangement::build_with_regularity(
+            ArrangementKind::Grid,
+            10,
+            Regularity::Irregular,
+        )
+        .unwrap();
+        assert_eq!(a.degree_stats().min, 1);
+    }
+
+    #[test]
+    fn irregular_extra_row_connects() {
+        // 21 = 4x4 + 5 extras -> one full row of 4 + 1 in the next row.
+        let a = Arrangement::build_with_regularity(
+            ArrangementKind::Grid,
+            21,
+            Regularity::Irregular,
+        )
+        .unwrap();
+        assert!(metrics::is_connected(a.graph()));
+        assert_eq!(a.num_chiplets(), 21);
+    }
+
+    #[test]
+    fn tiny_irregular_grids() {
+        let a =
+            Arrangement::build_with_regularity(ArrangementKind::Grid, 2, Regularity::Irregular)
+                .unwrap();
+        assert_eq!(a.graph().num_edges(), 1);
+        let a =
+            Arrangement::build_with_regularity(ArrangementKind::Grid, 3, Regularity::Irregular)
+                .unwrap();
+        assert_eq!(a.graph().num_edges(), 2);
+    }
+
+    #[test]
+    fn average_degree_approaches_four() {
+        // §IV-A: grid average neighbours -> 4 as N grows.
+        let a = Arrangement::build(ArrangementKind::Grid, 100).unwrap();
+        let avg = a.degree_stats().average;
+        assert!(avg > 3.5 && avg < 4.0, "avg {avg}");
+    }
+}

@@ -1,0 +1,265 @@
+//! HexaMesh (HM) arrangement generators (Fig. 4d) — the paper's contribution.
+//!
+//! A regular HexaMesh has `N = 1 + 3r(r+1)` chiplets: a central chiplet
+//! surrounded by `r` rings, the `i`-th ring holding `6i` chiplets. We realise
+//! it physically as a hexagon-shaped brickwall: rows `−r..=r`, row `i`
+//! holding `2r+1−|i|` bricks, each row inset by half a brick per step away
+//! from the centre. This yields exactly the ring graph: minimum degree 3,
+//! maximum 6, diameter `2r`.
+//!
+//! Irregular HexaMeshes (§IV-C) add `m < 6(r+1)` chiplets as a contiguous
+//! arc of the next ring.
+
+use chiplet_layout::Rect;
+
+use super::Regularity;
+
+/// Brick extent in layout units (same proportions as the brickwall).
+const BRICK_W: i64 = 4;
+const BRICK_H: i64 = 2;
+const HALF: i64 = BRICK_W / 2;
+
+/// Chiplets in a regular HexaMesh with `r` rings: `1 + 3r(r+1)`.
+///
+/// # Example
+///
+/// ```
+/// use hexamesh::arrangement::hexamesh_count;
+///
+/// assert_eq!(hexamesh_count(0), 1);
+/// assert_eq!(hexamesh_count(1), 7);
+/// assert_eq!(hexamesh_count(3), 37);
+/// ```
+#[must_use]
+pub fn hexamesh_count(rings: usize) -> usize {
+    1 + 3 * rings * (rings + 1)
+}
+
+/// Number of complete rings in the largest regular HexaMesh with at most
+/// `n` chiplets (`n ≥ 1`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn ring_radius(n: usize) -> usize {
+    assert!(n >= 1, "ring_radius requires n >= 1");
+    let mut r = 0;
+    while hexamesh_count(r + 1) <= n {
+        r += 1;
+    }
+    r
+}
+
+/// `true` if `n = 1 + 3r(r+1)` for some integer `r`.
+pub(super) fn is_regular_count(n: usize) -> bool {
+    n >= 1 && hexamesh_count(ring_radius(n)) == n
+}
+
+/// Generates the rectangles of a HexaMesh arrangement, or `None` if `n`
+/// cannot be realised with the requested regularity.
+pub(super) fn generate(n: usize, regularity: Regularity) -> Option<Vec<Rect>> {
+    match regularity {
+        Regularity::Regular => is_regular_count(n).then(|| hexagon(ring_radius(n))),
+        Regularity::SemiRegular => None,
+        Regularity::Irregular => {
+            if n == 0 || is_regular_count(n) {
+                return None;
+            }
+            let r = ring_radius(n);
+            let m = n - hexamesh_count(r);
+            let mut rects = hexagon(r);
+            for &(row, j) in ring_arc(r + 1).iter().take(m) {
+                rects.push(brick_at(r + 1, row, j));
+            }
+            Some(rects)
+        }
+    }
+}
+
+/// All bricks of the hexagon with `r` rings.
+fn hexagon(r: usize) -> Vec<Rect> {
+    let r = r as i64;
+    let mut rects = Vec::new();
+    for row in -r..=r {
+        let count = 2 * r + 1 - row.abs();
+        for j in 0..count {
+            rects.push(brick_at(r as usize, row, j));
+        }
+    }
+    rects
+}
+
+/// Brick `j` of row `row` in the hexagon of radius `radius`.
+///
+/// In half-brick units, the brick starts at `−(2R+1) + |row| + 2j`; this is
+/// scaled by `HALF` so all hexagon radii share one coordinate system
+/// (hexagon `R` is a strict subset of hexagon `R+1`).
+fn brick_at(radius: usize, row: i64, j: i64) -> Rect {
+    let radius = radius as i64;
+    let start_half_units = -(2 * radius + 1) + row.abs() + 2 * j;
+    Rect::new(start_half_units * HALF, row * BRICK_H, BRICK_W, BRICK_H)
+        .expect("positive brick size")
+}
+
+/// The positions `(row, j)` of ring `r_prime` (the bricks of hexagon
+/// `r_prime` that are not in hexagon `r_prime − 1`), ordered as one
+/// contiguous arc around the hexagon.
+///
+/// The arc starts at the second brick of the top row so that the first
+/// added chiplet of an irregular HexaMesh touches two inner chiplets
+/// whenever possible, keeping the minimum degree at 2 (§IV-C).
+fn ring_arc(r_prime: usize) -> Vec<(i64, i64)> {
+    let rp = r_prime as i64;
+    let mut arc = Vec::with_capacity(6 * r_prime);
+    // Top row (row = rp) has rp + 1 bricks: j in 0..=rp. Start at j = 1.
+    for j in 1..=rp {
+        arc.push((rp, j));
+    }
+    // Right edge: rows rp−1 down to −(rp−1), rightmost brick j = 2rp − |row|.
+    for row in (-(rp - 1)..=(rp - 1)).rev() {
+        arc.push((row, 2 * rp - row.abs()));
+    }
+    // Bottom row, right to left.
+    for j in (0..=rp).rev() {
+        arc.push((-rp, j));
+    }
+    // Left edge: rows −(rp−1) up to rp−1, leftmost brick j = 0.
+    for row in -(rp - 1)..=(rp - 1) {
+        arc.push((row, 0));
+    }
+    // Close the circle at the top row's first brick.
+    arc.push((rp, 0));
+    debug_assert_eq!(arc.len(), 6 * r_prime);
+    arc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Arrangement, ArrangementKind, Regularity};
+    use super::*;
+    use chiplet_graph::metrics;
+
+    fn build(n: usize) -> Arrangement {
+        Arrangement::build(ArrangementKind::HexaMesh, n).expect("valid HexaMesh")
+    }
+
+    #[test]
+    fn count_formula() {
+        assert_eq!(hexamesh_count(0), 1);
+        assert_eq!(hexamesh_count(1), 7);
+        assert_eq!(hexamesh_count(2), 19);
+        assert_eq!(hexamesh_count(4), 61);
+        assert_eq!(hexamesh_count(5), 91);
+    }
+
+    #[test]
+    fn ring_radius_inverse() {
+        for r in 0..6 {
+            assert_eq!(ring_radius(hexamesh_count(r)), r);
+            if r > 0 {
+                assert_eq!(ring_radius(hexamesh_count(r) - 1), r - 1);
+                assert_eq!(ring_radius(hexamesh_count(r) + 1), r);
+            }
+        }
+    }
+
+    #[test]
+    fn regular_hexamesh_degrees() {
+        // Fig. 4d: Min 3, Max 6 neighbours.
+        for n in [7usize, 19, 37, 61, 91] {
+            let a = build(n);
+            assert_eq!(a.regularity(), Regularity::Regular);
+            let stats = a.degree_stats();
+            assert_eq!(stats.min, 3, "n={n}");
+            assert_eq!(stats.max, 6, "n={n}");
+        }
+    }
+
+    #[test]
+    fn regular_hexamesh_diameter_is_two_r() {
+        // D_HM(N) = (1/3)sqrt(12N − 3) − 1 = 2r for regular counts.
+        for r in 1..=5usize {
+            let n = hexamesh_count(r);
+            let a = build(n);
+            assert_eq!(metrics::diameter(a.graph()), Some(2 * r as u32), "r={r}");
+        }
+    }
+
+    #[test]
+    fn seven_chiplet_hexamesh_is_wheel() {
+        // Centre + 6-ring: centre has 6 neighbours, ring vertices 3 each,
+        // 12 edges total.
+        let a = build(7);
+        let g = a.graph();
+        assert_eq!(g.num_edges(), 12);
+        let histogram = metrics::degree_histogram(g);
+        assert_eq!(histogram[6], 1);
+        assert_eq!(histogram[3], 6);
+    }
+
+    #[test]
+    fn ring_arc_is_contiguous_and_complete() {
+        for rp in 1..=5usize {
+            let arc = ring_arc(rp);
+            assert_eq!(arc.len(), 6 * rp, "ring {rp} size");
+            // No duplicates.
+            let mut sorted = arc.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), arc.len(), "ring {rp} has duplicates");
+            // Consecutive arc bricks are geometrically adjacent.
+            for w in arc.windows(2) {
+                let a = brick_at(rp, w[0].0, w[0].1);
+                let b = brick_at(rp, w[1].0, w[1].1);
+                assert!(a.is_adjacent(&b), "ring {rp}: {:?} !~ {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn irregular_counts_and_connectivity() {
+        for n in 2..=61usize {
+            let a = build(n);
+            assert_eq!(a.num_chiplets(), n);
+            assert!(metrics::is_connected(a.graph()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn irregular_min_degree_is_at_least_two_beyond_first_ring() {
+        // §IV-C: irregular HM has minimum degree 2 (for arrangements grown
+        // from at least one complete ring).
+        for n in 8..=61usize {
+            if is_regular_count(n) {
+                continue;
+            }
+            let a = build(n);
+            assert!(a.degree_stats().min >= 2, "n={n} min degree {}", a.degree_stats().min);
+        }
+    }
+
+    #[test]
+    fn hexagon_is_subset_of_next_hexagon() {
+        for r in 0..4usize {
+            let inner: std::collections::HashSet<_> = hexagon(r)
+                .into_iter()
+                .map(|rect| (rect.x(), rect.y()))
+                .collect();
+            let outer: std::collections::HashSet<_> = hexagon(r + 1)
+                .into_iter()
+                .map(|rect| (rect.x(), rect.y()))
+                .collect();
+            assert!(inner.is_subset(&outer), "hexagon {r} ⊄ hexagon {}", r + 1);
+            assert_eq!(outer.len() - inner.len(), 6 * (r + 1));
+        }
+    }
+
+    #[test]
+    fn average_degree_approaches_six() {
+        let a = build(91);
+        let avg = a.degree_stats().average;
+        assert!(avg > 5.0, "avg {avg}");
+        assert!(avg <= metrics::planar_average_degree_bound(91).unwrap());
+    }
+}

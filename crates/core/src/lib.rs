@@ -1,0 +1,56 @@
+//! # HexaMesh — chiplet arrangements with high-performance interconnects
+//!
+//! A from-scratch Rust reproduction of *HexaMesh: Scaling to Hundreds of
+//! Chiplets with an Optimized Chiplet Arrangement* (Iff, Besta, Cavalcante,
+//! Fischer, Benini, Hoefler — DAC 2023). The paper asks: how should tens to
+//! hundreds of identical rectangular chiplets be shaped and arranged so that
+//! the inter-chiplet interconnect (ICI), built only from short links between
+//! *adjacent* chiplets, has minimal diameter and maximal bisection
+//! bandwidth?
+//!
+//! This crate provides the paper's contributions as a library:
+//!
+//! * [`arrangement`] — generators for the grid (baseline), honeycomb,
+//!   brickwall, and HexaMesh arrangements, in regular, semi-regular, and
+//!   irregular variants (§IV-A, §IV-C), each with its physical floorplan and
+//!   ICI graph;
+//! * [`proxies`] — the closed-form diameter/bisection formulas and measured
+//!   counterparts (§III-C, §IV-D);
+//! * [`shape`] — chiplet shape and bump-sector optimisation (§IV-B, Fig. 5);
+//! * [`link`] — the D2D link-bandwidth model (§V, Table I);
+//! * [`eval`] — the full §VI pipeline combining the link model with
+//!   cycle-accurate simulation (the `nocsim` crate) to produce zero-load
+//!   latency and saturation throughput, absolute and grid-normalised.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hexamesh::arrangement::{Arrangement, ArrangementKind};
+//! use hexamesh::proxies;
+//!
+//! # fn main() -> Result<(), hexamesh::arrangement::ArrangementError> {
+//! // A 37-chiplet HexaMesh (3 complete rings) vs. the grid baseline:
+//! let hm = Arrangement::build(ArrangementKind::HexaMesh, 37)?;
+//! let grid = Arrangement::build(ArrangementKind::Grid, 37)?;
+//!
+//! let d_hm = proxies::measured_diameter(&hm).unwrap();
+//! let d_g = proxies::measured_diameter(&grid).unwrap();
+//! assert!(d_hm < d_g, "HexaMesh has the smaller network diameter");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrangement;
+pub mod eval;
+pub mod link;
+pub mod proxies;
+pub mod report;
+pub mod shape;
+
+pub use arrangement::{Arrangement, ArrangementError, ArrangementKind, Regularity};
+pub use eval::{evaluate, evaluate_analytic, EvalError, EvalParams, EvalResult};
+pub use link::{estimate_link, LinkEstimate, LinkParams};
+pub use shape::{ChipletShape, ShapeParams};

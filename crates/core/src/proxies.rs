@@ -1,0 +1,263 @@
+//! Performance proxies (§III-C, §IV-D): network diameter and bisection
+//! bandwidth, both as closed-form formulas for regular arrangements and as
+//! measured values on constructed graphs.
+
+use chiplet_graph::metrics;
+use chiplet_partition::{bisect, BisectionConfig};
+
+use crate::arrangement::{Arrangement, ArrangementKind, Regularity};
+
+/// `D_G(N) = 2√N − 2` — diameter of a regular grid (§IV-D).
+#[must_use]
+pub fn grid_diameter(n: usize) -> f64 {
+    2.0 * (n as f64).sqrt() - 2.0
+}
+
+/// `D_BW(N) = 2√N − 2 − ⌊(√N − 1)/2⌋` — diameter of a regular brickwall.
+#[must_use]
+pub fn brickwall_diameter(n: usize) -> f64 {
+    let s = (n as f64).sqrt();
+    2.0 * s - 2.0 - ((s - 1.0) / 2.0).floor()
+}
+
+/// `D_HM(N) = (1/3)√(12N − 3) − 1` — diameter of a regular HexaMesh.
+/// For `N = 1 + 3r(r+1)` this is exactly `2r`.
+#[must_use]
+pub fn hexamesh_diameter(n: usize) -> f64 {
+    (12.0 * n as f64 - 3.0).sqrt() / 3.0 - 1.0
+}
+
+/// `B_G(N) = √N` — bisection bandwidth of a regular grid (§IV-D).
+#[must_use]
+pub fn grid_bisection(n: usize) -> f64 {
+    (n as f64).sqrt()
+}
+
+/// `B_BW(N) = 2√N − 1` — bisection bandwidth of a regular brickwall.
+#[must_use]
+pub fn brickwall_bisection(n: usize) -> f64 {
+    2.0 * (n as f64).sqrt() - 1.0
+}
+
+/// `B_HM(N) = (2/3)√(12N − 3) − 1` — bisection bandwidth of a regular
+/// HexaMesh. For `N = 1 + 3r(r+1)` this is exactly `4r + 1`.
+#[must_use]
+pub fn hexamesh_bisection(n: usize) -> f64 {
+    2.0 * (12.0 * n as f64 - 3.0).sqrt() / 3.0 - 1.0
+}
+
+/// Closed-form diameter for a *regular* arrangement of kind `kind`, or
+/// `None` when the paper gives no formula (honeycomb shares the brickwall's).
+#[must_use]
+pub fn formula_diameter(kind: ArrangementKind, n: usize) -> f64 {
+    match kind {
+        ArrangementKind::Grid => grid_diameter(n),
+        ArrangementKind::Brickwall | ArrangementKind::Honeycomb => brickwall_diameter(n),
+        ArrangementKind::HexaMesh => hexamesh_diameter(n),
+    }
+}
+
+/// Closed-form bisection bandwidth for a *regular* arrangement.
+#[must_use]
+pub fn formula_bisection(kind: ArrangementKind, n: usize) -> f64 {
+    match kind {
+        ArrangementKind::Grid => grid_bisection(n),
+        ArrangementKind::Brickwall | ArrangementKind::Honeycomb => brickwall_bisection(n),
+        ArrangementKind::HexaMesh => hexamesh_bisection(n),
+    }
+}
+
+/// Asymptotic diameter ratio `lim D_BW / D_G = 3/4` (−25%).
+pub const DIAMETER_RATIO_BW_OVER_G: f64 = 0.75;
+/// Asymptotic diameter ratio `lim D_HM / D_G = 1/√3` (−42%).
+pub const DIAMETER_RATIO_HM_OVER_G: f64 = 0.577_350_269_189_625_8;
+/// Asymptotic bisection ratio `lim B_BW / B_G = 2` (+100%).
+pub const BISECTION_RATIO_BW_OVER_G: f64 = 2.0;
+/// Asymptotic bisection ratio `lim B_HM / B_G = 4/√3 ≈ 2.31` (+130%).
+pub const BISECTION_RATIO_HM_OVER_G: f64 = 2.309_401_076_758_503;
+
+/// Measured diameter of an arrangement's graph (`None` if disconnected,
+/// which does not happen for generated arrangements).
+#[must_use]
+pub fn measured_diameter(arrangement: &Arrangement) -> Option<u32> {
+    metrics::diameter(arrangement.graph())
+}
+
+/// Bisection bandwidth following the paper's methodology (§IV-D b): the
+/// closed-form value for regular arrangements, and a balanced-partitioner
+/// estimate (our METIS substitute) for semi-regular and irregular ones.
+#[must_use]
+pub fn paper_bisection(arrangement: &Arrangement, config: &BisectionConfig) -> f64 {
+    match arrangement.regularity() {
+        Regularity::Regular => {
+            formula_bisection(arrangement.kind(), arrangement.num_chiplets())
+        }
+        _ => measured_bisection(arrangement, config).unwrap_or(0) as f64,
+    }
+}
+
+/// Bisection width measured on the constructed graph with the partitioner
+/// (`None` for empty graphs, which generated arrangements never are).
+#[must_use]
+pub fn measured_bisection(
+    arrangement: &Arrangement,
+    config: &BisectionConfig,
+) -> Option<usize> {
+    bisect(arrangement.graph(), config).ok().map(|r| r.cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrangement::hexamesh_count;
+
+    #[test]
+    fn grid_formula_matches_measured_diameter() {
+        for side in 1..=10usize {
+            let n = side * side;
+            let a = Arrangement::build_with_regularity(
+                ArrangementKind::Grid,
+                n,
+                Regularity::Regular,
+            )
+            .unwrap();
+            assert_eq!(
+                measured_diameter(&a).unwrap() as f64,
+                grid_diameter(n),
+                "grid n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn brickwall_formula_matches_measured_diameter() {
+        for side in 1..=10usize {
+            let n = side * side;
+            let a = Arrangement::build_with_regularity(
+                ArrangementKind::Brickwall,
+                n,
+                Regularity::Regular,
+            )
+            .unwrap();
+            assert_eq!(
+                measured_diameter(&a).unwrap() as f64,
+                brickwall_diameter(n),
+                "brickwall n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn hexamesh_formula_matches_measured_diameter() {
+        for r in 0..=5usize {
+            let n = hexamesh_count(r);
+            let a = Arrangement::build_with_regularity(
+                ArrangementKind::HexaMesh,
+                n,
+                Regularity::Regular,
+            )
+            .unwrap();
+            assert_eq!(
+                measured_diameter(&a).unwrap() as f64,
+                hexamesh_diameter(n),
+                "hexamesh r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn hexamesh_bisection_formula_matches_exact_cut() {
+        // Exactly solvable sizes: N = 7 (r=1) and N = 19 (r=2).
+        for r in 1..=2usize {
+            let n = hexamesh_count(r);
+            let a = Arrangement::build_with_regularity(
+                ArrangementKind::HexaMesh,
+                n,
+                Regularity::Regular,
+            )
+            .unwrap();
+            let exact = measured_bisection(&a, &BisectionConfig::default()).unwrap();
+            assert_eq!(exact as f64, hexamesh_bisection(n), "r={r}: exact {exact}");
+            assert_eq!(exact, 4 * r + 1);
+        }
+    }
+
+    #[test]
+    fn grid_bisection_formula_matches_exact_cut_even_sides() {
+        for side in [2usize, 4] {
+            let n = side * side;
+            let a = Arrangement::build_with_regularity(
+                ArrangementKind::Grid,
+                n,
+                Regularity::Regular,
+            )
+            .unwrap();
+            let exact = measured_bisection(&a, &BisectionConfig::default()).unwrap();
+            assert_eq!(exact as f64, grid_bisection(n), "side={side}");
+        }
+    }
+
+    #[test]
+    fn brickwall_bisection_formula_matches_exact_cut() {
+        let a = Arrangement::build_with_regularity(
+            ArrangementKind::Brickwall,
+            16,
+            Regularity::Regular,
+        )
+        .unwrap();
+        let exact = measured_bisection(&a, &BisectionConfig::default()).unwrap();
+        assert_eq!(exact as f64, brickwall_bisection(16)); // 2*4 - 1 = 7
+    }
+
+    #[test]
+    fn asymptotic_ratios_converge() {
+        // At N = 10_000 the formula ratios are within 2% of the limits.
+        let n = 10_000;
+        let d_ratio_bw = brickwall_diameter(n) / grid_diameter(n);
+        assert!((d_ratio_bw - DIAMETER_RATIO_BW_OVER_G).abs() < 0.02, "{d_ratio_bw}");
+        let d_ratio_hm = hexamesh_diameter(n) / grid_diameter(n);
+        assert!((d_ratio_hm - DIAMETER_RATIO_HM_OVER_G).abs() < 0.02, "{d_ratio_hm}");
+        let b_ratio_bw = brickwall_bisection(n) / grid_bisection(n);
+        assert!((b_ratio_bw - BISECTION_RATIO_BW_OVER_G).abs() < 0.02, "{b_ratio_bw}");
+        let b_ratio_hm = hexamesh_bisection(n) / grid_bisection(n);
+        assert!((b_ratio_hm - BISECTION_RATIO_HM_OVER_G).abs() < 0.02, "{b_ratio_hm}");
+    }
+
+    #[test]
+    fn headline_improvements() {
+        // Abstract: diameter −42%, bisection +130% for HM vs G.
+        assert!((1.0 - DIAMETER_RATIO_HM_OVER_G - 0.42).abs() < 0.01);
+        assert!((BISECTION_RATIO_HM_OVER_G - 1.0 - 1.30).abs() < 0.01);
+        // §IV-D: BW −25% diameter, +100% bisection.
+        assert!((1.0 - DIAMETER_RATIO_BW_OVER_G - 0.25).abs() < 1e-12);
+        assert!((BISECTION_RATIO_BW_OVER_G - 1.0 - 1.00).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_bisection_dispatches_by_regularity() {
+        let regular =
+            Arrangement::build_with_regularity(ArrangementKind::Grid, 16, Regularity::Regular)
+                .unwrap();
+        assert_eq!(paper_bisection(&regular, &BisectionConfig::default()), 4.0);
+        let irregular = Arrangement::build_with_regularity(
+            ArrangementKind::Grid,
+            17,
+            Regularity::Irregular,
+        )
+        .unwrap();
+        let b = paper_bisection(&irregular, &BisectionConfig::default());
+        assert!(b >= 1.0, "irregular bisection {b}");
+    }
+
+    #[test]
+    fn honeycomb_shares_brickwall_formulas() {
+        assert_eq!(
+            formula_diameter(ArrangementKind::Honeycomb, 49),
+            brickwall_diameter(49)
+        );
+        assert_eq!(
+            formula_bisection(ArrangementKind::Honeycomb, 49),
+            brickwall_bisection(49)
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the cost model's economic invariants.
+
+use chiplet_cost::die::{die_cost, ProcessNode};
+use chiplet_cost::system::{system_cost_comparison, CostParams};
+use chiplet_cost::wafer::{dies_per_wafer, Wafer};
+use chiplet_cost::yield_model::YieldModel;
+use proptest::prelude::*;
+
+fn node(defect_density: f64) -> ProcessNode {
+    ProcessNode {
+        name: "test",
+        wafer: Wafer { diameter_mm: 300.0, cost: 10_000.0 },
+        defect_density,
+        yield_model: YieldModel::NegativeBinomial { alpha: 3.0 },
+    }
+}
+
+proptest! {
+    #[test]
+    fn yield_always_in_unit_interval(
+        d in 0.0f64..0.05,
+        area in 0.0f64..1000.0,
+        alpha in 0.5f64..20.0,
+    ) {
+        for model in [
+            YieldModel::Poisson,
+            YieldModel::Murphy,
+            YieldModel::NegativeBinomial { alpha },
+        ] {
+            let y = model.die_yield(d, area).expect("valid inputs");
+            prop_assert!((0.0..=1.0).contains(&y), "{model:?}: {y}");
+        }
+    }
+
+    #[test]
+    fn yield_monotone_in_defect_density(
+        area in 1.0f64..900.0,
+        d_low in 0.0001f64..0.01,
+        factor in 1.1f64..10.0,
+    ) {
+        let d_high = d_low * factor;
+        for model in [YieldModel::Poisson, YieldModel::Murphy] {
+            let low = model.die_yield(d_low, area).expect("valid");
+            let high = model.die_yield(d_high, area).expect("valid");
+            prop_assert!(high <= low);
+        }
+    }
+
+    #[test]
+    fn dpw_monotone_decreasing_in_area(
+        a in 10.0f64..400.0,
+        factor in 1.1f64..4.0,
+    ) {
+        let wafer = Wafer { diameter_mm: 300.0, cost: 1.0 };
+        let small = dies_per_wafer(&wafer, a).expect("fits");
+        let large = dies_per_wafer(&wafer, a * factor).expect("fits");
+        prop_assert!(large <= small);
+    }
+
+    #[test]
+    fn die_cost_positive_and_ordered(
+        area in 5.0f64..800.0,
+        d in 0.0005f64..0.01,
+        test_cost in 0.0f64..50.0,
+    ) {
+        let c = die_cost(&node(d), area, test_cost).expect("valid");
+        prop_assert!(c.raw_die > 0.0);
+        prop_assert!(c.good_die >= c.raw_die);
+        prop_assert!(c.known_good_die >= c.good_die);
+    }
+
+    #[test]
+    fn comparison_components_positive(
+        area in 100.0f64..800.0,
+        n in 2usize..64,
+    ) {
+        let cmp = system_cost_comparison(&CostParams::default_5nm(), area, n)
+            .expect("valid point");
+        prop_assert!(cmp.monolithic_total > 0.0);
+        prop_assert!(cmp.mcm_total > 0.0);
+        prop_assert!((0.0..=1.0).contains(&cmp.assembly_yield));
+        prop_assert!(cmp.chiplet_yield >= cmp.monolithic_yield);
+    }
+
+    #[test]
+    fn higher_defect_density_widens_mcm_advantage(
+        n in 4usize..32,
+    ) {
+        let mut clean = CostParams::default_5nm();
+        clean.compute_node = node(0.0005);
+        let mut dirty = CostParams::default_5nm();
+        dirty.compute_node = node(0.004);
+        let area = 700.0;
+        let r_clean =
+            system_cost_comparison(&clean, area, n).expect("valid").monolithic_over_mcm();
+        let r_dirty =
+            system_cost_comparison(&dirty, area, n).expect("valid").monolithic_over_mcm();
+        prop_assert!(r_dirty > r_clean, "dirty {r_dirty} !> clean {r_clean}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Breadth-first traversal and unweighted shortest-path distances.
+//!
+//! Every D2D link costs the same (one PHY-to-PHY traversal), so unweighted
+//! BFS distance is the hop metric the paper's latency proxy builds on.
+
+use std::collections::VecDeque;
+
+use crate::csr::{Graph, VertexId};
+
+/// Distance value for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances from `source`.
+///
+/// Returns one entry per vertex; unreachable vertices get [`UNREACHABLE`].
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Example
+///
+/// ```
+/// use chiplet_graph::{bfs, Graph};
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2)])?;
+/// let d = bfs::distances(&g, 0);
+/// assert_eq!(d, vec![0, 1, 2, bfs::UNREACHABLE]);
+/// # Ok::<(), chiplet_graph::GraphError>(())
+/// ```
+#[must_use]
+pub fn distances(g: &Graph, source: VertexId) -> Vec<u32> {
+    assert!(source < g.num_vertices(), "source {source} out of range");
+    let mut dist = vec![UNREACHABLE; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        for &v in g.neighbors(u) {
+            if dist[v] == UNREACHABLE {
+                dist[v] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS distances and, for each vertex, the predecessor on one shortest path.
+///
+/// The predecessor of the source (and of unreachable vertices) is `None`.
+/// Ties are broken toward the lowest-numbered predecessor, making the
+/// resulting shortest-path tree deterministic.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+#[must_use]
+pub fn distances_with_parents(g: &Graph, source: VertexId) -> (Vec<u32>, Vec<Option<VertexId>>) {
+    let dist = distances(g, source);
+    let mut parent = vec![None; g.num_vertices()];
+    for v in g.vertices() {
+        if v == source || dist[v] == UNREACHABLE {
+            continue;
+        }
+        parent[v] = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .find(|&u| dist[u] + 1 == dist[v]);
+    }
+    (dist, parent)
+}
+
+/// All-pairs shortest-path distances as a row-major matrix.
+///
+/// Entry `[u * n + v]` is the hop distance from `u` to `v`
+/// ([`UNREACHABLE`] when disconnected). Runs one BFS per vertex: `O(V·(V+E))`.
+#[must_use]
+pub fn all_pairs_distances(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut matrix = Vec::with_capacity(n * n);
+    for source in g.vertices() {
+        matrix.extend_from_slice(&distances(g, source));
+    }
+    matrix
+}
+
+/// Vertices reachable from `source`, including `source` itself.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+#[must_use]
+pub fn reachable_set(g: &Graph, source: VertexId) -> Vec<VertexId> {
+    distances(g, source)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNREACHABLE)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+/// Reconstructs one shortest path from `source` to `target`
+/// (inclusive of both), or `None` if `target` is unreachable.
+///
+/// # Panics
+///
+/// Panics if either endpoint is out of range.
+#[must_use]
+pub fn shortest_path(g: &Graph, source: VertexId, target: VertexId) -> Option<Vec<VertexId>> {
+    assert!(target < g.num_vertices(), "target {target} out of range");
+    let (dist, parent) = distances_with_parents(g, source);
+    if dist[target] == UNREACHABLE {
+        return None;
+    }
+    let mut path = vec![target];
+    let mut cur = target;
+    while let Some(p) = parent[cur] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    debug_assert_eq!(path[0], source);
+    debug_assert_eq!(path.len() as u32, dist[target] + 1);
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn distances_on_path_graph() {
+        let g = gen::path(5);
+        assert_eq!(distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn distances_on_disconnected_graph() {
+        let g = Graph::from_edges(4, &[(0, 1)]).unwrap();
+        let d = distances(&g, 0);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric() {
+        let g = gen::cycle(7);
+        let n = g.num_vertices();
+        let m = all_pairs_distances(&g);
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(m[u * n + v], m[v * n + u]);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = gen::grid(3, 3);
+        let p = shortest_path(&g, 0, 8).unwrap();
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&8));
+        assert_eq!(p.len(), 5); // 4 hops across a 3x3 grid corner to corner
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_unreachable_is_none() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert!(shortest_path(&g, 0, 2).is_none());
+    }
+
+    #[test]
+    fn shortest_path_to_self_is_single_vertex() {
+        let g = gen::cycle(4);
+        assert_eq!(shortest_path(&g, 1, 1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn reachable_set_of_component() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        assert_eq!(reachable_set(&g, 1), vec![0, 1, 2]);
+        assert_eq!(reachable_set(&g, 4), vec![3, 4]);
+    }
+
+    #[test]
+    fn parents_form_shortest_path_tree() {
+        let g = gen::grid(4, 4);
+        let (dist, parent) = distances_with_parents(&g, 0);
+        for v in g.vertices() {
+            if v == 0 {
+                assert_eq!(parent[v], None);
+            } else {
+                let p = parent[v].unwrap();
+                assert_eq!(dist[p] + 1, dist[v]);
+                assert!(g.has_edge(p, v));
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Graphviz DOT export for debugging and figure inspection.
+
+use std::fmt::Write as _;
+
+use crate::csr::Graph;
+
+/// Renders `g` in Graphviz DOT format as an undirected graph.
+///
+/// Vertices are labelled by index; an optional `name` becomes the graph name.
+///
+/// # Example
+///
+/// ```
+/// use chiplet_graph::{dot, gen};
+///
+/// let text = dot::to_dot(&gen::path(3), Some("p3"));
+/// assert!(text.starts_with("graph p3 {"));
+/// assert!(text.contains("0 -- 1;"));
+/// ```
+#[must_use]
+pub fn to_dot(g: &Graph, name: Option<&str>) -> String {
+    let mut out = String::new();
+    let graph_name = name.unwrap_or("g");
+    writeln!(out, "graph {graph_name} {{").expect("writing to String cannot fail");
+    for v in g.vertices() {
+        writeln!(out, "  {v};").expect("writing to String cannot fail");
+    }
+    for (u, v) in g.edges() {
+        writeln!(out, "  {u} -- {v};").expect("writing to String cannot fail");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders `g` as a plain adjacency list, one vertex per line:
+/// `vertex: n1 n2 ...`.
+#[must_use]
+pub fn to_adjacency_list(g: &Graph) -> String {
+    let mut out = String::new();
+    for v in g.vertices() {
+        write!(out, "{v}:").expect("writing to String cannot fail");
+        for &u in g.neighbors(v) {
+            write!(out, " {u}").expect("writing to String cannot fail");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn dot_contains_all_edges_once() {
+        let g = gen::cycle(4);
+        let text = to_dot(&g, None);
+        assert_eq!(text.matches(" -- ").count(), 4);
+        assert!(text.contains("graph g {"));
+    }
+
+    #[test]
+    fn adjacency_list_shape() {
+        let g = gen::star(2);
+        let text = to_adjacency_list(&g);
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines, vec!["0: 1 2", "1: 0", "2: 0"]);
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let g = crate::GraphBuilder::new(0).build();
+        assert_eq!(to_dot(&g, Some("e")), "graph e {\n}\n");
+        assert_eq!(to_adjacency_list(&g), "");
+    }
+}

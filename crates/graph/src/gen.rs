@@ -1,0 +1,158 @@
+//! Deterministic generators for canonical graphs.
+//!
+//! Used throughout the workspace for tests and for cross-checking the
+//! arrangement generators against known structures.
+
+use crate::csr::{Graph, GraphBuilder};
+
+/// Path graph `P_n`: vertices `0..n` with edges `(i, i+1)`.
+///
+/// # Example
+///
+/// ```
+/// let g = chiplet_graph::gen::path(4);
+/// assert_eq!(g.num_edges(), 3);
+/// ```
+#[must_use]
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(i - 1, i).expect("path edges are valid");
+    }
+    b.build()
+}
+
+/// Cycle graph `C_n` (`n ≥ 3`); for `n < 3` falls back to [`path`].
+#[must_use]
+pub fn cycle(n: usize) -> Graph {
+    if n < 3 {
+        return path(n);
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(i - 1, i).expect("cycle edges are valid");
+    }
+    b.add_edge(n - 1, 0).expect("closing edge is valid");
+    b.build()
+}
+
+/// Complete graph `K_n`.
+#[must_use]
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v).expect("complete-graph edges are valid");
+        }
+    }
+    b.build()
+}
+
+/// Star graph: vertex `0` connected to `leaves` leaf vertices `1..=leaves`.
+#[must_use]
+pub fn star(leaves: usize) -> Graph {
+    let mut b = GraphBuilder::new(leaves + 1);
+    for v in 1..=leaves {
+        b.add_edge(0, v).expect("star edges are valid");
+    }
+    b.build()
+}
+
+/// `rows × cols` 2D mesh; vertex `(r, c)` is numbered `r * cols + c`.
+///
+/// This is the graph of the paper's regular/semi-regular **grid (G)**
+/// arrangement.
+#[must_use]
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                b.add_edge(v, v + 1).expect("grid edges are valid");
+            }
+            if r + 1 < rows {
+                b.add_edge(v, v + cols).expect("grid edges are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)` random graph from an explicit RNG-free stream.
+///
+/// To stay deterministic without an RNG dependency in this crate, the
+/// caller supplies the randomness: `coin(u, v)` decides whether edge
+/// `{u, v}` (with `u < v`) exists.
+#[must_use]
+pub fn from_coin<F>(n: usize, mut coin: F) -> Graph
+where
+    F: FnMut(usize, usize) -> bool,
+{
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if coin(u, v) {
+                b.add_edge(u, v).expect("coin edges are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn path_properties() {
+        let g = path(6);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(metrics::diameter(&g), Some(5));
+        assert_eq!(metrics::degree_stats(&g).unwrap().min, 1);
+    }
+
+    #[test]
+    fn path_degenerate_cases() {
+        assert_eq!(path(0).num_vertices(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(cycle(2).num_edges(), 1); // falls back to path
+    }
+
+    #[test]
+    fn cycle_properties() {
+        let g = cycle(10);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(metrics::diameter(&g), Some(5));
+        let s = metrics::degree_stats(&g).unwrap();
+        assert_eq!((s.min, s.max), (2, 2));
+    }
+
+    #[test]
+    fn complete_properties() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(metrics::diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        // rows*(cols-1) + cols*(rows-1) edges.
+        let g = grid(3, 4);
+        assert_eq!(g.num_edges(), 3 * 3 + 4 * 2);
+        assert!(metrics::is_connected(&g));
+    }
+
+    #[test]
+    fn grid_degenerate() {
+        assert_eq!(grid(0, 5).num_vertices(), 0);
+        assert_eq!(grid(1, 5).num_edges(), 4); // a path
+    }
+
+    #[test]
+    fn from_coin_full_and_empty() {
+        assert_eq!(from_coin(5, |_, _| true).num_edges(), 10);
+        assert_eq!(from_coin(5, |_, _| false).num_edges(), 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests for the graph kernel.
+
+use chiplet_graph::cut::{Bipartition, Side};
+use chiplet_graph::{bfs, gen, metrics, Graph};
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph with 1..=24 vertices.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..=24).prop_flat_map(|n| {
+        let max_edges = n * (n.saturating_sub(1)) / 2;
+        proptest::collection::vec(proptest::bool::ANY, max_edges).prop_map(move |coins| {
+            let mut k = 0;
+            gen::from_coin(n, |_, _| {
+                let c = coins[k];
+                k += 1;
+                c
+            })
+        })
+    })
+}
+
+/// Strategy: a random *connected* simple graph (random graph plus a spanning
+/// path to guarantee connectivity).
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    arb_graph().prop_map(|g| {
+        let n = g.num_vertices();
+        let mut edges: Vec<_> = g.edges().collect();
+        for i in 1..n {
+            if !g.has_edge(i - 1, i) {
+                edges.push((i - 1, i));
+            }
+        }
+        Graph::from_edges(n, &edges).expect("augmented edges stay simple")
+    })
+}
+
+proptest! {
+    #[test]
+    fn bfs_distance_is_symmetric(g in arb_graph()) {
+        let n = g.num_vertices();
+        let m = bfs::all_pairs_distances(&g);
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(m[u * n + v], m[v * n + u]);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_satisfies_triangle_inequality(g in arb_connected_graph()) {
+        let n = g.num_vertices();
+        let m = bfs::all_pairs_distances(&g);
+        for u in 0..n {
+            for v in 0..n {
+                for w in 0..n {
+                    prop_assert!(m[u * n + v] <= m[u * n + w] + m[w * n + v]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_vertices_have_distance_one(g in arb_graph()) {
+        for (u, v) in g.edges() {
+            let d = bfs::distances(&g, u);
+            prop_assert_eq!(d[v], 1);
+        }
+    }
+
+    #[test]
+    fn diameter_equals_max_eccentricity(g in arb_connected_graph()) {
+        let ecc = metrics::eccentricities(&g).expect("connected");
+        let d = metrics::diameter(&g).expect("connected");
+        prop_assert_eq!(d, ecc.into_iter().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let total_degree: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total_degree, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn shortest_path_length_matches_distance(g in arb_connected_graph()) {
+        let n = g.num_vertices();
+        let target = n - 1;
+        let d = bfs::distances(&g, 0);
+        let p = bfs::shortest_path(&g, 0, target).expect("connected");
+        prop_assert_eq!(p.len() as u32, d[target] + 1);
+        for w in p.windows(2) {
+            prop_assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn cut_size_bounded_by_edge_count(g in arb_graph(), cut_point in 0usize..24) {
+        let n = g.num_vertices();
+        let split = cut_point % (n + 1);
+        let p = Bipartition::from_side_of(n, |v| if v < split { Side::A } else { Side::B });
+        prop_assert!(p.cut_size(&g) <= g.num_edges());
+    }
+
+    #[test]
+    fn flipping_all_vertices_preserves_cut(g in arb_graph()) {
+        let n = g.num_vertices();
+        let mut p = Bipartition::from_side_of(n, |v| if v % 2 == 0 { Side::A } else { Side::B });
+        let before = p.cut_size(&g);
+        for v in 0..n {
+            p.flip(v);
+        }
+        prop_assert_eq!(p.cut_size(&g), before);
+    }
+
+    #[test]
+    fn components_partition_vertices(g in arb_graph()) {
+        let labels = metrics::connected_components(&g);
+        prop_assert_eq!(labels.len(), g.num_vertices());
+        for (u, v) in g.edges() {
+            prop_assert_eq!(labels[u], labels[v]);
+        }
+    }
+
+    #[test]
+    fn connectivity_agrees_with_component_count(g in arb_graph()) {
+        let labels = metrics::connected_components(&g);
+        let count = labels.iter().copied().max().map_or(0, |m| m + 1);
+        prop_assert_eq!(metrics::is_connected(&g), count <= 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn removing_a_bridge_disconnects(g in arb_connected_graph()) {
+        use chiplet_graph::resilience::bridges;
+        for (u, v) in bridges(&g) {
+            let pruned: Vec<(usize, usize)> = g
+                .edges()
+                .filter(|&(a, b)| (a.min(b), a.max(b)) != (u, v))
+                .collect();
+            let h = Graph::from_edges(g.num_vertices(), &pruned).expect("still simple");
+            prop_assert!(!metrics::is_connected(&h), "bridge ({u},{v}) removal kept connectivity");
+        }
+    }
+
+    #[test]
+    fn removing_a_non_bridge_keeps_connectivity(g in arb_connected_graph()) {
+        use chiplet_graph::resilience::bridges;
+        let bridge_set: std::collections::HashSet<(usize, usize)> =
+            bridges(&g).into_iter().collect();
+        for (u, v) in g.edges() {
+            let key = (u.min(v), u.max(v));
+            if bridge_set.contains(&key) {
+                continue;
+            }
+            let pruned: Vec<(usize, usize)> = g
+                .edges()
+                .filter(|&(a, b)| (a.min(b), a.max(b)) != key)
+                .collect();
+            let h = Graph::from_edges(g.num_vertices(), &pruned).expect("still simple");
+            prop_assert!(metrics::is_connected(&h), "non-bridge ({u},{v}) removal disconnected");
+        }
+    }
+
+    #[test]
+    fn edge_connectivity_bounds(g in arb_connected_graph()) {
+        use chiplet_graph::resilience::{bridges, edge_connectivity};
+        let n = g.num_vertices();
+        if n < 2 {
+            return Ok(());
+        }
+        let k = edge_connectivity(&g).expect("n >= 2");
+        let min_degree = (0..n).map(|v| g.degree(v)).min().unwrap();
+        prop_assert!(k <= min_degree, "k {k} > min degree {min_degree}");
+        prop_assert!(k >= 1, "connected graph with zero connectivity");
+        // k == 1 exactly when a bridge exists.
+        prop_assert_eq!(k == 1, !bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn articulation_points_disconnect_when_removed(g in arb_connected_graph()) {
+        use chiplet_graph::resilience::articulation_points;
+        let n = g.num_vertices();
+        if n < 3 {
+            return Ok(());
+        }
+        for cut in articulation_points(&g) {
+            // Re-index the graph without `cut` and check connectivity.
+            let mapped: Vec<(usize, usize)> = g
+                .edges()
+                .filter(|&(a, b)| a != cut && b != cut)
+                .map(|(a, b)| {
+                    let shift = |x: usize| if x > cut { x - 1 } else { x };
+                    (shift(a), shift(b))
+                })
+                .collect();
+            let h = Graph::from_edges(n - 1, &mapped).expect("still simple");
+            prop_assert!(
+                !metrics::is_connected(&h),
+                "removing articulation point {cut} kept connectivity"
+            );
+        }
+    }
+}

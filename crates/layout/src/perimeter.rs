@@ -1,0 +1,179 @@
+//! Perimeter I/O-chiplet placement (Fig. 2 of the paper).
+//!
+//! The paper arranges the identical compute chiplets in the middle of the
+//! package and assumes I/O-driver (and other) chiplets sit on the perimeter,
+//! where package solder balls carry signals. Two helpers realise that:
+//!
+//! * [`surround_with_io`] adds a ring of I/O chiplets around the bounding
+//!   box of an existing placement,
+//! * [`fill_gaps_with_io`] tiles the uncovered notches *inside* the bounding
+//!   box (non-rectangular arrangements such as HexaMesh leave jagged edges
+//!   that I/O chiplets fill — Fig. 4 caption).
+
+use crate::placement::{LayoutError, PlacedChiplet, Placement};
+use crate::rect::Rect;
+
+/// Adds a ring of `io_w × io_h` I/O chiplets around the bounding box of
+/// `placement`, returning the augmented placement.
+///
+/// Tiles are laid left-to-right along the bottom and top edges and
+/// bottom-to-top along the left and right edges; the four corners are
+/// covered by the horizontal runs. Partial tiles at the ends are skipped
+/// (chiplets must keep their given size — uniformity constraint).
+///
+/// # Errors
+///
+/// [`LayoutError::EmptyRect`] if `io_w` or `io_h` is not positive. An empty
+/// input placement is returned unchanged.
+pub fn surround_with_io(
+    placement: &Placement,
+    io_w: i64,
+    io_h: i64,
+) -> Result<Placement, LayoutError> {
+    // Validate the tile size eagerly even if the placement is empty.
+    let _probe = Rect::new(0, 0, io_w, io_h)?;
+    let Some(bb) = placement.bounding_box() else {
+        return Ok(placement.clone());
+    };
+    let mut out = placement.clone();
+
+    // Bottom and top runs span the widened box so corners are filled.
+    let x0 = bb.x() - io_w;
+    let x1 = bb.right() + io_w;
+    let mut x = x0;
+    while x + io_w <= x1 {
+        for y in [bb.y() - io_h, bb.top()] {
+            let rect = Rect::new(x, y, io_w, io_h)?;
+            // Ignore tiles that collide (possible when the compute placement
+            // is non-convex and pokes past its nominal rows).
+            let _ = out.push(PlacedChiplet::io(rect));
+        }
+        x += io_w;
+    }
+    // Left and right runs cover the original box height only.
+    let mut y = bb.y();
+    while y + io_h <= bb.top() {
+        for x in [bb.x() - io_w, bb.right()] {
+            let rect = Rect::new(x, y, io_w, io_h)?;
+            let _ = out.push(PlacedChiplet::io(rect));
+        }
+        y += io_h;
+    }
+    Ok(out)
+}
+
+/// Tiles the uncovered area inside the bounding box of `placement` with
+/// `tile_w × tile_h` I/O chiplets aligned to a lattice anchored at the
+/// bounding-box origin. Tiles overlapping existing chiplets are skipped.
+///
+/// # Errors
+///
+/// [`LayoutError::EmptyRect`] if `tile_w` or `tile_h` is not positive.
+pub fn fill_gaps_with_io(
+    placement: &Placement,
+    tile_w: i64,
+    tile_h: i64,
+) -> Result<Placement, LayoutError> {
+    let _probe = Rect::new(0, 0, tile_w, tile_h)?;
+    let Some(bb) = placement.bounding_box() else {
+        return Ok(placement.clone());
+    };
+    let mut out = placement.clone();
+    let mut y = bb.y();
+    while y + tile_h <= bb.top() {
+        let mut x = bb.x();
+        while x + tile_w <= bb.right() {
+            let rect = Rect::new(x, y, tile_w, tile_h)?;
+            let _ = out.push(PlacedChiplet::io(rect)); // skips on overlap
+            x += tile_w;
+        }
+        y += tile_h;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::ChipletKind;
+
+    fn unit_grid(side: i64) -> Placement {
+        let mut p = Placement::new();
+        for y in 0..side {
+            for x in 0..side {
+                p.push(PlacedChiplet::compute(
+                    Rect::new(x, y, 1, 1).expect("unit rect"),
+                ))
+                .expect("no overlap in grid");
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn surround_square_grid() {
+        let p = unit_grid(2);
+        let ringed = surround_with_io(&p, 1, 1).unwrap();
+        // A 2x2 box ringed by 1x1 tiles: top/bottom runs of 4 each + sides of
+        // 2 each = 12 I/O chiplets.
+        let io = ringed.chiplets().iter().filter(|c| c.kind == ChipletKind::Io).count();
+        assert_eq!(io, 12);
+        assert_eq!(ringed.compute_count(), 4);
+    }
+
+    #[test]
+    fn surround_preserves_compute_graph() {
+        let p = unit_grid(3);
+        let before = p.compute_adjacency_graph();
+        let ringed = surround_with_io(&p, 1, 1).unwrap();
+        let after = ringed.compute_adjacency_graph();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn surround_empty_placement_is_noop() {
+        let p = Placement::new();
+        assert_eq!(surround_with_io(&p, 1, 1).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn surround_rejects_bad_tile() {
+        let p = unit_grid(1);
+        assert!(surround_with_io(&p, 0, 1).is_err());
+    }
+
+    #[test]
+    fn fill_gaps_in_notched_placement() {
+        // An L-shape: 3 unit chiplets in a 2x2 bounding box leaves one gap.
+        let mut p = Placement::new();
+        for (x, y) in [(0, 0), (1, 0), (0, 1)] {
+            p.push(PlacedChiplet::compute(Rect::new(x, y, 1, 1).unwrap())).unwrap();
+        }
+        let filled = fill_gaps_with_io(&p, 1, 1).unwrap();
+        assert_eq!(filled.len(), 4);
+        let io: Vec<_> = filled
+            .chiplets()
+            .iter()
+            .filter(|c| c.kind == ChipletKind::Io)
+            .collect();
+        assert_eq!(io.len(), 1);
+        assert_eq!((io[0].rect.x(), io[0].rect.y()), (1, 1));
+    }
+
+    #[test]
+    fn fill_gaps_full_placement_adds_nothing() {
+        let p = unit_grid(3);
+        let filled = fill_gaps_with_io(&p, 1, 1).unwrap();
+        assert_eq!(filled.len(), 9);
+    }
+
+    #[test]
+    fn filled_utilization_reaches_one() {
+        let mut p = Placement::new();
+        for (x, y) in [(0, 0), (2, 0)] {
+            p.push(PlacedChiplet::compute(Rect::new(x, y, 1, 1).unwrap())).unwrap();
+        }
+        let filled = fill_gaps_with_io(&p, 1, 1).unwrap();
+        assert!((filled.utilization() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! SVG rendering of placements, for inspecting floorplans (Fig. 2 / Fig. 4
+//! style top views).
+
+use std::fmt::Write as _;
+
+use crate::placement::{ChipletKind, Placement};
+
+/// Rendering options for [`to_svg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvgStyle {
+    /// Pixels per layout unit.
+    pub scale: f64,
+    /// Margin around the drawing, in pixels.
+    pub margin: f64,
+    /// Fill colour for compute chiplets.
+    pub compute_fill: &'static str,
+    /// Fill colour for I/O chiplets.
+    pub io_fill: &'static str,
+}
+
+impl Default for SvgStyle {
+    fn default() -> Self {
+        Self { scale: 12.0, margin: 8.0, compute_fill: "#4e79a7", io_fill: "#f28e2b" }
+    }
+}
+
+/// Renders a placement as a standalone SVG document (y axis flipped so the
+/// layout's y-up convention displays naturally).
+///
+/// # Example
+///
+/// ```
+/// use chiplet_layout::{svg, PlacedChiplet, Placement, Rect};
+///
+/// # fn main() -> Result<(), chiplet_layout::LayoutError> {
+/// let mut p = Placement::new();
+/// p.push(PlacedChiplet::compute(Rect::new(0, 0, 2, 2)?))?;
+/// let doc = svg::to_svg(&p, &svg::SvgStyle::default());
+/// assert!(doc.starts_with("<svg"));
+/// assert!(doc.contains("<rect"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_svg(placement: &Placement, style: &SvgStyle) -> String {
+    let Some(bb) = placement.bounding_box() else {
+        return String::from("<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"1\" height=\"1\"/>\n");
+    };
+    let width = bb.width() as f64 * style.scale + 2.0 * style.margin;
+    let height = bb.height() as f64 * style.scale + 2.0 * style.margin;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.2} {height:.2}\">"
+    )
+    .expect("writing to String cannot fail");
+    for chiplet in placement.chiplets() {
+        let r = chiplet.rect;
+        let x = (r.x() - bb.x()) as f64 * style.scale + style.margin;
+        // Flip y: SVG y grows downward.
+        let y = (bb.top() - r.top()) as f64 * style.scale + style.margin;
+        let w = r.width() as f64 * style.scale;
+        let h = r.height() as f64 * style.scale;
+        let fill = match chiplet.kind {
+            ChipletKind::Compute => style.compute_fill,
+            ChipletKind::Io => style.io_fill,
+        };
+        writeln!(
+            out,
+            "  <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" \
+             fill=\"{fill}\" stroke=\"#202020\" stroke-width=\"1\"/>"
+        )
+        .expect("writing to String cannot fail");
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PlacedChiplet, Rect};
+
+    fn rect(x: i64, y: i64, w: i64, h: i64) -> Rect {
+        Rect::new(x, y, w, h).expect("valid")
+    }
+
+    #[test]
+    fn empty_placement_renders_stub() {
+        let doc = to_svg(&Placement::new(), &SvgStyle::default());
+        assert!(doc.starts_with("<svg"));
+        assert!(!doc.contains("<rect"));
+    }
+
+    #[test]
+    fn one_rect_per_chiplet() {
+        let mut p = Placement::new();
+        p.push(PlacedChiplet::compute(rect(0, 0, 2, 2))).unwrap();
+        p.push(PlacedChiplet::io(rect(2, 0, 2, 2))).unwrap();
+        let doc = to_svg(&p, &SvgStyle::default());
+        assert_eq!(doc.matches("<rect").count(), 2);
+        assert!(doc.contains("#4e79a7"));
+        assert!(doc.contains("#f28e2b"));
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        // The chiplet at the layout's top must appear at the SVG's top
+        // (small y).
+        let style = SvgStyle { scale: 1.0, margin: 0.0, ..SvgStyle::default() };
+        let mut p = Placement::new();
+        p.push(PlacedChiplet::compute(rect(0, 0, 1, 1))).unwrap();
+        p.push(PlacedChiplet::compute(rect(0, 5, 1, 1))).unwrap();
+        let doc = to_svg(&p, &style);
+        let lines: Vec<&str> = doc.lines().filter(|l| l.contains("<rect")).collect();
+        // First pushed chiplet (layout bottom) has the larger SVG y.
+        let y_of = |line: &str| -> f64 {
+            let start = line.find("y=\"").expect("y attr") + 3;
+            let end = line[start..].find('"').expect("closing quote") + start;
+            line[start..end].parse().expect("numeric y")
+        };
+        assert!(y_of(lines[0]) > y_of(lines[1]));
+    }
+
+    #[test]
+    fn document_dimensions_scale() {
+        let style = SvgStyle { scale: 10.0, margin: 0.0, ..SvgStyle::default() };
+        let mut p = Placement::new();
+        p.push(PlacedChiplet::compute(rect(0, 0, 3, 2))).unwrap();
+        let doc = to_svg(&p, &style);
+        assert!(doc.contains("width=\"30\""));
+        assert!(doc.contains("height=\"20\""));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the geometric adjacency extraction: the §III-C
+//! rule (shared edge of positive length, never corners) must behave like a
+//! proper contact relation for any overlap-free set of rectangles.
+
+use chiplet_graph::metrics;
+use chiplet_layout::{PlacedChiplet, Placement, Rect};
+use proptest::prelude::*;
+
+/// A random overlap-free placement: distinct cells of a coarse lattice with
+/// random per-cell sizes that never poke out of the cell.
+fn arb_placement() -> impl Strategy<Value = Placement> {
+    proptest::collection::btree_set((0i64..8, 0i64..8), 1..20).prop_flat_map(|cells| {
+        let cells: Vec<(i64, i64)> = cells.into_iter().collect();
+        let n = cells.len();
+        // For each cell: full-size (fills the cell, may touch neighbours) or
+        // shrunken (leaves a gap).
+        proptest::collection::vec(proptest::bool::ANY, n).prop_map(move |full| {
+            let mut p = Placement::new();
+            for (i, &(cx, cy)) in cells.iter().enumerate() {
+                let size = if full[i] { 4 } else { 3 };
+                let rect = Rect::new(cx * 4, cy * 4, size, size).expect("positive");
+                p.push(PlacedChiplet::compute(rect)).expect("cells are disjoint");
+            }
+            p
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn adjacency_is_symmetric_and_irreflexive(p in arb_placement()) {
+        let chiplets = p.chiplets();
+        for (i, a) in chiplets.iter().enumerate() {
+            prop_assert!(!a.rect.is_adjacent(&a.rect), "self-adjacency");
+            for b in chiplets.iter().skip(i + 1) {
+                prop_assert_eq!(
+                    a.rect.is_adjacent(&b.rect),
+                    b.rect.is_adjacent(&a.rect)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_graph_is_planar_bounded(p in arb_placement()) {
+        // Contact graphs of interior-disjoint rectangles are planar.
+        let g = p.compute_adjacency_graph();
+        prop_assert!(metrics::satisfies_planar_edge_bound(&g));
+    }
+
+    #[test]
+    fn shared_edge_length_zero_iff_not_adjacent(p in arb_placement()) {
+        let chiplets = p.chiplets();
+        for (i, a) in chiplets.iter().enumerate() {
+            for b in chiplets.iter().skip(i + 1) {
+                let len = a.rect.shared_edge_length(&b.rect);
+                prop_assert_eq!(len > 0, a.rect.is_adjacent(&b.rect));
+                prop_assert!(len >= 0);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_rects_touch_along_axis(p in arb_placement()) {
+        // If adjacent, exactly one axis has coinciding edges and the other
+        // has positive interval overlap.
+        let chiplets = p.chiplets();
+        for (i, a) in chiplets.iter().enumerate() {
+            for b in chiplets.iter().skip(i + 1) {
+                if !a.rect.is_adjacent(&b.rect) {
+                    continue;
+                }
+                let (ra, rb) = (a.rect, b.rect);
+                let vertical_contact = ra.right() == rb.x() || rb.right() == ra.x();
+                let horizontal_contact = ra.top() == rb.y() || rb.top() == ra.y();
+                prop_assert!(vertical_contact ^ horizontal_contact);
+            }
+        }
+    }
+
+    #[test]
+    fn bounding_box_contains_everything(p in arb_placement()) {
+        let bb = p.bounding_box().expect("non-empty placement");
+        for c in p.chiplets() {
+            prop_assert!(c.rect.x() >= bb.x());
+            prop_assert!(c.rect.y() >= bb.y());
+            prop_assert!(c.rect.right() <= bb.right());
+            prop_assert!(c.rect.top() <= bb.top());
+        }
+        prop_assert!(p.total_area() <= bb.area());
+    }
+
+    #[test]
+    fn io_fill_never_disturbs_compute_graph(p in arb_placement()) {
+        let before = p.compute_adjacency_graph();
+        let filled =
+            chiplet_layout::perimeter::fill_gaps_with_io(&p, 4, 4).expect("valid tile");
+        prop_assert_eq!(filled.compute_adjacency_graph(), before.clone());
+        let ringed = chiplet_layout::perimeter::surround_with_io(&p, 4, 4).expect("valid tile");
+        prop_assert_eq!(ringed.compute_adjacency_graph(), before);
+    }
+}

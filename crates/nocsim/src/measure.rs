@@ -1,0 +1,387 @@
+//! Measurement methodology: zero-load latency and saturation throughput.
+//!
+//! Mirrors the BookSim2 workflow the paper uses (§VI-A): warm the network up,
+//! measure over a window, report average packet latency and accepted
+//! throughput; find the saturation point by searching over injection rates.
+
+use chiplet_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+use crate::flit::RouterId;
+use crate::routing::RoutingTables;
+use crate::sim::{LinkSpec, NetworkStats, SimConfig, SimError, Simulator};
+
+/// Warmup/measurement schedule and saturation criteria.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasureConfig {
+    /// Cycles simulated before the measurement window opens.
+    pub warmup_cycles: u64,
+    /// Cycles in the measurement window.
+    pub measure_cycles: u64,
+    /// A load point is *saturated* when accepted throughput falls below this
+    /// fraction of offered.
+    pub accepted_ratio_threshold: f64,
+    /// … or when average latency exceeds `latency_guard ×` zero-load latency.
+    pub latency_guard: f64,
+    /// Binary-search resolution on the injection rate (flits/cycle/endpoint).
+    pub rate_resolution: f64,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        Self {
+            warmup_cycles: 5_000,
+            measure_cycles: 10_000,
+            accepted_ratio_threshold: 0.95,
+            latency_guard: 4.0,
+            rate_resolution: 0.01,
+        }
+    }
+}
+
+impl MeasureConfig {
+    /// A faster schedule for tests and smoke runs (shorter windows, coarser
+    /// rate resolution).
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            warmup_cycles: 1_500,
+            measure_cycles: 3_000,
+            rate_resolution: 0.02,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of simulating one load point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadPointResult {
+    /// Offered load (flits/cycle/endpoint) this point was run at.
+    pub offered: f64,
+    /// Raw network statistics of the measurement window.
+    pub stats: NetworkStats,
+    /// Whether the point met a saturation criterion.
+    pub saturated: bool,
+    /// Whether the deadlock watchdog fired.
+    pub deadlock: bool,
+}
+
+/// Outcome of the saturation search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaturationResult {
+    /// Highest stable injection rate found (flits/cycle/endpoint).
+    pub rate: f64,
+    /// Accepted throughput at that rate (flits/cycle/endpoint). This is the
+    /// paper's *saturation throughput* relative to full global bandwidth.
+    pub throughput: f64,
+    /// Average packet latency at the stable point, if measured.
+    pub latency_at_saturation: Option<f64>,
+}
+
+/// Structural (contention-free) zero-load packet latency in cycles, averaged
+/// over all ordered endpoint pairs.
+///
+/// A packet between endpoints whose routers are `H` hops apart costs
+/// `inj + H·(router + link) + router + inj + (P − 1)` cycles: injection
+/// link, `H` router-and-link traversals, the destination router, the
+/// ejection link, and tail serialisation. Matches what the simulator
+/// measures at vanishing load (validated in the crate's tests).
+///
+/// # Errors
+///
+/// Propagates routing-table construction failures for empty or disconnected
+/// graphs.
+pub fn zero_load_latency(g: &Graph, config: &SimConfig) -> Result<f64, SimError> {
+    let tables = RoutingTables::new(g, config.routing)?;
+    let epr = config.endpoints_per_router;
+    let endpoints = g.num_vertices() * epr;
+    if endpoints < 2 {
+        return Err(SimError::InvalidConfig("need at least two endpoints"));
+    }
+    let per_hop = (config.router_latency + config.link_latency) as f64;
+    let constant = 2.0 * config.injection_latency as f64
+        + config.router_latency as f64
+        + (config.packet_size as f64 - 1.0);
+    // Average router-to-router hop distance over ordered endpoint pairs.
+    let mut total_hops = 0u64;
+    for src in 0..endpoints {
+        for dst in 0..endpoints {
+            if src == dst {
+                continue;
+            }
+            total_hops += u64::from(tables.distance(src / epr, dst / epr));
+        }
+    }
+    let pairs = (endpoints * (endpoints - 1)) as f64;
+    let avg_hops = total_hops as f64 / pairs;
+    Ok(constant + avg_hops * per_hop)
+}
+
+/// Zero-load latency measured by simulation at a vanishing injection rate.
+///
+/// The analytic [`zero_load_latency`] assumes every link costs
+/// `config.link_latency`; for heterogeneous topologies (per-link specs) the
+/// structural latency depends on which physical links the minimal routes
+/// take, so we measure it instead: a long window at 1% load.
+///
+/// # Errors
+///
+/// Propagates simulator construction failures, and returns
+/// [`SimError::InvalidConfig`] if the window measured no packets.
+pub fn simulated_zero_load_latency(
+    g: &Graph,
+    config: &SimConfig,
+    spec: impl Fn(RouterId, RouterId) -> LinkSpec,
+) -> Result<f64, SimError> {
+    let probe = SimConfig { injection_rate: 0.01, ..*config };
+    let mut sim = Simulator::with_link_specs(g, probe, spec)?;
+    sim.run(2_000);
+    sim.open_measurement_window();
+    sim.run(30_000);
+    sim.stats()
+        .avg_packet_latency
+        .ok_or(SimError::InvalidConfig("zero-load probe measured no packets"))
+}
+
+/// Simulates one load point: warmup, measure, classify.
+///
+/// # Errors
+///
+/// Propagates simulator construction failures.
+pub fn run_load_point(
+    g: &Graph,
+    config: &SimConfig,
+    schedule: &MeasureConfig,
+) -> Result<LoadPointResult, SimError> {
+    let zero_load = zero_load_latency(g, config)?;
+    let latency = config.link_latency;
+    run_load_point_with_specs(g, config, schedule, |_, _| LinkSpec::uniform(latency), zero_load)
+}
+
+/// [`run_load_point`] over heterogeneous links. `zero_load` supplies the
+/// latency baseline for the saturation guard (use
+/// [`simulated_zero_load_latency`] or an analytic value).
+///
+/// # Errors
+///
+/// Propagates simulator construction failures.
+pub fn run_load_point_with_specs(
+    g: &Graph,
+    config: &SimConfig,
+    schedule: &MeasureConfig,
+    spec: impl Fn(RouterId, RouterId) -> LinkSpec,
+    zero_load: f64,
+) -> Result<LoadPointResult, SimError> {
+    let mut sim = Simulator::with_link_specs(g, *config, spec)?;
+    sim.run(schedule.warmup_cycles);
+    sim.open_measurement_window();
+    sim.run(schedule.measure_cycles);
+    let stats = sim.stats();
+    let deadlock = sim.deadlock_suspected();
+
+    let accepted_ratio = if stats.offered_flits_per_cycle_per_endpoint > 0.0 {
+        stats.accepted_flits_per_cycle_per_endpoint / stats.offered_flits_per_cycle_per_endpoint
+    } else {
+        1.0
+    };
+    let latency_blown = match stats.avg_packet_latency {
+        Some(l) => l > schedule.latency_guard * zero_load,
+        // Offered load but nothing measured: the network is not delivering.
+        None => stats.offered_packets > 0,
+    };
+    let saturated =
+        deadlock || accepted_ratio < schedule.accepted_ratio_threshold || latency_blown;
+    Ok(LoadPointResult { offered: config.injection_rate, stats, saturated, deadlock })
+}
+
+/// Finds the saturation throughput by bisecting the injection rate.
+///
+/// Returns the highest stable rate (to within
+/// [`MeasureConfig::rate_resolution`]) and the accepted throughput there.
+///
+/// # Errors
+///
+/// Propagates simulator construction failures.
+pub fn saturation_search(
+    g: &Graph,
+    base: &SimConfig,
+    schedule: &MeasureConfig,
+) -> Result<SaturationResult, SimError> {
+    let zero_load = zero_load_latency(g, base)?;
+    let latency = base.link_latency;
+    saturation_search_with_specs(
+        g,
+        base,
+        schedule,
+        |_, _| LinkSpec::uniform(latency),
+        zero_load,
+    )
+}
+
+/// [`saturation_search`] over heterogeneous links; `zero_load` is the
+/// latency-guard baseline, as in [`run_load_point_with_specs`].
+///
+/// # Errors
+///
+/// Propagates simulator construction failures.
+pub fn saturation_search_with_specs(
+    g: &Graph,
+    base: &SimConfig,
+    schedule: &MeasureConfig,
+    spec: impl Fn(RouterId, RouterId) -> LinkSpec + Copy,
+    zero_load: f64,
+) -> Result<SaturationResult, SimError> {
+    let at = |rate: f64| -> Result<LoadPointResult, SimError> {
+        let config = SimConfig { injection_rate: rate, ..*base };
+        run_load_point_with_specs(g, &config, schedule, spec, zero_load)
+    };
+
+    // The full-capacity point first: some tiny networks never saturate.
+    let top = at(1.0)?;
+    if !top.saturated {
+        return Ok(SaturationResult {
+            rate: 1.0,
+            throughput: top.stats.accepted_flits_per_cycle_per_endpoint,
+            latency_at_saturation: top.stats.avg_packet_latency,
+        });
+    }
+
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    let mut best: Option<LoadPointResult> = None;
+    while hi - lo > schedule.rate_resolution {
+        let mid = 0.5 * (lo + hi);
+        let point = at(mid)?;
+        if point.saturated {
+            hi = mid;
+        } else {
+            lo = mid;
+            best = Some(point);
+        }
+    }
+    match best {
+        Some(point) => Ok(SaturationResult {
+            rate: point.offered,
+            throughput: point.stats.accepted_flits_per_cycle_per_endpoint,
+            latency_at_saturation: point.stats.avg_packet_latency,
+        }),
+        // Saturated even at the smallest probed rate; report the boundary.
+        None => {
+            let point = at(lo.max(schedule.rate_resolution / 2.0))?;
+            Ok(SaturationResult {
+                rate: point.offered,
+                throughput: point.stats.accepted_flits_per_cycle_per_endpoint,
+                latency_at_saturation: point.stats.avg_packet_latency,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_graph::gen;
+
+    fn config(rate: f64) -> SimConfig {
+        SimConfig {
+            vcs: 4,
+            buffer_depth: 4,
+            injection_rate: rate,
+            seed: 7,
+            ..SimConfig::paper_defaults()
+        }
+    }
+
+    #[test]
+    fn zero_load_matches_low_rate_simulation() {
+        let g = gen::grid(2, 2);
+        let cfg = config(0.01);
+        let analytic = zero_load_latency(&g, &cfg).unwrap();
+        let mut sim = Simulator::new(&g, cfg).unwrap();
+        sim.run(1_000);
+        sim.open_measurement_window();
+        sim.run(30_000);
+        let measured = sim.stats().avg_packet_latency.expect("packets measured");
+        let rel_err = (measured - analytic).abs() / analytic;
+        assert!(
+            rel_err < 0.08,
+            "analytic {analytic:.1} vs measured {measured:.1} (err {rel_err:.3})"
+        );
+    }
+
+    #[test]
+    fn zero_load_errors_on_tiny_network() {
+        let g = chiplet_graph::GraphBuilder::new(1).build();
+        let cfg = SimConfig { endpoints_per_router: 1, ..config(0.1) };
+        assert!(zero_load_latency(&g, &cfg).is_err());
+    }
+
+    #[test]
+    fn light_load_is_stable() {
+        let g = gen::grid(3, 3);
+        let point = run_load_point(&g, &config(0.03), &MeasureConfig::quick()).unwrap();
+        assert!(!point.saturated, "3% load must not saturate a 3x3 grid");
+        assert!(!point.deadlock);
+    }
+
+    #[test]
+    fn absurd_load_saturates() {
+        let g = gen::grid(3, 3);
+        let point = run_load_point(&g, &config(1.0), &MeasureConfig::quick()).unwrap();
+        assert!(point.saturated, "100% load must saturate");
+    }
+
+    #[test]
+    fn simulated_zero_load_matches_analytic_for_uniform_links() {
+        let g = gen::grid(2, 2);
+        let cfg = config(0.01);
+        let analytic = zero_load_latency(&g, &cfg).unwrap();
+        let latency = cfg.link_latency;
+        let simulated =
+            simulated_zero_load_latency(&g, &cfg, |_, _| LinkSpec::uniform(latency)).unwrap();
+        let rel = (simulated - analytic).abs() / analytic;
+        assert!(rel < 0.08, "analytic {analytic:.1} vs simulated {simulated:.1}");
+    }
+
+    #[test]
+    fn heterogeneous_saturation_search_runs() {
+        // A 2x2 grid where one link direction is serialized: the search
+        // completes and finds a lower knee than the uniform network.
+        let g = gen::grid(2, 2);
+        let base = config(0.0);
+        let spec = |u: usize, v: usize| {
+            if (u, v) == (0, 1) || (u, v) == (1, 0) {
+                LinkSpec { latency: 27, interval: 4 }
+            } else {
+                LinkSpec::uniform(27)
+            }
+        };
+        let zero_load = simulated_zero_load_latency(&g, &base, spec).unwrap();
+        let hetero =
+            saturation_search_with_specs(&g, &base, &MeasureConfig::quick(), spec, zero_load)
+                .unwrap();
+        let uniform = saturation_search(&g, &base, &MeasureConfig::quick()).unwrap();
+        assert!(hetero.rate > 0.0);
+        assert!(
+            hetero.throughput <= uniform.throughput + 0.02,
+            "hetero {} vs uniform {}",
+            hetero.throughput,
+            uniform.throughput
+        );
+    }
+
+    #[test]
+    fn saturation_search_brackets_the_knee() {
+        let g = gen::grid(3, 3);
+        let result = saturation_search(&g, &config(0.0), &MeasureConfig::quick()).unwrap();
+        assert!(result.rate > 0.0 && result.rate < 1.0, "rate {}", result.rate);
+        assert!(result.throughput > 0.0);
+        // Accepted throughput at the stable point tracks the offered rate.
+        assert!(
+            result.throughput >= 0.8 * result.rate,
+            "throughput {} vs rate {}",
+            result.throughput,
+            result.rate
+        );
+    }
+}

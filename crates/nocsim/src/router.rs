@@ -1,0 +1,638 @@
+//! Input-queued virtual-channel router.
+//!
+//! Microarchitecture (per §VI-A of the paper, matching the BookSim2
+//! configuration used there):
+//!
+//! * per-input-port virtual channels with fixed-depth flit buffers,
+//! * credit-based flow control toward every downstream buffer,
+//! * per-packet VC allocation (wormhole switching: the head flit routes and
+//!   allocates; body flits inherit the allocation; the tail releases it),
+//! * separable input-first switch allocation with round-robin arbiters,
+//! * a configurable pipeline latency applied to every traversing flit.
+//!
+//! The router never drops flits; credits make buffer overflow impossible and
+//! an assertion enforces it.
+
+use crate::channel::Credit;
+use crate::flit::{Flit, RouterId, VcId};
+use crate::routing::{RoutingKind, RoutingTables};
+
+/// Static router parameters shared by the whole network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterParams {
+    /// Virtual channels per port.
+    pub vcs: usize,
+    /// Buffer depth (flits) per virtual channel.
+    pub buffer_depth: usize,
+    /// Pipeline latency in cycles added to every flit that traverses the
+    /// router (3 in the paper's configuration).
+    pub pipeline_latency: u64,
+}
+
+/// Where an output port leads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortTarget {
+    /// A link toward another router.
+    Router(RouterId),
+    /// An ejection link toward a locally attached endpoint.
+    Endpoint(usize),
+}
+
+/// A flit leaving the router this cycle through `out_port`.
+#[derive(Debug, Clone, Copy)]
+pub struct SentFlit {
+    /// Output port the flit leaves through.
+    pub out_port: usize,
+    /// The flit itself (with its next-hop VC already assigned).
+    pub flit: Flit,
+}
+
+/// A credit to return upstream through `in_port`.
+#[derive(Debug, Clone, Copy)]
+pub struct SentCredit {
+    /// Input port whose upstream sender receives the credit.
+    pub in_port: usize,
+    /// The credit (carries the freed VC).
+    pub credit: Credit,
+}
+
+/// Per-input-VC state.
+#[derive(Debug, Clone)]
+struct InputVc {
+    buffer: std::collections::VecDeque<Flit>,
+    /// Output (port, vc) held by the packet currently at the head.
+    bound: Option<(usize, VcId)>,
+    /// The bound packet committed to the escape network at this hop.
+    escape_committed: bool,
+}
+
+impl InputVc {
+    fn new() -> Self {
+        Self { buffer: std::collections::VecDeque::new(), bound: None, escape_committed: false }
+    }
+}
+
+/// Per-output-VC state.
+#[derive(Debug, Clone)]
+struct OutputVc {
+    credits: usize,
+    /// Input (port, vc) currently holding this output VC, if any.
+    owner: Option<(usize, VcId)>,
+}
+
+/// Routing context the simulator passes into the allocation phases.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteContext<'a> {
+    /// Shared routing tables.
+    pub tables: &'a RoutingTables,
+    /// Endpoints attached to every router.
+    pub endpoints_per_router: usize,
+}
+
+impl RouteContext<'_> {
+    /// Router that hosts endpoint `e`.
+    #[must_use]
+    pub fn router_of(&self, e: usize) -> RouterId {
+        e / self.endpoints_per_router
+    }
+}
+
+/// An input-queued VC router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    id: RouterId,
+    params: RouterParams,
+    num_net_ports: usize,
+    num_ports: usize,
+    inputs: Vec<Vec<InputVc>>,
+    outputs: Vec<Vec<OutputVc>>,
+    /// Round-robin pointers: VA start offset, per-input-port SA VC pointer,
+    /// per-output-port SA input pointer.
+    va_rr: usize,
+    sa_vc_rr: Vec<usize>,
+    sa_in_rr: Vec<usize>,
+}
+
+impl Router {
+    /// Creates a router with `num_net_ports` network ports followed by
+    /// `num_endpoint_ports` injection/ejection ports.
+    ///
+    /// Output credits start at `buffer_depth` for every output VC (paired
+    /// buffers are sized identically network-wide).
+    #[must_use]
+    pub fn new(
+        id: RouterId,
+        num_net_ports: usize,
+        num_endpoint_ports: usize,
+        params: RouterParams,
+    ) -> Self {
+        let num_ports = num_net_ports + num_endpoint_ports;
+        let inputs = (0..num_ports)
+            .map(|_| (0..params.vcs).map(|_| InputVc::new()).collect())
+            .collect();
+        let outputs = (0..num_ports)
+            .map(|_| {
+                (0..params.vcs)
+                    .map(|_| OutputVc { credits: params.buffer_depth, owner: None })
+                    .collect()
+            })
+            .collect();
+        Self {
+            id,
+            params,
+            num_net_ports,
+            num_ports,
+            inputs,
+            outputs,
+            va_rr: 0,
+            sa_vc_rr: vec![0; num_ports],
+            sa_in_rr: vec![0; num_ports],
+        }
+    }
+
+    /// Router id.
+    #[must_use]
+    pub fn id(&self) -> RouterId {
+        self.id
+    }
+
+    /// Number of network (router-to-router) ports.
+    #[must_use]
+    pub fn num_net_ports(&self) -> usize {
+        self.num_net_ports
+    }
+
+    /// Total ports (network + endpoint).
+    #[must_use]
+    pub fn num_ports(&self) -> usize {
+        self.num_ports
+    }
+
+    /// Ejection/injection port index for local endpoint slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not a valid local endpoint slot.
+    #[must_use]
+    pub fn endpoint_port(&self, slot: usize) -> usize {
+        let port = self.num_net_ports + slot;
+        assert!(port < self.num_ports, "endpoint slot {slot} out of range");
+        port
+    }
+
+    /// Accepts a flit arriving on `in_port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC buffer would overflow — credits upstream must make
+    /// this impossible, so an overflow is a flow-control bug.
+    pub fn receive_flit(&mut self, in_port: usize, flit: Flit) {
+        let vc = &mut self.inputs[in_port][flit.vc];
+        assert!(
+            vc.buffer.len() < self.params.buffer_depth,
+            "router {} port {in_port} vc {} buffer overflow",
+            self.id,
+            flit.vc
+        );
+        vc.buffer.push_back(flit);
+    }
+
+    /// Accepts a credit for `out_port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if credits would exceed the downstream buffer depth.
+    pub fn receive_credit(&mut self, out_port: usize, credit: Credit) {
+        let out = &mut self.outputs[out_port][credit.vc];
+        out.credits += 1;
+        assert!(
+            out.credits <= self.params.buffer_depth,
+            "router {} port {out_port} vc {} credit overflow",
+            self.id,
+            credit.vc
+        );
+    }
+
+    /// Virtual-channel allocation: every input VC whose head flit is a
+    /// packet head without an output binding tries to claim an output VC.
+    pub fn allocate_vcs(&mut self, ctx: RouteContext<'_>) {
+        let total_vcs = self.num_ports * self.params.vcs;
+        let start = self.va_rr;
+        self.va_rr = (self.va_rr + 1) % total_vcs.max(1);
+        for k in 0..total_vcs {
+            let idx = (start + k) % total_vcs;
+            let (port, vc) = (idx / self.params.vcs, idx % self.params.vcs);
+            if self.inputs[port][vc].bound.is_some() {
+                continue;
+            }
+            let Some(head) = self.inputs[port][vc].buffer.front().copied() else {
+                continue;
+            };
+            if !head.is_head {
+                // Body flit without binding: its packet's allocation was
+                // released by a preceding tail only when the buffer held the
+                // full packet; this state is unreachable.
+                unreachable!("body flit at head of an unbound VC");
+            }
+            if let Some((out_port, out_vc, escape)) = self.select_output(ctx, &head) {
+                self.outputs[out_port][out_vc].owner = Some((port, vc));
+                self.inputs[port][vc].bound = Some((out_port, out_vc));
+                self.inputs[port][vc].escape_committed = escape;
+            }
+        }
+    }
+
+    /// Chooses a free output (port, vc) for a head flit, or `None` to stall.
+    /// Returns `(port, vc, escape_committed)`.
+    fn select_output(&self, ctx: RouteContext<'_>, head: &Flit) -> Option<(usize, VcId, bool)> {
+        let dest_router = ctx.router_of(head.dest);
+        // Ejection at the destination router.
+        if dest_router == self.id {
+            let slot = head.dest % ctx.endpoints_per_router;
+            let port = self.num_net_ports + slot;
+            let vc = self.best_free_vc(port, 0)?;
+            return Some((port, vc, false));
+        }
+        let escape_port = ctx.tables.escape_port(self.id, dest_router);
+        match (ctx.tables.kind(), head.escape) {
+            // Already committed to the escape network: stay on it (VC 0).
+            (RoutingKind::MinimalAdaptiveEscape, true) => {
+                self.free_output(escape_port, 0).then_some((escape_port, 0, true))
+            }
+            (RoutingKind::MinimalAdaptiveEscape, false) => {
+                // Adaptive: any minimal port, VCs 1.., most credits first.
+                let mut best: Option<(usize, VcId, usize)> = None;
+                for &p in ctx.tables.minimal_ports(self.id, dest_router) {
+                    let port = usize::from(p);
+                    if let Some(vc) = self.best_free_vc(port, 1) {
+                        let credits = self.outputs[port][vc].credits;
+                        if best.is_none_or(|(_, _, c)| credits > c) {
+                            best = Some((port, vc, credits));
+                        }
+                    }
+                }
+                if let Some((port, vc, _)) = best {
+                    return Some((port, vc, false));
+                }
+                // No adaptive VC free: commit to escape if possible.
+                self.free_output(escape_port, 0).then_some((escape_port, 0, true))
+            }
+            (RoutingKind::MinimalDeterministic, _) => {
+                let port =
+                    usize::from(*ctx.tables.minimal_ports(self.id, dest_router).first()?);
+                let vc = self.best_free_vc(port, 0)?;
+                Some((port, vc, false))
+            }
+            (RoutingKind::UpDownOnly, _) => {
+                let vc = self.best_free_vc(escape_port, 0)?;
+                Some((escape_port, vc, false))
+            }
+        }
+    }
+
+    /// Allocatable output VC on `port` with the most credits, searching
+    /// VCs `min_vc..`.
+    ///
+    /// An output VC is allocatable only when it is unowned **and** holds at
+    /// least one credit. Binding a header to a channel whose downstream
+    /// buffer is full would anchor the packet to a channel it cannot enter
+    /// while `bound.is_some()` suppresses any further allocation — the
+    /// header would never again reach the decision point where the escape
+    /// VC is offered, voiding Duato's waiting condition. The conservation
+    /// property tests caught exactly that: a 4-packet credit cycle over
+    /// zero-credit adaptive bindings, deadlocked despite the escape layer.
+    fn best_free_vc(&self, port: usize, min_vc: usize) -> Option<VcId> {
+        (min_vc..self.params.vcs)
+            .filter(|&v| {
+                let out = &self.outputs[port][v];
+                out.owner.is_none() && out.credits > 0
+            })
+            .max_by_key(|&v| self.outputs[port][v].credits)
+    }
+
+    fn free_output(&self, port: usize, vc: VcId) -> bool {
+        let out = &self.outputs[port][vc];
+        out.owner.is_none() && out.credits > 0
+    }
+
+    /// Diagnostic snapshot of every non-empty input VC: `(in_port, vc,
+    /// buffered_flits, bound_output, escape_committed, head_dest)`. Used by
+    /// [`crate::Simulator::blocked_packet_report`] to explain stalls.
+    #[must_use]
+    pub fn occupancy_report(
+        &self,
+    ) -> Vec<(usize, VcId, usize, Option<(usize, VcId)>, bool, Option<usize>)> {
+        let mut out = Vec::new();
+        for (port, vcs) in self.inputs.iter().enumerate() {
+            for (vc, state) in vcs.iter().enumerate() {
+                if state.buffer.is_empty() && state.bound.is_none() {
+                    continue;
+                }
+                out.push((
+                    port,
+                    vc,
+                    state.buffer.len(),
+                    state.bound,
+                    state.escape_committed,
+                    state.buffer.front().map(|f| f.dest),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Diagnostic snapshot of owned output VCs: `(out_port, vc, credits,
+    /// owner_input)`.
+    #[must_use]
+    pub fn output_report(&self) -> Vec<(usize, VcId, usize, (usize, VcId))> {
+        let mut out = Vec::new();
+        for (port, vcs) in self.outputs.iter().enumerate() {
+            for (vc, state) in vcs.iter().enumerate() {
+                if let Some(owner) = state.owner {
+                    out.push((port, vc, state.credits, owner));
+                }
+            }
+        }
+        out
+    }
+
+    /// Switch allocation and traversal: up to one flit leaves per output
+    /// port (and per input port) per cycle. Returns the flits sent and the
+    /// credits to return upstream.
+    #[allow(clippy::needless_range_loop)] // port ids index several parallel tables
+    pub fn allocate_switch(&mut self) -> (Vec<SentFlit>, Vec<SentCredit>) {
+        // Phase 1 (input arbitration): each input port nominates one VC.
+        let mut nominee: Vec<Option<VcId>> = vec![None; self.num_ports];
+        for port in 0..self.num_ports {
+            let start = self.sa_vc_rr[port];
+            for k in 0..self.params.vcs {
+                let vc = (start + k) % self.params.vcs;
+                let ivc = &self.inputs[port][vc];
+                let Some((out_port, out_vc)) = ivc.bound else { continue };
+                if ivc.buffer.is_empty() {
+                    continue;
+                }
+                if self.outputs[out_port][out_vc].credits == 0 {
+                    continue;
+                }
+                nominee[port] = Some(vc);
+                break;
+            }
+        }
+
+        // Phase 2 (output arbitration): each output port grants one input.
+        let mut granted_input: Vec<Option<usize>> = vec![None; self.num_ports];
+        for out_port in 0..self.num_ports {
+            let start = self.sa_in_rr[out_port];
+            for k in 0..self.num_ports {
+                let in_port = (start + k) % self.num_ports;
+                let Some(vc) = nominee[in_port] else { continue };
+                let (bound_port, _) =
+                    self.inputs[in_port][vc].bound.expect("nominated VC is bound");
+                if bound_port == out_port && granted_input[out_port].is_none() {
+                    granted_input[out_port] = Some(in_port);
+                    self.sa_in_rr[out_port] = (in_port + 1) % self.num_ports;
+                    break;
+                }
+            }
+        }
+
+        // Traversal: move the granted flits.
+        let mut sent = Vec::new();
+        let mut credits = Vec::new();
+        for out_port in 0..self.num_ports {
+            let Some(in_port) = granted_input[out_port] else { continue };
+            let vc = nominee[in_port].expect("granted input has a nominee");
+            let (bound_port, bound_vc) =
+                self.inputs[in_port][vc].bound.expect("granted VC is bound");
+            debug_assert_eq!(bound_port, out_port);
+            let escape = self.inputs[in_port][vc].escape_committed;
+            let mut flit =
+                self.inputs[in_port][vc].buffer.pop_front().expect("granted VC non-empty");
+            self.sa_vc_rr[in_port] = (vc + 1) % self.params.vcs;
+
+            // Rewrite per-hop flit fields.
+            let in_vc = flit.vc;
+            flit.vc = bound_vc;
+            flit.escape = escape;
+            self.outputs[out_port][bound_vc].credits -= 1;
+            if flit.is_tail {
+                self.outputs[out_port][bound_vc].owner = None;
+                self.inputs[in_port][vc].bound = None;
+                self.inputs[in_port][vc].escape_committed = false;
+            }
+            sent.push(SentFlit { out_port, flit });
+            credits.push(SentCredit { in_port, credit: Credit { vc: in_vc } });
+        }
+        (sent, credits)
+    }
+
+    /// `true` if no flit is buffered in any input VC.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.inputs.iter().all(|port| port.iter().all(|vc| vc.buffer.is_empty()))
+    }
+
+    /// Total flits currently buffered.
+    #[must_use]
+    pub fn buffered_flits(&self) -> usize {
+        self.inputs
+            .iter()
+            .map(|port| port.iter().map(|vc| vc.buffer.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Pipeline latency applied to traversing flits.
+    #[must_use]
+    pub fn pipeline_latency(&self) -> u64 {
+        self.params.pipeline_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_graph::gen;
+
+    fn params() -> RouterParams {
+        RouterParams { vcs: 2, buffer_depth: 4, pipeline_latency: 3 }
+    }
+
+    fn tables(g: &chiplet_graph::Graph, kind: RoutingKind) -> RoutingTables {
+        RoutingTables::new(g, kind).expect("valid topology")
+    }
+
+    fn head_flit(dest: usize, vc: usize) -> Flit {
+        Flit {
+            packet: 1,
+            index: 0,
+            is_head: true,
+            is_tail: true,
+            dest,
+            created_at: 0,
+            vc,
+            escape: false,
+        }
+    }
+
+    #[test]
+    fn single_flit_packet_traverses() {
+        // Path 0-1-2; router 1 has 2 net ports + 1 endpoint port.
+        let g = gen::path(3);
+        let t = tables(&g, RoutingKind::MinimalDeterministic);
+        let ctx = RouteContext { tables: &t, endpoints_per_router: 1 };
+        let mut r = Router::new(1, 2, 1, params());
+
+        // Flit destined for endpoint 2 (router 2) arrives on port 0 (from 0).
+        r.receive_flit(0, head_flit(2, 0));
+        r.allocate_vcs(ctx);
+        let (sent, credits) = r.allocate_switch();
+        assert_eq!(sent.len(), 1);
+        // Port 1 is the neighbour list position of router 2 in neighbors(1).
+        assert_eq!(sent[0].out_port, 1);
+        assert_eq!(credits.len(), 1);
+        assert_eq!(credits[0].in_port, 0);
+        assert!(r.is_drained());
+    }
+
+    #[test]
+    fn ejection_at_destination_router() {
+        let g = gen::path(3);
+        let t = tables(&g, RoutingKind::MinimalDeterministic);
+        let ctx = RouteContext { tables: &t, endpoints_per_router: 2 };
+        let mut r = Router::new(1, 2, 2, params());
+
+        // Endpoint 3 = router 1, slot 1 -> ejection port 2 + 1 = 3.
+        r.receive_flit(0, head_flit(3, 1));
+        r.allocate_vcs(ctx);
+        let (sent, _) = r.allocate_switch();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].out_port, 3);
+    }
+
+    #[test]
+    fn credits_limit_forwarding() {
+        let g = gen::path(3);
+        let t = tables(&g, RoutingKind::MinimalDeterministic);
+        let ctx = RouteContext { tables: &t, endpoints_per_router: 1 };
+        let mut r = Router::new(1, 2, 1, params());
+
+        // Drain all credits of the output VCs of port 1.
+        for _ in 0..4 {
+            r.receive_flit(0, head_flit(2, 0));
+            r.allocate_vcs(ctx);
+            let _ = r.allocate_switch();
+        }
+        // VC 0 and VC 1 of output port 1 now hold 4 fewer credits combined;
+        // keep pushing until nothing can move.
+        let mut total_sent = 0;
+        for _ in 0..8 {
+            if r.inputs[0][0].buffer.len() < 4 {
+                r.receive_flit(0, head_flit(2, 0));
+            }
+            r.allocate_vcs(ctx);
+            total_sent += r.allocate_switch().0.len();
+        }
+        // 2 VCs x 4 credits = 8 flits max through port 1 without credit
+        // returns; 4 were sent in the first loop.
+        assert_eq!(total_sent, 4);
+        // Returning credits unblocks (the head may be bound to either VC, so
+        // return one credit per VC).
+        r.receive_credit(1, Credit { vc: 0 });
+        r.receive_credit(1, Credit { vc: 1 });
+        r.allocate_vcs(ctx);
+        assert_eq!(r.allocate_switch().0.len(), 1);
+    }
+
+    #[test]
+    fn one_flit_per_output_port_per_cycle() {
+        // Two inputs competing for the same output.
+        let g = gen::path(3);
+        let t = tables(&g, RoutingKind::MinimalDeterministic);
+        let ctx = RouteContext { tables: &t, endpoints_per_router: 1 };
+        let mut r = Router::new(1, 2, 1, params());
+        // Two different packets on different VCs of port 0, same dest.
+        let mut f0 = head_flit(2, 0);
+        f0.packet = 10;
+        let mut f1 = head_flit(2, 1);
+        f1.packet = 11;
+        r.receive_flit(0, f0);
+        r.receive_flit(0, f1);
+        r.allocate_vcs(ctx);
+        let (sent, _) = r.allocate_switch();
+        assert_eq!(sent.len(), 1, "single input port sends one flit per cycle");
+        r.allocate_vcs(ctx);
+        let (sent, _) = r.allocate_switch();
+        assert_eq!(sent.len(), 1);
+    }
+
+    #[test]
+    fn tail_releases_output_vc() {
+        let g = gen::path(2);
+        let t = tables(&g, RoutingKind::MinimalDeterministic);
+        let ctx = RouteContext { tables: &t, endpoints_per_router: 1 };
+        let mut r = Router::new(0, 1, 1, params());
+
+        // Two-flit packet destined to endpoint 1 (router 1).
+        let mut head = head_flit(1, 0);
+        head.is_tail = false;
+        let mut tail = head;
+        tail.index = 1;
+        tail.is_head = false;
+        tail.is_tail = true;
+
+        r.receive_flit(1, head); // arrives from local endpoint port
+        r.allocate_vcs(ctx);
+        let (s1, _) = r.allocate_switch();
+        assert_eq!(s1.len(), 1);
+        // Output VC still owned between head and tail.
+        assert!(r.outputs[0][s1[0].flit.vc].owner.is_some());
+        r.receive_flit(1, tail);
+        r.allocate_vcs(ctx);
+        let (s2, _) = r.allocate_switch();
+        assert_eq!(s2.len(), 1);
+        assert!(r.outputs[0][s2[0].flit.vc].owner.is_none());
+        assert!(r.is_drained());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer overflow")]
+    fn buffer_overflow_asserts() {
+        let mut r = Router::new(0, 1, 1, params());
+        for _ in 0..5 {
+            r.receive_flit(0, head_flit(1, 0));
+        }
+    }
+
+    #[test]
+    fn adaptive_escape_commitment_sticks() {
+        // Cycle topology so escape differs from minimal sometimes.
+        let g = gen::cycle(4);
+        let t = tables(&g, RoutingKind::MinimalAdaptiveEscape);
+        let ctx = RouteContext { tables: &t, endpoints_per_router: 1 };
+        let mut r = Router::new(0, 2, 1, params());
+        let mut f = head_flit(2, 0);
+        f.escape = true; // already committed upstream
+        r.receive_flit(2, f);
+        r.allocate_vcs(ctx);
+        let (sent, _) = r.allocate_switch();
+        assert_eq!(sent.len(), 1);
+        assert!(sent[0].flit.escape, "escape commitment must persist");
+        assert_eq!(sent[0].flit.vc, 0, "escape traffic rides VC 0");
+        assert_eq!(sent[0].out_port, t.escape_port(0, 2));
+    }
+
+    #[test]
+    fn adaptive_prefers_non_escape_vcs() {
+        let g = gen::cycle(4);
+        let t = tables(&g, RoutingKind::MinimalAdaptiveEscape);
+        let ctx = RouteContext { tables: &t, endpoints_per_router: 1 };
+        let mut r = Router::new(0, 2, 1, params());
+        r.receive_flit(2, head_flit(1, 0));
+        r.allocate_vcs(ctx);
+        let (sent, _) = r.allocate_switch();
+        assert_eq!(sent.len(), 1);
+        assert!(!sent[0].flit.escape);
+        assert!(sent[0].flit.vc >= 1, "adaptive traffic avoids the escape VC");
+    }
+}

@@ -1,0 +1,325 @@
+//! Routing tables for arbitrary router graphs.
+//!
+//! BookSim2's `anynet` computes shortest-path tables over an arbitrary
+//! topology. We do the same, plus a deadlock-free *escape* table:
+//!
+//! * **Minimal deterministic** — a single lowest-index shortest-path next hop
+//!   per (router, destination). Matches `anynet`; may deadlock on cyclic
+//!   topologies under heavy load (kept for the routing ablation).
+//! * **Minimal adaptive + escape** (default) — all shortest-path next hops
+//!   are candidates on the adaptive VCs (1..V); when none is free the packet
+//!   commits to the escape VC (0) routed on a BFS spanning tree (a classical
+//!   up*/down* network), which is provably deadlock-free. This lets the
+//!   unattended evaluation sweep run at and beyond saturation safely.
+//! * **Up/down only** — everything on the spanning tree (baseline for the
+//!   ablation).
+
+use chiplet_graph::{bfs, metrics, Graph};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::flit::RouterId;
+
+/// Routing algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum RoutingKind {
+    /// Single deterministic shortest path (BookSim2 `anynet`-style).
+    MinimalDeterministic,
+    /// Minimal adaptive on VCs ≥ 1 with an up*/down* escape on VC 0.
+    #[default]
+    MinimalAdaptiveEscape,
+    /// Spanning-tree up*/down* routing only.
+    UpDownOnly,
+}
+
+/// Errors from routing-table construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutingError {
+    /// The router graph must be connected for any routing to exist.
+    DisconnectedTopology,
+    /// The router graph has no vertices.
+    EmptyTopology,
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::DisconnectedTopology => {
+                write!(f, "router topology must be connected")
+            }
+            RoutingError::EmptyTopology => write!(f, "router topology has no routers"),
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+/// Precomputed routing tables for one topology.
+///
+/// Output *ports* index into the sorted neighbour list of each router, which
+/// is exactly how the simulator numbers its network ports.
+#[derive(Debug, Clone)]
+pub struct RoutingTables {
+    kind: RoutingKind,
+    num_routers: usize,
+    /// Row-major `dist[r * n + d]`: hop distance.
+    dist: Vec<u32>,
+    /// `minimal[r * n + d]`: output ports on minimal paths (sorted).
+    minimal: Vec<Vec<u16>>,
+    /// `escape[r * n + d]`: output port toward `d` on the spanning tree
+    /// (`u16::MAX` for `r == d`).
+    escape: Vec<u16>,
+}
+
+impl RoutingTables {
+    /// Builds tables for `g` under the chosen algorithm.
+    ///
+    /// # Errors
+    ///
+    /// * [`RoutingError::EmptyTopology`] for a graph without vertices,
+    /// * [`RoutingError::DisconnectedTopology`] if some router pair has no
+    ///   path.
+    pub fn new(g: &Graph, kind: RoutingKind) -> Result<Self, RoutingError> {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Err(RoutingError::EmptyTopology);
+        }
+        if !metrics::is_connected(g) {
+            return Err(RoutingError::DisconnectedTopology);
+        }
+
+        let dist = bfs::all_pairs_distances(g);
+
+        // Minimal next-hop ports: neighbour u of r is on a minimal path to d
+        // iff dist(u, d) + 1 == dist(r, d).
+        let mut minimal = vec![Vec::new(); n * n];
+        for r in 0..n {
+            for d in 0..n {
+                if r == d {
+                    continue;
+                }
+                let target = dist[r * n + d];
+                let ports = g
+                    .neighbors(r)
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &u)| dist[u * n + d] + 1 == target)
+                    .map(|(p, _)| u16::try_from(p).expect("port fits u16"))
+                    .collect();
+                minimal[r * n + d] = ports;
+            }
+        }
+
+        // Spanning tree rooted at router 0 (BFS parents), then per-destination
+        // next hops along the unique tree path.
+        let (_, parent) = bfs::distances_with_parents(g, 0);
+        let mut tree_adj: Vec<Vec<RouterId>> = vec![Vec::new(); n];
+        for v in 1..n {
+            let p = parent[v].expect("connected graph has full parent array");
+            tree_adj[v].push(p);
+            tree_adj[p].push(v);
+        }
+        let mut escape = vec![u16::MAX; n * n];
+        for d in 0..n {
+            // BFS from d over the tree; first hop back toward d is the parent
+            // in this BFS.
+            let mut next_toward_d: Vec<Option<RouterId>> = vec![None; n];
+            let mut queue = std::collections::VecDeque::from([d]);
+            let mut seen = vec![false; n];
+            seen[d] = true;
+            while let Some(u) = queue.pop_front() {
+                for &w in &tree_adj[u] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        next_toward_d[w] = Some(u);
+                        queue.push_back(w);
+                    }
+                }
+            }
+            for r in 0..n {
+                if r == d {
+                    continue;
+                }
+                let hop = next_toward_d[r].expect("tree spans all routers");
+                let port = g
+                    .neighbors(r)
+                    .binary_search(&hop)
+                    .expect("tree edge exists in graph");
+                escape[r * n + d] = u16::try_from(port).expect("port fits u16");
+            }
+        }
+
+        Ok(Self { kind, num_routers: n, dist, minimal, escape })
+    }
+
+    /// The algorithm these tables were built for.
+    #[must_use]
+    pub fn kind(&self) -> RoutingKind {
+        self.kind
+    }
+
+    /// Number of routers.
+    #[must_use]
+    pub fn num_routers(&self) -> usize {
+        self.num_routers
+    }
+
+    /// Hop distance between two routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[must_use]
+    pub fn distance(&self, r: RouterId, d: RouterId) -> u32 {
+        self.dist[r * self.num_routers + d]
+    }
+
+    /// Output ports of `r` on minimal paths toward `d` (empty iff `r == d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[must_use]
+    pub fn minimal_ports(&self, r: RouterId, d: RouterId) -> &[u16] {
+        &self.minimal[r * self.num_routers + d]
+    }
+
+    /// Escape (spanning-tree) output port of `r` toward `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == d` or an id is out of range.
+    #[must_use]
+    pub fn escape_port(&self, r: RouterId, d: RouterId) -> usize {
+        let p = self.escape[r * self.num_routers + d];
+        assert!(p != u16::MAX, "no escape port from a router to itself");
+        usize::from(p)
+    }
+
+    /// Average hop distance over ordered router pairs `r != d`.
+    #[must_use]
+    pub fn average_distance(&self) -> f64 {
+        let n = self.num_routers;
+        if n < 2 {
+            return 0.0;
+        }
+        let total: u64 = self.dist.iter().map(|&d| u64::from(d)).sum();
+        total as f64 / (n as f64 * (n as f64 - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_graph::gen;
+
+    #[test]
+    fn rejects_bad_topologies() {
+        let empty = chiplet_graph::GraphBuilder::new(0).build();
+        assert_eq!(
+            RoutingTables::new(&empty, RoutingKind::default()).unwrap_err(),
+            RoutingError::EmptyTopology
+        );
+        let disconnected = Graph::from_edges(4, &[(0, 1)]).unwrap();
+        assert_eq!(
+            RoutingTables::new(&disconnected, RoutingKind::default()).unwrap_err(),
+            RoutingError::DisconnectedTopology
+        );
+    }
+
+    #[test]
+    fn minimal_ports_reduce_distance() {
+        let g = gen::grid(4, 4);
+        let t = RoutingTables::new(&g, RoutingKind::MinimalAdaptiveEscape).unwrap();
+        for r in 0..16 {
+            for d in 0..16 {
+                if r == d {
+                    assert!(t.minimal_ports(r, d).is_empty());
+                    continue;
+                }
+                assert!(!t.minimal_ports(r, d).is_empty());
+                for &p in t.minimal_ports(r, d) {
+                    let u = g.neighbors(r)[usize::from(p)];
+                    assert_eq!(t.distance(u, d) + 1, t.distance(r, d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corner_to_corner_grid_has_two_minimal_ports() {
+        let g = gen::grid(3, 3);
+        let t = RoutingTables::new(&g, RoutingKind::MinimalAdaptiveEscape).unwrap();
+        // Router 0 (corner) to router 8 (opposite corner): both neighbours
+        // lie on minimal paths.
+        assert_eq!(t.minimal_ports(0, 8).len(), 2);
+        assert_eq!(t.distance(0, 8), 4);
+    }
+
+    #[test]
+    fn escape_paths_reach_destination() {
+        let g = gen::grid(4, 5);
+        let t = RoutingTables::new(&g, RoutingKind::MinimalAdaptiveEscape).unwrap();
+        for r in 0..20usize {
+            for d in 0..20usize {
+                if r == d {
+                    continue;
+                }
+                // Follow escape ports; must reach d within n hops (tree path).
+                let mut cur = r;
+                let mut hops = 0;
+                while cur != d {
+                    let port = t.escape_port(cur, d);
+                    cur = g.neighbors(cur)[port];
+                    hops += 1;
+                    assert!(hops <= 20, "escape path loops: {r} -> {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn escape_paths_follow_a_tree() {
+        // On a cycle, tree routing must avoid one (chord) edge entirely:
+        // the path from 3 to 4 on C8 with root 0 goes the long way around if
+        // the tree omits edge (3,4)... whichever tree BFS picked, escape
+        // paths never use more distinct edges than n-1.
+        let g = gen::cycle(8);
+        let t = RoutingTables::new(&g, RoutingKind::UpDownOnly).unwrap();
+        let mut used_edges = std::collections::HashSet::new();
+        for r in 0..8usize {
+            for d in 0..8usize {
+                if r == d {
+                    continue;
+                }
+                let mut cur = r;
+                while cur != d {
+                    let next = g.neighbors(cur)[t.escape_port(cur, d)];
+                    used_edges.insert((cur.min(next), cur.max(next)));
+                    cur = next;
+                }
+            }
+        }
+        assert!(used_edges.len() <= 7, "tree uses at most n-1 edges");
+    }
+
+    #[test]
+    fn average_distance_of_complete_graph_is_one() {
+        let t = RoutingTables::new(&gen::complete(5), RoutingKind::default()).unwrap();
+        assert!((t.average_distance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_router_topology() {
+        let g = chiplet_graph::GraphBuilder::new(1).build();
+        let t = RoutingTables::new(&g, RoutingKind::default()).unwrap();
+        assert_eq!(t.num_routers(), 1);
+        assert_eq!(t.distance(0, 0), 0);
+        assert_eq!(t.average_distance(), 0.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(RoutingError::DisconnectedTopology.to_string().contains("connected"));
+    }
+}

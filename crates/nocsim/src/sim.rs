@@ -1,0 +1,1001 @@
+//! The cycle-accurate simulator: wiring, per-cycle evaluation, statistics.
+
+use chiplet_graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::channel::Link;
+use crate::endpoint::Endpoint;
+use crate::flit::{PacketId, RouterId};
+use crate::router::{RouteContext, Router, RouterParams, SentCredit, SentFlit};
+use crate::routing::{RoutingError, RoutingKind, RoutingTables};
+use crate::traffic::{InjectionProcess, ProcessKind, TrafficPattern};
+
+/// Full simulator configuration.
+///
+/// [`SimConfig::paper_defaults`] reproduces §VI-A of the paper: 8 virtual
+/// channels, 8-flit buffers, 3-cycle routers, 27-cycle links, two endpoints
+/// per chiplet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Virtual channels per port.
+    pub vcs: usize,
+    /// Buffer depth in flits per VC.
+    pub buffer_depth: usize,
+    /// Router pipeline latency in cycles.
+    pub router_latency: u64,
+    /// Router-to-router link latency in cycles (PHY + D2D wire + PHY).
+    pub link_latency: u64,
+    /// Endpoint-to-router (and back) link latency in cycles.
+    pub injection_latency: u64,
+    /// Endpoints attached to each router.
+    pub endpoints_per_router: usize,
+    /// Packet length in flits.
+    pub packet_size: usize,
+    /// Routing algorithm.
+    pub routing: RoutingKind,
+    /// Spatial traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Temporal injection process (Bernoulli or bursty on/off).
+    pub process: ProcessKind,
+    /// Offered load in flits/cycle/endpoint.
+    pub injection_rate: f64,
+    /// RNG seed (traffic is reproducible given the seed).
+    pub seed: u64,
+    /// Source-queue capacity in packets per endpoint.
+    pub source_queue_cap: usize,
+    /// Watchdog: cycles without any flit movement (while flits are in the
+    /// network) before deadlock is suspected.
+    pub deadlock_watchdog: u64,
+}
+
+impl SimConfig {
+    /// The configuration of §VI-A of the paper.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        Self {
+            vcs: 8,
+            buffer_depth: 8,
+            router_latency: 3,
+            link_latency: 27,
+            injection_latency: 1,
+            endpoints_per_router: 2,
+            packet_size: 4,
+            routing: RoutingKind::MinimalAdaptiveEscape,
+            pattern: TrafficPattern::UniformRandom,
+            process: ProcessKind::Bernoulli,
+            injection_rate: 0.1,
+            seed: 0xD2D_11CC,
+            source_queue_cap: 64,
+            deadlock_watchdog: 5_000,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Errors from simulator construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// Routing tables could not be built.
+    Routing(RoutingError),
+    /// A configuration field is invalid; the message names it.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Routing(e) => write!(f, "routing: {e}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Routing(e) => Some(e),
+            SimError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<RoutingError> for SimError {
+    fn from(e: RoutingError) -> Self {
+        SimError::Routing(e)
+    }
+}
+
+/// Aggregated network statistics over the open measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Cycles elapsed since the window opened.
+    pub window_cycles: u64,
+    /// Packets offered by all sources (including refused ones).
+    pub offered_packets: u64,
+    /// Packets accepted into source queues.
+    pub accepted_packets: u64,
+    /// Flits delivered to destinations.
+    pub received_flits: u64,
+    /// Packets fully delivered.
+    pub received_packets: u64,
+    /// Packets measured for latency (created inside the window).
+    pub measured_packets: u64,
+    /// Mean packet latency over measured packets (`None` if none measured).
+    pub avg_packet_latency: Option<f64>,
+    /// Maximum measured packet latency.
+    pub max_packet_latency: u64,
+    /// Delivered throughput in flits/cycle/endpoint.
+    pub accepted_flits_per_cycle_per_endpoint: f64,
+    /// Offered load in flits/cycle/endpoint (from generation counters).
+    pub offered_flits_per_cycle_per_endpoint: f64,
+}
+
+/// Physical properties of one directed router-to-router link, for
+/// topologies with heterogeneous links (e.g. Kite-style express links that
+/// are longer and narrower than neighbour links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// One-way flit latency in cycles (PHY + wire + PHY).
+    pub latency: u64,
+    /// Serialization interval: the link sustains one flit every `interval`
+    /// cycles (`1` = full bandwidth).
+    pub interval: u64,
+}
+
+impl LinkSpec {
+    /// A full-bandwidth link of the given latency.
+    #[must_use]
+    pub fn uniform(latency: u64) -> Self {
+        Self { latency, interval: 1 }
+    }
+}
+
+/// A cycle-accurate NoC simulator over an arbitrary router graph.
+///
+/// # Example
+///
+/// ```
+/// use chiplet_graph::gen;
+/// use nocsim::{SimConfig, Simulator};
+///
+/// let g = gen::grid(3, 3);
+/// let mut config = SimConfig::paper_defaults();
+/// config.injection_rate = 0.05;
+/// let mut sim = Simulator::new(&g, config)?;
+/// sim.run(2_000);
+/// sim.open_measurement_window();
+/// sim.run(4_000);
+/// let stats = sim.stats();
+/// assert!(stats.received_packets > 0);
+/// # Ok::<(), nocsim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+    tables: RoutingTables,
+    routers: Vec<Router>,
+    endpoints: Vec<Endpoint>,
+    /// Directed router-to-router links.
+    net_links: Vec<Link>,
+    /// `link_dst[l] = (router, in_port)` receiving flits of link `l`.
+    link_dst: Vec<(RouterId, usize)>,
+    /// `link_src[l] = (router, out_port)` feeding flits into link `l`.
+    link_src: Vec<(RouterId, usize)>,
+    /// `link_out[r][p] = l`: link fed by output port `p` of router `r`.
+    link_out: Vec<Vec<usize>>,
+    /// `link_in[r][p] = l`: link feeding input port `p` of router `r`.
+    link_in: Vec<Vec<usize>>,
+    /// Endpoint→router links (credits flow back to the endpoint).
+    inj_links: Vec<Link>,
+    /// Router→endpoint links (credits flow back to the router).
+    ej_links: Vec<Link>,
+    /// Flits that traversed each net link (since construction).
+    link_flit_counts: Vec<u64>,
+    cycle: u64,
+    next_packet_id: PacketId,
+    window_start: u64,
+    last_progress: u64,
+}
+
+impl Simulator {
+    /// Builds a simulator for the router graph `g`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Routing`] if `g` is empty or disconnected,
+    /// * [`SimError::InvalidConfig`] for out-of-range parameters (zero VCs or
+    ///   buffers, adaptive routing with fewer than 2 VCs, injection rate
+    ///   outside `[0, 1]`, …).
+    pub fn new(g: &Graph, config: SimConfig) -> Result<Self, SimError> {
+        let latency = config.link_latency;
+        Self::with_link_specs(g, config, |_, _| LinkSpec::uniform(latency))
+    }
+
+    /// Builds a simulator whose router-to-router links have per-link latency
+    /// and serialization interval, supplied by `spec` for each directed link
+    /// `(src, dst)`. `config.link_latency` is ignored for net links (it
+    /// still applies to injection/ejection links).
+    ///
+    /// Use this for topologies with physically heterogeneous links: longer
+    /// express links run at lower frequency, so they both take more cycles
+    /// to cross and sustain fewer flits per router cycle.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::new`], plus [`SimError::InvalidConfig`] if any spec
+    /// has a zero latency or interval.
+    pub fn with_link_specs(
+        g: &Graph,
+        config: SimConfig,
+        spec: impl Fn(RouterId, RouterId) -> LinkSpec,
+    ) -> Result<Self, SimError> {
+        validate(g, &config)?;
+        let tables = RoutingTables::new(g, config.routing)?;
+        let n = g.num_vertices();
+        let params = RouterParams {
+            vcs: config.vcs,
+            buffer_depth: config.buffer_depth,
+            pipeline_latency: config.router_latency,
+        };
+
+        let mut routers = Vec::with_capacity(n);
+        let mut net_links = Vec::new();
+        let mut link_dst = Vec::new();
+        let mut link_src = Vec::new();
+        let mut link_out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut link_in: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for r in 0..n {
+            let neighbors = g.neighbors(r);
+            routers.push(Router::new(r, neighbors.len(), config.endpoints_per_router, params));
+            link_in[r] = vec![usize::MAX; neighbors.len()];
+            for (out_port, &u) in neighbors.iter().enumerate() {
+                let l = net_links.len();
+                let s = spec(r, u);
+                if s.latency == 0 || s.interval == 0 {
+                    return Err(SimError::InvalidConfig(
+                        "link specs need latency >= 1 and interval >= 1",
+                    ));
+                }
+                net_links.push(Link::with_interval(s.latency, s.interval));
+                let in_port = g.neighbors(u).binary_search(&r).expect("symmetric adjacency");
+                link_dst.push((u, in_port));
+                link_src.push((r, out_port));
+                link_out[r].push(l);
+            }
+        }
+        // Fill link_in from link_dst.
+        for (l, &(u, q)) in link_dst.iter().enumerate() {
+            link_in[u][q] = l;
+        }
+
+        let num_endpoints = n * config.endpoints_per_router;
+        let endpoints = (0..num_endpoints)
+            .map(|e| {
+                Endpoint::new(
+                    e,
+                    num_endpoints,
+                    config.vcs,
+                    config.buffer_depth,
+                    config.source_queue_cap,
+                    config.packet_size,
+                    config.seed,
+                )
+            })
+            .collect();
+        let inj_links =
+            (0..num_endpoints).map(|_| Link::new(config.injection_latency)).collect();
+        let ej_links =
+            (0..num_endpoints).map(|_| Link::new(config.injection_latency)).collect();
+
+        let num_net_links = net_links.len();
+        Ok(Self {
+            config,
+            tables,
+            routers,
+            endpoints,
+            net_links,
+            link_dst,
+            link_src,
+            link_out,
+            link_in,
+            inj_links,
+            ej_links,
+            link_flit_counts: vec![0; num_net_links],
+            cycle: 0,
+            next_packet_id: 0,
+            window_start: u64::MAX,
+            last_progress: 0,
+        })
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The routing tables in use.
+    #[must_use]
+    pub fn tables(&self) -> &RoutingTables {
+        &self.tables
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of endpoints.
+    #[must_use]
+    pub fn num_endpoints(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Opens the measurement window at the current cycle.
+    pub fn open_measurement_window(&mut self) {
+        self.window_start = self.cycle;
+        for e in &mut self.endpoints {
+            e.open_window(self.cycle);
+        }
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        let t = self.cycle;
+        let epr = self.config.endpoints_per_router;
+
+        // ── 1. Deliver link arrivals ────────────────────────────────────
+        for l in 0..self.net_links.len() {
+            let (dst, in_port) = self.link_dst[l];
+            while let Some(flit) = self.net_links[l].flits.pop_due(t) {
+                self.routers[dst].receive_flit(in_port, flit);
+                self.last_progress = t;
+            }
+            // Credits flow back to the link's source router.
+            while let Some(credit) = self.net_links[l].credits.pop_due(t) {
+                let (src, out_port) = self.link_src[l];
+                self.routers[src].receive_credit(out_port, credit);
+            }
+        }
+        for e in 0..self.endpoints.len() {
+            let r = e / epr;
+            let port = self.routers[r].endpoint_port(e % epr);
+            while let Some(flit) = self.inj_links[e].flits.pop_due(t) {
+                self.routers[r].receive_flit(port, flit);
+                self.last_progress = t;
+            }
+            while let Some(credit) = self.inj_links[e].credits.pop_due(t) {
+                self.endpoints[e].receive_credit(credit.vc);
+            }
+            while let Some(flit) = self.ej_links[e].flits.pop_due(t) {
+                self.endpoints[e].receive_flit(t, &flit);
+                // Endpoint consumes immediately; return the buffer slot.
+                self.ej_links[e].credits.push(t, 0, crate::channel::Credit { vc: flit.vc });
+                self.last_progress = t;
+            }
+            while let Some(credit) = self.ej_links[e].credits.pop_due(t) {
+                self.routers[r].receive_credit(port, credit);
+            }
+        }
+
+        // ── 2. Router allocation and traversal ──────────────────────────
+        let ctx = RouteContext { tables: &self.tables, endpoints_per_router: epr };
+        for r in 0..self.routers.len() {
+            self.routers[r].allocate_vcs(ctx);
+            let (sent, credits) = self.routers[r].allocate_switch();
+            if !sent.is_empty() {
+                self.last_progress = t;
+            }
+            let pipeline = self.config.router_latency;
+            for SentFlit { out_port, flit } in sent {
+                if out_port < self.routers[r].num_net_ports() {
+                    let l = self.link_out[r][out_port];
+                    self.link_flit_counts[l] += 1;
+                    self.net_links[l].flits.push(t, pipeline, flit);
+                } else {
+                    let slot = out_port - self.routers[r].num_net_ports();
+                    let e = r * epr + slot;
+                    self.ej_links[e].flits.push(t, pipeline, flit);
+                }
+            }
+            for SentCredit { in_port, credit } in credits {
+                if in_port < self.routers[r].num_net_ports() {
+                    let l = self.link_in[r][in_port];
+                    self.net_links[l].credits.push(t, 0, credit);
+                } else {
+                    let slot = in_port - self.routers[r].num_net_ports();
+                    let e = r * epr + slot;
+                    self.inj_links[e].credits.push(t, 0, credit);
+                }
+            }
+        }
+
+        // ── 3. Endpoint traffic generation and injection ────────────────
+        let process = InjectionProcess {
+            rate: self.config.injection_rate,
+            packet_size: self.config.packet_size,
+            kind: self.config.process,
+        };
+        for e in 0..self.endpoints.len() {
+            self.endpoints[e].generate(
+                t,
+                process,
+                self.config.pattern,
+                &mut self.next_packet_id,
+            );
+            if let Some(flit) = self.endpoints[e].try_inject() {
+                self.inj_links[e].flits.push(t, 0, flit);
+                self.last_progress = t;
+            }
+        }
+
+        self.cycle += 1;
+    }
+
+    /// Runs `cycles` simulation cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Flits currently inside the network (router buffers + links in
+    /// flight), excluding source-queue backlogs.
+    #[must_use]
+    pub fn flits_in_network(&self) -> usize {
+        let buffered: usize = self.routers.iter().map(Router::buffered_flits).sum();
+        let net: usize = self.net_links.iter().map(|l| l.flits.in_flight()).sum();
+        let inj: usize = self.inj_links.iter().map(|l| l.flits.in_flight()).sum();
+        let ej: usize = self.ej_links.iter().map(|l| l.flits.in_flight()).sum();
+        buffered + net + inj + ej
+    }
+
+    /// `true` if flits are stuck: nothing has moved for the watchdog period
+    /// while the network still holds flits.
+    #[must_use]
+    pub fn deadlock_suspected(&self) -> bool {
+        self.flits_in_network() > 0
+            && self.cycle.saturating_sub(self.last_progress) > self.config.deadlock_watchdog
+    }
+
+    /// Aggregated statistics since the measurement window opened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no measurement window was opened.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        assert!(self.window_start != u64::MAX, "open a measurement window first");
+        let window_cycles = self.cycle - self.window_start;
+        let mut offered_packets = 0;
+        let mut accepted_packets = 0;
+        let mut received_flits = 0;
+        let mut received_packets = 0;
+        let mut measured = 0;
+        let mut latency_sum = 0u64;
+        let mut latency_max = 0u64;
+        for e in &self.endpoints {
+            let s = e.stats();
+            offered_packets += s.offered_packets;
+            accepted_packets += s.accepted_packets;
+            received_flits += s.received_flits;
+            received_packets += s.received_packets;
+            measured += s.latency_count;
+            latency_sum += s.latency_sum;
+            latency_max = latency_max.max(s.latency_max);
+        }
+        let denom = (window_cycles.max(1) as f64) * self.endpoints.len() as f64;
+        NetworkStats {
+            window_cycles,
+            offered_packets,
+            accepted_packets,
+            received_flits,
+            received_packets,
+            measured_packets: measured,
+            avg_packet_latency: (measured > 0)
+                .then(|| latency_sum as f64 / measured as f64),
+            max_packet_latency: latency_max,
+            accepted_flits_per_cycle_per_endpoint: received_flits as f64 / denom,
+            offered_flits_per_cycle_per_endpoint: (offered_packets
+                * self.config.packet_size as u64) as f64
+                / denom,
+        }
+    }
+
+    /// Latency percentile estimate over the measured packets (e.g. `0.5`,
+    /// `0.95`, `0.99`), or `None` if nothing was measured. Resolution is one
+    /// cycle up to [`crate::endpoint::LATENCY_HISTOGRAM_BUCKETS`] cycles;
+    /// longer latencies saturate into the top bucket (reported as that
+    /// bucket's lower edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1]`.
+    #[must_use]
+    pub fn latency_percentile(&self, p: f64) -> Option<f64> {
+        assert!(p > 0.0 && p <= 1.0, "percentile must be in (0, 1]");
+        let buckets = crate::endpoint::LATENCY_HISTOGRAM_BUCKETS;
+        let mut merged = vec![0u64; buckets];
+        let mut total = 0u64;
+        for e in &self.endpoints {
+            for (i, &c) in e.latency_histogram().iter().enumerate() {
+                merged[i] += u64::from(c);
+                total += u64::from(c);
+            }
+        }
+        if total == 0 {
+            return None;
+        }
+        let target = (p * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (latency, &count) in merged.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(latency as f64);
+            }
+        }
+        Some((buckets - 1) as f64)
+    }
+
+    /// Human-readable report of every router holding flits or bindings —
+    /// the first thing to read when [`Simulator::deadlock_suspected`]
+    /// fires. One line per occupied input VC and per owned output VC.
+    #[must_use]
+    pub fn blocked_packet_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (r, router) in self.routers.iter().enumerate() {
+            let inputs = router.occupancy_report();
+            let outputs = router.output_report();
+            if inputs.is_empty() && outputs.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "router {r}:");
+            for (port, vc, buffered, bound, escape, dest) in inputs {
+                let _ = writeln!(
+                    out,
+                    "  in  port {port} vc {vc}: {buffered} flits, bound {bound:?}, escape {escape}, head_dest {dest:?}"
+                );
+            }
+            for (port, vc, credits, owner) in outputs {
+                let _ = writeln!(
+                    out,
+                    "  out port {port} vc {vc}: {credits} credits, owner {owner:?}"
+                );
+            }
+        }
+        out
+    }
+
+    /// Jain's fairness index over per-endpoint delivered flits in the
+    /// measurement window: `(Σxᵢ)² / (n·Σxᵢ²)`, 1.0 when every endpoint
+    /// receives equally, approaching `1/n` when one endpoint hogs the
+    /// network. `None` if nothing was delivered.
+    ///
+    /// Under uniform traffic a healthy network sits near 1; hotspot
+    /// patterns (or unfair allocators) push it down — a companion metric
+    /// to aggregate saturation throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no measurement window was opened.
+    #[must_use]
+    pub fn fairness_index(&self) -> Option<f64> {
+        assert!(self.window_start != u64::MAX, "open a measurement window first");
+        let received: Vec<f64> =
+            self.endpoints.iter().map(|e| e.stats().received_flits as f64).collect();
+        let sum: f64 = received.iter().sum();
+        if sum == 0.0 {
+            return None;
+        }
+        let sum_sq: f64 = received.iter().map(|x| x * x).sum();
+        Some(sum * sum / (received.len() as f64 * sum_sq))
+    }
+
+    /// Per-channel traffic counts since construction: one entry per
+    /// *directed* router-to-router link, `(src, dst, flits)`.
+    ///
+    /// Under uniform traffic the hottest channels concentrate on the
+    /// topology's bisection — the structural reason bisection bandwidth
+    /// predicts saturation throughput (§III-C).
+    #[must_use]
+    pub fn channel_loads(&self) -> Vec<(RouterId, RouterId, u64)> {
+        self.link_flit_counts
+            .iter()
+            .enumerate()
+            .map(|(l, &count)| {
+                let (src, _) = self.link_src[l];
+                let (dst, _) = self.link_dst[l];
+                (src, dst, count)
+            })
+            .collect()
+    }
+
+    /// Stops traffic generation and runs until the network drains or
+    /// `max_cycles` pass. Returns `true` if fully drained.
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        self.config.injection_rate = 0.0;
+        for _ in 0..max_cycles {
+            if self.flits_in_network() == 0
+                && self.endpoints.iter().all(Endpoint::is_drained)
+            {
+                return true;
+            }
+            self.step();
+        }
+        self.flits_in_network() == 0 && self.endpoints.iter().all(Endpoint::is_drained)
+    }
+}
+
+fn validate(g: &Graph, config: &SimConfig) -> Result<(), SimError> {
+    if config.vcs == 0 {
+        return Err(SimError::InvalidConfig("vcs must be at least 1"));
+    }
+    if config.routing == RoutingKind::MinimalAdaptiveEscape && config.vcs < 2 {
+        return Err(SimError::InvalidConfig(
+            "adaptive routing with escape needs at least 2 VCs (VC 0 is the escape)",
+        ));
+    }
+    if config.buffer_depth == 0 {
+        return Err(SimError::InvalidConfig("buffer_depth must be at least 1"));
+    }
+    if config.packet_size == 0 {
+        return Err(SimError::InvalidConfig("packet_size must be at least 1"));
+    }
+    if config.endpoints_per_router == 0 {
+        return Err(SimError::InvalidConfig("endpoints_per_router must be at least 1"));
+    }
+    if !(0.0..=1.0).contains(&config.injection_rate) {
+        return Err(SimError::InvalidConfig("injection_rate must be within [0, 1]"));
+    }
+    if config.source_queue_cap == 0 {
+        return Err(SimError::InvalidConfig("source_queue_cap must be at least 1"));
+    }
+    let _ = g;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_graph::gen;
+
+    fn small_config(rate: f64) -> SimConfig {
+        SimConfig {
+            vcs: 4,
+            buffer_depth: 4,
+            router_latency: 3,
+            link_latency: 27,
+            injection_latency: 1,
+            endpoints_per_router: 2,
+            packet_size: 4,
+            routing: RoutingKind::MinimalAdaptiveEscape,
+            pattern: TrafficPattern::UniformRandom,
+            process: ProcessKind::Bernoulli,
+            injection_rate: rate,
+            seed: 99,
+            source_queue_cap: 16,
+            deadlock_watchdog: 2_000,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let g = gen::grid(2, 2);
+        let bad = SimConfig { vcs: 0, ..small_config(0.1) };
+        assert!(matches!(Simulator::new(&g, bad), Err(SimError::InvalidConfig(_))));
+        let bad = SimConfig { vcs: 1, ..small_config(0.1) };
+        assert!(matches!(Simulator::new(&g, bad), Err(SimError::InvalidConfig(_))));
+        let bad = SimConfig { injection_rate: 1.5, ..small_config(0.1) };
+        assert!(matches!(Simulator::new(&g, bad), Err(SimError::InvalidConfig(_))));
+        let disconnected = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert!(matches!(
+            Simulator::new(&disconnected, small_config(0.1)),
+            Err(SimError::Routing(RoutingError::DisconnectedTopology))
+        ));
+    }
+
+    #[test]
+    fn packets_flow_end_to_end() {
+        let g = gen::grid(2, 2);
+        let mut sim = Simulator::new(&g, small_config(0.1)).unwrap();
+        sim.run(500);
+        sim.open_measurement_window();
+        sim.run(2_000);
+        let stats = sim.stats();
+        assert!(stats.received_packets > 0, "no packets delivered");
+        assert!(stats.avg_packet_latency.is_some());
+        assert!(!sim.deadlock_suspected());
+    }
+
+    #[test]
+    fn no_flit_loss_after_drain() {
+        let g = gen::grid(3, 3);
+        let mut sim = Simulator::new(&g, small_config(0.2)).unwrap();
+        sim.open_measurement_window();
+        sim.run(2_000);
+        let drained = sim.drain(20_000);
+        assert!(drained, "network failed to drain");
+        let stats = sim.stats();
+        // Conservation: every accepted packet is eventually delivered.
+        assert_eq!(stats.received_packets, stats.accepted_packets);
+        assert_eq!(
+            stats.received_flits,
+            stats.accepted_packets * sim.config().packet_size as u64
+        );
+    }
+
+    #[test]
+    fn latency_bounded_below_by_structural_minimum() {
+        let g = gen::grid(2, 2);
+        let cfg = small_config(0.02);
+        let mut sim = Simulator::new(&g, cfg).unwrap();
+        sim.open_measurement_window();
+        sim.run(6_000);
+        sim.drain(20_000);
+        let stats = sim.stats();
+        assert!(stats.measured_packets > 0);
+        // Minimum possible latency: same-router pair, H = 0:
+        // inj 1 + router 3 + ej 1 + (P-1) 3 = 8 cycles.
+        let min = 1 + cfg.router_latency + 1 + (cfg.packet_size as u64 - 1);
+        assert!(
+            stats.avg_packet_latency.unwrap() >= min as f64,
+            "avg latency below structural minimum"
+        );
+    }
+
+    #[test]
+    fn zero_rate_generates_nothing() {
+        let g = gen::grid(2, 2);
+        let mut sim = Simulator::new(&g, small_config(0.0)).unwrap();
+        sim.open_measurement_window();
+        sim.run(1_000);
+        let stats = sim.stats();
+        assert_eq!(stats.offered_packets, 0);
+        assert_eq!(stats.received_flits, 0);
+        assert_eq!(sim.flits_in_network(), 0);
+    }
+
+    #[test]
+    fn single_router_sibling_traffic() {
+        let g = chiplet_graph::GraphBuilder::new(1).build();
+        let mut sim = Simulator::new(&g, small_config(0.3)).unwrap();
+        sim.open_measurement_window();
+        sim.run(2_000);
+        let stats = sim.stats();
+        assert!(stats.received_packets > 0, "sibling endpoints must exchange traffic");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = gen::grid(3, 3);
+        let run = || {
+            let mut sim = Simulator::new(&g, small_config(0.15)).unwrap();
+            sim.run(300);
+            sim.open_measurement_window();
+            sim.run(1_500);
+            sim.stats()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn channel_loads_concentrate_on_the_bisection() {
+        // 2x4 grid: the two middle column-crossing links carry the most
+        // traffic under uniform random load.
+        let g = gen::grid(2, 4);
+        let mut sim = Simulator::new(&g, small_config(0.1)).unwrap();
+        sim.run(8_000);
+        let loads = sim.channel_loads();
+        assert_eq!(loads.len(), 2 * g.num_edges());
+        let load_of = |a: usize, b: usize| -> u64 {
+            loads
+                .iter()
+                .filter(|&&(s, d, _)| (s, d) == (a, b) || (s, d) == (b, a))
+                .map(|&(_, _, c)| c)
+                .sum()
+        };
+        // Vertices: row-major, cols 0..4. Bisection edges: (1,2) and (5,6).
+        let bisection = load_of(1, 2) + load_of(5, 6);
+        let edge_links = load_of(0, 1) + load_of(4, 5);
+        assert!(
+            bisection > edge_links,
+            "bisection {bisection} !> outer {edge_links}"
+        );
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let g = gen::grid(3, 3);
+        let mut sim = Simulator::new(&g, small_config(0.15)).unwrap();
+        sim.run(1_000);
+        sim.open_measurement_window();
+        sim.run(6_000);
+        let p50 = sim.latency_percentile(0.50).unwrap();
+        let p95 = sim.latency_percentile(0.95).unwrap();
+        let p99 = sim.latency_percentile(0.99).unwrap();
+        let stats = sim.stats();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= stats.max_packet_latency as f64);
+        // Median within a factor of the mean at moderate load.
+        let mean = stats.avg_packet_latency.unwrap();
+        assert!(p50 < 2.0 * mean && p50 > 0.3 * mean, "p50 {p50} vs mean {mean}");
+    }
+
+    #[test]
+    fn latency_percentile_none_without_samples() {
+        let g = gen::grid(2, 2);
+        let mut sim = Simulator::new(&g, small_config(0.0)).unwrap();
+        sim.open_measurement_window();
+        sim.run(100);
+        assert_eq!(sim.latency_percentile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn latency_percentile_rejects_zero() {
+        let g = gen::grid(2, 2);
+        let sim = Simulator::new(&g, small_config(0.1)).unwrap();
+        let _ = sim.latency_percentile(0.0);
+    }
+
+    #[test]
+    fn heterogeneous_latency_shows_up_in_packet_latency() {
+        // Two-router line with slow vs. fast links: average latency tracks
+        // the link latency.
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let latency_with = |link_cycles: u64| -> f64 {
+            let cfg = SimConfig { pattern: TrafficPattern::Complement, ..small_config(0.05) };
+            let mut sim = Simulator::with_link_specs(&g, cfg, |_, _| LinkSpec {
+                latency: link_cycles,
+                interval: 1,
+            })
+            .unwrap();
+            sim.run(1_000);
+            sim.open_measurement_window();
+            sim.run(6_000);
+            sim.drain(20_000);
+            sim.stats().avg_packet_latency.unwrap()
+        };
+        let fast = latency_with(5);
+        let slow = latency_with(55);
+        // Complement traffic (2 endpoints/router) keeps half the pairs
+        // local; crossing pairs add exactly the extra wire cycles.
+        assert!(slow > fast + 20.0, "slow {slow} vs fast {fast}");
+    }
+
+    #[test]
+    fn serialized_link_caps_throughput() {
+        // Two routers, all traffic crossing the single link. Short 5-cycle
+        // wires keep the credit loop from binding first; with interval 8 the
+        // wire sustains 1/8 flit per cycle in each direction, shared by two
+        // endpoints → 1/16 flit/cycle/endpoint at best.
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let cfg = SimConfig {
+            pattern: TrafficPattern::Complement,
+            link_latency: 5,
+            injection_rate: 0.9,
+            ..small_config(0.9)
+        };
+        let mut sim = Simulator::with_link_specs(&g, cfg, |_, _| LinkSpec {
+            latency: 5,
+            interval: 8,
+        })
+        .unwrap();
+        sim.run(4_000);
+        sim.open_measurement_window();
+        sim.run(12_000);
+        let stats = sim.stats();
+        let per_endpoint = stats.accepted_flits_per_cycle_per_endpoint;
+        assert!(per_endpoint <= 0.0626, "throughput {per_endpoint} above serialized cap");
+        assert!(per_endpoint > 0.04, "throughput {per_endpoint} suspiciously low");
+        // The same setup with full-bandwidth links must push much more.
+        let mut fast = Simulator::new(&g, cfg).unwrap();
+        fast.run(4_000);
+        fast.open_measurement_window();
+        fast.run(12_000);
+        let fast_tp = fast.stats().accepted_flits_per_cycle_per_endpoint;
+        assert!(fast_tp > 2.0 * per_endpoint, "fast {fast_tp} vs serialized {per_endpoint}");
+    }
+
+    #[test]
+    fn invalid_link_specs_rejected() {
+        let g = gen::grid(2, 2);
+        let cfg = small_config(0.1);
+        let zero_latency =
+            Simulator::with_link_specs(&g, cfg, |_, _| LinkSpec { latency: 0, interval: 1 });
+        assert!(matches!(zero_latency, Err(SimError::InvalidConfig(_))));
+        let zero_interval =
+            Simulator::with_link_specs(&g, cfg, |_, _| LinkSpec { latency: 27, interval: 0 });
+        assert!(matches!(zero_interval, Err(SimError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn fairness_index_separates_uniform_from_hotspot() {
+        let g = gen::grid(3, 3);
+        let run = |pattern: TrafficPattern| -> f64 {
+            let cfg = SimConfig { pattern, ..small_config(0.1) };
+            let mut sim = Simulator::new(&g, cfg).unwrap();
+            sim.run(1_000);
+            sim.open_measurement_window();
+            sim.run(8_000);
+            sim.fairness_index().expect("packets delivered")
+        };
+        let uniform = run(TrafficPattern::UniformRandom);
+        let hotspot =
+            run(TrafficPattern::Hotspot { num_hotspots: 1, fraction_permille: 900 });
+        assert!(uniform > 0.95, "uniform fairness {uniform}");
+        // 90% of traffic lands on one of 18 endpoints: index near 1/n.
+        assert!(hotspot < 0.3, "hotspot fairness {hotspot}");
+        assert!(uniform > hotspot);
+    }
+
+    #[test]
+    fn fairness_index_none_without_deliveries() {
+        let g = gen::grid(2, 2);
+        let mut sim = Simulator::new(&g, small_config(0.0)).unwrap();
+        sim.open_measurement_window();
+        sim.run(100);
+        assert_eq!(sim.fairness_index(), None);
+    }
+
+    #[test]
+    fn new_traffic_patterns_deliver_packets() {
+        let g = gen::grid(3, 3);
+        for pattern in [
+            TrafficPattern::BitComplement,
+            TrafficPattern::BitReverse,
+            TrafficPattern::Tornado,
+            TrafficPattern::Hotspot { num_hotspots: 2, fraction_permille: 600 },
+        ] {
+            let cfg = SimConfig { pattern, ..small_config(0.05) };
+            let mut sim = Simulator::new(&g, cfg).unwrap();
+            sim.run(1_000);
+            sim.open_measurement_window();
+            sim.run(5_000);
+            let stats = sim.stats();
+            assert!(stats.received_packets > 0, "{pattern:?} delivered nothing");
+            assert!(!sim.deadlock_suspected(), "{pattern:?} deadlocked");
+        }
+    }
+
+    #[test]
+    fn onoff_process_delivers_packets() {
+        let g = gen::grid(2, 2);
+        let cfg = SimConfig {
+            process: ProcessKind::OnOff { alpha: 0.02, beta: 0.05 },
+            ..small_config(0.1)
+        };
+        let mut sim = Simulator::new(&g, cfg).unwrap();
+        sim.run(1_000);
+        sim.open_measurement_window();
+        sim.run(8_000);
+        let stats = sim.stats();
+        assert!(stats.received_packets > 0);
+        // Long-run offered rate stays near the configured one.
+        let ratio = stats.offered_flits_per_cycle_per_endpoint / 0.1;
+        assert!((0.6..=1.4).contains(&ratio), "offered ratio {ratio}");
+    }
+
+    #[test]
+    fn accepted_tracks_offered_below_saturation() {
+        let g = gen::grid(3, 3);
+        let mut sim = Simulator::new(&g, small_config(0.05)).unwrap();
+        sim.run(2_000);
+        sim.open_measurement_window();
+        sim.run(8_000);
+        let stats = sim.stats();
+        let ratio = stats.accepted_flits_per_cycle_per_endpoint
+            / stats.offered_flits_per_cycle_per_endpoint;
+        assert!(ratio > 0.9, "accepted/offered {ratio} too low at light load");
+    }
+}

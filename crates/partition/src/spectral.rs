@@ -1,0 +1,283 @@
+//! Spectral bisection via the Fiedler vector.
+//!
+//! The classic alternative to combinatorial multilevel partitioning: the
+//! eigenvector of the graph Laplacian `L = D − A` for its second-smallest
+//! eigenvalue (the *Fiedler vector*) embeds the graph on a line so that a
+//! median split yields a provably good balanced cut for many graph
+//! families. METIS offers the same option; here it cross-checks the
+//! multilevel heuristic — two independent algorithms agreeing on the cut is
+//! strong evidence both are right.
+//!
+//! The Fiedler vector is computed by power iteration on the spectral
+//! complement `M = c·I − L` (with `c ≥ λ_max(L)`, so the smallest Laplacian
+//! eigenvalues become the largest of `M`), deflating the constant
+//! eigenvector by re-orthogonalisation every step.
+
+use chiplet_graph::cut::Bipartition;
+use chiplet_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{balance_tolerance, BisectionResult, Method, PartitionError};
+
+/// Tunables for the spectral solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralConfig {
+    /// Power-iteration cap.
+    pub max_iterations: usize,
+    /// Convergence threshold on the iterate change (2-norm).
+    pub tolerance: f64,
+    /// RNG seed for the starting vector.
+    pub seed: u64,
+}
+
+impl Default for SpectralConfig {
+    fn default() -> Self {
+        Self { max_iterations: 10_000, tolerance: 1e-10, seed: 0x0F1E_D1E2 }
+    }
+}
+
+/// Computes the Fiedler vector of `g` (unit 2-norm, sign-normalised so the
+/// first nonzero entry is positive). Returns `None` for graphs with fewer
+/// than two vertices.
+#[must_use]
+pub fn fiedler_vector(g: &Graph, config: &SpectralConfig) -> Option<Vec<f64>> {
+    let n = g.num_vertices();
+    if n < 2 {
+        return None;
+    }
+    let max_degree = (0..n).map(|v| g.degree(v)).max().unwrap_or(0) as f64;
+    // c ≥ λ_max(L); λ_max ≤ 2·d_max (Gershgorin).
+    let c = 2.0 * max_degree + 1.0;
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    orthogonalise_to_constant(&mut v);
+    normalise(&mut v);
+
+    let mut next = vec![0.0f64; n];
+    for _ in 0..config.max_iterations {
+        // next = (c·I − L)·v = c·v − D·v + A·v
+        for u in 0..n {
+            let mut acc = (c - g.degree(u) as f64) * v[u];
+            for &w in g.neighbors(u) {
+                acc += v[w];
+            }
+            next[u] = acc;
+        }
+        orthogonalise_to_constant(&mut next);
+        normalise(&mut next);
+        let delta: f64 = v
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+            // Sign flips between iterations are convergence too.
+            .min(v.iter().zip(&next).map(|(a, b)| (a + b) * (a + b)).sum::<f64>().sqrt());
+        std::mem::swap(&mut v, &mut next);
+        if delta < config.tolerance {
+            break;
+        }
+    }
+    // Sign normalisation for reproducibility.
+    if let Some(first) = v.iter().find(|x| x.abs() > 1e-12) {
+        if *first < 0.0 {
+            for x in &mut v {
+                *x = -*x;
+            }
+        }
+    }
+    Some(v)
+}
+
+/// Spectral bisection: median split of the Fiedler embedding.
+///
+/// # Errors
+///
+/// [`PartitionError::EmptyGraph`] for an empty graph.
+///
+/// # Example
+///
+/// ```
+/// use chiplet_graph::gen;
+/// use chiplet_partition::{spectral_bisection, SpectralConfig};
+///
+/// // A path graph splits at its middle edge.
+/// let r = spectral_bisection(&gen::path(10), &SpectralConfig::default())?;
+/// assert_eq!(r.cut, 1);
+/// # Ok::<(), chiplet_partition::PartitionError>(())
+/// ```
+pub fn spectral_bisection(
+    g: &Graph,
+    config: &SpectralConfig,
+) -> Result<BisectionResult, PartitionError> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Err(PartitionError::EmptyGraph);
+    }
+    if n == 1 {
+        let partition = Bipartition::all_a(1);
+        return Ok(BisectionResult { partition, cut: 0, method: Method::Spectral });
+    }
+    let fiedler = fiedler_vector(g, config).expect("n >= 2");
+    // Order vertices by Fiedler value; the low half goes to side A.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| fiedler[a].total_cmp(&fiedler[b]).then(a.cmp(&b)));
+    let half = n / 2;
+    let mut side_a = vec![false; n];
+    for &v in &order[..half] {
+        side_a[v] = true;
+    }
+    let partition = Bipartition::from_side_of(n, |v| {
+        if side_a[v] {
+            chiplet_graph::cut::Side::A
+        } else {
+            chiplet_graph::cut::Side::B
+        }
+    });
+    debug_assert!(partition.is_balanced(balance_tolerance(n)));
+    let cut = partition.cut_size(g);
+    Ok(BisectionResult { partition, cut, method: Method::Spectral })
+}
+
+fn orthogonalise_to_constant(v: &mut [f64]) {
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    for x in v.iter_mut() {
+        *x -= mean;
+    }
+}
+
+fn normalise(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_graph::gen;
+
+    #[test]
+    fn fiedler_of_a_path_is_monotone() {
+        // For P_n the Fiedler vector is cos(π(i + ½)/n): strictly monotone
+        // along the path, so the embedding recovers the line order.
+        let g = gen::path(8);
+        let f = fiedler_vector(&g, &SpectralConfig::default()).unwrap();
+        let increasing = f.windows(2).all(|w| w[0] < w[1]);
+        let decreasing = f.windows(2).all(|w| w[0] > w[1]);
+        assert!(increasing || decreasing, "{f:?}");
+    }
+
+    #[test]
+    fn fiedler_is_orthogonal_to_constant_and_unit() {
+        let g = gen::grid(4, 4);
+        let f = fiedler_vector(&g, &SpectralConfig::default()).unwrap();
+        let sum: f64 = f.iter().sum();
+        let norm: f64 = f.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(sum.abs() < 1e-8, "not mean-free: {sum}");
+        assert!((norm - 1.0).abs() < 1e-8, "not unit norm: {norm}");
+    }
+
+    #[test]
+    fn path_splits_in_the_middle() {
+        let r = spectral_bisection(&gen::path(10), &SpectralConfig::default()).unwrap();
+        assert_eq!(r.cut, 1);
+        assert!(r.partition.is_balanced(0));
+        assert_eq!(r.method, Method::Spectral);
+    }
+
+    #[test]
+    fn even_cycle_cuts_two() {
+        let r = spectral_bisection(&gen::cycle(12), &SpectralConfig::default()).unwrap();
+        assert_eq!(r.cut, 2);
+    }
+
+    #[test]
+    fn rectangular_grid_cuts_across_the_short_side() {
+        // For R < C with C even, the Fiedler mode lies along the long axis
+        // (its eigenvalue is smaller), so the median split is a straight
+        // column cut of exactly R edges. (Odd vertex counts force jagged
+        // cuts and are excluded.)
+        for (rows, cols) in [(4usize, 6usize), (3, 8), (4, 10)] {
+            let r =
+                spectral_bisection(&gen::grid(rows, cols), &SpectralConfig::default()).unwrap();
+            assert_eq!(r.cut, rows, "grid {rows}x{cols}");
+            assert!(r.partition.is_balanced((rows * cols) % 2));
+        }
+    }
+
+    #[test]
+    fn square_grid_cut_is_near_optimal_despite_degeneracy() {
+        // Square grids have a two-fold degenerate Fiedler eigenvalue (the x
+        // and y modes tie), so power iteration converges to an arbitrary
+        // mixture whose median split can be a diagonal-ish cut — still
+        // within a constant factor of the straight cut.
+        for k in [4usize, 6] {
+            let r = spectral_bisection(&gen::grid(k, k), &SpectralConfig::default()).unwrap();
+            assert!(r.cut >= k, "grid {k}x{k}: cut {} below optimum", r.cut);
+            assert!(r.cut <= 2 * k, "grid {k}x{k}: cut {} too high", r.cut);
+            assert!(r.partition.is_balanced(0));
+        }
+    }
+
+    #[test]
+    fn barbell_cuts_the_bridge() {
+        // Two K_5s joined by a single edge: the spectral split finds the
+        // bridge.
+        let mut edges = Vec::new();
+        for base in [0usize, 5] {
+            for u in 0..5 {
+                for v in (u + 1)..5 {
+                    edges.push((base + u, base + v));
+                }
+            }
+        }
+        edges.push((4, 5));
+        let g = Graph::from_edges(10, &edges).unwrap();
+        let r = spectral_bisection(&g, &SpectralConfig::default()).unwrap();
+        assert_eq!(r.cut, 1);
+    }
+
+    #[test]
+    fn agrees_with_multilevel_on_random_grids() {
+        for (rows, cols) in [(5, 8), (6, 7), (4, 9)] {
+            let g = gen::grid(rows, cols);
+            let spectral = spectral_bisection(&g, &SpectralConfig::default()).unwrap();
+            let multilevel = crate::bisect(&g, &crate::BisectionConfig::default()).unwrap();
+            // The spectral median split is not always optimal, but on grids
+            // it must land within one row/column of the combinatorial cut.
+            assert!(
+                spectral.cut <= multilevel.cut + rows.min(cols),
+                "{rows}x{cols}: spectral {} vs multilevel {}",
+                spectral.cut,
+                multilevel.cut
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let empty = chiplet_graph::GraphBuilder::new(0).build();
+        assert_eq!(
+            spectral_bisection(&empty, &SpectralConfig::default()).unwrap_err(),
+            PartitionError::EmptyGraph
+        );
+        let single = chiplet_graph::GraphBuilder::new(1).build();
+        let r = spectral_bisection(&single, &SpectralConfig::default()).unwrap();
+        assert_eq!(r.cut, 0);
+        assert!(fiedler_vector(&single, &SpectralConfig::default()).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = gen::grid(5, 5);
+        let a = spectral_bisection(&g, &SpectralConfig::default()).unwrap();
+        let b = spectral_bisection(&g, &SpectralConfig::default()).unwrap();
+        assert_eq!(a.partition, b.partition);
+    }
+}

@@ -1,0 +1,168 @@
+//! Gaussian tail mathematics for bit-error-rate estimation.
+//!
+//! With eye height `h` and Gaussian noise of standard deviation `σ`, the
+//! sampled signal crosses the decision threshold with probability
+//! `BER = Q(h / 2σ)` where `Q` is the Gaussian tail function
+//! `Q(x) = ½·erfc(x/√2)`.
+//!
+//! BER targets of practical D2D links (1e−15 and below, per UCIe) live deep
+//! in the tail where naive series lose all relative accuracy, so `erfc`
+//! combines the Abramowitz–Stegun rational approximation for small
+//! arguments with the asymptotic expansion for large ones, and
+//! [`log10_q`] evaluates the tail in log space to avoid underflow
+//! entirely.
+
+/// Complementary error function.
+///
+/// Absolute error ≤ 1.5e−7 for small arguments (Abramowitz & Stegun
+/// 7.1.26); *relative* error below 1e−10 in the deep tail (asymptotic
+/// series), which is what BER work needs.
+#[must_use]
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x < ASYMPTOTIC_CROSSOVER {
+        erfc_abramowitz_stegun(x)
+    } else {
+        // erfc(x) = exp(−x²)·S(x) / (x·√π)
+        (-x * x).exp() * asymptotic_series(x) / (x * PI_SQRT)
+    }
+}
+
+/// The Gaussian tail function `Q(x) = P[N(0,1) > x] = ½·erfc(x/√2)`.
+#[must_use]
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// `log₁₀ Q(x)`, computed in log space so arguments far beyond the f64
+/// underflow point (x ≈ 38) still return finite, accurate values.
+///
+/// Returns `0.0`-adjacent negative values for small `x` and `−∞`-free
+/// large-magnitude negatives for large `x` (e.g. `log10_q(7.94) ≈ −15`).
+#[must_use]
+pub fn log10_q(x: f64) -> f64 {
+    let y = x / std::f64::consts::SQRT_2;
+    if y < ASYMPTOTIC_CROSSOVER {
+        return q_function(x).log10();
+    }
+    // ln Q(x) = −y² + ln S(y) − ln(2·y·√π)   with y = x/√2
+    let ln_q = -y * y + asymptotic_series(y).ln() - (2.0 * y * PI_SQRT).ln();
+    ln_q / std::f64::consts::LN_10
+}
+
+const ASYMPTOTIC_CROSSOVER: f64 = 2.5;
+const PI_SQRT: f64 = 1.772_453_850_905_516;
+
+/// Abramowitz & Stegun 7.1.26 rational approximation (absolute error
+/// ≤ 1.5e−7), valid for `x ≥ 0`.
+fn erfc_abramowitz_stegun(x: f64) -> f64 {
+    const P: f64 = 0.327_591_1;
+    const A: [f64; 5] = [0.254_829_592, -0.284_496_736, 1.421_413_741, -1.453_152_027, 1.061_405_429];
+    let t = 1.0 / (1.0 + P * x);
+    let poly = t * (A[0] + t * (A[1] + t * (A[2] + t * (A[3] + t * A[4]))));
+    poly * (-x * x).exp()
+}
+
+/// The divergent asymptotic series `S(x) = Σ (−1)^k (2k−1)!! / (2x²)^k`,
+/// truncated at its smallest term (standard optimal truncation).
+fn asymptotic_series(x: f64) -> f64 {
+    let inv2x2 = 1.0 / (2.0 * x * x);
+    let mut sum = 1.0;
+    let mut term = 1.0;
+    let mut prev_mag = f64::INFINITY;
+    for k in 1..=20_u32 {
+        term *= -(f64::from(2 * k - 1)) * inv2x2;
+        if term.abs() >= prev_mag {
+            break; // series started diverging: stop at the optimal point
+        }
+        prev_mag = term.abs();
+        sum += term;
+        if term.abs() < 1e-17 * sum.abs() {
+            break;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_known_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(0.5) - 0.479_500_122).abs() < 1e-6);
+        assert!((erfc(1.0) - 0.157_299_207).abs() < 1e-6);
+        assert!((erfc(2.0) - 0.004_677_735).abs() < 3e-7);
+    }
+
+    #[test]
+    fn erfc_negative_reflection() {
+        for x in [0.3, 1.1, 2.7] {
+            assert!((erfc(-x) - (2.0 - erfc(x))).abs() < 1e-12);
+        }
+        assert!((erfc(-3.0) - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn erfc_deep_tail_relative_accuracy() {
+        // erfc(5) = 1.537459794428035e-12 (reference: mpmath).
+        let rel = (erfc(5.0) - 1.537_459_794_428_035e-12).abs() / 1.537e-12;
+        assert!(rel < 1e-9, "relative error {rel}");
+        // erfc(10) = 2.088487583762545e-45.
+        let rel = (erfc(10.0) - 2.088_487_583_762_545e-45).abs() / 2.088e-45;
+        assert!(rel < 1e-9, "relative error {rel}");
+    }
+
+    #[test]
+    fn q_function_checkpoints() {
+        assert!((q_function(0.0) - 0.5).abs() < 1e-7);
+        // Q(1) = 0.158655253931457.
+        assert!((q_function(1.0) - 0.158_655_253_9).abs() < 1e-6);
+        // The BER-1e-15 operating point of UCIe-class links: Q(7.941) ≈ 1e-15.
+        let ber = q_function(7.941);
+        assert!((0.5e-15..2.0e-15).contains(&ber), "{ber}");
+    }
+
+    #[test]
+    fn log10_q_matches_linear_scale_where_both_work() {
+        for x in [0.5, 1.5, 2.5, 4.0, 6.0, 8.0] {
+            let direct = q_function(x).log10();
+            let logspace = log10_q(x);
+            assert!((direct - logspace).abs() < 1e-6, "x={x}: {direct} vs {logspace}");
+        }
+    }
+
+    #[test]
+    fn log10_q_survives_extreme_arguments() {
+        // Far beyond f64 underflow of Q itself.
+        let v = log10_q(50.0);
+        assert!(v.is_finite());
+        // ln Q ≈ −x²/2 − ln(x√(2π)): −1250/ln10 − log10(125.33) ≈ −544.9.
+        assert!((v + 544.9).abs() < 0.5, "{v}");
+        assert_eq!(q_function(50.0), 0.0); // the linear scale underflows
+    }
+
+    #[test]
+    fn monotone_decreasing() {
+        let mut last = f64::INFINITY;
+        for i in 0..200 {
+            let x = f64::from(i) * 0.1;
+            let v = log10_q(x);
+            assert!(v < last, "log10_q not decreasing at {x}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn continuous_across_the_crossover() {
+        // The A&S / asymptotic hand-off must not produce a visible seam.
+        // The A&S side carries ~1.5e-7 absolute error, which at Q ≈ 4e-4
+        // translates to a few 1e-4 in log10 — invisible at BER scales.
+        let below = log10_q(ASYMPTOTIC_CROSSOVER * std::f64::consts::SQRT_2 - 1e-6);
+        let above = log10_q(ASYMPTOTIC_CROSSOVER * std::f64::consts::SQRT_2 + 1e-6);
+        assert!((below - above).abs() < 2e-3, "{below} vs {above}");
+    }
+}

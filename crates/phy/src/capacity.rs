@@ -1,0 +1,312 @@
+//! Capacity solvers: maximum bit rate for a length, maximum length for a
+//! bit rate, and frequency derating for long links.
+//!
+//! These answer the question the paper's §V sidesteps by fiat ("we make the
+//! operating frequency an input parameter"): *what frequency can a link of
+//! this length actually sustain?* Kite-style topologies (related work [15])
+//! trade longer links for better graph properties, which only pays off if
+//! the frequency penalty of the longer wire is modelled — these solvers
+//! provide that penalty.
+
+use crate::eye::{analyze, analyze_with_modulation, Modulation, SignalBudget};
+use crate::tech::Technology;
+
+/// Relative tolerance of the bisection solvers.
+const TOLERANCE: f64 = 1e-4;
+/// Upper bound beyond which the search gives up (Gb/s or mm).
+const SEARCH_CAP: f64 = 1_048_576.0;
+
+/// The largest per-wire bit rate (Gb/s) a link of `length_mm` sustains at
+/// the BER target, or `None` if even an arbitrarily slow link fails (e.g.
+/// crosstalk alone closes the eye).
+///
+/// The BER is monotone in the bit rate (more loss, more ISI, more coupling
+/// at higher Nyquist), so a bisection over the rate converges to the
+/// feasibility boundary.
+#[must_use]
+pub fn max_bit_rate_gbps(
+    tech: &Technology,
+    budget: &SignalBudget,
+    length_mm: f64,
+    log10_ber_target: f64,
+) -> Option<f64> {
+    let feasible =
+        |rate: f64| analyze(tech, budget, rate, length_mm).meets(log10_ber_target);
+    bisect_feasibility_boundary(feasible)
+}
+
+/// The longest link (mm) that sustains `bit_rate_gbps` per wire at the BER
+/// target, or `None` if even a zero-length link fails (fixed transition
+/// loss plus noise already close the eye).
+#[must_use]
+pub fn max_length_mm(
+    tech: &Technology,
+    budget: &SignalBudget,
+    bit_rate_gbps: f64,
+    log10_ber_target: f64,
+) -> Option<f64> {
+    let feasible =
+        |length: f64| analyze(tech, budget, bit_rate_gbps, length).meets(log10_ber_target);
+    bisect_feasibility_boundary(feasible)
+}
+
+/// The bit rate a link of `length_mm` actually runs at when the design asks
+/// for `requested_gbps`: the requested rate if the link sustains it, the
+/// maximum sustainable rate otherwise, and `0.0` for an infeasible link.
+///
+/// This is the derating rule long-link topologies must pay: the §V
+/// bandwidth model becomes `B = N_dw · derated_bit_rate` instead of
+/// `B = N_dw · f`.
+///
+/// # Example
+///
+/// ```
+/// use chiplet_phy::{capacity, SignalBudget, Technology};
+///
+/// let tech = Technology::silicon_interposer();
+/// let budget = SignalBudget::default();
+/// // Adjacent chiplets (≤ 2 mm): full rate. A 3-pitch express link: derated.
+/// let near = capacity::derated_bit_rate_gbps(&tech, &budget, 1.8, 16.0, -15.0);
+/// let far = capacity::derated_bit_rate_gbps(&tech, &budget, 5.4, 16.0, -15.0);
+/// assert_eq!(near, 16.0);
+/// assert!(far < 16.0);
+/// ```
+#[must_use]
+pub fn derated_bit_rate_gbps(
+    tech: &Technology,
+    budget: &SignalBudget,
+    length_mm: f64,
+    requested_gbps: f64,
+    log10_ber_target: f64,
+) -> f64 {
+    if analyze(tech, budget, requested_gbps, length_mm).meets(log10_ber_target) {
+        return requested_gbps;
+    }
+    max_bit_rate_gbps(tech, budget, length_mm, log10_ber_target)
+        .map_or(0.0, |max| max.min(requested_gbps))
+}
+
+/// The largest bit rate a link sustains under a given line modulation.
+/// Returns `None` when even an arbitrarily slow link fails.
+#[must_use]
+pub fn max_bit_rate_with_modulation(
+    tech: &Technology,
+    budget: &SignalBudget,
+    length_mm: f64,
+    log10_ber_target: f64,
+    modulation: Modulation,
+) -> Option<f64> {
+    let feasible = |rate: f64| {
+        analyze_with_modulation(tech, budget, rate, length_mm, modulation)
+            .meets(log10_ber_target)
+    };
+    bisect_feasibility_boundary(feasible)
+}
+
+/// Picks the modulation that sustains the higher bit rate on a link of
+/// `length_mm`, returning it with that rate; `None` if neither works.
+///
+/// For the calibrated USR technologies this always answers NRZ — the PAM4
+/// eye split (~9.5 dB) outweighs its Nyquist-halving loss savings within
+/// any feasible reach, which is why UCIe and BoW are NRZ interfaces. The
+/// solver exists to *demonstrate* that, and to answer differently for
+/// lossier exotic channels.
+#[must_use]
+pub fn best_modulation(
+    tech: &Technology,
+    budget: &SignalBudget,
+    length_mm: f64,
+    log10_ber_target: f64,
+) -> Option<(Modulation, f64)> {
+    let candidates = [Modulation::Nrz, Modulation::Pam4];
+    candidates
+        .into_iter()
+        .filter_map(|m| {
+            max_bit_rate_with_modulation(tech, budget, length_mm, log10_ber_target, m)
+                .map(|rate| (m, rate))
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+/// Finds the boundary of a monotone feasibility predicate: the largest `x`
+/// with `feasible(x)`, assuming feasibility only degrades as `x` grows.
+fn bisect_feasibility_boundary(feasible: impl Fn(f64) -> bool) -> Option<f64> {
+    if !feasible(f64::MIN_POSITIVE) {
+        return None;
+    }
+    // Exponential search for an infeasible upper bracket.
+    let mut lo = f64::MIN_POSITIVE;
+    let mut hi = 1.0;
+    while feasible(hi) {
+        lo = hi;
+        hi *= 2.0;
+        if hi > SEARCH_CAP {
+            return Some(lo); // effectively unconstrained
+        }
+    }
+    // Bisect [lo feasible, hi infeasible].
+    while hi - lo > TOLERANCE * hi.max(1.0) {
+        let mid = 0.5 * (lo + hi);
+        if feasible(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BER15: f64 = -15.0;
+
+    #[test]
+    fn substrate_reach_matches_paper_envelope() {
+        // "below 4 mm in general" (§V) at the 16 Gb/s operating point.
+        let sub = Technology::organic_substrate();
+        let reach = max_length_mm(&sub, &SignalBudget::default(), 16.0, BER15).unwrap();
+        assert!((4.0..5.5).contains(&reach), "substrate reach {reach} mm");
+    }
+
+    #[test]
+    fn interposer_reach_matches_ucie_limit() {
+        // "≤ 2 mm" (§II, quoting UCIe) at the 16 Gb/s operating point.
+        let int = Technology::silicon_interposer();
+        let reach = max_length_mm(&int, &SignalBudget::default(), 16.0, BER15).unwrap();
+        assert!((1.8..2.6).contains(&reach), "interposer reach {reach} mm");
+    }
+
+    #[test]
+    fn max_rate_decreases_with_length() {
+        let int = Technology::silicon_interposer();
+        let b = SignalBudget::default();
+        let mut last = f64::INFINITY;
+        for l in [0.5, 1.0, 2.0, 4.0, 8.0] {
+            let r = max_bit_rate_gbps(&int, &b, l, BER15).unwrap_or(0.0);
+            assert!(r < last, "rate not decreasing at {l} mm: {r} vs {last}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn rate_and_length_solvers_are_consistent() {
+        // max_length at (rate r*) and max_rate at (length ℓ*) must agree on
+        // the feasibility boundary.
+        let sub = Technology::organic_substrate();
+        let b = SignalBudget::default();
+        let reach = max_length_mm(&sub, &b, 16.0, BER15).unwrap();
+        let rate_at_reach = max_bit_rate_gbps(&sub, &b, reach, BER15).unwrap();
+        let rel = (rate_at_reach - 16.0).abs() / 16.0;
+        assert!(rel < 0.02, "boundary mismatch: {rate_at_reach} Gb/s at {reach} mm");
+    }
+
+    #[test]
+    fn derating_returns_requested_rate_when_feasible() {
+        let sub = Technology::organic_substrate();
+        let b = SignalBudget::default();
+        assert_eq!(derated_bit_rate_gbps(&sub, &b, 1.0, 16.0, BER15), 16.0);
+    }
+
+    #[test]
+    fn derating_reduces_rate_for_long_links() {
+        let sub = Technology::organic_substrate();
+        let b = SignalBudget::default();
+        let derated = derated_bit_rate_gbps(&sub, &b, 9.0, 16.0, BER15);
+        assert!(derated > 0.0 && derated < 16.0, "derated {derated}");
+        // The derated operating point itself meets the target.
+        assert!(analyze(&sub, &b, derated, 9.0).meets(BER15));
+    }
+
+    #[test]
+    fn infeasible_link_derates_to_zero() {
+        // A hopeless channel: noise sigma so large no eye survives.
+        let int = Technology::silicon_interposer();
+        let b = SignalBudget { rx_noise_sigma_v: 1.0, ..SignalBudget::default() };
+        assert_eq!(derated_bit_rate_gbps(&int, &b, 1.0, 16.0, BER15), 0.0);
+        assert_eq!(max_bit_rate_gbps(&int, &b, 1.0, BER15), None);
+    }
+
+    #[test]
+    fn crosstalk_dominated_channel_cuts_reach_hard() {
+        // Crank coupling to eye-consuming levels with no frequency relief:
+        // reach is then set by crosstalk accumulation, far short of the
+        // loss-limited reach of the healthy preset (~2 mm).
+        let mut t = Technology::silicon_interposer();
+        t.xtalk_coupling = 0.6;
+        t.xtalk_freq_ref_ghz = 0.0; // full-strength coupling at any rate
+        let b = SignalBudget::default();
+        let reach = max_length_mm(&t, &b, 16.0, BER15).unwrap();
+        assert!((0.1..1.2).contains(&reach), "crosstalk-limited reach {reach} mm");
+    }
+
+    #[test]
+    fn lenient_targets_extend_reach() {
+        let int = Technology::silicon_interposer();
+        let b = SignalBudget::default();
+        let strict = max_length_mm(&int, &b, 16.0, -15.0).unwrap();
+        let lenient = max_length_mm(&int, &b, 16.0, -9.0).unwrap();
+        assert!(lenient > strict, "lenient {lenient} vs strict {strict}");
+    }
+
+    #[test]
+    fn nrz_is_the_best_modulation_for_usr_links() {
+        let b = SignalBudget::default();
+        for tech in [Technology::organic_substrate(), Technology::silicon_interposer()] {
+            for length in [0.5, 1.5, 3.0] {
+                let (m, rate) = best_modulation(&tech, &b, length, BER15)
+                    .expect("short links are feasible");
+                assert_eq!(m, Modulation::Nrz, "{} at {length} mm", tech.name);
+                let pam4 =
+                    max_bit_rate_with_modulation(&tech, &b, length, BER15, Modulation::Pam4)
+                        .unwrap_or(0.0);
+                assert!(rate >= pam4, "NRZ {rate} < PAM4 {pam4} at {length} mm");
+            }
+        }
+    }
+
+    #[test]
+    fn pam4_wins_on_a_pathological_loss_dominated_channel() {
+        // A channel lossy enough that halving Nyquist saves more than the
+        // ~9.5 dB eye split: huge skin-effect slope, no crosstalk, quiet
+        // receiver. This is no USR technology — it verifies the solver
+        // answers differently when the physics do.
+        let t = Technology {
+            name: "pathological".into(),
+            conductor_loss: 6.0,
+            dielectric_loss: 0.0,
+            fixed_loss_db: 0.0,
+            xtalk_coupling: 0.0,
+            xtalk_saturation_mm: 1.0,
+            xtalk_freq_ref_ghz: 8.0,
+            aggressors: 0,
+        };
+        let b = SignalBudget {
+            rx_noise_sigma_v: 0.0005,
+            isi_fraction_per_10db: 0.0,
+            ..SignalBudget::default()
+        };
+        let (m, _) = best_modulation(&t, &b, 8.0, -12.0).expect("feasible");
+        assert_eq!(m, Modulation::Pam4);
+    }
+
+    #[test]
+    fn unconstrained_search_caps_gracefully() {
+        // A perfect channel (no loss, no crosstalk, tiny noise) hits the
+        // search cap instead of looping forever.
+        let t = Technology {
+            name: "ideal".into(),
+            conductor_loss: 0.0,
+            dielectric_loss: 0.0,
+            fixed_loss_db: 0.0,
+            xtalk_coupling: 0.0,
+            xtalk_saturation_mm: 1.0,
+            xtalk_freq_ref_ghz: 8.0,
+            aggressors: 2,
+        };
+        let b = SignalBudget::default();
+        let reach = max_length_mm(&t, &b, 16.0, BER15).unwrap();
+        assert!(reach >= SEARCH_CAP / 2.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Crosstalk coupling between neighbouring wires of a D2D link.
+//!
+//! USR links run many parallel wires at minimum pitch, so far-end crosstalk
+//! (FEXT) from the immediate neighbours is the dominant deterministic noise
+//! source. We model the coupled amplitude ratio of a single aggressor as
+//!
+//! ```text
+//! κ(f, ℓ) = κ₀ · (1 − e^(−ℓ/ℓ_sat)) · min(1, f/f_ref)
+//! ```
+//!
+//! — growing with coupled length towards an asymptote `κ₀` (beyond a few
+//! saturation lengths the forward-coupled wave walks off), and linearly with
+//! frequency until the reference frequency. The total budgeted crosstalk
+//! multiplies this by the number of aggressors.
+
+use crate::tech::Technology;
+
+/// Amplitude-coupling ratio of a single aggressor wire (0..1).
+#[must_use]
+pub fn single_aggressor_ratio(tech: &Technology, nyquist_ghz: f64, length_mm: f64) -> f64 {
+    debug_assert!(nyquist_ghz >= 0.0 && length_mm >= 0.0);
+    let length_term = if tech.xtalk_saturation_mm > 0.0 {
+        1.0 - (-length_mm / tech.xtalk_saturation_mm).exp()
+    } else {
+        1.0
+    };
+    let freq_term = if tech.xtalk_freq_ref_ghz > 0.0 {
+        (nyquist_ghz / tech.xtalk_freq_ref_ghz).min(1.0)
+    } else {
+        1.0
+    };
+    tech.xtalk_coupling * length_term * freq_term
+}
+
+/// Total worst-case crosstalk ratio: all budgeted aggressors switching
+/// against the victim simultaneously, clamped to 1 (full eye closure).
+#[must_use]
+pub fn total_ratio(tech: &Technology, nyquist_ghz: f64, length_mm: f64) -> f64 {
+    (single_aggressor_ratio(tech, nyquist_ghz, length_mm) * f64::from(tech.aggressors)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_with_length_and_saturates() {
+        let t = Technology::silicon_interposer();
+        let short = single_aggressor_ratio(&t, 8.0, 0.5);
+        let medium = single_aggressor_ratio(&t, 8.0, 2.0);
+        let long = single_aggressor_ratio(&t, 8.0, 20.0);
+        assert!(short < medium && medium < long);
+        // Saturated value approaches the asymptotic coupling.
+        assert!((long - t.xtalk_coupling).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_length_couples_nothing() {
+        let t = Technology::organic_substrate();
+        assert_eq!(single_aggressor_ratio(&t, 8.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn frequency_scaling_caps_at_reference() {
+        let t = Technology::organic_substrate();
+        let half = single_aggressor_ratio(&t, t.xtalk_freq_ref_ghz / 2.0, 3.0);
+        let at_ref = single_aggressor_ratio(&t, t.xtalk_freq_ref_ghz, 3.0);
+        let above = single_aggressor_ratio(&t, t.xtalk_freq_ref_ghz * 4.0, 3.0);
+        assert!((half - at_ref / 2.0).abs() < 1e-12);
+        assert_eq!(at_ref, above);
+    }
+
+    #[test]
+    fn total_multiplies_by_aggressors_and_clamps() {
+        let mut t = Technology::silicon_interposer();
+        let single = single_aggressor_ratio(&t, 8.0, 2.0);
+        assert!((total_ratio(&t, 8.0, 2.0) - 2.0 * single).abs() < 1e-12);
+        t.aggressors = 1000;
+        assert_eq!(total_ratio(&t, 8.0, 2.0), 1.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Signal-integrity model for ultra-short-reach (USR) die-to-die links.
+//!
+//! The HexaMesh paper's link model (§V) treats the operating frequency of a
+//! D2D link as an *input*, justified by the observation that links between
+//! adjacent chiplets are short (< 4 mm in general, < 2 mm for N ≥ 10). Its
+//! related-work section points at Dehlaghi et al. (*Ultra-Short-Reach
+//! Interconnects for Die-to-Die Links*, IEEE SSCS Magazine 2019) as the way
+//! to extend that model with insertion-loss, crosstalk, and bit-error-rate
+//! predictions. This crate is that extension, built from scratch:
+//!
+//! * [`tech`] — wiring-technology presets (organic package substrate,
+//!   silicon interposer) with loss and coupling coefficients;
+//! * [`loss`] — insertion loss vs. frequency and length (skin-effect and
+//!   dielectric terms plus fixed bump/pad transitions);
+//! * [`crosstalk`] — aggressor coupling vs. length and frequency;
+//! * [`eye`] — eye-diagram budget: received swing, ISI and crosstalk
+//!   closure, eye height;
+//! * [`ber`] — Gaussian tail math (`erfc`, Q-function, `log₁₀ BER`);
+//! * [`capacity`] — the solvers that answer the questions the paper leaves
+//!   to intuition: the maximum bit rate a link of a given length sustains at
+//!   a target BER, and the maximum length at a given bit rate.
+//!
+//! The presets are calibrated so that at the paper's operating point
+//! (16 Gb/s per wire, BER ≤ 1e−15) an organic-substrate link is good to
+//! roughly 4 mm and a silicon-interposer link to roughly 2 mm — the limits
+//! §II and §V of the paper quote from the UCIe specification.
+//!
+//! # Example
+//!
+//! ```
+//! use chiplet_phy::{capacity, eye, SignalBudget, Technology};
+//!
+//! let interposer = Technology::silicon_interposer();
+//! let budget = SignalBudget::default();
+//!
+//! // The paper's operating point: 16 Gb/s per wire.
+//! let analysis = eye::analyze(&interposer, &budget, 16.0, 1.5);
+//! assert!(analysis.log10_ber < -15.0, "1.5 mm interposer link is clean");
+//!
+//! // How long can the link get before BER 1e-15 is violated?
+//! let reach = capacity::max_length_mm(&interposer, &budget, 16.0, -15.0)
+//!     .expect("the operating point is feasible at zero length");
+//! assert!(reach > 1.5 && reach < 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ber;
+pub mod capacity;
+pub mod crosstalk;
+pub mod eye;
+pub mod loss;
+pub mod tech;
+
+pub use capacity::{best_modulation, derated_bit_rate_gbps, max_bit_rate_gbps, max_length_mm};
+pub use eye::{analyze, analyze_with_modulation, EyeAnalysis, Modulation, SignalBudget};
+pub use tech::Technology;

@@ -1,0 +1,92 @@
+//! Insertion loss of a D2D channel vs. frequency and length.
+//!
+//! The standard two-term transmission-line loss model:
+//!
+//! ```text
+//! IL(f, ℓ) = IL_fixed + (k_c · √f + k_d · f) · ℓ      [dB]
+//! ```
+//!
+//! where the conductor term (`k_c·√f`, skin effect) dominates at the short
+//! lengths and moderate frequencies of USR links, and the dielectric term
+//! (`k_d·f`) takes over at high frequencies. Both are linear in length —
+//! the physical root of the paper's "links must be short to run fast" rule.
+
+use crate::tech::Technology;
+
+/// Insertion loss of the wire itself in dB (excluding the fixed transition
+/// loss), at the given Nyquist frequency and length.
+///
+/// Returns `0.0` for zero length or zero frequency.
+///
+/// # Panics
+///
+/// Panics (debug) on negative inputs; use validated [`Technology`] values.
+#[must_use]
+pub fn wire_loss_db(tech: &Technology, nyquist_ghz: f64, length_mm: f64) -> f64 {
+    debug_assert!(nyquist_ghz >= 0.0 && length_mm >= 0.0);
+    (tech.conductor_loss * nyquist_ghz.sqrt() + tech.dielectric_loss * nyquist_ghz) * length_mm
+}
+
+/// Total insertion loss in dB: wire loss plus the fixed bump/pad transition
+/// loss of the two link ends.
+#[must_use]
+pub fn insertion_loss_db(tech: &Technology, nyquist_ghz: f64, length_mm: f64) -> f64 {
+    tech.fixed_loss_db + wire_loss_db(tech, nyquist_ghz, length_mm)
+}
+
+/// Converts a loss in dB to the surviving amplitude ratio (`10^(−dB/20)`).
+#[must_use]
+pub fn amplitude_ratio(loss_db: f64) -> f64 {
+    10.0_f64.powf(-loss_db / 20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_linear_in_length() {
+        let t = Technology::organic_substrate();
+        let one = wire_loss_db(&t, 8.0, 1.0);
+        let four = wire_loss_db(&t, 8.0, 4.0);
+        assert!((four - 4.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_grows_with_frequency() {
+        let t = Technology::silicon_interposer();
+        let lo = wire_loss_db(&t, 4.0, 2.0);
+        let hi = wire_loss_db(&t, 16.0, 2.0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn zero_length_leaves_only_fixed_loss() {
+        let t = Technology::organic_substrate();
+        assert_eq!(insertion_loss_db(&t, 8.0, 0.0), t.fixed_loss_db);
+        assert_eq!(wire_loss_db(&t, 8.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_frequency_is_lossless_wire() {
+        let t = Technology::organic_substrate();
+        assert_eq!(wire_loss_db(&t, 0.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn amplitude_ratio_checkpoints() {
+        assert!((amplitude_ratio(0.0) - 1.0).abs() < 1e-12);
+        assert!((amplitude_ratio(6.0) - 0.501).abs() < 1e-3); // −6 dB ≈ half
+        assert!((amplitude_ratio(20.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn substrate_one_db_per_mm_ballpark() {
+        // At the paper's operating point (16 Gb/s → 8 GHz Nyquist) the
+        // substrate preset loses ≈ 1 dB/mm — consistent with published USR
+        // channel measurements.
+        let t = Technology::organic_substrate();
+        let per_mm = wire_loss_db(&t, 8.0, 1.0);
+        assert!((0.8..1.3).contains(&per_mm), "{per_mm} dB/mm");
+    }
+}

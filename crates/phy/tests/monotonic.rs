@@ -1,0 +1,112 @@
+//! Property tests for the signal-integrity model: physical monotonicities
+//! and solver consistency that must hold for any reasonable channel.
+
+use chiplet_phy::{ber, capacity, crosstalk, eye, loss, SignalBudget, Technology};
+use proptest::prelude::*;
+
+fn arb_tech() -> impl Strategy<Value = Technology> {
+    (0.05f64..1.0, 0.005f64..0.08, 0.0f64..1.5, 0.0f64..0.12, 0.5f64..4.0).prop_map(
+        |(kc, kd, fixed, xt, sat)| Technology {
+            name: "random".into(),
+            conductor_loss: kc,
+            dielectric_loss: kd,
+            fixed_loss_db: fixed,
+            xtalk_coupling: xt,
+            xtalk_saturation_mm: sat,
+            xtalk_freq_ref_ghz: 8.0,
+            aggressors: 2,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn ber_worsens_with_length(tech in arb_tech(), l in 0.1f64..8.0, dl in 0.1f64..4.0) {
+        let b = SignalBudget::default();
+        let near = eye::analyze(&tech, &b, 16.0, l);
+        let far = eye::analyze(&tech, &b, 16.0, l + dl);
+        prop_assert!(far.log10_ber >= near.log10_ber - 1e-9,
+            "BER improved with length: {} -> {}", near.log10_ber, far.log10_ber);
+    }
+
+    #[test]
+    fn ber_worsens_with_bit_rate(tech in arb_tech(), r in 2.0f64..40.0, dr in 1.0f64..24.0) {
+        let b = SignalBudget::default();
+        let slow = eye::analyze(&tech, &b, r, 2.0);
+        let fast = eye::analyze(&tech, &b, r + dr, 2.0);
+        prop_assert!(fast.log10_ber >= slow.log10_ber - 1e-9);
+    }
+
+    #[test]
+    fn eye_components_are_physical(tech in arb_tech(), r in 1.0f64..64.0, l in 0.0f64..20.0) {
+        let b = SignalBudget::default();
+        let a = eye::analyze(&tech, &b, r, l);
+        prop_assert!(a.insertion_loss_db >= tech.fixed_loss_db - 1e-12);
+        prop_assert!(a.received_swing_v >= 0.0 && a.received_swing_v <= b.tx_swing_v + 1e-12);
+        prop_assert!(a.isi_closure_v >= 0.0 && a.crosstalk_closure_v >= 0.0);
+        prop_assert!(a.eye_height_v >= 0.0);
+        prop_assert!(a.eye_height_v <= a.received_swing_v + 1e-12);
+        prop_assert!(a.log10_ber <= 0.0);
+    }
+
+    #[test]
+    fn derated_rate_is_feasible_and_capped(tech in arb_tech(), l in 0.1f64..10.0) {
+        let b = SignalBudget::default();
+        let derated = capacity::derated_bit_rate_gbps(&tech, &b, l, 16.0, -15.0);
+        prop_assert!((0.0..=16.0).contains(&derated));
+        if derated > 0.0 {
+            let a = eye::analyze(&tech, &b, derated, l);
+            prop_assert!(a.meets(-15.0), "derated point violates target: {a}");
+        }
+    }
+
+    #[test]
+    fn reach_shrinks_with_rate(tech in arb_tech()) {
+        let b = SignalBudget::default();
+        let slow = capacity::max_length_mm(&tech, &b, 8.0, -15.0);
+        let fast = capacity::max_length_mm(&tech, &b, 32.0, -15.0);
+        match (slow, fast) {
+            (Some(s), Some(f)) => prop_assert!(f <= s + 1e-6, "reach grew with rate: {s} -> {f}"),
+            (None, Some(_)) => prop_assert!(false, "feasible at 32 Gb/s but not at 8 Gb/s"),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn loss_is_additive_in_length(tech in arb_tech(), f in 0.5f64..32.0,
+                                  l1 in 0.0f64..10.0, l2 in 0.0f64..10.0) {
+        let a = loss::wire_loss_db(&tech, f, l1);
+        let b = loss::wire_loss_db(&tech, f, l2);
+        let ab = loss::wire_loss_db(&tech, f, l1 + l2);
+        prop_assert!((ab - (a + b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crosstalk_bounded_by_asymptote(tech in arb_tech(), f in 0.0f64..64.0, l in 0.0f64..50.0) {
+        let single = crosstalk::single_aggressor_ratio(&tech, f, l);
+        prop_assert!(single >= 0.0);
+        prop_assert!(single <= tech.xtalk_coupling + 1e-12);
+        let total = crosstalk::total_ratio(&tech, f, l);
+        prop_assert!((0.0..=1.0).contains(&total));
+    }
+
+    #[test]
+    fn q_function_is_a_probability(x in -10.0f64..40.0) {
+        let q = ber::q_function(x);
+        prop_assert!((0.0..=1.0).contains(&q));
+    }
+
+    #[test]
+    fn erfc_within_range(x in -6.0f64..30.0) {
+        let v = ber::erfc(x);
+        prop_assert!((0.0..=2.0).contains(&v), "erfc({x}) = {v}");
+    }
+
+    #[test]
+    fn log10_q_consistent_with_q(x in 0.0f64..35.0) {
+        let q = ber::q_function(x);
+        if q > 1e-300 {
+            prop_assert!((ber::log10_q(x) - q.log10()).abs() < 2e-3);
+        }
+    }
+}

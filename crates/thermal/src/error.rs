@@ -1,0 +1,47 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+/// Errors from power-map construction or the thermal solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThermalError {
+    /// Grid dimensions or cell size were zero/non-finite.
+    InvalidGrid(&'static str),
+    /// A power value was negative or non-finite.
+    InvalidPower(f64),
+    /// A rectangle lies (partly) outside the power map.
+    OutOfBounds {
+        /// The offending coordinate description.
+        what: &'static str,
+    },
+    /// A solver parameter was non-positive or non-finite.
+    InvalidParameter(&'static str),
+    /// The iterative solver did not reach the residual tolerance.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual in watts.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::InvalidGrid(msg) => write!(f, "invalid grid: {msg}"),
+            ThermalError::InvalidPower(p) => {
+                write!(f, "power {p} must be finite and non-negative")
+            }
+            ThermalError::OutOfBounds { what } => {
+                write!(f, "{what} lies outside the power map")
+            }
+            ThermalError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ThermalError::NotConverged { iterations, residual } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (residual {residual:.2e} W)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {}

@@ -1,0 +1,58 @@
+//! Steady-state thermal analysis of 2.5D chiplet floorplans.
+//!
+//! §II of the paper notes that advanced integration schemes bring "thermal
+//! problems", and the cross-layer co-optimisation work it cites (Coskun et
+//! al., TCAD 2020 — related work [16]) treats operating temperature as a
+//! first-class objective alongside ICI performance. This crate adds that
+//! axis to the workspace: given a floorplan (a
+//! [`chiplet_layout::Placement`]) and per-chiplet power, it predicts the
+//! steady-state temperature field and its hotspots, so arrangements can be
+//! compared thermally as well as topologically.
+//!
+//! * [`power`] — rasterises a floorplan into a per-cell power map;
+//! * [`solver`] — a finite-difference steady-state heat solver
+//!   (lateral conduction through die and heat spreader, vertical path to
+//!   ambient through the heat sink) using successive over-relaxation;
+//! * [`analysis`] — peak/average temperature, gradients, hotspot location.
+//!
+//! # Model
+//!
+//! The package is discretised into square cells. Each cell exchanges heat
+//! laterally with its 4-neighbours through an effective spreader
+//! conductance `G_l` (W/K, independent of cell size for square cells) and
+//! vertically with ambient through an areal resistance `R_v` (K·mm²/W).
+//! Steady state balances, per cell `i`:
+//!
+//! ```text
+//! Σ_j G_l·(T_j − T_i)  +  P_i  −  (A_cell / R_v)·(T_i − T_amb)  =  0
+//! ```
+//!
+//! Boundaries are adiabatic (no lateral flux off the package edge), the
+//! standard worst-case assumption.
+//!
+//! # Example
+//!
+//! ```
+//! use chiplet_thermal::{power::PowerMap, solver::{solve, ThermalParams}};
+//!
+//! // A 10 × 10 mm package with a single 25 W hot square in the centre.
+//! let mut map = PowerMap::new(20, 20, 0.5)?;
+//! map.add_rect_w(4.0, 4.0, 6.0, 6.0, 25.0)?;
+//! let solution = solve(&map, &ThermalParams::default())?;
+//! assert!(solution.peak_c() > solution.average_c());
+//! # Ok::<(), chiplet_thermal::ThermalError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod error;
+pub mod power;
+pub mod solver;
+pub mod svg;
+
+pub use analysis::HotspotReport;
+pub use error::ThermalError;
+pub use power::PowerMap;
+pub use solver::{solve, ThermalParams, ThermalSolution};

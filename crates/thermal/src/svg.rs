@@ -1,0 +1,109 @@
+//! SVG rendering of temperature fields — publication-style heat maps.
+
+use std::fmt::Write as _;
+
+use crate::solver::ThermalSolution;
+
+/// Pixels per thermal cell in the rendered SVG.
+const CELL_PX: f64 = 8.0;
+
+/// Renders the temperature field as an SVG heat map with a blue→red
+/// colour ramp and a temperature legend. The output is a standalone SVG
+/// document.
+#[must_use]
+pub fn render(solution: &ThermalSolution) -> String {
+    let (w, h) = (solution.width(), solution.height());
+    let min = solution.cells().iter().copied().fold(f64::INFINITY, f64::min);
+    let max = solution.peak_c();
+    let span = (max - min).max(1e-9);
+
+    let width_px = w as f64 * CELL_PX;
+    let height_px = h as f64 * CELL_PX + 24.0; // room for the legend
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height_px}" viewBox="0 0 {width_px} {height_px}">"#
+    );
+    for y in 0..h {
+        for x in 0..w {
+            let t = (solution.at(x, y) - min) / span;
+            let (r, g, b) = ramp(t);
+            let _ = writeln!(
+                svg,
+                r#"<rect x="{:.1}" y="{:.1}" width="{CELL_PX}" height="{CELL_PX}" fill="rgb({r},{g},{b})"/>"#,
+                x as f64 * CELL_PX,
+                y as f64 * CELL_PX,
+            );
+        }
+    }
+    let _ = writeln!(
+        svg,
+        r#"<text x="2" y="{:.1}" font-family="monospace" font-size="12">{min:.1} °C … {max:.1} °C</text>"#,
+        h as f64 * CELL_PX + 16.0
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Blue → cyan → yellow → red ramp over `t ∈ [0, 1]`.
+fn ramp(t: f64) -> (u8, u8, u8) {
+    let t = t.clamp(0.0, 1.0);
+    let lerp = |a: f64, b: f64, t: f64| a + (b - a) * t;
+    let (r, g, b) = if t < 1.0 / 3.0 {
+        let u = t * 3.0;
+        (lerp(0.0, 0.0, u), lerp(70.0, 200.0, u), lerp(160.0, 220.0, u))
+    } else if t < 2.0 / 3.0 {
+        let u = (t - 1.0 / 3.0) * 3.0;
+        (lerp(0.0, 255.0, u), lerp(200.0, 220.0, u), lerp(220.0, 60.0, u))
+    } else {
+        let u = (t - 2.0 / 3.0) * 3.0;
+        (lerp(255.0, 210.0, u), lerp(220.0, 30.0, u), lerp(60.0, 30.0, u))
+    };
+    (r.round() as u8, g.round() as u8, b.round() as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PowerMap;
+    use crate::solver::{solve, ThermalParams};
+
+    fn solution() -> ThermalSolution {
+        let mut m = PowerMap::new(6, 4, 1.0).unwrap();
+        m.add_rect_w(2.0, 1.0, 4.0, 3.0, 10.0).unwrap();
+        solve(&m, &ThermalParams::default()).unwrap()
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render(&solution());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect per cell.
+        assert_eq!(svg.matches("<rect").count(), 6 * 4);
+        // The legend mentions both extremes.
+        assert!(svg.contains("°C"));
+    }
+
+    #[test]
+    fn ramp_endpoints_and_ordering() {
+        assert_eq!(ramp(0.0), (0, 70, 160)); // cool blue
+        let (r_hot, g_hot, _) = ramp(1.0);
+        assert!(r_hot > 150 && g_hot < 80, "hot end must be red");
+        // Out-of-range input clamps instead of panicking.
+        assert_eq!(ramp(-5.0), ramp(0.0));
+        assert_eq!(ramp(7.0), ramp(1.0));
+    }
+
+    #[test]
+    fn hotter_cells_are_redder() {
+        let s = solution();
+        let hot = ramp(1.0);
+        let cold = ramp(0.0);
+        let svg = render(&s);
+        let hot_color = format!("rgb({},{},{})", hot.0, hot.1, hot.2);
+        let cold_color = format!("rgb({},{},{})", cold.0, cold.1, cold.2);
+        assert!(svg.contains(&hot_color), "peak cell colour missing");
+        assert!(svg.contains(&cold_color), "coolest cell colour missing");
+    }
+}

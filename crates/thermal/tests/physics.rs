@@ -1,0 +1,97 @@
+//! Property tests: physical invariants of the thermal model that must hold
+//! for arbitrary power maps.
+
+use chiplet_thermal::{solve, PowerMap, ThermalParams};
+use proptest::prelude::*;
+
+/// A random small power map with a handful of rectangular heat sources.
+fn arb_map() -> impl Strategy<Value = PowerMap> {
+    (
+        3usize..10,
+        3usize..10,
+        prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.1f64..0.9, 0.1f64..0.9, 0.5f64..20.0), 1..4),
+    )
+        .prop_map(|(w, h, rects)| {
+            let mut m = PowerMap::new(w, h, 1.0).unwrap();
+            for (fx, fy, fw, fh, watts) in rects {
+                let x0 = fx * (w as f64 - 1.0);
+                let y0 = fy * (h as f64 - 1.0);
+                let x1 = (x0 + fw * (w as f64 - x0)).min(w as f64).max(x0 + 0.1);
+                let y1 = (y0 + fh * (h as f64 - y0)).min(h as f64).max(y0 + 0.1);
+                m.add_rect_w(x0, y0, x1, y1, watts).unwrap();
+            }
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn temperatures_never_fall_below_ambient(map in arb_map()) {
+        let p = ThermalParams::default();
+        let s = solve(&map, &p).unwrap();
+        for &t in s.cells() {
+            prop_assert!(t >= p.ambient_c - 1e-6, "cell below ambient: {t}");
+        }
+    }
+
+    #[test]
+    fn global_energy_balance(map in arb_map()) {
+        // In steady state all generated heat leaves through the vertical
+        // path: Σ G_v·(T_i − T_amb) = Σ P_i.
+        let p = ThermalParams::default();
+        let s = solve(&map, &p).unwrap();
+        let g_v = map.cell_mm() * map.cell_mm() / p.r_vertical_k_mm2_per_w;
+        let removed: f64 = s.cells().iter().map(|t| g_v * (t - p.ambient_c)).sum();
+        let generated = map.total_w();
+        let rel = (removed - generated).abs() / generated.max(1e-9);
+        prop_assert!(rel < 1e-3, "energy imbalance: removed {removed}, generated {generated}");
+    }
+
+    #[test]
+    fn scaling_power_scales_temperature_rise(map in arb_map(), k in 1.5f64..4.0) {
+        // Linearity: multiplying every source by k multiplies every rise by k.
+        let p = ThermalParams::default();
+        let s1 = solve(&map, &p).unwrap();
+        let mut scaled = PowerMap::new(map.width(), map.height(), map.cell_mm()).unwrap();
+        let (w, cell) = (map.width(), map.cell_mm());
+        for (i, &pw) in map.cells().iter().enumerate() {
+            if pw > 0.0 {
+                let (x, y) = (i % w, i / w);
+                scaled
+                    .add_rect_w(
+                        x as f64 * cell,
+                        y as f64 * cell,
+                        (x + 1) as f64 * cell,
+                        (y + 1) as f64 * cell,
+                        pw * k,
+                    )
+                    .unwrap();
+            }
+        }
+        let s2 = solve(&scaled, &p).unwrap();
+        for (a, b) in s1.cells().iter().zip(s2.cells()) {
+            let rise1 = a - p.ambient_c;
+            let rise2 = b - p.ambient_c;
+            prop_assert!((rise2 - k * rise1).abs() < 1e-3 + 1e-3 * rise2.abs(),
+                "linearity violated: {rise1} vs {rise2} (k = {k})");
+        }
+    }
+
+    #[test]
+    fn peak_at_least_average(map in arb_map()) {
+        let s = solve(&map, &ThermalParams::default()).unwrap();
+        prop_assert!(s.peak_c() >= s.average_c() - 1e-9);
+    }
+
+    #[test]
+    fn more_spreading_never_raises_the_peak(map in arb_map()) {
+        let weak = ThermalParams { lateral_conductance_w_per_k: 0.05, ..ThermalParams::default() };
+        let strong = ThermalParams { lateral_conductance_w_per_k: 1.5, ..ThermalParams::default() };
+        let s_weak = solve(&map, &weak).unwrap();
+        let s_strong = solve(&map, &strong).unwrap();
+        prop_assert!(s_strong.peak_c() <= s_weak.peak_c() + 1e-3,
+            "spreading raised peak: {} -> {}", s_weak.peak_c(), s_strong.peak_c());
+    }
+}

@@ -1,0 +1,149 @@
+//! Baseline topology generators over an `R × C` grid arrangement.
+//!
+//! Router ids are row-major: router `(r, c)` has id `r·C + c`.
+
+use crate::topology::Topology;
+
+/// The adjacent-only 2D mesh (the paper's implicit grid ICI, and Tesla
+/// Dojo's choice per §VII): links between horizontal and vertical
+/// neighbours, each one pitch long.
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+#[must_use]
+pub fn mesh(rows: usize, cols: usize) -> Topology {
+    assert!(rows > 0 && cols > 0, "mesh needs at least one row and column");
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1), 1.0));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c), 1.0));
+            }
+        }
+    }
+    Topology::new(format!("mesh_{rows}x{cols}"), rows * cols, edges)
+        .expect("mesh edges are well formed")
+}
+
+/// The folded torus: every row and column closed into a ring, wired in the
+/// standard folded (interleaved) pattern so that ring links span at most
+/// two pitches. One of the long-link families the Kite work (related work
+/// [15]) evaluates against.
+///
+/// Rows or columns of length 2 degenerate to a single mesh link (a
+/// "ring" of two vertices has one edge).
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+#[must_use]
+pub fn ftorus(rows: usize, cols: usize) -> Topology {
+    assert!(rows > 0 && cols > 0, "folded torus needs at least one row and column");
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    // Rows: the folded ring over `cols` positions.
+    for r in 0..rows {
+        for (a, b, len) in folded_ring(cols) {
+            edges.push((id(r, a), id(r, b), len));
+        }
+    }
+    // Columns: the folded ring over `rows` positions.
+    for c in 0..cols {
+        for (a, b, len) in folded_ring(rows) {
+            edges.push((id(a, c), id(b, c), len));
+        }
+    }
+    Topology::new(format!("ftorus_{rows}x{cols}"), rows * cols, edges)
+        .expect("folded torus edges are well formed")
+}
+
+/// The edges of a folded ring over `n` linearly placed positions:
+/// skip-links `i → i+2` (two pitches) plus the two end turnbacks
+/// `0 → 1` and `n−2 → n−1` (one pitch), forming a single cycle that no
+/// wire longer than two pitches.
+fn folded_ring(n: usize) -> Vec<(usize, usize, f64)> {
+    match n {
+        0 | 1 => Vec::new(),
+        2 => vec![(0, 1, 1.0)],
+        _ => {
+            let mut edges: Vec<(usize, usize, f64)> =
+                (0..n - 2).map(|i| (i, i + 2, 2.0)).collect();
+            edges.push((0, 1, 1.0));
+            edges.push((n - 2, n - 1, 1.0));
+            edges
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_graph::metrics;
+
+    #[test]
+    fn mesh_counts_and_lengths() {
+        let m = mesh(3, 4);
+        assert_eq!(m.num_routers(), 12);
+        // 3 rows × 3 horizontal + 4 cols × 2 vertical = 9 + 8 = 17.
+        assert_eq!(m.graph().num_edges(), 17);
+        assert_eq!(m.max_length_pitch(), 1.0);
+        assert!(metrics::is_connected(m.graph()));
+    }
+
+    #[test]
+    fn mesh_single_row_is_a_path() {
+        let m = mesh(1, 5);
+        assert_eq!(m.graph().num_edges(), 4);
+        assert_eq!(metrics::diameter(m.graph()), Some(4));
+    }
+
+    #[test]
+    fn folded_ring_is_a_cycle() {
+        for n in 3..10 {
+            let edges = folded_ring(n);
+            assert_eq!(edges.len(), n, "a ring over {n} has {n} edges");
+            let t = Topology::new("ring", n, edges).unwrap();
+            assert!(metrics::is_connected(t.graph()));
+            // Every vertex has degree exactly 2.
+            for v in 0..n {
+                assert_eq!(t.graph().degree(v), 2, "vertex {v} of ring {n}");
+            }
+            assert_eq!(t.max_length_pitch(), 2.0);
+        }
+    }
+
+    #[test]
+    fn ftorus_has_degree_four_and_shorter_diameter() {
+        let ft = ftorus(4, 4);
+        let m = mesh(4, 4);
+        assert!(metrics::is_connected(ft.graph()));
+        for v in 0..16 {
+            assert_eq!(ft.graph().degree(v), 4);
+        }
+        let d_ft = metrics::diameter(ft.graph()).unwrap();
+        let d_m = metrics::diameter(m.graph()).unwrap();
+        assert!(d_ft < d_m, "ftorus {d_ft} !< mesh {d_m}");
+        assert_eq!(ft.max_length_pitch(), 2.0);
+    }
+
+    #[test]
+    fn ftorus_degenerate_sizes() {
+        let ft = ftorus(2, 2);
+        // Each row/col ring of 2 contributes 1 edge: 2 rows + 2 cols = 4.
+        assert_eq!(ft.graph().num_edges(), 4);
+        assert_eq!(ft.max_length_pitch(), 1.0);
+        let line = ftorus(1, 4);
+        assert!(metrics::is_connected(line.graph()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn mesh_rejects_empty() {
+        let _ = mesh(0, 3);
+    }
+}

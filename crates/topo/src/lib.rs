@@ -1,0 +1,46 @@
+//! Inter-chiplet interconnect topologies with *physical* link lengths.
+//!
+//! HexaMesh's design rule is to connect only adjacent chiplets, so every
+//! link stays short and runs at full frequency (§I, §V). The alternative
+//! school — Kite (Bharadwaj et al., DAC 2020), cited as related work [15] —
+//! connects *non-adjacent* chiplets on a grid arrangement when the
+//! topological benefit of a longer link outweighs its frequency penalty.
+//! Comparing the two fairly requires carrying each link's length through
+//! the evaluation, which this crate does:
+//!
+//! * [`Topology`] — a router graph whose every link knows its length in
+//!   chiplet pitches;
+//! * [`mesh`] — the adjacent-only baseline (all links one pitch);
+//! * [`ftorus`] — the folded torus: row/column rings wired with
+//!   two-pitch links;
+//! * [`express`] — Kite-style meshes augmented with greedily chosen
+//!   express links under a port budget and a length cap;
+//! * [`eval`] — the evaluation pipeline: per-link frequency derating via
+//!   [`chiplet_phy`], heterogeneous-link cycle-accurate simulation via
+//!   [`nocsim`], zero-load latency and saturation throughput out.
+//!
+//! # Example
+//!
+//! ```
+//! use chiplet_topo::{express, mesh};
+//!
+//! let plain = mesh(4, 4);
+//! let kite = express(4, 4, &express::ExpressOptions::default()).unwrap();
+//! // Express links buy average-distance reductions ...
+//! assert!(kite.graph().num_edges() > plain.graph().num_edges());
+//! // ... at the price of longer wires.
+//! assert!(kite.max_length_pitch() > plain.max_length_pitch());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod express;
+pub mod generators;
+pub mod topology;
+
+pub use eval::{evaluate, EvalOptions, TopoEval, TopoEvalError};
+pub use express::express;
+pub use generators::{ftorus, mesh};
+pub use topology::{LinkEdge, Topology, TopologyError};

@@ -1,0 +1,72 @@
+//! Property tests for topology generators: structural invariants that must
+//! hold for every grid size.
+
+use chiplet_graph::metrics;
+use chiplet_topo::express::ExpressOptions;
+use chiplet_topo::{express, ftorus, mesh};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mesh_structure(rows in 1usize..7, cols in 1usize..7) {
+        let m = mesh(rows, cols);
+        prop_assert_eq!(m.num_routers(), rows * cols);
+        prop_assert_eq!(
+            m.graph().num_edges(),
+            rows * (cols - 1) + cols * (rows - 1)
+        );
+        prop_assert!(metrics::is_connected(m.graph()) || rows * cols == 1);
+        prop_assert_eq!(m.max_length_pitch(), if m.graph().num_edges() > 0 { 1.0 } else { 0.0 });
+        // Mesh diameter: (rows-1) + (cols-1).
+        if rows * cols > 0 {
+            prop_assert_eq!(
+                metrics::diameter(m.graph()),
+                Some((rows + cols - 2) as u32)
+            );
+        }
+    }
+
+    #[test]
+    fn ftorus_structure(rows in 3usize..7, cols in 3usize..7) {
+        let ft = ftorus(rows, cols);
+        prop_assert!(metrics::is_connected(ft.graph()));
+        // A torus is 4-regular.
+        for v in 0..ft.num_routers() {
+            prop_assert_eq!(ft.graph().degree(v), 4);
+        }
+        // Folded wiring keeps every wire within two pitches.
+        prop_assert!(ft.max_length_pitch() <= 2.0);
+        // Torus edge count: 2·R·C.
+        prop_assert_eq!(ft.graph().num_edges(), 2 * rows * cols);
+        // Torus diameter: ⌊R/2⌋ + ⌊C/2⌋.
+        prop_assert_eq!(
+            metrics::diameter(ft.graph()),
+            Some((rows / 2 + cols / 2) as u32)
+        );
+    }
+
+    #[test]
+    fn express_contains_the_mesh_and_beats_it(rows in 2usize..6, cols in 2usize..6) {
+        let opts = ExpressOptions { max_links: 4, ..ExpressOptions::default() };
+        let m = mesh(rows, cols);
+        let x = express(rows, cols, &opts).unwrap();
+        // Every mesh link survives in the express topology.
+        for e in m.edges() {
+            prop_assert_eq!(x.length_of(e.u, e.v), Some(1.0));
+        }
+        prop_assert!(metrics::is_connected(x.graph()));
+        // Express never hurts the average distance.
+        let d_mesh = metrics::average_distance(m.graph());
+        let d_x = metrics::average_distance(x.graph());
+        if let (Some(dm), Some(dx)) = (d_mesh, d_x) {
+            prop_assert!(dx <= dm + 1e-12, "express {dx} > mesh {dm}");
+        }
+        // Degrees within budget, lengths within cap.
+        for v in 0..x.num_routers() {
+            prop_assert!(x.graph().degree(v) <= opts.port_budget);
+        }
+        prop_assert!(x.max_length_pitch() <= opts.max_length_pitch.max(1.0));
+    }
+}

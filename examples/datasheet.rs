@@ -1,0 +1,21 @@
+//! Print the design datasheet for an arrangement at the paper's 800 mm²
+//! design point.
+//!
+//! Run with: `cargo run --release --example datasheet [n] [g|bw|hm]`
+
+use hexamesh_repro::hexamesh::arrangement::{Arrangement, ArrangementKind};
+use hexamesh_repro::hexamesh::eval::EvalParams;
+use hexamesh_repro::hexamesh::report::datasheet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(61);
+    let kind = match args.get(2).map(String::as_str) {
+        Some("g") => ArrangementKind::Grid,
+        Some("bw") => ArrangementKind::Brickwall,
+        _ => ArrangementKind::HexaMesh,
+    };
+    let arrangement = Arrangement::build(kind, n)?;
+    println!("{}", datasheet(&arrangement, &EvalParams::paper_defaults())?);
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Single-link-failure analysis: what happens when a D2D link dies?
+//!
+//! HexaMesh's minimum degree of 3 (vs. 2 for the grid, 1 for irregular
+//! grids — §IV-C) means no single link failure can isolate a chiplet. This
+//! example sweeps every single-link failure at one size and reports the
+//! damage: disconnections and worst-case diameter growth.
+//!
+//! Run with: `cargo run --release --example fault_tolerance`
+
+use hexamesh_repro::graph::metrics;
+use hexamesh_repro::graph::resilience::{bridges, edge_connectivity, single_failure_diameter};
+use hexamesh_repro::hexamesh::arrangement::{Arrangement, ArrangementKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 37 chiplets: the grid and brickwall are irregular (one extra chiplet
+    // dangling off a regular 6x6 core — min degree 1, §IV-C), while the
+    // HexaMesh is regular (three complete rings, min degree 3).
+    let n = 37;
+    println!("Single-link-failure sweep at N = {n} (G/BW irregular, HM regular):\n");
+    println!(
+        "{:<10} {:>6} {:>8} {:>8} {:>10} {:>12} {:>8}",
+        "kind", "links", "min deg", "bridges", "k_edge", "diameter", "worst-1"
+    );
+    for kind in [ArrangementKind::Grid, ArrangementKind::Brickwall, ArrangementKind::HexaMesh] {
+        let arrangement = Arrangement::build(kind, n)?;
+        let g = arrangement.graph();
+        let stats = arrangement.degree_stats();
+        let bridge_count = bridges(g).len();
+        let k = edge_connectivity(g).unwrap_or(0);
+        let d0 = metrics::diameter(g).expect("connected");
+        let worst = single_failure_diameter(g)
+            .map_or("n/a".to_owned(), |d| d.to_string());
+        println!(
+            "{:<10} {:>6} {:>8} {:>8} {:>10} {:>12} {:>8}",
+            kind.to_string(),
+            g.num_edges(),
+            stats.min,
+            bridge_count,
+            k,
+            d0,
+            worst
+        );
+    }
+    println!("\nA bridge is a link whose failure disconnects chiplets; `worst-1`");
+    println!("is the diameter after the most damaging survivable link failure.");
+    println!("HexaMesh tolerates any single failure with modest stretch; an");
+    println!("irregular grid can lose a chiplet to one broken link.");
+    Ok(())
+}

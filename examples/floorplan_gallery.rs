@@ -1,0 +1,43 @@
+//! Render the Fig. 4 arrangement gallery as SVG floorplans (top views),
+//! including the perimeter I/O ring of Fig. 2.
+//!
+//! Run with: `cargo run --release --example floorplan_gallery [n]`
+//! Writes `results/floorplan_*.svg`.
+
+use std::fs;
+use std::path::Path;
+
+use hexamesh_repro::hexamesh::arrangement::{Arrangement, ArrangementKind};
+use hexamesh_repro::layout::perimeter::fill_gaps_with_io;
+use hexamesh_repro::layout::svg::{to_svg, SvgStyle};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(37);
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir)?;
+
+    for kind in ArrangementKind::EVALUATED {
+        let arrangement = Arrangement::build(kind, n)?;
+        let placement = arrangement
+            .placement()
+            .expect("evaluated kinds are rectangular");
+        // Fill the notches with I/O chiplets, as the Fig. 4 caption
+        // describes, using half-size tiles so jagged edges fill neatly.
+        let brick = placement.chiplets()[0].rect;
+        let filled = fill_gaps_with_io(placement, brick.width() / 2, brick.height())?;
+        let svg = to_svg(&filled, &SvgStyle::default());
+        let path = out_dir.join(format!(
+            "floorplan_{}_{n}.svg",
+            kind.label().to_lowercase()
+        ));
+        fs::write(&path, svg)?;
+        println!(
+            "{kind} (n={n}, {}): {} compute + {} I/O chiplets -> {}",
+            arrangement.regularity(),
+            filled.compute_count(),
+            filled.len() - filled.compute_count(),
+            path.display()
+        );
+    }
+    Ok(())
+}

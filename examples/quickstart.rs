@@ -1,0 +1,47 @@
+//! Quickstart: compare a HexaMesh against the grid baseline at one size.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hexamesh_repro::hexamesh::arrangement::{Arrangement, ArrangementKind};
+use hexamesh_repro::hexamesh::eval::{link_budget, EvalParams};
+use hexamesh_repro::hexamesh::proxies;
+use hexamesh_repro::partition::BisectionConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 37 chiplets: a regular HexaMesh (three complete rings) and whatever
+    // the grid can do with a prime-ish count (irregular).
+    let n = 37;
+    let params = EvalParams::paper_defaults();
+    let bisection_config = BisectionConfig::default();
+
+    println!("HexaMesh vs grid at N = {n} chiplets\n");
+    println!(
+        "{:<10} {:>11} {:>9} {:>10} {:>12} {:>14}",
+        "kind", "regularity", "diameter", "bisection", "min/max nbrs", "link bw [Gb/s]"
+    );
+    for kind in [ArrangementKind::Grid, ArrangementKind::Brickwall, ArrangementKind::HexaMesh] {
+        let arrangement = Arrangement::build(kind, n)?;
+        let stats = arrangement.degree_stats();
+        let diameter = proxies::measured_diameter(&arrangement).expect("connected");
+        let bisection = proxies::paper_bisection(&arrangement, &bisection_config);
+        let budget = link_budget(&arrangement, &params)?;
+        println!(
+            "{:<10} {:>11} {:>9} {:>10.1} {:>9}/{:<3} {:>13.0}",
+            kind.to_string(),
+            arrangement.regularity().to_string(),
+            diameter,
+            bisection,
+            stats.min,
+            stats.max,
+            budget.estimate.bandwidth_gbps(),
+        );
+    }
+
+    println!();
+    println!(
+        "Asymptotically, HexaMesh cuts the diameter by {:.0}% and lifts bisection by {:.0}%",
+        100.0 * (1.0 - proxies::DIAMETER_RATIO_HM_OVER_G),
+        100.0 * (proxies::BISECTION_RATIO_HM_OVER_G - 1.0),
+    );
+    Ok(())
+}

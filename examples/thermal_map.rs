@@ -1,0 +1,50 @@
+//! Thermal maps of chiplet arrangements: where do the hotspots sit?
+//!
+//! Builds the grid and HexaMesh floorplans at the same chiplet count and
+//! total power, solves the steady-state heat equation, and renders ASCII
+//! heat maps side by side with the summary statistics.
+//!
+//! Run with: `cargo run --release --example thermal_map`
+
+use hexamesh_repro::hexamesh::arrangement::{Arrangement, ArrangementKind};
+use hexamesh_repro::hexamesh::link::UCIE_TOTAL_AREA_MM2;
+use hexamesh_repro::layout::ChipletKind;
+use hexamesh_repro::thermal::analysis::ascii_heatmap;
+use hexamesh_repro::thermal::{solve, HotspotReport, PowerMap, ThermalParams};
+
+/// Compute-silicon power density (W/mm²): 200 W on an 800 mm² budget.
+const DENSITY: f64 = 0.25;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 37;
+    for kind in [ArrangementKind::Grid, ArrangementKind::HexaMesh] {
+        let arrangement = Arrangement::build(kind, n)?;
+        let placement = arrangement.placement().expect("evaluated kinds have layouts");
+        let chiplet_area = UCIE_TOTAL_AREA_MM2 / n as f64;
+        let first = placement.chiplets()[0].rect;
+        let unit_area = first.area() as f64;
+        let mm_per_unit = (chiplet_area / unit_area).sqrt();
+
+        let map = PowerMap::from_placement(placement, mm_per_unit, 1.0, 3, |c| {
+            let area = (c.rect.width() * c.rect.height()) as f64 * mm_per_unit * mm_per_unit;
+            match c.kind {
+                ChipletKind::Compute => area * DENSITY,
+                ChipletKind::Io => area * DENSITY / 3.0,
+            }
+        })?;
+        let solution = solve(&map, &ThermalParams::default())?;
+        let report = HotspotReport::from_solution(&solution);
+
+        println!("── {kind} arrangement, N = {n}, {:.0} W total ──", map.total_w());
+        println!("{report}");
+        println!("{}", ascii_heatmap(&solution));
+
+        // Publication-style SVG next to the CSV outputs.
+        let path = format!("results/thermal_{}.svg", kind.to_string().to_lowercase());
+        std::fs::create_dir_all("results")?;
+        std::fs::write(&path, hexamesh_repro::thermal::svg::render(&solution))?;
+        println!("(SVG heat map written to {path})\n");
+    }
+    println!("(ramp: . coldest → @ hottest; each character is one 1 mm cell)");
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Workload mapping: carving a chiplet arrangement into k regions.
+//!
+//! A 2.5D system rarely runs one monolithic workload; hypervisors map
+//! tenants or jobs onto *regions* of chiplets. Communication then stays
+//! mostly within a region, so a good mapping wants regions that are
+//! compact (few hops internally) and balanced. This example uses the
+//! k-way partitioner (the METIS-substitute's extension) on the grid and
+//! HexaMesh ICI graphs and measures what region-local traffic gains.
+//!
+//! Run with: `cargo run --release --example workload_mapping`
+
+use hexamesh_repro::graph::bfs;
+use hexamesh_repro::hexamesh::arrangement::{Arrangement, ArrangementKind};
+use hexamesh_repro::partition::partition_kway;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 37;
+    let k = 4;
+    println!("Mapping {k} workload regions onto {n}-chiplet arrangements:\n");
+    println!(
+        "{:<10} {:>9} {:>10} {:>12} {:>12} {:>8}",
+        "kind", "cut edges", "balance", "local hops", "global hops", "benefit"
+    );
+    for kind in [ArrangementKind::Grid, ArrangementKind::Brickwall, ArrangementKind::HexaMesh] {
+        let arrangement = Arrangement::build(kind, n)?;
+        let g = arrangement.graph();
+        let mapping = partition_kway(g, k)?;
+
+        // Average hop distance between chiplet pairs inside the same
+        // region vs. across the whole chip: the locality benefit a
+        // region-aware scheduler banks.
+        let mut local = Mean::default();
+        let mut global = Mean::default();
+        for u in 0..n {
+            let dist = bfs::distances(g, u);
+            for (v, &hops) in dist.iter().enumerate() {
+                if u == v {
+                    continue;
+                }
+                let d = f64::from(hops);
+                global.push(d);
+                if mapping.part(u) == mapping.part(v) {
+                    local.push(d);
+                }
+            }
+        }
+        let sizes = mapping.sizes();
+        let balance = format!("{}..{}", sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        let local_avg = local.mean();
+        let global_avg = global.mean();
+        println!(
+            "{:<10} {:>9} {:>10} {:>12.2} {:>12.2} {:>7.0}%",
+            kind.to_string(),
+            mapping.edge_cut(g),
+            balance,
+            local_avg,
+            global_avg,
+            (1.0 - local_avg / global_avg) * 100.0
+        );
+    }
+    println!("\nRegion-local traffic travels ~30-50% fewer hops than chip-wide");
+    println!("traffic; the denser HexaMesh graph keeps even global traffic short.");
+    Ok(())
+}
+
+/// Running mean without storing samples.
+#[derive(Default)]
+struct Mean {
+    sum: f64,
+    count: u64,
+}
+
+impl Mean {
+    fn push(&mut self, x: f64) {
+        self.sum += x;
+        self.count += 1;
+    }
+
+    fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        self.sum / self.count as f64
+    }
+}

@@ -1,0 +1,16 @@
+//! Facade crate for the HexaMesh (DAC 2023) reproduction workspace.
+//!
+//! Re-exports every layer of the reproduction so that examples and
+//! integration tests can depend on a single crate.
+
+#![forbid(unsafe_code)]
+
+pub use chiplet_cost as cost;
+pub use chiplet_graph as graph;
+pub use chiplet_layout as layout;
+pub use chiplet_partition as partition;
+pub use chiplet_phy as phy;
+pub use chiplet_thermal as thermal;
+pub use chiplet_topo as topo;
+pub use hexamesh;
+pub use nocsim;

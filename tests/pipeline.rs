@@ -1,0 +1,164 @@
+//! Cross-crate integration tests: the full arrangement → graph → link model
+//! → simulation pipeline at small sizes, with golden values.
+
+use hexamesh_repro::graph::metrics;
+use hexamesh_repro::hexamesh::arrangement::{Arrangement, ArrangementKind, Regularity};
+use hexamesh_repro::hexamesh::eval::{
+    self, evaluate_analytic, link_budget, EvalParams,
+};
+use hexamesh_repro::hexamesh::proxies;
+use hexamesh_repro::nocsim::{measure, MeasureConfig, SimConfig};
+use hexamesh_repro::partition::BisectionConfig;
+
+fn quick_params() -> EvalParams {
+    let mut p = EvalParams::quick();
+    p.sim.vcs = 4;
+    p.sim.buffer_depth = 4;
+    p.measure.warmup_cycles = 800;
+    p.measure.measure_cycles = 1_600;
+    p.measure.rate_resolution = 0.05;
+    p
+}
+
+#[test]
+fn golden_link_budget_n16_grid() {
+    // Hand-computed §VI-B numbers for a 16-chiplet grid (see eval.rs docs).
+    let a = Arrangement::build(ArrangementKind::Grid, 16).unwrap();
+    let budget = link_budget(&a, &EvalParams::paper_defaults()).unwrap();
+    assert_eq!(budget.estimate.wires, 333);
+    assert_eq!(budget.estimate.data_wires, 321);
+    assert_eq!(budget.estimate.bandwidth_mbps, 5_136_000);
+}
+
+#[test]
+fn golden_zero_load_latency_two_chiplets() {
+    // N = 2 grid: routers 1 hop apart, 4 endpoints. Of the 12 ordered
+    // endpoint pairs, 4 are same-router (0 hops) and 8 cross the link
+    // (1 hop): avg hops = 8/12 = 2/3.
+    // latency = 2·1 + 3 + (4−1) + (2/3)·(3+27) = 8 + 20 = 28.
+    let a = Arrangement::build(ArrangementKind::Grid, 2).unwrap();
+    let config = SimConfig::paper_defaults();
+    let zero_load = measure::zero_load_latency(a.graph(), &config).unwrap();
+    assert!((zero_load - 28.0).abs() < 1e-9, "zero-load {zero_load}");
+}
+
+#[test]
+fn full_pipeline_hexamesh_seven() {
+    let params = quick_params();
+    let a = Arrangement::build(ArrangementKind::HexaMesh, 7).unwrap();
+    let r = eval::evaluate(&a, &params).unwrap();
+    assert_eq!(r.n, 7);
+    assert_eq!(r.diameter, 2);
+    // Hand-optimised sectors at N ≤ 7: A_C = 800/7, max degree 6.
+    let expected_sector = 0.6 * (800.0 / 7.0) / 6.0;
+    assert!((r.link_sector_area_mm2 - expected_sector).abs() < 1e-9);
+    assert!(r.saturation_fraction > 0.0);
+    assert!(r.saturation_throughput_tbps > 0.0);
+    assert!(r.zero_load_latency_cycles > 0.0);
+}
+
+#[test]
+fn honeycomb_brickwall_equivalence_across_regularities() {
+    // EXP-A1: the §IV-A claim, across all three regularity classes.
+    for (n, regularity) in [
+        (16usize, Regularity::Regular),
+        (12, Regularity::SemiRegular),
+        (23, Regularity::Irregular),
+    ] {
+        let hc =
+            Arrangement::build_with_regularity(ArrangementKind::Honeycomb, n, regularity)
+                .unwrap();
+        let bw =
+            Arrangement::build_with_regularity(ArrangementKind::Brickwall, n, regularity)
+                .unwrap();
+        assert_eq!(hc.graph(), bw.graph(), "n={n} {regularity}");
+    }
+}
+
+#[test]
+fn grid_normalizes_to_itself_at_100_percent() {
+    let params = quick_params();
+    let results: Vec<_> = [9usize, 16]
+        .iter()
+        .map(|&n| {
+            let a = Arrangement::build(ArrangementKind::Grid, n).unwrap();
+            evaluate_analytic(&a, &params).unwrap()
+        })
+        .collect();
+    for p in eval::normalize(&results, &results) {
+        assert!((p.latency_pct - 100.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn proxies_order_arrangements_as_the_paper_claims() {
+    // For every N in a spread of counts: D_HM <= D_BW <= D_G (ties allowed
+    // at small N) and the bisection order reverses.
+    let config = BisectionConfig::default();
+    for n in [16usize, 25, 37, 49, 61, 75, 91, 100] {
+        let g = Arrangement::build(ArrangementKind::Grid, n).unwrap();
+        let bw = Arrangement::build(ArrangementKind::Brickwall, n).unwrap();
+        let hm = Arrangement::build(ArrangementKind::HexaMesh, n).unwrap();
+        let d_g = proxies::measured_diameter(&g).unwrap();
+        let d_bw = proxies::measured_diameter(&bw).unwrap();
+        let d_hm = proxies::measured_diameter(&hm).unwrap();
+        assert!(d_hm <= d_bw && d_bw <= d_g, "n={n}: D {d_hm} {d_bw} {d_g}");
+        let b_g = proxies::paper_bisection(&g, &config);
+        let b_bw = proxies::paper_bisection(&bw, &config);
+        let b_hm = proxies::paper_bisection(&hm, &config);
+        assert!(
+            b_hm >= b_bw && b_bw >= b_g,
+            "n={n}: B {b_hm} {b_bw} {b_g}"
+        );
+    }
+}
+
+#[test]
+fn perimeter_io_preserves_compute_ici() {
+    // Fig. 2: adding I/O chiplets on the perimeter must not change the
+    // compute-chiplet interconnect.
+    use hexamesh_repro::layout::perimeter::surround_with_io;
+    let a = Arrangement::build(ArrangementKind::HexaMesh, 19).unwrap();
+    let placement = a.placement().expect("rect arrangement");
+    let before = placement.compute_adjacency_graph();
+    let ringed = surround_with_io(placement, 4, 2).unwrap();
+    assert_eq!(ringed.compute_adjacency_graph(), before);
+    assert!(ringed.len() > placement.len(), "I/O chiplets were added");
+}
+
+#[test]
+fn simulated_latency_matches_analytic_zero_load_at_light_load() {
+    let a = Arrangement::build(ArrangementKind::Brickwall, 9).unwrap();
+    let config = SimConfig {
+        injection_rate: 0.01,
+        vcs: 4,
+        buffer_depth: 4,
+        ..SimConfig::paper_defaults()
+    };
+    let analytic = measure::zero_load_latency(a.graph(), &config).unwrap();
+    let point = measure::run_load_point(
+        a.graph(),
+        &config,
+        &MeasureConfig { warmup_cycles: 1_000, measure_cycles: 20_000, ..Default::default() },
+    )
+    .unwrap();
+    let simulated = point.stats.avg_packet_latency.expect("packets measured");
+    let rel_err = (simulated - analytic).abs() / analytic;
+    assert!(rel_err < 0.10, "analytic {analytic:.1} vs simulated {simulated:.1}");
+    assert!(!point.saturated);
+}
+
+#[test]
+fn arrangements_have_planar_ici_graphs() {
+    // Geometric contact graphs must satisfy e <= 3v - 6; this also keeps
+    // the average-degree claim of §IV-A honest.
+    for kind in ArrangementKind::ALL {
+        for n in [10usize, 37, 64, 100] {
+            let a = Arrangement::build(kind, n).unwrap();
+            assert!(
+                metrics::satisfies_planar_edge_bound(a.graph()),
+                "{kind} n={n}"
+            );
+        }
+    }
+}
