@@ -64,12 +64,9 @@ fn bench_fig6_diameter(c: &mut Criterion) {
 fn bench_fig6_bisection(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6b_bisection");
     group.sample_size(20);
-    let irregular_grid = Arrangement::build_with_regularity(
-        ArrangementKind::Grid,
-        50,
-        Regularity::Irregular,
-    )
-    .expect("builds");
+    let irregular_grid =
+        Arrangement::build_with_regularity(ArrangementKind::Grid, 50, Regularity::Irregular)
+            .expect("builds");
     group.bench_function("multilevel_grid_irregular_50", |b| {
         b.iter(|| {
             bisect(black_box(irregular_grid.graph()), &BisectionConfig::default())
@@ -181,7 +178,6 @@ fn bench_cost(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// EXP-P1 — signal-integrity model: eye analysis and capacity solvers.
 fn bench_phy(c: &mut Criterion) {
     use chiplet_phy::{capacity, eye, SignalBudget, Technology};
@@ -209,16 +205,15 @@ fn bench_thermal(c: &mut Criterion) {
     let arrangement = Arrangement::build(ArrangementKind::HexaMesh, 37).expect("builds");
     let placement = arrangement.placement().expect("has layout").clone();
     let first = placement.chiplets()[0].rect;
-    let mm_per_unit =
-        (800.0 / 37.0 / (first.width() * first.height()) as f64).sqrt();
+    let mm_per_unit = (800.0 / 37.0 / (first.width() * first.height()) as f64).sqrt();
     group.bench_function("hexamesh_37_power_map", |b| {
         b.iter(|| {
             PowerMap::from_placement(black_box(&placement), mm_per_unit, 0.5, 4, |_| 5.4)
                 .expect("rasterises")
         });
     });
-    let map = PowerMap::from_placement(&placement, mm_per_unit, 0.5, 4, |_| 5.4)
-        .expect("rasterises");
+    let map =
+        PowerMap::from_placement(&placement, mm_per_unit, 0.5, 4, |_| 5.4).expect("rasterises");
     group.bench_function("hexamesh_37_solve", |b| {
         b.iter(|| solve(black_box(&map), &ThermalParams::default()).expect("converges"));
     });
@@ -234,7 +229,9 @@ fn bench_topo(c: &mut Criterion) {
         b.iter(|| chiplet_topo::ftorus(black_box(7), 7));
     });
     group.bench_function("express_5x5_default", |b| {
-        b.iter(|| chiplet_topo::express(black_box(5), 5, &ExpressOptions::default()).expect("builds"));
+        b.iter(|| {
+            chiplet_topo::express(black_box(5), 5, &ExpressOptions::default()).expect("builds")
+        });
     });
     group.finish();
 }
@@ -260,7 +257,9 @@ fn bench_partition_ext(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition_extensions");
     let grid = Arrangement::build(ArrangementKind::Grid, 100).expect("builds");
     group.bench_function("spectral_grid_100", |b| {
-        b.iter(|| spectral_bisection(black_box(grid.graph()), &SpectralConfig::default()).expect("ok"));
+        b.iter(|| {
+            spectral_bisection(black_box(grid.graph()), &SpectralConfig::default()).expect("ok")
+        });
     });
     group.bench_function("kway_4_grid_100", |b| {
         b.iter(|| partition_kway(black_box(grid.graph()), 4).expect("ok"));

@@ -45,21 +45,24 @@ fn main() {
         "microbump_saturation_tbps",
     ]);
 
-    println!(
-        "Carrier ablation (interposer reach at 16 Gb/s, BER 1e-15: {reach:.2} mm):"
-    );
+    println!("Carrier ablation (interposer reach at 16 Gb/s, BER 1e-15: {reach:.2} mm):");
     println!(
         "{:>3} {:<4} {:>8} {:>6} {:>10} {:>12} {:>10} {:>12}",
-        "N", "kind", "link[mm]", "reach?", "C4 [Gb/s]", "µbump [Gb/s]", "C4 [Tb/s]", "µbump [Tb/s]"
+        "N",
+        "kind",
+        "link[mm]",
+        "reach?",
+        "C4 [Gb/s]",
+        "µbump [Gb/s]",
+        "C4 [Tb/s]",
+        "µbump [Tb/s]"
     );
     for n in [16usize, 37, 64] {
         for kind in ArrangementKind::EVALUATED {
             let arrangement = Arrangement::build(kind, n).expect("any n builds");
-            let shape_params = ShapeParams::new(
-                c4.total_area_mm2 / n as f64,
-                c4.power_fraction,
-            )
-            .expect("valid");
+            let shape_params =
+                ShapeParams::new(c4.total_area_mm2 / n as f64, c4.power_fraction)
+                    .expect("valid");
             let link_mm = paper_link_length(
                 &shape_for(kind, &shape_params).expect("rectangular kinds solve"),
             );

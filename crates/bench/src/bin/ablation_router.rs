@@ -6,25 +6,80 @@
 //! unattended sweeps cannot deadlock. This ablation quantifies the effect of
 //! that substitution.
 //!
-//! Usage: `cargo run --release -p hexamesh-bench --bin ablation_router [--n N]`
-//! Writes `results/ablation_router.csv`.
-
-use std::path::Path;
+//! The routing × VC axes are beyond the standard scenario grid, so this
+//! binary feeds an ad-hoc job list (kind × routing × VCs × `--seeds K`)
+//! straight to the engine pool — all 27 saturation searches in parallel,
+//! with seeds derived from the job coordinates.
+//!
+//! Usage: `cargo run --release -p hexamesh-bench --bin ablation_router
+//! [--n N] [--quick|--full] [--workers W] [--seeds K] [--out DIR]
+//! [--format F]`
+//! Writes `results/ablation_router.{csv,json}`.
 
 use hexamesh::arrangement::{Arrangement, ArrangementKind};
 use hexamesh_bench::csv::{f3, Table};
-use hexamesh_bench::{sweep, RESULTS_DIR};
-use nocsim::{measure, MeasureConfig, RoutingKind, SimConfig};
+use hexamesh_bench::sweep::{self, mean_of};
+use nocsim::{measure, RoutingKind, SimConfig};
+use xp::grid::expand_replicates;
+use xp::json::Value;
+use xp::{Campaign, CampaignArgs};
+
+const ROUTINGS: [RoutingKind; 3] = [
+    RoutingKind::MinimalAdaptiveEscape,
+    RoutingKind::MinimalDeterministic,
+    RoutingKind::UpDownOnly,
+];
+const VC_COUNTS: [usize; 3] = [2, 4, 8];
+
+#[derive(Clone, Copy)]
+struct AblationJob {
+    kind: ArrangementKind,
+    routing: RoutingKind,
+    vcs: usize,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let n = sweep::arg_usize(&args, "--n", 37);
+    let campaign = Campaign::new("ablation_router", CampaignArgs::parse(&args));
 
-    let schedule = MeasureConfig {
-        warmup_cycles: 3_000,
-        measure_cycles: 6_000,
-        ..MeasureConfig::default()
-    };
+    let schedule = sweep::schedule_for(campaign.args());
+
+    let mut jobs = Vec::new();
+    for &kind in &ArrangementKind::EVALUATED {
+        for &routing in &ROUTINGS {
+            for &vcs in &VC_COUNTS {
+                jobs.push(AblationJob { kind, routing, vcs });
+            }
+        }
+    }
+    let seeds = campaign.args().seeds.max(1);
+    let expanded = expand_replicates(&jobs, seeds, campaign.args().campaign_seed, |job| {
+        let routing_rank =
+            ROUTINGS.iter().position(|&r| r == job.routing).expect("listed routing");
+        vec![sweep::evaluated_rank(job.kind) as u64, routing_rank as u64, job.vcs as u64]
+    });
+
+    let results = campaign.run_jobs(
+        &expanded,
+        |(job, _)| job.vcs as u64,
+        |(job, seed)| {
+            let arrangement = Arrangement::build(job.kind, n).expect("n >= 1 builds");
+            let graph = arrangement.graph();
+            let config = SimConfig {
+                routing: job.routing,
+                vcs: job.vcs,
+                seed: *seed,
+                ..SimConfig::paper_defaults()
+            };
+            let zero_load =
+                measure::zero_load_latency(graph, &config).expect("connected graph");
+            let sat = measure::saturation_search(graph, &config, &schedule)
+                .expect("valid configuration");
+            (zero_load, sat.throughput)
+        },
+    );
+
     let mut table = Table::new(&[
         "kind",
         "routing",
@@ -38,40 +93,31 @@ fn main() {
         "{:<4} {:<22} {:>3}  {:>10} {:>10}",
         "kind", "routing", "vcs", "lat [cyc]", "sat [frac]"
     );
-    for kind in ArrangementKind::EVALUATED {
-        let arrangement = Arrangement::build(kind, n).expect("n >= 1 builds");
-        let graph = arrangement.graph();
-        for routing in [
-            RoutingKind::MinimalAdaptiveEscape,
-            RoutingKind::MinimalDeterministic,
-            RoutingKind::UpDownOnly,
-        ] {
-            for vcs in [2usize, 4, 8] {
-                let config = SimConfig { routing, vcs, ..SimConfig::paper_defaults() };
-                let zero_load =
-                    measure::zero_load_latency(graph, &config).expect("connected graph");
-                let sat = measure::saturation_search(graph, &config, &schedule)
-                    .expect("valid configuration");
-                let routing_name = format!("{routing:?}");
-                println!(
-                    "{:<4} {:<22} {:>3}  {:>10.1} {:>10.3}",
-                    kind.label(),
-                    routing_name,
-                    vcs,
-                    zero_load,
-                    sat.throughput
-                );
-                table.row(&[
-                    &kind.label(),
-                    &routing_name,
-                    &vcs,
-                    &f3(zero_load),
-                    &f3(sat.throughput),
-                ]);
-            }
-        }
+    for (job, chunk) in jobs.iter().zip(results.chunks(seeds as usize)) {
+        let zero_load = mean_of(chunk, |(l, _)| *l);
+        let saturation = mean_of(chunk, |(_, s)| *s);
+        let routing_name = format!("{:?}", job.routing);
+        println!(
+            "{:<4} {:<22} {:>3}  {:>10.1} {:>10.3}",
+            job.kind.label(),
+            routing_name,
+            job.vcs,
+            zero_load,
+            saturation
+        );
+        table.row(&[
+            &job.kind.label(),
+            &routing_name,
+            &job.vcs,
+            &f3(zero_load),
+            &f3(saturation),
+        ]);
     }
-    let path = Path::new(RESULTS_DIR).join("ablation_router.csv");
-    table.write_to(&path).expect("write CSV");
-    println!("wrote {} ({} rows)", path.display(), table.len());
+
+    let mut config = Value::object();
+    config.set("n", n);
+    let written = campaign.finish(&table, config).expect("write sinks");
+    for path in &written {
+        println!("wrote {} ({} rows)", path.display(), table.len());
+    }
 }

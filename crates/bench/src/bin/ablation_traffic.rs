@@ -5,37 +5,50 @@
 //! (bit-complement, bit-reverse, tornado, hotspot) to check that the
 //! arrangement ranking is not an artefact of benign traffic.
 //!
-//! Usage: `cargo run --release -p hexamesh-bench --bin ablation_traffic [--n N] [--quick]`
-//! Writes `results/ablation_traffic.csv`.
-
-use std::path::Path;
+//! Declared as an engine grid (pattern × kind × `--seeds K`) so all
+//! fifteen saturation searches run concurrently on the pool.
+//!
+//! Usage: `cargo run --release -p hexamesh-bench --bin ablation_traffic
+//! [--n N] [--quick] [--workers W] [--seeds K] [--out DIR] [--format F]`
+//! Writes `results/ablation_traffic.{csv,json}`.
 
 use hexamesh::arrangement::{Arrangement, ArrangementKind};
 use hexamesh_bench::csv::{f3, Table};
-use hexamesh_bench::{sweep, RESULTS_DIR};
-use nocsim::{measure, MeasureConfig, SimConfig, TrafficPattern};
+use hexamesh_bench::sweep::{self, mean_of};
+use nocsim::{measure, SimConfig, TrafficPattern};
+use xp::grid::Scenario;
+use xp::json::Value;
+use xp::{Campaign, CampaignArgs};
+
+const PATTERNS: [(&str, TrafficPattern); 5] = [
+    ("uniform", TrafficPattern::UniformRandom),
+    ("bitcomp", TrafficPattern::BitComplement),
+    ("bitrev", TrafficPattern::BitReverse),
+    ("tornado", TrafficPattern::Tornado),
+    ("hotspot", TrafficPattern::Hotspot { num_hotspots: 4, fraction_permille: 500 }),
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let n = sweep::arg_usize(&args, "--n", 37);
-    let quick = sweep::arg_flag(&args, "--quick");
-    let schedule = if quick {
-        MeasureConfig::quick()
-    } else {
-        MeasureConfig {
-            warmup_cycles: 3_000,
-            measure_cycles: 6_000,
-            ..MeasureConfig::default()
-        }
-    };
+    let campaign = Campaign::new("ablation_traffic", CampaignArgs::parse(&args));
+    let schedule = sweep::schedule_for(campaign.args());
 
-    let patterns: [(&str, TrafficPattern); 5] = [
-        ("uniform", TrafficPattern::UniformRandom),
-        ("bitcomp", TrafficPattern::BitComplement),
-        ("bitrev", TrafficPattern::BitReverse),
-        ("tornado", TrafficPattern::Tornado),
-        ("hotspot", TrafficPattern::Hotspot { num_hotspots: 4, fraction_permille: 500 }),
-    ];
+    // Scenario expands kind-outermost (kind → n → rate → pattern →
+    // replicate); the sort below restores the historical pattern-major
+    // row order after aggregation.
+    let patterns: Vec<TrafficPattern> = PATTERNS.iter().map(|&(_, p)| p).collect();
+    let scenario = Scenario::new(&ArrangementKind::EVALUATED, &[n]).with_patterns(&patterns);
+    let results = campaign.run_grid(&scenario, |job| {
+        let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
+        let graph = arrangement.graph();
+        let config =
+            SimConfig { pattern: job.pattern, seed: job.seed, ..SimConfig::paper_defaults() };
+        let zero_load = measure::zero_load_latency(graph, &config).expect("connected graph");
+        let sat =
+            measure::saturation_search(graph, &config, &schedule).expect("valid configuration");
+        (zero_load, sat.throughput)
+    });
 
     let mut table = Table::new(&[
         "n",
@@ -51,43 +64,59 @@ fn main() {
         "{:<8} {:<4} {:>10} {:>10} {:>9}",
         "pattern", "kind", "lat [cyc]", "sat [frac]", "vs grid"
     );
-    for (pattern_name, pattern) in patterns {
-        let mut grid_sat = None;
-        for kind in ArrangementKind::EVALUATED {
-            let arrangement = Arrangement::build(kind, n).expect("any n builds");
-            let graph = arrangement.graph();
-            let config = SimConfig { pattern, ..SimConfig::paper_defaults() };
-            let zero_load =
-                measure::zero_load_latency(graph, &config).expect("connected graph");
-            let sat = measure::saturation_search(graph, &config, &schedule)
-                .expect("valid configuration");
-            if kind == ArrangementKind::Grid {
-                grid_sat = Some(sat.throughput);
-            }
-            let vs_grid = grid_sat
-                .filter(|&g| g > 0.0)
-                .map_or(f64::NAN, |g| sat.throughput / g);
-            println!(
-                "{:<8} {:<4} {:>10.1} {:>10.3} {:>9.2}",
-                pattern_name,
-                kind.label(),
-                zero_load,
-                sat.throughput,
-                vs_grid
-            );
-            table.row(&[
-                &n,
-                &pattern_name,
-                &kind.label(),
-                &f3(zero_load),
-                &f3(sat.throughput),
-                &f3(vs_grid),
-            ]);
-        }
+    // Aggregate replicates, then reorder to the historical pattern-major
+    // row order (the grid expands kind-major).
+    let k = campaign.args().seeds.max(1) as usize;
+    let mut by_point: Vec<(TrafficPattern, ArrangementKind, f64, f64)> = results
+        .chunks(k)
+        .map(|chunk| {
+            let job = chunk[0].0;
+            (
+                job.pattern,
+                job.kind,
+                mean_of(chunk, |(_, (l, _))| *l),
+                mean_of(chunk, |(_, (_, s))| *s),
+            )
+        })
+        .collect();
+    let pattern_rank =
+        |p: TrafficPattern| PATTERNS.iter().position(|&(_, q)| q == p).unwrap_or(usize::MAX);
+    by_point.sort_by_key(|&(p, k, _, _)| (pattern_rank(p), sweep::evaluated_rank(k)));
+
+    for (pattern, kind, zero_load, sat) in &by_point {
+        let pattern_name = PATTERNS[pattern_rank(*pattern)].0;
+        let grid_sat = by_point
+            .iter()
+            .find(|(p, k, _, _)| p == pattern && *k == ArrangementKind::Grid)
+            .map(|&(_, _, _, s)| s)
+            .filter(|&g| g > 0.0);
+        let vs_grid = grid_sat.map_or(f64::NAN, |g| sat / g);
+        println!(
+            "{:<8} {:<4} {:>10.1} {:>10.3} {:>9.2}",
+            pattern_name,
+            kind.label(),
+            zero_load,
+            sat,
+            vs_grid
+        );
+        table.row(&[
+            &n,
+            &pattern_name,
+            &kind.label(),
+            &f3(*zero_load),
+            &f3(*sat),
+            &f3(vs_grid),
+        ]);
     }
 
-    table
-        .write_to(Path::new(RESULTS_DIR).join("ablation_traffic.csv").as_path())
-        .expect("results dir writable");
-    println!("\nwrote {RESULTS_DIR}/ablation_traffic.csv");
+    let mut config = Value::object();
+    config.set("n", n);
+    config.set(
+        "patterns",
+        Value::Arr(PATTERNS.iter().map(|&(name, _)| Value::from(name)).collect()),
+    );
+    let written = campaign.finish(&table, config).expect("results dir writable");
+    for path in written {
+        println!("wrote {}", path.display());
+    }
 }

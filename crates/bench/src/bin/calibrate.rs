@@ -7,7 +7,8 @@ fn main() {
     for n in [25usize, 100] {
         let a = Arrangement::build(ArrangementKind::HexaMesh, n).unwrap();
         let cfg = SimConfig { injection_rate: 0.2, ..SimConfig::paper_defaults() };
-        let sched = MeasureConfig { warmup_cycles: 3_000, measure_cycles: 6_000, ..Default::default() };
+        let sched =
+            MeasureConfig { warmup_cycles: 3_000, measure_cycles: 6_000, ..Default::default() };
         let t = Instant::now();
         let point = measure::run_load_point(a.graph(), &cfg, &sched).unwrap();
         println!(
@@ -18,6 +19,11 @@ fn main() {
         );
         let t = Instant::now();
         let sat = measure::saturation_search(a.graph(), &cfg, &sched).unwrap();
-        println!("n={n}: saturation search in {:?} -> rate {:.3} thr {:.3}", t.elapsed(), sat.rate, sat.throughput);
+        println!(
+            "n={n}: saturation search in {:?} -> rate {:.3} thr {:.3}",
+            t.elapsed(),
+            sat.rate,
+            sat.throughput
+        );
     }
 }

@@ -62,9 +62,7 @@ fn main() {
     // The sweet spot at the paper's 800 mm² design point.
     let counts: Vec<usize> = (1..=128).collect();
     if let Some((best_n, best_cost)) = best_chiplet_count(&params, 800.0, &counts) {
-        println!(
-            "\noptimal chiplet count at 800 mm²: N = {best_n} (MCM cost ${best_cost:.0})"
-        );
+        println!("\noptimal chiplet count at 800 mm²: N = {best_n} (MCM cost ${best_cost:.0})");
     }
 
     let path = Path::new(RESULTS_DIR).join("cost_model.csv");

@@ -31,10 +31,7 @@ fn main() {
     // The figure's annotations: at N = 100, HexaMesh reaches ~0.6x the
     // grid's diameter and ~2.3x its bisection bandwidth.
     let at = |kind: ArrangementKind, n: usize| {
-        points
-            .iter()
-            .find(|p| p.kind == kind && p.n == n)
-            .expect("swept")
+        points.iter().find(|p| p.kind == kind && p.n == n).expect("swept")
     };
     let g100 = at(ArrangementKind::Grid, 100);
     let bw100 = at(ArrangementKind::Brickwall, 100);

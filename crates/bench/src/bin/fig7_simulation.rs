@@ -5,61 +5,66 @@
 //! Usage:
 //! ```text
 //! cargo run --release -p hexamesh-bench --bin fig7_simulation [--step K] \
-//!     [--max-n N] [--quick] [--workers W] [--routing adaptive|deterministic|updown]
+//!     [--max-n N] [--quick] [--workers W] [--seeds K] [--fanout F] \
+//!     [--out DIR] [--format csv|json|both] \
+//!     [--routing adaptive|deterministic|updown]
 //! ```
 //! `--step` samples every K-th chiplet count (default 1 = the paper's full
-//! 2..=100 sweep, ~15 min on two cores); `--quick` shortens the simulation
-//! windows. `--routing deterministic` matches BookSim2's `anynet`
-//! shortest-path routing (the paper's setup); the default `adaptive` is our
-//! deadlock-safe minimal-adaptive + escape configuration. Writes
-//! `results/fig7_results[_<routing>].csv` and the matching
-//! `fig7_normalized` CSV.
-
-use std::path::Path;
+//! 2..=100 sweep); `--quick` shortens the simulation windows; `--seeds K`
+//! replicates every `(kind, n)` evaluation with engine-derived seeds and
+//! reports replicate means; `--fanout F` probes F rates per saturation
+//! round in parallel (use when the grid is narrow relative to
+//! `--workers`; changes the probe sequence, so fix it per campaign). `--routing deterministic` matches BookSim2's
+//! `anynet` shortest-path routing (the paper's setup); the default
+//! `adaptive` is our deadlock-safe minimal-adaptive + escape
+//! configuration. Writes `results/fig7_results[_<routing>]` and the
+//! matching `fig7_normalized` series through the engine sinks.
 
 use hexamesh::arrangement::ArrangementKind;
 use hexamesh::eval::{normalize, EvalParams, EvalResult};
 use hexamesh_bench::csv::{f3, Table};
-use hexamesh_bench::{sweep, RESULTS_DIR};
-use nocsim::{MeasureConfig, RoutingKind};
+use hexamesh_bench::sweep;
+use nocsim::RoutingKind;
+use xp::json::Value;
+use xp::{Campaign, CampaignArgs};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let step = sweep::arg_usize(&args, "--step", 1);
     let max_n = sweep::arg_usize(&args, "--max-n", 100);
-    let workers = sweep::arg_usize(&args, "--workers", 2);
-    let quick = sweep::arg_flag(&args, "--quick");
-    let (routing, suffix) = match args
-        .iter()
-        .position(|a| a == "--routing")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-    {
+    // Intra-search parallelism: probe F rates per bracketing round. An
+    // explicit flag (not derived from --workers) so rows stay independent
+    // of the worker count.
+    let fanout = sweep::arg_usize(&args, "--fanout", 1).max(1);
+    let shared = CampaignArgs::parse(&args);
+    let routing_value = xp::cli::try_arg_value(&args, "--routing").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let (routing, suffix) = match routing_value {
         None | Some("adaptive") => (RoutingKind::MinimalAdaptiveEscape, ""),
         Some("deterministic") => (RoutingKind::MinimalDeterministic, "_deterministic"),
         Some("updown") => (RoutingKind::UpDownOnly, "_updown"),
-        Some(other) => panic!("unknown --routing {other}"),
+        Some(other) => {
+            eprintln!("error: --routing expects adaptive|deterministic|updown, got {other:?}");
+            std::process::exit(2);
+        }
     };
 
     let mut params = EvalParams::paper_defaults();
     params.sim.routing = routing;
-    params.measure = if quick {
-        MeasureConfig::quick()
-    } else {
-        MeasureConfig {
-            warmup_cycles: 3_000,
-            measure_cycles: 6_000,
-            rate_resolution: 0.01,
-            ..MeasureConfig::default()
-        }
-    };
+    params.measure = sweep::schedule_for(&shared);
 
+    let campaign = Campaign::new(&format!("fig7_results{suffix}"), shared);
     let ns: Vec<usize> = (2..=max_n).step_by(step.max(1)).collect();
     eprintln!(
-        "fig7: evaluating {} chiplet counts x 3 kinds on {workers} workers (quick={quick}, routing={routing:?})",
-        ns.len()
+        "fig7: evaluating {} chiplet counts x 3 kinds x {} seeds on {} workers (quick={}, routing={routing:?})",
+        ns.len(),
+        campaign.args().seeds,
+        campaign.args().workers,
+        campaign.args().quick,
     );
-    let results = sweep::evaluation_sweep(&ns, &params, workers);
+    let results = sweep::evaluation_campaign(&ns, &params, &campaign, fanout);
 
     // ── Absolute series (Fig. 7a / 7b) ──────────────────────────────────
     let mut table = Table::new(&[
@@ -86,8 +91,12 @@ fn main() {
             &r.diameter,
         ]);
     }
-    let path = Path::new(RESULTS_DIR).join(format!("fig7_results{suffix}.csv"));
-    table.write_to(&path).expect("write CSV");
+    let mut config = Value::object();
+    config.set("routing", format!("{routing:?}"));
+    config.set("step", step);
+    config.set("max_n", max_n);
+    config.set("fanout", fanout);
+    let written = campaign.finish(&table, config.clone()).expect("write sinks");
 
     // ── Normalised series (Fig. 7c / 7d) ────────────────────────────────
     let by_kind = |kind: ArrangementKind| -> Vec<EvalResult> {
@@ -112,11 +121,14 @@ fn main() {
             sweep::mean(&thr).unwrap_or(f64::NAN),
         ));
     }
-    let norm_path = Path::new(RESULTS_DIR).join(format!("fig7_normalized{suffix}.csv"));
-    normalized.write_to(&norm_path).expect("write CSV");
+    let norm_written = campaign
+        .finish_named(&format!("fig7_normalized{suffix}"), &normalized, config)
+        .expect("write sinks");
 
     println!("Fig. 7 summary (averages over N >= 10, relative to the grid):");
-    println!("  paper:    BW latency ~80%, throughput ~112%;  HM latency ~80%, throughput ~134%");
+    println!(
+        "  paper:    BW latency ~80%, throughput ~112%;  HM latency ~80%, throughput ~134%"
+    );
     for (kind, lat, thr) in summary {
         println!(
             "  measured: {} latency {:.1}% (Δ {:+.1}%), throughput {:.1}% (Δ {:+.1}%)",
@@ -127,5 +139,7 @@ fn main() {
             thr - 100.0
         );
     }
-    println!("wrote {} and {}", path.display(), norm_path.display());
+    for path in written.iter().chain(&norm_written) {
+        println!("wrote {}", path.display());
+    }
 }

@@ -5,19 +5,71 @@
 //! curves those scalars summarise, including tail percentiles — the
 //! standard BookSim2 presentation.
 //!
-//! Usage: `cargo run --release -p hexamesh-bench --bin load_curves [--n N]`
-//! Writes `results/load_curves.csv`.
-
-use std::path::Path;
+//! Declared as an engine grid (kind × injection rate × `--seeds K`
+//! replicates) and run on the worker pool, so the curve points of all
+//! three arrangements simulate concurrently and rows are identical for
+//! any `--workers` value. Unlike the pre-engine loop, *all* twelve rate
+//! points are always simulated — there is no past-saturation early exit,
+//! because a declared grid is fixed up front. Each point's cost is
+//! bounded by the fixed warmup/measure window, and the post-knee rows
+//! (noisy by nature) are part of the output; filter on the latency
+//! column downstream if you only want the stable branch.
+//!
+//! Usage: `cargo run --release -p hexamesh-bench --bin load_curves
+//! [--n N] [--workers W] [--seeds K] [--out DIR] [--format csv|json|both]`
+//! Writes `results/load_curves.{csv,json}`.
 
 use hexamesh::arrangement::{Arrangement, ArrangementKind};
 use hexamesh_bench::csv::{f3, Table};
-use hexamesh_bench::{sweep, RESULTS_DIR};
+use hexamesh_bench::sweep::{self, mean_of};
 use nocsim::{SimConfig, Simulator};
+use xp::grid::Scenario;
+use xp::json::Value;
+use xp::{Campaign, CampaignArgs};
+
+/// The metrics of one simulated curve point.
+struct Point {
+    accepted: f64,
+    avg: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let n = sweep::arg_usize(&args, "--n", 37);
+    let campaign = Campaign::new("load_curves", CampaignArgs::parse(&args));
+    // Per-point simulation windows: the historical 4k/8k by default,
+    // shortened by --quick, paper-scale under --full.
+    let (warmup, measure) = if campaign.args().quick {
+        (1_500, 3_000)
+    } else if campaign.args().full {
+        (5_000, 10_000)
+    } else {
+        (4_000, 8_000)
+    };
+
+    let rates: Vec<f64> = (1..=12u32).map(|step| f64::from(step) * 0.04).collect();
+    let scenario = Scenario::new(&ArrangementKind::EVALUATED, &[n]).with_rates(&rates);
+
+    let results = campaign.run_grid(&scenario, |job| {
+        let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
+        let config = SimConfig {
+            injection_rate: job.rate.expect("rate axis set"),
+            seed: job.seed,
+            ..SimConfig::paper_defaults()
+        };
+        let mut sim = Simulator::new(arrangement.graph(), config).expect("valid configuration");
+        let stats = sim.run_to_window(warmup, measure);
+        Point {
+            accepted: stats.accepted_flits_per_cycle_per_endpoint,
+            avg: stats.avg_packet_latency.unwrap_or(f64::NAN),
+            p50: sim.latency_percentile(0.50).unwrap_or(f64::NAN),
+            p95: sim.latency_percentile(0.95).unwrap_or(f64::NAN),
+            p99: sim.latency_percentile(0.99).unwrap_or(f64::NAN),
+        }
+    });
 
     let mut table = Table::new(&[
         "n",
@@ -35,54 +87,43 @@ fn main() {
         "{:<4} {:>8} {:>9} {:>9} {:>8} {:>8} {:>8}",
         "kind", "offered", "accepted", "avg lat", "p50", "p95", "p99"
     );
-    for kind in ArrangementKind::EVALUATED {
-        let arrangement = Arrangement::build(kind, n).expect("any n builds");
-        for step in 1..=12u32 {
-            let rate = f64::from(step) * 0.04;
-            let config = SimConfig {
-                injection_rate: rate,
-                ..SimConfig::paper_defaults()
-            };
-            let mut sim =
-                Simulator::new(arrangement.graph(), config).expect("valid configuration");
-            sim.run(4_000);
-            sim.open_measurement_window();
-            sim.run(8_000);
-            let stats = sim.stats();
-            let avg = stats.avg_packet_latency.unwrap_or(f64::NAN);
-            let p50 = sim.latency_percentile(0.50).unwrap_or(f64::NAN);
-            let p95 = sim.latency_percentile(0.95).unwrap_or(f64::NAN);
-            let p99 = sim.latency_percentile(0.99).unwrap_or(f64::NAN);
-            println!(
-                "{:<4} {:>8.2} {:>9.3} {:>9.1} {:>8.0} {:>8.0} {:>8.0}",
-                kind.label(),
-                rate,
-                stats.accepted_flits_per_cycle_per_endpoint,
-                avg,
-                p50,
-                p95,
-                p99
-            );
-            table.row(&[
-                &n,
-                &kind.label(),
-                &f3(rate),
-                &f3(stats.accepted_flits_per_cycle_per_endpoint),
-                &f3(avg),
-                &f3(p50),
-                &f3(p95),
-                &f3(p99),
-            ]);
-            // Past saturation the curve only gets noisier; stop once
-            // latency explodes to keep runtimes bounded.
-            if avg.is_finite() && avg > 1_500.0 {
-                break;
-            }
-        }
+    // Replicates of one (kind, rate) point are adjacent in grid order;
+    // aggregate each chunk to the replicate mean.
+    let k = campaign.args().seeds.max(1) as usize;
+    for chunk in results.chunks(k) {
+        let job = chunk[0].0;
+        let of = |f: fn(&Point) -> f64| mean_of(chunk, |(_, p)| f(p));
+        let rate = job.rate.expect("rate axis set");
+        let (accepted, avg) = (of(|p| p.accepted), of(|p| p.avg));
+        let (p50, p95, p99) = (of(|p| p.p50), of(|p| p.p95), of(|p| p.p99));
+        println!(
+            "{:<4} {:>8.2} {:>9.3} {:>9.1} {:>8.0} {:>8.0} {:>8.0}",
+            job.kind.label(),
+            rate,
+            accepted,
+            avg,
+            p50,
+            p95,
+            p99
+        );
+        table.row(&[
+            &n,
+            &job.kind.label(),
+            &f3(rate),
+            &f3(accepted),
+            &f3(avg),
+            &f3(p50),
+            &f3(p95),
+            &f3(p99),
+        ]);
     }
 
-    table
-        .write_to(Path::new(RESULTS_DIR).join("load_curves.csv").as_path())
-        .expect("results dir writable");
-    println!("\nwrote {RESULTS_DIR}/load_curves.csv");
+    let mut config = Value::object();
+    config.set("n", n);
+    config.set("warmup_cycles", warmup);
+    config.set("measure_cycles", measure);
+    let written = campaign.finish(&table, config).expect("results dir writable");
+    for path in written {
+        println!("wrote {}", path.display());
+    }
 }

@@ -27,8 +27,7 @@ fn main() {
     println!("{:<28} {:>6} {:>12}", "technology", "Gb/s", "reach [mm]");
     for tech in &technologies {
         for rate in [4.0f64, 8.0, 12.0, 16.0, 24.0, 32.0] {
-            let r = capacity::max_length_mm(tech, &budget, rate, BER_TARGET)
-                .unwrap_or(0.0);
+            let r = capacity::max_length_mm(tech, &budget, rate, BER_TARGET).unwrap_or(0.0);
             println!("{:<28} {:>6.0} {:>12.2}", tech.name, rate, r);
             reach.row(&[&tech.name, &rate, &f3(r)]);
         }

@@ -8,17 +8,47 @@
 //! edge connectivity (the number of link failures that suffice to
 //! disconnect any pair).
 //!
-//! Usage: `cargo run --release -p hexamesh-bench --bin resilience`
-//! Writes `results/resilience.csv`.
-
-use std::path::Path;
+//! Declared as an engine grid (kind × n); the Stoer–Wagner analyses of
+//! the large counts dominate, so the pool's large-first schedule pays off
+//! even for this purely structural sweep.
+//!
+//! Usage: `cargo run --release -p hexamesh-bench --bin resilience
+//! [--workers W] [--out DIR] [--format F]`
+//! Writes `results/resilience.{csv,json}`.
 
 use chiplet_graph::resilience::{articulation_points, bridges, edge_connectivity};
 use hexamesh::arrangement::{Arrangement, ArrangementKind};
 use hexamesh_bench::csv::Table;
-use hexamesh_bench::RESULTS_DIR;
+use hexamesh_bench::sweep;
+use xp::grid::Scenario;
+use xp::json::Value;
+use xp::{Campaign, CampaignArgs};
+
+/// Regular sizes plus irregular ones (where the paper concedes weaker
+/// minimum degree).
+const NS: [usize; 8] = [16, 17, 36, 37, 41, 64, 91, 100];
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut shared = CampaignArgs::parse(&args);
+    // Structural analyses have no randomness: replicates would only
+    // duplicate identical rows.
+    shared.seeds = 1;
+    let campaign = Campaign::new("resilience", shared);
+
+    let scenario = Scenario::new(&ArrangementKind::EVALUATED, &NS);
+    let results = campaign.run_grid(&scenario, |job| {
+        let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
+        let g = arrangement.graph();
+        (
+            arrangement.regularity().to_string(),
+            arrangement.degree_stats().min,
+            bridges(g).len(),
+            articulation_points(g).len(),
+            edge_connectivity(g).unwrap_or(0),
+        )
+    });
+
     let mut table = Table::new(&[
         "n",
         "kind",
@@ -34,42 +64,34 @@ fn main() {
         "{:>3} {:<4} {:<12} {:>7} {:>8} {:>7} {:>7}",
         "N", "kind", "regularity", "min deg", "bridges", "cut ch.", "k_edge"
     );
-    // Regular sizes plus irregular ones (where the paper concedes weaker
-    // minimum degree).
-    for n in [16usize, 17, 36, 37, 41, 64, 91, 100] {
-        for kind in ArrangementKind::EVALUATED {
-            let arrangement = Arrangement::build(kind, n).expect("any n builds");
-            let g = arrangement.graph();
-            let stats = arrangement.degree_stats();
-            let b = bridges(g).len();
-            let cuts = articulation_points(g).len();
-            let k = edge_connectivity(g).unwrap_or(0);
-            println!(
-                "{:>3} {:<4} {:<12} {:>7} {:>8} {:>7} {:>7}",
-                n,
-                kind.label(),
-                arrangement.regularity().to_string(),
-                stats.min,
-                b,
-                cuts,
-                k
-            );
-            table.row(&[
-                &n,
-                &kind.label(),
-                &arrangement.regularity().to_string(),
-                &stats.min,
-                &b,
-                &cuts,
-                &k,
-            ]);
-        }
+    // Historical row order is n-major; the grid expands kind-major.
+    let mut rows: Vec<_> = results
+        .iter()
+        .map(|(job, (regularity, min_deg, b, cuts, k))| {
+            (job.n, job.kind, regularity.clone(), *min_deg, *b, *cuts, *k)
+        })
+        .collect();
+    rows.sort_by_key(|&(n, kind, ..)| (n, sweep::evaluated_rank(kind)));
+
+    for (n, kind, regularity, min_deg, b, cuts, k) in &rows {
+        println!(
+            "{:>3} {:<4} {:<12} {:>7} {:>8} {:>7} {:>7}",
+            n,
+            kind.label(),
+            regularity,
+            min_deg,
+            b,
+            cuts,
+            k
+        );
+        table.row(&[n, &kind.label(), regularity, min_deg, b, cuts, k]);
     }
 
-    table
-        .write_to(Path::new(RESULTS_DIR).join("resilience.csv").as_path())
-        .expect("results dir writable");
-    println!("\nwrote {RESULTS_DIR}/resilience.csv");
+    let config = Value::object();
+    let written = campaign.finish(&table, config).expect("results dir writable");
+    for path in written {
+        println!("wrote {}", path.display());
+    }
     println!("(edge connectivity <= min degree always; equality means the only");
     println!(" weakness is a single chiplet's full link set, not a fabric cut)");
 }

@@ -44,7 +44,9 @@ fn main() {
         "hotspot_fraction",
     ]);
 
-    println!("Steady-state thermal comparison at {COMPUTE_DENSITY_W_PER_MM2} W/mm² compute density:");
+    println!(
+        "Steady-state thermal comparison at {COMPUTE_DENSITY_W_PER_MM2} W/mm² compute density:"
+    );
     println!(
         "{:>3} {:<4} {:>9} {:>8} {:>8} {:>9} {:>9}",
         "N", "kind", "P [W]", "peak °C", "avg °C", "grad [K]", "hot frac"

@@ -23,6 +23,13 @@
 //!
 //! The `benches/` directory holds Criterion benchmarks exercising reduced
 //! versions of the same code paths for performance regression tracking.
+//!
+//! Every sweep runs on the experiment engine (the `xp` crate): a shared
+//! worker pool with large-job-first scheduling, coordinate-derived seeds
+//! (rows are identical for any `--workers` value), `--seeds K` replicate
+//! aggregation, and unified CSV + JSON sinks. The campaign binaries accept
+//! the shared flags `--workers`, `--seeds`, `--quick`/`--full`, `--out`,
+//! `--format csv|json|both`, and `--seed`; see DESIGN.md.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

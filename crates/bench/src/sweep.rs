@@ -1,11 +1,51 @@
-//! Sweep runners shared by the figure binaries and Criterion benches.
-
-use std::sync::Mutex;
+//! Sweep runners shared by the figure binaries and Criterion benches —
+//! all built on the experiment engine (`crates/xp`): its worker pool,
+//! seed derivation, and replicate aggregation.
+//!
+//! The historical helpers (`arg_usize`, `arg_flag`, `mean`) are
+//! re-exported from the engine so existing call sites keep compiling;
+//! note that flag parsing is now *strict* — a malformed value aborts
+//! instead of silently running the default experiment.
 
 use chiplet_partition::BisectionConfig;
 use hexamesh::arrangement::{Arrangement, ArrangementKind};
 use hexamesh::eval::{self, EvalParams, EvalResult};
 use hexamesh::proxies;
+use nocsim::measure::SaturationResult;
+use nocsim::MeasureConfig;
+use xp::cli::CampaignArgs;
+use xp::grid::{Job, Scenario};
+use xp::{pool, Campaign};
+
+pub use xp::cli::{arg_f64, arg_flag, arg_u64, arg_usize};
+pub use xp::stats::{mean, mean_of, Summary};
+
+/// Position of `kind` in [`ArrangementKind::EVALUATED`] — the row order
+/// every table in this crate uses when restoring the historical ordering
+/// after a grid expansion.
+#[must_use]
+pub fn evaluated_rank(kind: ArrangementKind) -> usize {
+    ArrangementKind::EVALUATED.iter().position(|&e| e == kind).unwrap_or(usize::MAX)
+}
+
+/// The measurement schedule selected by the shared flags: `--quick`
+/// (short windows, coarse resolution), `--full` (the paper-scale
+/// [`MeasureConfig::default`] schedule), or — when neither is given —
+/// the middle-ground windows the simulation binaries have always used.
+#[must_use]
+pub fn schedule_for(args: &CampaignArgs) -> MeasureConfig {
+    if args.quick {
+        MeasureConfig::quick()
+    } else if args.full {
+        MeasureConfig::default()
+    } else {
+        MeasureConfig {
+            warmup_cycles: 3_000,
+            measure_cycles: 6_000,
+            ..MeasureConfig::default()
+        }
+    }
+}
 
 /// One row of the Fig. 6 proxy sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,8 +85,9 @@ pub fn proxy_sweep(ns: &[usize]) -> Vec<ProxyPoint> {
 }
 
 /// Runs the full Fig. 7 evaluation for all counts in `ns` across the three
-/// evaluated kinds, spreading work over `workers` threads. Results are
-/// returned sorted by `(kind, n)`.
+/// evaluated kinds, spreading work over `workers` threads via the engine
+/// pool (largest `n` first). Results are returned sorted by `(kind, n)`
+/// and are identical for every `workers` value.
 ///
 /// # Panics
 ///
@@ -60,48 +101,145 @@ pub fn evaluation_sweep(ns: &[usize], params: &EvalParams, workers: usize) -> Ve
             jobs.push((kind, n));
         }
     }
-    // Interleave large and small jobs for better load balance.
-    jobs.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
-
-    let queue = Mutex::new(jobs);
-    let results = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..workers.max(1) {
-            scope.spawn(|| loop {
-                let job = queue.lock().expect("queue lock").pop();
-                let Some((kind, n)) = job else { break };
-                let arrangement = Arrangement::build(kind, n).expect("n >= 1 builds");
-                let result = eval::evaluate(&arrangement, params)
-                    .unwrap_or_else(|e| panic!("evaluate {kind} n={n}: {e}"));
-                results.lock().expect("results lock").push(result);
-            });
-        }
-    });
-    let mut results = results.into_inner().expect("results mutex");
+    let mut results = pool::run_jobs(
+        &jobs,
+        workers,
+        |&(_, n)| n as u64,
+        |&(kind, n)| {
+            let arrangement = Arrangement::build(kind, n).expect("n >= 1 builds");
+            eval::evaluate(&arrangement, params)
+                .unwrap_or_else(|e| panic!("evaluate {kind} n={n}: {e}"))
+        },
+        None,
+    );
     results.sort_by_key(|r| (r.kind.label(), r.n));
     results
 }
 
-/// Arithmetic mean, `None` for an empty slice.
+/// The replicated form of [`evaluation_sweep`] a campaign binary runs:
+/// `--seeds K` replicates per `(kind, n)` with engine-derived seeds,
+/// aggregated to mean values in the same [`EvalResult`] shape. With
+/// `K = 1` the only difference from [`evaluation_sweep`] is that the
+/// simulator seed comes from the campaign seed derivation instead of
+/// `params.sim.seed`.
+///
+/// # Panics
+///
+/// As [`evaluation_sweep`].
+/// `fanout > 1` additionally spreads each arrangement's saturation search
+/// over `fanout` rate points per round ([`evaluate_pooled`]) — worthwhile
+/// when the grid has fewer jobs than workers. The fanout changes the probe
+/// sequence, so it must come from an explicit flag (never from
+/// `--workers`) to keep rows independent of the worker count.
 #[must_use]
-pub fn mean(values: &[f64]) -> Option<f64> {
-    (!values.is_empty()).then(|| values.iter().sum::<f64>() / values.len() as f64)
+pub fn evaluation_campaign(
+    ns: &[usize],
+    params: &EvalParams,
+    campaign: &Campaign,
+    fanout: usize,
+) -> Vec<EvalResult> {
+    let scenario = Scenario::new(&ArrangementKind::EVALUATED, ns);
+    // Keep the thread total bounded by the worker budget: the nested
+    // rate-point pool only gets the workers the grid leaves idle. (The
+    // probe *sequence* depends only on `fanout`, so this split never
+    // changes results.)
+    let k = campaign.args().seeds.max(1) as usize;
+    let total_jobs = (ArrangementKind::EVALUATED.len() * ns.len() * k).max(1);
+    let inner_workers = (campaign.args().workers / total_jobs).max(1);
+    let results = campaign.run_grid(&scenario, |job: &Job| {
+        let arrangement = Arrangement::build(job.kind, job.n).expect("n >= 1 builds");
+        let mut p = *params;
+        p.sim.seed = job.seed;
+        if fanout > 1 {
+            evaluate_pooled(&arrangement, &p, fanout, inner_workers)
+        } else {
+            eval::evaluate(&arrangement, &p)
+                .unwrap_or_else(|e| panic!("evaluate {} n={}: {e}", job.kind, job.n))
+        }
+    });
+
+    // Aggregate replicates: grid order guarantees replicates of one point
+    // are adjacent, so chunking by K keeps this deterministic.
+    let mut aggregated: Vec<EvalResult> = results
+        .chunks(k)
+        .map(|chunk| {
+            let field = |f: fn(&EvalResult) -> f64| mean_of(chunk, |(_, r)| f(r));
+            let first = chunk[0].1;
+            EvalResult {
+                zero_load_latency_cycles: field(|r| r.zero_load_latency_cycles),
+                saturation_fraction: field(|r| r.saturation_fraction),
+                saturation_throughput_tbps: field(|r| r.saturation_throughput_tbps),
+                ..first
+            }
+        })
+        .collect();
+    aggregated.sort_by_key(|r| (r.kind.label(), r.n));
+    aggregated
 }
 
-/// Parses `--flag value` style integer arguments from a raw arg list.
+/// Saturation search for a single arrangement with the rate points of each
+/// round spread over `workers` threads — the engine-job decomposition of
+/// [`hexamesh::eval::saturation_search_with`]. Use this when a binary
+/// evaluates too few arrangements to keep the pool busy; results are
+/// independent of `workers` (only the probe fanout changes the probe
+/// sequence, and it is fixed by the caller).
+///
+/// # Panics
+///
+/// Panics if a simulation point fails (connected arrangements with valid
+/// parameters never do).
 #[must_use]
-pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+pub fn saturation_search_pooled(
+    arrangement: &Arrangement,
+    params: &EvalParams,
+    fanout: usize,
+    workers: usize,
+) -> SaturationResult {
+    let zero_load = eval::zero_load_of(arrangement, params).expect("connected arrangement");
+    eval::saturation_search_with(params, fanout.max(1), |rates| {
+        Ok(run_rates_pooled(arrangement, params, zero_load, rates, workers))
+    })
+    .expect("runner never errors")
 }
 
-/// `true` if `--flag` is present.
+/// Full [`eval::evaluate`] with the saturation search's rate points spread
+/// over `workers` threads — [`saturation_search_pooled`] wrapped in the
+/// link-budget/zero-load pipeline. Used by `fig7_simulation --fanout F`.
+///
+/// # Panics
+///
+/// As [`saturation_search_pooled`].
 #[must_use]
-pub fn arg_flag(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
+pub fn evaluate_pooled(
+    arrangement: &Arrangement,
+    params: &EvalParams,
+    fanout: usize,
+    workers: usize,
+) -> EvalResult {
+    eval::evaluate_with(arrangement, params, fanout.max(1), |zero_load, rates| {
+        Ok(run_rates_pooled(arrangement, params, zero_load, rates, workers))
+    })
+    .unwrap_or_else(|e| panic!("evaluate n={}: {e}", arrangement.num_chiplets()))
+}
+
+/// Simulates a batch of independent rate points on the engine pool.
+fn run_rates_pooled(
+    arrangement: &Arrangement,
+    params: &EvalParams,
+    zero_load: f64,
+    rates: &[f64],
+    workers: usize,
+) -> Vec<nocsim::measure::LoadPointResult> {
+    pool::run_jobs(
+        rates,
+        workers,
+        |_| 1,
+        |&rate| {
+            eval::measure_load_point(arrangement, params, rate, zero_load)
+                .unwrap_or_else(|e| panic!("load point at rate {rate}: {e}"))
+        },
+        None,
+    )
 }
 
 #[cfg(test)]
@@ -113,10 +251,8 @@ mod tests {
         let points = proxy_sweep(&[7, 16]);
         assert_eq!(points.len(), 6);
         // HexaMesh at n=7 is regular with diameter 2 and bisection 5.
-        let hm7 = points
-            .iter()
-            .find(|p| p.kind == ArrangementKind::HexaMesh && p.n == 7)
-            .unwrap();
+        let hm7 =
+            points.iter().find(|p| p.kind == ArrangementKind::HexaMesh && p.n == 7).unwrap();
         assert_eq!(hm7.diameter, 2);
         assert_eq!(hm7.bisection, 5.0);
     }
@@ -135,18 +271,46 @@ mod tests {
         assert_eq!(arg_usize(&args, "--max-n", 100), 100);
         assert!(arg_flag(&args, "--quick"));
         assert!(!arg_flag(&args, "--full"));
+        assert!((arg_f64(&args, "--rate", 0.25) - 0.25).abs() < 1e-12);
     }
 
-    #[test]
-    fn evaluation_sweep_tiny() {
+    fn tiny_params() -> EvalParams {
         let mut params = EvalParams::quick();
         params.sim.vcs = 4;
         params.sim.buffer_depth = 4;
         params.measure.warmup_cycles = 500;
         params.measure.measure_cycles = 1_000;
         params.measure.rate_resolution = 0.1;
-        let results = evaluation_sweep(&[4], &params, 2);
+        params
+    }
+
+    #[test]
+    fn evaluation_sweep_tiny() {
+        let results = evaluation_sweep(&[4], &tiny_params(), 2);
         assert_eq!(results.len(), 3);
         assert!(results.iter().all(|r| r.saturation_fraction > 0.0));
+    }
+
+    #[test]
+    fn evaluation_sweep_worker_count_is_invisible() {
+        let params = tiny_params();
+        let serial = evaluation_sweep(&[2, 4], &params, 1);
+        let parallel = evaluation_sweep(&[2, 4], &params, 8);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn pooled_saturation_search_matches_serial_at_fanout_one() {
+        let params = tiny_params();
+        let a = Arrangement::build(ArrangementKind::Grid, 4).unwrap();
+        let serial =
+            nocsim::measure::saturation_search(a.graph(), &params.sim, &params.measure)
+                .unwrap();
+        let pooled = saturation_search_pooled(&a, &params, 1, 4);
+        assert_eq!(serial, pooled, "fanout-1 batched search must equal bisection");
+        // Wider fanout probes different rates but must land near the same
+        // knee.
+        let wide = saturation_search_pooled(&a, &params, 4, 4);
+        assert!((wide.rate - serial.rate).abs() <= 2.0 * params.measure.rate_resolution);
     }
 }

@@ -242,14 +242,10 @@ mod tests {
     #[test]
     fn hexagon_is_subset_of_next_hexagon() {
         for r in 0..4usize {
-            let inner: std::collections::HashSet<_> = hexagon(r)
-                .into_iter()
-                .map(|rect| (rect.x(), rect.y()))
-                .collect();
-            let outer: std::collections::HashSet<_> = hexagon(r + 1)
-                .into_iter()
-                .map(|rect| (rect.x(), rect.y()))
-                .collect();
+            let inner: std::collections::HashSet<_> =
+                hexagon(r).into_iter().map(|rect| (rect.x(), rect.y())).collect();
+            let outer: std::collections::HashSet<_> =
+                hexagon(r + 1).into_iter().map(|rect| (rect.x(), rect.y())).collect();
             assert!(inner.is_subset(&outer), "hexagon {r} ⊄ hexagon {}", r + 1);
             assert_eq!(outer.len() - inner.len(), 6 * (r + 1));
         }

@@ -23,7 +23,8 @@ pub(super) fn generate(n: usize, regularity: Regularity) -> Option<Graph> {
 fn graph_from_positions(positions: &[(i64, i64)]) -> Graph {
     // Convert offset coordinates to axial coordinates; two hexagons are
     // adjacent iff their axial difference is one of the six unit directions.
-    let axial: Vec<(i64, i64)> = positions.iter().map(|&(row, col)| to_axial(row, col)).collect();
+    let axial: Vec<(i64, i64)> =
+        positions.iter().map(|&(row, col)| to_axial(row, col)).collect();
     let index: std::collections::HashMap<(i64, i64), usize> =
         axial.iter().enumerate().map(|(i, &a)| (a, i)).collect();
     const DIRECTIONS: [(i64, i64); 6] = [(1, 0), (-1, 0), (0, 1), (0, -1), (1, -1), (-1, 1)];

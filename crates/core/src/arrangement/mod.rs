@@ -345,7 +345,7 @@ mod tests {
     fn classify_factorable_as_semi_regular() {
         assert_eq!(classify(ArrangementKind::Grid, 12), Regularity::SemiRegular); // 3x4
         assert_eq!(classify(ArrangementKind::Grid, 6), Regularity::SemiRegular); // 2x3
-        // 7 is prime: no factorisation, not square.
+                                                                                 // 7 is prime: no factorisation, not square.
         assert_eq!(classify(ArrangementKind::Grid, 7), Regularity::Irregular);
         // 26 = 2x13 is too elongated.
         assert_eq!(classify(ArrangementKind::Grid, 26), Regularity::Irregular);
@@ -391,8 +391,8 @@ mod tests {
     fn all_kinds_build_across_counts() {
         for kind in ArrangementKind::ALL {
             for n in 1..=40 {
-                let a = Arrangement::build(kind, n)
-                    .unwrap_or_else(|e| panic!("{kind} n={n}: {e}"));
+                let a =
+                    Arrangement::build(kind, n).unwrap_or_else(|e| panic!("{kind} n={n}: {e}"));
                 assert_eq!(a.num_chiplets(), n, "{kind} n={n}");
                 assert_eq!(a.graph().num_vertices(), n);
                 if n > 1 {

@@ -4,7 +4,8 @@
 
 use std::fmt;
 
-use nocsim::{measure, MeasureConfig, SimConfig, SimError};
+use nocsim::measure::{self, LoadPointResult, SaturationResult};
+use nocsim::{LinkSpec, MeasureConfig, SimConfig, SimError};
 use serde::{Deserialize, Serialize};
 
 use crate::arrangement::{Arrangement, ArrangementKind, Regularity};
@@ -191,24 +192,96 @@ pub struct EvalResult {
     pub diameter: u32,
 }
 
-/// Evaluates an arrangement end to end: link budget, zero-load latency, and
-/// simulated saturation throughput. This runs the cycle-accurate simulator
-/// several times (binary search over injection rates) — seconds per call at
-/// `N ≈ 100` in release builds.
+/// Structural zero-load latency for an arrangement under `params`.
+///
+/// # Errors
+///
+/// Propagates routing/configuration errors as [`EvalError::Sim`].
+pub fn zero_load_of(arrangement: &Arrangement, params: &EvalParams) -> Result<f64, EvalError> {
+    Ok(measure::zero_load_latency(arrangement.graph(), &params.sim)?)
+}
+
+/// Simulates one injection-rate point of the saturation search: build the
+/// simulator, warm up, measure, classify. Each point is independent of
+/// every other point — this is the unit of work the experiment engine
+/// schedules (`crates/xp`); `zero_load` is the latency-guard baseline from
+/// [`zero_load_of`].
+///
+/// # Errors
+///
+/// Propagates simulator construction failures as [`EvalError::Sim`].
+pub fn measure_load_point(
+    arrangement: &Arrangement,
+    params: &EvalParams,
+    rate: f64,
+    zero_load: f64,
+) -> Result<LoadPointResult, EvalError> {
+    let config = SimConfig { injection_rate: rate, ..params.sim };
+    let latency = config.link_latency;
+    Ok(measure::run_load_point_with_specs(
+        arrangement.graph(),
+        &config,
+        &params.measure,
+        |_, _| LinkSpec::uniform(latency),
+        zero_load,
+    )?)
+}
+
+/// Re-export of the probe-rate helper of the batched saturation search
+/// (see [`measure::saturation_search_batched`]).
+pub use nocsim::measure::round_rates;
+
+/// Finds the saturation point by *batched* bracketing
+/// ([`measure::saturation_search_batched`] at the resolution of
+/// `params.measure`): every round asks `run_points` to simulate
+/// [`round_rates`] — independent jobs the caller may run on any number of
+/// workers. With `fanout = 1` the probe sequence (and therefore the
+/// result) is exactly the serial bisection the paper methodology uses;
+/// larger fanouts trade ~2× total work for `fanout`-way parallelism
+/// inside a single arrangement's search.
+///
+/// # Errors
+///
+/// Propagates failures from `run_points`.
+pub fn saturation_search_with<F>(
+    params: &EvalParams,
+    fanout: usize,
+    run_points: F,
+) -> Result<SaturationResult, EvalError>
+where
+    F: FnMut(&[f64]) -> Result<Vec<LoadPointResult>, EvalError>,
+{
+    measure::saturation_search_batched(params.measure.rate_resolution, fanout, run_points)
+}
+
+/// [`evaluate`] with the saturation search decomposed through
+/// `run_points` (see [`saturation_search_with`]): the engine plugs a
+/// parallel map in here to spread one arrangement's rate search over
+/// workers. `run_points` receives the zero-load latency (computed once,
+/// here) as the latency-guard baseline for [`measure_load_point`],
+/// followed by the batch of rates to simulate.
 ///
 /// # Errors
 ///
 /// See [`link_budget`]; additionally [`EvalError::Sim`] if the simulator
 /// rejects the topology or configuration.
-pub fn evaluate(arrangement: &Arrangement, params: &EvalParams) -> Result<EvalResult, EvalError> {
+pub fn evaluate_with<F>(
+    arrangement: &Arrangement,
+    params: &EvalParams,
+    fanout: usize,
+    mut run_points: F,
+) -> Result<EvalResult, EvalError>
+where
+    F: FnMut(f64, &[f64]) -> Result<Vec<LoadPointResult>, EvalError>,
+{
     let n = arrangement.num_chiplets();
     if n * params.sim.endpoints_per_router < 2 {
         return Err(EvalError::TooFewEndpoints(n * params.sim.endpoints_per_router));
     }
     let budget = link_budget(arrangement, params)?;
-    let graph = arrangement.graph();
-    let zero_load = measure::zero_load_latency(graph, &params.sim)?;
-    let saturation = measure::saturation_search(graph, &params.sim, &params.measure)?;
+    let zero_load = zero_load_of(arrangement, params)?;
+    let saturation =
+        saturation_search_with(params, fanout, |rates| run_points(zero_load, rates))?;
     let diameter = proxies::measured_diameter(arrangement).unwrap_or(0);
     Ok(EvalResult {
         kind: arrangement.kind(),
@@ -222,6 +295,28 @@ pub fn evaluate(arrangement: &Arrangement, params: &EvalParams) -> Result<EvalRe
         saturation_fraction: saturation.throughput,
         saturation_throughput_tbps: saturation.throughput * budget.full_global_bandwidth_tbps,
         diameter,
+    })
+}
+
+/// Evaluates an arrangement end to end: link budget, zero-load latency, and
+/// simulated saturation throughput. This runs the cycle-accurate simulator
+/// several times (binary search over injection rates) — seconds per call at
+/// `N ≈ 100` in release builds. Equivalent to [`evaluate_with`] at
+/// `fanout = 1` with a serial runner.
+///
+/// # Errors
+///
+/// See [`link_budget`]; additionally [`EvalError::Sim`] if the simulator
+/// rejects the topology or configuration.
+pub fn evaluate(
+    arrangement: &Arrangement,
+    params: &EvalParams,
+) -> Result<EvalResult, EvalError> {
+    evaluate_with(arrangement, params, 1, |zero_load, rates| {
+        rates
+            .iter()
+            .map(|&rate| measure_load_point(arrangement, params, rate, zero_load))
+            .collect()
     })
 }
 
@@ -279,7 +374,8 @@ pub fn normalize(results: &[EvalResult], baseline: &[EvalResult]) -> Vec<Normali
             if base.zero_load_latency_cycles <= 0.0 {
                 return None;
             }
-            let latency_pct = 100.0 * r.zero_load_latency_cycles / base.zero_load_latency_cycles;
+            let latency_pct =
+                100.0 * r.zero_load_latency_cycles / base.zero_load_latency_cycles;
             let throughput_pct = if base.saturation_throughput_tbps > 0.0 {
                 100.0 * r.saturation_throughput_tbps / base.saturation_throughput_tbps
             } else {
@@ -348,10 +444,7 @@ mod tests {
     fn single_chiplet_rejected() {
         let params = EvalParams::paper_defaults();
         let a = Arrangement::build(ArrangementKind::Grid, 1).unwrap();
-        assert!(matches!(
-            link_budget(&a, &params),
-            Err(EvalError::TooFewEndpoints(1))
-        ));
+        assert!(matches!(link_budget(&a, &params), Err(EvalError::TooFewEndpoints(1))));
     }
 
     #[test]

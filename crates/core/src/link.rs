@@ -164,10 +164,7 @@ mod tests {
         let bad_pitch = LinkParams { bump_pitch: 0.0, ..LinkParams::ucie_c4(1.0) };
         assert!(matches!(estimate_link(&bad_pitch), Err(LinkModelError::InvalidPitch(_))));
         let bad_freq = LinkParams { frequency_ghz: -16.0, ..LinkParams::ucie_c4(1.0) };
-        assert!(matches!(
-            estimate_link(&bad_freq),
-            Err(LinkModelError::InvalidFrequency(_))
-        ));
+        assert!(matches!(estimate_link(&bad_freq), Err(LinkModelError::InvalidFrequency(_))));
     }
 
     #[test]

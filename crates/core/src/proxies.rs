@@ -121,11 +121,7 @@ mod tests {
                 Regularity::Regular,
             )
             .unwrap();
-            assert_eq!(
-                measured_diameter(&a).unwrap() as f64,
-                grid_diameter(n),
-                "grid n={n}"
-            );
+            assert_eq!(measured_diameter(&a).unwrap() as f64, grid_diameter(n), "grid n={n}");
         }
     }
 
@@ -251,13 +247,7 @@ mod tests {
 
     #[test]
     fn honeycomb_shares_brickwall_formulas() {
-        assert_eq!(
-            formula_diameter(ArrangementKind::Honeycomb, 49),
-            brickwall_diameter(49)
-        );
-        assert_eq!(
-            formula_bisection(ArrangementKind::Honeycomb, 49),
-            brickwall_bisection(49)
-        );
+        assert_eq!(formula_diameter(ArrangementKind::Honeycomb, 49), brickwall_diameter(49));
+        assert_eq!(formula_bisection(ArrangementKind::Honeycomb, 49), brickwall_bisection(49));
     }
 }

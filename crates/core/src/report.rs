@@ -44,7 +44,10 @@ pub fn datasheet(arrangement: &Arrangement, params: &EvalParams) -> Result<Strin
     ));
     line(String::new());
     line("── Inter-chiplet interconnect ──".to_owned());
-    line(format!("  neighbours/chiplet   min {} / max {} / avg {:.2}", stats.min, stats.max, stats.average));
+    line(format!(
+        "  neighbours/chiplet   min {} / max {} / avg {:.2}",
+        stats.min, stats.max, stats.average
+    ));
     line(format!("  D2D links            {}", arrangement.graph().num_edges()));
     line(format!("  network diameter     {diameter} hops"));
     line(format!("  bisection bandwidth  {bisection:.1} links"));

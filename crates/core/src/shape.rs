@@ -164,7 +164,10 @@ pub fn brickwall_shape(params: &ShapeParams) -> Result<ChipletShape, ShapeError>
 /// # Errors
 ///
 /// [`ShapeError::NonRectangularKind`] for the honeycomb.
-pub fn shape_for(kind: ArrangementKind, params: &ShapeParams) -> Result<ChipletShape, ShapeError> {
+pub fn shape_for(
+    kind: ArrangementKind,
+    params: &ShapeParams,
+) -> Result<ChipletShape, ShapeError> {
     match kind {
         ArrangementKind::Grid => grid_shape(params),
         ArrangementKind::Brickwall | ArrangementKind::HexaMesh => brickwall_shape(params),
@@ -273,7 +276,7 @@ mod tests {
             let p = params(ac, pp);
             let s = brickwall_shape(&p).unwrap();
             let lb = s.width / 2.0; // Eq. (2): W_C = 2 L_B
-            // Eq. (1): H_C = 2 D_B + L_B.
+                                    // Eq. (1): H_C = 2 D_B + L_B.
             assert!(
                 (s.height - (2.0 * s.max_bump_distance + lb)).abs() < 1e-9,
                 "eq1 ac={ac} pp={pp}"
@@ -316,12 +319,9 @@ mod tests {
         let a7 = Arrangement::build(ArrangementKind::HexaMesh, 7).unwrap();
         assert!((hand_optimized_sector_area(&a7, &p).unwrap() - 10.0).abs() < 1e-9);
         // N = 1: no links.
-        let a1 = Arrangement::build_with_regularity(
-            ArrangementKind::Grid,
-            1,
-            Regularity::Regular,
-        )
-        .unwrap();
+        let a1 =
+            Arrangement::build_with_regularity(ArrangementKind::Grid, 1, Regularity::Regular)
+                .unwrap();
         assert!(hand_optimized_sector_area(&a1, &p).is_none());
     }
 
@@ -339,9 +339,7 @@ mod tests {
                     assert!(length < 2.0, "n={n}: link length {length:.2} mm");
                 }
                 // The conservative two-sided bound is exactly twice that.
-                assert!(
-                    (estimated_link_length(&shape) - 2.0 * length).abs() < 1e-12
-                );
+                assert!((estimated_link_length(&shape) - 2.0 * length).abs() < 1e-12);
             }
         }
     }

@@ -1,7 +1,7 @@
 //! Recurring die cost: silicon, yield loss, and known-good-die testing.
 
-use serde::Serialize;
 use serde::Deserialize;
+use serde::Serialize;
 
 use crate::wafer::{dies_per_wafer, Wafer};
 use crate::yield_model::YieldModel;
@@ -42,7 +42,11 @@ pub struct DieCost {
 /// # Errors
 ///
 /// Propagates wafer-geometry and yield-model errors.
-pub fn die_cost(node: &ProcessNode, die_area: f64, test_cost: f64) -> Result<DieCost, CostError> {
+pub fn die_cost(
+    node: &ProcessNode,
+    die_area: f64,
+    test_cost: f64,
+) -> Result<DieCost, CostError> {
     if !(test_cost.is_finite() && test_cost >= 0.0) {
         return Err(CostError::NonPositive("test cost"));
     }

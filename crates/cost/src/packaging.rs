@@ -1,8 +1,8 @@
 //! Packaging cost: organic substrate or silicon interposer, die bonding,
 //! and assembly yield (§II of the paper describes both integration styles).
 
-use serde::Serialize;
 use serde::Deserialize;
+use serde::Serialize;
 
 use crate::die::{die_cost, ProcessNode};
 use crate::CostError;
@@ -90,7 +90,10 @@ pub fn carrier_cost(carrier: &Carrier, footprint_mm2: f64) -> Result<f64, CostEr
 /// # Errors
 ///
 /// [`CostError::NonPositive`] if `num_dies == 0` or parameters are invalid.
-pub fn assembly_yield(params: &AssemblyParams, num_dies: usize) -> Result<(f64, f64), CostError> {
+pub fn assembly_yield(
+    params: &AssemblyParams,
+    num_dies: usize,
+) -> Result<(f64, f64), CostError> {
     let params = params.validated()?;
     if num_dies == 0 {
         return Err(CostError::NonPositive("number of dies"));
@@ -132,9 +135,7 @@ mod tests {
         let organic = Carrier::OrganicSubstrate { cost_per_mm2: 0.02 };
         let silicon = Carrier::SiliconInterposer { node: interposer_node() };
         let area = 850.0;
-        assert!(
-            carrier_cost(&silicon, area).unwrap() > carrier_cost(&organic, area).unwrap()
-        );
+        assert!(carrier_cost(&silicon, area).unwrap() > carrier_cost(&organic, area).unwrap());
     }
 
     #[test]
@@ -154,8 +155,6 @@ mod tests {
         assert!(AssemblyParams { bond_cost: -1.0, ..assembly() }.validated().is_err());
         assert!(assembly_yield(&assembly(), 0).is_err());
         assert!(carrier_cost(&Carrier::OrganicSubstrate { cost_per_mm2: -0.1 }, 10.0).is_err());
-        assert!(
-            carrier_cost(&Carrier::OrganicSubstrate { cost_per_mm2: 0.1 }, 0.0).is_err()
-        );
+        assert!(carrier_cost(&Carrier::OrganicSubstrate { cost_per_mm2: 0.1 }, 0.0).is_err());
     }
 }

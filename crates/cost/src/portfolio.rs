@@ -132,7 +132,8 @@ pub fn portfolio_comparison(
 
     // ── Chiplet strategy: one shared design, k copies per product ───────
     let physical_chiplet_area = chiplet_area * (1.0 + params.phy_area_overhead);
-    let chiplet_die = die_cost(&params.compute_node, physical_chiplet_area, params.kgd_test_cost)?;
+    let chiplet_die =
+        die_cost(&params.compute_node, physical_chiplet_area, params.kgd_test_cost)?;
     let mut chip_recurring = 0.0;
     for p in products {
         let k = (p.compute_area_mm2 / chiplet_area).ceil() as usize;
@@ -203,13 +204,9 @@ mod tests {
         // overheads for nothing (1 chiplet per package) and wins no NRE
         // amortisation. Monolithic must be at least competitive.
         let products = [Product { compute_area_mm2: 60.0, volume: 100_000 }];
-        let cmp = portfolio_comparison(
-            &params(),
-            &PortfolioNre::default_5nm(),
-            &products,
-            60.0,
-        )
-        .unwrap();
+        let cmp =
+            portfolio_comparison(&params(), &PortfolioNre::default_5nm(), &products, 60.0)
+                .unwrap();
         assert!(
             cmp.monolithic.total() <= cmp.chiplet.total(),
             "monolithic {} vs chiplet {}",

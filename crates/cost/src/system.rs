@@ -1,8 +1,8 @@
 //! System-level comparison: monolithic vs. 2.5D-disaggregated cost for the
 //! same total silicon area — quantifying §I's economic argument.
 
-use serde::Serialize;
 use serde::Deserialize;
+use serde::Serialize;
 
 use crate::die::{die_cost, ProcessNode};
 use crate::packaging::{assembly_yield, carrier_cost, AssemblyParams, Carrier};
@@ -138,9 +138,7 @@ pub fn best_chiplet_count(
     counts
         .iter()
         .filter_map(|&n| {
-            system_cost_comparison(params, total_area, n)
-                .ok()
-                .map(|c| (n, c.mcm_total))
+            system_cost_comparison(params, total_area, n).ok().map(|c| (n, c.mcm_total))
         })
         .min_by(|a, b| a.1.total_cmp(&b.1))
 }
@@ -187,9 +185,7 @@ mod tests {
         // Bonding cost/yield and PHY overhead eventually outweigh the yield
         // benefit: cost is U-shaped in chiplet count.
         let params = CostParams::default_5nm();
-        let at = |n: usize| {
-            system_cost_comparison(&params, 800.0, n).unwrap().mcm_total
-        };
+        let at = |n: usize| system_cost_comparison(&params, 800.0, n).unwrap().mcm_total;
         let best = best_chiplet_count(&params, 800.0, &[1, 2, 4, 8, 16, 32, 64, 128])
             .expect("valid sweep");
         assert!(best.0 >= 4, "optimum {best:?}");

@@ -94,9 +94,8 @@ mod tests {
         // Total die area never exceeds wafer area, and smaller dies waste
         // less edge (higher utilisation).
         let wafer_area = std::f64::consts::PI * 150.0 * 150.0;
-        let util = |area: f64| {
-            dies_per_wafer(&wafer(), area).unwrap() as f64 * area / wafer_area
-        };
+        let util =
+            |area: f64| dies_per_wafer(&wafer(), area).unwrap() as f64 * area / wafer_area;
         assert!(util(25.0) <= 1.0);
         assert!(util(25.0) > util(400.0));
     }

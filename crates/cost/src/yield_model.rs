@@ -115,8 +115,7 @@ mod tests {
         let area = 600.0;
         let poisson = YieldModel::Poisson.die_yield(D, area).unwrap();
         let murphy = YieldModel::Murphy.die_yield(D, area).unwrap();
-        let clustered =
-            YieldModel::NegativeBinomial { alpha: 1.0 }.die_yield(D, area).unwrap();
+        let clustered = YieldModel::NegativeBinomial { alpha: 1.0 }.die_yield(D, area).unwrap();
         assert!(poisson < murphy, "{poisson} !< {murphy}");
         assert!(murphy < clustered, "{murphy} !< {clustered}");
     }

@@ -57,18 +57,17 @@ pub fn distances(g: &Graph, source: VertexId) -> Vec<u32> {
 ///
 /// Panics if `source` is out of range.
 #[must_use]
-pub fn distances_with_parents(g: &Graph, source: VertexId) -> (Vec<u32>, Vec<Option<VertexId>>) {
+pub fn distances_with_parents(
+    g: &Graph,
+    source: VertexId,
+) -> (Vec<u32>, Vec<Option<VertexId>>) {
     let dist = distances(g, source);
     let mut parent = vec![None; g.num_vertices()];
     for v in g.vertices() {
         if v == source || dist[v] == UNREACHABLE {
             continue;
         }
-        parent[v] = g
-            .neighbors(v)
-            .iter()
-            .copied()
-            .find(|&u| dist[u] + 1 == dist[v]);
+        parent[v] = g.neighbors(v).iter().copied().find(|&u| dist[u] + 1 == dist[v]);
     }
     (dist, parent)
 }

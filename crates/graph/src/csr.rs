@@ -29,10 +29,9 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
-                f,
-                "vertex {vertex} out of range for graph with {num_vertices} vertices"
-            ),
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range for graph with {num_vertices} vertices")
+            }
             GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v} is not allowed"),
             GraphError::DuplicateEdge(u, v) => {
                 write!(f, "edge ({u}, {v}) was added more than once")

@@ -141,12 +141,7 @@ impl Bipartition {
     /// Vertices on the given side, in ascending order.
     #[must_use]
     pub fn vertices_on(&self, side: Side) -> Vec<VertexId> {
-        self.sides
-            .iter()
-            .enumerate()
-            .filter(|&(_, &s)| s == side)
-            .map(|(v, _)| v)
-            .collect()
+        self.sides.iter().enumerate().filter(|&(_, &s)| s == side).map(|(v, _)| v).collect()
     }
 
     /// For vertex `v`, the number of incident edges crossing the cut
@@ -192,13 +187,17 @@ mod tests {
         for k in [2usize, 4, 6, 8] {
             let g = gen::grid(k, k);
             // gen::grid numbers vertices row-major: v = r*k + c.
-            let p = Bipartition::from_side_of(k * k, |v| {
-                if v % k < k / 2 {
-                    Side::A
-                } else {
-                    Side::B
-                }
-            });
+            let p =
+                Bipartition::from_side_of(
+                    k * k,
+                    |v| {
+                        if v % k < k / 2 {
+                            Side::A
+                        } else {
+                            Side::B
+                        }
+                    },
+                );
             assert!(p.is_balanced(0));
             assert_eq!(p.cut_size(&g), k);
         }

@@ -253,11 +253,8 @@ mod tests {
     #[test]
     fn barbell_bridge_detected() {
         // Two triangles joined by one edge (2, 3).
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .unwrap();
         assert_eq!(bridges(&g), vec![(2, 3)]);
         let cuts = articulation_points(&g);
         assert_eq!(cuts, vec![2, 3]);

@@ -101,10 +101,8 @@ mod tests {
         let mut p = Placement::new();
         for y in 0..side {
             for x in 0..side {
-                p.push(PlacedChiplet::compute(
-                    Rect::new(x, y, 1, 1).expect("unit rect"),
-                ))
-                .expect("no overlap in grid");
+                p.push(PlacedChiplet::compute(Rect::new(x, y, 1, 1).expect("unit rect")))
+                    .expect("no overlap in grid");
             }
         }
         p
@@ -151,11 +149,8 @@ mod tests {
         }
         let filled = fill_gaps_with_io(&p, 1, 1).unwrap();
         assert_eq!(filled.len(), 4);
-        let io: Vec<_> = filled
-            .chiplets()
-            .iter()
-            .filter(|c| c.kind == ChipletKind::Io)
-            .collect();
+        let io: Vec<_> =
+            filled.chiplets().iter().filter(|c| c.kind == ChipletKind::Io).collect();
         assert_eq!(io.len(), 1);
         assert_eq!((io[0].rect.x(), io[0].rect.y()), (1, 1));
     }

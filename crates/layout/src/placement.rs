@@ -177,10 +177,7 @@ impl Placement {
     /// Smallest rectangle containing every chiplet, or `None` when empty.
     #[must_use]
     pub fn bounding_box(&self) -> Option<Rect> {
-        self.chiplets
-            .iter()
-            .map(|c| c.rect)
-            .reduce(|acc, r| acc.union_bounds(&r))
+        self.chiplets.iter().map(|c| c.rect).reduce(|acc, r| acc.union_bounds(&r))
     }
 
     /// Total area covered by chiplets, in layout units squared.
@@ -283,16 +280,20 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let result: Result<Placement, LayoutError> =
-            [PlacedChiplet::compute(rect(0, 0, 1, 1)), PlacedChiplet::compute(rect(1, 0, 1, 1))]
-                .into_iter()
-                .collect();
+        let result: Result<Placement, LayoutError> = [
+            PlacedChiplet::compute(rect(0, 0, 1, 1)),
+            PlacedChiplet::compute(rect(1, 0, 1, 1)),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(result.unwrap().len(), 2);
 
-        let result: Result<Placement, LayoutError> =
-            [PlacedChiplet::compute(rect(0, 0, 2, 2)), PlacedChiplet::compute(rect(1, 1, 2, 2))]
-                .into_iter()
-                .collect();
+        let result: Result<Placement, LayoutError> = [
+            PlacedChiplet::compute(rect(0, 0, 2, 2)),
+            PlacedChiplet::compute(rect(1, 1, 2, 2)),
+        ]
+        .into_iter()
+        .collect();
         assert!(result.is_err());
     }
 

@@ -44,7 +44,9 @@ impl Default for SvgStyle {
 #[must_use]
 pub fn to_svg(placement: &Placement, style: &SvgStyle) -> String {
     let Some(bb) = placement.bounding_box() else {
-        return String::from("<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"1\" height=\"1\"/>\n");
+        return String::from(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"1\" height=\"1\"/>\n",
+        );
     };
     let width = bb.width() as f64 * style.scale + 2.0 * style.margin;
     let height = bb.height() as f64 * style.scale + 2.0 * style.margin;

@@ -39,7 +39,13 @@ impl<T> DelayLine<T> {
     pub fn with_interval(latency: u64, interval: u64) -> Self {
         assert!(latency >= 1, "channel latency must be at least 1 cycle");
         assert!(interval >= 1, "channel interval must be at least 1 cycle");
-        Self { latency, interval, queue: VecDeque::new(), last_push_cycle: None, last_delivery: None }
+        Self {
+            latency,
+            interval,
+            queue: VecDeque::new(),
+            last_push_cycle: None,
+            last_delivery: None,
+        }
     }
 
     /// Channel latency in cycles.

@@ -203,8 +203,7 @@ impl Endpoint {
                 if self.latency_histogram.is_empty() {
                     self.latency_histogram = vec![0; LATENCY_HISTOGRAM_BUCKETS];
                 }
-                let bucket =
-                    (latency as usize).min(LATENCY_HISTOGRAM_BUCKETS - 1);
+                let bucket = (latency as usize).min(LATENCY_HISTOGRAM_BUCKETS - 1);
                 self.latency_histogram[bucket] += 1;
             }
         }

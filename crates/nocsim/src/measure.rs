@@ -135,10 +135,7 @@ pub fn simulated_zero_load_latency(
 ) -> Result<f64, SimError> {
     let probe = SimConfig { injection_rate: 0.01, ..*config };
     let mut sim = Simulator::with_link_specs(g, probe, spec)?;
-    sim.run(2_000);
-    sim.open_measurement_window();
-    sim.run(30_000);
-    sim.stats()
+    sim.run_to_window(2_000, 30_000)
         .avg_packet_latency
         .ok_or(SimError::InvalidConfig("zero-load probe measured no packets"))
 }
@@ -173,10 +170,7 @@ pub fn run_load_point_with_specs(
     zero_load: f64,
 ) -> Result<LoadPointResult, SimError> {
     let mut sim = Simulator::with_link_specs(g, *config, spec)?;
-    sim.run(schedule.warmup_cycles);
-    sim.open_measurement_window();
-    sim.run(schedule.measure_cycles);
-    let stats = sim.stats();
+    let stats = sim.run_to_window(schedule.warmup_cycles, schedule.measure_cycles);
     let deadlock = sim.deadlock_suspected();
 
     let accepted_ratio = if stats.offered_flits_per_cycle_per_endpoint > 0.0 {
@@ -231,48 +225,90 @@ pub fn saturation_search_with_specs(
     spec: impl Fn(RouterId, RouterId) -> LinkSpec + Copy,
     zero_load: f64,
 ) -> Result<SaturationResult, SimError> {
-    let at = |rate: f64| -> Result<LoadPointResult, SimError> {
-        let config = SimConfig { injection_rate: rate, ..*base };
-        run_load_point_with_specs(g, &config, schedule, spec, zero_load)
+    saturation_search_batched(schedule.rate_resolution, 1, |rates| {
+        rates
+            .iter()
+            .map(|&rate| {
+                let config = SimConfig { injection_rate: rate, ..*base };
+                run_load_point_with_specs(g, &config, schedule, spec, zero_load)
+            })
+            .collect()
+    })
+}
+
+/// The `fanout` equally spaced probe rates of one search round inside the
+/// open bracket `(lo, hi)` — all independent simulation jobs.
+#[must_use]
+pub fn round_rates(lo: f64, hi: f64, fanout: usize) -> Vec<f64> {
+    let k = fanout.max(1);
+    (1..=k).map(|i| lo + (hi - lo) * i as f64 / (k + 1) as f64).collect()
+}
+
+/// The one knee-bracketing algorithm behind every saturation search.
+///
+/// Each round asks `run_points` to simulate [`round_rates`] — independent
+/// jobs the caller may run serially or on any number of workers — then
+/// narrows the bracket around the knee. With `fanout = 1` the probe
+/// sequence is the classic bisection ([`saturation_search`] is exactly
+/// this); larger fanouts trade ~2× total simulation work for fanout-way
+/// parallelism inside a single search. The outcome depends only on the
+/// returned points, never on how the batch was scheduled.
+///
+/// `run_points` must return one [`LoadPointResult`] per requested rate,
+/// in order.
+///
+/// # Errors
+///
+/// Propagates failures from `run_points`.
+///
+/// # Panics
+///
+/// Panics if `run_points` returns the wrong number of points.
+pub fn saturation_search_batched<E, F>(
+    resolution: f64,
+    fanout: usize,
+    mut run_points: F,
+) -> Result<SaturationResult, E>
+where
+    F: FnMut(&[f64]) -> Result<Vec<LoadPointResult>, E>,
+{
+    let result = |point: LoadPointResult| SaturationResult {
+        rate: point.offered,
+        throughput: point.stats.accepted_flits_per_cycle_per_endpoint,
+        latency_at_saturation: point.stats.avg_packet_latency,
     };
 
     // The full-capacity point first: some tiny networks never saturate.
-    let top = at(1.0)?;
+    let top = run_points(&[1.0])?.pop().expect("one point per rate");
     if !top.saturated {
-        return Ok(SaturationResult {
-            rate: 1.0,
-            throughput: top.stats.accepted_flits_per_cycle_per_endpoint,
-            latency_at_saturation: top.stats.avg_packet_latency,
-        });
+        return Ok(SaturationResult { rate: 1.0, ..result(top) });
     }
 
     let mut lo = 0.0f64;
     let mut hi = 1.0f64;
     let mut best: Option<LoadPointResult> = None;
-    while hi - lo > schedule.rate_resolution {
-        let mid = 0.5 * (lo + hi);
-        let point = at(mid)?;
-        if point.saturated {
-            hi = mid;
-        } else {
-            lo = mid;
-            best = Some(point);
+    while hi - lo > resolution {
+        let rates = round_rates(lo, hi, fanout);
+        let points = run_points(&rates)?;
+        assert_eq!(points.len(), rates.len(), "one point per requested rate");
+        // Highest stable prefix: the knee lies between the last stable
+        // rate and the first saturated one.
+        let stable = points.iter().take_while(|p| !p.saturated).count();
+        if stable > 0 {
+            lo = rates[stable - 1];
+            best = points.get(stable - 1).copied();
+        }
+        if stable < rates.len() {
+            hi = rates[stable];
         }
     }
     match best {
-        Some(point) => Ok(SaturationResult {
-            rate: point.offered,
-            throughput: point.stats.accepted_flits_per_cycle_per_endpoint,
-            latency_at_saturation: point.stats.avg_packet_latency,
-        }),
+        Some(point) => Ok(result(point)),
         // Saturated even at the smallest probed rate; report the boundary.
         None => {
-            let point = at(lo.max(schedule.rate_resolution / 2.0))?;
-            Ok(SaturationResult {
-                rate: point.offered,
-                throughput: point.stats.accepted_flits_per_cycle_per_endpoint,
-                latency_at_saturation: point.stats.avg_packet_latency,
-            })
+            let rate = lo.max(resolution / 2.0);
+            let point = run_points(&[rate])?.pop().expect("one point per rate");
+            Ok(result(point))
         }
     }
 }

@@ -80,6 +80,10 @@ struct OutputVc {
     owner: Option<(usize, VcId)>,
 }
 
+/// One row of [`Router::occupancy_report`]: `(in_port, vc,
+/// buffered_flits, bound_output, escape_committed, head_dest)`.
+pub type OccupancyEntry = (usize, VcId, usize, Option<(usize, VcId)>, bool, Option<usize>);
+
 /// Routing context the simulator passes into the allocation phases.
 #[derive(Debug, Clone, Copy)]
 pub struct RouteContext<'a> {
@@ -127,9 +131,8 @@ impl Router {
         params: RouterParams,
     ) -> Self {
         let num_ports = num_net_ports + num_endpoint_ports;
-        let inputs = (0..num_ports)
-            .map(|_| (0..params.vcs).map(|_| InputVc::new()).collect())
-            .collect();
+        let inputs =
+            (0..num_ports).map(|_| (0..params.vcs).map(|_| InputVc::new()).collect()).collect();
         let outputs = (0..num_ports)
             .map(|_| {
                 (0..params.vcs)
@@ -319,9 +322,7 @@ impl Router {
     /// buffered_flits, bound_output, escape_committed, head_dest)`. Used by
     /// [`crate::Simulator::blocked_packet_report`] to explain stalls.
     #[must_use]
-    pub fn occupancy_report(
-        &self,
-    ) -> Vec<(usize, VcId, usize, Option<(usize, VcId)>, bool, Option<usize>)> {
+    pub fn occupancy_report(&self) -> Vec<OccupancyEntry> {
         let mut out = Vec::new();
         for (port, vcs) in self.inputs.iter().enumerate() {
             for (vc, state) in vcs.iter().enumerate() {

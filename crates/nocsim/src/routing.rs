@@ -141,10 +141,8 @@ impl RoutingTables {
                     continue;
                 }
                 let hop = next_toward_d[r].expect("tree spans all routers");
-                let port = g
-                    .neighbors(r)
-                    .binary_search(&hop)
-                    .expect("tree edge exists in graph");
+                let port =
+                    g.neighbors(r).binary_search(&hop).expect("tree edge exists in graph");
                 escape[r * n + d] = u16::try_from(port).expect("port fits u16");
             }
         }

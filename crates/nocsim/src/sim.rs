@@ -168,10 +168,7 @@ impl LinkSpec {
 /// let mut config = SimConfig::paper_defaults();
 /// config.injection_rate = 0.05;
 /// let mut sim = Simulator::new(&g, config)?;
-/// sim.run(2_000);
-/// sim.open_measurement_window();
-/// sim.run(4_000);
-/// let stats = sim.stats();
+/// let stats = sim.run_to_window(2_000, 4_000);
 /// assert!(stats.received_packets > 0);
 /// # Ok::<(), nocsim::SimError>(())
 /// ```
@@ -201,7 +198,18 @@ pub struct Simulator {
     next_packet_id: PacketId,
     window_start: u64,
     last_progress: u64,
+    /// Set by [`Simulator::drain`]: endpoints stop generating traffic while
+    /// the configured injection rate stays untouched in `config`.
+    generation_stopped: bool,
 }
+
+// The experiment engine (`crates/xp`) moves simulators onto worker
+// threads; this assertion turns an accidental `!Send` field into a compile
+// error here rather than a confusing one at a spawn site.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Simulator>();
+};
 
 impl Simulator {
     /// Builds a simulator for the router graph `g`.
@@ -311,6 +319,7 @@ impl Simulator {
             next_packet_id: 0,
             window_start: u64::MAX,
             last_progress: 0,
+            generation_stopped: false,
         })
     }
 
@@ -418,8 +427,9 @@ impl Simulator {
         }
 
         // ── 3. Endpoint traffic generation and injection ────────────────
+        let rate = if self.generation_stopped { 0.0 } else { self.config.injection_rate };
         let process = InjectionProcess {
-            rate: self.config.injection_rate,
+            rate,
             packet_size: self.config.packet_size,
             kind: self.config.process,
         };
@@ -499,12 +509,12 @@ impl Simulator {
             received_flits,
             received_packets,
             measured_packets: measured,
-            avg_packet_latency: (measured > 0)
-                .then(|| latency_sum as f64 / measured as f64),
+            avg_packet_latency: (measured > 0).then(|| latency_sum as f64 / measured as f64),
             max_packet_latency: latency_max,
             accepted_flits_per_cycle_per_endpoint: received_flits as f64 / denom,
             offered_flits_per_cycle_per_endpoint: (offered_packets
-                * self.config.packet_size as u64) as f64
+                * self.config.packet_size as u64)
+                as f64
                 / denom,
         }
     }
@@ -618,14 +628,26 @@ impl Simulator {
             .collect()
     }
 
+    /// Runs `warmup` cycles, opens the measurement window, then runs
+    /// `measure` cycles and returns the window's statistics — the standard
+    /// warmup/measure schedule every load point uses.
+    pub fn run_to_window(&mut self, warmup: u64, measure: u64) -> NetworkStats {
+        self.run(warmup);
+        self.open_measurement_window();
+        self.run(measure);
+        self.stats()
+    }
+
     /// Stops traffic generation and runs until the network drains or
     /// `max_cycles` pass. Returns `true` if fully drained.
+    ///
+    /// The configured [`SimConfig::injection_rate`] is *not* modified:
+    /// [`Simulator::config`] keeps reporting the rate the simulation ran
+    /// at before the drain.
     pub fn drain(&mut self, max_cycles: u64) -> bool {
-        self.config.injection_rate = 0.0;
+        self.generation_stopped = true;
         for _ in 0..max_cycles {
-            if self.flits_in_network() == 0
-                && self.endpoints.iter().all(Endpoint::is_drained)
-            {
+            if self.flits_in_network() == 0 && self.endpoints.iter().all(Endpoint::is_drained) {
                 return true;
             }
             self.step();
@@ -733,6 +755,32 @@ mod tests {
     }
 
     #[test]
+    fn drain_preserves_configured_rate() {
+        let g = gen::grid(2, 2);
+        let mut sim = Simulator::new(&g, small_config(0.2)).unwrap();
+        sim.open_measurement_window();
+        sim.run(1_000);
+        assert!(sim.drain(20_000), "network failed to drain");
+        // The drain stops generation without clobbering the config.
+        assert_eq!(sim.config().injection_rate, 0.2);
+        // And generation really is stopped.
+        let offered_before = sim.stats().offered_packets;
+        sim.run(1_000);
+        assert_eq!(sim.stats().offered_packets, offered_before);
+    }
+
+    #[test]
+    fn run_to_window_matches_manual_schedule() {
+        let g = gen::grid(2, 2);
+        let mut manual = Simulator::new(&g, small_config(0.1)).unwrap();
+        manual.run(500);
+        manual.open_measurement_window();
+        manual.run(2_000);
+        let mut helper = Simulator::new(&g, small_config(0.1)).unwrap();
+        assert_eq!(helper.run_to_window(500, 2_000), manual.stats());
+    }
+
+    #[test]
     fn latency_bounded_below_by_structural_minimum() {
         let g = gen::grid(2, 2);
         let cfg = small_config(0.02);
@@ -807,10 +855,7 @@ mod tests {
         // Vertices: row-major, cols 0..4. Bisection edges: (1,2) and (5,6).
         let bisection = load_of(1, 2) + load_of(5, 6);
         let edge_links = load_of(0, 1) + load_of(4, 5);
-        assert!(
-            bisection > edge_links,
-            "bisection {bisection} !> outer {edge_links}"
-        );
+        assert!(bisection > edge_links, "bisection {bisection} !> outer {edge_links}");
     }
 
     #[test]
@@ -886,11 +931,9 @@ mod tests {
             injection_rate: 0.9,
             ..small_config(0.9)
         };
-        let mut sim = Simulator::with_link_specs(&g, cfg, |_, _| LinkSpec {
-            latency: 5,
-            interval: 8,
-        })
-        .unwrap();
+        let mut sim =
+            Simulator::with_link_specs(&g, cfg, |_, _| LinkSpec { latency: 5, interval: 8 })
+                .unwrap();
         sim.run(4_000);
         sim.open_measurement_window();
         sim.run(12_000);
@@ -931,8 +974,7 @@ mod tests {
             sim.fairness_index().expect("packets delivered")
         };
         let uniform = run(TrafficPattern::UniformRandom);
-        let hotspot =
-            run(TrafficPattern::Hotspot { num_hotspots: 1, fraction_permille: 900 });
+        let hotspot = run(TrafficPattern::Hotspot { num_hotspots: 1, fraction_permille: 900 });
         assert!(uniform > 0.95, "uniform fairness {uniform}");
         // 90% of traffic lands on one of 18 endpoints: index near 1/n.
         assert!(hotspot < 0.3, "hotspot fairness {hotspot}");

@@ -23,10 +23,8 @@ impl WeightedGraph {
     /// Lifts an unweighted [`Graph`] into a weighted one (all weights 1).
     #[must_use]
     pub fn from_graph(g: &Graph) -> Self {
-        let adjacency = g
-            .vertices()
-            .map(|v| g.neighbors(v).iter().map(|&u| (u, 1)).collect())
-            .collect();
+        let adjacency =
+            g.vertices().map(|v| g.neighbors(v).iter().map(|&u| (u, 1)).collect()).collect();
         Self { vertex_weights: vec![1; g.num_vertices()], adjacency }
     }
 
@@ -77,11 +75,8 @@ impl WeightedGraph {
     /// Sum of edge weights (each undirected edge counted once).
     #[must_use]
     pub fn total_edge_weight(&self) -> u64 {
-        let twice: u64 = self
-            .adjacency
-            .iter()
-            .flat_map(|adj| adj.iter().map(|&(_, w)| w))
-            .sum();
+        let twice: u64 =
+            self.adjacency.iter().flat_map(|adj| adj.iter().map(|&(_, w)| w)).sum();
         twice / 2
     }
 }
@@ -91,7 +86,10 @@ impl WeightedGraph {
 /// Returns the coarser graph and the fine→coarse vertex mapping, or `None`
 /// if no edge could be matched (graph already edgeless) so coarsening cannot
 /// make progress.
-pub fn coarsen_step(g: &WeightedGraph, rng: &mut StdRng) -> Option<(WeightedGraph, Vec<usize>)> {
+pub fn coarsen_step(
+    g: &WeightedGraph,
+    rng: &mut StdRng,
+) -> Option<(WeightedGraph, Vec<usize>)> {
     let n = g.num_vertices();
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(rng);

@@ -68,13 +68,17 @@ pub fn exact_bisection(g: &Graph) -> (Bipartition, usize) {
         });
     }
 
-    let partition = Bipartition::from_side_of(n, |v| {
-        if best_mask >> v & 1 == 1 {
-            Side::A
-        } else {
-            Side::B
-        }
-    });
+    let partition =
+        Bipartition::from_side_of(
+            n,
+            |v| {
+                if best_mask >> v & 1 == 1 {
+                    Side::A
+                } else {
+                    Side::B
+                }
+            },
+        );
     debug_assert!(partition.is_balanced(tolerance));
     (partition, best_cut)
 }

@@ -124,8 +124,7 @@ fn fm_pass(g: &WeightedGraph, partition: &mut Bipartition, tolerance: u64) -> bo
             }
             let from = side_index(partition.side(v));
             let wv = g.vertex_weight(v);
-            let new_imbalance =
-                (weight[from] - wv).abs_diff(weight[1 - from] + wv);
+            let new_imbalance = (weight[from] - wv).abs_diff(weight[1 - from] + wv);
             let admissible =
                 new_imbalance <= transient_tolerance || new_imbalance < current_imbalance;
             if !admissible {
@@ -192,13 +191,8 @@ mod tests {
         // Horizontal stripes interleaved: a terrible cut for a 4x4 grid.
         let base = gen::grid(4, 4);
         let g = unit(&base);
-        let mut p = Bipartition::from_side_of(16, |v| {
-            if (v / 4) % 2 == 0 {
-                Side::A
-            } else {
-                Side::B
-            }
-        });
+        let mut p =
+            Bipartition::from_side_of(16, |v| if (v / 4) % 2 == 0 { Side::A } else { Side::B });
         let before = p.cut_size(&base);
         refine(&g, &mut p, RefineParams::strict(&g));
         let after = p.cut_size(&base);
@@ -213,7 +207,8 @@ mod tests {
     fn refine_preserves_optimal_partition() {
         let base = gen::grid(4, 4);
         let g = unit(&base);
-        let mut p = Bipartition::from_side_of(16, |v| if v % 4 < 2 { Side::A } else { Side::B });
+        let mut p =
+            Bipartition::from_side_of(16, |v| if v % 4 < 2 { Side::A } else { Side::B });
         assert_eq!(p.cut_size(&base), 4);
         refine(&g, &mut p, RefineParams::strict(&g));
         assert_eq!(p.cut_size(&base), 4);

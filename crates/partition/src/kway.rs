@@ -146,9 +146,7 @@ fn farthest_first_seeds(g: &Graph, k: usize) -> Vec<usize> {
     let n = g.num_vertices();
     // Pseudo-peripheral start: BFS twice from vertex 0.
     let d0 = bfs::distances(g, 0);
-    let start = (0..n)
-        .max_by_key(|&v| if d0[v] == u32::MAX { 0 } else { d0[v] })
-        .unwrap_or(0);
+    let start = (0..n).max_by_key(|&v| if d0[v] == u32::MAX { 0 } else { d0[v] }).unwrap_or(0);
     let mut seeds = vec![start];
     let mut min_dist: Vec<u64> = bfs::distances(g, start)
         .into_iter()
@@ -321,10 +319,7 @@ mod tests {
     fn rejects_degenerate_k() {
         let g = gen::path(4);
         assert_eq!(partition_kway(&g, 0).unwrap_err(), KwayError::ZeroParts);
-        assert_eq!(
-            partition_kway(&g, 5).unwrap_err(),
-            KwayError::TooManyParts { k: 5, n: 4 }
-        );
+        assert_eq!(partition_kway(&g, 5).unwrap_err(), KwayError::TooManyParts { k: 5, n: 4 });
     }
 
     #[test]

@@ -202,7 +202,8 @@ fn multilevel_once(g: &Graph, config: &BisectionConfig, rng: &mut StdRng) -> Bip
     for level_idx in (0..mappings.len()).rev() {
         let finer = &levels[level_idx];
         let mapping = &mappings[level_idx];
-        partition = Bipartition::from_side_of(finer.num_vertices(), |v| partition.side(mapping[v]));
+        partition =
+            Bipartition::from_side_of(finer.num_vertices(), |v| partition.side(mapping[v]));
         fm::refine(finer, &mut partition, fm::RefineParams::for_level(finer));
     }
     partition

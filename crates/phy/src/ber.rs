@@ -59,7 +59,8 @@ const PI_SQRT: f64 = 1.772_453_850_905_516;
 /// ≤ 1.5e−7), valid for `x ≥ 0`.
 fn erfc_abramowitz_stegun(x: f64) -> f64 {
     const P: f64 = 0.327_591_1;
-    const A: [f64; 5] = [0.254_829_592, -0.284_496_736, 1.421_413_741, -1.453_152_027, 1.061_405_429];
+    const A: [f64; 5] =
+        [0.254_829_592, -0.284_496_736, 1.421_413_741, -1.453_152_027, 1.061_405_429];
     let t = 1.0 / (1.0 + P * x);
     let poly = t * (A[0] + t * (A[1] + t * (A[2] + t * (A[3] + t * A[4]))));
     poly * (-x * x).exp()

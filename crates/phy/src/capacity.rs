@@ -30,8 +30,7 @@ pub fn max_bit_rate_gbps(
     length_mm: f64,
     log10_ber_target: f64,
 ) -> Option<f64> {
-    let feasible =
-        |rate: f64| analyze(tech, budget, rate, length_mm).meets(log10_ber_target);
+    let feasible = |rate: f64| analyze(tech, budget, rate, length_mm).meets(log10_ber_target);
     bisect_feasibility_boundary(feasible)
 }
 

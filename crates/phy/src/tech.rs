@@ -142,9 +142,8 @@ mod tests {
         let sub = Technology::organic_substrate();
         let int = Technology::silicon_interposer();
         // At the paper's Nyquist (8 GHz for 16 Gb/s NRZ per wire):
-        let per_mm = |t: &Technology| {
-            t.conductor_loss * 8.0_f64.sqrt() + t.dielectric_loss * 8.0
-        };
+        let per_mm =
+            |t: &Technology| t.conductor_loss * 8.0_f64.sqrt() + t.dielectric_loss * 8.0;
         assert!(per_mm(&int) > 1.5 * per_mm(&sub));
     }
 
@@ -152,10 +151,7 @@ mod tests {
     fn validation_rejects_bad_coefficients() {
         let mut t = Technology::organic_substrate();
         t.conductor_loss = f64::NAN;
-        assert_eq!(
-            t.validate(),
-            Err(TechnologyError::InvalidCoefficient("conductor_loss"))
-        );
+        assert_eq!(t.validate(), Err(TechnologyError::InvalidCoefficient("conductor_loss")));
         let mut t = Technology::organic_substrate();
         t.xtalk_coupling = -0.1;
         assert!(t.validate().is_err());

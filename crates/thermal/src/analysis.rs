@@ -26,8 +26,7 @@ impl HotspotReport {
     pub fn from_solution(solution: &ThermalSolution) -> Self {
         let peak = solution.peak_c();
         let avg = solution.average_c();
-        let near_peak =
-            solution.cells().iter().filter(|&&t| t >= peak - 3.0).count();
+        let near_peak = solution.cells().iter().filter(|&&t| t >= peak - 3.0).count();
         Self {
             peak_c: peak,
             average_c: avg,

@@ -117,10 +117,8 @@ impl PowerMap {
             for cx in cx0..cx1 {
                 let cell_x0 = cx as f64 * self.cell_mm;
                 let cell_y0 = cy as f64 * self.cell_mm;
-                let overlap_x =
-                    (x1.min(cell_x0 + self.cell_mm) - x0.max(cell_x0)).max(0.0);
-                let overlap_y =
-                    (y1.min(cell_y0 + self.cell_mm) - y0.max(cell_y0)).max(0.0);
+                let overlap_x = (x1.min(cell_x0 + self.cell_mm) - x0.max(cell_x0)).max(0.0);
+                let overlap_y = (y1.min(cell_y0 + self.cell_mm) - y0.max(cell_y0)).max(0.0);
                 self.power_w[cy * self.width + cx] += density * overlap_x * overlap_y;
             }
         }
@@ -165,9 +163,8 @@ impl PowerMap {
         if !mm_per_unit.is_finite() || mm_per_unit <= 0.0 {
             return Err(ThermalError::InvalidGrid("mm_per_unit must be positive"));
         }
-        let bounds = placement
-            .bounding_box()
-            .ok_or(ThermalError::InvalidGrid("placement is empty"))?;
+        let bounds =
+            placement.bounding_box().ok_or(ThermalError::InvalidGrid("placement is empty"))?;
         let pad_mm = padding_cells as f64 * cell_mm;
         let width_mm = bounds.width() as f64 * mm_per_unit + 2.0 * pad_mm;
         let height_mm = bounds.height() as f64 * mm_per_unit + 2.0 * pad_mm;

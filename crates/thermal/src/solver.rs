@@ -318,8 +318,10 @@ mod tests {
     fn stronger_spreading_lowers_the_peak() {
         let mut m = PowerMap::new(9, 9, 1.0).unwrap();
         m.add_rect_w(3.0, 3.0, 6.0, 6.0, 20.0).unwrap();
-        let weak = ThermalParams { lateral_conductance_w_per_k: 0.1, ..ThermalParams::default() };
-        let strong = ThermalParams { lateral_conductance_w_per_k: 2.0, ..ThermalParams::default() };
+        let weak =
+            ThermalParams { lateral_conductance_w_per_k: 0.1, ..ThermalParams::default() };
+        let strong =
+            ThermalParams { lateral_conductance_w_per_k: 2.0, ..ThermalParams::default() };
         let s_weak = solve(&m, &weak).unwrap();
         let s_strong = solve(&m, &strong).unwrap();
         assert!(
@@ -337,10 +339,7 @@ mod tests {
     fn insulated_cells_only_heat_through_vertical_path() {
         // With zero lateral conductance each cell is independent:
         // T = T_amb + P·R_v/A.
-        let p = ThermalParams {
-            lateral_conductance_w_per_k: 0.0,
-            ..ThermalParams::default()
-        };
+        let p = ThermalParams { lateral_conductance_w_per_k: 0.0, ..ThermalParams::default() };
         let mut m = PowerMap::new(3, 3, 2.0).unwrap(); // 4 mm² cells
         m.add_rect_w(2.0, 2.0, 4.0, 4.0, 8.0).unwrap(); // centre cell, 8 W
         let s = solve(&m, &p).unwrap();
@@ -374,9 +373,6 @@ mod tests {
             max_iterations: 5,
             ..ThermalParams::default()
         };
-        assert!(matches!(
-            solve(&m, &p),
-            Err(ThermalError::NotConverged { iterations: 5, .. })
-        ));
+        assert!(matches!(solve(&m, &p), Err(ThermalError::NotConverged { iterations: 5, .. })));
     }
 }

@@ -9,7 +9,10 @@ fn arb_map() -> impl Strategy<Value = PowerMap> {
     (
         3usize..10,
         3usize..10,
-        prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.1f64..0.9, 0.1f64..0.9, 0.5f64..20.0), 1..4),
+        prop::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0.1f64..0.9, 0.1f64..0.9, 0.5f64..20.0),
+            1..4,
+        ),
     )
         .prop_map(|(w, h, rects)| {
             let mut m = PowerMap::new(w, h, 1.0).unwrap();

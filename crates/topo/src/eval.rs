@@ -181,33 +181,18 @@ pub fn evaluate(topo: &Topology, opts: &EvalOptions) -> Result<TopoEval, TopoEva
         // A flit that crosses a full-rate link in one cycle needs
         // nominal/rate cycles on a derated one.
         let interval = (opts.nominal_rate_gbps / rate).ceil().max(1.0) as u64;
-        links.push(LinkOperatingPoint {
-            u: e.u,
-            v: e.v,
-            length_mm,
-            rate_gbps: rate,
-            interval,
-        });
-        spec_by_pair
-            .insert((e.u, e.v), LinkSpec { latency: opts.sim.link_latency, interval });
+        links.push(LinkOperatingPoint { u: e.u, v: e.v, length_mm, rate_gbps: rate, interval });
+        spec_by_pair.insert((e.u, e.v), LinkSpec { latency: opts.sim.link_latency, interval });
     }
 
     let spec = |a: usize, b: usize| -> LinkSpec {
         let key = if a < b { (a, b) } else { (b, a) };
-        spec_by_pair
-            .get(&key)
-            .copied()
-            .unwrap_or(LinkSpec::uniform(opts.sim.link_latency))
+        spec_by_pair.get(&key).copied().unwrap_or(LinkSpec::uniform(opts.sim.link_latency))
     };
 
     let zero_load = simulated_zero_load_latency(topo.graph(), &opts.sim, spec)?;
-    let saturation = saturation_search_with_specs(
-        topo.graph(),
-        &opts.sim,
-        &opts.schedule,
-        spec,
-        zero_load,
-    )?;
+    let saturation =
+        saturation_search_with_specs(topo.graph(), &opts.sim, &opts.schedule, spec, zero_load)?;
 
     let min_rate_gbps =
         links.iter().map(|l| l.rate_gbps).fold(opts.nominal_rate_gbps, f64::min);

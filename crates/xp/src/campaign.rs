@@ -1,0 +1,235 @@
+//! The campaign runner: ties a grid (or an ad-hoc job list) to the worker
+//! pool and the unified sinks.
+//!
+//! A campaign is one invocation of an experiment binary. It runs jobs on
+//! the pool (large-first, deterministic output order), then writes the
+//! result table through the formats selected by `--format`:
+//!
+//! * `<out>/<name>.csv` — exactly the CSV the binary always produced;
+//! * `<out>/<name>.json` — the same rows plus a run manifest: the shared
+//!   flags, binary-specific config, `git describe`, and wall time.
+
+use std::io;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::cli::CampaignArgs;
+use crate::grid::{Job, Scenario};
+use crate::json::Value;
+use crate::pool;
+use crate::table::Table;
+
+/// One experiment invocation: shared flags plus sink bookkeeping.
+#[derive(Debug)]
+pub struct Campaign {
+    name: String,
+    args: CampaignArgs,
+    started: Instant,
+}
+
+impl Campaign {
+    /// Starts a campaign named `name` (the output file stem).
+    #[must_use]
+    pub fn new(name: &str, args: CampaignArgs) -> Self {
+        Self { name: name.to_owned(), args, started: Instant::now() }
+    }
+
+    /// The campaign name (output file stem).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared flags this campaign runs under.
+    #[must_use]
+    pub fn args(&self) -> &CampaignArgs {
+        &self.args
+    }
+
+    /// Expands `scenario` (replicates forced to `--seeds`) and runs every
+    /// job on the pool. Returns `(job, result)` pairs in grid order,
+    /// independent of the worker count.
+    pub fn run_grid<R, F>(&self, scenario: &Scenario, run: F) -> Vec<(Job, R)>
+    where
+        R: Send,
+        F: Fn(&Job) -> R + Sync,
+    {
+        let scenario = scenario.clone().with_replicates(self.args.seeds);
+        let jobs = scenario.jobs(self.args.campaign_seed);
+        let results =
+            pool::run_jobs(&jobs, self.args.workers, Job::weight, run, Some(&self.name));
+        jobs.into_iter().zip(results).collect()
+    }
+
+    /// Runs an ad-hoc job list (axes beyond the standard grid, e.g.
+    /// routing × VC ablations) on the pool with the campaign's worker
+    /// count. Results come back in submission order.
+    pub fn run_jobs<J, R, W, F>(&self, jobs: &[J], weight: W, run: F) -> Vec<R>
+    where
+        J: Sync,
+        R: Send,
+        W: Fn(&J) -> u64,
+        F: Fn(&J) -> R + Sync,
+    {
+        pool::run_jobs(jobs, self.args.workers, weight, run, Some(&self.name))
+    }
+
+    /// Writes `table` through the selected sinks and returns the paths
+    /// written. `config` carries binary-specific manifest fields (fixed
+    /// `n`, routing choice, …); pass [`Value::object()`] when empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn finish(&self, table: &Table, config: Value) -> io::Result<Vec<PathBuf>> {
+        let name = self.name.clone();
+        self.finish_named(&name, table, config)
+    }
+
+    /// [`Campaign::finish`] under a different file stem — for binaries
+    /// producing several artefacts (e.g. Fig. 7's absolute and normalised
+    /// series).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn finish_named(
+        &self,
+        stem: &str,
+        table: &Table,
+        config: Value,
+    ) -> io::Result<Vec<PathBuf>> {
+        let mut written = Vec::new();
+        if self.args.format.wants_csv() {
+            let path = self.args.out.join(format!("{stem}.csv"));
+            table.write_to(&path)?;
+            written.push(path);
+        }
+        if self.args.format.wants_json() {
+            let path = self.args.out.join(format!("{stem}.json"));
+            std::fs::create_dir_all(&self.args.out)?;
+            std::fs::write(&path, self.manifest(table, config).to_json())?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+
+    /// The JSON campaign document: manifest + rows.
+    fn manifest(&self, table: &Table, config: Value) -> Value {
+        let mut doc = Value::object();
+        doc.set("campaign", self.name.as_str());
+        doc.set("git", git_describe());
+        doc.set(
+            "created_unix_s",
+            SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs()),
+        );
+        doc.set("wall_s", self.started.elapsed().as_secs_f64());
+
+        let mut shared = Value::object();
+        shared.set("workers", self.args.workers);
+        shared.set("seeds", self.args.seeds);
+        shared.set("quick", self.args.quick);
+        shared.set("full", self.args.full);
+        shared.set("format", self.args.format.label());
+        shared.set("campaign_seed", self.args.campaign_seed);
+        doc.set("args", shared);
+        doc.set("config", config);
+
+        let columns: Vec<Value> =
+            table.header().iter().map(|c| Value::Str(c.clone())).collect();
+        doc.set("columns", Value::Arr(columns));
+        let rows: Vec<Value> = table
+            .rows()
+            .iter()
+            .map(|row| {
+                let mut obj = Value::object();
+                for (col, cell) in table.header().iter().zip(row) {
+                    // Numeric cells become JSON numbers (non-finite ones
+                    // `null`, keeping each column single-typed);
+                    // everything else stays a string.
+                    match cell.parse::<f64>() {
+                        Ok(x) if x.is_finite() => obj.set(col, x),
+                        Ok(_) => obj.set(col, Value::Null),
+                        Err(_) => obj.set(col, cell.as_str()),
+                    };
+                }
+                obj
+            })
+            .collect();
+        doc.set("rows", Value::Arr(rows));
+        doc
+    }
+}
+
+/// `git describe --always --dirty`, or `"unknown"` outside a git checkout.
+fn git_describe() -> String {
+    Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map_or_else(
+            || "unknown".to_owned(),
+            |o| String::from_utf8_lossy(&o.stdout).trim().to_owned(),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::OutputFormat;
+    use hexamesh::arrangement::ArrangementKind;
+
+    fn test_args(out: &std::path::Path) -> CampaignArgs {
+        CampaignArgs {
+            workers: 4,
+            seeds: 2,
+            quick: true,
+            full: false,
+            out: out.to_path_buf(),
+            format: OutputFormat::Both,
+            campaign_seed: 7,
+        }
+    }
+
+    #[test]
+    fn grid_campaign_runs_and_writes_both_sinks() {
+        let dir = std::env::temp_dir().join("xp_campaign_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let campaign = Campaign::new("unit", test_args(&dir));
+        let scenario = Scenario::new(&[ArrangementKind::Grid], &[2, 3]);
+        let results = campaign.run_grid(&scenario, |job| job.n * 10);
+        // 2 ns × --seeds 2 replicates.
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|(job, r)| *r == job.n * 10));
+
+        let mut table = Table::new(&["n", "value"]);
+        for (job, r) in &results {
+            table.row(&[&job.n, r]);
+        }
+        let written = campaign.finish(&table, Value::object()).unwrap();
+        assert_eq!(written.len(), 2);
+        let csv = std::fs::read_to_string(&written[0]).unwrap();
+        assert!(csv.starts_with("n,value\n2,20\n"));
+        let json = std::fs::read_to_string(&written[1]).unwrap();
+        assert!(json.contains("\"campaign\":\"unit\""));
+        assert!(json.contains("\"seeds\":2"));
+        assert!(json.contains("\"rows\":[{\"n\":2,\"value\":20}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn grid_results_identical_across_worker_counts() {
+        let dir = std::env::temp_dir().join("xp_campaign_det");
+        let scenario =
+            Scenario::new(&ArrangementKind::EVALUATED, &[2, 3, 4]).with_rates(&[0.1, 0.2]);
+        let run = |workers: usize| {
+            let mut args = test_args(&dir);
+            args.workers = workers;
+            Campaign::new("det", args)
+                .run_grid(&scenario, |job| (job.seed, job.n, job.replicate))
+        };
+        assert_eq!(run(1), run(8));
+    }
+}

@@ -1,0 +1,244 @@
+//! The shared command-line layer of every experiment binary.
+//!
+//! Flag values are parsed *strictly*: a malformed value (`--n abc`) aborts
+//! with a clear message instead of silently falling back to the default
+//! and running the wrong experiment. The `try_*` variants return errors
+//! for testability; the plain variants abort the process.
+
+use std::path::PathBuf;
+use std::str::FromStr;
+
+/// Which sinks a campaign writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// CSV table only (the historical output).
+    Csv,
+    /// JSON campaign file only.
+    Json,
+    /// Both sinks (the default).
+    Both,
+}
+
+impl OutputFormat {
+    /// `true` if a CSV table should be written.
+    #[must_use]
+    pub fn wants_csv(self) -> bool {
+        matches!(self, OutputFormat::Csv | OutputFormat::Both)
+    }
+
+    /// `true` if a JSON campaign file should be written.
+    #[must_use]
+    pub fn wants_json(self) -> bool {
+        matches!(self, OutputFormat::Json | OutputFormat::Both)
+    }
+
+    /// Lower-case name, as accepted by `--format`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OutputFormat::Csv => "csv",
+            OutputFormat::Json => "json",
+            OutputFormat::Both => "both",
+        }
+    }
+}
+
+impl FromStr for OutputFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "csv" => Ok(OutputFormat::Csv),
+            "json" => Ok(OutputFormat::Json),
+            "both" => Ok(OutputFormat::Both),
+            other => Err(format!("expected csv|json|both, got {other:?}")),
+        }
+    }
+}
+
+/// Prints `error: <msg>` and exits with status 2.
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// The raw value following `--flag`, if the flag is present.
+///
+/// A flag at the end of the argument list (or followed by another flag)
+/// is an error: the caller asked for a value-carrying flag.
+///
+/// # Errors
+///
+/// Returns a message naming the flag when its value is missing.
+pub fn try_arg_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Ok(Some(v)),
+        _ => Err(format!("{flag} needs a value")),
+    }
+}
+
+/// Parses the value following `--flag` as a `T`, defaulting when absent.
+///
+/// # Errors
+///
+/// Returns a message naming the flag and the offending value when the
+/// value is missing or unparsable.
+pub fn try_arg<T: FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match try_arg_value(args, flag)? {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} expects a {}, got {v:?}", std::any::type_name::<T>())),
+    }
+}
+
+/// Parses `--flag value` as a `usize`; aborts on a malformed value.
+#[must_use]
+pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
+    try_arg(args, flag, default).unwrap_or_else(|e| die(&e))
+}
+
+/// Parses `--flag value` as a `u64`; aborts on a malformed value.
+#[must_use]
+pub fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    try_arg(args, flag, default).unwrap_or_else(|e| die(&e))
+}
+
+/// Parses `--flag value` as an `f64`; aborts on a malformed value.
+#[must_use]
+pub fn arg_f64(args: &[String], flag: &str, default: f64) -> f64 {
+    try_arg(args, flag, default).unwrap_or_else(|e| die(&e))
+}
+
+/// `true` if `--flag` is present.
+#[must_use]
+pub fn arg_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// The flags shared by every campaign binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignArgs {
+    /// Worker threads (`--workers`, default: available parallelism).
+    pub workers: usize,
+    /// Replicate seeds per grid point (`--seeds`, default 1).
+    pub seeds: u64,
+    /// Short measurement windows (`--quick`).
+    pub quick: bool,
+    /// Paper-scale measurement windows (`--full`); mutually exclusive
+    /// with `--quick`. When neither is given, binaries use their
+    /// historical middle-ground schedule.
+    pub full: bool,
+    /// Output directory (`--out`, default `results`).
+    pub out: PathBuf,
+    /// Which sinks to write (`--format csv|json|both`, default both).
+    pub format: OutputFormat,
+    /// Campaign master seed (`--seed`, default the simulator's paper
+    /// seed) from which every job seed is derived.
+    pub campaign_seed: u64,
+}
+
+impl CampaignArgs {
+    /// Parses the shared flags, aborting with a clear message on
+    /// malformed values or conflicting flags.
+    #[must_use]
+    pub fn parse(args: &[String]) -> Self {
+        Self::try_parse(args).unwrap_or_else(|e| die(&e))
+    }
+
+    /// [`CampaignArgs::parse`] returning errors instead of aborting.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed or conflicting
+    /// flag.
+    pub fn try_parse(args: &[String]) -> Result<Self, String> {
+        let default_workers =
+            std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
+        let workers = try_arg(args, "--workers", default_workers)?;
+        if workers == 0 {
+            return Err("--workers must be at least 1".to_owned());
+        }
+        let seeds = try_arg(args, "--seeds", 1u64)?;
+        if seeds == 0 {
+            return Err("--seeds must be at least 1".to_owned());
+        }
+        let quick = arg_flag(args, "--quick");
+        let full = arg_flag(args, "--full");
+        if quick && full {
+            return Err("--quick and --full are mutually exclusive".to_owned());
+        }
+        let out = PathBuf::from(try_arg_value(args, "--out")?.unwrap_or("results").to_owned());
+        let format = try_arg(args, "--format", OutputFormat::Both)?;
+        let campaign_seed = try_arg(args, "--seed", 0xD2D_11CC)?;
+        Ok(Self { workers, seeds, quick, full, out, format, campaign_seed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn defaults_when_flags_absent() {
+        let a = args(&["bin"]);
+        assert_eq!(arg_usize(&a, "--n", 37), 37);
+        assert_eq!(arg_f64(&a, "--rate", 0.1), 0.1);
+        assert!(!arg_flag(&a, "--quick"));
+        let c = CampaignArgs::try_parse(&a).unwrap();
+        assert_eq!(c.seeds, 1);
+        assert!(c.workers >= 1);
+        assert_eq!(c.format, OutputFormat::Both);
+        assert_eq!(c.out, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn values_parse() {
+        let a = args(&["--n", "64", "--rate", "0.25", "--seeds", "5"]);
+        assert_eq!(arg_usize(&a, "--n", 1), 64);
+        assert!((arg_f64(&a, "--rate", 0.0) - 0.25).abs() < 1e-12);
+        assert_eq!(CampaignArgs::try_parse(&a).unwrap().seeds, 5);
+    }
+
+    #[test]
+    fn malformed_values_are_errors_not_defaults() {
+        let a = args(&["--n", "abc"]);
+        assert!(try_arg::<usize>(&a, "--n", 7).is_err());
+        let a = args(&["--workers", "0"]);
+        assert!(CampaignArgs::try_parse(&a).is_err());
+        let a = args(&["--seeds", "-3"]);
+        assert!(CampaignArgs::try_parse(&a).is_err());
+        let a = args(&["--format", "xml"]);
+        assert!(CampaignArgs::try_parse(&a).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let a = args(&["--n"]);
+        assert!(try_arg::<usize>(&a, "--n", 7).is_err());
+        let a = args(&["--n", "--quick"]);
+        assert!(try_arg::<usize>(&a, "--n", 7).is_err());
+    }
+
+    #[test]
+    fn quick_full_conflict() {
+        let a = args(&["--quick", "--full"]);
+        assert!(CampaignArgs::try_parse(&a).is_err());
+    }
+
+    #[test]
+    fn format_round_trips() {
+        for f in [OutputFormat::Csv, OutputFormat::Json, OutputFormat::Both] {
+            assert_eq!(f.label().parse::<OutputFormat>().unwrap(), f);
+        }
+        assert!(OutputFormat::Csv.wants_csv() && !OutputFormat::Csv.wants_json());
+        assert!(OutputFormat::Both.wants_csv() && OutputFormat::Both.wants_json());
+    }
+}

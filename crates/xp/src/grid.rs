@@ -1,0 +1,277 @@
+//! Declarative experiment grids.
+//!
+//! A [`Scenario`] is the cartesian product the paper's figures sweep:
+//! arrangement kind × chiplet count × injection rate × traffic pattern ×
+//! replicate seed. [`Scenario::jobs`] expands it into [`Job`]s whose seeds
+//! come from [`crate::seed::derive_seed`] over the job's *coordinates*, so
+//! the expansion is independent of axis ordering, worker count, and the
+//! presence of other axis values.
+
+use hexamesh::arrangement::ArrangementKind;
+use nocsim::TrafficPattern;
+
+use crate::seed::derive_seed;
+
+/// A declarative sweep: the cartesian product of the five axes.
+///
+/// Axes left at their defaults contribute a single neutral point, so a
+/// scenario only names the dimensions it actually sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Arrangement families to evaluate.
+    pub kinds: Vec<ArrangementKind>,
+    /// Chiplet counts.
+    pub ns: Vec<usize>,
+    /// Injection rates (flits/cycle/endpoint); `None` marks a job whose
+    /// runner chooses the rate itself (e.g. a saturation search).
+    pub rates: Vec<Option<f64>>,
+    /// Spatial traffic patterns.
+    pub patterns: Vec<TrafficPattern>,
+    /// Number of replicate seeds per grid point (`--seeds K`).
+    pub replicates: u64,
+}
+
+impl Scenario {
+    /// A scenario over `kinds × ns`, with single-point rate/pattern axes
+    /// and one replicate.
+    #[must_use]
+    pub fn new(kinds: &[ArrangementKind], ns: &[usize]) -> Self {
+        Self {
+            kinds: kinds.to_vec(),
+            ns: ns.to_vec(),
+            rates: vec![None],
+            patterns: vec![TrafficPattern::UniformRandom],
+            replicates: 1,
+        }
+    }
+
+    /// Sweeps the given injection rates.
+    #[must_use]
+    pub fn with_rates(mut self, rates: &[f64]) -> Self {
+        self.rates = rates.iter().copied().map(Some).collect();
+        self
+    }
+
+    /// Sweeps the given traffic patterns.
+    #[must_use]
+    pub fn with_patterns(mut self, patterns: &[TrafficPattern]) -> Self {
+        self.patterns = patterns.to_vec();
+        self
+    }
+
+    /// Runs `k` replicate seeds per grid point.
+    #[must_use]
+    pub fn with_replicates(mut self, k: u64) -> Self {
+        self.replicates = k.max(1);
+        self
+    }
+
+    /// Number of jobs the scenario expands to.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+            * self.ns.len()
+            * self.rates.len()
+            * self.patterns.len()
+            * self.replicates as usize
+    }
+
+    /// `true` if any axis is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cartesian product into jobs with derived seeds.
+    ///
+    /// Iteration order is row-major over (kind, n, rate, pattern,
+    /// replicate) — the order sinks write rows in.
+    #[must_use]
+    pub fn jobs(&self, campaign_seed: u64) -> Vec<Job> {
+        let mut out = Vec::with_capacity(self.len());
+        for &kind in &self.kinds {
+            for &n in &self.ns {
+                for &rate in &self.rates {
+                    for &pattern in &self.patterns {
+                        for replicate in 0..self.replicates {
+                            let seed = derive_seed(
+                                campaign_seed,
+                                &[
+                                    kind_code(kind),
+                                    n as u64,
+                                    rate.map_or(u64::MAX, f64::to_bits),
+                                    pattern_code(pattern),
+                                    replicate,
+                                ],
+                            );
+                            out.push(Job { kind, n, rate, pattern, replicate, seed });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One point of a [`Scenario`]: the coordinates plus the derived seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    /// Arrangement family.
+    pub kind: ArrangementKind,
+    /// Chiplet count.
+    pub n: usize,
+    /// Injection rate, `None` when the runner picks rates itself.
+    pub rate: Option<f64>,
+    /// Spatial traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Replicate index within this grid point (`0..K`).
+    pub replicate: u64,
+    /// RNG seed derived from the campaign seed and the coordinates above.
+    pub seed: u64,
+}
+
+impl Job {
+    /// Default job weight for the pool's large-first schedule: simulation
+    /// cost grows with the chiplet count.
+    #[must_use]
+    pub fn weight(&self) -> u64 {
+        self.n as u64
+    }
+}
+
+/// Expands an ad-hoc job list (axes beyond the standard [`Scenario`],
+/// e.g. routing × VC ablations) into `seeds` replicates per job, each
+/// with a seed derived from the campaign seed, the job's coordinate words
+/// (`coords`), and the replicate index — the same coordinate-not-position
+/// rule [`Scenario::jobs`] follows. Replicates of one job are adjacent,
+/// so results chunk by `seeds` for aggregation.
+pub fn expand_replicates<J: Clone>(
+    jobs: &[J],
+    seeds: u64,
+    campaign_seed: u64,
+    coords: impl Fn(&J) -> Vec<u64>,
+) -> Vec<(J, u64)> {
+    let seeds = seeds.max(1);
+    let mut out = Vec::with_capacity(jobs.len() * seeds as usize);
+    for job in jobs {
+        let mut c = coords(job);
+        for replicate in 0..seeds {
+            c.push(replicate);
+            out.push((job.clone(), derive_seed(campaign_seed, &c)));
+            c.pop();
+        }
+    }
+    out
+}
+
+/// Stable coordinate code of an arrangement kind (presentation order of
+/// [`ArrangementKind::ALL`]).
+fn kind_code(kind: ArrangementKind) -> u64 {
+    match kind {
+        ArrangementKind::Grid => 0,
+        ArrangementKind::Honeycomb => 1,
+        ArrangementKind::Brickwall => 2,
+        ArrangementKind::HexaMesh => 3,
+    }
+}
+
+/// Stable coordinate code of a traffic pattern, folding in its parameters
+/// so that differently-parameterised hotspots get distinct seeds.
+fn pattern_code(pattern: TrafficPattern) -> u64 {
+    match pattern {
+        TrafficPattern::UniformRandom => 0,
+        TrafficPattern::Complement => 1,
+        TrafficPattern::NeighborShift { shift } => 2 | ((shift as u64) << 8),
+        TrafficPattern::BitComplement => 3,
+        TrafficPattern::BitReverse => 4,
+        TrafficPattern::Tornado => 5,
+        TrafficPattern::Hotspot { num_hotspots, fraction_permille } => {
+            6 | ((num_hotspots as u64) << 8) | (u64::from(fraction_permille) << 32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_size_and_order() {
+        let s = Scenario::new(&[ArrangementKind::Grid, ArrangementKind::HexaMesh], &[4, 9])
+            .with_rates(&[0.1, 0.2])
+            .with_replicates(3);
+        assert_eq!(s.len(), 2 * 2 * 2 * 3);
+        let jobs = s.jobs(1);
+        assert_eq!(jobs.len(), s.len());
+        // Row-major: first block is Grid at n=4, rate 0.1, replicates 0..3.
+        assert_eq!(jobs[0].kind, ArrangementKind::Grid);
+        assert_eq!(jobs[0].n, 4);
+        assert_eq!(jobs[0].rate, Some(0.1));
+        assert_eq!(jobs[2].replicate, 2);
+        assert_eq!(jobs[3].rate, Some(0.2));
+    }
+
+    #[test]
+    fn seeds_are_coordinate_stable() {
+        let small = Scenario::new(&[ArrangementKind::Grid], &[4]).with_replicates(2);
+        let wide =
+            Scenario::new(&[ArrangementKind::Grid, ArrangementKind::Brickwall], &[4, 9, 16])
+                .with_replicates(4);
+        let find = |jobs: &[Job], n: usize, r: u64| {
+            jobs.iter()
+                .find(|j| j.kind == ArrangementKind::Grid && j.n == n && j.replicate == r)
+                .map(|j| j.seed)
+                .unwrap()
+        };
+        let a = small.jobs(42);
+        let b = wide.jobs(42);
+        // Growing the grid must not move existing points' seeds.
+        assert_eq!(find(&a, 4, 0), find(&b, 4, 0));
+        assert_eq!(find(&a, 4, 1), find(&b, 4, 1));
+    }
+
+    #[test]
+    fn campaign_seed_changes_every_job_seed() {
+        let s = Scenario::new(&[ArrangementKind::Grid], &[4, 9]).with_replicates(2);
+        let a = s.jobs(1);
+        let b = s.jobs(2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_ne!(x.seed, y.seed);
+        }
+    }
+
+    #[test]
+    fn expand_replicates_is_coordinate_stable() {
+        let jobs = vec![(0u64, 10u64), (1, 20)];
+        let a = expand_replicates(&jobs, 2, 7, |&(x, y)| vec![x, y]);
+        assert_eq!(a.len(), 4);
+        // Replicates adjacent, distinct seeds.
+        assert_eq!(a[0].0, jobs[0]);
+        assert_eq!(a[1].0, jobs[0]);
+        assert_ne!(a[0].1, a[1].1);
+        // Seeds depend on coordinates, not list position: prepending a job
+        // leaves existing seeds unchanged.
+        let wider = expand_replicates(&[(9, 90), jobs[0], jobs[1]], 2, 7, |&(x, y)| vec![x, y]);
+        assert_eq!(wider[2].1, a[0].1);
+        assert_eq!(wider[4].1, a[2].1);
+    }
+
+    #[test]
+    fn all_jobs_have_distinct_seeds() {
+        let s = Scenario::new(&ArrangementKind::EVALUATED, &[2, 3, 4, 5, 6, 7, 8, 9])
+            .with_rates(&[0.1, 0.2, 0.3])
+            .with_patterns(&[
+                TrafficPattern::UniformRandom,
+                TrafficPattern::Tornado,
+                TrafficPattern::Hotspot { num_hotspots: 1, fraction_permille: 500 },
+                TrafficPattern::Hotspot { num_hotspots: 2, fraction_permille: 500 },
+            ])
+            .with_replicates(3);
+        let mut seeds: Vec<u64> = s.jobs(7).iter().map(|j| j.seed).collect();
+        let n = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), n, "seed collision in grid expansion");
+    }
+}

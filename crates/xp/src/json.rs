@@ -1,0 +1,216 @@
+//! A small JSON value model and writer for campaign output.
+//!
+//! The vendored serde stand-in has no data model (see `vendor/README.md`),
+//! so the engine writes JSON through this hand-rolled module instead. The
+//! output is plain RFC 8259 JSON; numbers are emitted with enough
+//! precision to round-trip `f64`.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer, kept exact — 64-bit seeds must round-trip through the
+    /// run manifest, so they never pass through `f64`.
+    Int(i128),
+    /// Any finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object.
+    #[must_use]
+    pub fn object() -> Self {
+        Value::Obj(Vec::new())
+    }
+
+    /// Inserts `key: value` into an object; panics on non-objects.
+    pub fn set(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        match self {
+            Value::Obj(entries) => entries.push((key.to_owned(), value.into())),
+            other => panic!("set on non-object JSON value {other:?}"),
+        }
+        self
+    }
+
+    /// Renders the value as compact JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Num(x) => {
+                if x.is_finite() {
+                    // Integral values render without a fraction for
+                    // readability; everything else with full precision.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        let _ = write!(out, "{}", *x as i64);
+                    } else {
+                        let _ = write!(out, "{x:?}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Num(x)
+    }
+}
+impl From<usize> for Value {
+    fn from(x: usize) -> Self {
+        Value::Int(x as i128)
+    }
+}
+impl From<u64> for Value {
+    fn from(x: u64) -> Self {
+        Value::Int(i128::from(x))
+    }
+}
+impl From<u32> for Value {
+    fn from(x: u32) -> Self {
+        Value::Int(i128::from(x))
+    }
+}
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::Int(i128::from(x))
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Self {
+        Value::Arr(items)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let mut obj = Value::object();
+        obj.set("name", "load_curves");
+        obj.set("n", 37usize);
+        obj.set("quick", false);
+        obj.set("rows", Value::Arr(vec![Value::Num(0.5), Value::Null]));
+        assert_eq!(
+            obj.to_json(),
+            r#"{"name":"load_curves","n":37,"quick":false,"rows":[0.5,null]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::Str("a\"b\\c\nd".to_owned());
+        assert_eq!(v.to_json(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn integers_stay_exact_beyond_f64() {
+        // A full 64-bit seed must round-trip through the manifest.
+        let seed = (1u64 << 53) + 1;
+        assert_eq!(Value::from(seed).to_json(), "9007199254740993");
+        assert_eq!(Value::from(u64::MAX).to_json(), "18446744073709551615");
+    }
+
+    #[test]
+    fn numbers_round_trip_precision() {
+        assert_eq!(Value::Num(0.1).to_json(), "0.1");
+        assert_eq!(Value::Num(3.0).to_json(), "3");
+        assert_eq!(Value::Num(f64::NAN).to_json(), "null");
+        let third = 1.0 / 3.0;
+        let rendered = Value::Num(third).to_json();
+        assert_eq!(rendered.parse::<f64>().unwrap(), third);
+    }
+
+    #[test]
+    fn option_maps_to_null() {
+        assert_eq!(Value::from(None::<f64>).to_json(), "null");
+        assert_eq!(Value::from(Some(2.0)).to_json(), "2");
+    }
+}

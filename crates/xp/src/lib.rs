@@ -1,0 +1,41 @@
+//! The unified parallel experiment engine behind every figure, sweep, and
+//! ablation in this repository.
+//!
+//! Every `crates/bench/src/bin/*` binary used to hand-roll its own sweep
+//! loop, warmup constants, and arg parsing; this crate factors the shared
+//! machinery into one code path (see `DESIGN.md` for the full model):
+//!
+//! * [`grid`] — declarative experiment grids: a [`grid::Scenario`] is a
+//!   cartesian product over arrangement kind × chiplet count × injection
+//!   rate × traffic pattern × replicate seed, expanded into [`grid::Job`]s
+//!   with deterministic per-job seeds.
+//! * [`pool`] — a scoped-thread worker pool with large-job-first
+//!   scheduling and a progress ticker. Results are returned in job order,
+//!   so output is byte-identical for any `--workers` value.
+//! * [`seed`] — splitmix64 seed derivation from campaign seed + job
+//!   coordinates (never from queue position).
+//! * [`stats`] — replicate aggregation: mean / sample std / 95% CI.
+//! * [`table`] + [`json`] + [`campaign`] — unified sinks: the CSV tables
+//!   the binaries always wrote, plus a JSON campaign file with a run
+//!   manifest (config, git describe, wall time).
+//! * [`cli`] — the shared flag layer (`--workers`, `--seeds`, `--quick`,
+//!   `--full`, `--out`, `--format`, `--seed`) with strict value parsing:
+//!   malformed values abort instead of silently running the wrong
+//!   experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod cli;
+pub mod grid;
+pub mod json;
+pub mod pool;
+pub mod seed;
+pub mod stats;
+pub mod table;
+
+pub use campaign::Campaign;
+pub use cli::CampaignArgs;
+pub use grid::{Job, Scenario};
+pub use stats::Summary;

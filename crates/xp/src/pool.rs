@@ -1,0 +1,209 @@
+//! The scoped-thread worker pool every sweep runs on.
+//!
+//! Properties the rest of the workspace relies on:
+//!
+//! * **Large jobs first** — jobs are dispatched in descending weight order
+//!   (weight ≈ expected cost, e.g. chiplet count), which keeps the long
+//!   tail off the end of the schedule.
+//! * **Deterministic output** — results are returned in *submission*
+//!   order, not completion order, so a campaign's rows are byte-identical
+//!   for any worker count.
+//! * **Progress** — an optional ticker reports `done/total` to stderr
+//!   every few seconds for long sweeps.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How often the progress ticker prints.
+const TICK: Duration = Duration::from_secs(2);
+
+/// Runs `run` over every job on `workers` threads and returns the results
+/// in submission order.
+///
+/// `weight` estimates relative job cost; heavier jobs are dispatched
+/// first. `progress` labels the stderr ticker (`None` = silent).
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the scope joins all workers first).
+pub fn run_jobs<J, R, W, F>(
+    jobs: &[J],
+    workers: usize,
+    weight: W,
+    run: F,
+    progress: Option<&str>,
+) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    W: Fn(&J) -> u64,
+    F: Fn(&J) -> R + Sync,
+{
+    let total = jobs.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    // Dispatch stack: ascending weight, popped from the end ⇒ heaviest
+    // first. Ties keep submission order for a stable schedule.
+    let mut order: Vec<usize> = (0..total).collect();
+    order.sort_by_key(|&i| (weight(&jobs[i]), std::cmp::Reverse(i)));
+    let queue = Mutex::new(order);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+
+    // Unwind-safe accounting: a counter incremented on drop, so a
+    // panicking `run` still counts its job and an unwinding worker still
+    // signs off. The ticker exits when every job is accounted for *or*
+    // every worker has stopped — otherwise a panic that kills the last
+    // worker with jobs still queued would leave the ticker (and the scope
+    // join) waiting forever.
+    struct CountOnDrop<'a>(&'a AtomicUsize);
+    impl Drop for CountOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    let num_workers = workers.max(1).min(total);
+    let workers_exited = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..num_workers {
+            scope.spawn(|| {
+                let _exited = CountOnDrop(&workers_exited);
+                loop {
+                    let job = queue.lock().expect("queue lock").pop();
+                    let Some(i) = job else { break };
+                    let _done = CountOnDrop(&done);
+                    let result = run(&jobs[i]);
+                    *slots[i].lock().expect("slot lock") = Some(result);
+                }
+            });
+        }
+        if let Some(label) = progress {
+            let done = &done;
+            let workers_exited = &workers_exited;
+            scope.spawn(move || {
+                let mut last = 0;
+                let mut since_print = Duration::ZERO;
+                loop {
+                    let d = done.load(Ordering::Relaxed);
+                    if d >= total || workers_exited.load(Ordering::Relaxed) >= num_workers {
+                        break;
+                    }
+                    if d != last && since_print >= TICK {
+                        eprintln!("{label}: {d}/{total} jobs done");
+                        last = d;
+                        since_print = Duration::ZERO;
+                    }
+                    let step = Duration::from_millis(100);
+                    std::thread::sleep(step);
+                    since_print += step;
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot mutex").expect("every job ran exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let jobs: Vec<usize> = (0..50).collect();
+        for workers in [1, 4, 8] {
+            let out = run_jobs(&jobs, workers, |&j| j as u64, |&j| j * 10, None);
+            assert_eq!(out, (0..50).map(|j| j * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn heaviest_job_dispatches_first() {
+        let jobs: Vec<u64> = vec![1, 5, 3, 9, 2];
+        let first = AtomicU64::new(u64::MAX);
+        run_jobs(
+            &jobs,
+            1,
+            |&w| w,
+            |&w| {
+                let _ = first.compare_exchange(u64::MAX, w, Ordering::SeqCst, Ordering::SeqCst);
+            },
+            None,
+        );
+        assert_eq!(first.load(Ordering::SeqCst), 9);
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        // Eight 50 ms sleeps on eight workers overlap (even on one CPU);
+        // run serially they would need 400 ms.
+        let jobs = vec![(); 8];
+        let t0 = std::time::Instant::now();
+        run_jobs(&jobs, 8, |_| 1, |()| std::thread::sleep(Duration::from_millis(50)), None);
+        assert!(
+            t0.elapsed() < Duration::from_millis(300),
+            "pool did not overlap jobs: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out: Vec<u32> = run_jobs(&Vec::<u32>::new(), 8, |_| 1, |&j| j, None);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let out = run_jobs(&[7u32], 32, |_| 1, |&j| j + 1, None);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn panicking_job_propagates_even_with_ticker() {
+        // The ticker must terminate (all jobs accounted for) so the scope
+        // can join and rethrow — a hang here fails the test by timeout.
+        let jobs = vec![1u32, 2, 3];
+        let _ = run_jobs(
+            &jobs,
+            2,
+            |_| 1,
+            |&j| {
+                if j == 2 {
+                    panic!("job exploded");
+                }
+                j
+            },
+            Some("panics"),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn sole_worker_panic_with_queued_jobs_does_not_hang() {
+        // The first job kills the only worker while two jobs are still
+        // queued; the ticker must notice all workers exited and let the
+        // scope rethrow instead of waiting for done == total forever.
+        let jobs = vec![9u32, 1, 2];
+        let _ = run_jobs(
+            &jobs,
+            1,
+            |&w| u64::from(w),
+            |&j| {
+                if j == 9 {
+                    panic!("job exploded");
+                }
+                j
+            },
+            Some("panics"),
+        );
+    }
+}

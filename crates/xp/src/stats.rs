@@ -1,0 +1,111 @@
+//! Replicate aggregation: mean, sample standard deviation, and a 95%
+//! confidence half-width across `--seeds K` replicates.
+
+/// Aggregate of one metric across replicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of finite samples aggregated.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n − 1` denominator; 0 for a single
+    /// sample).
+    pub std: f64,
+    /// Half-width of the normal-approximation 95% confidence interval,
+    /// `1.96 · std / √n` (0 for a single sample). For the small `K` this
+    /// repo uses, treat it as a dispersion indicator rather than an exact
+    /// interval.
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Aggregates the finite values in `samples`. Returns `None` when no
+    /// finite sample remains (e.g. all replicates produced `NaN`).
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        let finite: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return None;
+        }
+        let n = finite.len();
+        let mean = finite.iter().sum::<f64>() / n as f64;
+        let std = if n < 2 {
+            0.0
+        } else {
+            let var =
+                finite.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        let ci95 = if n < 2 { 0.0 } else { 1.96 * std / (n as f64).sqrt() };
+        Some(Self { count: n, mean, std, ci95 })
+    }
+}
+
+/// Arithmetic mean, `None` for an empty slice. (Kept for the callers that
+/// only need the mean.)
+#[must_use]
+pub fn mean(values: &[f64]) -> Option<f64> {
+    (!values.is_empty()).then(|| values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Replicate-mean of one metric over a chunk of results: extracts the
+/// metric with `f`, aggregates with [`Summary::of`], and returns the mean
+/// (`NaN` when no replicate produced a finite value). This is the one
+/// aggregation the campaign binaries apply to each `--seeds K` chunk.
+#[must_use]
+pub fn mean_of<T>(chunk: &[T], f: impl Fn(&T) -> f64) -> f64 {
+    let samples: Vec<f64> = chunk.iter().map(f).collect();
+    Summary::of(&samples).map_or(f64::NAN, |s| s.mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_yields_none() {
+        assert_eq!(Summary::of(&[]), None);
+        assert_eq!(Summary::of(&[f64::NAN]), None);
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = Summary::of(&[3.5]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn known_mean_std_ci() {
+        // Samples 2, 4, 4, 4, 5, 5, 7, 9: mean 5, sample std ~2.138.
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.138_089_935).abs() < 1e-6, "std {}", s.std);
+        let expect_ci = 1.96 * s.std / 8f64.sqrt();
+        assert!((s.ci95 - expect_ci).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_samples_are_dropped_not_poisonous() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_matches_summary() {
+        let v = [2.0, 4.0];
+        assert_eq!(mean(&v), Some(Summary::of(&v).unwrap().mean));
+    }
+
+    #[test]
+    fn mean_of_extracts_and_averages() {
+        let chunk = [(1, 2.0), (1, 4.0)];
+        assert!((mean_of(&chunk, |&(_, x)| x) - 3.0).abs() < 1e-12);
+        assert!(mean_of(&chunk, |_| f64::NAN).is_nan());
+    }
+}

@@ -28,15 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  connected:       {}", metrics::is_connected(&graph));
     println!("  diameter:        {:?}", metrics::diameter(&graph));
     let stats = metrics::degree_stats(&graph).expect("non-empty");
-    println!("  neighbours:      min {} / max {} / avg {:.2}", stats.min, stats.max, stats.average);
     println!(
-        "  bisection width: {:?}",
-        partition::bisection_width(&graph).expect("non-empty")
+        "  neighbours:      min {} / max {} / avg {:.2}",
+        stats.min, stats.max, stats.average
     );
-    println!(
-        "  planar bound ok: {}",
-        metrics::satisfies_planar_edge_bound(&graph)
-    );
+    println!("  bisection width: {:?}", partition::bisection_width(&graph).expect("non-empty"));
+    println!("  planar bound ok: {}", metrics::satisfies_planar_edge_bound(&graph));
 
     // Fig. 2: I/O chiplets ring the compute arrangement on the perimeter.
     let with_io = surround_with_io(&placement, 2, 2)?;

@@ -36,21 +36,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ARRANGEMENT ({}, {})", kind, arrangement.regularity());
     println!("  chiplets        {n}  ({chiplet_area:.1} mm² each, 800 mm² total)");
     println!("  D2D links       {}", arrangement.graph().num_edges());
-    println!("  neighbours      min {} / avg {:.2} / max {}", stats.min, stats.average, stats.max);
-    println!("  diameter        {diameter} hops (grid at this N: {})",
-        proxies::formula_diameter(ArrangementKind::Grid, n).round());
+    println!(
+        "  neighbours      min {} / avg {:.2} / max {}",
+        stats.min, stats.average, stats.max
+    );
+    println!(
+        "  diameter        {diameter} hops (grid at this N: {})",
+        proxies::formula_diameter(ArrangementKind::Grid, n).round()
+    );
 
     // ── Shape & signal integrity ─────────────────────────────────────────
     let shape = shape_for(kind, &ShapeParams::new(chiplet_area, UCIE_POWER_FRACTION)?)?;
     let link_mm = paper_link_length(&shape);
     let substrate = Technology::organic_substrate();
     let budget = SignalBudget::default();
-    let reach = capacity::max_length_mm(&substrate, &budget, 16.0, -15.0)
-        .expect("feasible");
+    let reach = capacity::max_length_mm(&substrate, &budget, 16.0, -15.0).expect("feasible");
     println!("\nSHAPE & SIGNAL INTEGRITY (organic substrate)");
     println!("  chiplet         {:.2} × {:.2} mm (W_C × H_C)", shape.width, shape.height);
-    println!("  bump sector     {:.2} mm² per link (D_B = {:.2} mm)",
-        shape.link_sector_area, shape.max_bump_distance);
+    println!(
+        "  bump sector     {:.2} mm² per link (D_B = {:.2} mm)",
+        shape.link_sector_area, shape.max_bump_distance
+    );
     println!("  link length     {link_mm:.2} mm vs. {reach:.2} mm reach at 16 Gb/s, BER 1e-15");
     println!("  margin          {:.1}x — no derating required", reach / link_mm);
 
@@ -59,16 +65,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nPERFORMANCE (cycle-accurate, §VI-A configuration, quick schedule)");
     println!("  per-link bw     {:.0} Gb/s", result.link_bandwidth_gbps);
     println!("  zero-load lat   {:.1} cycles", result.zero_load_latency_cycles);
-    println!("  saturation      {:.1} Tb/s ({:.0}% of full global bandwidth)",
-        result.saturation_throughput_tbps, result.saturation_fraction * 100.0);
+    println!(
+        "  saturation      {:.1} Tb/s ({:.0}% of full global bandwidth)",
+        result.saturation_throughput_tbps,
+        result.saturation_fraction * 100.0
+    );
 
     // ── Fault tolerance ──────────────────────────────────────────────────
     let g = arrangement.graph();
     println!("\nFAULT TOLERANCE");
     println!("  bridges         {}", bridges(g).len());
-    println!("  edge connect.   {} (any {} link failures survivable)",
+    println!(
+        "  edge connect.   {} (any {} link failures survivable)",
         edge_connectivity(g).unwrap_or(0),
-        edge_connectivity(g).unwrap_or(1).saturating_sub(1));
+        edge_connectivity(g).unwrap_or(1).saturating_sub(1)
+    );
 
     // ── Thermals ─────────────────────────────────────────────────────────
     let placement = arrangement.placement().expect("has layout");
@@ -83,19 +94,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     let thermal = HotspotReport::from_solution(&solve(&map, &ThermalParams::default())?);
     println!("\nTHERMALS ({:.0} W total at 0.25 W/mm²)", map.total_w());
-    println!("  peak            {:.1} °C (gradient {:.1} K over average)",
-        thermal.peak_c, thermal.gradient_c);
+    println!(
+        "  peak            {:.1} °C (gradient {:.1} K over average)",
+        thermal.peak_c, thermal.gradient_c
+    );
 
     // ── Economics ────────────────────────────────────────────────────────
     let cost = system_cost_comparison(&CostParams::default_5nm(), UCIE_TOTAL_AREA_MM2, n)?;
     let binning = binning_comparison(&BinningParams::consumer_cpu(), n as u32)?;
     println!("\nECONOMICS (5 nm-class defaults)");
-    println!("  monolithic      ${:.0} per unit at {:.1}% die yield",
-        cost.monolithic_total, cost.monolithic_yield * 100.0);
-    println!("  this design     ${:.0} per unit at {:.1}% chiplet yield ({:.2}x cheaper)",
-        cost.mcm_total, cost.chiplet_yield * 100.0, cost.monolithic_over_mcm());
-    println!("  binning bonus   +{:.0}% revenue from per-chiplet binning",
-        binning.uplift_fraction() * 100.0);
+    println!(
+        "  monolithic      ${:.0} per unit at {:.1}% die yield",
+        cost.monolithic_total,
+        cost.monolithic_yield * 100.0
+    );
+    println!(
+        "  this design     ${:.0} per unit at {:.1}% chiplet yield ({:.2}x cheaper)",
+        cost.mcm_total,
+        cost.chiplet_yield * 100.0,
+        cost.monolithic_over_mcm()
+    );
+    println!(
+        "  binning bonus   +{:.0}% revenue from per-chiplet binning",
+        binning.uplift_fraction() * 100.0
+    );
     println!("\n================================================================");
     Ok(())
 }

@@ -8,10 +8,7 @@ use hexamesh_repro::hexamesh::arrangement::{Arrangement, ArrangementKind};
 use hexamesh_repro::hexamesh::eval::{evaluate_analytic, EvalParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let max_n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
+    let max_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
     let params = EvalParams::paper_defaults();
 
     println!("Analytic design-space sweep (A_all = {} mm²)\n", params.total_area_mm2);
@@ -43,8 +40,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             n, latencies[0].1, latencies[1].1, latencies[2].1, winner
         );
     }
-    println!(
-        "\nHexaMesh has the lowest zero-load latency at {hm_wins}/{rows} sampled counts."
-    );
+    println!("\nHexaMesh has the lowest zero-load latency at {hm_wins}/{rows} sampled counts.");
     Ok(())
 }

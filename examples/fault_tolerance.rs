@@ -28,8 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let bridge_count = bridges(g).len();
         let k = edge_connectivity(g).unwrap_or(0);
         let d0 = metrics::diameter(g).expect("connected");
-        let worst = single_failure_diameter(g)
-            .map_or("n/a".to_owned(), |d| d.to_string());
+        let worst = single_failure_diameter(g).map_or("n/a".to_owned(), |d| d.to_string());
         println!(
             "{:<10} {:>6} {:>8} {:>8} {:>10} {:>12} {:>8}",
             kind.to_string(),

@@ -18,18 +18,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for kind in ArrangementKind::EVALUATED {
         let arrangement = Arrangement::build(kind, n)?;
-        let placement = arrangement
-            .placement()
-            .expect("evaluated kinds are rectangular");
+        let placement = arrangement.placement().expect("evaluated kinds are rectangular");
         // Fill the notches with I/O chiplets, as the Fig. 4 caption
         // describes, using half-size tiles so jagged edges fill neatly.
         let brick = placement.chiplets()[0].rect;
         let filled = fill_gaps_with_io(placement, brick.width() / 2, brick.height())?;
         let svg = to_svg(&filled, &SvgStyle::default());
-        let path = out_dir.join(format!(
-            "floorplan_{}_{n}.svg",
-            kind.label().to_lowercase()
-        ));
+        let path = out_dir.join(format!("floorplan_{}_{n}.svg", kind.label().to_lowercase()));
         fs::write(&path, svg)?;
         println!(
             "{kind} (n={n}, {}): {} compute + {} I/O chiplets -> {}",

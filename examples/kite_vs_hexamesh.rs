@@ -63,11 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for topo in [&plain, &kite, &hexa] {
         let result = evaluate(topo, &opts)?;
-        let longest = topo
-            .edges()
-            .iter()
-            .map(|e| e.length_pitch)
-            .fold(0.0f64, f64::max);
+        let longest = topo.edges().iter().map(|e| e.length_pitch).fold(0.0f64, f64::max);
         println!(
             "{:<12} {:>6} {:>7.1}mm {:>7.1}Gb/s {:>10.1} {:>12.3}",
             topo.name(),

@@ -25,11 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "pattern", "lat [cyc]", "accepted [f/c/e]", "packets"
     );
     for (name, pattern) in patterns {
-        let config = SimConfig {
-            pattern,
-            injection_rate: 0.10,
-            ..SimConfig::paper_defaults()
-        };
+        let config = SimConfig { pattern, injection_rate: 0.10, ..SimConfig::paper_defaults() };
         let mut sim = Simulator::new(graph, config)?;
         sim.run(3_000); // warmup
         sim.open_measurement_window();

@@ -45,7 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         let sizes = mapping.sizes();
-        let balance = format!("{}..{}", sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        let balance =
+            format!("{}..{}", sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
         let local_avg = local.mean();
         let global_avg = global.mean();
         println!(

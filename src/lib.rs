@@ -14,3 +14,4 @@ pub use chiplet_thermal as thermal;
 pub use chiplet_topo as topo;
 pub use hexamesh;
 pub use nocsim;
+pub use xp;

@@ -38,13 +38,8 @@ fn adjacent_links_never_need_derating() {
             // Our pessimistic bound still needs no derating at N ≥ 6:
             if n >= 6 {
                 let worst_mm = estimated_link_length(&shape);
-                let derated = capacity::derated_bit_rate_gbps(
-                    &substrate,
-                    &budget,
-                    worst_mm,
-                    16.0,
-                    -15.0,
-                );
+                let derated =
+                    capacity::derated_bit_rate_gbps(&substrate, &budget, worst_mm, 16.0, -15.0);
                 assert_eq!(derated, 16.0, "N={n} {kind:?} derated to {derated}");
             }
         }
@@ -56,12 +51,10 @@ fn adjacent_links_never_need_derating() {
 #[test]
 fn technology_reach_ordering() {
     let budget = SignalBudget::default();
-    let sub =
-        capacity::max_length_mm(&Technology::organic_substrate(), &budget, 16.0, -15.0)
-            .expect("feasible");
-    let int =
-        capacity::max_length_mm(&Technology::silicon_interposer(), &budget, 16.0, -15.0)
-            .expect("feasible");
+    let sub = capacity::max_length_mm(&Technology::organic_substrate(), &budget, 16.0, -15.0)
+        .expect("feasible");
+    let int = capacity::max_length_mm(&Technology::silicon_interposer(), &budget, 16.0, -15.0)
+        .expect("feasible");
     assert!(sub > int, "substrate {sub:.2} !> interposer {int:.2}");
     assert!((1.8..=2.6).contains(&int), "interposer reach {int:.2}");
     assert!((4.0..=5.5).contains(&sub), "substrate reach {sub:.2}");
@@ -111,8 +104,7 @@ fn arrangement_thermal_pipeline() {
         assert!(report.gradient_c >= 0.0);
         // Energy balance: vertical-path heat removal equals generation.
         let g_v = map.cell_mm() * map.cell_mm() / params.r_vertical_k_mm2_per_w;
-        let removed: f64 =
-            solution.cells().iter().map(|t| g_v * (t - params.ambient_c)).sum();
+        let removed: f64 = solution.cells().iter().map(|t| g_v * (t - params.ambient_c)).sum();
         let rel = (removed - map.total_w()).abs() / map.total_w();
         assert!(rel < 1e-3, "{kind:?} energy imbalance {rel}");
         peaks.push(report.peak_c);
@@ -180,20 +172,14 @@ fn hexamesh_beats_mesh_without_derating() {
 
     let mesh_topo = {
         let t = mesh(5, 5);
-        let edges: Vec<(usize, usize, f64)> = t
-            .edges()
-            .iter()
-            .map(|e| (e.u, e.v, 2.0 * grid_shape.max_bump_distance))
-            .collect();
+        let edges: Vec<(usize, usize, f64)> =
+            t.edges().iter().map(|e| (e.u, e.v, 2.0 * grid_shape.max_bump_distance)).collect();
         Topology::new("mesh", 25, edges).expect("valid")
     };
     let hm_topo = {
         let hm = Arrangement::build(ArrangementKind::HexaMesh, n).expect("builds");
-        let edges: Vec<(usize, usize, f64)> = hm
-            .graph()
-            .edges()
-            .map(|(u, v)| (u, v, 2.0 * hm_shape.max_bump_distance))
-            .collect();
+        let edges: Vec<(usize, usize, f64)> =
+            hm.graph().edges().map(|(u, v)| (u, v, 2.0 * hm_shape.max_bump_distance)).collect();
         Topology::new("hexamesh", n, edges).expect("valid")
     };
 

@@ -42,16 +42,10 @@ fn channel_load_correlates_with_edge_betweenness() {
     let loads = run_and_collect_loads(&g, RoutingKind::MinimalDeterministic);
 
     // Identify the max-betweenness and min-betweenness edges.
-    let (hot_idx, _) = betweenness
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .expect("non-empty");
-    let (cold_idx, _) = betweenness
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.total_cmp(b.1))
-        .expect("non-empty");
+    let (hot_idx, _) =
+        betweenness.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty");
+    let (cold_idx, _) =
+        betweenness.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty");
     let hot_load = undirected_load(&loads, edges[hot_idx].0, edges[hot_idx].1);
     let cold_load = undirected_load(&loads, edges[cold_idx].0, edges[cold_idx].1);
     assert!(

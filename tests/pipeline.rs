@@ -3,9 +3,7 @@
 
 use hexamesh_repro::graph::metrics;
 use hexamesh_repro::hexamesh::arrangement::{Arrangement, ArrangementKind, Regularity};
-use hexamesh_repro::hexamesh::eval::{
-    self, evaluate_analytic, link_budget, EvalParams,
-};
+use hexamesh_repro::hexamesh::eval::{self, evaluate_analytic, link_budget, EvalParams};
 use hexamesh_repro::hexamesh::proxies;
 use hexamesh_repro::nocsim::{measure, MeasureConfig, SimConfig};
 use hexamesh_repro::partition::BisectionConfig;
@@ -65,12 +63,10 @@ fn honeycomb_brickwall_equivalence_across_regularities() {
         (12, Regularity::SemiRegular),
         (23, Regularity::Irregular),
     ] {
-        let hc =
-            Arrangement::build_with_regularity(ArrangementKind::Honeycomb, n, regularity)
-                .unwrap();
-        let bw =
-            Arrangement::build_with_regularity(ArrangementKind::Brickwall, n, regularity)
-                .unwrap();
+        let hc = Arrangement::build_with_regularity(ArrangementKind::Honeycomb, n, regularity)
+            .unwrap();
+        let bw = Arrangement::build_with_regularity(ArrangementKind::Brickwall, n, regularity)
+            .unwrap();
         assert_eq!(hc.graph(), bw.graph(), "n={n} {regularity}");
     }
 }
@@ -106,10 +102,7 @@ fn proxies_order_arrangements_as_the_paper_claims() {
         let b_g = proxies::paper_bisection(&g, &config);
         let b_bw = proxies::paper_bisection(&bw, &config);
         let b_hm = proxies::paper_bisection(&hm, &config);
-        assert!(
-            b_hm >= b_bw && b_bw >= b_g,
-            "n={n}: B {b_hm} {b_bw} {b_g}"
-        );
+        assert!(b_hm >= b_bw && b_bw >= b_g, "n={n}: B {b_hm} {b_bw} {b_g}");
     }
 }
 
@@ -155,10 +148,7 @@ fn arrangements_have_planar_ici_graphs() {
     for kind in ArrangementKind::ALL {
         for n in [10usize, 37, 64, 100] {
             let a = Arrangement::build(kind, n).unwrap();
-            assert!(
-                metrics::satisfies_planar_edge_bound(a.graph()),
-                "{kind} n={n}"
-            );
+            assert!(metrics::satisfies_planar_edge_bound(a.graph()), "{kind} n={n}");
         }
     }
 }

@@ -1,0 +1,125 @@
+//! Minimal stand-in for the `criterion 0.5` API subset this workspace uses
+//! (offline build; see `vendor/README.md`): benchmark groups with
+//! `bench_function`, `iter`, and `iter_batched`, timed with a simple
+//! wall-clock median. Good enough for regression spot checks; swap in the
+//! real criterion for publication-grade statistics.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped per measurement (accepted for API
+/// compatibility; this implementation always measures one input at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One input per measurement.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("group {name}");
+        BenchmarkGroup { _criterion: self, samples: 10 }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Times `f` and prints the median sample.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            if b.iters > 0 {
+                times.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+            }
+        }
+        times.sort_by(f64::total_cmp);
+        let median = times.get(times.len() / 2).copied().unwrap_or(f64::NAN);
+        eprintln!("  {id}: {median:.0} ns/iter (median of {} samples)", times.len());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+
+    /// Times `routine` on inputs built by `setup` (setup time excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// Declares a function running the given benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,380 @@
+//! Minimal stand-in for the `proptest 1` API subset this workspace uses
+//! (offline build; see `vendor/README.md`).
+//!
+//! Provides random *generation* of test cases — ranges, tuples,
+//! collections, `prop_map`/`prop_flat_map` — plus the `proptest!` and
+//! `prop_assert*` macros. There is no shrinking: a failing case panics with
+//! the assertion message and the case number, which is enough to reproduce
+//! (generation is deterministic per case index).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-block configuration: the number of generated cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values for property tests.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` derives
+    /// from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// A strategy producing a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for a fair coin.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates `true`/`false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Size specification for collection strategies: a fixed length or a range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self { min: r.start, max: r.end }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        Self { min: *r.start(), max: *r.end() + 1 }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values from `element`, with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a target size drawn from
+    /// `size` (duplicates may produce slightly smaller sets, never below
+    /// one element when `size` excludes zero and the domain allows it).
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates ordered sets of values from `element`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_range(self.size.min..self.size.max);
+            let mut out = BTreeSet::new();
+            // Cap attempts: small domains may not hold `target` distinct
+            // values.
+            for _ in 0..target.saturating_mul(8).max(8) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            if out.len() < self.size.min && self.size.min > 0 {
+                // Last resort to respect a non-zero minimum.
+                while out.len() < self.size.min {
+                    out.insert(self.element.generate(rng));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Why a test-case body ended early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was skipped by `prop_assume!`.
+    Reject,
+}
+
+/// Builds the deterministic RNG for one test case.
+#[doc(hidden)]
+#[must_use]
+pub fn case_rng(case: u32) -> StdRng {
+    StdRng::seed_from_u64(0x5EED_CA5E ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+pub mod prelude {
+    //! Everything a property-test module needs in scope.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// Alias so `prop::collection::vec(...)` style paths work.
+    pub use crate as prop;
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut proptest_case_rng = $crate::case_rng(case);
+                    $(let $pat = $crate::Strategy::generate(
+                        &($strat),
+                        &mut proptest_case_rng,
+                    );)*
+                    let _ = &mut proptest_case_rng;
+                    // The body runs in a closure returning `Result` so that
+                    // `return Ok(())` and `prop_assume!` (an early `Err`)
+                    // work as they do in the real proptest.
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            Ok(())
+                        })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject) => continue,
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,11 @@
+//! Minimal stand-in for the serde facade (offline build; see
+//! `vendor/README.md`): the derive macros plus marker traits, so that
+//! `use serde::{Deserialize, Serialize}` and `#[derive(...)]` compile.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,18 @@
+//! No-op stand-ins for serde's derive macros (offline build; see
+//! `vendor/README.md`). Nothing in this workspace serialises through the
+//! serde data model, so deriving nothing is sufficient for the code to
+//! compile unchanged against the real serde later.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
