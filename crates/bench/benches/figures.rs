@@ -155,6 +155,25 @@ fn bench_router(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+    // The simperf scenarios as regression-tracked steady-state benches:
+    // a warmed 8×8 grid stepped in place (event-driven vs reference path).
+    let grid8 = chiplet_graph::gen::grid(8, 8);
+    for (name, rate, reference) in [
+        ("step_grid8x8_rate005_event", 0.05, false),
+        ("step_grid8x8_rate005_reference", 0.05, true),
+        ("step_grid8x8_rate030_event", 0.30, false),
+    ] {
+        let config = SimConfig { injection_rate: rate, ..SimConfig::paper_defaults() };
+        let mut sim = Simulator::new(&grid8, config).expect("valid");
+        sim.set_reference_stepping(reference);
+        sim.run(2_000);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                sim.run(200);
+                black_box(sim.cycle())
+            });
+        });
+    }
     group.finish();
 }
 

@@ -62,12 +62,14 @@ fn main() {
         };
         let mut sim = Simulator::new(arrangement.graph(), config).expect("valid configuration");
         let stats = sim.run_to_window(warmup, measure);
+        // One histogram merge serves all three tail percentiles.
+        let tails = sim.latency_percentiles(&[0.50, 0.95, 0.99]);
         Point {
             accepted: stats.accepted_flits_per_cycle_per_endpoint,
             avg: stats.avg_packet_latency.unwrap_or(f64::NAN),
-            p50: sim.latency_percentile(0.50).unwrap_or(f64::NAN),
-            p95: sim.latency_percentile(0.95).unwrap_or(f64::NAN),
-            p99: sim.latency_percentile(0.99).unwrap_or(f64::NAN),
+            p50: tails[0].unwrap_or(f64::NAN),
+            p95: tails[1].unwrap_or(f64::NAN),
+            p99: tails[2].unwrap_or(f64::NAN),
         }
     });
 

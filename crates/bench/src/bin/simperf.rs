@@ -1,0 +1,172 @@
+//! EXP-SP — simulator hot-path performance: simulated Mcycles/s and
+//! flit-hops/s of `nocsim` on the paper-defaults 8×8 grid, at light load
+//! (rate 0.05, the event-driven sweet spot) and past the saturation knee
+//! (rate 0.30, where every router is busy each cycle).
+//!
+//! Each scenario is measured twice — on the event-driven hot path and on
+//! the forced poll-every-cycle reference path — and compared against the
+//! recorded pre-optimization baseline (commit `abd2986`, measured with
+//! this same warmup/window methodology on the repo's CI-class single-core
+//! container). Baselines are wall-clock numbers, so compare them only to
+//! runs on comparable hardware; the JSON manifest records `git describe`
+//! for every run so regressions are attributable.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p hexamesh-bench --bin simperf \
+//!     [--quick] [--cycles N] [--side S] [--out DIR] [--format csv|json|both]
+//! ```
+//! Writes `BENCH_nocsim.{csv,json}` (to the repository root by default —
+//! pass `--out` to redirect). Scenarios always run serially, whatever
+//! `--workers` says: interleaved timing would measure the scheduler, not
+//! the simulator.
+
+use std::time::Instant;
+
+use chiplet_graph::gen;
+use hexamesh_bench::csv::{f3, Table};
+use hexamesh_bench::sweep;
+use nocsim::{SimConfig, Simulator};
+use xp::json::Value;
+use xp::{Campaign, CampaignArgs};
+
+/// Pre-PR baseline (commit `abd2986`, poll-everything simulator with
+/// per-cycle allocations): simulated Mcycles/s and Mflit-hops/s on the
+/// 8×8 grid, 2 000-cycle warmup, 200 000-cycle window.
+const BASELINE: &[(&str, f64, f64, f64)] = &[
+    // (scenario, rate, mcycles_per_s, mflit_hops_per_s)
+    ("low_load", 0.05, 0.025, 0.850),
+    ("near_saturation", 0.30, 0.007, 0.059),
+];
+
+struct Measured {
+    scenario: &'static str,
+    path: &'static str,
+    rate: f64,
+    cycles: u64,
+    wall_s: f64,
+    mcycles_per_s: f64,
+    mflit_hops_per_s: f64,
+}
+
+fn measure(
+    side: usize,
+    rate: f64,
+    cycles: u64,
+    reference: bool,
+    scenario: &'static str,
+) -> Measured {
+    let g = gen::grid(side, side);
+    let config = SimConfig { injection_rate: rate, ..SimConfig::paper_defaults() };
+    let mut sim = Simulator::new(&g, config).expect("valid configuration");
+    sim.set_reference_stepping(reference);
+    sim.run(2_000);
+    sim.open_measurement_window();
+    let hops_before: u64 = sim.channel_loads().iter().map(|&(_, _, c)| c).sum();
+    let t0 = Instant::now();
+    sim.run(cycles);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let hops: u64 = sim.channel_loads().iter().map(|&(_, _, c)| c).sum::<u64>() - hops_before;
+    assert!(sim.stats().received_packets > 0, "perf scenario moved no traffic");
+    Measured {
+        scenario,
+        path: if reference { "reference" } else { "event" },
+        rate,
+        cycles,
+        wall_s,
+        mcycles_per_s: cycles as f64 / wall_s / 1e6,
+        mflit_hops_per_s: hops as f64 / wall_s / 1e6,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let side = sweep::arg_usize(&args, "--side", 8);
+    let mut shared = CampaignArgs::parse(&args);
+    if !sweep::arg_flag(&args, "--out") {
+        // The tracked perf record lives at the repository root.
+        shared.out = std::path::PathBuf::from(".");
+    }
+    let default_cycles = if shared.quick { 20_000 } else { 100_000 };
+    let cycles = sweep::arg_u64(&args, "--cycles", default_cycles);
+    let campaign = Campaign::new("BENCH_nocsim", shared);
+
+    eprintln!(
+        "simperf: {side}x{side} grid, {} scenarios x 2 paths, {cycles} cycles each",
+        BASELINE.len()
+    );
+    let mut rows: Vec<Measured> = Vec::new();
+    for &(scenario, rate, _, _) in BASELINE {
+        for reference in [false, true] {
+            let m = measure(side, rate, cycles, reference, scenario);
+            eprintln!(
+                "  {scenario:>16} {:>9}: {:.3} Mcycles/s, {:.3} Mflit-hops/s",
+                m.path, m.mcycles_per_s, m.mflit_hops_per_s
+            );
+            rows.push(m);
+        }
+    }
+
+    let baseline_of =
+        |scenario: &str| BASELINE.iter().find(|b| b.0 == scenario).expect("known scenario");
+    let mut table = Table::new(&[
+        "scenario",
+        "path",
+        "rate",
+        "cycles",
+        "wall_s",
+        "mcycles_per_s",
+        "mflit_hops_per_s",
+        "baseline_mcycles_per_s",
+        "speedup_vs_baseline",
+    ]);
+    for m in &rows {
+        let &(_, _, base_mcyc, _) = baseline_of(m.scenario);
+        table.row(&[
+            &m.scenario,
+            &m.path,
+            &f3(m.rate),
+            &m.cycles,
+            &f3(m.wall_s),
+            &f3(m.mcycles_per_s),
+            &f3(m.mflit_hops_per_s),
+            &f3(base_mcyc),
+            &f3(m.mcycles_per_s / base_mcyc),
+        ]);
+    }
+    // The recorded baselines ride along so the JSON is self-contained.
+    for &(scenario, rate, mcyc, mhops) in BASELINE {
+        table.row(&[
+            &scenario,
+            &"baseline_pre_pr",
+            &f3(rate),
+            &200_000u64,
+            &"",
+            &f3(mcyc),
+            &f3(mhops),
+            &f3(mcyc),
+            &f3(1.0),
+        ]);
+    }
+
+    let mut config = Value::object();
+    config.set("side", side);
+    config.set("cycles", cycles);
+    config.set("baseline_commit", "abd2986");
+    let written = campaign.finish(&table, config).expect("write sinks");
+
+    println!("simperf speedups vs pre-PR baseline (event-driven path):");
+    for m in rows.iter().filter(|m| m.path == "event") {
+        let &(_, _, base_mcyc, _) = baseline_of(m.scenario);
+        println!(
+            "  {:>16}: {:.2}x ({:.3} vs {:.3} Mcycles/s)",
+            m.scenario,
+            m.mcycles_per_s / base_mcyc,
+            m.mcycles_per_s,
+            base_mcyc
+        );
+    }
+    for path in &written {
+        println!("wrote {}", path.display());
+    }
+}

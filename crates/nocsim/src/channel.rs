@@ -16,7 +16,14 @@ pub struct DelayLine<T> {
     queue: VecDeque<(u64, T)>,
     last_push_cycle: Option<u64>,
     last_delivery: Option<u64>,
+    /// Cached delivery cycle of the front item (`IDLE` when empty) — the
+    /// event-driven simulator keys its wheel on this instead of polling
+    /// the queue every cycle.
+    next_due: u64,
 }
+
+/// Sentinel [`DelayLine::next_due`] value for an empty line.
+pub const IDLE: u64 = u64::MAX;
 
 impl<T> DelayLine<T> {
     /// Creates a full-bandwidth channel with the given latency (≥ 1 cycle).
@@ -45,6 +52,7 @@ impl<T> DelayLine<T> {
             queue: VecDeque::new(),
             last_push_cycle: None,
             last_delivery: None,
+            next_due: IDLE,
         }
     }
 
@@ -58,6 +66,13 @@ impl<T> DelayLine<T> {
     #[must_use]
     pub fn interval(&self) -> u64 {
         self.interval
+    }
+
+    /// Reserves queue capacity for at least `items` in-flight items. The
+    /// simulator pre-reserves each line's flow-control occupancy bound so
+    /// the steady-state hot path never reallocates.
+    pub fn reserve(&mut self, items: usize) {
+        self.queue.reserve(items);
     }
 
     /// Pushes an item at `cycle`; it becomes available at `cycle + latency`,
@@ -85,15 +100,29 @@ impl<T> DelayLine<T> {
         // insertion keeps the queue sorted by delivery time (extra_delay is
         // constant per channel in practice, so this is O(1)).
         debug_assert!(self.queue.back().is_none_or(|(t, _)| *t <= deliver_at));
+        if self.queue.is_empty() {
+            self.next_due = deliver_at;
+        }
         self.queue.push_back((deliver_at, item));
     }
 
     /// Pops the next item if it is due at `cycle`.
     pub fn pop_due(&mut self, cycle: u64) -> Option<T> {
-        match self.queue.front() {
-            Some(&(due, _)) if due <= cycle => self.queue.pop_front().map(|(_, item)| item),
-            _ => None,
+        if self.next_due > cycle {
+            return None;
         }
+        let (_, item) = self.queue.pop_front().expect("next_due set implies non-empty");
+        self.next_due = self.queue.front().map_or(IDLE, |&(due, _)| due);
+        Some(item)
+    }
+
+    /// Delivery cycle of the front item, or [`IDLE`] when nothing is in
+    /// flight. A push to an empty line sets this; pushes to a non-empty
+    /// line never move it (the queue is sorted), so a scheduler only needs
+    /// to look at it on push-to-empty and after each pop.
+    #[must_use]
+    pub fn next_due(&self) -> u64 {
+        self.next_due
     }
 
     /// Number of items in flight.
@@ -148,6 +177,13 @@ impl Link {
     #[must_use]
     pub fn is_idle(&self) -> bool {
         self.flits.is_empty() && self.credits.is_empty()
+    }
+
+    /// Reserves capacity for `items` in-flight flits and credits each
+    /// (see [`DelayLine::reserve`]).
+    pub fn reserve(&mut self, items: usize) {
+        self.flits.reserve(items);
+        self.credits.reserve(items);
     }
 }
 

@@ -1,16 +1,23 @@
 //! Traffic endpoints: packet sources and sinks.
 //!
 //! Each chiplet hosts a router and (in the paper's configuration) two
-//! endpoints. An endpoint generates packets with a Bernoulli process, queues
-//! their flits in a bounded source queue, injects them into its router's
-//! injection port under credit flow control, and sinks arriving flits,
-//! recording packet latency on tail arrival.
+//! endpoints. An endpoint generates packets with a Bernoulli (or bursty
+//! on/off) process, queues their flits in a bounded source queue, injects
+//! them into its router's injection port under credit flow control, and
+//! sinks arriving flits, recording packet latency on tail arrival.
+//!
+//! Generation is *arrival-scheduled*: instead of flipping a coin every
+//! cycle, the endpoint samples the cycle of its next packet with
+//! [`InjectionProcess::next_arrival`] (geometric skip-ahead) and is only
+//! touched at those cycles — the key to the simulator's O(active
+//! components) stepping.
 
 use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::channel::IDLE;
 use crate::flit::{EndpointId, Flit, Packet, PacketId, VcId};
 use crate::traffic::{InjectionProcess, ProcessState, TrafficPattern};
 
@@ -46,6 +53,9 @@ pub struct Endpoint {
     bound_vc: Option<VcId>,
     rng: StdRng,
     process_state: ProcessState,
+    /// Cycle of the next scheduled packet generation ([`IDLE`] when the
+    /// process never fires again).
+    next_arrival: u64,
     stats: EndpointStats,
     /// Histogram of measured packet latencies: bucket `i` counts latencies
     /// of exactly `i` cycles; latencies ≥ `LATENCY_HISTOGRAM_BUCKETS` land
@@ -75,15 +85,19 @@ impl Endpoint {
         packet_size: usize,
         seed: u64,
     ) -> Self {
+        let cap_flits = source_queue_cap_packets * packet_size;
         Self {
             id,
             num_endpoints,
-            source_queue: VecDeque::new(),
-            source_queue_cap_flits: source_queue_cap_packets * packet_size,
+            // Capacity is a hard bound (offers beyond it are refused), so
+            // reserving it up front makes injection allocation-free.
+            source_queue: VecDeque::with_capacity(cap_flits),
+            source_queue_cap_flits: cap_flits,
             credits: vec![buffer_depth; vcs],
             bound_vc: None,
             rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             process_state: ProcessState::default(),
+            next_arrival: IDLE,
             stats: EndpointStats::default(),
             latency_histogram: Vec::new(),
             window_start: u64::MAX,
@@ -98,14 +112,20 @@ impl Endpoint {
 
     /// Opens the measurement window at `cycle`: latency samples are recorded
     /// for packets created from now on; counters restart.
+    ///
+    /// The latency histogram is (re)allocated here, once, so the
+    /// steady-state measurement path never allocates.
     pub fn open_window(&mut self, cycle: u64) {
         self.window_start = cycle;
         self.stats = EndpointStats::default();
         self.latency_histogram.clear();
+        self.latency_histogram.resize(LATENCY_HISTOGRAM_BUCKETS, 0);
     }
 
-    /// Histogram of measured packet latencies (empty until a packet is
-    /// measured); see [`LATENCY_HISTOGRAM_BUCKETS`].
+    /// Histogram of measured packet latencies. Empty until a measurement
+    /// window is opened; preallocated to [`LATENCY_HISTOGRAM_BUCKETS`]
+    /// zeroed buckets from then on (check `stats().latency_count` for
+    /// "no samples yet", not emptiness).
     #[must_use]
     pub fn latency_histogram(&self) -> &[u32] {
         &self.latency_histogram
@@ -117,37 +137,58 @@ impl Endpoint {
         &self.stats
     }
 
-    /// Runs the traffic generator for one cycle, possibly enqueueing a new
-    /// packet's flits.
-    pub fn generate(
+    /// Cycle of the next scheduled packet generation, or
+    /// [`crate::channel::IDLE`] if none is scheduled.
+    #[must_use]
+    pub fn next_arrival(&self) -> u64 {
+        self.next_arrival
+    }
+
+    /// Samples and schedules the first packet arrival at or after `from`.
+    /// Endpoints with fewer than two reachable peers never generate.
+    pub fn schedule_arrival(&mut self, from: u64, process: InjectionProcess) {
+        self.next_arrival = if self.num_endpoints < 2 {
+            IDLE
+        } else {
+            process.next_arrival(from, &mut self.process_state, &mut self.rng).unwrap_or(IDLE)
+        };
+    }
+
+    /// Generates the packet scheduled for `cycle` (offering it to the
+    /// source queue, which may refuse it when full), then samples the next
+    /// arrival. Returns the new [`Endpoint::next_arrival`].
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `cycle` is not the scheduled arrival cycle.
+    pub fn generate_due(
         &mut self,
         cycle: u64,
         process: InjectionProcess,
         pattern: TrafficPattern,
         next_packet_id: &mut PacketId,
-    ) {
-        if self.num_endpoints < 2 || !process.fires(&mut self.process_state, &mut self.rng) {
-            return;
-        }
+    ) -> u64 {
+        debug_assert_eq!(cycle, self.next_arrival, "generation fired off schedule");
         if cycle >= self.window_start {
             self.stats.offered_packets += 1;
         }
-        if self.source_queue.len() + process.packet_size > self.source_queue_cap_flits {
-            return; // refused: source queue full (network saturated)
-        }
-        let dest = pattern.destination(self.id, self.num_endpoints, &mut self.rng);
-        let packet = Packet {
-            id: *next_packet_id,
-            src: self.id,
-            dest,
-            size_flits: process.packet_size,
-            created_at: cycle,
-        };
-        *next_packet_id += 1;
-        self.source_queue.extend(packet.to_flits());
-        if cycle >= self.window_start {
-            self.stats.accepted_packets += 1;
-        }
+        if self.source_queue.len() + process.packet_size <= self.source_queue_cap_flits {
+            let dest = pattern.destination(self.id, self.num_endpoints, &mut self.rng);
+            let packet = Packet {
+                id: *next_packet_id,
+                src: self.id,
+                dest,
+                size_flits: process.packet_size,
+                created_at: cycle,
+            };
+            *next_packet_id += 1;
+            self.source_queue.extend(packet.flits());
+            if cycle >= self.window_start {
+                self.stats.accepted_packets += 1;
+            }
+        } // else refused: source queue full (network saturated)
+        self.schedule_arrival(cycle + 1, process);
+        self.next_arrival
     }
 
     /// Attempts to inject one flit this cycle. Returns the flit to place on
@@ -200,9 +241,8 @@ impl Endpoint {
                 self.stats.latency_sum += latency;
                 self.stats.latency_count += 1;
                 self.stats.latency_max = self.stats.latency_max.max(latency);
-                if self.latency_histogram.is_empty() {
-                    self.latency_histogram = vec![0; LATENCY_HISTOGRAM_BUCKETS];
-                }
+                // The histogram was preallocated by `open_window`
+                // (created_at >= window_start implies a window is open).
                 let bucket = (latency as usize).min(LATENCY_HISTOGRAM_BUCKETS - 1);
                 self.latency_histogram[bucket] += 1;
             }
@@ -234,14 +274,23 @@ mod tests {
         InjectionProcess::bernoulli(rate, 2)
     }
 
+    /// Drives the generator over `cycles` cycles, firing scheduled
+    /// arrivals (the per-cycle shape the simulator's reference path uses).
+    fn drive(e: &mut Endpoint, proc: InjectionProcess, cycles: u64, id: &mut u64) {
+        e.schedule_arrival(0, proc);
+        for cycle in 0..cycles {
+            if e.next_arrival() == cycle {
+                e.generate_due(cycle, proc, TrafficPattern::UniformRandom, id);
+            }
+        }
+    }
+
     #[test]
     fn generates_and_injects_in_order() {
         let mut e = endpoint();
         let mut id = 0;
         // Force generation by running many cycles at rate 1.0.
-        for cycle in 0..8 {
-            e.generate(cycle, process(1.0), TrafficPattern::UniformRandom, &mut id);
-        }
+        drive(&mut e, process(1.0), 8, &mut id);
         assert!(id > 0);
         let f0 = e.try_inject().expect("credit available");
         assert!(f0.is_head);
@@ -255,9 +304,7 @@ mod tests {
     fn injection_blocks_without_credits() {
         let mut e = endpoint();
         let mut id = 0;
-        for cycle in 0..20 {
-            e.generate(cycle, process(1.0), TrafficPattern::UniformRandom, &mut id);
-        }
+        drive(&mut e, process(1.0), 20, &mut id);
         // Drain all credits: 2 VCs x 4 slots = 8 flits.
         let mut sent = 0;
         while e.try_inject().is_some() {
@@ -274,9 +321,7 @@ mod tests {
         let mut e = Endpoint::new(0, 4, 2, 4, 2, 2, 7); // cap: 2 packets = 4 flits
         e.open_window(0);
         let mut id = 0;
-        for cycle in 0..100 {
-            e.generate(cycle, process(1.0), TrafficPattern::UniformRandom, &mut id);
-        }
+        drive(&mut e, process(1.0), 100, &mut id);
         let s = e.stats();
         assert!(s.offered_packets > s.accepted_packets);
         assert_eq!(e.backlog_flits(), 4);
@@ -312,9 +357,9 @@ mod tests {
     fn no_traffic_with_single_endpoint() {
         let mut e = Endpoint::new(0, 1, 2, 4, 8, 2, 3);
         let mut id = 0;
-        for cycle in 0..100 {
-            e.generate(cycle, process(1.0), TrafficPattern::UniformRandom, &mut id);
-        }
+        e.schedule_arrival(0, process(1.0));
+        assert_eq!(e.next_arrival(), IDLE, "single endpoint never generates");
+        drive(&mut e, process(1.0), 100, &mut id);
         assert_eq!(id, 0);
         assert!(e.is_drained());
     }

@@ -67,8 +67,14 @@ struct InputVc {
 }
 
 impl InputVc {
-    fn new() -> Self {
-        Self { buffer: std::collections::VecDeque::new(), bound: None, escape_committed: false }
+    fn new(buffer_depth: usize) -> Self {
+        // Depth is a hard bound (credits enforce it), so reserving it up
+        // front makes the receive/traverse path allocation-free.
+        Self {
+            buffer: std::collections::VecDeque::with_capacity(buffer_depth),
+            bound: None,
+            escape_committed: false,
+        }
     }
 }
 
@@ -101,20 +107,49 @@ impl RouteContext<'_> {
     }
 }
 
+/// A switch-allocation nominee: input (port, vc) bound to output
+/// (port, vc), with buffered flits and downstream credits.
+#[derive(Debug, Clone, Copy)]
+struct Nominee {
+    in_port: u32,
+    vc: u32,
+    out_port: u32,
+    out_vc: u32,
+}
+
 /// An input-queued VC router.
+///
+/// Input and output VC state is stored flat (`port * vcs + vc`) for cache
+/// locality, and two incremental counters let the allocation phases skip
+/// work that cannot do anything: `unbound_heads` (input VCs whose head
+/// flit awaits an output binding — VC allocation exits immediately at
+/// zero) and `sa_candidates[port]` (bound input VCs with buffered flits —
+/// switch allocation skips ports at zero).
 #[derive(Debug, Clone)]
 pub struct Router {
     id: RouterId,
     params: RouterParams,
     num_net_ports: usize,
     num_ports: usize,
-    inputs: Vec<Vec<InputVc>>,
-    outputs: Vec<Vec<OutputVc>>,
+    inputs: Vec<InputVc>,
+    outputs: Vec<OutputVc>,
     /// Round-robin pointers: VA start offset, per-input-port SA VC pointer,
     /// per-output-port SA input pointer.
     va_rr: usize,
     sa_vc_rr: Vec<usize>,
     sa_in_rr: Vec<usize>,
+    /// Flits currently buffered across all input VCs (incremental; the
+    /// active-set scheduler polls this every cycle).
+    buffered: usize,
+    /// Input VCs that are non-empty and unbound (head awaiting VC
+    /// allocation).
+    unbound_heads: usize,
+    /// Per input port: bound input VCs holding at least one flit (switch
+    /// allocation candidates before the credit check).
+    sa_candidates: Vec<u16>,
+    /// Switch-allocation scratch (reused every cycle so the steady-state
+    /// hot path never allocates).
+    nominees: Vec<Nominee>,
 }
 
 impl Router {
@@ -132,13 +167,9 @@ impl Router {
     ) -> Self {
         let num_ports = num_net_ports + num_endpoint_ports;
         let inputs =
-            (0..num_ports).map(|_| (0..params.vcs).map(|_| InputVc::new()).collect()).collect();
-        let outputs = (0..num_ports)
-            .map(|_| {
-                (0..params.vcs)
-                    .map(|_| OutputVc { credits: params.buffer_depth, owner: None })
-                    .collect()
-            })
+            (0..num_ports * params.vcs).map(|_| InputVc::new(params.buffer_depth)).collect();
+        let outputs = (0..num_ports * params.vcs)
+            .map(|_| OutputVc { credits: params.buffer_depth, owner: None })
             .collect();
         Self {
             id,
@@ -150,6 +181,10 @@ impl Router {
             va_rr: 0,
             sa_vc_rr: vec![0; num_ports],
             sa_in_rr: vec![0; num_ports],
+            buffered: 0,
+            unbound_heads: 0,
+            sa_candidates: vec![0; num_ports],
+            nominees: Vec::with_capacity(num_ports),
         }
     }
 
@@ -190,14 +225,22 @@ impl Router {
     /// Panics if the VC buffer would overflow — credits upstream must make
     /// this impossible, so an overflow is a flow-control bug.
     pub fn receive_flit(&mut self, in_port: usize, flit: Flit) {
-        let vc = &mut self.inputs[in_port][flit.vc];
+        let idx = in_port * self.params.vcs + flit.vc;
         assert!(
-            vc.buffer.len() < self.params.buffer_depth,
+            self.inputs[idx].buffer.len() < self.params.buffer_depth,
             "router {} port {in_port} vc {} buffer overflow",
             self.id,
             flit.vc
         );
-        vc.buffer.push_back(flit);
+        if self.inputs[idx].buffer.is_empty() {
+            if self.inputs[idx].bound.is_some() {
+                self.sa_candidates[in_port] += 1;
+            } else {
+                self.unbound_heads += 1;
+            }
+        }
+        self.inputs[idx].buffer.push_back(flit);
+        self.buffered += 1;
     }
 
     /// Accepts a credit for `out_port`.
@@ -206,7 +249,7 @@ impl Router {
     ///
     /// Panics if credits would exceed the downstream buffer depth.
     pub fn receive_credit(&mut self, out_port: usize, credit: Credit) {
-        let out = &mut self.outputs[out_port][credit.vc];
+        let out = &mut self.outputs[out_port * self.params.vcs + credit.vc];
         out.credits += 1;
         assert!(
             out.credits <= self.params.buffer_depth,
@@ -218,29 +261,49 @@ impl Router {
 
     /// Virtual-channel allocation: every input VC whose head flit is a
     /// packet head without an output binding tries to claim an output VC.
+    ///
+    /// Exits immediately when no head awaits a binding (the common steady
+    /// state for a busy router streaming body flits), and stops scanning
+    /// once every waiting head has been visited.
     pub fn allocate_vcs(&mut self, ctx: RouteContext<'_>) {
+        if self.unbound_heads == 0 {
+            return;
+        }
         let total_vcs = self.num_ports * self.params.vcs;
         let start = self.va_rr;
-        self.va_rr = (self.va_rr + 1) % total_vcs.max(1);
-        for k in 0..total_vcs {
-            let idx = (start + k) % total_vcs;
-            let (port, vc) = (idx / self.params.vcs, idx % self.params.vcs);
-            if self.inputs[port][vc].bound.is_some() {
-                continue;
+        self.va_rr += 1;
+        if self.va_rr >= total_vcs {
+            self.va_rr = 0;
+        }
+        let mut remaining = self.unbound_heads;
+        let mut idx = start;
+        for _ in 0..total_vcs {
+            let state = &self.inputs[idx];
+            if state.bound.is_none() {
+                if let Some(&head) = state.buffer.front() {
+                    // A packet's allocation is only released by its tail
+                    // leaving, so this state is a flow-control bug — abort
+                    // in release too rather than route corrupt state.
+                    assert!(head.is_head, "body flit at head of an unbound VC");
+                    remaining -= 1;
+                    if let Some((out_port, out_vc, escape)) = self.select_output(ctx, &head) {
+                        let (port, vc) = (idx / self.params.vcs, idx % self.params.vcs);
+                        self.outputs[out_port * self.params.vcs + out_vc].owner =
+                            Some((port, vc));
+                        let state = &mut self.inputs[idx];
+                        state.bound = Some((out_port, out_vc));
+                        state.escape_committed = escape;
+                        self.unbound_heads -= 1;
+                        self.sa_candidates[port] += 1;
+                    }
+                    if remaining == 0 {
+                        break;
+                    }
+                }
             }
-            let Some(head) = self.inputs[port][vc].buffer.front().copied() else {
-                continue;
-            };
-            if !head.is_head {
-                // Body flit without binding: its packet's allocation was
-                // released by a preceding tail only when the buffer held the
-                // full packet; this state is unreachable.
-                unreachable!("body flit at head of an unbound VC");
-            }
-            if let Some((out_port, out_vc, escape)) = self.select_output(ctx, &head) {
-                self.outputs[out_port][out_vc].owner = Some((port, vc));
-                self.inputs[port][vc].bound = Some((out_port, out_vc));
-                self.inputs[port][vc].escape_committed = escape;
+            idx += 1;
+            if idx == total_vcs {
+                idx = 0;
             }
         }
     }
@@ -268,7 +331,7 @@ impl Router {
                 for &p in ctx.tables.minimal_ports(self.id, dest_router) {
                     let port = usize::from(p);
                     if let Some(vc) = self.best_free_vc(port, 1) {
-                        let credits = self.outputs[port][vc].credits;
+                        let credits = self.outputs[port * self.params.vcs + vc].credits;
                         if best.is_none_or(|(_, _, c)| credits > c) {
                             best = Some((port, vc, credits));
                         }
@@ -305,16 +368,17 @@ impl Router {
     /// property tests caught exactly that: a 4-packet credit cycle over
     /// zero-credit adaptive bindings, deadlocked despite the escape layer.
     fn best_free_vc(&self, port: usize, min_vc: usize) -> Option<VcId> {
+        let base = port * self.params.vcs;
         (min_vc..self.params.vcs)
             .filter(|&v| {
-                let out = &self.outputs[port][v];
+                let out = &self.outputs[base + v];
                 out.owner.is_none() && out.credits > 0
             })
-            .max_by_key(|&v| self.outputs[port][v].credits)
+            .max_by_key(|&v| self.outputs[base + v].credits)
     }
 
     fn free_output(&self, port: usize, vc: VcId) -> bool {
-        let out = &self.outputs[port][vc];
+        let out = &self.outputs[port * self.params.vcs + vc];
         out.owner.is_none() && out.credits > 0
     }
 
@@ -324,20 +388,18 @@ impl Router {
     #[must_use]
     pub fn occupancy_report(&self) -> Vec<OccupancyEntry> {
         let mut out = Vec::new();
-        for (port, vcs) in self.inputs.iter().enumerate() {
-            for (vc, state) in vcs.iter().enumerate() {
-                if state.buffer.is_empty() && state.bound.is_none() {
-                    continue;
-                }
-                out.push((
-                    port,
-                    vc,
-                    state.buffer.len(),
-                    state.bound,
-                    state.escape_committed,
-                    state.buffer.front().map(|f| f.dest),
-                ));
+        for (idx, state) in self.inputs.iter().enumerate() {
+            if state.buffer.is_empty() && state.bound.is_none() {
+                continue;
             }
+            out.push((
+                idx / self.params.vcs,
+                idx % self.params.vcs,
+                state.buffer.len(),
+                state.bound,
+                state.escape_committed,
+                state.buffer.front().map(|f| f.dest),
+            ));
         }
         out
     }
@@ -347,100 +409,169 @@ impl Router {
     #[must_use]
     pub fn output_report(&self) -> Vec<(usize, VcId, usize, (usize, VcId))> {
         let mut out = Vec::new();
-        for (port, vcs) in self.outputs.iter().enumerate() {
-            for (vc, state) in vcs.iter().enumerate() {
-                if let Some(owner) = state.owner {
-                    out.push((port, vc, state.credits, owner));
-                }
+        for (idx, state) in self.outputs.iter().enumerate() {
+            if let Some(owner) = state.owner {
+                out.push((idx / self.params.vcs, idx % self.params.vcs, state.credits, owner));
             }
         }
         out
     }
 
     /// Switch allocation and traversal: up to one flit leaves per output
-    /// port (and per input port) per cycle. Returns the flits sent and the
-    /// credits to return upstream.
-    #[allow(clippy::needless_range_loop)] // port ids index several parallel tables
-    pub fn allocate_switch(&mut self) -> (Vec<SentFlit>, Vec<SentCredit>) {
-        // Phase 1 (input arbitration): each input port nominates one VC.
-        let mut nominee: Vec<Option<VcId>> = vec![None; self.num_ports];
+    /// port (and per input port) per cycle. The flits sent and the credits
+    /// to return upstream are appended to the cleared out-params — callers
+    /// own (and reuse) those buffers, and the router reuses its own
+    /// nomination/grant scratch, so the steady-state hot path is
+    /// allocation-free.
+    pub fn allocate_switch(&mut self, sent: &mut Vec<SentFlit>, credits: &mut Vec<SentCredit>) {
+        self.debug_check_counters();
+        sent.clear();
+        credits.clear();
+        let vcs = self.params.vcs;
+
+        // Phase 1 (input arbitration): each input port nominates one VC —
+        // ports without a bound, non-empty VC are skipped outright.
+        self.nominees.clear();
         for port in 0..self.num_ports {
-            let start = self.sa_vc_rr[port];
-            for k in 0..self.params.vcs {
-                let vc = (start + k) % self.params.vcs;
-                let ivc = &self.inputs[port][vc];
-                let Some((out_port, out_vc)) = ivc.bound else { continue };
-                if ivc.buffer.is_empty() {
-                    continue;
+            if self.sa_candidates[port] == 0 {
+                continue;
+            }
+            let mut vc = self.sa_vc_rr[port];
+            for _ in 0..vcs {
+                let ivc = &self.inputs[port * vcs + vc];
+                if let Some((out_port, out_vc)) = ivc.bound {
+                    if !ivc.buffer.is_empty()
+                        && self.outputs[out_port * vcs + out_vc].credits > 0
+                    {
+                        self.nominees.push(Nominee {
+                            in_port: port as u32,
+                            vc: vc as u32,
+                            out_port: out_port as u32,
+                            out_vc: out_vc as u32,
+                        });
+                        break;
+                    }
                 }
-                if self.outputs[out_port][out_vc].credits == 0 {
-                    continue;
+                vc += 1;
+                if vc == vcs {
+                    vc = 0;
                 }
-                nominee[port] = Some(vc);
-                break;
             }
         }
 
-        // Phase 2 (output arbitration): each output port grants one input.
-        let mut granted_input: Vec<Option<usize>> = vec![None; self.num_ports];
-        for out_port in 0..self.num_ports {
+        // Phase 2 (output arbitration) + traversal, per nominated output
+        // port: grant the nominee closest to the port's round-robin
+        // pointer and move its flit. Only nominated ports are visited —
+        // the old all-ports × all-inputs scan did the same grants.
+        for i in 0..self.nominees.len() {
+            let op = self.nominees[i].out_port;
+            if self.nominees[..i].iter().any(|n| n.out_port == op) {
+                continue; // this output port was already arbitrated
+            }
+            let out_port = op as usize;
             let start = self.sa_in_rr[out_port];
-            for k in 0..self.num_ports {
-                let in_port = (start + k) % self.num_ports;
-                let Some(vc) = nominee[in_port] else { continue };
-                let (bound_port, _) =
-                    self.inputs[in_port][vc].bound.expect("nominated VC is bound");
-                if bound_port == out_port && granted_input[out_port].is_none() {
-                    granted_input[out_port] = Some(in_port);
-                    self.sa_in_rr[out_port] = (in_port + 1) % self.num_ports;
-                    break;
+            let p = self.num_ports;
+            let mut best = (usize::MAX, i);
+            for (j, n) in self.nominees.iter().enumerate() {
+                if n.out_port != op {
+                    continue;
+                }
+                let rank = (n.in_port as usize + p - start) % p;
+                if rank < best.0 {
+                    best = (rank, j);
                 }
             }
-        }
+            let n = self.nominees[best.1];
+            self.sa_in_rr[out_port] = (n.in_port as usize + 1) % p;
 
-        // Traversal: move the granted flits.
-        let mut sent = Vec::new();
-        let mut credits = Vec::new();
-        for out_port in 0..self.num_ports {
-            let Some(in_port) = granted_input[out_port] else { continue };
-            let vc = nominee[in_port].expect("granted input has a nominee");
-            let (bound_port, bound_vc) =
-                self.inputs[in_port][vc].bound.expect("granted VC is bound");
-            debug_assert_eq!(bound_port, out_port);
-            let escape = self.inputs[in_port][vc].escape_committed;
+            // Traversal: move the granted flit.
+            let (in_port, vc) = (n.in_port as usize, n.vc as usize);
+            let (out_vc, out_idx) = (n.out_vc as usize, out_port * vcs + n.out_vc as usize);
+            let in_idx = in_port * vcs + vc;
+            let escape = self.inputs[in_idx].escape_committed;
             let mut flit =
-                self.inputs[in_port][vc].buffer.pop_front().expect("granted VC non-empty");
-            self.sa_vc_rr[in_port] = (vc + 1) % self.params.vcs;
+                self.inputs[in_idx].buffer.pop_front().expect("granted VC non-empty");
+            self.buffered -= 1;
+            self.sa_vc_rr[in_port] = if vc + 1 == vcs { 0 } else { vc + 1 };
 
             // Rewrite per-hop flit fields.
             let in_vc = flit.vc;
-            flit.vc = bound_vc;
+            flit.vc = out_vc;
             flit.escape = escape;
-            self.outputs[out_port][bound_vc].credits -= 1;
+            self.outputs[out_idx].credits -= 1;
             if flit.is_tail {
-                self.outputs[out_port][bound_vc].owner = None;
-                self.inputs[in_port][vc].bound = None;
-                self.inputs[in_port][vc].escape_committed = false;
+                self.outputs[out_idx].owner = None;
+                self.inputs[in_idx].bound = None;
+                self.inputs[in_idx].escape_committed = false;
+                self.sa_candidates[in_port] -= 1;
+                if !self.inputs[in_idx].buffer.is_empty() {
+                    // Wormhole invariant: the flit behind a departed tail
+                    // is the next packet's head, now awaiting allocation.
+                    self.unbound_heads += 1;
+                }
+            } else if self.inputs[in_idx].buffer.is_empty() {
+                // Bound but starved mid-packet; receive_flit re-arms the
+                // candidate count when the next body flit lands.
+                self.sa_candidates[in_port] -= 1;
             }
             sent.push(SentFlit { out_port, flit });
             credits.push(SentCredit { in_port, credit: Credit { vc: in_vc } });
         }
-        (sent, credits)
+    }
+
+    /// Debug-only audit of the incremental allocation counters against a
+    /// full recount.
+    fn debug_check_counters(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let vcs = self.params.vcs;
+            let heads = self
+                .inputs
+                .iter()
+                .filter(|s| s.bound.is_none() && !s.buffer.is_empty())
+                .count();
+            debug_assert_eq!(heads, self.unbound_heads, "unbound-head counter out of sync");
+            for port in 0..self.num_ports {
+                let cands = (0..vcs)
+                    .filter(|&v| {
+                        let s = &self.inputs[port * vcs + v];
+                        s.bound.is_some() && !s.buffer.is_empty()
+                    })
+                    .count();
+                debug_assert_eq!(
+                    cands,
+                    usize::from(self.sa_candidates[port]),
+                    "switch-candidate counter out of sync on port {port}"
+                );
+            }
+        }
     }
 
     /// `true` if no flit is buffered in any input VC.
     #[must_use]
     pub fn is_drained(&self) -> bool {
-        self.inputs.iter().all(|port| port.iter().all(|vc| vc.buffer.is_empty()))
+        self.buffered == 0
     }
 
-    /// Total flits currently buffered.
+    /// Total flits currently buffered (O(1): maintained incrementally on
+    /// receive and traversal).
     #[must_use]
     pub fn buffered_flits(&self) -> usize {
-        self.inputs
-            .iter()
-            .map(|port| port.iter().map(|vc| vc.buffer.len()).sum::<usize>())
-            .sum()
+        debug_assert_eq!(
+            self.buffered,
+            self.inputs.iter().map(|vc| vc.buffer.len()).sum::<usize>(),
+            "incremental buffered-flit counter out of sync"
+        );
+        self.buffered
+    }
+
+    /// `true` while any input VC holds a flit — the router may be able to
+    /// make progress and must stay on the simulator's active worklist.
+    /// Quiescent routers (no buffered flits) have nothing to nominate in
+    /// either allocation phase and are skipped entirely.
+    #[must_use]
+    pub fn has_buffered(&self) -> bool {
+        self.buffered > 0
     }
 
     /// Pipeline latency applied to traversing flits.
@@ -487,7 +618,8 @@ mod tests {
         // Flit destined for endpoint 2 (router 2) arrives on port 0 (from 0).
         r.receive_flit(0, head_flit(2, 0));
         r.allocate_vcs(ctx);
-        let (sent, credits) = r.allocate_switch();
+        let (mut sent, mut credits) = (Vec::new(), Vec::new());
+        r.allocate_switch(&mut sent, &mut credits);
         assert_eq!(sent.len(), 1);
         // Port 1 is the neighbour list position of router 2 in neighbors(1).
         assert_eq!(sent[0].out_port, 1);
@@ -506,7 +638,8 @@ mod tests {
         // Endpoint 3 = router 1, slot 1 -> ejection port 2 + 1 = 3.
         r.receive_flit(0, head_flit(3, 1));
         r.allocate_vcs(ctx);
-        let (sent, _) = r.allocate_switch();
+        let (mut sent, mut credits) = (Vec::new(), Vec::new());
+        r.allocate_switch(&mut sent, &mut credits);
         assert_eq!(sent.len(), 1);
         assert_eq!(sent[0].out_port, 3);
     }
@@ -519,20 +652,22 @@ mod tests {
         let mut r = Router::new(1, 2, 1, params());
 
         // Drain all credits of the output VCs of port 1.
+        let (mut sent, mut credits) = (Vec::new(), Vec::new());
         for _ in 0..4 {
             r.receive_flit(0, head_flit(2, 0));
             r.allocate_vcs(ctx);
-            let _ = r.allocate_switch();
+            r.allocate_switch(&mut sent, &mut credits);
         }
         // VC 0 and VC 1 of output port 1 now hold 4 fewer credits combined;
         // keep pushing until nothing can move.
         let mut total_sent = 0;
         for _ in 0..8 {
-            if r.inputs[0][0].buffer.len() < 4 {
+            if r.inputs[0].buffer.len() < 4 {
                 r.receive_flit(0, head_flit(2, 0));
             }
             r.allocate_vcs(ctx);
-            total_sent += r.allocate_switch().0.len();
+            r.allocate_switch(&mut sent, &mut credits);
+            total_sent += sent.len();
         }
         // 2 VCs x 4 credits = 8 flits max through port 1 without credit
         // returns; 4 were sent in the first loop.
@@ -542,7 +677,8 @@ mod tests {
         r.receive_credit(1, Credit { vc: 0 });
         r.receive_credit(1, Credit { vc: 1 });
         r.allocate_vcs(ctx);
-        assert_eq!(r.allocate_switch().0.len(), 1);
+        r.allocate_switch(&mut sent, &mut credits);
+        assert_eq!(sent.len(), 1);
     }
 
     #[test]
@@ -560,10 +696,11 @@ mod tests {
         r.receive_flit(0, f0);
         r.receive_flit(0, f1);
         r.allocate_vcs(ctx);
-        let (sent, _) = r.allocate_switch();
+        let (mut sent, mut credits) = (Vec::new(), Vec::new());
+        r.allocate_switch(&mut sent, &mut credits);
         assert_eq!(sent.len(), 1, "single input port sends one flit per cycle");
         r.allocate_vcs(ctx);
-        let (sent, _) = r.allocate_switch();
+        r.allocate_switch(&mut sent, &mut credits);
         assert_eq!(sent.len(), 1);
     }
 
@@ -584,15 +721,16 @@ mod tests {
 
         r.receive_flit(1, head); // arrives from local endpoint port
         r.allocate_vcs(ctx);
-        let (s1, _) = r.allocate_switch();
-        assert_eq!(s1.len(), 1);
+        let (mut sent, mut credits) = (Vec::new(), Vec::new());
+        r.allocate_switch(&mut sent, &mut credits);
+        assert_eq!(sent.len(), 1);
         // Output VC still owned between head and tail.
-        assert!(r.outputs[0][s1[0].flit.vc].owner.is_some());
+        assert!(r.outputs[sent[0].flit.vc].owner.is_some());
         r.receive_flit(1, tail);
         r.allocate_vcs(ctx);
-        let (s2, _) = r.allocate_switch();
-        assert_eq!(s2.len(), 1);
-        assert!(r.outputs[0][s2[0].flit.vc].owner.is_none());
+        r.allocate_switch(&mut sent, &mut credits);
+        assert_eq!(sent.len(), 1);
+        assert!(r.outputs[sent[0].flit.vc].owner.is_none());
         assert!(r.is_drained());
     }
 
@@ -616,7 +754,8 @@ mod tests {
         f.escape = true; // already committed upstream
         r.receive_flit(2, f);
         r.allocate_vcs(ctx);
-        let (sent, _) = r.allocate_switch();
+        let (mut sent, mut credits) = (Vec::new(), Vec::new());
+        r.allocate_switch(&mut sent, &mut credits);
         assert_eq!(sent.len(), 1);
         assert!(sent[0].flit.escape, "escape commitment must persist");
         assert_eq!(sent[0].flit.vc, 0, "escape traffic rides VC 0");
@@ -631,7 +770,8 @@ mod tests {
         let mut r = Router::new(0, 2, 1, params());
         r.receive_flit(2, head_flit(1, 0));
         r.allocate_vcs(ctx);
-        let (sent, _) = r.allocate_switch();
+        let (mut sent, mut credits) = (Vec::new(), Vec::new());
+        r.allocate_switch(&mut sent, &mut credits);
         assert_eq!(sent.len(), 1);
         assert!(!sent[0].flit.escape);
         assert!(sent[0].flit.vc >= 1, "adaptive traffic avoids the escape VC");

@@ -1,10 +1,23 @@
-//! The cycle-accurate simulator: wiring, per-cycle evaluation, statistics.
+//! The cycle-accurate simulator: wiring, event-driven evaluation,
+//! statistics.
+//!
+//! The hot path is *event-driven*: per-cycle cost is O(active components),
+//! not O(network). Delay lines carry a cached `next_due` cycle and feed a
+//! bucketed event wheel (at most one entry per line), routers sit on an
+//! active worklist only while they hold buffered flits, endpoints sample
+//! their next packet arrival with geometric skip-ahead, and fully idle
+//! stretches fast-forward the cycle counter straight to the next event.
+//! A poll-every-cycle reference path ([`Simulator::set_reference_stepping`])
+//! drives the exact same component operations exhaustively; golden tests
+//! prove both produce bit-identical statistics.
 
 use chiplet_graph::Graph;
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 
-use crate::channel::Link;
+use crate::channel::{Credit, DelayLine, Link, IDLE};
 use crate::endpoint::Endpoint;
 use crate::flit::{PacketId, RouterId};
 use crate::router::{RouteContext, Router, RouterParams, SentCredit, SentFlit};
@@ -201,6 +214,32 @@ pub struct Simulator {
     /// Set by [`Simulator::drain`]: endpoints stop generating traffic while
     /// the configured injection rate stays untouched in `config`.
     generation_stopped: bool,
+    /// Flits inside the network (router buffers + links in flight),
+    /// maintained incrementally: +1 per injected flit, −1 per ejected one.
+    in_flight: usize,
+    /// Bucketed event wheel for delay lines, keyed on due cycle.
+    /// Invariant: every non-empty delay line has exactly one entry, keyed
+    /// on its `next_due`; empty lines have none (an entry is consumed when
+    /// its deliveries are processed and re-armed from the new front).
+    line_events: EventWheel,
+    /// Reused drain buffer for the wheel's due slot.
+    wheel_scratch: Vec<u32>,
+    /// Scheduled packet generations: min-heap of `(arrival_cycle,
+    /// endpoint)`, one entry per endpoint with a pending arrival.
+    arrival_events: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Routers holding buffered flits — the only ones whose allocation
+    /// phases can do anything. `router_active` mirrors membership.
+    active_routers: Vec<u32>,
+    router_active: Vec<bool>,
+    /// Endpoints with a non-empty source queue — the only ones whose
+    /// injection can do anything. `endpoint_injecting` mirrors membership.
+    inject_list: Vec<u32>,
+    endpoint_injecting: Vec<bool>,
+    /// Reusable out-param buffers for [`Router::allocate_switch`].
+    sent_scratch: Vec<SentFlit>,
+    credit_scratch: Vec<SentCredit>,
+    /// Forced poll-every-cycle stepping (the golden-test reference path).
+    reference_stepping: bool,
 }
 
 // The experiment engine (`crates/xp`) moves simulators onto worker
@@ -254,6 +293,8 @@ impl Simulator {
 
         let mut routers = Vec::with_capacity(n);
         let mut net_links = Vec::new();
+        let mut max_latency = config.injection_latency.max(1);
+        let mut max_interval = 1;
         let mut link_dst = Vec::new();
         let mut link_src = Vec::new();
         let mut link_out: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -270,6 +311,8 @@ impl Simulator {
                         "link specs need latency >= 1 and interval >= 1",
                     ));
                 }
+                max_latency = max_latency.max(s.latency);
+                max_interval = max_interval.max(s.interval);
                 net_links.push(Link::with_interval(s.latency, s.interval));
                 let in_port = g.neighbors(u).binary_search(&r).expect("symmetric adjacency");
                 link_dst.push((u, in_port));
@@ -282,6 +325,15 @@ impl Simulator {
             link_in[u][q] = l;
         }
 
+        let max_ports = routers.iter().map(Router::num_ports).max().unwrap_or(1);
+        // Flow control bounds every delay line's occupancy: each flit (or
+        // outstanding credit) in flight holds one of the vcs × buffer_depth
+        // downstream buffer slots. Reserving that bound up front keeps the
+        // steady-state hot path allocation-free from cycle 0.
+        let credit_bound = config.vcs * config.buffer_depth;
+        for link in &mut net_links {
+            link.reserve(credit_bound);
+        }
         let num_endpoints = n * config.endpoints_per_router;
         let endpoints = (0..num_endpoints)
             .map(|e| {
@@ -296,13 +348,16 @@ impl Simulator {
                 )
             })
             .collect();
-        let inj_links =
-            (0..num_endpoints).map(|_| Link::new(config.injection_latency)).collect();
-        let ej_links =
-            (0..num_endpoints).map(|_| Link::new(config.injection_latency)).collect();
+        let endpoint_link = || {
+            let mut link = Link::new(config.injection_latency);
+            link.reserve(credit_bound);
+            link
+        };
+        let inj_links = (0..num_endpoints).map(|_| endpoint_link()).collect();
+        let ej_links = (0..num_endpoints).map(|_| endpoint_link()).collect();
 
         let num_net_links = net_links.len();
-        Ok(Self {
+        let mut sim = Self {
             config,
             tables,
             routers,
@@ -320,7 +375,29 @@ impl Simulator {
             window_start: u64::MAX,
             last_progress: 0,
             generation_stopped: false,
-        })
+            in_flight: 0,
+            // Scheduling distance is bounded by latency + pipeline (or the
+            // serialization interval), so this horizon always fits.
+            line_events: EventWheel::new(
+                config.router_latency + max_latency + max_interval + 2,
+                2 * num_net_links + 4 * num_endpoints,
+            ),
+            wheel_scratch: Vec::with_capacity(2 * num_net_links + 4 * num_endpoints),
+            arrival_events: BinaryHeap::with_capacity(num_endpoints + 1),
+            active_routers: Vec::with_capacity(n),
+            router_active: vec![false; n],
+            inject_list: Vec::with_capacity(num_endpoints),
+            endpoint_injecting: vec![false; num_endpoints],
+            sent_scratch: Vec::with_capacity(max_ports),
+            credit_scratch: Vec::with_capacity(max_ports),
+            reference_stepping: false,
+        };
+        let process = sim.injection_process();
+        for e in &mut sim.endpoints {
+            e.schedule_arrival(0, process);
+        }
+        sim.rebuild_event_state();
+        Ok(sim)
     }
 
     /// The configuration in use.
@@ -355,111 +432,437 @@ impl Simulator {
         }
     }
 
-    /// Advances the simulation by one cycle.
-    pub fn step(&mut self) {
-        let t = self.cycle;
-        let epr = self.config.endpoints_per_router;
-
-        // ── 1. Deliver link arrivals ────────────────────────────────────
-        for l in 0..self.net_links.len() {
-            let (dst, in_port) = self.link_dst[l];
-            while let Some(flit) = self.net_links[l].flits.pop_due(t) {
-                self.routers[dst].receive_flit(in_port, flit);
-                self.last_progress = t;
-            }
-            // Credits flow back to the link's source router.
-            while let Some(credit) = self.net_links[l].credits.pop_due(t) {
-                let (src, out_port) = self.link_src[l];
-                self.routers[src].receive_credit(out_port, credit);
-            }
-        }
-        for e in 0..self.endpoints.len() {
-            let r = e / epr;
-            let port = self.routers[r].endpoint_port(e % epr);
-            while let Some(flit) = self.inj_links[e].flits.pop_due(t) {
-                self.routers[r].receive_flit(port, flit);
-                self.last_progress = t;
-            }
-            while let Some(credit) = self.inj_links[e].credits.pop_due(t) {
-                self.endpoints[e].receive_credit(credit.vc);
-            }
-            while let Some(flit) = self.ej_links[e].flits.pop_due(t) {
-                self.endpoints[e].receive_flit(t, &flit);
-                // Endpoint consumes immediately; return the buffer slot.
-                self.ej_links[e].credits.push(t, 0, crate::channel::Credit { vc: flit.vc });
-                self.last_progress = t;
-            }
-            while let Some(credit) = self.ej_links[e].credits.pop_due(t) {
-                self.routers[r].receive_credit(port, credit);
-            }
-        }
-
-        // ── 2. Router allocation and traversal ──────────────────────────
-        let ctx = RouteContext { tables: &self.tables, endpoints_per_router: epr };
-        for r in 0..self.routers.len() {
-            self.routers[r].allocate_vcs(ctx);
-            let (sent, credits) = self.routers[r].allocate_switch();
-            if !sent.is_empty() {
-                self.last_progress = t;
-            }
-            let pipeline = self.config.router_latency;
-            for SentFlit { out_port, flit } in sent {
-                if out_port < self.routers[r].num_net_ports() {
-                    let l = self.link_out[r][out_port];
-                    self.link_flit_counts[l] += 1;
-                    self.net_links[l].flits.push(t, pipeline, flit);
-                } else {
-                    let slot = out_port - self.routers[r].num_net_ports();
-                    let e = r * epr + slot;
-                    self.ej_links[e].flits.push(t, pipeline, flit);
-                }
-            }
-            for SentCredit { in_port, credit } in credits {
-                if in_port < self.routers[r].num_net_ports() {
-                    let l = self.link_in[r][in_port];
-                    self.net_links[l].credits.push(t, 0, credit);
-                } else {
-                    let slot = in_port - self.routers[r].num_net_ports();
-                    let e = r * epr + slot;
-                    self.inj_links[e].credits.push(t, 0, credit);
-                }
-            }
-        }
-
-        // ── 3. Endpoint traffic generation and injection ────────────────
-        let rate = if self.generation_stopped { 0.0 } else { self.config.injection_rate };
-        let process = InjectionProcess {
-            rate,
+    /// The injection process implied by the configuration.
+    fn injection_process(&self) -> InjectionProcess {
+        InjectionProcess {
+            rate: self.config.injection_rate,
             packet_size: self.config.packet_size,
             kind: self.config.process,
-        };
+        }
+    }
+
+    /// Forces (or lifts) poll-every-cycle stepping: the reference path
+    /// visits every link, router, and endpoint each cycle instead of
+    /// consulting the event wheel and active sets. Both paths drive the
+    /// same component operations, so statistics are bit-identical — the
+    /// golden-equivalence tests rely on exactly this switch.
+    ///
+    /// Switching back to event-driven stepping rebuilds the event wheel
+    /// and active sets from the network state (the reference path does not
+    /// maintain them).
+    pub fn set_reference_stepping(&mut self, on: bool) {
+        if self.reference_stepping == on {
+            return;
+        }
+        self.reference_stepping = on;
+        if !on {
+            self.rebuild_event_state();
+        }
+    }
+
+    /// Rebuilds the event wheel and active sets from scratch (used at
+    /// construction and when leaving reference stepping).
+    fn rebuild_event_state(&mut self) {
+        self.line_events.clear();
+        self.arrival_events.clear();
+        self.active_routers.clear();
+        self.router_active.fill(false);
+        self.inject_list.clear();
+        self.endpoint_injecting.fill(false);
+        for l in 0..self.net_links.len() {
+            arm_line(&mut self.line_events, &self.net_links[l].flits, net_flit_id(l));
+            arm_line(&mut self.line_events, &self.net_links[l].credits, net_credit_id(l));
+        }
+        let base = 2 * self.net_links.len();
         for e in 0..self.endpoints.len() {
-            self.endpoints[e].generate(
+            arm_line(&mut self.line_events, &self.inj_links[e].flits, inj_flit_id(base, e));
+            arm_line(&mut self.line_events, &self.inj_links[e].credits, inj_credit_id(base, e));
+            arm_line(&mut self.line_events, &self.ej_links[e].flits, ej_flit_id(base, e));
+            arm_line(&mut self.line_events, &self.ej_links[e].credits, ej_credit_id(base, e));
+        }
+        for r in 0..self.routers.len() {
+            if self.routers[r].has_buffered() {
+                self.router_active[r] = true;
+                self.active_routers.push(r as u32);
+            }
+        }
+        for e in 0..self.endpoints.len() {
+            if !self.generation_stopped && self.endpoints[e].next_arrival() != IDLE {
+                self.arrival_events.push(Reverse((self.endpoints[e].next_arrival(), e as u32)));
+            }
+            if !self.endpoints[e].is_drained() {
+                self.endpoint_injecting[e] = true;
+                self.inject_list.push(e as u32);
+            }
+        }
+    }
+
+    /// Puts `r` on the active worklist (no-op while reference stepping —
+    /// the reference path services every buffered router anyway).
+    fn activate_router(&mut self, r: usize) {
+        if !self.reference_stepping && !self.router_active[r] {
+            self.router_active[r] = true;
+            self.active_routers.push(r as u32);
+        }
+    }
+
+    // ── Delivery helpers (shared by both stepping paths) ────────────────
+    //
+    // Each pops everything due at `t` from one delay line and dispatches
+    // it; in event mode the caller's heap entry is consumed and the line
+    // is re-armed here from its new front.
+
+    fn deliver_net_flits(&mut self, t: u64, l: usize) {
+        let (dst, in_port) = self.link_dst[l];
+        while let Some(flit) = self.net_links[l].flits.pop_due(t) {
+            self.routers[dst].receive_flit(in_port, flit);
+            self.activate_router(dst);
+            self.last_progress = t;
+        }
+        if !self.reference_stepping {
+            arm_line(&mut self.line_events, &self.net_links[l].flits, net_flit_id(l));
+        }
+    }
+
+    fn deliver_net_credits(&mut self, t: u64, l: usize) {
+        let (src, out_port) = self.link_src[l];
+        while let Some(credit) = self.net_links[l].credits.pop_due(t) {
+            self.routers[src].receive_credit(out_port, credit);
+        }
+        if !self.reference_stepping {
+            arm_line(&mut self.line_events, &self.net_links[l].credits, net_credit_id(l));
+        }
+    }
+
+    fn deliver_inj_flits(&mut self, t: u64, e: usize) {
+        let r = e / self.config.endpoints_per_router;
+        let port = self.routers[r].endpoint_port(e % self.config.endpoints_per_router);
+        while let Some(flit) = self.inj_links[e].flits.pop_due(t) {
+            self.routers[r].receive_flit(port, flit);
+            self.activate_router(r);
+            self.last_progress = t;
+        }
+        if !self.reference_stepping {
+            let base = 2 * self.net_links.len();
+            arm_line(&mut self.line_events, &self.inj_links[e].flits, inj_flit_id(base, e));
+        }
+    }
+
+    fn deliver_inj_credits(&mut self, t: u64, e: usize) {
+        while let Some(credit) = self.inj_links[e].credits.pop_due(t) {
+            self.endpoints[e].receive_credit(credit.vc);
+        }
+        if !self.reference_stepping {
+            let base = 2 * self.net_links.len();
+            arm_line(&mut self.line_events, &self.inj_links[e].credits, inj_credit_id(base, e));
+        }
+    }
+
+    fn deliver_ej_flits(&mut self, t: u64, e: usize) {
+        let base = 2 * self.net_links.len();
+        let event = !self.reference_stepping;
+        while let Some(flit) = self.ej_links[e].flits.pop_due(t) {
+            self.endpoints[e].receive_flit(t, &flit);
+            self.in_flight -= 1;
+            // Endpoint consumes immediately; return the buffer slot.
+            push_line(
+                &mut self.ej_links[e].credits,
+                event.then(|| (&mut self.line_events, ej_credit_id(base, e))),
                 t,
-                process,
-                self.config.pattern,
-                &mut self.next_packet_id,
+                0,
+                Credit { vc: flit.vc },
             );
-            if let Some(flit) = self.endpoints[e].try_inject() {
-                self.inj_links[e].flits.push(t, 0, flit);
-                self.last_progress = t;
+            self.last_progress = t;
+        }
+        if event {
+            arm_line(&mut self.line_events, &self.ej_links[e].flits, ej_flit_id(base, e));
+        }
+    }
+
+    fn deliver_ej_credits(&mut self, t: u64, e: usize) {
+        let r = e / self.config.endpoints_per_router;
+        let port = self.routers[r].endpoint_port(e % self.config.endpoints_per_router);
+        while let Some(credit) = self.ej_links[e].credits.pop_due(t) {
+            self.routers[r].receive_credit(port, credit);
+        }
+        if !self.reference_stepping {
+            let base = 2 * self.net_links.len();
+            arm_line(&mut self.line_events, &self.ej_links[e].credits, ej_credit_id(base, e));
+        }
+    }
+
+    /// Decodes and processes one event-wheel entry.
+    fn dispatch_line_event(&mut self, t: u64, id: u32) {
+        let nl2 = 2 * self.net_links.len() as u32;
+        if id < nl2 {
+            let l = (id / 2) as usize;
+            if id.is_multiple_of(2) {
+                self.deliver_net_flits(t, l);
+            } else {
+                self.deliver_net_credits(t, l);
+            }
+        } else {
+            let k = id - nl2;
+            let e = (k / 4) as usize;
+            match k % 4 {
+                0 => self.deliver_inj_flits(t, e),
+                1 => self.deliver_inj_credits(t, e),
+                2 => self.deliver_ej_flits(t, e),
+                _ => self.deliver_ej_credits(t, e),
+            }
+        }
+    }
+
+    /// Runs both allocation phases for router `r` and routes its outputs
+    /// onto the links. Allocation-free in steady state: the router reuses
+    /// its own nomination/grant scratch and the simulator's `sent`/`credit`
+    /// buffers are recycled across calls.
+    fn service_router(&mut self, t: u64, r: usize) {
+        let epr = self.config.endpoints_per_router;
+        let ctx = RouteContext { tables: &self.tables, endpoints_per_router: epr };
+        self.routers[r].allocate_vcs(ctx);
+        let mut sent = std::mem::take(&mut self.sent_scratch);
+        let mut credits = std::mem::take(&mut self.credit_scratch);
+        self.routers[r].allocate_switch(&mut sent, &mut credits);
+        if !sent.is_empty() {
+            self.last_progress = t;
+        }
+        let pipeline = self.config.router_latency;
+        let num_net_ports = self.routers[r].num_net_ports();
+        let base = 2 * self.net_links.len();
+        let event = !self.reference_stepping;
+        for &SentFlit { out_port, flit } in &sent {
+            if out_port < num_net_ports {
+                let l = self.link_out[r][out_port];
+                self.link_flit_counts[l] += 1;
+                push_line(
+                    &mut self.net_links[l].flits,
+                    event.then(|| (&mut self.line_events, net_flit_id(l))),
+                    t,
+                    pipeline,
+                    flit,
+                );
+            } else {
+                let e = r * epr + (out_port - num_net_ports);
+                push_line(
+                    &mut self.ej_links[e].flits,
+                    event.then(|| (&mut self.line_events, ej_flit_id(base, e))),
+                    t,
+                    pipeline,
+                    flit,
+                );
+            }
+        }
+        for &SentCredit { in_port, credit } in &credits {
+            if in_port < num_net_ports {
+                let l = self.link_in[r][in_port];
+                push_line(
+                    &mut self.net_links[l].credits,
+                    event.then(|| (&mut self.line_events, net_credit_id(l))),
+                    t,
+                    0,
+                    credit,
+                );
+            } else {
+                let e = r * epr + (in_port - num_net_ports);
+                push_line(
+                    &mut self.inj_links[e].credits,
+                    event.then(|| (&mut self.line_events, inj_credit_id(base, e))),
+                    t,
+                    0,
+                    credit,
+                );
+            }
+        }
+        self.sent_scratch = sent;
+        self.credit_scratch = credits;
+    }
+
+    /// Fires endpoint `e`'s scheduled packet generation at `t` and
+    /// re-arms its next arrival.
+    fn generate_endpoint(&mut self, t: u64, e: usize) {
+        let process = self.injection_process();
+        let next = self.endpoints[e].generate_due(
+            t,
+            process,
+            self.config.pattern,
+            &mut self.next_packet_id,
+        );
+        if !self.reference_stepping {
+            if next != IDLE {
+                self.arrival_events.push(Reverse((next, e as u32)));
+            }
+            if !self.endpoints[e].is_drained() && !self.endpoint_injecting[e] {
+                self.endpoint_injecting[e] = true;
+                self.inject_list.push(e as u32);
+            }
+        }
+    }
+
+    /// Attempts one flit injection for endpoint `e` at `t`.
+    fn try_inject_endpoint(&mut self, t: u64, e: usize) {
+        if let Some(flit) = self.endpoints[e].try_inject() {
+            let base = 2 * self.net_links.len();
+            let event = !self.reference_stepping;
+            push_line(
+                &mut self.inj_links[e].flits,
+                event.then(|| (&mut self.line_events, inj_flit_id(base, e))),
+                t,
+                0,
+                flit,
+            );
+            self.in_flight += 1;
+            self.last_progress = t;
+        }
+    }
+
+    /// One event-driven cycle: deliveries due now, scheduled generations,
+    /// the active-router worklist, and backlogged injections.
+    fn step_event(&mut self) {
+        let t = self.cycle;
+
+        // ── 1. Deliver everything due on the event wheel ────────────────
+        let mut batch = std::mem::take(&mut self.wheel_scratch);
+        self.line_events.take_due(t, &mut batch);
+        for &id in &batch {
+            self.dispatch_line_event(t, id);
+        }
+        batch.clear();
+        self.wheel_scratch = batch;
+
+        // ── 2. Scheduled packet generations (ascending endpoint order
+        //       within the cycle: packet ids match the reference path) ───
+        while let Some(&Reverse((due, e))) = self.arrival_events.peek() {
+            if due > t {
+                break;
+            }
+            self.arrival_events.pop();
+            if !self.generation_stopped {
+                self.generate_endpoint(t, e as usize);
             }
         }
 
-        self.cycle += 1;
+        // ── 3. Allocation and traversal for active routers only ─────────
+        let mut i = 0;
+        while i < self.active_routers.len() {
+            let r = self.active_routers[i] as usize;
+            self.service_router(t, r);
+            if self.routers[r].has_buffered() {
+                i += 1;
+            } else {
+                self.router_active[r] = false;
+                self.active_routers.swap_remove(i);
+            }
+        }
+
+        // ── 4. Injection for backlogged endpoints only ──────────────────
+        let mut i = 0;
+        while i < self.inject_list.len() {
+            let e = self.inject_list[i] as usize;
+            self.try_inject_endpoint(t, e);
+            if self.endpoints[e].is_drained() {
+                self.endpoint_injecting[e] = false;
+                self.inject_list.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+
+        self.cycle = t + 1;
     }
 
-    /// Runs `cycles` simulation cycles.
+    /// One poll-every-cycle reference cycle: visits every link, router,
+    /// and endpoint unconditionally, driving the same operations as
+    /// [`Simulator::step_event`].
+    fn step_reference(&mut self) {
+        let t = self.cycle;
+        for l in 0..self.net_links.len() {
+            self.deliver_net_flits(t, l);
+            self.deliver_net_credits(t, l);
+        }
+        for e in 0..self.endpoints.len() {
+            self.deliver_inj_flits(t, e);
+            self.deliver_inj_credits(t, e);
+            self.deliver_ej_flits(t, e);
+            self.deliver_ej_credits(t, e);
+        }
+        for r in 0..self.routers.len() {
+            // Quiescent routers are skipped in both paths: with no
+            // buffered flit neither allocation phase can act, and skipping
+            // keeps the round-robin pointers bit-identical between paths.
+            if self.routers[r].has_buffered() {
+                self.service_router(t, r);
+            }
+        }
+        for e in 0..self.endpoints.len() {
+            if !self.generation_stopped && self.endpoints[e].next_arrival() == t {
+                self.generate_endpoint(t, e);
+            }
+            self.try_inject_endpoint(t, e);
+        }
+        self.cycle = t + 1;
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        if self.reference_stepping {
+            self.step_reference();
+        } else {
+            self.step_event();
+        }
+    }
+
+    /// The earliest cycle at which anything is scheduled to happen
+    /// ([`IDLE`] if nothing is).
+    fn next_event_cycle(&self) -> u64 {
+        let line = self.line_events.next_at_or_after(self.cycle);
+        let arrival = self.arrival_events.peek().map_or(IDLE, |&Reverse((due, _))| due);
+        line.min(arrival)
+    }
+
+    /// Runs `cycles` simulation cycles. Idle stretches (no active router,
+    /// no backlogged endpoint) fast-forward straight to the next scheduled
+    /// event — skipped cycles have nothing to do by construction, so
+    /// statistics are unaffected.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.step();
+        let target = self.cycle.saturating_add(cycles);
+        if self.reference_stepping {
+            while self.cycle < target {
+                self.step_reference();
+            }
+            return;
+        }
+        while self.cycle < target {
+            if self.active_routers.is_empty() && self.inject_list.is_empty() {
+                let next = self.next_event_cycle();
+                if next > self.cycle {
+                    self.cycle = next.min(target);
+                    if self.cycle >= target {
+                        break;
+                    }
+                }
+            }
+            self.step_event();
         }
     }
 
     /// Flits currently inside the network (router buffers + links in
-    /// flight), excluding source-queue backlogs.
+    /// flight), excluding source-queue backlogs. O(1): maintained
+    /// incrementally (+1 per injected flit, −1 per ejected one — buffer
+    /// and wire occupancy between those two points is conserved).
     #[must_use]
     pub fn flits_in_network(&self) -> usize {
+        debug_assert_eq!(
+            self.in_flight,
+            self.recount_flits_in_network(),
+            "incremental in-flight counter out of sync"
+        );
+        self.in_flight
+    }
+
+    /// O(routers + links) recount backing the `debug_assert` in
+    /// [`Simulator::flits_in_network`].
+    fn recount_flits_in_network(&self) -> usize {
         let buffered: usize = self.routers.iter().map(Router::buffered_flits).sum();
         let net: usize = self.net_links.iter().map(|l| l.flits.in_flight()).sum();
         let inj: usize = self.inj_links.iter().map(|l| l.flits.in_flight()).sum();
@@ -525,33 +928,70 @@ impl Simulator {
     /// longer latencies saturate into the top bucket (reported as that
     /// bucket's lower edge).
     ///
+    /// For several percentiles at once, prefer
+    /// [`Simulator::latency_percentiles`]: it merges the per-endpoint
+    /// histograms a single time instead of once per `p`.
+    ///
     /// # Panics
     ///
     /// Panics if `p` is outside `(0, 1]`.
     #[must_use]
     pub fn latency_percentile(&self, p: f64) -> Option<f64> {
-        assert!(p > 0.0 && p <= 1.0, "percentile must be in (0, 1]");
+        self.latency_percentiles(&[p])[0]
+    }
+
+    /// Latency percentile estimates for every `p` in `ps` (in matching
+    /// order), from a single merge of the per-endpoint histograms and a
+    /// single cumulative sweep. Entries are `None` when nothing was
+    /// measured; see [`Simulator::latency_percentile`] for resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `p` is outside `(0, 1]`.
+    #[must_use]
+    pub fn latency_percentiles(&self, ps: &[f64]) -> Vec<Option<f64>> {
+        for &p in ps {
+            assert!(p > 0.0 && p <= 1.0, "percentile must be in (0, 1]");
+        }
+        let mut out = vec![None; ps.len()];
+        let total: u64 = self.endpoints.iter().map(|e| e.stats().latency_count).sum();
+        if total == 0 || ps.is_empty() {
+            return out;
+        }
         let buckets = crate::endpoint::LATENCY_HISTOGRAM_BUCKETS;
         let mut merged = vec![0u64; buckets];
-        let mut total = 0u64;
         for e in &self.endpoints {
-            for (i, &c) in e.latency_histogram().iter().enumerate() {
-                merged[i] += u64::from(c);
-                total += u64::from(c);
+            for (m, &c) in merged.iter_mut().zip(e.latency_histogram()) {
+                *m += u64::from(c);
             }
         }
-        if total == 0 {
-            return None;
-        }
-        let target = (p * total as f64).ceil() as u64;
+        // One cumulative sweep serves every requested percentile in
+        // ascending target order.
+        let mut order: Vec<usize> = (0..ps.len()).collect();
+        order.sort_by(|&a, &b| ps[a].total_cmp(&ps[b]));
+        let mut k = 0;
         let mut seen = 0u64;
         for (latency, &count) in merged.iter().enumerate() {
             seen += count;
-            if seen >= target {
-                return Some(latency as f64);
+            while k < order.len() {
+                let idx = order[k];
+                let target = (ps[idx] * total as f64).ceil() as u64;
+                if seen < target {
+                    break;
+                }
+                out[idx] = Some(latency as f64);
+                k += 1;
+            }
+            if k == order.len() {
+                break;
             }
         }
-        Some((buckets - 1) as f64)
+        // p == 1.0 rounding can leave a straggler: saturate into the top
+        // bucket, matching the single-percentile behaviour.
+        for &idx in &order[k..] {
+            out[idx] = Some((buckets - 1) as f64);
+        }
+        out
     }
 
     /// Human-readable report of every router holding flits or bindings —
@@ -638,6 +1078,18 @@ impl Simulator {
         self.stats()
     }
 
+    /// `true` once nothing is left to move: no flit in the network and no
+    /// source-queue backlog. O(1) in event mode (incremental in-flight
+    /// counter + injection worklist).
+    fn fully_drained(&self) -> bool {
+        self.flits_in_network() == 0
+            && if self.reference_stepping {
+                self.endpoints.iter().all(Endpoint::is_drained)
+            } else {
+                self.inject_list.is_empty()
+            }
+    }
+
     /// Stops traffic generation and runs until the network drains or
     /// `max_cycles` pass. Returns `true` if fully drained.
     ///
@@ -646,13 +1098,139 @@ impl Simulator {
     /// at before the drain.
     pub fn drain(&mut self, max_cycles: u64) -> bool {
         self.generation_stopped = true;
-        for _ in 0..max_cycles {
-            if self.flits_in_network() == 0 && self.endpoints.iter().all(Endpoint::is_drained) {
+        let deadline = self.cycle.saturating_add(max_cycles);
+        while self.cycle < deadline {
+            if self.fully_drained() {
                 return true;
             }
             self.step();
         }
-        self.flits_in_network() == 0 && self.endpoints.iter().all(Endpoint::is_drained)
+        self.fully_drained()
+    }
+}
+
+// ── Event-wheel plumbing ────────────────────────────────────────────────
+//
+// Delay lines are identified by a dense `u32` id ordered exactly like the
+// reference path's polling order: net-link flit/credit wires first, then
+// per-endpoint injection/ejection wires. `base` is `2 × num_net_links`.
+
+/// A bucketed event wheel keyed on due cycle: slot `due % horizon` chains
+/// the ids of the delay lines whose front item is due then. Sound because
+/// a line's scheduling distance (`due − now` at scheduling time) is
+/// bounded by its latency plus the router pipeline, or its serialization
+/// interval — all strictly below `horizon` — so a slot never mixes cycles.
+///
+/// Slots are intrusive singly-linked lists threaded through a per-line
+/// `next` pointer: every line has at most one pending event, so one slot
+/// of pointer storage per line suffices and scheduling/draining never
+/// allocates — part of the hot path's zero-allocation contract.
+#[derive(Debug)]
+struct EventWheel {
+    /// Per slot: first line id in the chain, or `WHEEL_NONE`.
+    slot_head: Vec<u32>,
+    /// Per line id: next line in its slot's chain, or `WHEEL_NONE`.
+    next: Vec<u32>,
+    horizon: u64,
+    len: usize,
+}
+
+const WHEEL_NONE: u32 = u32::MAX;
+
+impl EventWheel {
+    fn new(horizon: u64, num_lines: usize) -> Self {
+        Self {
+            slot_head: vec![WHEEL_NONE; horizon as usize],
+            next: vec![WHEEL_NONE; num_lines],
+            horizon,
+            len: 0,
+        }
+    }
+
+    fn schedule(&mut self, due: u64, id: u32) {
+        let slot = (due % self.horizon) as usize;
+        self.next[id as usize] = self.slot_head[slot];
+        self.slot_head[slot] = id;
+        self.len += 1;
+    }
+
+    /// Earliest pending due cycle at or after `now`, or [`IDLE`].
+    fn next_at_or_after(&self, now: u64) -> u64 {
+        if self.len == 0 {
+            return IDLE;
+        }
+        for d in 0..self.horizon {
+            if self.slot_head[((now + d) % self.horizon) as usize] != WHEEL_NONE {
+                return now + d;
+            }
+        }
+        unreachable!("non-empty wheel with no slot inside the horizon");
+    }
+
+    /// Moves the ids due at `t` into `out` (cleared first).
+    fn take_due(&mut self, t: u64, out: &mut Vec<u32>) {
+        out.clear();
+        let slot = (t % self.horizon) as usize;
+        let mut id = self.slot_head[slot];
+        self.slot_head[slot] = WHEEL_NONE;
+        while id != WHEEL_NONE {
+            out.push(id);
+            id = self.next[id as usize];
+        }
+        self.len -= out.len();
+    }
+
+    fn clear(&mut self) {
+        self.slot_head.fill(WHEEL_NONE);
+        self.len = 0;
+    }
+}
+
+fn net_flit_id(l: usize) -> u32 {
+    (2 * l) as u32
+}
+fn net_credit_id(l: usize) -> u32 {
+    (2 * l + 1) as u32
+}
+fn inj_flit_id(base: usize, e: usize) -> u32 {
+    (base + 4 * e) as u32
+}
+fn inj_credit_id(base: usize, e: usize) -> u32 {
+    (base + 4 * e + 1) as u32
+}
+fn ej_flit_id(base: usize, e: usize) -> u32 {
+    (base + 4 * e + 2) as u32
+}
+fn ej_credit_id(base: usize, e: usize) -> u32 {
+    (base + 4 * e + 3) as u32
+}
+
+/// Arms the event wheel for `line` if anything is in flight (used when
+/// (re)building the wheel and after processing a line's deliveries).
+fn arm_line<T>(wheel: &mut EventWheel, line: &DelayLine<T>, id: u32) {
+    let due = line.next_due();
+    if due != IDLE {
+        wheel.schedule(due, id);
+    }
+}
+
+/// Pushes `item` onto `line`; when `events` is supplied (event-driven
+/// stepping) and the line was empty, schedules its new delivery on the
+/// wheel. Pushes to a non-empty line never change the front, so no entry
+/// is needed then — the line already has one.
+fn push_line<T>(
+    line: &mut DelayLine<T>,
+    events: Option<(&mut EventWheel, u32)>,
+    cycle: u64,
+    extra: u64,
+    item: T,
+) {
+    let was_empty = line.is_empty();
+    line.push(cycle, extra, item);
+    if was_empty {
+        if let Some((wheel, id)) = events {
+            wheel.schedule(line.next_due(), id);
+        }
     }
 }
 

@@ -178,6 +178,27 @@ pub struct InjectionProcess {
 pub struct ProcessState {
     /// Whether the modulating Markov chain is in the *on* state.
     pub on: bool,
+    /// Last cycle of the current on-window (inclusive); only meaningful
+    /// while `on` is `true`.
+    pub on_until: u64,
+}
+
+/// Samples a Geometric(p) count over `{0, 1, 2, …}`: the number of failed
+/// Bernoulli(p) trials before the first success. One RNG draw replaces the
+/// whole run of per-cycle coin flips (inverse-CDF skip-ahead).
+///
+/// `p` must be in `(0, 1)`; callers special-case `p <= 0` (never fires)
+/// and `p >= 1` (fires immediately).
+fn geometric_skip(p: f64, rng: &mut StdRng) -> u64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    // 1 - u is in (0, 1], so ln(1 - u) is finite and <= 0.
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let skip = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+    if skip >= u64::MAX as f64 {
+        u64::MAX / 4 // effectively "never" at simulation time scales
+    } else {
+        skip as u64
+    }
 }
 
 impl InjectionProcess {
@@ -187,24 +208,91 @@ impl InjectionProcess {
         Self { rate, packet_size, kind: ProcessKind::Bernoulli }
     }
 
-    /// One generation trial: `true` if a new packet should be generated this
-    /// cycle. The long-run *flit* rate equals `rate` for both process kinds.
-    pub fn fires(&self, state: &mut ProcessState, rng: &mut StdRng) -> bool {
-        let packet_rate = (self.rate / self.packet_size as f64).clamp(0.0, 1.0);
+    /// The per-cycle packet-generation probability implied by the flit
+    /// `rate` and `packet_size`.
+    #[must_use]
+    pub fn packet_rate(&self) -> f64 {
+        (self.rate / self.packet_size as f64).clamp(0.0, 1.0)
+    }
+
+    /// Samples the cycle of the next packet generation at or after `from`,
+    /// or `None` if the process never fires (zero rate, or an on/off chain
+    /// that can never turn on). One call replaces the per-cycle Bernoulli
+    /// trials of every cycle in `from..=arrival` — the generation sequence
+    /// has exactly the law of those per-cycle trials, but the simulator
+    /// only touches the endpoint at arrival cycles.
+    pub fn next_arrival(
+        &self,
+        from: u64,
+        state: &mut ProcessState,
+        rng: &mut StdRng,
+    ) -> Option<u64> {
+        let p = self.packet_rate();
+        if p <= 0.0 {
+            return None;
+        }
         match self.kind {
-            ProcessKind::Bernoulli => rng.gen_bool(packet_rate),
+            ProcessKind::Bernoulli => {
+                if p >= 1.0 {
+                    return Some(from);
+                }
+                Some(from.saturating_add(geometric_skip(p, rng)))
+            }
             ProcessKind::OnOff { alpha, beta } => {
-                // Advance the modulating chain, then fire at the boosted
-                // on-state rate. Long-run on-probability = alpha/(alpha+beta).
-                let transition = if state.on { beta } else { alpha };
-                if rng.gen_bool(transition.clamp(0.0, 1.0)) {
-                    state.on = !state.on;
-                }
-                if !state.on {
-                    return false;
-                }
                 let on_fraction = alpha / (alpha + beta);
-                rng.gen_bool((packet_rate / on_fraction).clamp(0.0, 1.0))
+                let q = (p / on_fraction).clamp(0.0, 1.0);
+                if q <= 0.0 {
+                    return None;
+                }
+                let mut t = from;
+                loop {
+                    if state.on && t > state.on_until {
+                        // The cycle right after the window hosts the
+                        // off-transition itself (the beta draw succeeded
+                        // there, consuming that cycle's single transition
+                        // trial), so the first off→on trial is one cycle
+                        // later — off sojourns are 1 + Geometric(alpha)
+                        // cycles, exactly as in per-cycle simulation.
+                        state.on = false;
+                        t = t.max(state.on_until.saturating_add(2));
+                    }
+                    if !state.on {
+                        // Off dwell: the chain turns on after a
+                        // Geometric(alpha) number of off-state trials, and
+                        // may fire in the turn-on cycle itself (matching
+                        // the transition-then-fire order of per-cycle
+                        // simulation). The on-window length is
+                        // 1 + Geometric(beta) cycles.
+                        if alpha <= 0.0 {
+                            return None;
+                        }
+                        let start = if alpha >= 1.0 {
+                            t
+                        } else {
+                            t.saturating_add(geometric_skip(alpha, rng))
+                        };
+                        let dwell = if beta >= 1.0 {
+                            0
+                        } else if beta <= 0.0 {
+                            u64::MAX / 4
+                        } else {
+                            geometric_skip(beta, rng)
+                        };
+                        state.on = true;
+                        state.on_until = start.saturating_add(dwell);
+                        t = start;
+                    }
+                    // Next fire attempt success within the on-window?
+                    let fire =
+                        if q >= 1.0 { t } else { t.saturating_add(geometric_skip(q, rng)) };
+                    if fire <= state.on_until {
+                        return Some(fire);
+                    }
+                    // Window exhausted without a fire: resume just past it
+                    // and let the expiry branch above consume the
+                    // off-transition cycle.
+                    t = state.on_until.saturating_add(1);
+                }
             }
         }
     }
@@ -349,13 +437,27 @@ mod tests {
         }
     }
 
+    /// All arrival cycles in `0..horizon` produced by skip-ahead sampling.
+    fn arrivals(proc: &InjectionProcess, horizon: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = ProcessState::default();
+        let mut out = Vec::new();
+        let mut from = 0u64;
+        while let Some(t) = proc.next_arrival(from, &mut state, &mut rng) {
+            if t >= horizon {
+                break;
+            }
+            out.push(t);
+            from = t + 1;
+        }
+        out
+    }
+
     #[test]
     fn injection_rate_statistics() {
-        let mut rng = StdRng::seed_from_u64(5);
         let proc = InjectionProcess::bernoulli(0.4, 4);
-        let mut state = ProcessState::default();
         let trials = 200_000;
-        let fires = (0..trials).filter(|_| proc.fires(&mut state, &mut rng)).count();
+        let fires = arrivals(&proc, trials, 5).len();
         let expected = trials as f64 * 0.1;
         let tolerance = expected * 0.05;
         assert!(
@@ -365,24 +467,39 @@ mod tests {
     }
 
     #[test]
+    fn arrivals_are_strictly_increasing_and_skip_ahead() {
+        let proc = InjectionProcess::bernoulli(0.02, 4);
+        let cycles = arrivals(&proc, 100_000, 17);
+        assert!(cycles.windows(2).all(|w| w[0] < w[1]));
+        // Mean gap at packet rate 0.005 is 200 cycles: skip-ahead must
+        // produce far fewer samples than cycles.
+        assert!(cycles.len() < 1_000, "{} arrivals", cycles.len());
+        assert!(cycles.len() > 200, "{} arrivals", cycles.len());
+    }
+
+    #[test]
+    fn full_rate_fires_every_cycle() {
+        let proc = InjectionProcess::bernoulli(1.0, 1);
+        assert_eq!(arrivals(&proc, 50, 9), (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
     fn zero_rate_never_fires() {
         let mut rng = StdRng::seed_from_u64(6);
         let proc = InjectionProcess::bernoulli(0.0, 4);
         let mut state = ProcessState::default();
-        assert!((0..1000).all(|_| !proc.fires(&mut state, &mut rng)));
+        assert_eq!(proc.next_arrival(0, &mut state, &mut rng), None);
     }
 
     #[test]
     fn onoff_preserves_average_rate() {
-        let mut rng = StdRng::seed_from_u64(7);
         let proc = InjectionProcess {
             rate: 0.2,
             packet_size: 2,
             kind: ProcessKind::OnOff { alpha: 0.01, beta: 0.03 },
         };
-        let mut state = ProcessState::default();
         let trials = 400_000;
-        let fires = (0..trials).filter(|_| proc.fires(&mut state, &mut rng)).count();
+        let fires = arrivals(&proc, trials, 7).len();
         let expected = trials as f64 * 0.1; // 0.2 flits / 2 flits-per-packet
         let tolerance = expected * 0.08; // bursty: wider tolerance
         assert!(
@@ -395,22 +512,47 @@ mod tests {
     fn onoff_is_bursty() {
         // Compare the variance of per-window packet counts: on/off must be
         // burstier than Bernoulli at the same rate.
-        let window = 100;
-        let windows = 2_000;
+        let window = 100u64;
+        let windows = 2_000u64;
         let count_variance = |kind: ProcessKind, seed: u64| -> f64 {
-            let mut rng = StdRng::seed_from_u64(seed);
             let proc = InjectionProcess { rate: 0.2, packet_size: 1, kind };
-            let mut state = ProcessState::default();
-            let counts: Vec<f64> = (0..windows)
-                .map(|_| {
-                    (0..window).filter(|_| proc.fires(&mut state, &mut rng)).count() as f64
-                })
-                .collect();
+            let mut counts = vec![0f64; windows as usize];
+            for t in arrivals(&proc, window * windows, seed) {
+                counts[(t / window) as usize] += 1.0;
+            }
             let mean = counts.iter().sum::<f64>() / counts.len() as f64;
             counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64
         };
         let bernoulli = count_variance(ProcessKind::Bernoulli, 8);
         let onoff = count_variance(ProcessKind::OnOff { alpha: 0.02, beta: 0.05 }, 8);
         assert!(onoff > 2.0 * bernoulli, "onoff {onoff} vs bernoulli {bernoulli}");
+    }
+
+    #[test]
+    fn onoff_rate_exact_at_high_transition_rates() {
+        // alpha = beta = 0.5: off sojourns are 1 + Geometric(0.5) cycles
+        // (the off-transition consumes a cycle). Dropping that mandatory
+        // cycle would inflate the measured rate by 4/3 here, far outside
+        // this tolerance — a regression guard on the skip-ahead law.
+        let proc = InjectionProcess {
+            rate: 0.2,
+            packet_size: 1,
+            kind: ProcessKind::OnOff { alpha: 0.5, beta: 0.5 },
+        };
+        let trials = 1_000_000;
+        let measured = arrivals(&proc, trials, 11).len() as f64 / trials as f64;
+        assert!((measured - 0.2).abs() < 0.01, "rate {measured} vs configured 0.2");
+    }
+
+    #[test]
+    fn onoff_never_on_with_zero_alpha() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let proc = InjectionProcess {
+            rate: 0.5,
+            packet_size: 1,
+            kind: ProcessKind::OnOff { alpha: 0.0, beta: 0.1 },
+        };
+        let mut state = ProcessState::default();
+        assert_eq!(proc.next_arrival(0, &mut state, &mut rng), None);
     }
 }
