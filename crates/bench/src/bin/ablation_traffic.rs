@@ -9,35 +9,39 @@
 //! fifteen saturation searches run concurrently on the pool.
 //!
 //! Usage: `cargo run --release -p hexamesh-bench --bin ablation_traffic
-//! [--n N] [--quick] [--workers W] [--seeds K] [--out DIR] [--format F]`
-//! Writes `results/ablation_traffic.{csv,json}`.
+//! [--n N] [--patterns uniform,bitcomp,...] [--quick] [--workers W]
+//! [--seeds K] [--out DIR] [--format F]`
+//! Writes `results/ablation_traffic.{csv,json}`. Patterns parse through
+//! the shared `xp::cli::arg_list` layer (strict: malformed names abort).
 
 use hexamesh::arrangement::{Arrangement, ArrangementKind};
 use hexamesh_bench::csv::{f3, Table};
 use hexamesh_bench::sweep::{self, mean_of};
 use nocsim::{measure, SimConfig, TrafficPattern};
+use xp::cli::arg_list;
 use xp::grid::Scenario;
 use xp::json::Value;
 use xp::{Campaign, CampaignArgs};
 
-const PATTERNS: [(&str, TrafficPattern); 5] = [
-    ("uniform", TrafficPattern::UniformRandom),
-    ("bitcomp", TrafficPattern::BitComplement),
-    ("bitrev", TrafficPattern::BitReverse),
-    ("tornado", TrafficPattern::Tornado),
-    ("hotspot", TrafficPattern::Hotspot { num_hotspots: 4, fraction_permille: 500 }),
+/// The historical default sweep: benign baseline + four adversaries.
+const DEFAULT_PATTERNS: [TrafficPattern; 5] = [
+    TrafficPattern::UniformRandom,
+    TrafficPattern::BitComplement,
+    TrafficPattern::BitReverse,
+    TrafficPattern::Tornado,
+    TrafficPattern::Hotspot { num_hotspots: 4, fraction_permille: 500 },
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let n = sweep::arg_usize(&args, "--n", 37);
+    let patterns = arg_list::<TrafficPattern>(&args, "--patterns", &DEFAULT_PATTERNS);
     let campaign = Campaign::new("ablation_traffic", CampaignArgs::parse(&args));
     let schedule = sweep::schedule_for(campaign.args());
 
     // Scenario expands kind-outermost (kind → n → rate → pattern →
     // replicate); the sort below restores the historical pattern-major
     // row order after aggregation.
-    let patterns: Vec<TrafficPattern> = PATTERNS.iter().map(|&(_, p)| p).collect();
     let scenario = Scenario::new(&ArrangementKind::EVALUATED, &[n]).with_patterns(&patterns);
     let results = campaign.run_grid(&scenario, |job| {
         let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
@@ -80,11 +84,11 @@ fn main() {
         })
         .collect();
     let pattern_rank =
-        |p: TrafficPattern| PATTERNS.iter().position(|&(_, q)| q == p).unwrap_or(usize::MAX);
+        |p: TrafficPattern| patterns.iter().position(|&q| q == p).unwrap_or(usize::MAX);
     by_point.sort_by_key(|&(p, k, _, _)| (pattern_rank(p), sweep::evaluated_rank(k)));
 
     for (pattern, kind, zero_load, sat) in &by_point {
-        let pattern_name = PATTERNS[pattern_rank(*pattern)].0;
+        let pattern_name = pattern.name();
         let grid_sat = by_point
             .iter()
             .find(|(p, k, _, _)| p == pattern && *k == ArrangementKind::Grid)
@@ -111,10 +115,8 @@ fn main() {
 
     let mut config = Value::object();
     config.set("n", n);
-    config.set(
-        "patterns",
-        Value::Arr(PATTERNS.iter().map(|&(name, _)| Value::from(name)).collect()),
-    );
+    config
+        .set("patterns", Value::Arr(patterns.iter().map(|p| Value::from(p.name())).collect()));
     let written = campaign.finish(&table, config).expect("results dir writable");
     for path in written {
         println!("wrote {}", path.display());

@@ -16,13 +16,19 @@
 //! column downstream if you only want the stable branch.
 //!
 //! Usage: `cargo run --release -p hexamesh-bench --bin load_curves
-//! [--n N] [--workers W] [--seeds K] [--out DIR] [--format csv|json|both]`
-//! Writes `results/load_curves.{csv,json}`.
+//! [--n N] [--patterns uniform,tornado,...] [--workers W] [--seeds K]
+//! [--out DIR] [--format csv|json|both]`
+//! Writes `results/load_curves.{csv,json}`. Patterns parse through the
+//! shared `xp::cli::arg_list` layer (strict: malformed names abort);
+//! the default single-pattern sweep is the historical uniform-random
+//! curve. Each row also reports the endpoint source-queue occupancy
+//! (max + mean) — the congestion signal that rises past the knee.
 
 use hexamesh::arrangement::{Arrangement, ArrangementKind};
 use hexamesh_bench::csv::{f3, Table};
 use hexamesh_bench::sweep::{self, mean_of};
-use nocsim::{SimConfig, Simulator};
+use nocsim::{SimConfig, Simulator, TrafficPattern};
+use xp::cli::arg_list;
 use xp::grid::Scenario;
 use xp::json::Value;
 use xp::{Campaign, CampaignArgs};
@@ -34,11 +40,15 @@ struct Point {
     p50: f64,
     p95: f64,
     p99: f64,
+    queue_max: u64,
+    queue_mean: f64,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let n = sweep::arg_usize(&args, "--n", 37);
+    let patterns =
+        arg_list::<TrafficPattern>(&args, "--patterns", &[TrafficPattern::UniformRandom]);
     let campaign = Campaign::new("load_curves", CampaignArgs::parse(&args));
     // Per-point simulation windows: the historical 4k/8k by default,
     // shortened by --quick, paper-scale under --full.
@@ -51,12 +61,15 @@ fn main() {
     };
 
     let rates: Vec<f64> = (1..=12u32).map(|step| f64::from(step) * 0.04).collect();
-    let scenario = Scenario::new(&ArrangementKind::EVALUATED, &[n]).with_rates(&rates);
+    let scenario = Scenario::new(&ArrangementKind::EVALUATED, &[n])
+        .with_rates(&rates)
+        .with_patterns(&patterns);
 
     let results = campaign.run_grid(&scenario, |job| {
         let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
         let config = SimConfig {
             injection_rate: job.rate.expect("rate axis set"),
+            pattern: job.pattern,
             seed: job.seed,
             ..SimConfig::paper_defaults()
         };
@@ -70,53 +83,76 @@ fn main() {
             p50: tails[0].unwrap_or(f64::NAN),
             p95: tails[1].unwrap_or(f64::NAN),
             p99: tails[2].unwrap_or(f64::NAN),
+            queue_max: stats.max_source_queue_flits,
+            queue_mean: stats.avg_source_queue_flits,
         }
     });
 
     let mut table = Table::new(&[
         "n",
         "kind",
+        "pattern",
         "offered_flits_per_cycle",
         "accepted_flits_per_cycle",
         "avg_latency_cycles",
         "p50_latency_cycles",
         "p95_latency_cycles",
         "p99_latency_cycles",
+        "max_source_queue_flits",
+        "mean_source_queue_flits",
     ]);
 
-    println!("Latency/load curves at N = {n} (uniform random, paper §VI-A config):");
+    println!("Latency/load curves at N = {n} (paper §VI-A config):");
     println!(
-        "{:<4} {:>8} {:>9} {:>9} {:>8} {:>8} {:>8}",
-        "kind", "offered", "accepted", "avg lat", "p50", "p95", "p99"
+        "{:<4} {:<10} {:>8} {:>9} {:>9} {:>8} {:>8} {:>8} {:>7} {:>8}",
+        "kind",
+        "pattern",
+        "offered",
+        "accepted",
+        "avg lat",
+        "p50",
+        "p95",
+        "p99",
+        "max q",
+        "mean q"
     );
-    // Replicates of one (kind, rate) point are adjacent in grid order;
-    // aggregate each chunk to the replicate mean.
+    // Replicates of one (kind, rate, pattern) point are adjacent in grid
+    // order; aggregate each chunk to the replicate mean.
     let k = campaign.args().seeds.max(1) as usize;
     for chunk in results.chunks(k) {
         let job = chunk[0].0;
         let of = |f: fn(&Point) -> f64| mean_of(chunk, |(_, p)| f(p));
         let rate = job.rate.expect("rate axis set");
+        let pattern_name = job.pattern.name();
         let (accepted, avg) = (of(|p| p.accepted), of(|p| p.avg));
         let (p50, p95, p99) = (of(|p| p.p50), of(|p| p.p95), of(|p| p.p99));
+        let queue_max = chunk.iter().map(|(_, p)| p.queue_max).max().unwrap_or(0);
+        let queue_mean = of(|p| p.queue_mean);
         println!(
-            "{:<4} {:>8.2} {:>9.3} {:>9.1} {:>8.0} {:>8.0} {:>8.0}",
+            "{:<4} {:<10} {:>8.2} {:>9.3} {:>9.1} {:>8.0} {:>8.0} {:>8.0} {:>7} {:>8.2}",
             job.kind.label(),
+            pattern_name,
             rate,
             accepted,
             avg,
             p50,
             p95,
-            p99
+            p99,
+            queue_max,
+            queue_mean
         );
         table.row(&[
             &n,
             &job.kind.label(),
+            &pattern_name,
             &f3(rate),
             &f3(accepted),
             &f3(avg),
             &f3(p50),
             &f3(p95),
             &f3(p99),
+            &queue_max,
+            &f3(queue_mean),
         ]);
     }
 
@@ -124,6 +160,8 @@ fn main() {
     config.set("n", n);
     config.set("warmup_cycles", warmup);
     config.set("measure_cycles", measure);
+    config
+        .set("patterns", Value::Arr(patterns.iter().map(|p| Value::from(p.name())).collect()));
     let written = campaign.finish(&table, config).expect("results dir writable");
     for path in written {
         println!("wrote {}", path.display());

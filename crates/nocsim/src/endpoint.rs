@@ -11,6 +11,12 @@
 //! [`InjectionProcess::next_arrival`] (geometric skip-ahead) and is only
 //! touched at those cycles — the key to the simulator's O(active
 //! components) stepping.
+//!
+//! Closed-loop drivers (the workload engine) bypass the stochastic
+//! generator entirely: [`Endpoint::offer_packet`] enqueues one explicit
+//! packet, and the source-queue occupancy integral ([`Endpoint::
+//! queue_occupancy`]) is maintained incrementally at queue mutations so
+//! per-cycle sampling is never needed.
 
 use std::collections::VecDeque;
 
@@ -63,6 +69,15 @@ pub struct Endpoint {
     latency_histogram: Vec<u32>,
     /// Cycle at which the measurement window opened (`u64::MAX` = closed).
     window_start: u64,
+    /// Time-weighted source-queue occupancy integral (Σ flits · cycles)
+    /// since the window opened, maintained incrementally at every queue
+    /// mutation — exact even across idle fast-forward, because a skipped
+    /// stretch never mutates any queue.
+    queue_integral: u64,
+    /// Largest source-queue occupancy (flits) seen inside the window.
+    queue_max: u64,
+    /// Cycle of the last occupancy-integral update.
+    queue_mark: u64,
 }
 
 /// Number of exact buckets in the per-endpoint latency histogram.
@@ -101,6 +116,9 @@ impl Endpoint {
             stats: EndpointStats::default(),
             latency_histogram: Vec::new(),
             window_start: u64::MAX,
+            queue_integral: 0,
+            queue_max: 0,
+            queue_mark: 0,
         }
     }
 
@@ -120,6 +138,27 @@ impl Endpoint {
         self.stats = EndpointStats::default();
         self.latency_histogram.clear();
         self.latency_histogram.resize(LATENCY_HISTOGRAM_BUCKETS, 0);
+        self.queue_integral = 0;
+        self.queue_max = self.source_queue.len() as u64;
+        self.queue_mark = cycle;
+    }
+
+    /// Advances the occupancy integral to `now` at the current queue
+    /// length. Call *before* any queue mutation.
+    fn note_queue(&mut self, now: u64) {
+        let len = self.source_queue.len() as u64;
+        self.queue_integral += len * (now - self.queue_mark);
+        self.queue_mark = now;
+    }
+
+    /// Source-queue occupancy over the measurement window, finalized at
+    /// `now`: `(max_flits, flit_cycles)` where `flit_cycles` is the
+    /// time-weighted integral Σ len·dt — divide by the window length for
+    /// the mean occupancy. Both reset when a window opens.
+    #[must_use]
+    pub fn queue_occupancy(&self, now: u64) -> (u64, u64) {
+        let len = self.source_queue.len() as u64;
+        (self.queue_max, self.queue_integral + len * (now - self.queue_mark))
     }
 
     /// Histogram of measured packet latencies. Empty until a measurement
@@ -174,15 +213,7 @@ impl Endpoint {
         }
         if self.source_queue.len() + process.packet_size <= self.source_queue_cap_flits {
             let dest = pattern.destination(self.id, self.num_endpoints, &mut self.rng);
-            let packet = Packet {
-                id: *next_packet_id,
-                src: self.id,
-                dest,
-                size_flits: process.packet_size,
-                created_at: cycle,
-            };
-            *next_packet_id += 1;
-            self.source_queue.extend(packet.flits());
+            self.enqueue(cycle, dest, process.packet_size, next_packet_id);
             if cycle >= self.window_start {
                 self.stats.accepted_packets += 1;
             }
@@ -191,9 +222,63 @@ impl Endpoint {
         self.next_arrival
     }
 
-    /// Attempts to inject one flit this cycle. Returns the flit to place on
-    /// the injection link, or `None` if blocked (no flit, or no credit).
-    pub fn try_inject(&mut self) -> Option<Flit> {
+    /// Offers one explicit packet to the source queue at `cycle` — the
+    /// closed-loop entry point workload drivers use instead of the
+    /// stochastic generator. Returns the assigned packet id, or `None`
+    /// when the source queue cannot take `size_flits` more flits (the
+    /// caller retries once the queue drains).
+    ///
+    /// Statistics: a refusal is *not* counted as an offered packet —
+    /// closed-loop callers re-offer the same logical message until it
+    /// fits, so counting attempts would inflate the offered load by the
+    /// retry count. Offered and accepted both increment exactly once, on
+    /// acceptance.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics on self-traffic or a zero-length packet.
+    pub fn offer_packet(
+        &mut self,
+        cycle: u64,
+        dest: EndpointId,
+        size_flits: usize,
+        next_packet_id: &mut PacketId,
+    ) -> Option<PacketId> {
+        debug_assert_ne!(dest, self.id, "self-traffic does not exercise the interconnect");
+        debug_assert!(size_flits >= 1, "packets need at least one flit");
+        if self.source_queue.len() + size_flits > self.source_queue_cap_flits {
+            return None;
+        }
+        let id = self.enqueue(cycle, dest, size_flits, next_packet_id);
+        if cycle >= self.window_start {
+            self.stats.offered_packets += 1;
+            self.stats.accepted_packets += 1;
+        }
+        Some(id)
+    }
+
+    /// Segments one packet into the source queue, maintaining the
+    /// occupancy integral. Capacity was checked by the caller.
+    fn enqueue(
+        &mut self,
+        cycle: u64,
+        dest: EndpointId,
+        size_flits: usize,
+        next_packet_id: &mut PacketId,
+    ) -> PacketId {
+        let packet =
+            Packet { id: *next_packet_id, src: self.id, dest, size_flits, created_at: cycle };
+        *next_packet_id += 1;
+        self.note_queue(cycle);
+        self.source_queue.extend(packet.flits());
+        self.queue_max = self.queue_max.max(self.source_queue.len() as u64);
+        packet.id
+    }
+
+    /// Attempts to inject one flit at cycle `now`. Returns the flit to
+    /// place on the injection link, or `None` if blocked (no flit, or no
+    /// credit).
+    pub fn try_inject(&mut self, now: u64) -> Option<Flit> {
         let head = *self.source_queue.front()?;
         let vc = match self.bound_vc {
             Some(vc) => vc,
@@ -210,6 +295,7 @@ impl Endpoint {
         if self.credits[vc] == 0 {
             return None;
         }
+        self.note_queue(now);
         let mut flit = self.source_queue.pop_front().expect("checked above");
         flit.vc = vc;
         self.credits[vc] -= 1;
@@ -292,9 +378,9 @@ mod tests {
         // Force generation by running many cycles at rate 1.0.
         drive(&mut e, process(1.0), 8, &mut id);
         assert!(id > 0);
-        let f0 = e.try_inject().expect("credit available");
+        let f0 = e.try_inject(100).expect("credit available");
         assert!(f0.is_head);
-        let f1 = e.try_inject().expect("credit available");
+        let f1 = e.try_inject(100).expect("credit available");
         assert_eq!(f1.packet, f0.packet);
         assert!(f1.is_tail);
         assert_eq!(f1.vc, f0.vc, "a packet stays on its bound VC");
@@ -307,13 +393,13 @@ mod tests {
         drive(&mut e, process(1.0), 20, &mut id);
         // Drain all credits: 2 VCs x 4 slots = 8 flits.
         let mut sent = 0;
-        while e.try_inject().is_some() {
+        while e.try_inject(100).is_some() {
             sent += 1;
         }
         assert_eq!(sent, 8);
         e.receive_credit(0);
-        assert!(e.try_inject().is_some());
-        assert!(e.try_inject().is_none());
+        assert!(e.try_inject(100).is_some());
+        assert!(e.try_inject(100).is_none());
     }
 
     #[test]

@@ -44,5 +44,5 @@ pub mod traffic;
 
 pub use measure::{LoadPointResult, MeasureConfig, SaturationResult};
 pub use routing::{RoutingError, RoutingKind};
-pub use sim::{LinkSpec, NetworkStats, SimConfig, SimError, Simulator};
+pub use sim::{Delivery, LinkSpec, NetworkStats, SimConfig, SimError, Simulator};
 pub use traffic::TrafficPattern;

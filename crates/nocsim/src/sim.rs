@@ -147,6 +147,25 @@ pub struct NetworkStats {
     pub accepted_flits_per_cycle_per_endpoint: f64,
     /// Offered load in flits/cycle/endpoint (from generation counters).
     pub offered_flits_per_cycle_per_endpoint: f64,
+    /// Largest source-queue occupancy (flits) any endpoint reached inside
+    /// the window — the congestion signal closed-loop runs watch.
+    pub max_source_queue_flits: u64,
+    /// Mean source-queue occupancy in flits, averaged over time and over
+    /// endpoints (time-weighted integral / window / endpoints).
+    pub avg_source_queue_flits: f64,
+}
+
+/// One delivered packet, reported through the delivery log
+/// ([`Simulator::take_deliveries`]): closed-loop drivers use this to
+/// resolve message dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// Packet id (assigned at generation/offer time).
+    pub packet: PacketId,
+    /// Destination endpoint the tail flit arrived at.
+    pub dest: usize,
+    /// Cycle of tail-flit arrival.
+    pub cycle: u64,
 }
 
 /// Physical properties of one directed router-to-router link, for
@@ -240,6 +259,13 @@ pub struct Simulator {
     credit_scratch: Vec<SentCredit>,
     /// Forced poll-every-cycle stepping (the golden-test reference path).
     reference_stepping: bool,
+    /// When enabled, tail-flit arrivals are appended here until drained by
+    /// [`Simulator::take_deliveries`]. Preallocated to one delivery per
+    /// endpoint — the per-cycle bound, which is also the log's high-water
+    /// mark when the caller drains at delivery granularity
+    /// ([`Simulator::run_until_deliveries`]).
+    delivery_log: Vec<Delivery>,
+    log_deliveries: bool,
 }
 
 // The experiment engine (`crates/xp`) moves simulators onto worker
@@ -391,6 +417,8 @@ impl Simulator {
             sent_scratch: Vec::with_capacity(max_ports),
             credit_scratch: Vec::with_capacity(max_ports),
             reference_stepping: false,
+            delivery_log: Vec::with_capacity(num_endpoints),
+            log_deliveries: false,
         };
         let process = sim.injection_process();
         for e in &mut sim.endpoints {
@@ -564,6 +592,9 @@ impl Simulator {
         while let Some(flit) = self.ej_links[e].flits.pop_due(t) {
             self.endpoints[e].receive_flit(t, &flit);
             self.in_flight -= 1;
+            if self.log_deliveries && flit.is_tail {
+                self.delivery_log.push(Delivery { packet: flit.packet, dest: e, cycle: t });
+            }
             // Endpoint consumes immediately; return the buffer slot.
             push_line(
                 &mut self.ej_links[e].credits,
@@ -701,7 +732,7 @@ impl Simulator {
 
     /// Attempts one flit injection for endpoint `e` at `t`.
     fn try_inject_endpoint(&mut self, t: u64, e: usize) {
-        if let Some(flit) = self.endpoints[e].try_inject() {
+        if let Some(flit) = self.endpoints[e].try_inject(t) {
             let base = 2 * self.net_links.len();
             let event = !self.reference_stepping;
             push_line(
@@ -846,6 +877,94 @@ impl Simulator {
         }
     }
 
+    // ── Closed-loop driver interface ────────────────────────────────────
+    //
+    // Workload engines (crates/workload) bypass the stochastic traffic
+    // generator: they offer explicit packets when dependencies resolve and
+    // observe tail-flit deliveries through the delivery log. The hot path
+    // is unchanged — offers land in the same source queues, and deliveries
+    // are recorded inside the existing ejection handler.
+
+    /// Enables (or disables) the delivery log. While enabled, every
+    /// tail-flit arrival is recorded until drained with
+    /// [`Simulator::take_deliveries`]; drain at delivery granularity
+    /// (see [`Simulator::run_until_deliveries`]) to keep the log inside
+    /// its preallocated capacity.
+    pub fn set_delivery_log(&mut self, on: bool) {
+        self.log_deliveries = on;
+        if !on {
+            self.delivery_log.clear();
+        }
+    }
+
+    /// Moves all logged deliveries into `out` (appended in arrival order;
+    /// ties broken by endpoint id, matching the reference path's polling
+    /// order). Allocation-free when `out` has capacity.
+    pub fn take_deliveries(&mut self, out: &mut Vec<Delivery>) {
+        out.append(&mut self.delivery_log);
+    }
+
+    /// Offers one explicit packet at the current cycle: `size_flits` flits
+    /// from endpoint `src` to endpoint `dest`. Returns the assigned packet
+    /// id, or `None` when `src`'s source queue cannot take the packet —
+    /// the caller retries after the queue drains (deliveries are the
+    /// natural wake-up).
+    ///
+    /// The packet's `created_at` is the current cycle, so closed-loop
+    /// packets are measured by the normal latency machinery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`dest` are out of range, equal, or `size_flits`
+    /// is 0.
+    pub fn offer_packet(
+        &mut self,
+        src: usize,
+        dest: usize,
+        size_flits: usize,
+    ) -> Option<PacketId> {
+        assert!(src < self.endpoints.len(), "source endpoint out of range");
+        assert!(dest < self.endpoints.len(), "destination endpoint out of range");
+        assert_ne!(src, dest, "self-traffic does not exercise the interconnect");
+        assert!(size_flits >= 1, "packets need at least one flit");
+        let t = self.cycle;
+        let id =
+            self.endpoints[src].offer_packet(t, dest, size_flits, &mut self.next_packet_id)?;
+        if !self.reference_stepping && !self.endpoint_injecting[src] {
+            self.endpoint_injecting[src] = true;
+            self.inject_list.push(src as u32);
+        }
+        Some(id)
+    }
+
+    /// Runs until the delivery log is non-empty or `target` (an absolute
+    /// cycle) is reached, fast-forwarding idle stretches exactly like
+    /// [`Simulator::run`]. Returns `true` when deliveries are pending in
+    /// the log.
+    ///
+    /// This is the closed-loop driver's pacing primitive: it wakes the
+    /// driver at each dependency resolution (a delivery) and at its own
+    /// scheduled injection times (`target`), without ever polling cycles
+    /// in between.
+    pub fn run_until_deliveries(&mut self, target: u64) -> bool {
+        while self.cycle < target && self.delivery_log.is_empty() {
+            if !self.reference_stepping
+                && self.active_routers.is_empty()
+                && self.inject_list.is_empty()
+            {
+                let next = self.next_event_cycle();
+                if next > self.cycle {
+                    self.cycle = next.min(target);
+                    if self.cycle >= target {
+                        break;
+                    }
+                }
+            }
+            self.step();
+        }
+        !self.delivery_log.is_empty()
+    }
+
     /// Flits currently inside the network (router buffers + links in
     /// flight), excluding source-queue backlogs. O(1): maintained
     /// incrementally (+1 per injected flit, −1 per ejected one — buffer
@@ -894,6 +1013,8 @@ impl Simulator {
         let mut measured = 0;
         let mut latency_sum = 0u64;
         let mut latency_max = 0u64;
+        let mut queue_max = 0u64;
+        let mut queue_integral = 0u64;
         for e in &self.endpoints {
             let s = e.stats();
             offered_packets += s.offered_packets;
@@ -903,6 +1024,9 @@ impl Simulator {
             measured += s.latency_count;
             latency_sum += s.latency_sum;
             latency_max = latency_max.max(s.latency_max);
+            let (m, integral) = e.queue_occupancy(self.cycle);
+            queue_max = queue_max.max(m);
+            queue_integral += integral;
         }
         let denom = (window_cycles.max(1) as f64) * self.endpoints.len() as f64;
         NetworkStats {
@@ -919,6 +1043,8 @@ impl Simulator {
                 * self.config.packet_size as u64)
                 as f64
                 / denom,
+            max_source_queue_flits: queue_max,
+            avg_source_queue_flits: queue_integral as f64 / denom,
         }
     }
 

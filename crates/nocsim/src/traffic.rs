@@ -46,6 +46,24 @@ pub enum TrafficPattern {
 }
 
 impl TrafficPattern {
+    /// Canonical name, as accepted by the [`FromStr`] parser: `uniform`,
+    /// `complement`, `shift:K`, `bitcomp`, `bitrev`, `tornado`,
+    /// `hotspot:H:PERMILLE`. Round-trips through `parse`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match *self {
+            TrafficPattern::UniformRandom => "uniform".to_owned(),
+            TrafficPattern::Complement => "complement".to_owned(),
+            TrafficPattern::NeighborShift { shift } => format!("shift:{shift}"),
+            TrafficPattern::BitComplement => "bitcomp".to_owned(),
+            TrafficPattern::BitReverse => "bitrev".to_owned(),
+            TrafficPattern::Tornado => "tornado".to_owned(),
+            TrafficPattern::Hotspot { num_hotspots, fraction_permille } => {
+                format!("hotspot:{num_hotspots}:{fraction_permille}")
+            }
+        }
+    }
+
     /// Draws a destination for a packet from `src` among `num_endpoints`
     /// endpoints. Never returns `src` (self-traffic would not exercise the
     /// interconnect).
@@ -139,6 +157,57 @@ impl TrafficPattern {
                     }
                 }
             }
+        }
+    }
+}
+
+impl std::str::FromStr for TrafficPattern {
+    type Err = String;
+
+    /// Parses the names produced by [`TrafficPattern::name`]. Parameterised
+    /// patterns carry `:`-separated arguments: `shift:3`,
+    /// `hotspot:4:500` (4 hot endpoints drawing 500‰ of the traffic).
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or_default();
+        let args: Vec<&str> = parts.collect();
+        let wants = |n: usize| -> Result<(), String> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(format!("pattern {head:?} takes {n} parameter(s), got {}", args.len()))
+            }
+        };
+        match head {
+            "uniform" => wants(0).map(|()| TrafficPattern::UniformRandom),
+            "complement" => wants(0).map(|()| TrafficPattern::Complement),
+            "bitcomp" => wants(0).map(|()| TrafficPattern::BitComplement),
+            "bitrev" => wants(0).map(|()| TrafficPattern::BitReverse),
+            "tornado" => wants(0).map(|()| TrafficPattern::Tornado),
+            "shift" => {
+                wants(1)?;
+                let shift = args[0]
+                    .parse()
+                    .map_err(|_| format!("shift distance {:?} is not a number", args[0]))?;
+                Ok(TrafficPattern::NeighborShift { shift })
+            }
+            "hotspot" => {
+                wants(2)?;
+                let num_hotspots: usize = args[0]
+                    .parse()
+                    .map_err(|_| format!("hotspot count {:?} is not a number", args[0]))?;
+                let fraction_permille: u32 = args[1]
+                    .parse()
+                    .map_err(|_| format!("hotspot permille {:?} is not a number", args[1]))?;
+                if fraction_permille > 1000 {
+                    return Err(format!("hotspot permille {fraction_permille} exceeds 1000"));
+                }
+                Ok(TrafficPattern::Hotspot { num_hotspots, fraction_permille })
+            }
+            other => Err(format!(
+                "unknown traffic pattern {other:?} (expected uniform|complement|shift:K|\
+                 bitcomp|bitrev|tornado|hotspot:H:PERMILLE)"
+            )),
         }
     }
 }

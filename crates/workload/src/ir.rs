@@ -1,0 +1,258 @@
+//! The workload intermediate representation: messages with dependencies.
+//!
+//! A [`Workload`] is a DAG of [`Message`]s over a set of endpoints. A
+//! message becomes *ready* for injection at its source once every
+//! dependency message has been **delivered** (tail flit at its
+//! destination) plus a compute delay — the CAMINOS-style
+//! message-dependency model, which is what separates application traffic
+//! from memoryless synthetic injection: messages unlock other messages,
+//! so network congestion feeds back into the offered load.
+//!
+//! The IR is deliberately small: kernels (`crate::kernels`) compile down
+//! to it, traces (`crate::trace`) serialize exactly it, and the driver
+//! (`crate::driver`) executes exactly it. Anything expressible as a
+//! message DAG — collectives, stencils, request–reply services, pipeline
+//! parallelism — runs through the same three stages.
+
+use std::fmt;
+
+use nocsim::flit::EndpointId;
+
+/// Index of a message within its [`Workload`].
+pub type MsgId = usize;
+
+/// One message of a workload DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Source endpoint.
+    pub src: EndpointId,
+    /// Destination endpoint (≠ `src`).
+    pub dest: EndpointId,
+    /// Payload length in flits (≥ 1).
+    pub size_flits: usize,
+    /// Compute delay in cycles between the last dependency's delivery and
+    /// this message's injection eligibility (local work: a reduction op,
+    /// a stencil update, a stage's forward pass).
+    pub compute_delay: u64,
+    /// Messages that must be fully delivered before this one is ready.
+    /// An empty list means ready at cycle `compute_delay`.
+    pub deps: Vec<MsgId>,
+    /// Phase tag for reporting (collective step, stencil iteration,
+    /// microbatch index, …): per-tag completion times come back in
+    /// [`crate::driver::WorkloadStats`].
+    pub tag: u32,
+}
+
+/// A complete workload: a validated-on-demand message DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Human-readable name (kernel label or trace origin).
+    pub name: String,
+    /// Number of endpoints the workload addresses (`src`/`dest` range).
+    pub num_endpoints: usize,
+    /// The messages, in id order.
+    pub messages: Vec<Message>,
+}
+
+/// Validation errors for a workload DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A message's `src` or `dest` is outside `0..num_endpoints`.
+    EndpointOutOfRange {
+        /// Offending message.
+        msg: MsgId,
+    },
+    /// A message sends to itself.
+    SelfTraffic {
+        /// Offending message.
+        msg: MsgId,
+    },
+    /// A message has zero length.
+    EmptyMessage {
+        /// Offending message.
+        msg: MsgId,
+    },
+    /// A dependency index is out of range.
+    DanglingDependency {
+        /// Offending message.
+        msg: MsgId,
+        /// The out-of-range dependency id.
+        dep: MsgId,
+    },
+    /// The dependency graph has a cycle: no execution order exists.
+    CyclicDependencies,
+    /// The workload has no messages.
+    Empty,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::EndpointOutOfRange { msg } => {
+                write!(f, "message {msg}: endpoint out of range")
+            }
+            WorkloadError::SelfTraffic { msg } => {
+                write!(f, "message {msg}: source equals destination")
+            }
+            WorkloadError::EmptyMessage { msg } => {
+                write!(f, "message {msg}: zero-flit payload")
+            }
+            WorkloadError::DanglingDependency { msg, dep } => {
+                write!(f, "message {msg}: dependency {dep} does not exist")
+            }
+            WorkloadError::CyclicDependencies => {
+                write!(f, "dependency graph is cyclic")
+            }
+            WorkloadError::Empty => write!(f, "workload has no messages"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl Workload {
+    /// Checks the DAG invariants: endpoints in range, no self-traffic, no
+    /// empty payloads, dependencies in range, and acyclicity (Kahn's
+    /// topological sort must consume every message).
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`WorkloadError`].
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if self.messages.is_empty() {
+            return Err(WorkloadError::Empty);
+        }
+        let n = self.messages.len();
+        let mut indegree = vec![0u32; n];
+        for (id, m) in self.messages.iter().enumerate() {
+            if m.src >= self.num_endpoints || m.dest >= self.num_endpoints {
+                return Err(WorkloadError::EndpointOutOfRange { msg: id });
+            }
+            if m.src == m.dest {
+                return Err(WorkloadError::SelfTraffic { msg: id });
+            }
+            if m.size_flits == 0 {
+                return Err(WorkloadError::EmptyMessage { msg: id });
+            }
+            for &d in &m.deps {
+                if d >= n {
+                    return Err(WorkloadError::DanglingDependency { msg: id, dep: d });
+                }
+                indegree[id] += 1;
+            }
+        }
+        // Kahn's algorithm over the dependency edges.
+        let mut dependents: Vec<Vec<MsgId>> = vec![Vec::new(); n];
+        for (id, m) in self.messages.iter().enumerate() {
+            for &d in &m.deps {
+                dependents[d].push(id);
+            }
+        }
+        let mut stack: Vec<MsgId> = (0..n).filter(|&id| indegree[id] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(id) = stack.pop() {
+            visited += 1;
+            for &child in &dependents[id] {
+                indegree[child] -= 1;
+                if indegree[child] == 0 {
+                    stack.push(child);
+                }
+            }
+        }
+        if visited != n {
+            return Err(WorkloadError::CyclicDependencies);
+        }
+        Ok(())
+    }
+
+    /// Total payload carried by the workload, in flits.
+    #[must_use]
+    pub fn total_flits(&self) -> u64 {
+        self.messages.iter().map(|m| m.size_flits as u64).sum()
+    }
+
+    /// Number of messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// `true` if the workload has no messages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Length (in messages) of the longest dependency chain — the DAG's
+    /// depth, a quick structural sanity metric for generators.
+    #[must_use]
+    pub fn dependency_depth(&self) -> usize {
+        let n = self.messages.len();
+        let mut depth = vec![0usize; n];
+        let mut max = 0;
+        // Generators emit messages in a topological order (deps precede
+        // dependents); fall back to iterating until fixpoint otherwise.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for id in 0..n {
+                let d = self.messages[id].deps.iter().map(|&x| depth[x] + 1).max().unwrap_or(1);
+                if d > depth[id] {
+                    depth[id] = d;
+                    changed = true;
+                }
+            }
+        }
+        for &d in &depth {
+            max = max.max(d);
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: usize, dest: usize, deps: Vec<MsgId>) -> Message {
+        Message { src, dest, size_flits: 4, compute_delay: 0, deps, tag: 0 }
+    }
+
+    fn workload(messages: Vec<Message>) -> Workload {
+        Workload { name: "test".to_owned(), num_endpoints: 4, messages }
+    }
+
+    #[test]
+    fn valid_chain_passes() {
+        let w = workload(vec![msg(0, 1, vec![]), msg(1, 2, vec![0]), msg(2, 3, vec![1])]);
+        assert_eq!(w.validate(), Ok(()));
+        assert_eq!(w.total_flits(), 12);
+        assert_eq!(w.dependency_depth(), 3);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let w = workload(vec![msg(0, 1, vec![1]), msg(1, 2, vec![0])]);
+        assert_eq!(w.validate(), Err(WorkloadError::CyclicDependencies));
+    }
+
+    #[test]
+    fn self_dependency_is_a_cycle() {
+        let w = workload(vec![msg(0, 1, vec![0])]);
+        assert_eq!(w.validate(), Err(WorkloadError::CyclicDependencies));
+    }
+
+    #[test]
+    fn bad_indices_are_rejected() {
+        let w = workload(vec![msg(0, 9, vec![])]);
+        assert_eq!(w.validate(), Err(WorkloadError::EndpointOutOfRange { msg: 0 }));
+        let w = workload(vec![msg(2, 2, vec![])]);
+        assert_eq!(w.validate(), Err(WorkloadError::SelfTraffic { msg: 0 }));
+        let w = workload(vec![msg(0, 1, vec![7])]);
+        assert_eq!(w.validate(), Err(WorkloadError::DanglingDependency { msg: 0, dep: 7 }));
+        let mut bad = msg(0, 1, vec![]);
+        bad.size_flits = 0;
+        assert_eq!(workload(vec![bad]).validate(), Err(WorkloadError::EmptyMessage { msg: 0 }));
+        assert_eq!(workload(vec![]).validate(), Err(WorkloadError::Empty));
+    }
+}

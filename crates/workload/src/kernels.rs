@@ -1,0 +1,593 @@
+//! Canonical parallel-kernel generators, compiled to the message-DAG IR.
+//!
+//! Each generator sizes itself to any endpoint count the arrangements
+//! support (`E ≥ 2`) and is a pure function of its inputs — the same
+//! `(kind, E)` always produces the same DAG, so workload runs are
+//! deterministic end to end. The kernels are the communication skeletons
+//! application-level interconnect studies actually rank arrangements
+//! under:
+//!
+//! * **ring all-reduce** — reduce-scatter + all-gather around the
+//!   endpoint ring (bandwidth-optimal, latency ∝ E);
+//! * **recursive-doubling all-reduce** — log₂-round pairwise exchanges
+//!   with the standard fold/unfold for non-power-of-two counts;
+//! * **all-to-all** — full personalized exchange with a bounded
+//!   outstanding-send window per source;
+//! * **2D stencil** — iterated halo exchange on the near-square logical
+//!   grid of the endpoints;
+//! * **client/server** — request–reply rounds against a small server
+//!   pool (think/service times in the dependency edges);
+//! * **pipeline** — a DNN-style stage chain streaming microbatches, each
+//!   stage gated by its predecessor stage and its previous microbatch.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::ir::{Message, MsgId, Workload};
+
+/// Payload of one collective chunk / halo / activation, in flits
+/// (matches the paper's 4-flit packets).
+const CHUNK_FLITS: usize = 4;
+/// Local compute between dependency resolution and the next send
+/// (reduction op, stencil update), in cycles.
+const COMPUTE_CYCLES: u64 = 32;
+/// Stencil iterations.
+const STENCIL_ITERS: u32 = 4;
+/// Outstanding-send window per source in the all-to-all exchange.
+const ALLTOALL_WINDOW: usize = 4;
+/// Microbatches streamed through the pipeline.
+const PIPELINE_MICROBATCHES: u32 = 8;
+/// Per-stage forward-pass time in the pipeline, in cycles.
+const PIPELINE_COMPUTE: u64 = 64;
+/// Request / response payloads and think/service times for the
+/// client–server kernel.
+const REQUEST_FLITS: usize = 1;
+const RESPONSE_FLITS: usize = 8;
+const THINK_CYCLES: u64 = 16;
+const SERVICE_CYCLES: u64 = 16;
+const CLIENT_SERVER_ROUNDS: u32 = 4;
+
+/// The canonical kernels, parameter-free (sizing is derived from the
+/// endpoint count at build time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Ring all-reduce: reduce-scatter + all-gather, `2(E−1)` steps.
+    RingAllReduce,
+    /// Recursive-doubling all-reduce with non-power-of-two fold/unfold.
+    RdAllReduce,
+    /// Windowed personalized all-to-all exchange.
+    AllToAll,
+    /// Iterated 2D halo exchange on the near-square endpoint grid.
+    Stencil,
+    /// Request–reply rounds against a server pool.
+    ClientServer,
+    /// DNN pipeline stage chain streaming microbatches.
+    Pipeline,
+}
+
+impl WorkloadKind {
+    /// Every kernel, in presentation order.
+    pub const ALL: [WorkloadKind; 6] = [
+        WorkloadKind::RingAllReduce,
+        WorkloadKind::RdAllReduce,
+        WorkloadKind::AllToAll,
+        WorkloadKind::Stencil,
+        WorkloadKind::ClientServer,
+        WorkloadKind::Pipeline,
+    ];
+
+    /// Canonical name, as accepted by the [`FromStr`] parser and used in
+    /// CSV/JSON output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::RingAllReduce => "ring_allreduce",
+            WorkloadKind::RdAllReduce => "rd_allreduce",
+            WorkloadKind::AllToAll => "alltoall",
+            WorkloadKind::Stencil => "stencil",
+            WorkloadKind::ClientServer => "client_server",
+            WorkloadKind::Pipeline => "pipeline",
+        }
+    }
+
+    /// Stable coordinate code for seed derivation (`xp::seed`).
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            WorkloadKind::RingAllReduce => 0,
+            WorkloadKind::RdAllReduce => 1,
+            WorkloadKind::AllToAll => 2,
+            WorkloadKind::Stencil => 3,
+            WorkloadKind::ClientServer => 4,
+            WorkloadKind::Pipeline => 5,
+        }
+    }
+
+    /// Builds the kernel's message DAG for `num_endpoints` endpoints.
+    /// The result always passes [`Workload::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_endpoints < 2` — a single endpoint has no
+    /// interconnect to exercise.
+    #[must_use]
+    pub fn build(self, num_endpoints: usize) -> Workload {
+        assert!(num_endpoints >= 2, "workloads need at least two endpoints");
+        let messages = match self {
+            WorkloadKind::RingAllReduce => ring_all_reduce(num_endpoints),
+            WorkloadKind::RdAllReduce => rd_all_reduce(num_endpoints),
+            WorkloadKind::AllToAll => all_to_all(num_endpoints),
+            WorkloadKind::Stencil => stencil(num_endpoints),
+            WorkloadKind::ClientServer => client_server(num_endpoints),
+            WorkloadKind::Pipeline => pipeline(num_endpoints),
+        };
+        let w = Workload { name: self.label().to_owned(), num_endpoints, messages };
+        debug_assert_eq!(w.validate(), Ok(()), "generator emitted an invalid DAG");
+        w
+    }
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for WorkloadKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        WorkloadKind::ALL.into_iter().find(|k| k.label() == s).ok_or_else(|| {
+            let names: Vec<&str> = WorkloadKind::ALL.iter().map(|k| k.label()).collect();
+            format!("unknown workload {s:?} (expected one of {})", names.join("|"))
+        })
+    }
+}
+
+/// Ring all-reduce: in step `s`, endpoint `i` sends one chunk to
+/// `(i+1) mod E`, forwarding what it received (and, in the first `E−1`
+/// steps, reduced) in step `s−1`. `2(E−1)` steps; tag 0 = reduce-scatter,
+/// tag 1 = all-gather.
+fn ring_all_reduce(e: usize) -> Vec<Message> {
+    let steps = 2 * (e - 1);
+    let mut out = Vec::with_capacity(steps * e);
+    for s in 0..steps {
+        let reduce_phase = s < e - 1;
+        for i in 0..e {
+            // The chunk endpoint i forwards in step s is the one it
+            // received from i−1 in step s−1.
+            let deps = if s == 0 { vec![] } else { vec![(s - 1) * e + (i + e - 1) % e] };
+            out.push(Message {
+                src: i,
+                dest: (i + 1) % e,
+                size_flits: CHUNK_FLITS,
+                // The reduce-scatter phase combines (compute); the
+                // all-gather phase just copies.
+                compute_delay: if reduce_phase { COMPUTE_CYCLES } else { 0 },
+                deps,
+                tag: u32::from(!reduce_phase),
+            });
+        }
+    }
+    out
+}
+
+/// Recursive-doubling all-reduce. For `E = p + r` with `p` the largest
+/// power of two ≤ `E`: the first `2r` endpoints fold pairwise (odd →
+/// even), the `p` survivors run `log₂ p` rounds of pairwise exchange,
+/// and the folded endpoints get the result back. Tags are dense from
+/// zero: fold (only when `r > 0`), then one tag per exchange round,
+/// then unfold.
+fn rd_all_reduce(e: usize) -> Vec<Message> {
+    let p = prev_power_of_two(e);
+    let r = e - p;
+    let rounds = p.trailing_zeros();
+    // Active index a ∈ 0..p → endpoint id.
+    let ep = |a: usize| if a < r { 2 * a } else { a + r };
+    let mut out = Vec::new();
+    // Fold: odd endpoints of the first 2r hand their vector to the even
+    // neighbour. Message id j (j ∈ 0..r).
+    for j in 0..r {
+        out.push(Message {
+            src: 2 * j + 1,
+            dest: 2 * j,
+            size_flits: CHUNK_FLITS,
+            compute_delay: 0,
+            deps: vec![],
+            tag: 0,
+        });
+    }
+    // Exchange rounds: message id r + k·p + a is round k's send from
+    // active a to its partner a ^ 2ᵏ. Tags stay dense from zero: the
+    // fold phase (tag 0) only exists for non-powers-of-two.
+    let idx = |k: u32, a: usize| r + (k as usize) * p + a;
+    let tag_base = u32::from(r > 0);
+    for k in 0..rounds {
+        for a in 0..p {
+            let partner = a ^ (1 << k);
+            let mut deps = Vec::new();
+            if k == 0 {
+                if a < r {
+                    deps.push(a); // the folded vector must have arrived
+                }
+            } else {
+                let prev = a ^ (1 << (k - 1));
+                deps.push(idx(k - 1, prev)); // round k−1 message *to* a
+                deps.push(idx(k - 1, a)); // a's own previous send (ordering)
+            }
+            out.push(Message {
+                src: ep(a),
+                dest: ep(partner),
+                size_flits: CHUNK_FLITS,
+                compute_delay: COMPUTE_CYCLES,
+                deps,
+                tag: tag_base + k,
+            });
+        }
+    }
+    // Unfold: the even survivors return the result to their folded
+    // neighbours.
+    for j in 0..r {
+        let deps = if rounds == 0 {
+            // p == 1 cannot happen for e >= 2 (p >= 2 whenever r > 0
+            // requires e >= 3); guard anyway.
+            vec![j]
+        } else {
+            let k = rounds - 1;
+            vec![idx(k, j ^ (1 << k)), idx(k, j)]
+        };
+        out.push(Message {
+            src: 2 * j,
+            dest: 2 * j + 1,
+            size_flits: CHUNK_FLITS,
+            compute_delay: 0,
+            deps,
+            // Exchange rounds used tags tag_base..tag_base+rounds; the
+            // unfold is the next phase.
+            tag: tag_base + rounds,
+        });
+    }
+    out
+}
+
+/// Windowed all-to-all: source `i` sends one chunk to every other
+/// endpoint in rotated order (`i+1, i+2, …`), with at most
+/// [`ALLTOALL_WINDOW`] sends outstanding per source (send `s` waits for
+/// the delivery of send `s − window`).
+fn all_to_all(e: usize) -> Vec<Message> {
+    let per_src = e - 1;
+    let mut out = Vec::with_capacity(e * per_src);
+    for i in 0..e {
+        for s in 0..per_src {
+            let deps = if s >= ALLTOALL_WINDOW {
+                vec![i * per_src + (s - ALLTOALL_WINDOW)]
+            } else {
+                vec![]
+            };
+            out.push(Message {
+                src: i,
+                dest: (i + s + 1) % e,
+                size_flits: CHUNK_FLITS,
+                compute_delay: 0,
+                deps,
+                tag: 0,
+            });
+        }
+    }
+    out
+}
+
+/// Nearest-square factorization `rows × cols = e` with `rows ≤ cols`
+/// (primes degrade to a 1 × E strip).
+fn near_square_dims(e: usize) -> (usize, usize) {
+    let mut rows = 1;
+    let mut d = 1;
+    while d * d <= e {
+        if e.is_multiple_of(d) {
+            rows = d;
+        }
+        d += 1;
+    }
+    (rows, e / rows)
+}
+
+/// Iterated 2D halo exchange on the near-square endpoint grid:
+/// iteration `t`'s sends from cell `i` wait for every iteration-`t−1`
+/// halo *into* `i` plus the stencil update. Tag = iteration.
+fn stencil(e: usize) -> Vec<Message> {
+    let (rows, cols) = near_square_dims(e);
+    let cell = |x: usize, y: usize| x * cols + y;
+    // Symmetric 4-neighbourhoods (non-periodic boundaries).
+    let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); e];
+    for x in 0..rows {
+        for y in 0..cols {
+            let i = cell(x, y);
+            if x > 0 {
+                neighbors[i].push(cell(x - 1, y));
+            }
+            if x + 1 < rows {
+                neighbors[i].push(cell(x + 1, y));
+            }
+            if y > 0 {
+                neighbors[i].push(cell(x, y - 1));
+            }
+            if y + 1 < cols {
+                neighbors[i].push(cell(x, y + 1));
+            }
+        }
+    }
+    // Message ids: iteration-major, cell-major, neighbour-minor.
+    // `msg_at[i]` is cell i's first message within one iteration.
+    let mut msg_at = vec![0usize; e];
+    let mut per_iter = 0usize;
+    for i in 0..e {
+        msg_at[i] = per_iter;
+        per_iter += neighbors[i].len();
+    }
+    let id = |t: u32, i: usize, k: usize| (t as usize) * per_iter + msg_at[i] + k;
+    let mut out = Vec::with_capacity(per_iter * STENCIL_ITERS as usize);
+    for t in 0..STENCIL_ITERS {
+        for i in 0..e {
+            // Halos into i from iteration t−1: neighbour j' sent its
+            // k'-th message to i, where k' is i's position in j''s
+            // neighbour list.
+            let deps: Vec<MsgId> = if t == 0 {
+                vec![]
+            } else {
+                neighbors[i]
+                    .iter()
+                    .map(|&jp| {
+                        let kp = neighbors[jp]
+                            .iter()
+                            .position(|&x| x == i)
+                            .expect("symmetric neighbourhood");
+                        id(t - 1, jp, kp)
+                    })
+                    .collect()
+            };
+            for &j in &neighbors[i] {
+                out.push(Message {
+                    src: i,
+                    dest: j,
+                    size_flits: CHUNK_FLITS,
+                    compute_delay: COMPUTE_CYCLES,
+                    deps: deps.clone(),
+                    tag: t,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Request–reply rounds: each client sends a request to its server
+/// (round-robin assignment), the server replies after a service time,
+/// and the client's next round waits for the reply plus a think time.
+/// Tag = round.
+fn client_server(e: usize) -> Vec<Message> {
+    // One server per 8 endpoints, at least 1, and at least one client.
+    let servers = (e / 8).clamp(1, e - 1);
+    let clients = e - servers;
+    let req = |t: u32, q: usize| (t as usize) * 2 * clients + q;
+    let resp = |t: u32, q: usize| (t as usize) * 2 * clients + clients + q;
+    let mut out = Vec::with_capacity(2 * clients * CLIENT_SERVER_ROUNDS as usize);
+    for t in 0..CLIENT_SERVER_ROUNDS {
+        for q in 0..clients {
+            let client = servers + q;
+            let server = q % servers;
+            out.push(Message {
+                src: client,
+                dest: server,
+                size_flits: REQUEST_FLITS,
+                compute_delay: THINK_CYCLES,
+                deps: if t == 0 { vec![] } else { vec![resp(t - 1, q)] },
+                tag: t,
+            });
+        }
+        for q in 0..clients {
+            let client = servers + q;
+            let server = q % servers;
+            out.push(Message {
+                src: server,
+                dest: client,
+                size_flits: RESPONSE_FLITS,
+                compute_delay: SERVICE_CYCLES,
+                deps: vec![req(t, q)],
+                tag: t,
+            });
+        }
+    }
+    out
+}
+
+/// DNN pipeline: every endpoint is one stage; microbatch `b`'s activation
+/// from stage `s` to `s+1` waits for the activation from stage `s−1`
+/// (same microbatch) and for stage `s`'s previous microbatch (stage
+/// occupancy). Tag = microbatch.
+fn pipeline(e: usize) -> Vec<Message> {
+    let stages = e - 1; // messages per microbatch (stage s → s+1)
+    let idx = |b: u32, s: usize| (b as usize) * stages + s;
+    let mut out = Vec::with_capacity(stages * PIPELINE_MICROBATCHES as usize);
+    for b in 0..PIPELINE_MICROBATCHES {
+        for s in 0..stages {
+            let mut deps = Vec::new();
+            if s > 0 {
+                deps.push(idx(b, s - 1));
+            }
+            if b > 0 {
+                deps.push(idx(b - 1, s));
+            }
+            out.push(Message {
+                src: s,
+                dest: s + 1,
+                size_flits: CHUNK_FLITS,
+                compute_delay: PIPELINE_COMPUTE,
+                deps,
+                tag: b,
+            });
+        }
+    }
+    out
+}
+
+/// Largest power of two ≤ `x` (`x ≥ 1`).
+fn prev_power_of_two(x: usize) -> usize {
+    let mut p = 1;
+    while p * 2 <= x {
+        p *= 2;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_validates_at_many_sizes() {
+        for e in [2usize, 3, 4, 5, 8, 13, 21, 74] {
+            for kind in WorkloadKind::ALL {
+                let w = kind.build(e);
+                assert_eq!(w.validate(), Ok(()), "{kind} at E={e}");
+                assert!(!w.is_empty(), "{kind} at E={e} generated nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_all_reduce_shape() {
+        let w = WorkloadKind::RingAllReduce.build(8);
+        // 2(E−1) steps of E messages each.
+        assert_eq!(w.len(), 14 * 8);
+        // Chain depth equals the step count.
+        assert_eq!(w.dependency_depth(), 14);
+        // Every endpoint sends exactly 2(E−1) messages.
+        let mut sends = [0usize; 8];
+        for m in &w.messages {
+            sends[m.src] += 1;
+            assert_eq!(m.dest, (m.src + 1) % 8, "ring neighbour send");
+        }
+        assert!(sends.iter().all(|&s| s == 14));
+    }
+
+    #[test]
+    fn rd_all_reduce_power_of_two_is_pure_exchange() {
+        let w = WorkloadKind::RdAllReduce.build(16);
+        // log₂ 16 = 4 rounds of 16 messages, no fold/unfold.
+        assert_eq!(w.len(), 4 * 16);
+        assert_eq!(w.dependency_depth(), 4);
+    }
+
+    #[test]
+    fn rd_all_reduce_folds_non_powers_of_two() {
+        let e = 13;
+        let w = WorkloadKind::RdAllReduce.build(e);
+        let p = 8;
+        let r = e - p;
+        // r folds + 3 rounds of p + r unfolds.
+        assert_eq!(w.len(), r + 3 * p + r);
+        // The folded endpoints (odd ids < 2r) appear only in fold/unfold.
+        for m in &w.messages[r..r + 3 * p] {
+            assert!(
+                m.src >= 2 * r || m.src % 2 == 0,
+                "folded endpoint {} sent in an exchange round",
+                m.src
+            );
+        }
+    }
+
+    #[test]
+    fn all_to_all_covers_every_pair_once() {
+        let e = 6;
+        let w = WorkloadKind::AllToAll.build(e);
+        assert_eq!(w.len(), e * (e - 1));
+        let mut seen = vec![false; e * e];
+        for m in &w.messages {
+            assert!(!seen[m.src * e + m.dest], "duplicate pair {}→{}", m.src, m.dest);
+            seen[m.src * e + m.dest] = true;
+        }
+    }
+
+    #[test]
+    fn stencil_is_symmetric_halo_exchange() {
+        let w = WorkloadKind::Stencil.build(12); // 3×4 grid
+                                                 // Interior edges ×2 directions ×iterations: (3·3 + 2·4) = 17
+                                                 // undirected edges → 34 per iteration.
+        assert_eq!(w.len(), 34 * STENCIL_ITERS as usize);
+        // Iteration t messages depend on all t−1 halos into the source.
+        let m = w.messages.iter().find(|m| m.tag == 1).expect("iteration 1 exists");
+        assert!(!m.deps.is_empty());
+        for &d in &m.deps {
+            assert_eq!(w.messages[d].dest, m.src, "dep is a halo into the source");
+            assert_eq!(w.messages[d].tag, 0);
+        }
+    }
+
+    #[test]
+    fn stencil_on_primes_degrades_to_a_strip() {
+        let w = WorkloadKind::Stencil.build(7);
+        // 1×7 strip: 6 undirected edges → 12 messages per iteration.
+        assert_eq!(w.len(), 12 * STENCIL_ITERS as usize);
+    }
+
+    #[test]
+    fn client_server_pairs_requests_and_replies() {
+        let e = 18; // 2 servers, 16 clients
+        let w = WorkloadKind::ClientServer.build(e);
+        assert_eq!(w.len(), 2 * 16 * CLIENT_SERVER_ROUNDS as usize);
+        // Every response depends on exactly its request.
+        for (id, m) in w.messages.iter().enumerate() {
+            if m.size_flits == RESPONSE_FLITS {
+                assert_eq!(m.deps.len(), 1);
+                let req = &w.messages[m.deps[0]];
+                assert_eq!((req.src, req.dest), (m.dest, m.src), "reply inverts {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_chains_stages_and_microbatches() {
+        let e = 5;
+        let w = WorkloadKind::Pipeline.build(e);
+        assert_eq!(w.len(), (e - 1) * PIPELINE_MICROBATCHES as usize);
+        // Depth: first microbatch traverses all stages, then one more per
+        // microbatch at the last stage.
+        assert_eq!(w.dependency_depth(), (e - 1) + (PIPELINE_MICROBATCHES as usize - 1));
+    }
+
+    #[test]
+    fn tags_are_dense_from_zero() {
+        // per_tag_completion is indexed 0..=max_tag; a gap would report a
+        // phantom never-completed phase.
+        for e in [2usize, 5, 13, 21] {
+            for kind in WorkloadKind::ALL {
+                let w = kind.build(e);
+                let max = w.messages.iter().map(|m| m.tag).max().unwrap();
+                let mut seen = vec![false; max as usize + 1];
+                for m in &w.messages {
+                    seen[m.tag as usize] = true;
+                }
+                assert!(
+                    seen.iter().all(|&s| s),
+                    "{kind} at E={e} skips a phase tag (max {max})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for kind in WorkloadKind::ALL {
+            assert_eq!(kind.label().parse::<WorkloadKind>(), Ok(kind));
+        }
+        assert!("matmul".parse::<WorkloadKind>().is_err());
+    }
+
+    #[test]
+    fn near_square_dims_factor_exactly() {
+        assert_eq!(near_square_dims(12), (3, 4));
+        assert_eq!(near_square_dims(74), (2, 37));
+        assert_eq!(near_square_dims(7), (1, 7));
+        assert_eq!(near_square_dims(36), (6, 6));
+    }
+}

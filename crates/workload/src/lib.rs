@@ -1,0 +1,51 @@
+//! Application-level workloads for arrangement evaluation.
+//!
+//! The HexaMesh paper (and this repository's Fig. 7 reproductions) rates
+//! chiplet arrangements under open-loop synthetic traffic: memoryless
+//! sources inject at a configured rate regardless of what the network
+//! does. Real parallel applications are *closed-loop* — messages unlock
+//! other messages, so congestion throttles the offered load and the
+//! metric that matters is completion time, not saturation throughput.
+//! This crate adds that evaluation dimension:
+//!
+//! * [`ir`] — the workload IR: a DAG of messages with receive
+//!   dependencies and compute-delay edges (CAMINOS-style message
+//!   dependencies);
+//! * [`kernels`] — generators for canonical parallel kernels (ring and
+//!   recursive-doubling all-reduce, all-to-all, 2D stencil halo
+//!   exchange, client/server request–reply, DNN pipeline), sized to any
+//!   endpoint count;
+//! * [`trace`] — a compact CSV trace format with record + replay, so any
+//!   run can be captured and re-fed deterministically;
+//! * [`driver`] — the closed-loop [`driver::WorkloadDriver`]: injects
+//!   when dependencies resolve, retires on tail-flit delivery, reports
+//!   application-level metrics (makespan, per-phase completion,
+//!   zero-load critical path) while preserving `nocsim`'s event-driven
+//!   fast path and zero-allocation steady state.
+//!
+//! # Example: all-reduce makespan on a 3×3 chiplet grid
+//!
+//! ```
+//! use chiplet_graph::gen;
+//! use chiplet_workload::{WorkloadDriver, WorkloadKind};
+//! use nocsim::SimConfig;
+//!
+//! let g = gen::grid(3, 3);
+//! let workload = WorkloadKind::RingAllReduce.build(18); // 2 endpoints/chiplet
+//! let mut driver = WorkloadDriver::new(&g, SimConfig::paper_defaults(), &workload)?;
+//! let stats = driver.run(10_000_000);
+//! assert!(stats.completed && stats.makespan > 0);
+//! # Ok::<(), chiplet_workload::DriverError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod ir;
+pub mod kernels;
+pub mod trace;
+
+pub use driver::{DriverError, WorkloadDriver, WorkloadStats};
+pub use ir::{Message, MsgId, Workload, WorkloadError};
+pub use kernels::WorkloadKind;

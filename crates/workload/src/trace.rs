@@ -1,0 +1,236 @@
+//! Compact CSV trace format: record any workload, re-feed it later.
+//!
+//! A trace is the workload IR serialized exactly — because the driver is
+//! deterministic given `(workload, topology, SimConfig)`, replaying a
+//! recorded trace reproduces a run's statistics bit for bit (pinned by
+//! `tests/determinism.rs`). The format is line-oriented CSV so traces
+//! diff cleanly and can be produced by external tools:
+//!
+//! ```text
+//! #chiplet_workload_trace v1
+//! workload,<name>
+//! endpoints,<E>
+//! id,src,dest,size_flits,compute_delay,tag,deps
+//! 0,0,1,4,32,0,
+//! 1,1,2,4,32,0,0
+//! 2,2,3,4,0,1,0;1
+//! ```
+//!
+//! Dependencies are `;`-separated message ids; the `id` column is the
+//! line's position (validated on read, so truncated or reordered traces
+//! are rejected rather than silently misread).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::ir::{Message, Workload};
+
+/// Magic first line of a v1 trace.
+const MAGIC: &str = "#chiplet_workload_trace v1";
+
+/// Errors from trace parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The first line is not the v1 magic.
+    BadMagic,
+    /// A header or record line is malformed; the message names the line.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        what: String,
+    },
+    /// The decoded workload fails [`Workload::validate`].
+    Invalid(crate::ir::WorkloadError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a chiplet_workload v1 trace"),
+            TraceError::Malformed { line, what } => write!(f, "line {line}: {what}"),
+            TraceError::Invalid(e) => write!(f, "decoded workload invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Renders `workload` as a v1 trace.
+///
+/// The name is sanitized to a single line (newlines become spaces) so
+/// the writer can never emit a trace the parser rejects.
+#[must_use]
+pub fn to_string(workload: &Workload) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let name: String =
+        workload.name.chars().map(|c| if c == '\n' || c == '\r' { ' ' } else { c }).collect();
+    let _ = writeln!(out, "workload,{name}");
+    let _ = writeln!(out, "endpoints,{}", workload.num_endpoints);
+    let _ = writeln!(out, "id,src,dest,size_flits,compute_delay,tag,deps");
+    for (id, m) in workload.messages.iter().enumerate() {
+        let deps: Vec<String> = m.deps.iter().map(ToString::to_string).collect();
+        let _ = writeln!(
+            out,
+            "{id},{},{},{},{},{},{}",
+            m.src,
+            m.dest,
+            m.size_flits,
+            m.compute_delay,
+            m.tag,
+            deps.join(";")
+        );
+    }
+    out
+}
+
+/// Parses a v1 trace back into a validated [`Workload`].
+///
+/// # Errors
+///
+/// [`TraceError`] on a malformed trace or an invalid decoded DAG.
+pub fn from_str(text: &str) -> Result<Workload, TraceError> {
+    let mut lines = text.lines().enumerate();
+    let bad = |line: usize, what: &str| TraceError::Malformed {
+        line: line + 1,
+        what: what.to_owned(),
+    };
+    let (l, magic) = lines.next().ok_or(TraceError::BadMagic)?;
+    if magic.trim_end() != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let _ = l;
+    let (l, name_line) = lines.next().ok_or_else(|| bad(1, "missing workload line"))?;
+    let name = name_line
+        .strip_prefix("workload,")
+        .ok_or_else(|| bad(l, "expected `workload,<name>`"))?
+        .to_owned();
+    let (l, ep_line) = lines.next().ok_or_else(|| bad(2, "missing endpoints line"))?;
+    let num_endpoints: usize = ep_line
+        .strip_prefix("endpoints,")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad(l, "expected `endpoints,<count>`"))?;
+    let (l, header) = lines.next().ok_or_else(|| bad(3, "missing column header"))?;
+    if header != "id,src,dest,size_flits,compute_delay,tag,deps" {
+        return Err(bad(l, "unexpected column header"));
+    }
+
+    let mut messages = Vec::new();
+    for (l, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 7 {
+            return Err(bad(l, "expected 7 comma-separated fields"));
+        }
+        let num = |s: &str, what: &str| -> Result<usize, TraceError> {
+            s.parse().map_err(|_| bad(l, &format!("{what} {s:?} is not a number")))
+        };
+        let id = num(fields[0], "id")?;
+        if id != messages.len() {
+            return Err(bad(l, "ids must be dense and in order"));
+        }
+        let deps = if fields[6].is_empty() {
+            Vec::new()
+        } else {
+            fields[6].split(';').map(|d| num(d, "dependency")).collect::<Result<Vec<_>, _>>()?
+        };
+        messages.push(Message {
+            src: num(fields[1], "src")?,
+            dest: num(fields[2], "dest")?,
+            size_flits: num(fields[3], "size_flits")?,
+            compute_delay: num(fields[4], "compute_delay")? as u64,
+            tag: u32::try_from(num(fields[5], "tag")?)
+                .map_err(|_| bad(l, "tag out of range"))?,
+            deps,
+        });
+    }
+    let workload = Workload { name, num_endpoints, messages };
+    workload.validate().map_err(TraceError::Invalid)?;
+    Ok(workload)
+}
+
+/// Writes `workload` as a trace file at `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(workload: &Workload, path: &Path) -> io::Result<()> {
+    std::fs::write(path, to_string(workload))
+}
+
+/// Reads a trace file back into a validated workload.
+///
+/// # Errors
+///
+/// Filesystem errors as `io::Error`; format errors as
+/// [`TraceError`] wrapped in `io::Error::other`.
+pub fn load(path: &Path) -> io::Result<Workload> {
+    let text = std::fs::read_to_string(path)?;
+    from_str(&text).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::WorkloadKind;
+
+    #[test]
+    fn every_kernel_round_trips() {
+        for kind in WorkloadKind::ALL {
+            for e in [2usize, 5, 12] {
+                let w = kind.build(e);
+                let parsed = from_str(&to_string(&w)).expect("round trip parses");
+                assert_eq!(parsed, w, "{kind} at E={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        assert_eq!(from_str(""), Err(TraceError::BadMagic));
+        assert_eq!(from_str("#something else\n"), Err(TraceError::BadMagic));
+
+        let w = WorkloadKind::Pipeline.build(3);
+        let good = to_string(&w);
+        // Drop a record line: ids are no longer dense.
+        let mut lines: Vec<&str> = good.lines().collect();
+        lines.remove(4);
+        assert!(matches!(from_str(&lines.join("\n")), Err(TraceError::Malformed { .. })));
+        // Corrupt a field.
+        let bad = good.replace("0,0,1,", "0,zero,1,");
+        assert!(matches!(from_str(&bad), Err(TraceError::Malformed { .. })));
+    }
+
+    #[test]
+    fn semantically_invalid_traces_are_rejected() {
+        // A structurally fine trace whose DAG is cyclic.
+        let text = "#chiplet_workload_trace v1\nworkload,cycle\nendpoints,2\n\
+                    id,src,dest,size_flits,compute_delay,tag,deps\n\
+                    0,0,1,1,0,0,1\n1,1,0,1,0,0,0\n";
+        assert!(matches!(from_str(text), Err(TraceError::Invalid(_))));
+    }
+
+    #[test]
+    fn multiline_names_are_sanitized_not_corrupting() {
+        let mut w = WorkloadKind::Pipeline.build(3);
+        w.name = "evil\nendpoints,5".to_owned();
+        let parsed = from_str(&to_string(&w)).expect("sanitized trace parses");
+        assert_eq!(parsed.name, "evil endpoints,5");
+        assert_eq!(parsed.messages, w.messages);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("chiplet_workload_trace_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("ring.trace.csv");
+        let w = WorkloadKind::RingAllReduce.build(6);
+        save(&w, &path).expect("writable temp dir");
+        assert_eq!(load(&path).expect("readable"), w);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,93 @@
+//! Extends the zero-allocation steady-state contract to workload mode:
+//! once the driver's preallocated state (ready heap, blocked queue,
+//! packet map, delivery scratch) and the simulator's buffers have
+//! reached their working capacities, `WorkloadDriver::advance` performs
+//! **zero** heap allocations — closed-loop injection must not cost the
+//! hot path its contract.
+//!
+//! This file holds exactly one test so no concurrent test can perturb
+//! the allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use chiplet_graph::gen;
+use chiplet_workload::{Message, Workload, WorkloadDriver};
+use nocsim::SimConfig;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// A long-running closed-loop workload that keeps the whole 4×4 network
+/// busy: 16 independent ping-pong chains (one per endpoint pair, crossing
+/// the grid) of 400 sequenced messages each.
+fn busy_workload(num_endpoints: usize) -> Workload {
+    let pairs = num_endpoints / 2;
+    let rounds = 400usize;
+    let mut messages = Vec::new();
+    for r in 0..rounds {
+        for p in 0..pairs {
+            // Pair p ping-pongs between endpoint p and its complement —
+            // traffic crosses the bisection, keeping routers active.
+            let (a, b) = (p, num_endpoints - 1 - p);
+            let (src, dest) = if r % 2 == 0 { (a, b) } else { (b, a) };
+            let deps = if r == 0 { vec![] } else { vec![(r - 1) * pairs + p] };
+            messages.push(Message { src, dest, size_flits: 4, compute_delay: 0, deps, tag: 0 });
+        }
+    }
+    Workload { name: "pingpong".to_owned(), num_endpoints, messages }
+}
+
+#[test]
+fn steady_state_workload_advance_never_allocates() {
+    let g = gen::grid(4, 4);
+    let config = SimConfig { seed: 42, ..SimConfig::paper_defaults() };
+    let workload = busy_workload(32);
+    let mut driver = WorkloadDriver::new(&g, config, &workload).expect("valid driver");
+
+    // Let every growable buffer reach its working capacity: a few
+    // thousand cycles of closed-loop execution.
+    assert!(!driver.advance(3_000), "warmup must not finish the workload");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    driver.advance(4_000);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state workload advance() must not allocate (got {} allocations)",
+        after - before
+    );
+
+    // The window did real closed-loop work.
+    let stats = driver.stats();
+    assert!(stats.delivered_messages > 100, "unexpectedly idle: {stats:?}");
+
+    // And the workload still completes from here.
+    assert!(driver.advance(u64::MAX - driver.sim().cycle()), "must complete");
+}

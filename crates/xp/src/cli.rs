@@ -119,6 +119,51 @@ pub fn arg_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+/// Parses `--flag a,b,c` as a comma-separated list of `T`s, or `None`
+/// when the flag is absent. The shared list-flag layer behind
+/// `--patterns` / `--workloads`: every experiment binary sweeping a
+/// name-typed axis parses it through here, so list syntax and error
+/// behaviour stay uniform.
+///
+/// # Errors
+///
+/// A missing value, an empty list, or any unparsable element is an
+/// error naming the flag and the offending element (strict-CLI
+/// convention: never fall back to a default on malformed input).
+pub fn try_arg_list<T>(args: &[String], flag: &str) -> Result<Option<Vec<T>>, String>
+where
+    T: FromStr,
+    T::Err: std::fmt::Display,
+{
+    let Some(raw) = try_arg_value(args, flag)? else {
+        return Ok(None);
+    };
+    let items: Vec<&str> = raw.split(',').collect();
+    if items.iter().any(|s| s.is_empty()) {
+        return Err(format!("{flag} has an empty element in {raw:?}"));
+    }
+    items
+        .into_iter()
+        .map(|s| s.parse().map_err(|e| format!("{flag}: {e}")))
+        .collect::<Result<Vec<T>, String>>()
+        .map(Some)
+}
+
+/// Parses `--flag a,b,c` as a list of `T`s, defaulting when absent;
+/// aborts on malformed input (see [`try_arg_list`]).
+#[must_use]
+pub fn arg_list<T>(args: &[String], flag: &str, default: &[T]) -> Vec<T>
+where
+    T: FromStr + Clone,
+    T::Err: std::fmt::Display,
+{
+    match try_arg_list(args, flag) {
+        Ok(Some(list)) => list,
+        Ok(None) => default.to_vec(),
+        Err(e) => die(&e),
+    }
+}
+
 /// The flags shared by every campaign binary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignArgs {
@@ -231,6 +276,45 @@ mod tests {
     fn quick_full_conflict() {
         let a = args(&["--quick", "--full"]);
         assert!(CampaignArgs::try_parse(&a).is_err());
+    }
+
+    #[test]
+    fn list_flags_parse_and_default() {
+        let a = args(&["--ns", "37,61,91"]);
+        assert_eq!(arg_list::<usize>(&a, "--ns", &[7]), vec![37, 61, 91]);
+        assert_eq!(arg_list::<usize>(&a, "--other", &[7]), vec![7]);
+        let single = args(&["--ns", "5"]);
+        assert_eq!(arg_list::<usize>(&single, "--ns", &[7]), vec![5]);
+    }
+
+    #[test]
+    fn malformed_list_elements_are_errors() {
+        let a = args(&["--ns", "37,banana"]);
+        assert!(try_arg_list::<usize>(&a, "--ns").is_err());
+        let a = args(&["--ns", "37,,61"]);
+        assert!(try_arg_list::<usize>(&a, "--ns").is_err());
+        let a = args(&["--ns"]);
+        assert!(try_arg_list::<usize>(&a, "--ns").is_err());
+    }
+
+    #[test]
+    fn pattern_and_workload_lists_parse_through_the_shared_layer() {
+        use chiplet_workload::WorkloadKind;
+        use nocsim::TrafficPattern;
+        let a = args(&["--patterns", "uniform,hotspot:4:500", "--workloads", "stencil"]);
+        assert_eq!(
+            arg_list::<TrafficPattern>(&a, "--patterns", &[]),
+            vec![
+                TrafficPattern::UniformRandom,
+                TrafficPattern::Hotspot { num_hotspots: 4, fraction_permille: 500 }
+            ]
+        );
+        assert_eq!(
+            arg_list::<WorkloadKind>(&a, "--workloads", &[]),
+            vec![WorkloadKind::Stencil]
+        );
+        let bad = args(&["--patterns", "uniform,random_walk"]);
+        assert!(try_arg_list::<TrafficPattern>(&bad, "--patterns").is_err());
     }
 
     #[test]

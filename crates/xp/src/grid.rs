@@ -2,17 +2,18 @@
 //!
 //! A [`Scenario`] is the cartesian product the paper's figures sweep:
 //! arrangement kind × chiplet count × injection rate × traffic pattern ×
-//! replicate seed. [`Scenario::jobs`] expands it into [`Job`]s whose seeds
-//! come from [`crate::seed::derive_seed`] over the job's *coordinates*, so
-//! the expansion is independent of axis ordering, worker count, and the
-//! presence of other axis values.
+//! workload × replicate seed. [`Scenario::jobs`] expands it into [`Job`]s
+//! whose seeds come from [`crate::seed::derive_seed`] over the job's
+//! *coordinates*, so the expansion is independent of axis ordering,
+//! worker count, and the presence of other axis values.
 
+use chiplet_workload::WorkloadKind;
 use hexamesh::arrangement::ArrangementKind;
 use nocsim::TrafficPattern;
 
 use crate::seed::derive_seed;
 
-/// A declarative sweep: the cartesian product of the five axes.
+/// A declarative sweep: the cartesian product of the six axes.
 ///
 /// Axes left at their defaults contribute a single neutral point, so a
 /// scenario only names the dimensions it actually sweeps.
@@ -27,6 +28,11 @@ pub struct Scenario {
     pub rates: Vec<Option<f64>>,
     /// Spatial traffic patterns.
     pub patterns: Vec<TrafficPattern>,
+    /// Closed-loop application workloads; `None` marks an open-loop
+    /// (pattern-driven) job. A `None` job's seed coordinates are exactly
+    /// the pre-workload five words, so adding this axis moved no
+    /// existing point's seed.
+    pub workloads: Vec<Option<WorkloadKind>>,
     /// Number of replicate seeds per grid point (`--seeds K`).
     pub replicates: u64,
 }
@@ -41,6 +47,7 @@ impl Scenario {
             ns: ns.to_vec(),
             rates: vec![None],
             patterns: vec![TrafficPattern::UniformRandom],
+            workloads: vec![None],
             replicates: 1,
         }
     }
@@ -59,6 +66,14 @@ impl Scenario {
         self
     }
 
+    /// Sweeps the given closed-loop workloads (replacing the neutral
+    /// open-loop point).
+    #[must_use]
+    pub fn with_workloads(mut self, workloads: &[WorkloadKind]) -> Self {
+        self.workloads = workloads.iter().copied().map(Some).collect();
+        self
+    }
+
     /// Runs `k` replicate seeds per grid point.
     #[must_use]
     pub fn with_replicates(mut self, k: u64) -> Self {
@@ -73,6 +88,7 @@ impl Scenario {
             * self.ns.len()
             * self.rates.len()
             * self.patterns.len()
+            * self.workloads.len()
             * self.replicates as usize
     }
 
@@ -85,7 +101,7 @@ impl Scenario {
     /// Expands the cartesian product into jobs with derived seeds.
     ///
     /// Iteration order is row-major over (kind, n, rate, pattern,
-    /// replicate) — the order sinks write rows in.
+    /// workload, replicate) — the order sinks write rows in.
     #[must_use]
     pub fn jobs(&self, campaign_seed: u64) -> Vec<Job> {
         let mut out = Vec::with_capacity(self.len());
@@ -93,18 +109,33 @@ impl Scenario {
             for &n in &self.ns {
                 for &rate in &self.rates {
                     for &pattern in &self.patterns {
-                        for replicate in 0..self.replicates {
-                            let seed = derive_seed(
-                                campaign_seed,
-                                &[
+                        for &workload in &self.workloads {
+                            for replicate in 0..self.replicates {
+                                // Open-loop jobs keep the historical
+                                // five-word coordinates; the workload
+                                // word is appended only when the axis is
+                                // set, so pre-workload seeds are stable.
+                                let mut coords = vec![
                                     kind_code(kind),
                                     n as u64,
                                     rate.map_or(u64::MAX, f64::to_bits),
                                     pattern_code(pattern),
+                                ];
+                                if let Some(w) = workload {
+                                    coords.push(w.code());
+                                }
+                                coords.push(replicate);
+                                let seed = derive_seed(campaign_seed, &coords);
+                                out.push(Job {
+                                    kind,
+                                    n,
+                                    rate,
+                                    pattern,
+                                    workload,
                                     replicate,
-                                ],
-                            );
-                            out.push(Job { kind, n, rate, pattern, replicate, seed });
+                                    seed,
+                                });
+                            }
                         }
                     }
                 }
@@ -125,6 +156,8 @@ pub struct Job {
     pub rate: Option<f64>,
     /// Spatial traffic pattern.
     pub pattern: TrafficPattern,
+    /// Closed-loop workload (`None` = open-loop pattern job).
+    pub workload: Option<WorkloadKind>,
     /// Replicate index within this grid point (`0..K`).
     pub replicate: u64,
     /// RNG seed derived from the campaign seed and the coordinates above.
@@ -133,10 +166,17 @@ pub struct Job {
 
 impl Job {
     /// Default job weight for the pool's large-first schedule: simulation
-    /// cost grows with the chiplet count.
+    /// cost grows with the chiplet count, and quadratic-message kernels
+    /// (ring all-reduce, all-to-all move Θ(E²) messages) dominate a mixed
+    /// workload sweep. Weights only order the schedule — results never
+    /// depend on them.
     #[must_use]
     pub fn weight(&self) -> u64 {
-        self.n as u64
+        let n = self.n as u64;
+        match self.workload {
+            Some(WorkloadKind::RingAllReduce | WorkloadKind::AllToAll) => n * n,
+            _ => n,
+        }
     }
 }
 
@@ -255,6 +295,37 @@ mod tests {
         let wider = expand_replicates(&[(9, 90), jobs[0], jobs[1]], 2, 7, |&(x, y)| vec![x, y]);
         assert_eq!(wider[2].1, a[0].1);
         assert_eq!(wider[4].1, a[2].1);
+    }
+
+    #[test]
+    fn workload_axis_expands_with_distinct_seeds() {
+        let s = Scenario::new(&[ArrangementKind::Grid, ArrangementKind::HexaMesh], &[37])
+            .with_workloads(&[WorkloadKind::RingAllReduce, WorkloadKind::Stencil])
+            .with_replicates(2);
+        assert_eq!(s.len(), 2 * 2 * 2);
+        let jobs = s.jobs(5);
+        assert_eq!(jobs.len(), 8);
+        // Row-major: workload is the innermost non-replicate axis.
+        assert_eq!(jobs[0].workload, Some(WorkloadKind::RingAllReduce));
+        assert_eq!(jobs[2].workload, Some(WorkloadKind::Stencil));
+        let mut seeds: Vec<u64> = jobs.iter().map(|j| j.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8, "workload coordinates must differentiate seeds");
+    }
+
+    #[test]
+    fn open_loop_seeds_unmoved_by_the_workload_axis() {
+        // The workload word is appended only for Some jobs, so a
+        // pre-workload scenario's seeds are exactly the historical
+        // five-coordinate derivation.
+        let jobs = Scenario::new(&[ArrangementKind::Grid], &[9]).jobs(42);
+        assert_eq!(jobs[0].workload, None);
+        let expected = derive_seed(
+            42,
+            &[0, 9, u64::MAX, 0, 0], // kind, n, rate bits, pattern, replicate
+        );
+        assert_eq!(jobs[0].seed, expected);
     }
 
     #[test]

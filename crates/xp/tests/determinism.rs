@@ -3,6 +3,7 @@
 //! cycle-accurate simulations — because job seeds derive from coordinates
 //! and results return in grid order.
 
+use chiplet_workload::{WorkloadDriver, WorkloadKind};
 use hexamesh::arrangement::{Arrangement, ArrangementKind};
 use nocsim::{SimConfig, Simulator};
 use xp::cli::{CampaignArgs, OutputFormat};
@@ -71,6 +72,42 @@ fn rows_identical_for_any_worker_count_with_replicates() {
     one.sort();
     eight.sort();
     assert_eq!(one, eight);
+}
+
+/// Runs a closed-loop workload campaign (the `workload_comparison`
+/// shape) and returns its makespan/completion rows.
+fn workload_campaign(workers: usize) -> Vec<(String, String, u64, u64)> {
+    let scenario = Scenario::new(&ArrangementKind::ALL, &[7])
+        .with_workloads(&[WorkloadKind::RingAllReduce, WorkloadKind::Stencil]);
+    let campaign = Campaign::new("workload_determinism", args(workers, 1));
+    let results = campaign.run_grid(&scenario, |job| {
+        let arrangement = Arrangement::build(job.kind, job.n).expect("builds");
+        let config = SimConfig { seed: job.seed, ..SimConfig::paper_defaults() };
+        let workload = job.workload.expect("workload axis set").build(job.n * 2);
+        let mut driver =
+            WorkloadDriver::new(arrangement.graph(), config, &workload).expect("valid");
+        let stats = driver.run(10_000_000);
+        assert!(stats.completed);
+        (stats.makespan, stats.delivered_flits)
+    });
+    results
+        .into_iter()
+        .map(|(job, (makespan, flits))| {
+            (
+                job.kind.label().to_owned(),
+                job.workload.expect("set").label().to_owned(),
+                makespan,
+                flits,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn workload_rows_identical_for_any_worker_count() {
+    let one = workload_campaign(1);
+    let eight = workload_campaign(8);
+    assert_eq!(one, eight, "workload makespan rows must not depend on --workers");
 }
 
 #[test]

@@ -12,6 +12,7 @@ pub use chiplet_partition as partition;
 pub use chiplet_phy as phy;
 pub use chiplet_thermal as thermal;
 pub use chiplet_topo as topo;
+pub use chiplet_workload as workload;
 pub use hexamesh;
 pub use nocsim;
 pub use xp;
