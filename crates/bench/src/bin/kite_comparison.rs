@@ -1,7 +1,7 @@
 //! EXP-K1 — HexaMesh vs. long-link grid topologies (Kite-style), with the
 //! frequency penalty of long links modelled.
 //!
-//! §VII positions HexaMesh against Kite [15]: Kite connects non-adjacent
+//! §VII positions HexaMesh against Kite \[15\]: Kite connects non-adjacent
 //! chiplets on a grid arrangement, accepting lower link frequencies for
 //! better graph properties; HexaMesh gets the better graph by *arrangement*
 //! and keeps every link short. This experiment makes the comparison

@@ -83,10 +83,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let side = sweep::arg_usize(&args, "--side", 8);
     let mut shared = CampaignArgs::parse(&args);
-    if !sweep::arg_flag(&args, "--out") {
-        // The tracked perf record lives at the repository root.
-        shared.out = std::path::PathBuf::from(".");
-    }
+    sweep::default_out_to_repo_root(&args, &mut shared);
     let default_cycles = if shared.quick { 20_000 } else { 100_000 };
     let cycles = sweep::arg_u64(&args, "--cycles", default_cycles);
     let campaign = Campaign::new("BENCH_nocsim", shared);

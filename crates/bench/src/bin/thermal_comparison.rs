@@ -1,7 +1,7 @@
 //! EXP-TH1 — thermal comparison of chiplet arrangements.
 //!
 //! §II notes that dense integration brings thermal problems, and the
-//! cross-layer work the paper cites (Coskun et al. [16]) treats operating
+//! cross-layer work the paper cites (Coskun et al. \[16\]) treats operating
 //! temperature as a co-equal objective with ICI performance. This
 //! experiment asks: does the HexaMesh arrangement, which packs chiplets
 //! into a roughly circular footprint, pay a thermal price against the grid

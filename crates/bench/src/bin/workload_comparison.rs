@@ -43,10 +43,7 @@ const MAX_CYCLES: u64 = 50_000_000;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut shared = CampaignArgs::parse(&args);
-    if !sweep::arg_flag(&args, "--out") {
-        // The tracked baseline record lives at the repository root.
-        shared.out = std::path::PathBuf::from(".");
-    }
+    sweep::default_out_to_repo_root(&args, &mut shared);
     let default_ns: &[usize] = if shared.quick { &[7, 13, 19] } else { &[37, 61, 91] };
     let ns = arg_list::<usize>(&args, "--ns", default_ns);
     let workloads = arg_list::<WorkloadKind>(&args, "--workloads", &WorkloadKind::ALL);
@@ -154,18 +151,11 @@ fn main() {
         "rank"
     );
     for group in rows.chunks(ArrangementKind::ALL.len()) {
-        // Rank the four kinds of one (workload, n) point by makespan.
-        // Identical makespans share the better rank (competition
-        // ranking) — brickwall and honeycomb realise the same graph, so
-        // exact ties are routine, not hypothetical.
-        let mut order: Vec<usize> = (0..group.len()).collect();
-        order.sort_by(|&a, &b| group[a].makespan.total_cmp(&group[b].makespan));
-        let mut rank = vec![0usize; group.len()];
-        for (place, &idx) in order.iter().enumerate() {
-            let tied_with_prev =
-                place > 0 && group[order[place - 1]].makespan == group[idx].makespan;
-            rank[idx] = if tied_with_prev { rank[order[place - 1]] } else { place + 1 };
-        }
+        // Rank the four kinds of one (workload, n) point by makespan
+        // (shared competition ranking: identical makespans — routine for
+        // brickwall vs. honeycomb — share the better rank).
+        let makespans: Vec<f64> = group.iter().map(|r| r.makespan).collect();
+        let rank = sweep::competition_rank(&makespans);
         for (i, row) in group.iter().enumerate() {
             let overhead = row.makespan / row.critical.max(1.0);
             println!(
@@ -196,7 +186,8 @@ fn main() {
                 &rank[i],
             ]);
         }
-        let best = &group[order[0]];
+        let best_idx = rank.iter().position(|&r| r == 1).expect("non-empty group");
+        let best = &group[best_idx];
         println!(
             "  → {} n={}: fastest is {} ({:.0} cycles)",
             best.workload.label(),

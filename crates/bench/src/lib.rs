@@ -17,9 +17,13 @@
 //! | `load_curves`       | EXP-LC latency-vs-load curves behind Fig. 7 |
 //! | `phy_sweep`         | EXP-P1 link reach/derating (§II/§V envelopes) |
 //! | `kite_comparison`   | EXP-K1 HexaMesh vs. Kite-style topologies (§VII) |
-//! | `thermal_comparison`| EXP-TH1 arrangement thermal comparison (§II/[16]) |
-//! | `cost_model`        | EXP-C1 monolithic vs. 2.5D cost (§I/[17]) |
+//! | `thermal_comparison`| EXP-TH1 arrangement thermal comparison (§II/\[16\]) |
+//! | `cost_model`        | EXP-C1 monolithic vs. 2.5D cost (§I/\[17\]) |
 //! | `resilience`        | EXP-R1 bridges/connectivity fault tolerance (§IV-C) |
+//! | `workload_comparison` | EXP-W1 closed-loop application ranking (makespan) |
+//! | `arrangement_search`  | EXP-AS1 optimized vs. fixed arrangements |
+//! | `simperf`             | simulator performance tracking (`BENCH_nocsim`) |
+//! | `calibrate`           | BookSim2 cross-check of the simulator |
 //!
 //! The `benches/` directory holds Criterion benchmarks exercising reduced
 //! versions of the same code paths for performance regression tracking.

@@ -20,6 +20,33 @@ use xp::{pool, Campaign};
 pub use xp::cli::{arg_f64, arg_flag, arg_u64, arg_usize};
 pub use xp::stats::{mean, mean_of, Summary};
 
+/// Applies the baseline-binary convention: when `--out` is absent, write
+/// to the repository root — where the tracked `BENCH_*` records live —
+/// instead of the `results/` default. Shared by `simperf`,
+/// `workload_comparison`, and `arrangement_search`.
+pub fn default_out_to_repo_root(args: &[String], shared: &mut CampaignArgs) {
+    if !arg_flag(args, "--out") {
+        shared.out = std::path::PathBuf::from(".");
+    }
+}
+
+/// Competition ranking ("1224"): ranks `values` ascending — lower is
+/// better — with exact ties sharing the better rank. Ties are routine,
+/// not hypothetical: brickwall and honeycomb realise the same graph, so
+/// the comparison binaries (`workload_comparison`, `arrangement_search`)
+/// share this one implementation to keep tie handling uniform.
+#[must_use]
+pub fn competition_rank(values: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut rank = vec![0usize; values.len()];
+    for (place, &idx) in order.iter().enumerate() {
+        let tied = place > 0 && values[order[place - 1]] == values[idx];
+        rank[idx] = if tied { rank[order[place - 1]] } else { place + 1 };
+    }
+    rank
+}
+
 /// Position of `kind` in [`ArrangementKind::EVALUATED`] — the row order
 /// every table in this crate uses when restoring the historical ordering
 /// after a grid expansion.
@@ -255,6 +282,14 @@ mod tests {
             points.iter().find(|p| p.kind == ArrangementKind::HexaMesh && p.n == 7).unwrap();
         assert_eq!(hm7.diameter, 2);
         assert_eq!(hm7.bisection, 5.0);
+    }
+
+    #[test]
+    fn competition_rank_shares_tied_ranks() {
+        assert_eq!(competition_rank(&[3.0, 1.0, 2.0]), vec![3, 1, 2]);
+        // "1224": both middle values share rank 2, the next rank is 4.
+        assert_eq!(competition_rank(&[1.0, 2.0, 2.0, 5.0]), vec![1, 2, 2, 4]);
+        assert_eq!(competition_rank(&[]), Vec::<usize>::new());
     }
 
     #[test]

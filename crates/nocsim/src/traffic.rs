@@ -46,7 +46,7 @@ pub enum TrafficPattern {
 }
 
 impl TrafficPattern {
-    /// Canonical name, as accepted by the [`FromStr`] parser: `uniform`,
+    /// Canonical name, as accepted by the [`std::str::FromStr`] parser: `uniform`,
     /// `complement`, `shift:K`, `bitcomp`, `bitrev`, `tornado`,
     /// `hotspot:H:PERMILLE`. Round-trips through `parse`.
     #[must_use]

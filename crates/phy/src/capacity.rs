@@ -3,7 +3,7 @@
 //!
 //! These answer the question the paper's §V sidesteps by fiat ("we make the
 //! operating frequency an input parameter"): *what frequency can a link of
-//! this length actually sustain?* Kite-style topologies (related work [15])
+//! this length actually sustain?* Kite-style topologies (related work \[15\])
 //! trade longer links for better graph properties, which only pays off if
 //! the frequency penalty of the longer wire is modelled — these solvers
 //! provide that penalty.

@@ -2,7 +2,7 @@
 //!
 //! §II of the paper notes that advanced integration schemes bring "thermal
 //! problems", and the cross-layer co-optimisation work it cites (Coskun et
-//! al., TCAD 2020 — related work [16]) treats operating temperature as a
+//! al., TCAD 2020 — related work \[16\]) treats operating temperature as a
 //! first-class objective alongside ICI performance. This crate adds that
 //! axis to the workspace: given a floorplan (a
 //! [`chiplet_layout::Placement`]) and per-chiplet power, it predicts the

@@ -1,6 +1,6 @@
 //! Kite-style express-link meshes.
 //!
-//! Kite (Bharadwaj et al., DAC 2020 — the paper's related work [15])
+//! Kite (Bharadwaj et al., DAC 2020 — the paper’s related work \[15\])
 //! searches for interposer topologies that augment a grid arrangement with
 //! links between *non-adjacent* chiplets, accepting the frequency penalty
 //! of longer wires when the hop-count savings outweigh it. The published

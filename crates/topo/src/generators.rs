@@ -33,7 +33,7 @@ pub fn mesh(rows: usize, cols: usize) -> Topology {
 /// The folded torus: every row and column closed into a ring, wired in the
 /// standard folded (interleaved) pattern so that ring links span at most
 /// two pitches. One of the long-link families the Kite work (related work
-/// [15]) evaluates against.
+/// \[15\]) evaluates against.
 ///
 /// Rows or columns of length 2 degenerate to a single mesh link (a
 /// "ring" of two vertices has one edge).

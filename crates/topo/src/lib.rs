@@ -2,7 +2,7 @@
 //!
 //! HexaMesh's design rule is to connect only adjacent chiplets, so every
 //! link stays short and runs at full frequency (§I, §V). The alternative
-//! school — Kite (Bharadwaj et al., DAC 2020), cited as related work [15] —
+//! school — Kite (Bharadwaj et al., DAC 2020), cited as related work \[15\] —
 //! connects *non-adjacent* chiplets on a grid arrangement when the
 //! topological benefit of a longer link outweighs its frequency penalty.
 //! Comparing the two fairly requires carrying each link's length through
@@ -13,7 +13,7 @@
 //! * [`mesh`] — the adjacent-only baseline (all links one pitch);
 //! * [`ftorus`] — the folded torus: row/column rings wired with
 //!   two-pitch links;
-//! * [`express`] — Kite-style meshes augmented with greedily chosen
+//! * [`mod@express`] — Kite-style meshes augmented with greedily chosen
 //!   express links under a port budget and a length cap;
 //! * [`eval`] — the evaluation pipeline: per-link frequency derating via
 //!   [`chiplet_phy`], heterogeneous-link cycle-accurate simulation via

@@ -5,6 +5,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use chiplet_arrange as arrange;
 pub use chiplet_cost as cost;
 pub use chiplet_graph as graph;
 pub use chiplet_layout as layout;
