@@ -57,6 +57,7 @@ pub mod anneal;
 pub mod objective;
 pub mod search;
 pub mod state;
+pub mod study;
 pub mod validate;
 
 pub use anneal::{anneal, AnnealConfig, AnnealOutcome, AnnealStats};

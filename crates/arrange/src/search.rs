@@ -12,6 +12,7 @@ use chiplet_partition::BisectionConfig;
 use hexamesh::arrangement::{Arrangement, ArrangementKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use xp::pool;
 use xp::seed::derive_seed;
 
@@ -59,7 +60,8 @@ impl InitKind {
 }
 
 /// Configuration of one arrangement search.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive] // construct via new()/quick() and mutate
 pub struct SearchConfig {
     /// Chiplet count (`≥ 2`).
     pub n: usize,

@@ -106,8 +106,9 @@ fn bench_table1(c: &mut Criterion) {
 fn bench_fig7(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_simulation");
     group.sample_size(10);
-    let schedule =
-        MeasureConfig { warmup_cycles: 400, measure_cycles: 800, ..MeasureConfig::quick() };
+    let mut schedule = MeasureConfig::quick();
+    schedule.warmup_cycles = 400;
+    schedule.measure_cycles = 800;
     for kind in ArrangementKind::EVALUATED {
         let a = Arrangement::build(kind, 19).expect("builds");
         let config = SimConfig { injection_rate: 0.1, ..SimConfig::paper_defaults() };

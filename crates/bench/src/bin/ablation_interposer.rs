@@ -25,6 +25,7 @@ use hexamesh_bench::{sweep, RESULTS_DIR};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    xp::cli::reject_unknown_flags(&args, &["--quick"]);
     let quick = sweep::arg_flag(&args, "--quick");
     let budget = SignalBudget::default();
     let interposer = Technology::silicon_interposer();
@@ -32,7 +33,8 @@ fn main() {
         .expect("feasible at zero length");
 
     let c4 = if quick { EvalParams::quick() } else { EvalParams::paper_defaults() };
-    let micro = EvalParams { bump_pitch_mm: MICROBUMP_PITCH_MM, ..c4 };
+    let mut micro = c4;
+    micro.bump_pitch_mm = MICROBUMP_PITCH_MM;
 
     let mut table = Table::new(&[
         "n",

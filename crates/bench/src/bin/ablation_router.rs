@@ -40,6 +40,7 @@ struct AblationJob {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    xp::cli::reject_unknown_flags(&args, &xp::cli::with_shared(&["--n"]));
     let n = sweep::arg_usize(&args, "--n", 37);
     let campaign = Campaign::new("ablation_router", CampaignArgs::parse(&args));
 

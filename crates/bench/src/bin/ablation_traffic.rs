@@ -5,120 +5,34 @@
 //! (bit-complement, bit-reverse, tornado, hotspot) to check that the
 //! arrangement ranking is not an artefact of benign traffic.
 //!
-//! Declared as an engine grid (pattern × kind × `--seeds K`) so all
-//! fifteen saturation searches run concurrently on the pool.
+//! A preset wrapper over the study flow (stage `traffic`):
+//! `study --preset ablation_traffic` runs the identical campaign.
 //!
 //! Usage: `cargo run --release -p hexamesh-bench --bin ablation_traffic
 //! [--n N] [--patterns uniform,bitcomp,...] [--quick] [--workers W]
 //! [--seeds K] [--out DIR] [--format F]`
 //! Writes `results/ablation_traffic.{csv,json}`. Patterns parse through
-//! the shared `xp::cli::arg_list` layer (strict: malformed names abort).
+//! the shared `xp::cli` list layer (strict: malformed names abort).
 
-use hexamesh::arrangement::{Arrangement, ArrangementKind};
-use hexamesh_bench::csv::{f3, Table};
-use hexamesh_bench::sweep::{self, mean_of};
-use nocsim::{measure, SimConfig, TrafficPattern};
-use xp::cli::arg_list;
-use xp::grid::Scenario;
-use xp::json::Value;
-use xp::{Campaign, CampaignArgs};
-
-/// The historical default sweep: benign baseline + four adversaries.
-const DEFAULT_PATTERNS: [TrafficPattern; 5] = [
-    TrafficPattern::UniformRandom,
-    TrafficPattern::BitComplement,
-    TrafficPattern::BitReverse,
-    TrafficPattern::Tornado,
-    TrafficPattern::Hotspot { num_hotspots: 4, fraction_permille: 500 },
-];
+use hexamesh_bench::presets;
+use hexamesh_bench::sweep;
+use nocsim::TrafficPattern;
+use xp::cli::{self, try_arg_list, CampaignArgs};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    cli::reject_unknown_flags(&args, &cli::with_shared(&["--n", "--patterns"]));
     let n = sweep::arg_usize(&args, "--n", 37);
-    let patterns = arg_list::<TrafficPattern>(&args, "--patterns", &DEFAULT_PATTERNS);
-    let campaign = Campaign::new("ablation_traffic", CampaignArgs::parse(&args));
-    let schedule = sweep::schedule_for(campaign.args());
-
-    // Scenario expands kind-outermost (kind → n → rate → pattern →
-    // replicate); the sort below restores the historical pattern-major
-    // row order after aggregation.
-    let scenario = Scenario::new(&ArrangementKind::EVALUATED, &[n]).with_patterns(&patterns);
-    let results = campaign.run_grid(&scenario, |job| {
-        let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
-        let graph = arrangement.graph();
-        let config =
-            SimConfig { pattern: job.pattern, seed: job.seed, ..SimConfig::paper_defaults() };
-        let zero_load = measure::zero_load_latency(graph, &config).expect("connected graph");
-        let sat =
-            measure::saturation_search(graph, &config, &schedule).expect("valid configuration");
-        (zero_load, sat.throughput)
+    let patterns = try_arg_list::<TrafficPattern>(&args, "--patterns").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
     });
+    let shared = CampaignArgs::parse(&args);
 
-    let mut table = Table::new(&[
-        "n",
-        "pattern",
-        "kind",
-        "zero_load_latency_cycles",
-        "saturation_fraction",
-        "saturation_vs_grid",
-    ]);
+    let mut spec = presets::preset("ablation_traffic").expect("registered preset");
+    spec.axes.ns = Some(vec![n]);
+    spec.axes.patterns = patterns;
 
     println!("Traffic-pattern ablation at N = {n}:");
-    println!(
-        "{:<8} {:<4} {:>10} {:>10} {:>9}",
-        "pattern", "kind", "lat [cyc]", "sat [frac]", "vs grid"
-    );
-    // Aggregate replicates, then reorder to the historical pattern-major
-    // row order (the grid expands kind-major).
-    let k = campaign.args().seeds.max(1) as usize;
-    let mut by_point: Vec<(TrafficPattern, ArrangementKind, f64, f64)> = results
-        .chunks(k)
-        .map(|chunk| {
-            let job = chunk[0].0;
-            (
-                job.pattern,
-                job.kind,
-                mean_of(chunk, |(_, (l, _))| *l),
-                mean_of(chunk, |(_, (_, s))| *s),
-            )
-        })
-        .collect();
-    let pattern_rank =
-        |p: TrafficPattern| patterns.iter().position(|&q| q == p).unwrap_or(usize::MAX);
-    by_point.sort_by_key(|&(p, k, _, _)| (pattern_rank(p), sweep::evaluated_rank(k)));
-
-    for (pattern, kind, zero_load, sat) in &by_point {
-        let pattern_name = pattern.name();
-        let grid_sat = by_point
-            .iter()
-            .find(|(p, k, _, _)| p == pattern && *k == ArrangementKind::Grid)
-            .map(|&(_, _, _, s)| s)
-            .filter(|&g| g > 0.0);
-        let vs_grid = grid_sat.map_or(f64::NAN, |g| sat / g);
-        println!(
-            "{:<8} {:<4} {:>10.1} {:>10.3} {:>9.2}",
-            pattern_name,
-            kind.label(),
-            zero_load,
-            sat,
-            vs_grid
-        );
-        table.row(&[
-            &n,
-            &pattern_name,
-            &kind.label(),
-            &f3(*zero_load),
-            &f3(*sat),
-            &f3(vs_grid),
-        ]);
-    }
-
-    let mut config = Value::object();
-    config.set("n", n);
-    config
-        .set("patterns", Value::Arr(patterns.iter().map(|p| Value::from(p.name())).collect()));
-    let written = campaign.finish(&table, config).expect("results dir writable");
-    for path in written {
-        println!("wrote {}", path.display());
-    }
+    presets::run_and_report(&spec, shared);
 }

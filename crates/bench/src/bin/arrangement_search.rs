@@ -4,13 +4,9 @@
 //! proxy objective, then validates the contenders with cycle-accurate
 //! saturation throughput and closed-loop workload makespan.
 //!
-//! This is the scenario-diversity axis beyond the paper: instead of
-//! evaluating hand-designed patterns, the search anneals rectangle
-//! placements (swap/rotate/relocate moves preserving overlap-freedom and
-//! connectivity) from fixed-arrangement and random seeds. Because three
-//! restarts are seeded from the HexaMesh, brickwall, and grid placements,
-//! the optimized arrangement's proxy objective is never worse than the
-//! best fixed placement's.
+//! A preset wrapper over the study flow (stage `search`, implemented by
+//! `chiplet_arrange::study` and injected through the flow's stage hooks):
+//! `study --preset arrangement_search` runs the identical campaign.
 //!
 //! Usage: `cargo run --release -p hexamesh-bench --bin arrangement_search
 //! [--ns 37,91,169,271] [--restarts R] [--iterations I] [--no-validate]
@@ -22,231 +18,33 @@
 //! chiplet counts to {19, 37} and the annealing schedule for CI smoke
 //! runs.
 
-use chiplet_arrange::{
-    full_score, search, validate_graph, ProxyScore, SearchConfig, SearchState, ValidateConfig,
-    ValidationReport,
-};
-use chiplet_graph::Graph;
-use hexamesh::arrangement::{Arrangement, ArrangementKind};
-use hexamesh_bench::csv::{f3, Table};
+use hexamesh_bench::presets;
 use hexamesh_bench::sweep;
-use xp::cli::arg_list;
-use xp::json::Value;
-use xp::seed::derive_seed;
-use xp::{Campaign, CampaignArgs};
-
-/// One ranked row: the optimized arrangement or a fixed family.
-struct Row {
-    /// CSV label: "OPT" or the fixed family's label.
-    label: &'static str,
-    /// Where the row came from: winning init kind for OPT, regularity for
-    /// fixed families.
-    source: String,
-    score: ProxyScore,
-    /// The row's ICI graph, kept for validation.
-    graph: Graph,
-    validation: Option<ValidationReport>,
-}
+use xp::cli::{self, try_arg_list, CampaignArgs};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mut shared = CampaignArgs::parse(&args);
-    sweep::default_out_to_repo_root(&args, &mut shared);
-    let default_ns: &[usize] = if shared.quick { &[19, 37] } else { &[37, 91, 169, 271] };
-    let ns = arg_list::<usize>(&args, "--ns", default_ns);
-    let restarts = sweep::arg_usize(&args, "--restarts", if shared.quick { 4 } else { 8 });
-    let iterations =
-        sweep::arg_usize(&args, "--iterations", if shared.quick { 400 } else { 3_000 });
-    let validate = !sweep::arg_flag(&args, "--no-validate");
-    let measure = sweep::schedule_for(&shared);
-    let campaign = Campaign::new("BENCH_arrange", shared);
-
-    let mut table = Table::new(&[
-        "n",
-        "kind",
-        "source",
-        "avg_distance",
-        "diameter",
-        "bisection_cut",
-        "proxy_value",
-        "rank",
-        "sat_rate",
-        "sat_throughput",
-        "makespan_cycles",
-        "critical_path_cycles",
-    ]);
-
-    println!("Arrangement search vs. fixed families (proxy objective, lower is better):");
-    println!(
-        "{:>4} {:<5} {:<10} {:>8} {:>5} {:>5} {:>8} {:>5}  {:>8} {:>10}",
-        "n",
-        "kind",
-        "source",
-        "avg dist",
-        "diam",
-        "bisec",
-        "value",
-        "rank",
-        "sat rate",
-        "makespan"
+    cli::reject_unknown_flags(
+        &args,
+        &cli::with_shared(&["--ns", "--restarts", "--iterations", "--no-validate"]),
     );
+    let ns = try_arg_list::<usize>(&args, "--ns").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let shared = CampaignArgs::parse(&args);
 
-    let mut opt_beats_best_fixed_everywhere = true;
-    for &n in &ns {
-        let mut config = base_search_config(n, campaign.args());
-        config.restarts = restarts;
-        config.anneal.iterations = iterations;
-        let outcome = search(&config).unwrap_or_else(|e| panic!("search n={n}: {e}"));
-        let best = outcome.best();
+    let mut spec = presets::preset("arrangement_search").expect("registered preset");
+    spec.axes.ns = ns;
+    // The historical restart/iteration defaults are quick-dependent; only
+    // explicit flags override the search's own schedule.
+    spec.search.restarts =
+        Some(sweep::arg_usize(&args, "--restarts", if shared.quick { 4 } else { 8 }));
+    spec.search.iterations =
+        Some(sweep::arg_usize(&args, "--iterations", if shared.quick { 400 } else { 3_000 }));
+    spec.search.validate = !sweep::arg_flag(&args, "--no-validate");
+    let mut resolved = shared;
+    xp::flow::apply_spec_defaults(&spec, &mut resolved, &args);
 
-        let mut rows = vec![Row {
-            label: "OPT",
-            source: format!("{}:r{}", best.init.label(), best.restart),
-            score: best.score,
-            graph: best.state.graph(),
-            validation: None,
-        }];
-        for kind in ArrangementKind::ALL {
-            rows.push(fixed_row(kind, n, &config));
-        }
-
-        let values: Vec<f64> = rows.iter().map(|r| r.score.value).collect();
-        let rank = sweep::competition_rank(&values);
-
-        // Stage 3: validate the optimized arrangement and the best fixed
-        // family with cycle-accurate saturation + workload makespan. Both
-        // rows run under the *same* derived simulator seed (from `n`
-        // alone), so their comparison measures the arrangements, not
-        // traffic-realisation noise.
-        if validate {
-            let mut best_fixed = 1;
-            for i in 2..rows.len() {
-                if values[i] < values[best_fixed] {
-                    best_fixed = i;
-                }
-            }
-            let mut vconfig = ValidateConfig { measure, ..ValidateConfig::default() };
-            vconfig.sim.seed = derive_seed(campaign.args().campaign_seed, &[n as u64]);
-            let opt_report = validate_graph(&rows[0].graph, &vconfig)
-                .unwrap_or_else(|e| panic!("validate n={n} OPT: {e}"));
-            // When the search converges to the best fixed family the two
-            // graphs are identical, and so (same seed) is the report —
-            // skip the second cycle-accurate run, the campaign's slowest.
-            rows[best_fixed].validation = if rows[best_fixed].graph == rows[0].graph {
-                Some(opt_report.clone())
-            } else {
-                Some(validate_graph(&rows[best_fixed].graph, &vconfig).unwrap_or_else(|e| {
-                    panic!("validate n={n} {}: {e}", rows[best_fixed].label)
-                }))
-            };
-            rows[0].validation = Some(opt_report);
-        }
-
-        let opt_value = rows[0].score.value;
-        let best_fixed_value =
-            rows[1..].iter().map(|r| r.score.value).fold(f64::INFINITY, f64::min);
-        if opt_value > best_fixed_value {
-            opt_beats_best_fixed_everywhere = false;
-        }
-
-        for (i, row) in rows.iter().enumerate() {
-            let (sat_rate, sat_tp, makespan, critical) = match &row.validation {
-                Some(v) => (
-                    f3(v.saturation.rate),
-                    f3(v.saturation.throughput),
-                    v.workload.makespan.to_string(),
-                    v.workload.critical_path_cycles.to_string(),
-                ),
-                None => (String::new(), String::new(), String::new(), String::new()),
-            };
-            println!(
-                "{:>4} {:<5} {:<10} {:>8} {:>5} {:>5} {:>8} {:>5}  {:>8} {:>10}",
-                n,
-                row.label,
-                row.source,
-                f3(row.score.avg_distance),
-                row.score.diameter,
-                row.score.bisection_cut,
-                f3(row.score.value),
-                rank[i],
-                sat_rate,
-                makespan,
-            );
-            table.row(&[
-                &n,
-                &row.label,
-                &row.source,
-                &f3(row.score.avg_distance),
-                &row.score.diameter,
-                &row.score.bisection_cut,
-                &f3(row.score.value),
-                &rank[i],
-                &sat_rate,
-                &sat_tp,
-                &makespan,
-                &critical,
-            ]);
-        }
-        println!(
-            "  → n={n}: optimized ({}) value {} vs best fixed {} — {}",
-            rows[0].source,
-            f3(opt_value),
-            f3(best_fixed_value),
-            if opt_value < best_fixed_value { "improved" } else { "matched" }
-        );
-    }
-    assert!(
-        opt_beats_best_fixed_everywhere,
-        "optimized arrangement scored worse than a fixed family (fixed-seeded \
-         restarts make this impossible unless the search is broken)"
-    );
-
-    let mut config = Value::object();
-    config.set("ns", Value::Arr(ns.iter().map(|&n| Value::from(n as f64)).collect()));
-    config.set("restarts", restarts);
-    config.set("iterations", iterations);
-    config.set("validated", validate);
-    let written = campaign.finish(&table, config).expect("results dir writable");
-    for path in written {
-        println!("wrote {}", path.display());
-    }
-}
-
-/// The search configuration shared by every `n` of this campaign.
-fn base_search_config(n: usize, args: &CampaignArgs) -> SearchConfig {
-    let mut config = if args.quick { SearchConfig::quick(n) } else { SearchConfig::new(n) };
-    config.seed = args.campaign_seed;
-    config.workers = args.workers;
-    config
-}
-
-/// Scores one fixed arrangement family at `n`.
-///
-/// HexaMesh and brickwall placements are scored through the same
-/// canonicalised [`SearchState`] path the optimizer's seeded restarts use,
-/// so "optimized ≤ best fixed" holds exactly (the bisection heuristic sees
-/// the same vertex labelling). The honeycomb has no rectangle placement
-/// and the paper's grid uses unit tiles; both are scored on their graphs
-/// directly.
-fn fixed_row(kind: ArrangementKind, n: usize, config: &SearchConfig) -> Row {
-    let arrangement = Arrangement::build(kind, n).expect("any n >= 1 builds");
-    let graph = match kind {
-        ArrangementKind::HexaMesh | ArrangementKind::Brickwall => {
-            let placement = arrangement.placement().expect("rectangular family");
-            SearchState::from_placement(placement)
-                .expect("fixed placements are valid states")
-                .canonical()
-                .graph()
-        }
-        _ => arrangement.graph().clone(),
-    };
-    let score = full_score(&graph, &config.weights, &config.bisection)
-        .expect("fixed arrangements are connected");
-    Row {
-        label: kind.label(),
-        source: arrangement.regularity().to_string(),
-        score,
-        graph,
-        validation: None,
-    }
+    presets::run_and_report(&spec, resolved);
 }

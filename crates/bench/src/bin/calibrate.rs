@@ -4,11 +4,15 @@ use nocsim::{measure, MeasureConfig, SimConfig};
 use std::time::Instant;
 
 fn main() {
+    // Analytic binary: no flags. Unknown flags abort (strict-CLI rule).
+    let args: Vec<String> = std::env::args().collect();
+    xp::cli::reject_unknown_flags(&args, &[]);
     for n in [25usize, 100] {
         let a = Arrangement::build(ArrangementKind::HexaMesh, n).unwrap();
         let cfg = SimConfig { injection_rate: 0.2, ..SimConfig::paper_defaults() };
-        let sched =
-            MeasureConfig { warmup_cycles: 3_000, measure_cycles: 6_000, ..Default::default() };
+        let mut sched = MeasureConfig::default();
+        sched.warmup_cycles = 3_000;
+        sched.measure_cycles = 6_000;
         let t = Instant::now();
         let point = measure::run_load_point(a.graph(), &cfg, &sched).unwrap();
         println!(

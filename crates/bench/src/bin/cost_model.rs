@@ -3,69 +3,28 @@
 //! silicon area and chiplet count, using the same 800 mm² design point as
 //! the performance evaluation.
 //!
-//! Usage: `cargo run --release -p hexamesh-bench --bin cost_model`
-//! Writes `results/cost_model.csv`.
+//! A preset wrapper over the study flow (stage `cost`):
+//! `study --preset cost_model` runs the identical campaign.
+//!
+//! Usage: `cargo run --release -p hexamesh-bench --bin cost_model
+//! [--ns 2,4,...] [--out DIR] [--format F]`
+//! Writes `results/cost_model.{csv,json}`.
 
-use std::path::Path;
-
-use chiplet_cost::system::{best_chiplet_count, system_cost_comparison, CostParams};
-use hexamesh_bench::csv::{f3, Table};
-use hexamesh_bench::RESULTS_DIR;
+use hexamesh_bench::presets;
+use xp::cli::{self, try_arg_list, CampaignArgs};
 
 fn main() {
-    let params = CostParams::default_5nm();
-    let mut table = Table::new(&[
-        "total_area_mm2",
-        "num_chiplets",
-        "monolithic_cost",
-        "mcm_cost",
-        "monolithic_over_mcm",
-        "monolithic_yield",
-        "chiplet_yield",
-        "assembly_yield",
-    ]);
+    let args: Vec<String> = std::env::args().collect();
+    cli::reject_unknown_flags(&args, &cli::with_shared(&["--ns"]));
+    let ns = try_arg_list::<usize>(&args, "--ns").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let shared = CampaignArgs::parse(&args);
 
-    println!("Monolithic vs 2.5D recurring cost (5nm-class defaults)\n");
-    println!(
-        "{:>8} {:>5}  {:>11} {:>11} {:>8}  {:>7} {:>7} {:>7}",
-        "area", "N", "mono [$]", "mcm [$]", "ratio", "Y_mono", "Y_chip", "Y_asm"
-    );
-    for &area in &[50.0, 100.0, 200.0, 400.0, 600.0, 800.0] {
-        for &n in &[2usize, 4, 8, 16, 25, 36, 49, 64, 100] {
-            let Ok(cmp) = system_cost_comparison(&params, area, n) else {
-                continue; // tiny chiplets may round below wafer feasibility
-            };
-            println!(
-                "{:>8.0} {:>5}  {:>11.0} {:>11.0} {:>8.2}  {:>7.3} {:>7.3} {:>7.3}",
-                area,
-                n,
-                cmp.monolithic_total,
-                cmp.mcm_total,
-                cmp.monolithic_over_mcm(),
-                cmp.monolithic_yield,
-                cmp.chiplet_yield,
-                cmp.assembly_yield
-            );
-            table.row(&[
-                &f3(area),
-                &n,
-                &f3(cmp.monolithic_total),
-                &f3(cmp.mcm_total),
-                &f3(cmp.monolithic_over_mcm()),
-                &f3(cmp.monolithic_yield),
-                &f3(cmp.chiplet_yield),
-                &f3(cmp.assembly_yield),
-            ]);
-        }
-    }
+    let mut spec = presets::preset("cost_model").expect("registered preset");
+    spec.axes.ns = ns;
 
-    // The sweet spot at the paper's 800 mm² design point.
-    let counts: Vec<usize> = (1..=128).collect();
-    if let Some((best_n, best_cost)) = best_chiplet_count(&params, 800.0, &counts) {
-        println!("\noptimal chiplet count at 800 mm²: N = {best_n} (MCM cost ${best_cost:.0})");
-    }
-
-    let path = Path::new(RESULTS_DIR).join("cost_model.csv");
-    table.write_to(&path).expect("write CSV");
-    println!("wrote {} ({} rows)", path.display(), table.len());
+    println!("Monolithic vs 2.5D recurring cost (5nm-class defaults)");
+    presets::run_and_report(&spec, shared);
 }

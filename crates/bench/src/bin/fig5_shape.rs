@@ -12,6 +12,9 @@ use hexamesh_bench::csv::{f3, Table};
 use hexamesh_bench::RESULTS_DIR;
 
 fn main() {
+    // Analytic binary: no flags. Unknown flags abort (strict-CLI rule).
+    let args: Vec<String> = std::env::args().collect();
+    xp::cli::reject_unknown_flags(&args, &[]);
     // ── Worked example of §IV-B ─────────────────────────────────────────
     let params = ShapeParams::new(16.0, 0.4).expect("valid paper parameters");
     let bw = brickwall_shape(&params).expect("solvable");

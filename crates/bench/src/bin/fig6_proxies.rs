@@ -12,6 +12,9 @@ use hexamesh_bench::csv::{f3, Table};
 use hexamesh_bench::{sweep, RESULTS_DIR};
 
 fn main() {
+    // Analytic binary: no flags. Unknown flags abort (strict-CLI rule).
+    let args: Vec<String> = std::env::args().collect();
+    xp::cli::reject_unknown_flags(&args, &[]);
     let ns: Vec<usize> = (1..=100).collect();
     let points = sweep::proxy_sweep(&ns);
 

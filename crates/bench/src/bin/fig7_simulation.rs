@@ -2,6 +2,11 @@
 //! throughput (7b), and their grid-normalised counterparts (7c, 7d), using
 //! the D2D link model plus the cycle-accurate simulator.
 //!
+//! A preset wrapper: builds the `fig7_simulation` [`StudySpec`] preset
+//! (stage `saturation`), applies the historical flags as spec overrides,
+//! and delegates to the study flow — `study --preset fig7_simulation`
+//! runs the identical campaign.
+//!
 //! Usage:
 //! ```text
 //! cargo run --release -p hexamesh-bench --bin fig7_simulation [--step K] \
@@ -14,132 +19,53 @@
 //! replicates every `(kind, n)` evaluation with engine-derived seeds and
 //! reports replicate means; `--fanout F` probes F rates per saturation
 //! round in parallel (use when the grid is narrow relative to
-//! `--workers`; changes the probe sequence, so fix it per campaign). `--routing deterministic` matches BookSim2's
-//! `anynet` shortest-path routing (the paper's setup); the default
-//! `adaptive` is our deadlock-safe minimal-adaptive + escape
-//! configuration. Writes `results/fig7_results[_<routing>]` and the
-//! matching `fig7_normalized` series through the engine sinks.
+//! `--workers`; changes the probe sequence, so fix it per campaign).
+//! `--routing deterministic` matches BookSim2's `anynet` shortest-path
+//! routing (the paper's setup); the default `adaptive` is our
+//! deadlock-safe minimal-adaptive + escape configuration. Writes
+//! `results/fig7_results[_<routing>]` and the matching `fig7_normalized`
+//! series through the engine sinks.
 
-use hexamesh::arrangement::ArrangementKind;
-use hexamesh::eval::{normalize, EvalParams, EvalResult};
-use hexamesh_bench::csv::{f3, Table};
+use hexamesh_bench::presets;
 use hexamesh_bench::sweep;
 use nocsim::RoutingKind;
-use xp::json::Value;
-use xp::{Campaign, CampaignArgs};
+use xp::cli::{self, CampaignArgs};
+use xp::spec::StudySpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    cli::reject_unknown_flags(
+        &args,
+        &cli::with_shared(&["--step", "--max-n", "--fanout", "--routing"]),
+    );
     let step = sweep::arg_usize(&args, "--step", 1);
     let max_n = sweep::arg_usize(&args, "--max-n", 100);
     // Intra-search parallelism: probe F rates per bracketing round. An
     // explicit flag (not derived from --workers) so rows stay independent
     // of the worker count.
     let fanout = sweep::arg_usize(&args, "--fanout", 1).max(1);
-    let shared = CampaignArgs::parse(&args);
-    let routing_value = xp::cli::try_arg_value(&args, "--routing").unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(2);
-    });
-    let (routing, suffix) = match routing_value {
-        None | Some("adaptive") => (RoutingKind::MinimalAdaptiveEscape, ""),
-        Some("deterministic") => (RoutingKind::MinimalDeterministic, "_deterministic"),
-        Some("updown") => (RoutingKind::UpDownOnly, "_updown"),
-        Some(other) => {
-            eprintln!("error: --routing expects adaptive|deterministic|updown, got {other:?}");
+    // Parsed by hand (not `try_arg`) so the error names the accepted
+    // values instead of the Rust type.
+    let routing: RoutingKind = xp::cli::try_arg_value(&args, "--routing")
+        .and_then(|v| {
+            v.map_or(Ok(RoutingKind::default()), |v| {
+                v.parse().map_err(|e| format!("--routing: {e}"))
+            })
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
             std::process::exit(2);
-        }
-    };
+        });
+    let shared = CampaignArgs::parse(&args);
 
-    let mut params = EvalParams::paper_defaults();
-    params.sim.routing = routing;
-    params.measure = sweep::schedule_for(&shared);
-
-    let campaign = Campaign::new(&format!("fig7_results{suffix}"), shared);
-    let ns: Vec<usize> = (2..=max_n).step_by(step.max(1)).collect();
-    eprintln!(
-        "fig7: evaluating {} chiplet counts x 3 kinds x {} seeds on {} workers (quick={}, routing={routing:?})",
-        ns.len(),
-        campaign.args().seeds,
-        campaign.args().workers,
-        campaign.args().quick,
-    );
-    let results = sweep::evaluation_campaign(&ns, &params, &campaign, fanout);
-
-    // ── Absolute series (Fig. 7a / 7b) ──────────────────────────────────
-    let mut table = Table::new(&[
-        "kind",
-        "regularity",
-        "n",
-        "zero_load_latency_cycles",
-        "saturation_fraction",
-        "link_bandwidth_gbps",
-        "full_global_bandwidth_tbps",
-        "saturation_throughput_tbps",
-        "diameter",
-    ]);
-    for r in &results {
-        table.row(&[
-            &r.kind.label(),
-            &r.regularity.to_string(),
-            &r.n,
-            &f3(r.zero_load_latency_cycles),
-            &f3(r.saturation_fraction),
-            &f3(r.link_bandwidth_gbps),
-            &f3(r.full_global_bandwidth_tbps),
-            &f3(r.saturation_throughput_tbps),
-            &r.diameter,
-        ]);
+    let mut spec: StudySpec = presets::preset("fig7_simulation").expect("registered preset");
+    spec.axes.ns = Some((2..=max_n).step_by(step.max(1)).collect());
+    spec.saturation.fanout = Some(fanout);
+    if routing != RoutingKind::default() {
+        spec.sim.routing = Some(routing);
+        spec.name = format!("fig7_results_{routing}");
+        spec.saturation.normalized_stem = Some(format!("fig7_normalized_{routing}"));
     }
-    let mut config = Value::object();
-    config.set("routing", format!("{routing:?}"));
-    config.set("step", step);
-    config.set("max_n", max_n);
-    config.set("fanout", fanout);
-    let written = campaign.finish(&table, config.clone()).expect("write sinks");
 
-    // ── Normalised series (Fig. 7c / 7d) ────────────────────────────────
-    let by_kind = |kind: ArrangementKind| -> Vec<EvalResult> {
-        results.iter().copied().filter(|r| r.kind == kind).collect()
-    };
-    let grid = by_kind(ArrangementKind::Grid);
-    let mut normalized = Table::new(&["kind", "n", "latency_pct", "throughput_pct"]);
-    let mut summary: Vec<(ArrangementKind, f64, f64)> = Vec::new();
-    for kind in [ArrangementKind::Brickwall, ArrangementKind::HexaMesh] {
-        let series = normalize(&by_kind(kind), &grid);
-        for p in &series {
-            normalized.row(&[&kind.label(), &p.n, &f3(p.latency_pct), &f3(p.throughput_pct)]);
-        }
-        // The paper's averages are over N >= 10, where layouts stabilise.
-        let lat: Vec<f64> =
-            series.iter().filter(|p| p.n >= 10).map(|p| p.latency_pct).collect();
-        let thr: Vec<f64> =
-            series.iter().filter(|p| p.n >= 10).map(|p| p.throughput_pct).collect();
-        summary.push((
-            kind,
-            sweep::mean(&lat).unwrap_or(f64::NAN),
-            sweep::mean(&thr).unwrap_or(f64::NAN),
-        ));
-    }
-    let norm_written = campaign
-        .finish_named(&format!("fig7_normalized{suffix}"), &normalized, config)
-        .expect("write sinks");
-
-    println!("Fig. 7 summary (averages over N >= 10, relative to the grid):");
-    println!(
-        "  paper:    BW latency ~80%, throughput ~112%;  HM latency ~80%, throughput ~134%"
-    );
-    for (kind, lat, thr) in summary {
-        println!(
-            "  measured: {} latency {:.1}% (Δ {:+.1}%), throughput {:.1}% (Δ {:+.1}%)",
-            kind.label(),
-            lat,
-            lat - 100.0,
-            thr,
-            thr - 100.0
-        );
-    }
-    for path in written.iter().chain(&norm_written) {
-        println!("wrote {}", path.display());
-    }
+    presets::run_and_report(&spec, shared);
 }

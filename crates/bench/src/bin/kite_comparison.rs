@@ -3,220 +3,38 @@
 //!
 //! §VII positions HexaMesh against Kite \[15\]: Kite connects non-adjacent
 //! chiplets on a grid arrangement, accepting lower link frequencies for
-//! better graph properties; HexaMesh gets the better graph by *arrangement*
-//! and keeps every link short. This experiment makes the comparison
-//! quantitative: mesh, folded torus, and a Kite-style express mesh on the
-//! grid arrangement — each link derated by the signal-integrity model —
-//! against HexaMesh with all-adjacent full-rate links.
+//! better graph properties; HexaMesh gets the better graph by
+//! *arrangement* and keeps every link short. This campaign makes the
+//! comparison quantitative: mesh, folded torus, and a Kite-style express
+//! mesh on the grid arrangement — each link derated by the
+//! signal-integrity model — against HexaMesh with all-adjacent full-rate
+//! links. See the `kite` stage in `xp::flow` for the geometry and
+//! bump-budget details.
 //!
-//! Per-link bump area is `(1 − p_p)·A_C / max_degree`: a router with more
-//! ports splits the same bump budget across more links (§IV-B's argument,
-//! applied to Kite routers too).
-//!
-//! Physical link lengths follow the paper's geometry: an adjacent-chiplet
-//! wire spans bump sector to bump sector, `≈ 2·D_B` (§IV-B), *not* a full
-//! centre-to-centre pitch; an express link spanning `k` pitches adds
-//! `(k − 1)` pitches of routing on top.
-//!
-//! Each `(N, topology, seed)` evaluation is one engine-pool job.
+//! A preset wrapper over the study flow (stage `kite`):
+//! `study --preset kite_comparison` runs the identical campaign.
 //!
 //! Usage: `cargo run --release -p hexamesh-bench --bin kite_comparison
-//! [--quick] [--workers W] [--seeds K] [--out DIR] [--format F]`
+//! [--ns 16,25,36,49] [--quick] [--workers W] [--seeds K] [--out DIR]
+//! [--format F]`
 //! (the default schedule already is the paper-scale one, so `--full` is
 //! the default here)
 //! Writes `results/kite_comparison.{csv,json}`.
 
-use chiplet_phy::Technology;
-use chiplet_topo::express::ExpressOptions;
-use chiplet_topo::{evaluate, express, ftorus, mesh, EvalOptions, Topology};
-use hexamesh::arrangement::{Arrangement, ArrangementKind};
-use hexamesh::link::{estimate_link, LinkParams, UCIE_POWER_FRACTION, UCIE_TOTAL_AREA_MM2};
-use hexamesh::shape::{shape_for, ShapeParams};
-use hexamesh_bench::csv::{f3, Table};
-use hexamesh_bench::sweep::mean_of;
-use nocsim::MeasureConfig;
-use xp::grid::expand_replicates;
-use xp::json::Value;
-use xp::{Campaign, CampaignArgs};
-
-const NS: [usize; 4] = [16, 25, 36, 49];
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Variant {
-    Mesh,
-    Ftorus,
-    Express,
-    HexaMesh,
-}
-
-const VARIANTS: [Variant; 4] =
-    [Variant::Mesh, Variant::Ftorus, Variant::Express, Variant::HexaMesh];
-
-#[derive(Clone, Copy)]
-struct KiteJob {
-    n: usize,
-    variant: Variant,
-}
-
-struct Row {
-    name: String,
-    links: usize,
-    max_degree: usize,
-    min_rate_gbps: f64,
-    zero_load: f64,
-    sat_tbps: f64,
-}
+use hexamesh_bench::presets;
+use xp::cli::{self, try_arg_list, CampaignArgs};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let campaign = Campaign::new("kite_comparison", CampaignArgs::parse(&args));
-    let tech = Technology::organic_substrate();
-
-    let mut jobs = Vec::new();
-    for &n in &NS {
-        for &variant in &VARIANTS {
-            jobs.push(KiteJob { n, variant });
-        }
-    }
-    let seeds = campaign.args().seeds.max(1);
-    let expanded = expand_replicates(&jobs, seeds, campaign.args().campaign_seed, |job| {
-        let variant_rank =
-            VARIANTS.iter().position(|&v| v == job.variant).expect("listed variant");
-        vec![job.n as u64, variant_rank as u64]
+    cli::reject_unknown_flags(&args, &cli::with_shared(&["--ns"]));
+    let ns = try_arg_list::<usize>(&args, "--ns").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
     });
+    let shared = CampaignArgs::parse(&args);
 
-    // This binary's historical default *is* the paper-scale schedule, so
-    // --full coincides with the default and --quick shortens it.
-    let schedule =
-        if campaign.args().quick { MeasureConfig::quick() } else { MeasureConfig::default() };
-    let results = campaign.run_jobs(
-        &expanded,
-        |(job, _)| job.n as u64,
-        |(job, seed)| {
-            let physical = build_topology(job.n, job.variant);
-            report(&physical, &tech, schedule, job.n, *seed)
-        },
-    );
+    let mut spec = presets::preset("kite_comparison").expect("registered preset");
+    spec.axes.ns = ns;
 
-    let mut table = Table::new(&[
-        "n",
-        "topology",
-        "links",
-        "max_degree",
-        "min_link_rate_gbps",
-        "zero_load_latency_cycles",
-        "saturation_tbps",
-    ]);
-
-    println!("HexaMesh vs. length-aware grid topologies (substrate, 16 Gb/s nominal):");
-    println!(
-        "{:>3} {:<14} {:>5} {:>7} {:>9} {:>10} {:>10}",
-        "N", "topology", "links", "max_deg", "min Gb/s", "lat [cyc]", "sat [Tb/s]"
-    );
-    for (job, chunk) in jobs.iter().zip(results.chunks(seeds as usize)) {
-        let first = &chunk[0];
-        let zero_load = mean_of(chunk, |r| r.zero_load);
-        let sat_tbps = mean_of(chunk, |r| r.sat_tbps);
-        println!(
-            "{:>3} {:<14} {:>5} {:>7} {:>9.1} {:>10.1} {:>10.2}",
-            job.n,
-            first.name,
-            first.links,
-            first.max_degree,
-            first.min_rate_gbps,
-            zero_load,
-            sat_tbps
-        );
-        table.row(&[
-            &job.n,
-            &first.name,
-            &first.links,
-            &first.max_degree,
-            &f3(first.min_rate_gbps),
-            &f3(zero_load),
-            &f3(sat_tbps),
-        ]);
-    }
-
-    let mut config = Value::object();
-    config.set("technology", "organic_substrate");
-    config.set("ns", Value::Arr(NS.iter().map(|&n| Value::from(n)).collect()));
-    let written = campaign.finish(&table, config).expect("results dir writable");
-    for path in written {
-        println!("wrote {}", path.display());
-    }
-}
-
-/// Builds the physical (mm-lengths) topology of one variant at `n`.
-fn build_topology(n: usize, variant: Variant) -> Topology {
-    let side = (n as f64).sqrt().round() as usize;
-    let chiplet_area = UCIE_TOTAL_AREA_MM2 / n as f64;
-    let shape_params =
-        ShapeParams::new(chiplet_area, UCIE_POWER_FRACTION).expect("valid areas");
-    match variant {
-        Variant::Mesh | Variant::Ftorus | Variant::Express => {
-            let grid_shape =
-                shape_for(ArrangementKind::Grid, &shape_params).expect("grid shape solvable");
-            let topo = match variant {
-                Variant::Mesh => mesh(side, side),
-                Variant::Ftorus => ftorus(side, side),
-                _ => express(side, side, &ExpressOptions::default()).expect("express builds"),
-            };
-            with_mm_lengths(&topo, grid_shape.width, grid_shape.max_bump_distance)
-        }
-        Variant::HexaMesh => {
-            let hm = Arrangement::build(ArrangementKind::HexaMesh, n).expect("any n builds");
-            let hm_shape = shape_for(ArrangementKind::HexaMesh, &shape_params)
-                .expect("brickwall shape solvable");
-            let hm_edges: Vec<(usize, usize, f64)> =
-                hm.graph().edges().map(|(u, v)| (u, v, 1.0)).collect();
-            let hm_topo = Topology::new(format!("hexamesh_{n}"), n, hm_edges)
-                .expect("arrangement graphs are simple");
-            with_mm_lengths(&hm_topo, hm_shape.width, hm_shape.max_bump_distance)
-        }
-    }
-}
-
-/// Converts generator lengths (pitch units) to physical mm: an adjacent
-/// link (1 pitch) spans bump sector to bump sector, `2·D_B`; each extra
-/// pitch adds a full chiplet crossing.
-fn with_mm_lengths(topo: &Topology, pitch_mm: f64, d_b_mm: f64) -> Topology {
-    let edges: Vec<(usize, usize, f64)> = topo
-        .edges()
-        .iter()
-        .map(|e| (e.u, e.v, 2.0 * d_b_mm + (e.length_pitch - 1.0) * pitch_mm))
-        .collect();
-    Topology::new(topo.name().to_owned(), topo.num_routers(), edges)
-        .expect("lengths stay positive")
-}
-
-fn report(
-    topo: &Topology,
-    tech: &Technology,
-    schedule: MeasureConfig,
-    n: usize,
-    seed: u64,
-) -> Row {
-    let mut opts = EvalOptions::paper_defaults(tech.clone());
-    opts.pitch_mm = 1.0; // lengths already in mm
-    opts.sim.seed = seed;
-    opts.schedule = schedule;
-    let result = evaluate(topo, &opts).expect("feasible topologies");
-
-    // §V bandwidth with the port-count tax: A_B = (1 − p_p)·A_C / max_deg.
-    let chiplet_area = UCIE_TOTAL_AREA_MM2 / n as f64;
-    let sector_area =
-        (1.0 - UCIE_POWER_FRACTION) * chiplet_area / topo.max_degree().max(1) as f64;
-    let link = estimate_link(&LinkParams::ucie_c4(sector_area)).expect("valid params");
-    let full_global_tbps =
-        n as f64 * opts.sim.endpoints_per_router as f64 * link.bandwidth_tbps();
-
-    Row {
-        name: topo.name().to_owned(),
-        links: topo.edges().len(),
-        max_degree: topo.max_degree(),
-        min_rate_gbps: result.min_rate_gbps,
-        zero_load: result.zero_load_latency,
-        sat_tbps: result.saturation.throughput * full_global_tbps,
-    }
+    presets::run_and_report(&spec, shared);
 }

@@ -1,19 +1,17 @@
 //! EXP-LC — latency-vs-offered-load curves (the raw data behind Fig. 7).
 //!
 //! The paper reports two scalars per arrangement (zero-load latency and
-//! saturation throughput); this binary regenerates the full latency/load
-//! curves those scalars summarise, including tail percentiles — the
-//! standard BookSim2 presentation.
+//! saturation throughput); this campaign regenerates the full
+//! latency/load curves those scalars summarise, including tail
+//! percentiles — the standard BookSim2 presentation. Each row also
+//! reports the endpoint source-queue occupancy (max + mean) — the
+//! congestion signal that rises past the knee.
 //!
-//! Declared as an engine grid (kind × injection rate × `--seeds K`
-//! replicates) and run on the worker pool, so the curve points of all
-//! three arrangements simulate concurrently and rows are identical for
-//! any `--workers` value. Unlike the pre-engine loop, *all* twelve rate
-//! points are always simulated — there is no past-saturation early exit,
-//! because a declared grid is fixed up front. Each point's cost is
-//! bounded by the fixed warmup/measure window, and the post-knee rows
-//! (noisy by nature) are part of the output; filter on the latency
-//! column downstream if you only want the stable branch.
+//! A preset wrapper over the study flow (stage `load_curve`):
+//! `study --preset load_curves` runs the identical campaign, and a TOML
+//! spec can sweep anything this binary's flags cannot (multiple `ns`,
+//! non-default rates, routing overrides, an `optimized` search-discovered
+//! arrangement next to the fixed families).
 //!
 //! Usage: `cargo run --release -p hexamesh-bench --bin load_curves
 //! [--n N] [--patterns uniform,tornado,...] [--workers W] [--seeds K]
@@ -21,149 +19,27 @@
 //! Writes `results/load_curves.{csv,json}`. Patterns parse through the
 //! shared `xp::cli::arg_list` layer (strict: malformed names abort);
 //! the default single-pattern sweep is the historical uniform-random
-//! curve. Each row also reports the endpoint source-queue occupancy
-//! (max + mean) — the congestion signal that rises past the knee.
+//! curve.
 
-use hexamesh::arrangement::{Arrangement, ArrangementKind};
-use hexamesh_bench::csv::{f3, Table};
-use hexamesh_bench::sweep::{self, mean_of};
-use nocsim::{SimConfig, Simulator, TrafficPattern};
-use xp::cli::arg_list;
-use xp::grid::Scenario;
-use xp::json::Value;
-use xp::{Campaign, CampaignArgs};
-
-/// The metrics of one simulated curve point.
-struct Point {
-    accepted: f64,
-    avg: f64,
-    p50: f64,
-    p95: f64,
-    p99: f64,
-    queue_max: u64,
-    queue_mean: f64,
-}
+use hexamesh_bench::presets;
+use hexamesh_bench::sweep;
+use nocsim::TrafficPattern;
+use xp::cli::{self, try_arg_list, CampaignArgs};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    cli::reject_unknown_flags(&args, &cli::with_shared(&["--n", "--patterns"]));
     let n = sweep::arg_usize(&args, "--n", 37);
-    let patterns =
-        arg_list::<TrafficPattern>(&args, "--patterns", &[TrafficPattern::UniformRandom]);
-    let campaign = Campaign::new("load_curves", CampaignArgs::parse(&args));
-    // Per-point simulation windows: the historical 4k/8k by default,
-    // shortened by --quick, paper-scale under --full.
-    let (warmup, measure) = if campaign.args().quick {
-        (1_500, 3_000)
-    } else if campaign.args().full {
-        (5_000, 10_000)
-    } else {
-        (4_000, 8_000)
-    };
-
-    let rates: Vec<f64> = (1..=12u32).map(|step| f64::from(step) * 0.04).collect();
-    let scenario = Scenario::new(&ArrangementKind::EVALUATED, &[n])
-        .with_rates(&rates)
-        .with_patterns(&patterns);
-
-    let results = campaign.run_grid(&scenario, |job| {
-        let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
-        let config = SimConfig {
-            injection_rate: job.rate.expect("rate axis set"),
-            pattern: job.pattern,
-            seed: job.seed,
-            ..SimConfig::paper_defaults()
-        };
-        let mut sim = Simulator::new(arrangement.graph(), config).expect("valid configuration");
-        let stats = sim.run_to_window(warmup, measure);
-        // One histogram merge serves all three tail percentiles.
-        let tails = sim.latency_percentiles(&[0.50, 0.95, 0.99]);
-        Point {
-            accepted: stats.accepted_flits_per_cycle_per_endpoint,
-            avg: stats.avg_packet_latency.unwrap_or(f64::NAN),
-            p50: tails[0].unwrap_or(f64::NAN),
-            p95: tails[1].unwrap_or(f64::NAN),
-            p99: tails[2].unwrap_or(f64::NAN),
-            queue_max: stats.max_source_queue_flits,
-            queue_mean: stats.avg_source_queue_flits,
-        }
+    let patterns = try_arg_list::<TrafficPattern>(&args, "--patterns").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
     });
+    let shared = CampaignArgs::parse(&args);
 
-    let mut table = Table::new(&[
-        "n",
-        "kind",
-        "pattern",
-        "offered_flits_per_cycle",
-        "accepted_flits_per_cycle",
-        "avg_latency_cycles",
-        "p50_latency_cycles",
-        "p95_latency_cycles",
-        "p99_latency_cycles",
-        "max_source_queue_flits",
-        "mean_source_queue_flits",
-    ]);
+    let mut spec = presets::preset("load_curves").expect("registered preset");
+    spec.axes.ns = Some(vec![n]);
+    spec.axes.patterns = patterns;
 
     println!("Latency/load curves at N = {n} (paper §VI-A config):");
-    println!(
-        "{:<4} {:<10} {:>8} {:>9} {:>9} {:>8} {:>8} {:>8} {:>7} {:>8}",
-        "kind",
-        "pattern",
-        "offered",
-        "accepted",
-        "avg lat",
-        "p50",
-        "p95",
-        "p99",
-        "max q",
-        "mean q"
-    );
-    // Replicates of one (kind, rate, pattern) point are adjacent in grid
-    // order; aggregate each chunk to the replicate mean.
-    let k = campaign.args().seeds.max(1) as usize;
-    for chunk in results.chunks(k) {
-        let job = chunk[0].0;
-        let of = |f: fn(&Point) -> f64| mean_of(chunk, |(_, p)| f(p));
-        let rate = job.rate.expect("rate axis set");
-        let pattern_name = job.pattern.name();
-        let (accepted, avg) = (of(|p| p.accepted), of(|p| p.avg));
-        let (p50, p95, p99) = (of(|p| p.p50), of(|p| p.p95), of(|p| p.p99));
-        let queue_max = chunk.iter().map(|(_, p)| p.queue_max).max().unwrap_or(0);
-        let queue_mean = of(|p| p.queue_mean);
-        println!(
-            "{:<4} {:<10} {:>8.2} {:>9.3} {:>9.1} {:>8.0} {:>8.0} {:>8.0} {:>7} {:>8.2}",
-            job.kind.label(),
-            pattern_name,
-            rate,
-            accepted,
-            avg,
-            p50,
-            p95,
-            p99,
-            queue_max,
-            queue_mean
-        );
-        table.row(&[
-            &n,
-            &job.kind.label(),
-            &pattern_name,
-            &f3(rate),
-            &f3(accepted),
-            &f3(avg),
-            &f3(p50),
-            &f3(p95),
-            &f3(p99),
-            &queue_max,
-            &f3(queue_mean),
-        ]);
-    }
-
-    let mut config = Value::object();
-    config.set("n", n);
-    config.set("warmup_cycles", warmup);
-    config.set("measure_cycles", measure);
-    config
-        .set("patterns", Value::Arr(patterns.iter().map(|p| Value::from(p.name())).collect()));
-    let written = campaign.finish(&table, config).expect("results dir writable");
-    for path in written {
-        println!("wrote {}", path.display());
-    }
+    presets::run_and_report(&spec, shared);
 }

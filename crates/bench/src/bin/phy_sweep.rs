@@ -17,6 +17,9 @@ use hexamesh_bench::csv::{f3, Table};
 use hexamesh_bench::RESULTS_DIR;
 
 fn main() {
+    // Analytic binary: no flags. Unknown flags abort (strict-CLI rule).
+    let args: Vec<String> = std::env::args().collect();
+    xp::cli::reject_unknown_flags(&args, &[]);
     let budget = SignalBudget::default();
     let technologies = [Technology::organic_substrate(), Technology::silicon_interposer()];
     const BER_TARGET: f64 = -15.0;

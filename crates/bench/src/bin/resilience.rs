@@ -30,6 +30,7 @@ const NS: [usize; 8] = [16, 17, 36, 37, 41, 64, 91, 100];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    xp::cli::reject_unknown_flags(&args, &xp::cli::with_shared(&[]));
     let mut shared = CampaignArgs::parse(&args);
     // Structural analyses have no randomness: replicates would only
     // duplicate identical rows.

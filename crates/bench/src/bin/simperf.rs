@@ -81,6 +81,7 @@ fn measure(
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    xp::cli::reject_unknown_flags(&args, &xp::cli::with_shared(&["--side", "--cycles"]));
     let side = sweep::arg_usize(&args, "--side", 8);
     let mut shared = CampaignArgs::parse(&args);
     sweep::default_out_to_repo_root(&args, &mut shared);

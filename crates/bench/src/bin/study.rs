@@ -1,0 +1,144 @@
+//! ⚙ `study` — the one data-driven experiment runner.
+//!
+//! Every campaign in this repository is a [`StudySpec`] value: a stage
+//! (`proxies | saturation | traffic | load_curve | workload | search |
+//! kite | thermal | cost`), sweep axes, parameter overrides, and output
+//! configuration. This binary loads a spec and executes it through
+//! `xp::flow::run_study` — so a new study is a file, not a new binary.
+//!
+//! Usage:
+//! ```text
+//! study --spec FILE.toml|FILE.json     # run a spec file
+//! study --preset NAME                  # run a registered preset
+//! study --list                         # list presets and stages
+//! ```
+//! plus the shared campaign flags (`--workers`, `--seeds`, `--quick`,
+//! `--full`, `--out`, `--format`, `--seed`) and generic axis overrides
+//! that win over the spec: `--kinds`, `--ns`, `--n` (single-count
+//! shorthand), `--rates`, `--patterns`, `--workloads`, `--restarts`,
+//! `--iterations`, `--no-validate`, `--optimized`.
+//!
+//! A spec's `seed` / `replicates` / `output` keys act as defaults for
+//! the matching flags, so checked-in specs pin their reproduction
+//! exactly; explicit flags always win. Presets reproduce the historical
+//! binaries byte for byte at equal flags — pinned by the golden tests
+//! and the `study-vs-legacy` CI job.
+
+use chiplet_workload::WorkloadKind;
+use hexamesh::arrangement::ArrangementKind;
+use hexamesh_bench::presets;
+use nocsim::TrafficPattern;
+use xp::cli::{self, arg_flag, try_arg_list, try_arg_value};
+use xp::spec::{StageKind, StudySpec};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn strict<T>(result: Result<T, String>) -> T {
+    result.unwrap_or_else(|e| fail(&e))
+}
+
+fn load_spec(args: &[String]) -> StudySpec {
+    let spec_path = strict(try_arg_value(args, "--spec"));
+    let preset_name = strict(try_arg_value(args, "--preset"));
+    match (spec_path, preset_name) {
+        (Some(path), None) => {
+            let source = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            let parsed = if path.ends_with(".json") {
+                StudySpec::from_json(&source)
+            } else {
+                StudySpec::from_toml(&source)
+            };
+            parsed.unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+        }
+        (None, Some(name)) => presets::preset(name).unwrap_or_else(|| {
+            fail(&format!(
+                "unknown preset {name:?} (available: {})",
+                presets::PRESET_NAMES.join(", ")
+            ))
+        }),
+        (Some(_), Some(_)) => fail("--spec and --preset are mutually exclusive"),
+        (None, None) => fail("pass --spec FILE, --preset NAME, or --list"),
+    }
+}
+
+fn apply_overrides(spec: &mut StudySpec, args: &[String]) {
+    if let Some(kinds) = strict(try_arg_list::<ArrangementKind>(args, "--kinds")) {
+        spec.axes.kinds = Some(kinds);
+    }
+    if let Some(ns) = strict(try_arg_list::<usize>(args, "--ns")) {
+        spec.axes.ns = Some(ns);
+    }
+    if let Some(n) = strict(xp::cli::try_arg_value(args, "--n")) {
+        let n: usize =
+            n.parse().unwrap_or_else(|_| fail(&format!("--n expects a count, got {n:?}")));
+        spec.axes.ns = Some(vec![n]);
+    }
+    if let Some(rates) = strict(try_arg_list::<f64>(args, "--rates")) {
+        spec.axes.rates = Some(rates);
+    }
+    if let Some(patterns) = strict(try_arg_list::<TrafficPattern>(args, "--patterns")) {
+        spec.axes.patterns = Some(patterns);
+    }
+    if let Some(workloads) = strict(try_arg_list::<WorkloadKind>(args, "--workloads")) {
+        spec.axes.workloads = Some(workloads);
+    }
+    if let Some(restarts) = strict(try_arg_value(args, "--restarts")) {
+        spec.search.restarts =
+            Some(restarts.parse().unwrap_or_else(|_| fail("--restarts expects a count")));
+    }
+    if let Some(iterations) = strict(try_arg_value(args, "--iterations")) {
+        spec.search.iterations =
+            Some(iterations.parse().unwrap_or_else(|_| fail("--iterations expects a count")));
+    }
+    if arg_flag(args, "--no-validate") {
+        spec.search.validate = false;
+    }
+    if arg_flag(args, "--optimized") {
+        spec.axes.optimized = true;
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    cli::reject_unknown_flags(
+        &args,
+        &cli::with_shared(&[
+            "--spec",
+            "--preset",
+            "--list",
+            "--kinds",
+            "--ns",
+            "--n",
+            "--rates",
+            "--patterns",
+            "--workloads",
+            "--restarts",
+            "--iterations",
+            "--no-validate",
+            "--optimized",
+        ]),
+    );
+    if arg_flag(&args, "--list") {
+        println!("presets:");
+        for name in presets::PRESET_NAMES {
+            let spec = presets::preset(name).expect("listed preset");
+            println!("  {name:<22} stage {}", spec.stage);
+        }
+        println!("stages:");
+        for stage in StageKind::ALL {
+            println!("  {stage}");
+        }
+        return;
+    }
+
+    let mut spec = load_spec(&args);
+    apply_overrides(&mut spec, &args);
+    let shared = strict(xp::flow::campaign_args_for(&spec, &args));
+
+    eprintln!("study: {} (stage {})", spec.name, spec.stage);
+    presets::run_and_report(&spec, shared);
+}

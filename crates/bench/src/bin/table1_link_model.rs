@@ -14,6 +14,9 @@ use hexamesh_bench::csv::{f3, Table};
 use hexamesh_bench::RESULTS_DIR;
 
 fn main() {
+    // Analytic binary: no flags. Unknown flags abort (strict-CLI rule).
+    let args: Vec<String> = std::env::args().collect();
+    xp::cli::reject_unknown_flags(&args, &[]);
     // ── Table I: architectural parameters (the model's inputs) ─────────
     println!("Table I — architectural parameters (UCIe-based, §VI-B):");
     println!("  A_all  = {} mm² (combined chiplet area)", link::UCIE_TOTAL_AREA_MM2);

@@ -1,106 +1,34 @@
 //! EXP-TH1 — thermal comparison of chiplet arrangements.
 //!
 //! §II notes that dense integration brings thermal problems, and the
-//! cross-layer work the paper cites (Coskun et al. \[16\]) treats operating
-//! temperature as a co-equal objective with ICI performance. This
-//! experiment asks: does the HexaMesh arrangement, which packs chiplets
-//! into a roughly circular footprint, pay a thermal price against the grid
-//! at equal total power?
+//! cross-layer work the paper cites (Coskun et al. \[16\]) treats
+//! operating temperature as a co-equal objective with ICI performance.
+//! This campaign asks: does the HexaMesh arrangement, which packs
+//! chiplets into a roughly circular footprint, pay a thermal price
+//! against the grid at equal total power? (Rasterisation and power
+//! densities live in the `thermal` stage of `xp::flow`.)
 //!
-//! Every arrangement is rasterised area-preservingly (lattice aspect
-//! distortion of the brick layouts is accepted and noted), compute chiplets
-//! dissipate a fixed areal power density, perimeter I/O chiplets a third of
-//! it.
+//! A preset wrapper over the study flow (stage `thermal`):
+//! `study --preset thermal_comparison` runs the identical campaign.
 //!
-//! Usage: `cargo run --release -p hexamesh-bench --bin thermal_comparison [--n N]`
-//! Writes `results/thermal_comparison.csv`.
+//! Usage: `cargo run --release -p hexamesh-bench --bin thermal_comparison
+//! [--n N] [--workers W] [--out DIR] [--format F]`
+//! Writes `results/thermal_comparison.{csv,json}`.
 
-use std::path::Path;
-
-use chiplet_layout::ChipletKind;
-use chiplet_thermal::{solve, HotspotReport, PowerMap, ThermalParams};
-use hexamesh::arrangement::{Arrangement, ArrangementKind};
-use hexamesh::link::UCIE_TOTAL_AREA_MM2;
-use hexamesh_bench::csv::{f3, Table};
-use hexamesh_bench::{sweep, RESULTS_DIR};
-
-/// Areal power density of compute silicon, W/mm² (200 W per 800 mm²).
-const COMPUTE_DENSITY_W_PER_MM2: f64 = 0.25;
-/// I/O chiplets dissipate a third of the compute density.
-const IO_DENSITY_RATIO: f64 = 1.0 / 3.0;
+use hexamesh_bench::presets;
+use hexamesh_bench::sweep;
+use xp::cli::{self, CampaignArgs};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    cli::reject_unknown_flags(&args, &cli::with_shared(&["--n"]));
     let single_n = sweep::arg_usize(&args, "--n", 0);
-    let ns: Vec<usize> = if single_n > 0 { vec![single_n] } else { vec![16, 37, 64] };
+    let shared = CampaignArgs::parse(&args);
 
-    let mut table = Table::new(&[
-        "n",
-        "kind",
-        "total_power_w",
-        "peak_c",
-        "avg_c",
-        "gradient_c",
-        "hotspot_fraction",
-    ]);
-
-    println!(
-        "Steady-state thermal comparison at {COMPUTE_DENSITY_W_PER_MM2} W/mm² compute density:"
-    );
-    println!(
-        "{:>3} {:<4} {:>9} {:>8} {:>8} {:>9} {:>9}",
-        "N", "kind", "P [W]", "peak °C", "avg °C", "grad [K]", "hot frac"
-    );
-
-    for &n in &ns {
-        for kind in ArrangementKind::EVALUATED {
-            let arrangement = Arrangement::build(kind, n).expect("any n builds");
-            let placement = arrangement.placement().expect("evaluated kinds have layouts");
-            // Area-preserving lattice scale: one layout unit² maps to
-            // chiplet_area / units_per_chiplet mm².
-            let chiplet_area = UCIE_TOTAL_AREA_MM2 / n as f64;
-            let first = placement.chiplets().first().expect("non-empty placement");
-            let unit_area = (first.rect.width() * first.rect.height()) as f64;
-            let mm_per_unit = (chiplet_area / unit_area).sqrt();
-
-            let map = PowerMap::from_placement(placement, mm_per_unit, 0.5, 4, |c| {
-                let area_mm2 =
-                    (c.rect.width() * c.rect.height()) as f64 * mm_per_unit * mm_per_unit;
-                let density = match c.kind {
-                    ChipletKind::Compute => COMPUTE_DENSITY_W_PER_MM2,
-                    ChipletKind::Io => COMPUTE_DENSITY_W_PER_MM2 * IO_DENSITY_RATIO,
-                };
-                area_mm2 * density
-            })
-            .expect("placement rasterises");
-            let total_power = map.total_w();
-            let solution = solve(&map, &ThermalParams::default()).expect("converges");
-            let report = HotspotReport::from_solution(&solution);
-
-            println!(
-                "{:>3} {:<4} {:>9.1} {:>8.1} {:>8.1} {:>9.2} {:>9.3}",
-                n,
-                kind.label(),
-                total_power,
-                report.peak_c,
-                report.average_c,
-                report.gradient_c,
-                report.hotspot_fraction
-            );
-            table.row(&[
-                &n,
-                &kind.label(),
-                &f3(total_power),
-                &f3(report.peak_c),
-                &f3(report.average_c),
-                &f3(report.gradient_c),
-                &f3(report.hotspot_fraction),
-            ]);
-        }
+    let mut spec = presets::preset("thermal_comparison").expect("registered preset");
+    if single_n > 0 {
+        spec.axes.ns = Some(vec![single_n]);
     }
 
-    table
-        .write_to(Path::new(RESULTS_DIR).join("thermal_comparison.csv").as_path())
-        .expect("results dir writable");
-    println!("\nwrote {RESULTS_DIR}/thermal_comparison.csv");
+    presets::run_and_report(&spec, shared);
 }

@@ -6,15 +6,12 @@
 //! This is the evaluation dimension the paper's Fig. 7 cannot express:
 //! with messages unlocking other messages, congestion feeds back into
 //! the offered load, and an arrangement is good exactly when real
-//! communication patterns *finish sooner* on it. The analytic zero-load
-//! critical path of each DAG rides along, so the `overhead` column
-//! (makespan / critical path) separates topology-fundamental latency
-//! from congestion the arrangement adds.
+//! communication patterns *finish sooner* on it.
 //!
-//! Declared as an engine grid (kind × n × workload × `--seeds K`) on the
-//! worker pool; rows are byte-identical for any `--workers` value, and —
-//! because a workload run is a pure function of `(workload, topology,
-//! config)` — bit-identical across replicate seeds too.
+//! A preset wrapper over the study flow (stage `workload`):
+//! `study --preset workload_comparison` runs the identical campaign, and
+//! a spec can additionally rank a search-discovered arrangement
+//! (`axes.optimized = true`) against the fixed families.
 //!
 //! Usage: `cargo run --release -p hexamesh-bench --bin workload_comparison
 //! [--ns 37,61,91] [--workloads ring_allreduce,stencil,...] [--traces]
@@ -23,189 +20,33 @@
 //! Writes `BENCH_workload.{csv,json}` — to the repository root by
 //! default (the tracked baseline record; pass `--out` to redirect).
 //! `--quick` shrinks the chiplet counts to {7, 13, 19} for CI smoke
-//! runs; `--traces` additionally records each workload DAG as a replayable
-//! trace under `<out>/traces/`.
+//! runs; `--traces` additionally records each workload DAG as a
+//! replayable trace under `<out>/traces/`.
 
-use chiplet_workload::{trace, WorkloadDriver, WorkloadKind, WorkloadStats};
-use hexamesh::arrangement::{Arrangement, ArrangementKind};
-use hexamesh_bench::csv::{f3, Table};
-use hexamesh_bench::sweep::{self, mean_of};
-use nocsim::SimConfig;
-use xp::cli::arg_list;
-use xp::grid::Scenario;
-use xp::json::Value;
-use xp::{Campaign, CampaignArgs};
-
-/// Cycle budget per run — far above any sane makespan; the driver bails
-/// out on suspected deadlock long before this.
-const MAX_CYCLES: u64 = 50_000_000;
+use chiplet_workload::WorkloadKind;
+use hexamesh_bench::presets;
+use hexamesh_bench::sweep;
+use xp::cli::{self, try_arg_list, CampaignArgs};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mut shared = CampaignArgs::parse(&args);
-    sweep::default_out_to_repo_root(&args, &mut shared);
-    let default_ns: &[usize] = if shared.quick { &[7, 13, 19] } else { &[37, 61, 91] };
-    let ns = arg_list::<usize>(&args, "--ns", default_ns);
-    let workloads = arg_list::<WorkloadKind>(&args, "--workloads", &WorkloadKind::ALL);
-    let dump_traces = sweep::arg_flag(&args, "--traces");
-    let campaign = Campaign::new("BENCH_workload", shared);
-
-    let scenario = Scenario::new(&ArrangementKind::ALL, &ns).with_workloads(&workloads);
-    let results = campaign.run_grid(&scenario, |job| {
-        let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
-        let config = SimConfig { seed: job.seed, ..SimConfig::paper_defaults() };
-        let kind = job.workload.expect("workload axis set");
-        let endpoints = job.n * config.endpoints_per_router;
-        let workload = kind.build(endpoints);
-        let mut driver =
-            WorkloadDriver::new(arrangement.graph(), config, &workload).expect("valid driver");
-        let stats = driver.run(MAX_CYCLES);
-        assert!(
-            stats.completed,
-            "{kind} on {} n={} stalled at {}/{} messages",
-            job.kind,
-            job.n,
-            stats.delivered_messages,
-            workload.len()
-        );
-        stats
-    });
-
-    if dump_traces {
-        let dir = campaign.args().out.join("traces");
-        std::fs::create_dir_all(&dir).expect("traces dir writable");
-        for &kind in &workloads {
-            for &n in &ns {
-                let endpoints = n * SimConfig::paper_defaults().endpoints_per_router;
-                let path = dir.join(format!("{kind}_e{endpoints}.trace.csv"));
-                trace::save(&kind.build(endpoints), &path).expect("trace writable");
-                println!("wrote {}", path.display());
-            }
-        }
-    }
-
-    // Aggregate replicates (bit-identical by construction, but --seeds K
-    // keeps the CLI uniform), then regroup rows (workload, n)-major for
-    // the ranking.
-    let k = campaign.args().seeds.max(1) as usize;
-    struct Row {
-        workload: WorkloadKind,
-        n: usize,
-        kind: ArrangementKind,
-        stats: WorkloadStats,
-        makespan: f64,
-        critical: f64,
-        avg_latency: f64,
-    }
-    let mut rows: Vec<Row> = results
-        .chunks(k)
-        .map(|chunk| {
-            let job = chunk[0].0;
-            Row {
-                workload: job.workload.expect("workload axis set"),
-                n: job.n,
-                kind: job.kind,
-                stats: chunk[0].1.clone(),
-                makespan: mean_of(chunk, |(_, s)| s.makespan as f64),
-                critical: mean_of(chunk, |(_, s)| s.critical_path_cycles as f64),
-                avg_latency: mean_of(chunk, |(_, s)| {
-                    s.network.avg_packet_latency.unwrap_or(f64::NAN)
-                }),
-            }
-        })
-        .collect();
-    let workload_rank =
-        |w: WorkloadKind| workloads.iter().position(|&x| x == w).unwrap_or(usize::MAX);
-    let kind_rank = |kind: ArrangementKind| {
-        ArrangementKind::ALL.iter().position(|&x| x == kind).unwrap_or(usize::MAX)
+    cli::reject_unknown_flags(&args, &cli::with_shared(&["--ns", "--workloads", "--traces"]));
+    let strict = |e: String| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(2);
     };
-    rows.sort_by_key(|r| (workload_rank(r.workload), r.n, kind_rank(r.kind)));
+    let ns = try_arg_list::<usize>(&args, "--ns").unwrap_or_else(|e| strict(e));
+    let workloads =
+        try_arg_list::<WorkloadKind>(&args, "--workloads").unwrap_or_else(|e| strict(e));
+    let shared = CampaignArgs::parse(&args);
 
-    let mut table = Table::new(&[
-        "workload",
-        "n",
-        "kind",
-        "messages",
-        "flits",
-        "makespan_cycles",
-        "critical_path_cycles",
-        "overhead",
-        "avg_packet_latency_cycles",
-        "max_source_queue_flits",
-        "mean_source_queue_flits",
-        "rank",
-    ]);
+    let mut spec = presets::preset("workload_comparison").expect("registered preset");
+    spec.axes.ns = ns;
+    spec.axes.workloads = workloads;
+    spec.workload.traces = sweep::arg_flag(&args, "--traces");
+    let mut resolved = shared;
+    xp::flow::apply_spec_defaults(&spec, &mut resolved, &args);
 
     println!("Application-level arrangement comparison (closed-loop workloads):");
-    println!(
-        "{:<14} {:>4} {:<4} {:>9} {:>10} {:>10} {:>9} {:>8} {:>9} {:>5}",
-        "workload",
-        "n",
-        "kind",
-        "messages",
-        "makespan",
-        "critical",
-        "overhead",
-        "avg lat",
-        "max queue",
-        "rank"
-    );
-    for group in rows.chunks(ArrangementKind::ALL.len()) {
-        // Rank the four kinds of one (workload, n) point by makespan
-        // (shared competition ranking: identical makespans — routine for
-        // brickwall vs. honeycomb — share the better rank).
-        let makespans: Vec<f64> = group.iter().map(|r| r.makespan).collect();
-        let rank = sweep::competition_rank(&makespans);
-        for (i, row) in group.iter().enumerate() {
-            let overhead = row.makespan / row.critical.max(1.0);
-            println!(
-                "{:<14} {:>4} {:<4} {:>9} {:>10.0} {:>10.0} {:>9.2} {:>8.1} {:>9} {:>5}",
-                row.workload.label(),
-                row.n,
-                row.kind.label(),
-                row.stats.delivered_messages,
-                row.makespan,
-                row.critical,
-                overhead,
-                row.avg_latency,
-                row.stats.network.max_source_queue_flits,
-                rank[i],
-            );
-            table.row(&[
-                &row.workload.label(),
-                &row.n,
-                &row.kind.label(),
-                &row.stats.delivered_messages,
-                &row.stats.delivered_flits,
-                &f3(row.makespan),
-                &f3(row.critical),
-                &f3(overhead),
-                &f3(row.avg_latency),
-                &row.stats.network.max_source_queue_flits,
-                &f3(row.stats.network.avg_source_queue_flits),
-                &rank[i],
-            ]);
-        }
-        let best_idx = rank.iter().position(|&r| r == 1).expect("non-empty group");
-        let best = &group[best_idx];
-        println!(
-            "  → {} n={}: fastest is {} ({:.0} cycles)",
-            best.workload.label(),
-            best.n,
-            best.kind,
-            best.makespan
-        );
-    }
-
-    let mut config = Value::object();
-    config.set("ns", Value::Arr(ns.iter().map(|&n| Value::from(n as f64)).collect()));
-    config.set(
-        "workloads",
-        Value::Arr(workloads.iter().map(|w| Value::from(w.label())).collect()),
-    );
-    config.set("max_cycles", MAX_CYCLES);
-    let written = campaign.finish(&table, config).expect("results dir writable");
-    for path in written {
-        println!("wrote {}", path.display());
-    }
+    presets::run_and_report(&spec, resolved);
 }

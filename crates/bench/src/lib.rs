@@ -6,6 +6,7 @@
 //!
 //! | binary | paper artefact |
 //! |--------|----------------|
+//! | `study`             | **any** — runs a declarative [`xp::spec::StudySpec`] file or [`presets`] preset |
 //! | `fig4_arrangements` | Fig. 4 neighbour/diameter/bisection panel |
 //! | `fig5_shape`        | Fig. 5 / §IV-B shape worked example |
 //! | `fig6_proxies`      | Fig. 6a diameter, Fig. 6b bisection |
@@ -33,12 +34,18 @@
 //! (rows are identical for any `--workers` value), `--seeds K` replicate
 //! aggregation, and unified CSV + JSON sinks. The campaign binaries accept
 //! the shared flags `--workers`, `--seeds`, `--quick`/`--full`, `--out`,
-//! `--format csv|json|both`, and `--seed`; see DESIGN.md.
+//! `--format csv|json|both`, and `--seed`; unknown flags abort. The
+//! preset-backed binaries (`fig7_simulation`, `load_curves`,
+//! `ablation_traffic`, `workload_comparison`, `kite_comparison`,
+//! `arrangement_search`) are thin wrappers over the declarative study
+//! flow (`xp::spec` + `xp::flow`, presets in [`presets`]); see
+//! DESIGN.md's "Study specs".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod presets;
 pub mod sweep;
 
 /// Directory (relative to the workspace root / current dir) where binaries

@@ -1,0 +1,96 @@
+//! The preset study registry: every experiment this repository ships,
+//! as a named [`StudySpec`].
+//!
+//! `study --preset <name>` resolves here, and the rewritten experiment
+//! binaries (`fig7_simulation`, `load_curves`, `ablation_traffic`,
+//! `workload_comparison`, `kite_comparison`, `arrangement_search`) are
+//! ~15-line wrappers that fetch their preset, apply their historical
+//! flags as spec overrides, and delegate to [`xp::flow::run_study`] —
+//! so the preset *is* the binary's behaviour, and
+//! `study --preset <name>` reproduces it byte for byte.
+
+use xp::spec::{StageKind, StudySpec};
+
+/// Every preset name, in documentation order.
+pub const PRESET_NAMES: [&str; 9] = [
+    "fig7_simulation",
+    "load_curves",
+    "ablation_traffic",
+    "workload_comparison",
+    "kite_comparison",
+    "arrangement_search",
+    "proxies",
+    "thermal_comparison",
+    "cost_model",
+];
+
+/// Builds the named preset, or `None` for an unknown name. Axes left
+/// unset resolve to the stage defaults at run time (which is where
+/// `--quick`-dependent defaults like `workload_comparison`'s chiplet
+/// counts live).
+#[must_use]
+pub fn preset(name: &str) -> Option<StudySpec> {
+    let spec = match name {
+        "fig7_simulation" => {
+            let mut spec = StudySpec::new("fig7_results", StageKind::Saturation);
+            spec.saturation.normalized_stem = Some("fig7_normalized".to_owned());
+            spec
+        }
+        "load_curves" => StudySpec::new("load_curves", StageKind::LoadCurve),
+        "ablation_traffic" => StudySpec::new("ablation_traffic", StageKind::Traffic),
+        "workload_comparison" => {
+            let mut spec = StudySpec::new("BENCH_workload", StageKind::Workload);
+            spec.output.to_repo_root = true;
+            spec
+        }
+        "kite_comparison" => StudySpec::new("kite_comparison", StageKind::Kite),
+        "arrangement_search" => {
+            let mut spec = StudySpec::new("BENCH_arrange", StageKind::Search);
+            spec.output.to_repo_root = true;
+            spec
+        }
+        "proxies" => StudySpec::new("proxies", StageKind::Proxies),
+        "thermal_comparison" => StudySpec::new("thermal_comparison", StageKind::Thermal),
+        "cost_model" => StudySpec::new("cost_model", StageKind::Cost),
+        _ => return None,
+    };
+    Some(spec)
+}
+
+/// The shared tail of every preset wrapper binary (and `study`): run the
+/// spec through the study flow with the arrangement-search hooks, print
+/// the stage summary and the paths written, abort with exit 1 on
+/// failure. Keeping this in one place means the reporting convention
+/// cannot drift between the nine binaries that share it.
+pub fn run_and_report(spec: &StudySpec, args: xp::cli::CampaignArgs) {
+    match xp::flow::run_study(spec, args, &chiplet_arrange::study::hooks()) {
+        Ok(report) => {
+            for line in &report.summary {
+                println!("{line}");
+            }
+            for path in report.written {
+                println!("wrote {}", path.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_preset_builds_and_round_trips() {
+        for name in PRESET_NAMES {
+            let spec = preset(name).unwrap_or_else(|| panic!("preset {name} missing"));
+            let round = StudySpec::from_value(&spec.to_value())
+                .unwrap_or_else(|e| panic!("preset {name} does not round-trip: {e}"));
+            assert_eq!(round, spec, "preset {name}");
+        }
+        assert!(preset("fig9").is_none());
+    }
+}

@@ -1,351 +1,31 @@
 //! Sweep runners shared by the figure binaries and Criterion benches —
-//! all built on the experiment engine (`crates/xp`): its worker pool,
-//! seed derivation, and replicate aggregation.
+//! re-exported from the experiment engine.
 //!
-//! The historical helpers (`arg_usize`, `arg_flag`, `mean`) are
-//! re-exported from the engine so existing call sites keep compiling;
-//! note that flag parsing is now *strict* — a malformed value aborts
-//! instead of silently running the default experiment.
+//! The runners themselves (`evaluation_campaign`, `proxy_sweep`,
+//! `schedule_for`, `competition_rank`, …) moved into
+//! [`xp::flow::sweep`] when the declarative study flow landed: the
+//! study stages run the same sweeps from specs, so the code lives below
+//! the binaries now. This module keeps the historical
+//! `hexamesh_bench::sweep` names working, plus the one helper that is
+//! genuinely about binaries: [`default_out_to_repo_root`].
 
-use chiplet_partition::BisectionConfig;
-use hexamesh::arrangement::{Arrangement, ArrangementKind};
-use hexamesh::eval::{self, EvalParams, EvalResult};
-use hexamesh::proxies;
-use nocsim::measure::SaturationResult;
-use nocsim::MeasureConfig;
 use xp::cli::CampaignArgs;
-use xp::grid::{Job, Scenario};
-use xp::{pool, Campaign};
 
 pub use xp::cli::{arg_f64, arg_flag, arg_u64, arg_usize};
+pub use xp::flow::sweep::{
+    competition_rank, evaluate_pooled, evaluated_rank, evaluation_campaign,
+    evaluation_campaign_over, evaluation_sweep, proxy_sweep, proxy_sweep_over,
+    saturation_search_pooled, schedule_for, ProxyPoint,
+};
 pub use xp::stats::{mean, mean_of, Summary};
 
 /// Applies the baseline-binary convention: when `--out` is absent, write
 /// to the repository root — where the tracked `BENCH_*` records live —
 /// instead of the `results/` default. Shared by `simperf`,
-/// `workload_comparison`, and `arrangement_search`.
+/// `workload_comparison`, and `arrangement_search` (spec-driven studies
+/// express the same through `output.to_repo_root`).
 pub fn default_out_to_repo_root(args: &[String], shared: &mut CampaignArgs) {
     if !arg_flag(args, "--out") {
         shared.out = std::path::PathBuf::from(".");
-    }
-}
-
-/// Competition ranking ("1224"): ranks `values` ascending — lower is
-/// better — with exact ties sharing the better rank. Ties are routine,
-/// not hypothetical: brickwall and honeycomb realise the same graph, so
-/// the comparison binaries (`workload_comparison`, `arrangement_search`)
-/// share this one implementation to keep tie handling uniform.
-#[must_use]
-pub fn competition_rank(values: &[f64]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..values.len()).collect();
-    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
-    let mut rank = vec![0usize; values.len()];
-    for (place, &idx) in order.iter().enumerate() {
-        let tied = place > 0 && values[order[place - 1]] == values[idx];
-        rank[idx] = if tied { rank[order[place - 1]] } else { place + 1 };
-    }
-    rank
-}
-
-/// Position of `kind` in [`ArrangementKind::EVALUATED`] — the row order
-/// every table in this crate uses when restoring the historical ordering
-/// after a grid expansion.
-#[must_use]
-pub fn evaluated_rank(kind: ArrangementKind) -> usize {
-    ArrangementKind::EVALUATED.iter().position(|&e| e == kind).unwrap_or(usize::MAX)
-}
-
-/// The measurement schedule selected by the shared flags: `--quick`
-/// (short windows, coarse resolution), `--full` (the paper-scale
-/// [`MeasureConfig::default`] schedule), or — when neither is given —
-/// the middle-ground windows the simulation binaries have always used.
-#[must_use]
-pub fn schedule_for(args: &CampaignArgs) -> MeasureConfig {
-    if args.quick {
-        MeasureConfig::quick()
-    } else if args.full {
-        MeasureConfig::default()
-    } else {
-        MeasureConfig {
-            warmup_cycles: 3_000,
-            measure_cycles: 6_000,
-            ..MeasureConfig::default()
-        }
-    }
-}
-
-/// One row of the Fig. 6 proxy sweep.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ProxyPoint {
-    /// Arrangement family.
-    pub kind: ArrangementKind,
-    /// Regularity used at this `n`.
-    pub regularity: hexamesh::Regularity,
-    /// Chiplet count.
-    pub n: usize,
-    /// Diameter measured on the constructed graph.
-    pub diameter: u32,
-    /// Bisection bandwidth following the paper's methodology (formula for
-    /// regular, partitioner otherwise).
-    pub bisection: f64,
-}
-
-/// Computes the Fig. 6 proxies for all chiplet counts in `ns`, for the three
-/// evaluated arrangement kinds.
-#[must_use]
-pub fn proxy_sweep(ns: &[usize]) -> Vec<ProxyPoint> {
-    let config = BisectionConfig::default();
-    let mut out = Vec::new();
-    for &n in ns {
-        for kind in ArrangementKind::EVALUATED {
-            let a = Arrangement::build(kind, n).expect("n >= 1 always builds");
-            out.push(ProxyPoint {
-                kind,
-                regularity: a.regularity(),
-                n,
-                diameter: proxies::measured_diameter(&a).expect("connected"),
-                bisection: proxies::paper_bisection(&a, &config),
-            });
-        }
-    }
-    out
-}
-
-/// Runs the full Fig. 7 evaluation for all counts in `ns` across the three
-/// evaluated kinds, spreading work over `workers` threads via the engine
-/// pool (largest `n` first). Results are returned sorted by `(kind, n)`
-/// and are identical for every `workers` value.
-///
-/// # Panics
-///
-/// Panics if any single evaluation fails — every `n ≥ 1` arrangement is
-/// connected and the paper configuration is valid, so a failure is a bug.
-#[must_use]
-pub fn evaluation_sweep(ns: &[usize], params: &EvalParams, workers: usize) -> Vec<EvalResult> {
-    let mut jobs: Vec<(ArrangementKind, usize)> = Vec::new();
-    for &n in ns {
-        for kind in ArrangementKind::EVALUATED {
-            jobs.push((kind, n));
-        }
-    }
-    let mut results = pool::run_jobs(
-        &jobs,
-        workers,
-        |&(_, n)| n as u64,
-        |&(kind, n)| {
-            let arrangement = Arrangement::build(kind, n).expect("n >= 1 builds");
-            eval::evaluate(&arrangement, params)
-                .unwrap_or_else(|e| panic!("evaluate {kind} n={n}: {e}"))
-        },
-        None,
-    );
-    results.sort_by_key(|r| (r.kind.label(), r.n));
-    results
-}
-
-/// The replicated form of [`evaluation_sweep`] a campaign binary runs:
-/// `--seeds K` replicates per `(kind, n)` with engine-derived seeds,
-/// aggregated to mean values in the same [`EvalResult`] shape. With
-/// `K = 1` the only difference from [`evaluation_sweep`] is that the
-/// simulator seed comes from the campaign seed derivation instead of
-/// `params.sim.seed`.
-///
-/// # Panics
-///
-/// As [`evaluation_sweep`].
-/// `fanout > 1` additionally spreads each arrangement's saturation search
-/// over `fanout` rate points per round ([`evaluate_pooled`]) — worthwhile
-/// when the grid has fewer jobs than workers. The fanout changes the probe
-/// sequence, so it must come from an explicit flag (never from
-/// `--workers`) to keep rows independent of the worker count.
-#[must_use]
-pub fn evaluation_campaign(
-    ns: &[usize],
-    params: &EvalParams,
-    campaign: &Campaign,
-    fanout: usize,
-) -> Vec<EvalResult> {
-    let scenario = Scenario::new(&ArrangementKind::EVALUATED, ns);
-    // Keep the thread total bounded by the worker budget: the nested
-    // rate-point pool only gets the workers the grid leaves idle. (The
-    // probe *sequence* depends only on `fanout`, so this split never
-    // changes results.)
-    let k = campaign.args().seeds.max(1) as usize;
-    let total_jobs = (ArrangementKind::EVALUATED.len() * ns.len() * k).max(1);
-    let inner_workers = (campaign.args().workers / total_jobs).max(1);
-    let results = campaign.run_grid(&scenario, |job: &Job| {
-        let arrangement = Arrangement::build(job.kind, job.n).expect("n >= 1 builds");
-        let mut p = *params;
-        p.sim.seed = job.seed;
-        if fanout > 1 {
-            evaluate_pooled(&arrangement, &p, fanout, inner_workers)
-        } else {
-            eval::evaluate(&arrangement, &p)
-                .unwrap_or_else(|e| panic!("evaluate {} n={}: {e}", job.kind, job.n))
-        }
-    });
-
-    // Aggregate replicates: grid order guarantees replicates of one point
-    // are adjacent, so chunking by K keeps this deterministic.
-    let mut aggregated: Vec<EvalResult> = results
-        .chunks(k)
-        .map(|chunk| {
-            let field = |f: fn(&EvalResult) -> f64| mean_of(chunk, |(_, r)| f(r));
-            let first = chunk[0].1;
-            EvalResult {
-                zero_load_latency_cycles: field(|r| r.zero_load_latency_cycles),
-                saturation_fraction: field(|r| r.saturation_fraction),
-                saturation_throughput_tbps: field(|r| r.saturation_throughput_tbps),
-                ..first
-            }
-        })
-        .collect();
-    aggregated.sort_by_key(|r| (r.kind.label(), r.n));
-    aggregated
-}
-
-/// Saturation search for a single arrangement with the rate points of each
-/// round spread over `workers` threads — the engine-job decomposition of
-/// [`hexamesh::eval::saturation_search_with`]. Use this when a binary
-/// evaluates too few arrangements to keep the pool busy; results are
-/// independent of `workers` (only the probe fanout changes the probe
-/// sequence, and it is fixed by the caller).
-///
-/// # Panics
-///
-/// Panics if a simulation point fails (connected arrangements with valid
-/// parameters never do).
-#[must_use]
-pub fn saturation_search_pooled(
-    arrangement: &Arrangement,
-    params: &EvalParams,
-    fanout: usize,
-    workers: usize,
-) -> SaturationResult {
-    let zero_load = eval::zero_load_of(arrangement, params).expect("connected arrangement");
-    eval::saturation_search_with(params, fanout.max(1), |rates| {
-        Ok(run_rates_pooled(arrangement, params, zero_load, rates, workers))
-    })
-    .expect("runner never errors")
-}
-
-/// Full [`eval::evaluate`] with the saturation search's rate points spread
-/// over `workers` threads — [`saturation_search_pooled`] wrapped in the
-/// link-budget/zero-load pipeline. Used by `fig7_simulation --fanout F`.
-///
-/// # Panics
-///
-/// As [`saturation_search_pooled`].
-#[must_use]
-pub fn evaluate_pooled(
-    arrangement: &Arrangement,
-    params: &EvalParams,
-    fanout: usize,
-    workers: usize,
-) -> EvalResult {
-    eval::evaluate_with(arrangement, params, fanout.max(1), |zero_load, rates| {
-        Ok(run_rates_pooled(arrangement, params, zero_load, rates, workers))
-    })
-    .unwrap_or_else(|e| panic!("evaluate n={}: {e}", arrangement.num_chiplets()))
-}
-
-/// Simulates a batch of independent rate points on the engine pool.
-fn run_rates_pooled(
-    arrangement: &Arrangement,
-    params: &EvalParams,
-    zero_load: f64,
-    rates: &[f64],
-    workers: usize,
-) -> Vec<nocsim::measure::LoadPointResult> {
-    pool::run_jobs(
-        rates,
-        workers,
-        |_| 1,
-        |&rate| {
-            eval::measure_load_point(arrangement, params, rate, zero_load)
-                .unwrap_or_else(|e| panic!("load point at rate {rate}: {e}"))
-        },
-        None,
-    )
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn proxy_sweep_covers_all_kinds() {
-        let points = proxy_sweep(&[7, 16]);
-        assert_eq!(points.len(), 6);
-        // HexaMesh at n=7 is regular with diameter 2 and bisection 5.
-        let hm7 =
-            points.iter().find(|p| p.kind == ArrangementKind::HexaMesh && p.n == 7).unwrap();
-        assert_eq!(hm7.diameter, 2);
-        assert_eq!(hm7.bisection, 5.0);
-    }
-
-    #[test]
-    fn competition_rank_shares_tied_ranks() {
-        assert_eq!(competition_rank(&[3.0, 1.0, 2.0]), vec![3, 1, 2]);
-        // "1224": both middle values share rank 2, the next rank is 4.
-        assert_eq!(competition_rank(&[1.0, 2.0, 2.0, 5.0]), vec![1, 2, 2, 4]);
-        assert_eq!(competition_rank(&[]), Vec::<usize>::new());
-    }
-
-    #[test]
-    fn mean_of_values() {
-        assert_eq!(mean(&[]), None);
-        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
-    }
-
-    #[test]
-    fn arg_parsing() {
-        let args: Vec<String> =
-            ["--step", "5", "--quick"].iter().map(|s| (*s).to_string()).collect();
-        assert_eq!(arg_usize(&args, "--step", 1), 5);
-        assert_eq!(arg_usize(&args, "--max-n", 100), 100);
-        assert!(arg_flag(&args, "--quick"));
-        assert!(!arg_flag(&args, "--full"));
-        assert!((arg_f64(&args, "--rate", 0.25) - 0.25).abs() < 1e-12);
-    }
-
-    fn tiny_params() -> EvalParams {
-        let mut params = EvalParams::quick();
-        params.sim.vcs = 4;
-        params.sim.buffer_depth = 4;
-        params.measure.warmup_cycles = 500;
-        params.measure.measure_cycles = 1_000;
-        params.measure.rate_resolution = 0.1;
-        params
-    }
-
-    #[test]
-    fn evaluation_sweep_tiny() {
-        let results = evaluation_sweep(&[4], &tiny_params(), 2);
-        assert_eq!(results.len(), 3);
-        assert!(results.iter().all(|r| r.saturation_fraction > 0.0));
-    }
-
-    #[test]
-    fn evaluation_sweep_worker_count_is_invisible() {
-        let params = tiny_params();
-        let serial = evaluation_sweep(&[2, 4], &params, 1);
-        let parallel = evaluation_sweep(&[2, 4], &params, 8);
-        assert_eq!(serial, parallel);
-    }
-
-    #[test]
-    fn pooled_saturation_search_matches_serial_at_fanout_one() {
-        let params = tiny_params();
-        let a = Arrangement::build(ArrangementKind::Grid, 4).unwrap();
-        let serial =
-            nocsim::measure::saturation_search(a.graph(), &params.sim, &params.measure)
-                .unwrap();
-        let pooled = saturation_search_pooled(&a, &params, 1, 4);
-        assert_eq!(serial, pooled, "fanout-1 batched search must equal bisection");
-        // Wider fanout probes different rates but must land near the same
-        // knee.
-        let wide = saturation_search_pooled(&a, &params, 4, 4);
-        assert!((wide.rate - serial.rate).abs() <= 2.0 * params.measure.rate_resolution);
     }
 }

@@ -68,6 +68,38 @@ impl ArrangementKind {
             ArrangementKind::HexaMesh => "HM",
         }
     }
+
+    /// Canonical lower-case name, as accepted by the [`std::str::FromStr`]
+    /// parser and used in study-spec files: `grid`, `honeycomb`,
+    /// `brickwall`, `hexamesh`. Round-trips through `parse`.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrangementKind::Grid => "grid",
+            ArrangementKind::Honeycomb => "honeycomb",
+            ArrangementKind::Brickwall => "brickwall",
+            ArrangementKind::HexaMesh => "hexamesh",
+        }
+    }
+}
+
+impl std::str::FromStr for ArrangementKind {
+    type Err = String;
+
+    /// Parses an arrangement-kind name, case-insensitively: the canonical
+    /// [`ArrangementKind::name`] (`grid`, …), the CSV
+    /// [`ArrangementKind::label`] (`G`, `HC`, `BW`, `HM`), and the
+    /// [`std::fmt::Display`] form (`Grid`, `HexaMesh`, …) all parse back
+    /// to the kind they came from.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let lower = s.to_ascii_lowercase();
+        ArrangementKind::ALL
+            .into_iter()
+            .find(|k| lower == k.name() || lower == k.label().to_ascii_lowercase())
+            .ok_or_else(|| {
+                format!("unknown arrangement kind {s:?} (expected grid|honeycomb|brickwall|hexamesh)")
+            })
+    }
 }
 
 impl fmt::Display for ArrangementKind {

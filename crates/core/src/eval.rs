@@ -60,6 +60,7 @@ impl From<SimError> for EvalError {
 
 /// All parameters of the §VI evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive] // construct via paper_defaults()/quick() and mutate
 pub struct EvalParams {
     /// Combined compute-chiplet area `A_all` in mm² (§VI-B: 800).
     pub total_area_mm2: f64,

@@ -1,0 +1,54 @@
+//! `name()`/`label()`/`Display` ↔ `FromStr` round-trip contract for
+//! [`ArrangementKind`] — the kinds axis of study specs and `--kinds`
+//! flags. Pinned over the whole (finite) domain plus random case
+//! variation, so spec files and output labels can never drift apart.
+
+use std::str::FromStr;
+
+use hexamesh::arrangement::ArrangementKind;
+use proptest::prelude::*;
+
+#[test]
+fn every_kind_round_trips_through_all_three_spellings() {
+    for kind in ArrangementKind::ALL {
+        assert_eq!(ArrangementKind::from_str(kind.name()).unwrap(), kind);
+        assert_eq!(ArrangementKind::from_str(kind.label()).unwrap(), kind);
+        assert_eq!(ArrangementKind::from_str(&kind.to_string()).unwrap(), kind);
+    }
+    assert!(ArrangementKind::from_str("squircle").is_err());
+    assert!(ArrangementKind::from_str("").is_err());
+}
+
+proptest! {
+    #[test]
+    fn parsing_is_case_insensitive(
+        idx in 0usize..4,
+        flips in proptest::collection::vec(proptest::bool::ANY, 16usize),
+    ) {
+        let kind = ArrangementKind::ALL[idx];
+        let mangled: String = kind
+            .name()
+            .chars()
+            .zip(flips.iter().cycle())
+            .map(|(c, &up)| if up { c.to_ascii_uppercase() } else { c })
+            .collect();
+        prop_assert_eq!(ArrangementKind::from_str(&mangled).unwrap(), kind);
+    }
+
+    #[test]
+    fn noise_never_parses_to_a_wrong_kind(
+        letters in proptest::collection::vec(0u8..52, 1usize..10),
+    ) {
+        let noise: String = letters
+            .iter()
+            .map(|&l| if l < 26 { char::from(b'a' + l) } else { char::from(b'A' + l - 26) })
+            .collect();
+        if let Ok(parsed) = ArrangementKind::from_str(&noise) {
+            let lower = noise.to_ascii_lowercase();
+            prop_assert!(
+                lower == parsed.name() || lower == parsed.label().to_ascii_lowercase(),
+                "{:?} parsed to {:?} without matching a spelling", noise, parsed
+            );
+        }
+    }
+}

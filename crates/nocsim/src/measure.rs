@@ -13,6 +13,7 @@ use crate::sim::{LinkSpec, NetworkStats, SimConfig, SimError, Simulator};
 
 /// Warmup/measurement schedule and saturation criteria.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive] // new criteria ride in via Default/mutation, not literals
 pub struct MeasureConfig {
     /// Cycles simulated before the measurement window opens.
     pub warmup_cycles: u64,

@@ -32,6 +32,41 @@ pub enum RoutingKind {
     UpDownOnly,
 }
 
+impl RoutingKind {
+    /// Canonical name, as accepted by the [`std::str::FromStr`] parser
+    /// and by `--routing` flags / study-spec files: `deterministic`,
+    /// `adaptive`, `updown`. Round-trips through `parse`.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingKind::MinimalDeterministic => "deterministic",
+            RoutingKind::MinimalAdaptiveEscape => "adaptive",
+            RoutingKind::UpDownOnly => "updown",
+        }
+    }
+}
+
+impl fmt::Display for RoutingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for RoutingKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "deterministic" => Ok(RoutingKind::MinimalDeterministic),
+            "adaptive" => Ok(RoutingKind::MinimalAdaptiveEscape),
+            "updown" => Ok(RoutingKind::UpDownOnly),
+            other => Err(format!(
+                "unknown routing {other:?} (expected adaptive|deterministic|updown)"
+            )),
+        }
+    }
+}
+
 /// Errors from routing-table construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RoutingError {

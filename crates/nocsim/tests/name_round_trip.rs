@@ -1,0 +1,73 @@
+//! `name()` ↔ `FromStr` round-trip contracts for the axis enums spec
+//! files and `--patterns`-style flags parse. A drift between the two
+//! would silently split the spec-file dialect from the output dialect,
+//! so the whole parameter domain is pinned: exhaustively for the finite
+//! variants, property-based for the parameterised ones.
+
+use std::str::FromStr;
+
+use nocsim::{RoutingKind, TrafficPattern};
+use proptest::prelude::*;
+
+const FINITE_PATTERNS: [TrafficPattern; 5] = [
+    TrafficPattern::UniformRandom,
+    TrafficPattern::Complement,
+    TrafficPattern::BitComplement,
+    TrafficPattern::BitReverse,
+    TrafficPattern::Tornado,
+];
+
+#[test]
+fn finite_patterns_round_trip() {
+    for pattern in FINITE_PATTERNS {
+        assert_eq!(TrafficPattern::from_str(&pattern.name()).unwrap(), pattern);
+    }
+}
+
+proptest! {
+    #[test]
+    fn shift_patterns_round_trip(shift in 0usize..10_000) {
+        let pattern = TrafficPattern::NeighborShift { shift };
+        prop_assert_eq!(TrafficPattern::from_str(&pattern.name()).unwrap(), pattern);
+    }
+
+    #[test]
+    fn hotspot_patterns_round_trip(num_hotspots in 0usize..1_000, permille in 0u32..=1_000) {
+        let pattern =
+            TrafficPattern::Hotspot { num_hotspots, fraction_permille: permille };
+        prop_assert_eq!(TrafficPattern::from_str(&pattern.name()).unwrap(), pattern);
+    }
+
+    #[test]
+    fn malformed_pattern_names_never_parse_to_defaults(
+        letters in proptest::collection::vec(0u8..26, 1usize..12),
+    ) {
+        // Either the noise happens to be a canonical name (and parses to
+        // the pattern carrying it), or parsing errors — it never falls
+        // back to some default pattern.
+        let noise: String = letters.iter().map(|&l| char::from(b'a' + l)).collect();
+        if let Ok(parsed) = TrafficPattern::from_str(&noise) {
+            prop_assert_eq!(parsed.name(), noise);
+        }
+    }
+}
+
+#[test]
+fn routing_kinds_round_trip() {
+    for routing in [
+        RoutingKind::MinimalDeterministic,
+        RoutingKind::MinimalAdaptiveEscape,
+        RoutingKind::UpDownOnly,
+    ] {
+        assert_eq!(RoutingKind::from_str(routing.name()).unwrap(), routing);
+        assert_eq!(RoutingKind::from_str(&routing.to_string()).unwrap(), routing);
+    }
+    assert!(RoutingKind::from_str("xy").is_err());
+}
+
+#[test]
+fn out_of_range_hotspot_permille_is_rejected() {
+    assert!(TrafficPattern::from_str("hotspot:4:1001").is_err());
+    assert!(TrafficPattern::from_str("hotspot:4").is_err());
+    assert!(TrafficPattern::from_str("shift").is_err());
+}

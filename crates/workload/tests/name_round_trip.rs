@@ -1,0 +1,31 @@
+//! `label()` ↔ `FromStr` round-trip contract for [`WorkloadKind`] — the
+//! workloads axis of study specs and `--workloads` flags.
+
+use std::str::FromStr;
+
+use chiplet_workload::WorkloadKind;
+use proptest::prelude::*;
+
+#[test]
+fn every_kind_round_trips() {
+    for kind in WorkloadKind::ALL {
+        assert_eq!(WorkloadKind::from_str(kind.label()).unwrap(), kind);
+        assert_eq!(WorkloadKind::from_str(&kind.to_string()).unwrap(), kind);
+    }
+    assert!(WorkloadKind::from_str("matmul").is_err());
+}
+
+proptest! {
+    #[test]
+    fn noise_never_parses_to_a_wrong_kind(
+        letters in proptest::collection::vec(0u8..27, 1usize..16),
+    ) {
+        let noise: String = letters
+            .iter()
+            .map(|&l| if l < 26 { char::from(b'a' + l) } else { '_' })
+            .collect();
+        if let Ok(parsed) = WorkloadKind::from_str(&noise) {
+            prop_assert_eq!(parsed.label(), noise, "parse must invert label exactly");
+        }
+    }
+}

@@ -56,6 +56,56 @@ impl FromStr for OutputFormat {
     }
 }
 
+impl std::fmt::Display for OutputFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The flags [`CampaignArgs::parse`] consumes — every engine binary
+/// accepts these on top of its own. [`with_shared`] builds the allow-list
+/// for [`reject_unknown_flags`].
+pub const SHARED_FLAGS: [&str; 7] =
+    ["--workers", "--seeds", "--quick", "--full", "--out", "--format", "--seed"];
+
+/// The shared campaign flags plus a binary's own flags, for
+/// [`reject_unknown_flags`].
+#[must_use]
+pub fn with_shared<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+    SHARED_FLAGS.iter().copied().chain(extra.iter().copied()).collect()
+}
+
+/// The first `--flag` token in `args` that is not in `allowed`, if any.
+///
+/// Only `--`-prefixed tokens are inspected: flag *values* (including
+/// negative numbers and comma lists) never start with `--`, and
+/// [`try_arg_value`] already rejects a flag directly followed by another
+/// flag.
+#[must_use]
+pub fn unknown_flag<'a>(args: &'a [String], allowed: &[&str]) -> Option<&'a str> {
+    args.iter()
+        .skip(1) // args[0] is the binary path
+        .map(String::as_str)
+        .find(|a| a.starts_with("--") && !allowed.contains(a))
+}
+
+/// Aborts with a clear message if `args` carries a flag outside `allowed`
+/// (the strict-CLI convention, extended to flag *names*: an unknown flag
+/// is a typo or a feature this binary does not have, and silently
+/// ignoring it runs the wrong experiment). Engine binaries pass
+/// [`with_shared`]`(&["--their", "--flags"])`; analytic binaries that
+/// take no flags pass `&[]`.
+pub fn reject_unknown_flags(args: &[String], allowed: &[&str]) {
+    if let Some(flag) = unknown_flag(args, allowed) {
+        let mut sorted: Vec<&str> = allowed.to_vec();
+        sorted.sort_unstable();
+        die(&format!(
+            "unknown flag {flag} (this binary accepts: {})",
+            if sorted.is_empty() { "no flags".to_owned() } else { sorted.join(" ") }
+        ));
+    }
+}
+
 /// Prints `error: <msg>` and exits with status 2.
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -318,9 +368,23 @@ mod tests {
     }
 
     #[test]
+    fn unknown_flags_are_detected() {
+        let a = args(&["bin", "--n", "37", "--quick", "--typo", "x"]);
+        assert_eq!(unknown_flag(&a, &with_shared(&["--n"])), Some("--typo"));
+        assert_eq!(unknown_flag(&a, &with_shared(&["--n", "--typo"])), None);
+        // Values (even negative or comma-listed ones) are never flags.
+        let a = args(&["bin", "--shift", "-3", "--patterns", "uniform,tornado"]);
+        assert_eq!(unknown_flag(&a, &["--shift", "--patterns"]), None);
+        // args[0] (the binary path) is exempt.
+        let a = args(&["--weird-binary-name"]);
+        assert_eq!(unknown_flag(&a, &[]), None);
+    }
+
+    #[test]
     fn format_round_trips() {
         for f in [OutputFormat::Csv, OutputFormat::Json, OutputFormat::Both] {
             assert_eq!(f.label().parse::<OutputFormat>().unwrap(), f);
+            assert_eq!(f.to_string().parse::<OutputFormat>().unwrap(), f);
         }
         assert!(OutputFormat::Csv.wants_csv() && !OutputFormat::Csv.wants_json());
         assert!(OutputFormat::Both.wants_csv() && OutputFormat::Both.wants_json());

@@ -1,0 +1,1350 @@
+//! The study flow: executes a [`StudySpec`] through the engine.
+//!
+//! [`run_study`] is the one runner behind every experiment binary: it
+//! resolves the spec's axes against the stage defaults, compiles them
+//! onto the existing [`crate::grid::Scenario`] / ad-hoc-job machinery,
+//! runs the jobs through a [`Campaign`] (worker pool, coordinate-derived
+//! seeds, replicate aggregation), and writes the result tables through
+//! the unified sinks — with the resolved spec embedded as the manifest's
+//! `config` object, so every output file records the study that produced
+//! it.
+//!
+//! The stages that replaced hand-wired binaries (`fig7_simulation`,
+//! `load_curves`, `ablation_traffic`, `workload_comparison`,
+//! `kite_comparison`, `arrangement_search`) emit **byte-identical CSV**
+//! to what those binaries always wrote for the same axes and seeds —
+//! pinned by the golden tests in `crates/bench/tests/golden_study.rs`.
+//!
+//! # Hooks
+//!
+//! One stage cannot live here: the arrangement *search* is implemented by
+//! `chiplet_arrange`, which sits **above** the engine in the dependency
+//! DAG (its restart pool runs on `xp`). [`StageHooks`] is the extension
+//! point: `chiplet_arrange::study::hooks()` provides the search stage and
+//! the `optimized`-axis graph provider, and the `study` binary wires them
+//! in. A spec that needs a missing hook fails with a clear
+//! [`StudyError::Spec`] instead of running the wrong experiment.
+
+pub mod sweep;
+
+use std::fmt;
+use std::io;
+
+use chiplet_graph::Graph;
+use chiplet_workload::trace::{self, TraceError};
+use chiplet_workload::{DriverError, WorkloadDriver, WorkloadKind};
+use hexamesh::arrangement::{Arrangement, ArrangementError, ArrangementKind};
+use hexamesh::eval::{normalize, EvalError, EvalParams, EvalResult};
+use hexamesh::link::{estimate_link, LinkParams, UCIE_POWER_FRACTION, UCIE_TOTAL_AREA_MM2};
+use hexamesh::shape::{shape_for, ShapeError, ShapeParams};
+use nocsim::measure as noc_measure;
+use nocsim::{MeasureConfig, SimConfig, SimError, Simulator, TrafficPattern};
+
+use crate::cli::CampaignArgs;
+use crate::grid::{expand_replicates, pattern_code, Scenario, OPTIMIZED_KIND_CODE};
+use crate::spec::{StageKind, StudySpec};
+use crate::stats::mean_of;
+use crate::table::{f3, Table};
+use crate::Campaign;
+
+/// Label of search-discovered arrangement rows in every stage that can
+/// carry them.
+pub const OPTIMIZED_LABEL: &str = "OPT";
+
+/// One unified error for the study flow, wrapping the per-crate errors of
+/// every stage.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StudyError {
+    /// The spec is invalid or needs a hook that was not provided.
+    Spec(String),
+    /// Filesystem error while writing sinks or traces.
+    Io(io::Error),
+    /// Arrangement construction failed.
+    Arrangement(ArrangementError),
+    /// The evaluation pipeline failed.
+    Eval(EvalError),
+    /// The simulator rejected a configuration.
+    Sim(SimError),
+    /// A closed-loop workload run failed (deadlock suspicion, stall).
+    Workload(DriverError),
+    /// A workload trace could not be written.
+    Trace(TraceError),
+    /// A topology evaluation failed (kite stage).
+    Topo(chiplet_topo::TopoEvalError),
+    /// The thermal solver failed.
+    Thermal(chiplet_thermal::ThermalError),
+    /// The cost model rejected a configuration.
+    Cost(chiplet_cost::CostError),
+    /// Chiplet-shape solving failed.
+    Shape(ShapeError),
+    /// A hook-provided stage failed.
+    Stage(String),
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Spec(msg) => write!(f, "invalid study spec: {msg}"),
+            StudyError::Io(e) => write!(f, "i/o error: {e}"),
+            StudyError::Arrangement(e) => write!(f, "arrangement error: {e}"),
+            StudyError::Eval(e) => write!(f, "evaluation error: {e}"),
+            StudyError::Sim(e) => write!(f, "simulator error: {e}"),
+            StudyError::Workload(e) => write!(f, "workload error: {e}"),
+            StudyError::Trace(e) => write!(f, "trace error: {e}"),
+            StudyError::Topo(e) => write!(f, "topology evaluation error: {e}"),
+            StudyError::Thermal(e) => write!(f, "thermal error: {e}"),
+            StudyError::Cost(e) => write!(f, "cost model error: {e}"),
+            StudyError::Shape(e) => write!(f, "shape error: {e}"),
+            StudyError::Stage(msg) => write!(f, "stage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {}
+
+macro_rules! from_error {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for StudyError {
+            fn from(e: $ty) -> Self {
+                StudyError::$variant(e)
+            }
+        }
+    };
+}
+from_error!(Io, io::Error);
+from_error!(Arrangement, ArrangementError);
+from_error!(Eval, EvalError);
+from_error!(Sim, SimError);
+from_error!(Workload, DriverError);
+from_error!(Trace, TraceError);
+from_error!(Topo, chiplet_topo::TopoEvalError);
+from_error!(Thermal, chiplet_thermal::ThermalError);
+from_error!(Cost, chiplet_cost::CostError);
+from_error!(Shape, ShapeError);
+
+/// One result table of a stage. `stem: None` writes under the campaign
+/// name; stages producing companion artefacts (the saturation stage's
+/// normalised series) name them explicitly.
+#[derive(Debug, Clone)]
+pub struct StageTable {
+    /// Output file stem; `None` = the campaign name.
+    pub stem: Option<String>,
+    /// The rows, in final sink order.
+    pub table: Table,
+}
+
+impl StageTable {
+    /// A table written under the campaign name.
+    #[must_use]
+    pub fn main(table: Table) -> Self {
+        Self { stem: None, table }
+    }
+}
+
+/// What a stage produced: its tables plus human-readable summary lines
+/// (printed by the binaries after the files are written).
+#[derive(Debug, Clone, Default)]
+pub struct StageOutput {
+    /// Result tables, in write order.
+    pub tables: Vec<StageTable>,
+    /// Summary lines for stdout.
+    pub summary: Vec<String>,
+}
+
+/// The full report of a study run.
+#[derive(Debug)]
+pub struct StudyReport {
+    /// Paths written through the sinks, in write order.
+    pub written: Vec<std::path::PathBuf>,
+    /// The stage's summary lines.
+    pub summary: Vec<String>,
+    /// The stage's tables (for tests and programmatic callers).
+    pub tables: Vec<StageTable>,
+}
+
+/// A search-stage implementation: runs the arrangement search for the
+/// spec and returns its tables.
+pub type SearchStageFn =
+    dyn Fn(&StudySpec, &Campaign) -> Result<StageOutput, StudyError> + Sync;
+
+/// An `optimized`-axis provider: the ICI graph of the best searched
+/// arrangement at `n` under the spec's search parameters and the
+/// campaign flags. Must be deterministic in `(spec, campaign seed)` and
+/// independent of `--workers`.
+pub type OptimizedGraphFn =
+    dyn Fn(usize, &StudySpec, &CampaignArgs) -> Result<Graph, StudyError> + Sync;
+
+/// Stage implementations injected from crates above the engine in the
+/// dependency DAG (see the module docs). `chiplet_arrange::study::hooks()`
+/// is the standard provider.
+#[derive(Clone, Copy, Default)]
+pub struct StageHooks<'a> {
+    /// The search stage.
+    pub search: Option<&'a SearchStageFn>,
+    /// The `optimized` axis of the load-curve and workload stages.
+    pub optimized_graph: Option<&'a OptimizedGraphFn>,
+}
+
+impl fmt::Debug for StageHooks<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageHooks")
+            .field("search", &self.search.is_some())
+            .field("optimized_graph", &self.optimized_graph.is_some())
+            .finish()
+    }
+}
+
+/// Parses the shared campaign flags and applies the spec's defaults for
+/// the flags that are absent from `argv`: `seed`, `replicates`, and the
+/// output directory (including the `to_repo_root` tracked-baseline
+/// convention).
+///
+/// # Errors
+///
+/// Returns the first malformed flag, exactly like
+/// [`CampaignArgs::try_parse`].
+pub fn campaign_args_for(spec: &StudySpec, argv: &[String]) -> Result<CampaignArgs, String> {
+    let mut args = CampaignArgs::try_parse(argv)?;
+    apply_spec_defaults(spec, &mut args, argv);
+    Ok(args)
+}
+
+/// The flag-application half of [`campaign_args_for`], for callers that
+/// already parsed (and possibly adjusted) their [`CampaignArgs`].
+pub fn apply_spec_defaults(spec: &StudySpec, args: &mut CampaignArgs, argv: &[String]) {
+    let has = |flag: &str| argv.iter().any(|a| a == flag);
+    if let Some(seed) = spec.seed {
+        if !has("--seed") {
+            args.campaign_seed = seed;
+        }
+    }
+    if let Some(replicates) = spec.replicates {
+        if !has("--seeds") {
+            args.seeds = replicates.max(1);
+        }
+    }
+    if !has("--out") {
+        if spec.output.to_repo_root {
+            args.out = std::path::PathBuf::from(".");
+        } else if let Some(dir) = &spec.output.dir {
+            args.out = std::path::PathBuf::from(dir);
+        }
+    }
+}
+
+/// Runs a study end to end: resolve the spec, execute its stage on the
+/// campaign pool, write the sinks. Returns the paths written and the
+/// stage's summary lines. Rows are byte-identical for any
+/// `args.workers` value (the engine's standard contract).
+///
+/// # Errors
+///
+/// Returns a [`StudyError`] wrapping the failing layer's error; an
+/// invalid spec or a missing hook fails before any job runs.
+pub fn run_study(
+    spec: &StudySpec,
+    args: CampaignArgs,
+    hooks: &StageHooks,
+) -> Result<StudyReport, StudyError> {
+    spec.validate().map_err(StudyError::Spec)?;
+    let campaign = Campaign::new(&spec.name, args);
+    let output = match spec.stage {
+        StageKind::Proxies => proxies_stage(spec, &campaign),
+        StageKind::Saturation => saturation_stage(spec, &campaign),
+        StageKind::Traffic => traffic_stage(spec, &campaign),
+        StageKind::LoadCurve => load_curve_stage(spec, &campaign, hooks),
+        StageKind::Workload => workload_stage(spec, &campaign, hooks),
+        StageKind::Kite => kite_stage(spec, &campaign),
+        StageKind::Thermal => thermal_stage(spec, &campaign),
+        StageKind::Cost => cost_stage(spec, &campaign),
+        StageKind::Search => match hooks.search {
+            Some(run) => run(spec, &campaign),
+            None => Err(StudyError::Spec(
+                "the search stage runs through a hook (chiplet_arrange::study::hooks()); \
+                 use the `study` binary or pass the hooks explicitly"
+                    .to_owned(),
+            )),
+        },
+    }?;
+    let config = spec.to_value();
+    let mut written = Vec::new();
+    for staged in &output.tables {
+        let stem = staged.stem.clone().unwrap_or_else(|| campaign.name().to_owned());
+        written.extend(campaign.finish_named(&stem, &staged.table, config.clone())?);
+    }
+    Ok(StudyReport { written, summary: output.summary, tables: output.tables })
+}
+
+// ── shared resolution helpers ───────────────────────────────────────────
+
+fn kinds_or(spec: &StudySpec, default: &[ArrangementKind]) -> Vec<ArrangementKind> {
+    spec.axes.kinds.clone().unwrap_or_else(|| default.to_vec())
+}
+
+fn ns_or(spec: &StudySpec, default: Vec<usize>) -> Vec<usize> {
+    spec.axes.ns.clone().unwrap_or(default)
+}
+
+/// The saturation-search schedule: the spec's explicit [`crate::spec::Schedule`],
+/// or the historical `--quick`/default/`--full` windows.
+fn measure_for(spec: &StudySpec, args: &CampaignArgs) -> MeasureConfig {
+    let mut schedule = sweep::schedule_for(args);
+    if let Some(over) = &spec.schedule {
+        over.apply(&mut schedule);
+    }
+    schedule
+}
+
+/// Paper-default [`SimConfig`] with the spec's overrides applied.
+fn base_sim(spec: &StudySpec) -> SimConfig {
+    let mut sim = SimConfig::paper_defaults();
+    if let Some(routing) = spec.sim.routing {
+        sim.routing = routing;
+    }
+    if let Some(vcs) = spec.sim.vcs {
+        sim.vcs = vcs;
+    }
+    if let Some(depth) = spec.sim.buffer_depth {
+        sim.buffer_depth = depth;
+    }
+    sim
+}
+
+fn require_optimized_hook<'a>(
+    spec: &StudySpec,
+    hooks: &StageHooks<'a>,
+) -> Result<Option<&'a OptimizedGraphFn>, StudyError> {
+    if !spec.axes.optimized {
+        return Ok(None);
+    }
+    hooks.optimized_graph.map(Some).ok_or_else(|| {
+        StudyError::Spec(
+            "axes.optimized needs the search-backed graph hook \
+             (chiplet_arrange::study::hooks()); use the `study` binary or pass the hooks \
+             explicitly"
+                .to_owned(),
+        )
+    })
+}
+
+// ── proxies stage ───────────────────────────────────────────────────────
+
+fn proxies_stage(spec: &StudySpec, _campaign: &Campaign) -> Result<StageOutput, StudyError> {
+    let kinds = kinds_or(spec, &ArrangementKind::EVALUATED);
+    let ns = ns_or(spec, (1..=100).collect());
+    let points = sweep::proxy_sweep_over(&kinds, &ns);
+    let mut table = Table::new(&["kind", "regularity", "n", "diameter", "bisection"]);
+    for p in &points {
+        table.row(&[
+            &p.kind.label(),
+            &p.regularity.to_string(),
+            &p.n,
+            &p.diameter,
+            &f3(p.bisection),
+        ]);
+    }
+    let mut summary = Vec::new();
+    let last_n = *ns.iter().max().expect("validated non-empty");
+    let at = |kind: ArrangementKind| points.iter().find(|p| p.kind == kind && p.n == last_n);
+    if let (Some(g), Some(hm)) = (at(ArrangementKind::Grid), at(ArrangementKind::HexaMesh)) {
+        summary.push(format!(
+            "proxies at N = {last_n}: diameter HM/G = {:.2}, bisection HM/G = {:.2}",
+            f64::from(hm.diameter) / f64::from(g.diameter.max(1)),
+            hm.bisection / g.bisection.max(f64::MIN_POSITIVE),
+        ));
+    }
+    Ok(StageOutput { tables: vec![StageTable::main(table)], summary })
+}
+
+// ── saturation stage (the Fig. 7 pipeline) ──────────────────────────────
+
+fn saturation_stage(spec: &StudySpec, campaign: &Campaign) -> Result<StageOutput, StudyError> {
+    let kinds = kinds_or(spec, &ArrangementKind::EVALUATED);
+    let ns = ns_or(spec, (2..=100).collect());
+    let pattern = spec.axes.patterns.as_ref().map_or(TrafficPattern::UniformRandom, |p| p[0]);
+    let fanout = spec.saturation.fanout.unwrap_or(1).max(1);
+    let mut params = EvalParams::paper_defaults();
+    params.sim = base_sim(spec);
+    params.measure = measure_for(spec, campaign.args());
+
+    eprintln!(
+        "{}: evaluating {} chiplet counts x {} kinds x {} seeds on {} workers (quick={}, routing={})",
+        campaign.name(),
+        ns.len(),
+        kinds.len(),
+        campaign.args().seeds,
+        campaign.args().workers,
+        campaign.args().quick,
+        params.sim.routing,
+    );
+    let results =
+        sweep::evaluation_campaign_over(&kinds, &ns, pattern, &params, campaign, fanout);
+
+    // ── Absolute series (Fig. 7a / 7b) ──────────────────────────────────
+    let mut table = Table::new(&[
+        "kind",
+        "regularity",
+        "n",
+        "zero_load_latency_cycles",
+        "saturation_fraction",
+        "link_bandwidth_gbps",
+        "full_global_bandwidth_tbps",
+        "saturation_throughput_tbps",
+        "diameter",
+    ]);
+    for r in &results {
+        table.row(&[
+            &r.kind.label(),
+            &r.regularity.to_string(),
+            &r.n,
+            &f3(r.zero_load_latency_cycles),
+            &f3(r.saturation_fraction),
+            &f3(r.link_bandwidth_gbps),
+            &f3(r.full_global_bandwidth_tbps),
+            &f3(r.saturation_throughput_tbps),
+            &r.diameter,
+        ]);
+    }
+    let mut output = StageOutput::default();
+    output.tables.push(StageTable::main(table));
+
+    // ── Normalised series (Fig. 7c / 7d) ────────────────────────────────
+    if let Some(norm_stem) = &spec.saturation.normalized_stem {
+        let by_kind = |kind: ArrangementKind| -> Vec<EvalResult> {
+            results.iter().copied().filter(|r| r.kind == kind).collect()
+        };
+        let grid = by_kind(ArrangementKind::Grid);
+        if grid.is_empty() {
+            return Err(StudyError::Spec(
+                "saturation.normalized_stem needs the grid baseline in axes.kinds".to_owned(),
+            ));
+        }
+        let mut normalized = Table::new(&["kind", "n", "latency_pct", "throughput_pct"]);
+        output
+            .summary
+            .push("summary (averages over N >= 10, relative to the grid):".to_owned());
+        output.summary.push(
+            "  paper:    BW latency ~80%, throughput ~112%;  HM latency ~80%, throughput ~134%"
+                .to_owned(),
+        );
+        for &kind in kinds.iter().filter(|&&k| k != ArrangementKind::Grid) {
+            let series = normalize(&by_kind(kind), &grid);
+            for p in &series {
+                normalized.row(&[
+                    &kind.label(),
+                    &p.n,
+                    &f3(p.latency_pct),
+                    &f3(p.throughput_pct),
+                ]);
+            }
+            // The paper's averages are over N >= 10, where layouts
+            // stabilise.
+            let lat: Vec<f64> =
+                series.iter().filter(|p| p.n >= 10).map(|p| p.latency_pct).collect();
+            let thr: Vec<f64> =
+                series.iter().filter(|p| p.n >= 10).map(|p| p.throughput_pct).collect();
+            let (lat, thr) = (
+                crate::stats::mean(&lat).unwrap_or(f64::NAN),
+                crate::stats::mean(&thr).unwrap_or(f64::NAN),
+            );
+            output.summary.push(format!(
+                "  measured: {} latency {lat:.1}% (Δ {:+.1}%), throughput {thr:.1}% (Δ {:+.1}%)",
+                kind.label(),
+                lat - 100.0,
+                thr - 100.0
+            ));
+        }
+        output.tables.push(StageTable { stem: Some(norm_stem.clone()), table: normalized });
+    }
+    Ok(output)
+}
+
+// ── traffic stage (pattern-sensitivity ablation) ────────────────────────
+
+/// The historical default sweep: benign baseline + four adversaries.
+const DEFAULT_TRAFFIC_PATTERNS: [TrafficPattern; 5] = [
+    TrafficPattern::UniformRandom,
+    TrafficPattern::BitComplement,
+    TrafficPattern::BitReverse,
+    TrafficPattern::Tornado,
+    TrafficPattern::Hotspot { num_hotspots: 4, fraction_permille: 500 },
+];
+
+fn traffic_stage(spec: &StudySpec, campaign: &Campaign) -> Result<StageOutput, StudyError> {
+    let kinds = kinds_or(spec, &ArrangementKind::EVALUATED);
+    let ns = ns_or(spec, vec![37]);
+    let patterns =
+        spec.axes.patterns.clone().unwrap_or_else(|| DEFAULT_TRAFFIC_PATTERNS.to_vec());
+    let schedule = measure_for(spec, campaign.args());
+    let sim = base_sim(spec);
+
+    // The scenario expands kind-outermost (kind → n → rate → pattern →
+    // replicate); the sort below restores the historical pattern-major
+    // row order after aggregation.
+    let scenario = Scenario::new(&kinds, &ns).with_patterns(&patterns);
+    let results = campaign.run_grid(&scenario, |job| {
+        let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
+        let graph = arrangement.graph();
+        let mut config = sim;
+        config.pattern = job.pattern;
+        config.seed = job.seed;
+        let zero_load =
+            noc_measure::zero_load_latency(graph, &config).expect("connected graph");
+        let sat = noc_measure::saturation_search(graph, &config, &schedule)
+            .expect("valid configuration");
+        (zero_load, sat.throughput)
+    });
+
+    let mut table = Table::new(&[
+        "n",
+        "pattern",
+        "kind",
+        "zero_load_latency_cycles",
+        "saturation_fraction",
+        "saturation_vs_grid",
+    ]);
+
+    // Aggregate replicates, then reorder to the historical pattern-major
+    // row order (the grid expands kind-major).
+    let k = campaign.args().seeds.max(1) as usize;
+    let mut by_point: Vec<(TrafficPattern, usize, ArrangementKind, f64, f64)> = results
+        .chunks(k)
+        .map(|chunk| {
+            let job = chunk[0].0;
+            (
+                job.pattern,
+                job.n,
+                job.kind,
+                mean_of(chunk, |(_, (l, _))| *l),
+                mean_of(chunk, |(_, (_, s))| *s),
+            )
+        })
+        .collect();
+    let pattern_rank =
+        |p: TrafficPattern| patterns.iter().position(|&q| q == p).unwrap_or(usize::MAX);
+    let kind_rank =
+        |kind: ArrangementKind| kinds.iter().position(|&q| q == kind).unwrap_or(usize::MAX);
+    by_point.sort_by_key(|&(p, n, kind, _, _)| (pattern_rank(p), n, kind_rank(kind)));
+
+    let mut summary = Vec::new();
+    for &(pattern, n, kind, zero_load, sat) in &by_point {
+        let pattern_name = pattern.name();
+        let grid_sat = by_point
+            .iter()
+            .find(|&&(p, m, k, _, _)| p == pattern && m == n && k == ArrangementKind::Grid)
+            .map(|&(_, _, _, _, s)| s)
+            .filter(|&g| g > 0.0);
+        let vs_grid = grid_sat.map_or(f64::NAN, |g| sat / g);
+        summary.push(format!(
+            "{pattern_name:<14} n={n:<4} {:<4} lat {zero_load:>7.1} sat {sat:.3} vs grid {vs_grid:.2}",
+            kind.label(),
+        ));
+        table.row(&[&n, &pattern_name, &kind.label(), &f3(zero_load), &f3(sat), &f3(vs_grid)]);
+    }
+    Ok(StageOutput { tables: vec![StageTable::main(table)], summary })
+}
+
+// ── load-curve stage ────────────────────────────────────────────────────
+
+/// The metrics of one simulated curve point.
+struct CurvePoint {
+    accepted: f64,
+    avg: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    queue_max: u64,
+    queue_mean: f64,
+}
+
+fn curve_point(
+    graph: &Graph,
+    sim: SimConfig,
+    rate: f64,
+    pattern: TrafficPattern,
+    seed: u64,
+    windows: (u64, u64),
+) -> CurvePoint {
+    let mut config = sim;
+    config.injection_rate = rate;
+    config.pattern = pattern;
+    config.seed = seed;
+    let mut simulator = Simulator::new(graph, config).expect("valid configuration");
+    let stats = simulator.run_to_window(windows.0, windows.1);
+    // One histogram merge serves all three tail percentiles.
+    let tails = simulator.latency_percentiles(&[0.50, 0.95, 0.99]);
+    CurvePoint {
+        accepted: stats.accepted_flits_per_cycle_per_endpoint,
+        avg: stats.avg_packet_latency.unwrap_or(f64::NAN),
+        p50: tails[0].unwrap_or(f64::NAN),
+        p95: tails[1].unwrap_or(f64::NAN),
+        p99: tails[2].unwrap_or(f64::NAN),
+        queue_max: stats.max_source_queue_flits,
+        queue_mean: stats.avg_source_queue_flits,
+    }
+}
+
+fn load_curve_stage(
+    spec: &StudySpec,
+    campaign: &Campaign,
+    hooks: &StageHooks,
+) -> Result<StageOutput, StudyError> {
+    let kinds = kinds_or(spec, &ArrangementKind::EVALUATED);
+    let ns = ns_or(spec, vec![37]);
+    let rates: Vec<f64> = spec
+        .axes
+        .rates
+        .clone()
+        .unwrap_or_else(|| (1..=12u32).map(|step| f64::from(step) * 0.04).collect());
+    let patterns =
+        spec.axes.patterns.clone().unwrap_or_else(|| vec![TrafficPattern::UniformRandom]);
+    // Per-point simulation windows: the historical 4k/8k by default,
+    // shortened by --quick, paper-scale under --full.
+    let windows = match &spec.schedule {
+        Some(s) => (s.warmup_cycles, s.measure_cycles),
+        None if campaign.args().quick => (1_500, 3_000),
+        None if campaign.args().full => (5_000, 10_000),
+        None => (4_000, 8_000),
+    };
+    let sim = base_sim(spec);
+    let optimized = require_optimized_hook(spec, hooks)?;
+
+    let scenario = Scenario::new(&kinds, &ns).with_rates(&rates).with_patterns(&patterns);
+    let results = campaign.run_grid(&scenario, |job| {
+        let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
+        curve_point(
+            arrangement.graph(),
+            sim,
+            job.rate.expect("rate axis set"),
+            job.pattern,
+            job.seed,
+            windows,
+        )
+    });
+
+    let mut table = Table::new(&[
+        "n",
+        "kind",
+        "pattern",
+        "offered_flits_per_cycle",
+        "accepted_flits_per_cycle",
+        "avg_latency_cycles",
+        "p50_latency_cycles",
+        "p95_latency_cycles",
+        "p99_latency_cycles",
+        "max_source_queue_flits",
+        "mean_source_queue_flits",
+    ]);
+
+    // Replicates of one (kind, n, rate, pattern) point are adjacent in
+    // grid order; aggregate each chunk to the replicate mean.
+    let k = campaign.args().seeds.max(1) as usize;
+    let mut add_rows = |jobs: &[(String, usize, f64, TrafficPattern)],
+                        points: &[CurvePoint]| {
+        for (job, chunk) in jobs.iter().zip(points.chunks(k)) {
+            let &(ref label, n, rate, pattern) = job;
+            let of = |f: fn(&CurvePoint) -> f64| mean_of(chunk, f);
+            let pattern_name = pattern.name();
+            let queue_max = chunk.iter().map(|p| p.queue_max).max().unwrap_or(0);
+            table.row(&[
+                &n,
+                label,
+                &pattern_name,
+                &f3(rate),
+                &f3(of(|p| p.accepted)),
+                &f3(of(|p| p.avg)),
+                &f3(of(|p| p.p50)),
+                &f3(of(|p| p.p95)),
+                &f3(of(|p| p.p99)),
+                &queue_max,
+                &f3(of(|p| p.queue_mean)),
+            ]);
+        }
+    };
+    let grid_jobs: Vec<(String, usize, f64, TrafficPattern)> = results
+        .chunks(k)
+        .map(|chunk| {
+            let job = chunk[0].0;
+            (job.kind.label().to_owned(), job.n, job.rate.expect("rate axis set"), job.pattern)
+        })
+        .collect();
+    let grid_points: Vec<CurvePoint> = results.into_iter().map(|(_, p)| p).collect();
+    add_rows(&grid_jobs, &grid_points);
+
+    // Search-discovered arrangement rows, appended after the fixed
+    // families. Coordinates mirror the scenario's, with the reserved
+    // OPT kind code, so seeds follow the engine's standard derivation.
+    if let Some(graph_of) = optimized {
+        for &n in &ns {
+            let graph = graph_of(n, spec, campaign.args())?;
+            let mut opt_jobs = Vec::new();
+            for &rate in &rates {
+                for &pattern in &patterns {
+                    opt_jobs.push((OPTIMIZED_LABEL.to_owned(), n, rate, pattern));
+                }
+            }
+            let expanded = expand_replicates(
+                &opt_jobs,
+                campaign.args().seeds,
+                campaign.args().campaign_seed,
+                |&(_, n, rate, pattern)| {
+                    vec![OPTIMIZED_KIND_CODE, n as u64, rate.to_bits(), pattern_code(pattern)]
+                },
+            );
+            let points = campaign.run_jobs(
+                &expanded,
+                |&((_, n, _, _), _)| n as u64,
+                |&((_, _, rate, pattern), seed)| {
+                    curve_point(&graph, sim, rate, pattern, seed, windows)
+                },
+            );
+            add_rows(&opt_jobs, &points);
+        }
+    }
+
+    let summary = vec![format!(
+        "load curves over kinds={} ns={ns:?} rates={} patterns={} ({} rows)",
+        kinds.len(),
+        rates.len(),
+        patterns.len(),
+        table.len()
+    )];
+    Ok(StageOutput { tables: vec![StageTable::main(table)], summary })
+}
+
+// ── workload stage ──────────────────────────────────────────────────────
+
+/// Cycle budget per workload run — far above any sane makespan; the
+/// driver bails out on suspected deadlock long before this.
+const DEFAULT_MAX_CYCLES: u64 = 50_000_000;
+
+fn workload_stage(
+    spec: &StudySpec,
+    campaign: &Campaign,
+    hooks: &StageHooks,
+) -> Result<StageOutput, StudyError> {
+    use chiplet_workload::WorkloadStats;
+
+    let kinds = kinds_or(spec, &ArrangementKind::ALL);
+    let ns =
+        ns_or(spec, if campaign.args().quick { vec![7, 13, 19] } else { vec![37, 61, 91] });
+    let workloads = spec.axes.workloads.clone().unwrap_or_else(|| WorkloadKind::ALL.to_vec());
+    let max_cycles = spec.workload.max_cycles.unwrap_or(DEFAULT_MAX_CYCLES);
+    let sim = base_sim(spec);
+    let optimized = require_optimized_hook(spec, hooks)?;
+
+    let run_one = |graph: &Graph, n: usize, label: &str, kind: WorkloadKind, seed: u64| {
+        let mut config = sim;
+        config.seed = seed;
+        let endpoints = n * config.endpoints_per_router;
+        let workload = kind.build(endpoints);
+        let mut driver = WorkloadDriver::new(graph, config, &workload).expect("valid driver");
+        let stats = driver.run(max_cycles);
+        if stats.completed {
+            Ok(stats)
+        } else {
+            Err(format!(
+                "{kind} on {label} n={n} stalled at {}/{} messages",
+                stats.delivered_messages,
+                workload.len()
+            ))
+        }
+    };
+
+    let scenario = Scenario::new(&kinds, &ns).with_workloads(&workloads);
+    let results = campaign.run_grid(&scenario, |job| {
+        let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
+        run_one(
+            arrangement.graph(),
+            job.n,
+            &job.kind.to_string(),
+            job.workload.expect("workload axis set"),
+            job.seed,
+        )
+    });
+
+    if spec.workload.traces {
+        let dir = campaign.args().out.join("traces");
+        std::fs::create_dir_all(&dir)?;
+        let mut summary_paths = Vec::new();
+        for &kind in &workloads {
+            for &n in &ns {
+                let endpoints = n * sim.endpoints_per_router;
+                let path = dir.join(format!("{kind}_e{endpoints}.trace.csv"));
+                trace::save(&kind.build(endpoints), &path)?;
+                summary_paths.push(path);
+            }
+        }
+        for path in summary_paths {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    // Aggregate replicates (bit-identical by construction, but --seeds K
+    // keeps the CLI uniform), then regroup rows (workload, n)-major for
+    // the ranking.
+    let k = campaign.args().seeds.max(1) as usize;
+    struct Row {
+        workload: WorkloadKind,
+        n: usize,
+        label: String,
+        kind_rank: usize,
+        stats: WorkloadStats,
+        makespan: f64,
+        critical: f64,
+        avg_latency: f64,
+    }
+    let aggregate = |chunk: &[Result<WorkloadStats, String>],
+                     workload: WorkloadKind,
+                     n: usize,
+                     label: String,
+                     kind_rank: usize|
+     -> Result<Row, StudyError> {
+        let stats: Vec<&WorkloadStats> = chunk
+            .iter()
+            .map(|r| r.as_ref().map_err(|e| StudyError::Stage(e.clone())))
+            .collect::<Result<_, _>>()?;
+        Ok(Row {
+            workload,
+            n,
+            label,
+            kind_rank,
+            stats: stats[0].clone(),
+            makespan: mean_of(&stats, |s| s.makespan as f64),
+            critical: mean_of(&stats, |s| s.critical_path_cycles as f64),
+            avg_latency: mean_of(&stats, |s| s.network.avg_packet_latency.unwrap_or(f64::NAN)),
+        })
+    };
+
+    let kind_rank =
+        |kind: ArrangementKind| kinds.iter().position(|&x| x == kind).unwrap_or(usize::MAX);
+    let mut rows: Vec<Row> = Vec::new();
+    for chunk in results.chunks(k) {
+        let job = chunk[0].0;
+        let stats: Vec<Result<WorkloadStats, String>> =
+            chunk.iter().map(|(_, r)| r.clone()).collect();
+        rows.push(aggregate(
+            &stats,
+            job.workload.expect("workload axis set"),
+            job.n,
+            job.kind.label().to_owned(),
+            kind_rank(job.kind),
+        )?);
+    }
+
+    // Search-discovered arrangement rows: same coordinates as the
+    // scenario's closed-loop jobs, with the reserved OPT kind code.
+    if let Some(graph_of) = optimized {
+        for &n in &ns {
+            let graph = graph_of(n, spec, campaign.args())?;
+            let opt_jobs: Vec<WorkloadKind> = workloads.clone();
+            let expanded = expand_replicates(
+                &opt_jobs,
+                campaign.args().seeds,
+                campaign.args().campaign_seed,
+                |&w| {
+                    vec![
+                        OPTIMIZED_KIND_CODE,
+                        n as u64,
+                        u64::MAX,
+                        pattern_code(TrafficPattern::UniformRandom),
+                        w.code(),
+                    ]
+                },
+            );
+            let opt_results = campaign.run_jobs(
+                &expanded,
+                |_| (n as u64) * (n as u64),
+                |&(w, seed)| run_one(&graph, n, OPTIMIZED_LABEL, w, seed),
+            );
+            for (i, chunk) in opt_results.chunks(k).enumerate() {
+                rows.push(aggregate(
+                    chunk,
+                    opt_jobs[i],
+                    n,
+                    OPTIMIZED_LABEL.to_owned(),
+                    kinds.len(),
+                )?);
+            }
+        }
+    }
+
+    let workload_rank =
+        |w: WorkloadKind| workloads.iter().position(|&x| x == w).unwrap_or(usize::MAX);
+    rows.sort_by_key(|r| (workload_rank(r.workload), r.n, r.kind_rank));
+
+    let mut table = Table::new(&[
+        "workload",
+        "n",
+        "kind",
+        "messages",
+        "flits",
+        "makespan_cycles",
+        "critical_path_cycles",
+        "overhead",
+        "avg_packet_latency_cycles",
+        "max_source_queue_flits",
+        "mean_source_queue_flits",
+        "rank",
+    ]);
+
+    let group_len = kinds.len() + usize::from(spec.axes.optimized);
+    let mut summary = Vec::new();
+    for group in rows.chunks(group_len) {
+        // Rank the kinds of one (workload, n) point by makespan (shared
+        // competition ranking: identical makespans — routine for
+        // brickwall vs. honeycomb — share the better rank).
+        let makespans: Vec<f64> = group.iter().map(|r| r.makespan).collect();
+        let rank = sweep::competition_rank(&makespans);
+        for (i, row) in group.iter().enumerate() {
+            let overhead = row.makespan / row.critical.max(1.0);
+            table.row(&[
+                &row.workload.label(),
+                &row.n,
+                &row.label,
+                &row.stats.delivered_messages,
+                &row.stats.delivered_flits,
+                &f3(row.makespan),
+                &f3(row.critical),
+                &f3(overhead),
+                &f3(row.avg_latency),
+                &row.stats.network.max_source_queue_flits,
+                &f3(row.stats.network.avg_source_queue_flits),
+                &rank[i],
+            ]);
+        }
+        let best_idx = rank.iter().position(|&r| r == 1).expect("non-empty group");
+        let best = &group[best_idx];
+        summary.push(format!(
+            "{} n={}: fastest is {} ({:.0} cycles)",
+            best.workload.label(),
+            best.n,
+            best.label,
+            best.makespan
+        ));
+    }
+    Ok(StageOutput { tables: vec![StageTable::main(table)], summary })
+}
+
+// ── kite stage (HexaMesh vs length-aware grid topologies, §VII) ─────────
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KiteVariant {
+    Mesh,
+    Ftorus,
+    Express,
+    HexaMesh,
+}
+
+const KITE_VARIANTS: [KiteVariant; 4] =
+    [KiteVariant::Mesh, KiteVariant::Ftorus, KiteVariant::Express, KiteVariant::HexaMesh];
+
+struct KiteRow {
+    name: String,
+    links: usize,
+    max_degree: usize,
+    min_rate_gbps: f64,
+    zero_load: f64,
+    sat_tbps: f64,
+}
+
+fn kite_stage(spec: &StudySpec, campaign: &Campaign) -> Result<StageOutput, StudyError> {
+    use chiplet_phy::Technology;
+    use chiplet_topo::{evaluate, EvalOptions};
+
+    let ns = ns_or(spec, vec![16, 25, 36, 49]);
+    // The grid-side variants are side×side meshes and the bandwidth math
+    // divides the fixed silicon budget by `n`, so every row of one `n`
+    // must describe the same system size: only perfect squares (≥ 2×2)
+    // compare apples to apples.
+    if let Some(&bad) = ns.iter().find(|&&n| {
+        let side = (n as f64).sqrt().round() as usize;
+        side < 2 || side * side != n
+    }) {
+        return Err(StudyError::Spec(format!(
+            "the kite stage compares square grids: axes.ns value {bad} is not a perfect \
+             square >= 4"
+        )));
+    }
+    let tech = Technology::organic_substrate();
+
+    let mut jobs = Vec::new();
+    for &n in &ns {
+        for &variant in &KITE_VARIANTS {
+            jobs.push((n, variant));
+        }
+    }
+    let seeds = campaign.args().seeds.max(1);
+    let expanded =
+        expand_replicates(&jobs, seeds, campaign.args().campaign_seed, |&(n, variant)| {
+            let variant_rank =
+                KITE_VARIANTS.iter().position(|&v| v == variant).expect("listed variant");
+            vec![n as u64, variant_rank as u64]
+        });
+
+    // This stage's historical default *is* the paper-scale schedule, so
+    // --full coincides with the default and --quick shortens it.
+    let schedule = match &spec.schedule {
+        Some(over) => {
+            let mut schedule = MeasureConfig::default();
+            over.apply(&mut schedule);
+            schedule
+        }
+        None if campaign.args().quick => MeasureConfig::quick(),
+        None => MeasureConfig::default(),
+    };
+    let results = campaign.run_jobs(
+        &expanded,
+        |&((n, _), _)| n as u64,
+        |&((n, variant), seed)| -> Result<KiteRow, StudyError> {
+            let physical = build_kite_topology(n, variant)?;
+            let mut opts = EvalOptions::paper_defaults(tech.clone());
+            opts.pitch_mm = 1.0; // lengths already in mm
+            opts.sim.seed = seed;
+            opts.schedule = schedule;
+            let result = evaluate(&physical, &opts)?;
+
+            // §V bandwidth with the port-count tax:
+            // A_B = (1 − p_p)·A_C / max_deg.
+            let chiplet_area = UCIE_TOTAL_AREA_MM2 / n as f64;
+            let sector_area = (1.0 - UCIE_POWER_FRACTION) * chiplet_area
+                / physical.max_degree().max(1) as f64;
+            let link = estimate_link(&LinkParams::ucie_c4(sector_area)).expect("valid params");
+            let full_global_tbps =
+                n as f64 * opts.sim.endpoints_per_router as f64 * link.bandwidth_tbps();
+
+            Ok(KiteRow {
+                name: physical.name().to_owned(),
+                links: physical.edges().len(),
+                max_degree: physical.max_degree(),
+                min_rate_gbps: result.min_rate_gbps,
+                zero_load: result.zero_load_latency,
+                sat_tbps: result.saturation.throughput * full_global_tbps,
+            })
+        },
+    );
+    let results: Vec<KiteRow> = results.into_iter().collect::<Result<_, _>>()?;
+
+    let mut table = Table::new(&[
+        "n",
+        "topology",
+        "links",
+        "max_degree",
+        "min_link_rate_gbps",
+        "zero_load_latency_cycles",
+        "saturation_tbps",
+    ]);
+    let mut summary = vec![
+        "HexaMesh vs. length-aware grid topologies (substrate, 16 Gb/s nominal)".to_owned(),
+    ];
+    for ((n, _), chunk) in jobs.iter().zip(results.chunks(seeds as usize)) {
+        let first = &chunk[0];
+        let zero_load = mean_of(chunk, |r| r.zero_load);
+        let sat_tbps = mean_of(chunk, |r| r.sat_tbps);
+        summary.push(format!(
+            "N={n:>3} {:<14} sat {sat_tbps:>7.2} Tb/s, lat {zero_load:>6.1} cyc",
+            first.name
+        ));
+        table.row(&[
+            n,
+            &first.name,
+            &first.links,
+            &first.max_degree,
+            &f3(first.min_rate_gbps),
+            &f3(zero_load),
+            &f3(sat_tbps),
+        ]);
+    }
+    Ok(StageOutput { tables: vec![StageTable::main(table)], summary })
+}
+
+/// Builds the physical (mm-lengths) topology of one kite variant at `n`.
+fn build_kite_topology(
+    n: usize,
+    variant: KiteVariant,
+) -> Result<chiplet_topo::Topology, StudyError> {
+    use chiplet_topo::express::ExpressOptions;
+    use chiplet_topo::{express, ftorus, mesh, Topology};
+
+    let side = (n as f64).sqrt().round() as usize;
+    let chiplet_area = UCIE_TOTAL_AREA_MM2 / n as f64;
+    let shape_params = ShapeParams::new(chiplet_area, UCIE_POWER_FRACTION)?;
+    let topo = match variant {
+        KiteVariant::Mesh | KiteVariant::Ftorus | KiteVariant::Express => {
+            let grid_shape = shape_for(ArrangementKind::Grid, &shape_params)?;
+            let topo = match variant {
+                KiteVariant::Mesh => mesh(side, side),
+                KiteVariant::Ftorus => ftorus(side, side),
+                _ => express(side, side, &ExpressOptions::default()).expect("express builds"),
+            };
+            with_mm_lengths(&topo, grid_shape.width, grid_shape.max_bump_distance)
+        }
+        KiteVariant::HexaMesh => {
+            let hm = Arrangement::build(ArrangementKind::HexaMesh, n)?;
+            let hm_shape = shape_for(ArrangementKind::HexaMesh, &shape_params)?;
+            let hm_edges: Vec<(usize, usize, f64)> =
+                hm.graph().edges().map(|(u, v)| (u, v, 1.0)).collect();
+            let hm_topo = Topology::new(format!("hexamesh_{n}"), n, hm_edges)
+                .expect("arrangement graphs are simple");
+            with_mm_lengths(&hm_topo, hm_shape.width, hm_shape.max_bump_distance)
+        }
+    };
+    Ok(topo)
+}
+
+/// Converts generator lengths (pitch units) to physical mm: an adjacent
+/// link (1 pitch) spans bump sector to bump sector, `2·D_B`; each extra
+/// pitch adds a full chiplet crossing.
+fn with_mm_lengths(
+    topo: &chiplet_topo::Topology,
+    pitch_mm: f64,
+    d_b_mm: f64,
+) -> chiplet_topo::Topology {
+    let edges: Vec<(usize, usize, f64)> = topo
+        .edges()
+        .iter()
+        .map(|e| (e.u, e.v, 2.0 * d_b_mm + (e.length_pitch - 1.0) * pitch_mm))
+        .collect();
+    chiplet_topo::Topology::new(topo.name().to_owned(), topo.num_routers(), edges)
+        .expect("lengths stay positive")
+}
+
+// ── thermal stage ───────────────────────────────────────────────────────
+
+/// Areal power density of compute silicon, W/mm² (200 W per 800 mm²).
+const COMPUTE_DENSITY_W_PER_MM2: f64 = 0.25;
+/// I/O chiplets dissipate a third of the compute density.
+const IO_DENSITY_RATIO: f64 = 1.0 / 3.0;
+
+fn thermal_stage(spec: &StudySpec, campaign: &Campaign) -> Result<StageOutput, StudyError> {
+    use chiplet_layout::ChipletKind;
+    use chiplet_thermal::{solve, HotspotReport, PowerMap, ThermalParams};
+
+    let kinds = kinds_or(spec, &ArrangementKind::EVALUATED);
+    if kinds.contains(&ArrangementKind::Honeycomb) {
+        return Err(StudyError::Spec(
+            "the thermal stage needs rectangular placements; the honeycomb has none \
+             (its graph twin is the brickwall)"
+                .to_owned(),
+        ));
+    }
+    let ns = ns_or(spec, vec![16, 37, 64]);
+
+    let mut jobs = Vec::new();
+    for &n in &ns {
+        for &kind in &kinds {
+            jobs.push((n, kind));
+        }
+    }
+    let results = campaign.run_jobs(
+        &jobs,
+        |&(n, _)| n as u64,
+        |&(n, kind)| -> Result<(f64, HotspotReport), StudyError> {
+            let arrangement = Arrangement::build(kind, n)?;
+            let placement = arrangement
+                .placement()
+                .ok_or_else(|| StudyError::Spec(format!("{kind} has no placement")))?;
+            // Area-preserving lattice scale: one layout unit² maps to
+            // chiplet_area / units_per_chiplet mm².
+            let chiplet_area = UCIE_TOTAL_AREA_MM2 / n as f64;
+            let first = placement.chiplets().first().expect("non-empty placement");
+            let unit_area = (first.rect.width() * first.rect.height()) as f64;
+            let mm_per_unit = (chiplet_area / unit_area).sqrt();
+
+            let map = PowerMap::from_placement(placement, mm_per_unit, 0.5, 4, |c| {
+                let area_mm2 =
+                    (c.rect.width() * c.rect.height()) as f64 * mm_per_unit * mm_per_unit;
+                let density = match c.kind {
+                    ChipletKind::Compute => COMPUTE_DENSITY_W_PER_MM2,
+                    ChipletKind::Io => COMPUTE_DENSITY_W_PER_MM2 * IO_DENSITY_RATIO,
+                };
+                area_mm2 * density
+            })?;
+            let total_power = map.total_w();
+            let solution = solve(&map, &ThermalParams::default())?;
+            Ok((total_power, HotspotReport::from_solution(&solution)))
+        },
+    );
+
+    let mut table = Table::new(&[
+        "n",
+        "kind",
+        "total_power_w",
+        "peak_c",
+        "avg_c",
+        "gradient_c",
+        "hotspot_fraction",
+    ]);
+    let mut summary = vec![format!(
+        "steady-state thermal comparison at {COMPUTE_DENSITY_W_PER_MM2} W/mm² compute density"
+    )];
+    for ((n, kind), result) in jobs.iter().zip(results) {
+        let (total_power, report) = result?;
+        summary.push(format!(
+            "N={n:>3} {:<4} peak {:.1} °C, gradient {:.2} K",
+            kind.label(),
+            report.peak_c,
+            report.gradient_c
+        ));
+        table.row(&[
+            n,
+            &kind.label(),
+            &f3(total_power),
+            &f3(report.peak_c),
+            &f3(report.average_c),
+            &f3(report.gradient_c),
+            &f3(report.hotspot_fraction),
+        ]);
+    }
+    Ok(StageOutput { tables: vec![StageTable::main(table)], summary })
+}
+
+// ── cost stage ──────────────────────────────────────────────────────────
+
+/// Total-silicon-area sweep of the cost stage, mm².
+const COST_AREAS_MM2: [f64; 6] = [50.0, 100.0, 200.0, 400.0, 600.0, 800.0];
+
+fn cost_stage(spec: &StudySpec, _campaign: &Campaign) -> Result<StageOutput, StudyError> {
+    use chiplet_cost::system::{best_chiplet_count, system_cost_comparison, CostParams};
+
+    let ns = ns_or(spec, vec![2, 4, 8, 16, 25, 36, 49, 64, 100]);
+    let params = CostParams::default_5nm();
+    let mut table = Table::new(&[
+        "total_area_mm2",
+        "num_chiplets",
+        "monolithic_cost",
+        "mcm_cost",
+        "monolithic_over_mcm",
+        "monolithic_yield",
+        "chiplet_yield",
+        "assembly_yield",
+    ]);
+    for &area in &COST_AREAS_MM2 {
+        for &n in &ns {
+            let Ok(cmp) = system_cost_comparison(&params, area, n) else {
+                continue; // tiny chiplets may round below wafer feasibility
+            };
+            table.row(&[
+                &f3(area),
+                &n,
+                &f3(cmp.monolithic_total),
+                &f3(cmp.mcm_total),
+                &f3(cmp.monolithic_over_mcm()),
+                &f3(cmp.monolithic_yield),
+                &f3(cmp.chiplet_yield),
+                &f3(cmp.assembly_yield),
+            ]);
+        }
+    }
+    let mut summary = Vec::new();
+    // The sweet spot at the paper's 800 mm² design point.
+    let counts: Vec<usize> = (1..=128).collect();
+    if let Some((best_n, best_cost)) = best_chiplet_count(&params, 800.0, &counts) {
+        summary.push(format!(
+            "optimal chiplet count at 800 mm²: N = {best_n} (MCM cost ${best_cost:.0})"
+        ));
+    }
+    Ok(StageOutput { tables: vec![StageTable::main(table)], summary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::OutputFormat;
+
+    fn args(dir: &std::path::Path, workers: usize) -> CampaignArgs {
+        CampaignArgs {
+            workers,
+            seeds: 1,
+            quick: true,
+            full: false,
+            out: dir.to_path_buf(),
+            format: OutputFormat::Csv,
+            campaign_seed: 7,
+        }
+    }
+
+    #[test]
+    fn spec_defaults_apply_only_when_flags_are_absent() {
+        let mut spec = StudySpec::new("s", StageKind::Proxies);
+        spec.seed = Some(99);
+        spec.replicates = Some(3);
+        spec.output.to_repo_root = true;
+        let argv: Vec<String> = ["bin"].iter().map(|s| (*s).to_string()).collect();
+        let resolved = campaign_args_for(&spec, &argv).unwrap();
+        assert_eq!(resolved.campaign_seed, 99);
+        assert_eq!(resolved.seeds, 3);
+        assert_eq!(resolved.out, std::path::PathBuf::from("."));
+        let argv: Vec<String> = ["bin", "--seed", "1", "--seeds", "2", "--out", "elsewhere"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let resolved = campaign_args_for(&spec, &argv).unwrap();
+        assert_eq!(resolved.campaign_seed, 1);
+        assert_eq!(resolved.seeds, 2);
+        assert_eq!(resolved.out, std::path::PathBuf::from("elsewhere"));
+    }
+
+    #[test]
+    fn search_stage_without_hook_is_a_spec_error() {
+        let spec = StudySpec::new("s", StageKind::Search);
+        let dir = std::env::temp_dir().join("xp_flow_hookless");
+        let err = run_study(&spec, args(&dir, 1), &StageHooks::default()).unwrap_err();
+        assert!(matches!(err, StudyError::Spec(_)), "got {err}");
+    }
+
+    #[test]
+    fn optimized_axis_without_hook_is_a_spec_error() {
+        let mut spec = StudySpec::new("s", StageKind::LoadCurve);
+        spec.axes.optimized = true;
+        spec.axes.ns = Some(vec![4]);
+        let dir = std::env::temp_dir().join("xp_flow_optless");
+        let err = run_study(&spec, args(&dir, 1), &StageHooks::default()).unwrap_err();
+        assert!(matches!(err, StudyError::Spec(_)), "got {err}");
+    }
+
+    #[test]
+    fn kite_stage_rejects_non_square_counts() {
+        let dir = std::env::temp_dir().join("xp_flow_kite_ns");
+        for bad in [2usize, 20] {
+            let mut spec = StudySpec::new("s", StageKind::Kite);
+            spec.axes.ns = Some(vec![bad]);
+            let err = run_study(&spec, args(&dir, 1), &StageHooks::default()).unwrap_err();
+            assert!(matches!(err, StudyError::Spec(_)), "ns={bad} must be rejected, got {err}");
+        }
+    }
+
+    #[test]
+    fn proxies_study_runs_end_to_end() {
+        let dir = std::env::temp_dir().join("xp_flow_proxies");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut spec = StudySpec::new("proxy_unit", StageKind::Proxies);
+        spec.axes.ns = Some(vec![7, 16]);
+        let report = run_study(&spec, args(&dir, 2), &StageHooks::default()).unwrap();
+        assert_eq!(report.written.len(), 1);
+        let csv = std::fs::read_to_string(&report.written[0]).unwrap();
+        assert!(csv.starts_with("kind,regularity,n,diameter,bisection\n"));
+        assert_eq!(csv.lines().count(), 1 + 2 * 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traffic_study_is_worker_count_invariant() {
+        let dir = std::env::temp_dir().join("xp_flow_traffic");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut spec = StudySpec::new("traffic_unit", StageKind::Traffic);
+        spec.axes.ns = Some(vec![4]);
+        spec.axes.patterns = Some(vec![TrafficPattern::UniformRandom]);
+        spec.schedule = Some(crate::spec::Schedule::new(300, 600));
+        let serial =
+            run_study(&spec, args(&dir.join("w1"), 1), &StageHooks::default()).unwrap();
+        let parallel =
+            run_study(&spec, args(&dir.join("w8"), 8), &StageHooks::default()).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&serial.written[0]).unwrap(),
+            std::fs::read_to_string(&parallel.written[0]).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

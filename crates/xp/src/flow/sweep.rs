@@ -1,0 +1,359 @@
+//! Sweep runners shared by the study stages and the figure binaries —
+//! the engine-pool decompositions of the paper's evaluation pipeline.
+//!
+//! These helpers lived in `hexamesh_bench::sweep` while every experiment
+//! was a hand-wired binary; the study flow ([`crate::flow`]) runs the
+//! same sweeps from declarative specs, so they moved down into the
+//! engine. `hexamesh_bench::sweep` re-exports them under the historical
+//! names.
+
+use chiplet_partition::BisectionConfig;
+use hexamesh::arrangement::{Arrangement, ArrangementKind};
+use hexamesh::eval::{self, EvalParams, EvalResult};
+use hexamesh::proxies;
+use nocsim::measure::SaturationResult;
+use nocsim::{MeasureConfig, TrafficPattern};
+
+use crate::cli::CampaignArgs;
+use crate::grid::{Job, Scenario};
+use crate::stats::mean_of;
+use crate::{pool, Campaign};
+
+/// Competition ranking ("1224"): ranks `values` ascending — lower is
+/// better — with exact ties sharing the better rank. Ties are routine,
+/// not hypothetical: brickwall and honeycomb realise the same graph, so
+/// the comparison stages share this one implementation to keep tie
+/// handling uniform.
+#[must_use]
+pub fn competition_rank(values: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut rank = vec![0usize; values.len()];
+    for (place, &idx) in order.iter().enumerate() {
+        let tied = place > 0 && values[order[place - 1]] == values[idx];
+        rank[idx] = if tied { rank[order[place - 1]] } else { place + 1 };
+    }
+    rank
+}
+
+/// Position of `kind` in [`ArrangementKind::EVALUATED`] — the row order
+/// the historical tables use when restoring ordering after a grid
+/// expansion.
+#[must_use]
+pub fn evaluated_rank(kind: ArrangementKind) -> usize {
+    ArrangementKind::EVALUATED.iter().position(|&e| e == kind).unwrap_or(usize::MAX)
+}
+
+/// The measurement schedule selected by the shared flags: `--quick`
+/// (short windows, coarse resolution), `--full` (the paper-scale
+/// [`MeasureConfig::default`] schedule), or — when neither is given —
+/// the middle-ground windows the simulation binaries have always used.
+#[must_use]
+pub fn schedule_for(args: &CampaignArgs) -> MeasureConfig {
+    if args.quick {
+        MeasureConfig::quick()
+    } else if args.full {
+        MeasureConfig::default()
+    } else {
+        let mut schedule = MeasureConfig::default();
+        schedule.warmup_cycles = 3_000;
+        schedule.measure_cycles = 6_000;
+        schedule
+    }
+}
+
+/// One row of the Fig. 6 proxy sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProxyPoint {
+    /// Arrangement family.
+    pub kind: ArrangementKind,
+    /// Regularity used at this `n`.
+    pub regularity: hexamesh::Regularity,
+    /// Chiplet count.
+    pub n: usize,
+    /// Diameter measured on the constructed graph.
+    pub diameter: u32,
+    /// Bisection bandwidth following the paper's methodology (formula for
+    /// regular, partitioner otherwise).
+    pub bisection: f64,
+}
+
+/// Computes the Fig. 6 proxies for all chiplet counts in `ns`, for every
+/// kind in `kinds` (n-major, kinds inner — the figure's row order).
+#[must_use]
+pub fn proxy_sweep_over(kinds: &[ArrangementKind], ns: &[usize]) -> Vec<ProxyPoint> {
+    let config = BisectionConfig::default();
+    let mut out = Vec::new();
+    for &n in ns {
+        for &kind in kinds {
+            let a = Arrangement::build(kind, n).expect("n >= 1 always builds");
+            out.push(ProxyPoint {
+                kind,
+                regularity: a.regularity(),
+                n,
+                diameter: proxies::measured_diameter(&a).expect("connected"),
+                bisection: proxies::paper_bisection(&a, &config),
+            });
+        }
+    }
+    out
+}
+
+/// [`proxy_sweep_over`] for the three §VI-evaluated kinds (the historical
+/// signature).
+#[must_use]
+pub fn proxy_sweep(ns: &[usize]) -> Vec<ProxyPoint> {
+    proxy_sweep_over(&ArrangementKind::EVALUATED, ns)
+}
+
+/// Runs the full Fig. 7 evaluation for all counts in `ns` across the three
+/// evaluated kinds, spreading work over `workers` threads via the engine
+/// pool (largest `n` first). Results are returned sorted by `(kind, n)`
+/// and are identical for every `workers` value.
+///
+/// # Panics
+///
+/// Panics if any single evaluation fails — every `n ≥ 1` arrangement is
+/// connected and the paper configuration is valid, so a failure is a bug.
+#[must_use]
+pub fn evaluation_sweep(ns: &[usize], params: &EvalParams, workers: usize) -> Vec<EvalResult> {
+    let mut jobs: Vec<(ArrangementKind, usize)> = Vec::new();
+    for &n in ns {
+        for kind in ArrangementKind::EVALUATED {
+            jobs.push((kind, n));
+        }
+    }
+    let mut results = pool::run_jobs(
+        &jobs,
+        workers,
+        |&(_, n)| n as u64,
+        |&(kind, n)| {
+            let arrangement = Arrangement::build(kind, n).expect("n >= 1 builds");
+            eval::evaluate(&arrangement, params)
+                .unwrap_or_else(|e| panic!("evaluate {kind} n={n}: {e}"))
+        },
+        None,
+    );
+    results.sort_by_key(|r| (r.kind.label(), r.n));
+    results
+}
+
+/// The replicated form of [`evaluation_sweep`] a campaign runs:
+/// `--seeds K` replicates per `(kind, n)` with engine-derived seeds,
+/// aggregated to mean values in the same [`EvalResult`] shape, for an
+/// arbitrary kind set and traffic pattern. With `K = 1`, default kinds,
+/// and uniform traffic the only difference from [`evaluation_sweep`] is
+/// that the simulator seed comes from the campaign seed derivation
+/// instead of `params.sim.seed`.
+///
+/// `pattern` rides through the scenario's pattern axis, so a non-uniform
+/// pattern also changes the derived seeds — exactly like any other
+/// coordinate — while the uniform default leaves the historical seeds
+/// unmoved.
+///
+/// `fanout > 1` additionally spreads each arrangement's saturation search
+/// over `fanout` rate points per round ([`evaluate_pooled`]) — worthwhile
+/// when the grid has fewer jobs than workers. The fanout changes the probe
+/// sequence, so it must come from an explicit flag or spec field (never
+/// from `--workers`) to keep rows independent of the worker count.
+///
+/// # Panics
+///
+/// As [`evaluation_sweep`].
+#[must_use]
+pub fn evaluation_campaign_over(
+    kinds: &[ArrangementKind],
+    ns: &[usize],
+    pattern: TrafficPattern,
+    params: &EvalParams,
+    campaign: &Campaign,
+    fanout: usize,
+) -> Vec<EvalResult> {
+    let scenario = Scenario::new(kinds, ns).with_patterns(&[pattern]);
+    // Keep the thread total bounded by the worker budget: the nested
+    // rate-point pool only gets the workers the grid leaves idle. (The
+    // probe *sequence* depends only on `fanout`, so this split never
+    // changes results.)
+    let k = campaign.args().seeds.max(1) as usize;
+    let total_jobs = (kinds.len() * ns.len() * k).max(1);
+    let inner_workers = (campaign.args().workers / total_jobs).max(1);
+    let results = campaign.run_grid(&scenario, |job: &Job| {
+        let arrangement = Arrangement::build(job.kind, job.n).expect("n >= 1 builds");
+        let mut p = *params;
+        p.sim.seed = job.seed;
+        p.sim.pattern = job.pattern;
+        if fanout > 1 {
+            evaluate_pooled(&arrangement, &p, fanout, inner_workers)
+        } else {
+            eval::evaluate(&arrangement, &p)
+                .unwrap_or_else(|e| panic!("evaluate {} n={}: {e}", job.kind, job.n))
+        }
+    });
+
+    // Aggregate replicates: grid order guarantees replicates of one point
+    // are adjacent, so chunking by K keeps this deterministic.
+    let mut aggregated: Vec<EvalResult> = results
+        .chunks(k)
+        .map(|chunk| {
+            let field = |f: fn(&EvalResult) -> f64| mean_of(chunk, |(_, r)| f(r));
+            let first = chunk[0].1;
+            EvalResult {
+                zero_load_latency_cycles: field(|r| r.zero_load_latency_cycles),
+                saturation_fraction: field(|r| r.saturation_fraction),
+                saturation_throughput_tbps: field(|r| r.saturation_throughput_tbps),
+                ..first
+            }
+        })
+        .collect();
+    aggregated.sort_by_key(|r| (r.kind.label(), r.n));
+    aggregated
+}
+
+/// [`evaluation_campaign_over`] for the three evaluated kinds under
+/// uniform traffic (the historical signature `fig7_simulation` used).
+#[must_use]
+pub fn evaluation_campaign(
+    ns: &[usize],
+    params: &EvalParams,
+    campaign: &Campaign,
+    fanout: usize,
+) -> Vec<EvalResult> {
+    evaluation_campaign_over(
+        &ArrangementKind::EVALUATED,
+        ns,
+        TrafficPattern::UniformRandom,
+        params,
+        campaign,
+        fanout,
+    )
+}
+
+/// Saturation search for a single arrangement with the rate points of each
+/// round spread over `workers` threads — the engine-job decomposition of
+/// [`hexamesh::eval::saturation_search_with`]. Use this when a study
+/// evaluates too few arrangements to keep the pool busy; results are
+/// independent of `workers` (only the probe fanout changes the probe
+/// sequence, and it is fixed by the caller).
+///
+/// # Panics
+///
+/// Panics if a simulation point fails (connected arrangements with valid
+/// parameters never do).
+#[must_use]
+pub fn saturation_search_pooled(
+    arrangement: &Arrangement,
+    params: &EvalParams,
+    fanout: usize,
+    workers: usize,
+) -> SaturationResult {
+    let zero_load = eval::zero_load_of(arrangement, params).expect("connected arrangement");
+    eval::saturation_search_with(params, fanout.max(1), |rates| {
+        Ok(run_rates_pooled(arrangement, params, zero_load, rates, workers))
+    })
+    .expect("runner never errors")
+}
+
+/// Full [`eval::evaluate`] with the saturation search's rate points spread
+/// over `workers` threads — [`saturation_search_pooled`] wrapped in the
+/// link-budget/zero-load pipeline. Used by the saturation stage's
+/// `fanout` spec field (`fig7_simulation --fanout F`).
+///
+/// # Panics
+///
+/// As [`saturation_search_pooled`].
+#[must_use]
+pub fn evaluate_pooled(
+    arrangement: &Arrangement,
+    params: &EvalParams,
+    fanout: usize,
+    workers: usize,
+) -> EvalResult {
+    eval::evaluate_with(arrangement, params, fanout.max(1), |zero_load, rates| {
+        Ok(run_rates_pooled(arrangement, params, zero_load, rates, workers))
+    })
+    .unwrap_or_else(|e| panic!("evaluate n={}: {e}", arrangement.num_chiplets()))
+}
+
+/// Simulates a batch of independent rate points on the engine pool.
+fn run_rates_pooled(
+    arrangement: &Arrangement,
+    params: &EvalParams,
+    zero_load: f64,
+    rates: &[f64],
+    workers: usize,
+) -> Vec<nocsim::measure::LoadPointResult> {
+    pool::run_jobs(
+        rates,
+        workers,
+        |_| 1,
+        |&rate| {
+            eval::measure_load_point(arrangement, params, rate, zero_load)
+                .unwrap_or_else(|e| panic!("load point at rate {rate}: {e}"))
+        },
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxy_sweep_covers_all_kinds() {
+        let points = proxy_sweep(&[7, 16]);
+        assert_eq!(points.len(), 6);
+        // HexaMesh at n=7 is regular with diameter 2 and bisection 5.
+        let hm7 =
+            points.iter().find(|p| p.kind == ArrangementKind::HexaMesh && p.n == 7).unwrap();
+        assert_eq!(hm7.diameter, 2);
+        assert_eq!(hm7.bisection, 5.0);
+    }
+
+    #[test]
+    fn competition_rank_shares_tied_ranks() {
+        assert_eq!(competition_rank(&[3.0, 1.0, 2.0]), vec![3, 1, 2]);
+        // "1224": both middle values share rank 2, the next rank is 4.
+        assert_eq!(competition_rank(&[1.0, 2.0, 2.0, 5.0]), vec![1, 2, 2, 4]);
+        assert_eq!(competition_rank(&[]), Vec::<usize>::new());
+    }
+
+    fn tiny_params() -> EvalParams {
+        let mut params = EvalParams::quick();
+        params.sim.vcs = 4;
+        params.sim.buffer_depth = 4;
+        params.measure.warmup_cycles = 500;
+        params.measure.measure_cycles = 1_000;
+        params.measure.rate_resolution = 0.1;
+        params
+    }
+
+    #[test]
+    fn evaluation_sweep_tiny() {
+        let results = evaluation_sweep(&[4], &tiny_params(), 2);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.saturation_fraction > 0.0));
+    }
+
+    #[test]
+    fn evaluation_sweep_worker_count_is_invisible() {
+        let params = tiny_params();
+        let serial = evaluation_sweep(&[2, 4], &params, 1);
+        let parallel = evaluation_sweep(&[2, 4], &params, 8);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn pooled_saturation_search_matches_serial_at_fanout_one() {
+        let params = tiny_params();
+        let a = Arrangement::build(ArrangementKind::Grid, 4).unwrap();
+        let serial =
+            nocsim::measure::saturation_search(a.graph(), &params.sim, &params.measure)
+                .unwrap();
+        let pooled = saturation_search_pooled(&a, &params, 1, 4);
+        assert_eq!(serial, pooled, "fanout-1 batched search must equal bisection");
+        // Wider fanout probes different rates but must land near the same
+        // knee.
+        let wide = saturation_search_pooled(&a, &params, 4, 4);
+        assert!((wide.rate - serial.rate).abs() <= 2.0 * params.measure.rate_resolution);
+    }
+}

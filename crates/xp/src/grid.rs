@@ -6,6 +6,30 @@
 //! whose seeds come from [`crate::seed::derive_seed`] over the job's
 //! *coordinates*, so the expansion is independent of axis ordering,
 //! worker count, and the presence of other axis values.
+//!
+//! # Axis evolution rule
+//!
+//! The seed coordinate layout is a compatibility contract. The first
+//! grid shipped five words — `[kind, n, rate bits, pattern, replicate]`
+//! — and every result ever produced is keyed on seeds derived from them,
+//! so growing the grid must never re-derive them. The rule, introduced
+//! when the workload axis landed (PR 3) and binding for **every** future
+//! axis:
+//!
+//! 1. a new axis is *optional*: its neutral value (`None`) contributes
+//!    one grid point and **no** coordinate word;
+//! 2. when the axis is used, its word is appended **between the pattern
+//!    word and the replicate word**, after any earlier optional axes'
+//!    words (insertion order = the order the axes were added to the
+//!    engine, never alphabetical or struct order);
+//! 3. existing coordinate codes ([`kind_code`], [`pattern_code`],
+//!    `WorkloadKind::code`) are append-only — a code, once shipped, is
+//!    never renumbered or reused.
+//!
+//! Consequence, pinned by `optional_axis_rule_keeps_unused_seeds_fixed`
+//! below: a scenario that leaves every optional axis at its neutral
+//! value derives exactly the historical five-word seeds, whatever
+//! optional axes the engine has since grown.
 
 use chiplet_workload::WorkloadKind;
 use hexamesh::arrangement::ArrangementKind;
@@ -206,8 +230,11 @@ pub fn expand_replicates<J: Clone>(
 }
 
 /// Stable coordinate code of an arrangement kind (presentation order of
-/// [`ArrangementKind::ALL`]).
-fn kind_code(kind: ArrangementKind) -> u64 {
+/// [`ArrangementKind::ALL`]). Append-only: codes are never renumbered
+/// (see the module-level axis evolution rule); code 4 is reserved for
+/// searched (`OPT`) arrangements ([`OPTIMIZED_KIND_CODE`]).
+#[must_use]
+pub fn kind_code(kind: ArrangementKind) -> u64 {
     match kind {
         ArrangementKind::Grid => 0,
         ArrangementKind::Honeycomb => 1,
@@ -216,9 +243,17 @@ fn kind_code(kind: ArrangementKind) -> u64 {
     }
 }
 
+/// The kind-coordinate code of a search-discovered (`OPT`) arrangement —
+/// outside [`ArrangementKind`], used by study flows that add optimized
+/// rows next to the fixed families. Reserved here so no future kind can
+/// collide with it.
+pub const OPTIMIZED_KIND_CODE: u64 = 4;
+
 /// Stable coordinate code of a traffic pattern, folding in its parameters
 /// so that differently-parameterised hotspots get distinct seeds.
-fn pattern_code(pattern: TrafficPattern) -> u64 {
+/// Append-only, like [`kind_code`].
+#[must_use]
+pub fn pattern_code(pattern: TrafficPattern) -> u64 {
     match pattern {
         TrafficPattern::UniformRandom => 0,
         TrafficPattern::Complement => 1,
@@ -326,6 +361,48 @@ mod tests {
             &[0, 9, u64::MAX, 0, 0], // kind, n, rate bits, pattern, replicate
         );
         assert_eq!(jobs[0].seed, expected);
+    }
+
+    #[test]
+    fn optional_axis_rule_keeps_unused_seeds_fixed() {
+        // The axis evolution rule (module docs): a scenario that leaves
+        // every optional axis neutral derives exactly the historical
+        // five-word seeds — for every point, not just the first — and a
+        // used optional axis appends its word between the pattern and
+        // replicate words.
+        let s = Scenario::new(&[ArrangementKind::Grid, ArrangementKind::HexaMesh], &[4, 9])
+            .with_rates(&[0.1])
+            .with_patterns(&[TrafficPattern::Tornado])
+            .with_replicates(2);
+        for job in s.jobs(99) {
+            let five_words = [
+                kind_code(job.kind),
+                job.n as u64,
+                job.rate.map_or(u64::MAX, f64::to_bits),
+                pattern_code(job.pattern),
+                job.replicate,
+            ];
+            assert_eq!(job.seed, derive_seed(99, &five_words));
+        }
+        let closed = s.with_workloads(&[WorkloadKind::Stencil]);
+        for job in closed.jobs(99) {
+            let six_words = [
+                kind_code(job.kind),
+                job.n as u64,
+                job.rate.map_or(u64::MAX, f64::to_bits),
+                pattern_code(job.pattern),
+                job.workload.expect("workload axis set").code(),
+                job.replicate,
+            ];
+            assert_eq!(job.seed, derive_seed(99, &six_words));
+        }
+    }
+
+    #[test]
+    fn optimized_kind_code_stays_clear_of_real_kinds() {
+        for kind in ArrangementKind::ALL {
+            assert_ne!(kind_code(kind), OPTIMIZED_KIND_CODE);
+        }
     }
 
     #[test]

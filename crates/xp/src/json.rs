@@ -1,9 +1,12 @@
-//! A small JSON value model and writer for campaign output.
+//! A small JSON value model, writer, and reader for campaign output and
+//! study specs.
 //!
 //! The vendored serde stand-in has no data model (see `vendor/README.md`),
 //! so the engine writes JSON through this hand-rolled module instead. The
 //! output is plain RFC 8259 JSON; numbers are emitted with enough
-//! precision to round-trip `f64`.
+//! precision to round-trip `f64`. [`parse`] is the matching reader — it
+//! accepts any RFC 8259 document (used by `study --spec file.json` and by
+//! the golden tests that compare campaign manifests).
 
 use std::fmt::Write as _;
 
@@ -116,6 +119,241 @@ fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
+impl Value {
+    /// Looks up `key` in an object; `None` on non-objects or missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses an RFC 8259 JSON document into a [`Value`].
+///
+/// Integers without a fraction or exponent become [`Value::Int`] (so
+/// 64-bit seeds round-trip exactly); everything else numeric becomes
+/// [`Value::Num`].
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(src, bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", char::from(c), *pos))
+    }
+}
+
+/// Nesting cap: far beyond any campaign manifest or spec, and low enough
+/// that a pathological document returns an error instead of blowing the
+/// stack through recursion.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(
+    src: &str,
+    bytes: &[u8],
+    pos: &mut usize,
+    depth: usize,
+) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} levels at byte {}", *pos));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'n') => parse_lit(src, pos, "null", Value::Null),
+        Some(b't') => parse_lit(src, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(src, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(src, bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(src, bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(src, bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(src, bytes, pos, depth + 1)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(entries));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(src, bytes, pos),
+    }
+}
+
+fn parse_lit(src: &str, pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+    if src[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(src: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err("unterminated string".to_owned());
+        };
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let esc = bytes.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let code = parse_hex4(src, pos)?;
+                        let scalar = match code {
+                            // High surrogate: combine with the mandatory
+                            // low-surrogate escape that must follow.
+                            0xD800..=0xDBFF => {
+                                if src.get(*pos..*pos + 2) != Some("\\u") {
+                                    return Err(format!(
+                                        "high surrogate \\u{code:04X} not followed by a low \
+                                         surrogate escape"
+                                    ));
+                                }
+                                *pos += 2;
+                                let low = parse_hex4(src, pos)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(format!(
+                                        "\\u{code:04X} must pair with a low surrogate, got \
+                                         \\u{low:04X}"
+                                    ));
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(format!("unpaired low surrogate \\u{code:04X}"));
+                            }
+                            other => other,
+                        };
+                        out.push(
+                            char::from_u32(scalar)
+                                .ok_or_else(|| format!("invalid code point U+{scalar:X}"))?,
+                        );
+                    }
+                    other => return Err(format!("bad escape \\{}", char::from(other))),
+                }
+            }
+            _ => {
+                // Consume one UTF-8 scalar from the source text.
+                let ch = src[*pos..].chars().next().ok_or("invalid UTF-8")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+/// Reads the four hex digits of a `\u` escape at `pos`.
+fn parse_hex4(src: &str, pos: &mut usize) -> Result<u32, String> {
+    let hex = src.get(*pos..*pos + 4).ok_or_else(|| "truncated \\u escape".to_owned())?;
+    let code = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape {hex:?}"))?;
+    *pos += 4;
+    Ok(code)
+}
+
+fn parse_number(src: &str, bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut fractional = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                fractional = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = &src[start..*pos];
+    if text.is_empty() || text == "-" {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    if !fractional {
+        if let Ok(i) = text.parse::<i128>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("malformed number {text:?} at byte {start}"))
+}
+
 impl From<bool> for Value {
     fn from(b: bool) -> Self {
         Value::Bool(b)
@@ -206,6 +444,69 @@ mod tests {
         let third = 1.0 / 3.0;
         let rendered = Value::Num(third).to_json();
         assert_eq!(rendered.parse::<f64>().unwrap(), third);
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let mut obj = Value::object();
+        obj.set("name", "load_curves");
+        obj.set("n", 37usize);
+        obj.set("seed", (1u64 << 53) + 1);
+        obj.set("quick", false);
+        obj.set("rows", Value::Arr(vec![Value::Num(0.5), Value::Null, Value::Num(-3.25)]));
+        obj.set("text", "a\"b\\c\nd");
+        let parsed = parse(&obj.to_json()).unwrap();
+        assert_eq!(parsed, obj);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_nesting() {
+        let v = parse(" { \"a\" : [ 1 , 2.5 , { \"b\" : null } ] } ").unwrap();
+        assert_eq!(
+            v.get("a").and_then(|a| match a {
+                Value::Arr(items) => Some(items.len()),
+                _ => None,
+            }),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(parse(&deep).unwrap_err().contains("nesting"));
+        // Nesting under the cap still parses.
+        let fine = "[".repeat(100) + "1" + &"]".repeat(100);
+        assert!(parse(&fine).is_ok());
+    }
+
+    #[test]
+    fn unicode_escapes_decode_including_surrogate_pairs() {
+        assert_eq!(parse("\"\\u0041\\u00e9\"").unwrap(), Value::Str("Aé".to_owned()));
+        // U+1F600 as a surrogate pair.
+        assert_eq!(parse("\"\\uD83D\\uDE00\"").unwrap(), Value::Str("😀".to_owned()));
+        // Unpaired or malformed surrogates are errors, never U+FFFD.
+        assert!(parse(r#""\uD83D""#).is_err());
+        assert!(parse(r#""\uD83Dx""#).is_err());
+        assert!(parse(r#""\uD83DA""#).is_err());
+        assert!(parse(r#""\uDE00""#).is_err());
+    }
+
+    #[test]
+    fn parse_keeps_integers_exact() {
+        assert_eq!(parse("18446744073709551615").unwrap(), Value::Int(18446744073709551615));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("1e3").unwrap(), Value::Num(1000.0));
     }
 
     #[test]

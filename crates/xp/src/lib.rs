@@ -20,22 +20,33 @@
 //!   manifest (config, git describe, wall time).
 //! * [`cli`] — the shared flag layer (`--workers`, `--seeds`, `--quick`,
 //!   `--full`, `--out`, `--format`, `--seed`) with strict value parsing:
-//!   malformed values abort instead of silently running the wrong
-//!   experiment.
+//!   malformed values (and unknown flags) abort instead of silently
+//!   running the wrong experiment.
+//! * [`spec`] + [`flow`] — the **declarative study API**: a
+//!   [`spec::StudySpec`] value (loadable from TOML/JSON through [`toml`] /
+//!   [`json`]) names a stage, axes, and overrides; [`flow::run_study`]
+//!   compiles it onto the grid/campaign machinery above and writes the
+//!   unified sinks. The `study` binary and every rewritten experiment
+//!   binary run through this one path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod cli;
+pub mod flow;
 pub mod grid;
 pub mod json;
 pub mod pool;
 pub mod seed;
+pub mod spec;
 pub mod stats;
 pub mod table;
+pub mod toml;
 
 pub use campaign::Campaign;
 pub use cli::CampaignArgs;
+pub use flow::{run_study, StageHooks, StudyError, StudyReport};
 pub use grid::{Job, Scenario};
+pub use spec::{StageKind, StudySpec};
 pub use stats::Summary;

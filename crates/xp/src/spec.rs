@@ -1,0 +1,900 @@
+//! Declarative study specifications.
+//!
+//! A [`StudySpec`] is a *value* describing an experiment campaign: which
+//! [stage](StageKind) to run, the axes to sweep, parameter overrides, and
+//! output configuration. Specs compile onto the existing
+//! [`crate::grid::Scenario`] / [`crate::grid::Job`] machinery and execute
+//! through [`crate::flow::run_study`] — so a new study is *data* (a TOML
+//! or JSON file fed to the `study` binary, or a value built in code), not
+//! a new hand-wired binary.
+//!
+//! The serialized form has a flat two-level shape shared by TOML
+//! ([`StudySpec::from_toml`]) and JSON ([`StudySpec::from_json`]):
+//! scalars `name` / `stage` / `seed` / `replicates` at the top level,
+//! then one optional section per parameter group (`[axes]`, `[sim]`,
+//! `[schedule]`, `[search]`, `[workload]`, `[saturation]`, `[output]`).
+//! Decoding is strict — unknown keys, malformed values, and axis names
+//! that do not parse are errors, never silently ignored — and round-trips
+//! through [`StudySpec::to_value`].
+//!
+//! Every struct here is `#[non_exhaustive]`: construct via
+//! [`StudySpec::new`] / `Default` and set the public fields you need, so
+//! adding a parameter group or axis later is not a breaking change.
+
+use std::str::FromStr;
+
+use chiplet_workload::WorkloadKind;
+use hexamesh::arrangement::ArrangementKind;
+use nocsim::{RoutingKind, TrafficPattern};
+
+use crate::json::Value;
+use crate::toml;
+
+/// The experiment stage a spec runs. Each stage resolves its own axis
+/// defaults (see `DESIGN.md`'s stage table) and defines the output
+/// schema; the schemas of the stages that replaced hand-wired binaries
+/// are byte-compatible with what those binaries always wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum StageKind {
+    /// Analytic diameter + bisection proxies (Fig. 6 methodology).
+    Proxies,
+    /// Full cycle-accurate evaluation: link budget, zero-load latency,
+    /// saturation throughput (the Fig. 7 pipeline), with an optional
+    /// grid-normalised companion table.
+    Saturation,
+    /// Zero-load + saturation per traffic pattern, ranked against the
+    /// grid (the traffic-sensitivity ablation).
+    Traffic,
+    /// Latency-vs-offered-load curves with tail percentiles.
+    LoadCurve,
+    /// Closed-loop application workloads ranked by makespan.
+    Workload,
+    /// Arrangement search: optimized placements vs the fixed families
+    /// (provided through [`crate::flow::StageHooks`], because the
+    /// optimizer crate sits above the engine in the dependency DAG).
+    Search,
+    /// HexaMesh vs length-aware grid topologies (Kite-style §VII).
+    Kite,
+    /// Steady-state thermal comparison of arrangements.
+    Thermal,
+    /// Monolithic vs 2.5D manufacturing cost model.
+    Cost,
+}
+
+impl StageKind {
+    /// Every stage, in documentation order.
+    pub const ALL: [StageKind; 9] = [
+        StageKind::Proxies,
+        StageKind::Saturation,
+        StageKind::Traffic,
+        StageKind::LoadCurve,
+        StageKind::Workload,
+        StageKind::Search,
+        StageKind::Kite,
+        StageKind::Thermal,
+        StageKind::Cost,
+    ];
+
+    /// Canonical name, as accepted by the [`FromStr`] parser and used in
+    /// spec files. Round-trips through `parse`.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageKind::Proxies => "proxies",
+            StageKind::Saturation => "saturation",
+            StageKind::Traffic => "traffic",
+            StageKind::LoadCurve => "load_curve",
+            StageKind::Workload => "workload",
+            StageKind::Search => "search",
+            StageKind::Kite => "kite",
+            StageKind::Thermal => "thermal",
+            StageKind::Cost => "cost",
+        }
+    }
+}
+
+impl std::fmt::Display for StageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for StageKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        StageKind::ALL.into_iter().find(|k| k.name() == s).ok_or_else(|| {
+            let names: Vec<&str> = StageKind::ALL.iter().map(|k| k.name()).collect();
+            format!("unknown stage {s:?} (expected one of {})", names.join("|"))
+        })
+    }
+}
+
+/// The sweep axes. Every axis is optional; `None` resolves to the
+/// running stage's default (which may depend on `--quick`), so a spec
+/// names only the dimensions it constrains.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub struct Axes {
+    /// Arrangement families to evaluate.
+    pub kinds: Option<Vec<ArrangementKind>>,
+    /// Chiplet counts.
+    pub ns: Option<Vec<usize>>,
+    /// Injection rates (flits/cycle/endpoint); load-curve stage only.
+    pub rates: Option<Vec<f64>>,
+    /// Spatial traffic patterns.
+    pub patterns: Option<Vec<TrafficPattern>>,
+    /// Closed-loop workload kernels; workload stage only.
+    pub workloads: Option<Vec<WorkloadKind>>,
+    /// Also evaluate a search-discovered (`OPT`) arrangement next to the
+    /// fixed families (load-curve and workload stages; requires the
+    /// search hook — see [`crate::flow::StageHooks`]).
+    pub optimized: bool,
+}
+
+/// Simulator parameter overrides, applied on top of the paper defaults.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub struct SimOverrides {
+    /// Routing algorithm (`adaptive` | `deterministic` | `updown`).
+    pub routing: Option<RoutingKind>,
+    /// Virtual channels per port.
+    pub vcs: Option<usize>,
+    /// Buffer depth in flits per VC.
+    pub buffer_depth: Option<usize>,
+}
+
+impl SimOverrides {
+    /// `true` if no override is set (the stage runs paper defaults).
+    #[must_use]
+    pub fn is_neutral(&self) -> bool {
+        self.routing.is_none() && self.vcs.is_none() && self.buffer_depth.is_none()
+    }
+}
+
+/// An explicit measurement schedule. When absent, stages follow the
+/// historical `--quick` / default / `--full` windows of the binary they
+/// replaced.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct Schedule {
+    /// Cycles simulated before the measurement window opens.
+    pub warmup_cycles: u64,
+    /// Cycles in the measurement window.
+    pub measure_cycles: u64,
+    /// Saturation-search resolution on the injection rate; `None` keeps
+    /// the stage default.
+    pub rate_resolution: Option<f64>,
+}
+
+impl Schedule {
+    /// A schedule with the given windows and the default resolution.
+    #[must_use]
+    pub fn new(warmup_cycles: u64, measure_cycles: u64) -> Self {
+        Self { warmup_cycles, measure_cycles, rate_resolution: None }
+    }
+
+    /// Overlays this schedule onto a stage's base
+    /// [`MeasureConfig`](nocsim::MeasureConfig) —
+    /// the one merge rule every stage (including hook-provided ones)
+    /// shares, so a future schedule field cannot be honoured by some
+    /// stages and ignored by others.
+    pub fn apply(&self, schedule: &mut nocsim::MeasureConfig) {
+        schedule.warmup_cycles = self.warmup_cycles;
+        schedule.measure_cycles = self.measure_cycles;
+        if let Some(res) = self.rate_resolution {
+            schedule.rate_resolution = res;
+        }
+    }
+}
+
+/// Arrangement-search parameters (search stage and `optimized` axis).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SearchOverrides {
+    /// Independent annealing restarts; `None` = stage default.
+    pub restarts: Option<usize>,
+    /// Annealing iterations per restart; `None` = stage default.
+    pub iterations: Option<usize>,
+    /// Validate top candidates with cycle-accurate saturation + workload
+    /// makespan (search stage; default `true`).
+    pub validate: bool,
+}
+
+impl Default for SearchOverrides {
+    fn default() -> Self {
+        Self { restarts: None, iterations: None, validate: true }
+    }
+}
+
+/// Workload-stage parameters.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub struct WorkloadOverrides {
+    /// Cycle budget per run; `None` = the historical 50 M guard.
+    pub max_cycles: Option<u64>,
+    /// Additionally record each swept DAG as a replayable trace under
+    /// `<out>/traces/`.
+    pub traces: bool,
+}
+
+/// Saturation-stage parameters.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub struct SaturationOverrides {
+    /// Rates probed per saturation-search round (explicit, never derived
+    /// from `--workers`, so rows stay worker-count independent).
+    pub fanout: Option<usize>,
+    /// File stem of the grid-normalised companion table (Fig. 7c/d);
+    /// `None` skips it.
+    pub normalized_stem: Option<String>,
+}
+
+/// Output configuration beyond the shared `--out` / `--format` flags.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub struct OutputSpec {
+    /// Default output directory when `--out` is absent.
+    pub dir: Option<String>,
+    /// When `--out` is absent, write to the repository root — the
+    /// tracked-`BENCH_*` convention. Overrides `dir`.
+    pub to_repo_root: bool,
+}
+
+/// A declarative study: one stage, its axes, and its parameters. See the
+/// [module docs](self) for the file format.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct StudySpec {
+    /// Campaign name — the output file stem.
+    pub name: String,
+    /// The stage to run.
+    pub stage: StageKind,
+    /// Default campaign seed when `--seed` is absent.
+    pub seed: Option<u64>,
+    /// Default replicate count when `--seeds` is absent.
+    pub replicates: Option<u64>,
+    /// Sweep axes.
+    pub axes: Axes,
+    /// Simulator overrides.
+    pub sim: SimOverrides,
+    /// Measurement-schedule override.
+    pub schedule: Option<Schedule>,
+    /// Search parameters.
+    pub search: SearchOverrides,
+    /// Workload parameters.
+    pub workload: WorkloadOverrides,
+    /// Saturation parameters.
+    pub saturation: SaturationOverrides,
+    /// Output configuration.
+    pub output: OutputSpec,
+}
+
+impl StudySpec {
+    /// A spec named `name` running `stage` with every axis and parameter
+    /// at its stage default.
+    #[must_use]
+    pub fn new(name: &str, stage: StageKind) -> Self {
+        Self {
+            name: name.to_owned(),
+            stage,
+            seed: None,
+            replicates: None,
+            axes: Axes::default(),
+            sim: SimOverrides::default(),
+            schedule: None,
+            search: SearchOverrides::default(),
+            workload: WorkloadOverrides::default(),
+            saturation: SaturationOverrides::default(),
+            output: OutputSpec::default(),
+        }
+    }
+
+    /// Decodes a spec from parsed TOML source.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax or schema error.
+    pub fn from_toml(src: &str) -> Result<Self, String> {
+        Self::from_value(&toml::parse(src)?)
+    }
+
+    /// Decodes a spec from JSON source.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax or schema error.
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        Self::from_value(&crate::json::parse(src)?)
+    }
+
+    /// Decodes a spec from the shared [`Value`] model (the common path
+    /// behind [`StudySpec::from_toml`] / [`StudySpec::from_json`]).
+    /// Strict: unknown keys and malformed values are errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending key.
+    pub fn from_value(value: &Value) -> Result<Self, String> {
+        let Value::Obj(entries) = value else {
+            return Err("spec root must be a table/object".to_owned());
+        };
+        // The TOML reader rejects duplicate keys at parse time; JSON
+        // specs reach here with duplicates intact, so enforce the same
+        // assigns-once rule uniformly (a double assignment is almost
+        // certainly a typo, and first-wins vs last-wins would otherwise
+        // be an accident of the decode path).
+        reject_duplicate_keys(entries, "spec")?;
+        let name = str_field(value, "name")?
+            .ok_or("spec is missing the required `name` key")?
+            .to_owned();
+        if name.is_empty() || name.contains(['/', '\\']) {
+            return Err(format!("`name` {name:?} must be a non-empty file stem"));
+        }
+        let stage: StageKind = str_field(value, "stage")?
+            .ok_or("spec is missing the required `stage` key")?
+            .parse()?;
+        let mut spec = StudySpec::new(&name, stage);
+        spec.seed = u64_field(value, "seed")?;
+        spec.replicates = u64_field(value, "replicates")?;
+        if spec.replicates == Some(0) {
+            return Err("`replicates` must be at least 1".to_owned());
+        }
+        for (key, section) in entries {
+            match key.as_str() {
+                "name" | "stage" | "seed" | "replicates" => {}
+                "axes" => spec.axes = decode_axes(section)?,
+                "sim" => spec.sim = decode_sim(section)?,
+                "schedule" => spec.schedule = Some(decode_schedule(section)?),
+                "search" => spec.search = decode_search(section)?,
+                "workload" => spec.workload = decode_workload(section)?,
+                "saturation" => spec.saturation = decode_saturation(section)?,
+                "output" => spec.output = decode_output(section)?,
+                other => return Err(format!("unknown spec key {other:?}")),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Encodes the spec back into the [`Value`] model, emitting only the
+    /// keys that differ from the defaults. `from_value(to_value(s)) == s`
+    /// for every valid spec (pinned by tests); the flow also embeds this
+    /// value as the `config` object of the campaign manifest, so every
+    /// result file records the resolved study that produced it.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let mut root = Value::object();
+        root.set("name", self.name.as_str());
+        root.set("stage", self.stage.name());
+        if let Some(seed) = self.seed {
+            root.set("seed", seed);
+        }
+        if let Some(replicates) = self.replicates {
+            root.set("replicates", replicates);
+        }
+        let mut axes = Value::object();
+        if let Some(kinds) = &self.axes.kinds {
+            axes.set(
+                "kinds",
+                Value::Arr(kinds.iter().map(|k| Value::from(k.name())).collect()),
+            );
+        }
+        if let Some(ns) = &self.axes.ns {
+            axes.set("ns", Value::Arr(ns.iter().map(|&n| Value::from(n)).collect()));
+        }
+        if let Some(rates) = &self.axes.rates {
+            axes.set("rates", Value::Arr(rates.iter().map(|&r| Value::Num(r)).collect()));
+        }
+        if let Some(patterns) = &self.axes.patterns {
+            axes.set(
+                "patterns",
+                Value::Arr(patterns.iter().map(|p| Value::from(p.name())).collect()),
+            );
+        }
+        if let Some(workloads) = &self.axes.workloads {
+            axes.set(
+                "workloads",
+                Value::Arr(workloads.iter().map(|w| Value::from(w.label())).collect()),
+            );
+        }
+        if self.axes.optimized {
+            axes.set("optimized", true);
+        }
+        set_section(&mut root, "axes", axes);
+
+        let mut sim = Value::object();
+        if let Some(routing) = self.sim.routing {
+            sim.set("routing", routing.name());
+        }
+        if let Some(vcs) = self.sim.vcs {
+            sim.set("vcs", vcs);
+        }
+        if let Some(depth) = self.sim.buffer_depth {
+            sim.set("buffer_depth", depth);
+        }
+        set_section(&mut root, "sim", sim);
+
+        if let Some(schedule) = &self.schedule {
+            let mut s = Value::object();
+            s.set("warmup_cycles", schedule.warmup_cycles);
+            s.set("measure_cycles", schedule.measure_cycles);
+            if let Some(res) = schedule.rate_resolution {
+                s.set("rate_resolution", res);
+            }
+            set_section(&mut root, "schedule", s);
+        }
+
+        let mut search = Value::object();
+        if let Some(restarts) = self.search.restarts {
+            search.set("restarts", restarts);
+        }
+        if let Some(iterations) = self.search.iterations {
+            search.set("iterations", iterations);
+        }
+        if !self.search.validate {
+            search.set("validate", false);
+        }
+        set_section(&mut root, "search", search);
+
+        let mut workload = Value::object();
+        if let Some(max_cycles) = self.workload.max_cycles {
+            workload.set("max_cycles", max_cycles);
+        }
+        if self.workload.traces {
+            workload.set("traces", true);
+        }
+        set_section(&mut root, "workload", workload);
+
+        let mut saturation = Value::object();
+        if let Some(fanout) = self.saturation.fanout {
+            saturation.set("fanout", fanout);
+        }
+        if let Some(stem) = &self.saturation.normalized_stem {
+            saturation.set("normalized_stem", stem.as_str());
+        }
+        set_section(&mut root, "saturation", saturation);
+
+        let mut output = Value::object();
+        if let Some(dir) = &self.output.dir {
+            output.set("dir", dir.as_str());
+        }
+        if self.output.to_repo_root {
+            output.set("to_repo_root", true);
+        }
+        set_section(&mut root, "output", output);
+        root
+    }
+
+    /// Checks cross-field constraints the per-key decoders cannot see.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(ns) = &self.axes.ns {
+            if ns.is_empty() {
+                return Err("axes.ns must not be empty".to_owned());
+            }
+            let floor = match self.stage {
+                StageKind::Proxies | StageKind::Thermal | StageKind::Cost => 1,
+                _ => 2, // simulation needs at least two endpoints
+            };
+            if let Some(&bad) = ns.iter().find(|&&n| n < floor) {
+                return Err(format!("axes.ns value {bad} is below the stage minimum {floor}"));
+            }
+        }
+        for (key, empty) in [
+            ("kinds", self.axes.kinds.as_ref().is_some_and(Vec::is_empty)),
+            ("rates", self.axes.rates.as_ref().is_some_and(Vec::is_empty)),
+            ("patterns", self.axes.patterns.as_ref().is_some_and(Vec::is_empty)),
+            ("workloads", self.axes.workloads.as_ref().is_some_and(Vec::is_empty)),
+        ] {
+            if empty {
+                return Err(format!("axes.{key} must not be empty"));
+            }
+        }
+        if let Some(rates) = &self.axes.rates {
+            if let Some(&bad) = rates.iter().find(|&&r| !(r > 0.0 && r <= 1.0)) {
+                return Err(format!("axes.rates value {bad} is outside (0, 1]"));
+            }
+        }
+        if self.stage == StageKind::Saturation
+            && self.axes.patterns.as_ref().is_some_and(|p| p.len() > 1)
+        {
+            return Err(
+                "the saturation stage takes a single pattern (use the traffic stage to sweep \
+                 patterns)"
+                    .to_owned(),
+            );
+        }
+        if self.axes.optimized
+            && !matches!(self.stage, StageKind::LoadCurve | StageKind::Workload)
+        {
+            return Err(format!(
+                "axes.optimized is only supported by the load_curve and workload stages, \
+                 not {}",
+                self.stage
+            ));
+        }
+        if let Some(schedule) = &self.schedule {
+            if schedule.warmup_cycles == 0 || schedule.measure_cycles == 0 {
+                return Err("schedule windows must be positive".to_owned());
+            }
+        }
+        self.reject_settings_the_stage_ignores()
+    }
+
+    /// A set axis or section the running stage would not read is an
+    /// error, not a no-op: silently ignoring it runs a different
+    /// experiment than the spec describes, and the manifest's spec echo
+    /// would then document the ignored values as applied configuration.
+    fn reject_settings_the_stage_ignores(&self) -> Result<(), String> {
+        use StageKind::Workload as Wl;
+        use StageKind::{Kite, LoadCurve, Proxies, Saturation, Search, Thermal, Traffic};
+        let stage = self.stage;
+        // `search` settings also drive the `optimized` axis.
+        let searches = stage == Search || self.axes.optimized;
+        let checks: [(&str, bool, bool); 8] = [
+            (
+                "axes.kinds",
+                self.axes.kinds.is_some(),
+                matches!(stage, Proxies | Saturation | Traffic | LoadCurve | Wl | Thermal),
+            ),
+            ("axes.rates", self.axes.rates.is_some(), stage == LoadCurve),
+            (
+                "axes.patterns",
+                self.axes.patterns.is_some(),
+                matches!(stage, Saturation | Traffic | LoadCurve),
+            ),
+            ("axes.workloads", self.axes.workloads.is_some(), stage == Wl),
+            (
+                "[sim]",
+                !self.sim.is_neutral(),
+                matches!(stage, Saturation | Traffic | LoadCurve | Wl),
+            ),
+            (
+                "[schedule]",
+                self.schedule.is_some(),
+                matches!(stage, Saturation | Traffic | LoadCurve | Search | Kite),
+            ),
+            ("[search]", self.search != SearchOverrides::default(), searches),
+            (
+                "[saturation]",
+                self.saturation != SaturationOverrides::default(),
+                stage == Saturation,
+            ),
+        ];
+        for (key, set, applicable) in checks {
+            if set && !applicable {
+                return Err(format!("`{key}` is set but the {stage} stage does not use it"));
+            }
+        }
+        if self.workload != WorkloadOverrides::default() && stage != Wl {
+            return Err(format!("`[workload]` is set but the {stage} stage does not use it"));
+        }
+        Ok(())
+    }
+}
+
+/// Inserts `section` into `root` only when non-empty, keeping the
+/// serialized form minimal.
+fn set_section(root: &mut Value, key: &str, section: Value) {
+    if !matches!(&section, Value::Obj(entries) if entries.is_empty()) {
+        root.set(key, section);
+    }
+}
+
+// ── strict field decoders ───────────────────────────────────────────────
+
+fn str_field<'a>(obj: &'a Value, key: &str) -> Result<Option<&'a str>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s)),
+        Some(other) => Err(format!("`{key}` must be a string, got {other:?}")),
+    }
+}
+
+fn u64_field(obj: &Value, key: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Value::Int(i)) => u64::try_from(*i)
+            .map(Some)
+            .map_err(|_| format!("`{key}` must be a non-negative integer")),
+        Some(other) => Err(format!("`{key}` must be an integer, got {other:?}")),
+    }
+}
+
+fn usize_field(obj: &Value, key: &str) -> Result<Option<usize>, String> {
+    Ok(u64_field(obj, key)?.map(|v| v as usize))
+}
+
+fn bool_field(obj: &Value, key: &str) -> Result<Option<bool>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(other) => Err(format!("`{key}` must be a boolean, got {other:?}")),
+    }
+}
+
+fn f64_field(obj: &Value, key: &str) -> Result<Option<f64>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Value::Num(x)) => Ok(Some(*x)),
+        Some(Value::Int(i)) => Ok(Some(*i as f64)),
+        Some(other) => Err(format!("`{key}` must be a number, got {other:?}")),
+    }
+}
+
+fn list_field<T, F>(obj: &Value, key: &str, decode: F) -> Result<Option<Vec<T>>, String>
+where
+    F: Fn(&Value) -> Result<T, String>,
+{
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Value::Arr(items)) => items
+            .iter()
+            .map(|item| decode(item).map_err(|e| format!("`{key}`: {e}")))
+            .collect::<Result<Vec<T>, String>>()
+            .map(Some),
+        Some(other) => Err(format!("`{key}` must be an array, got {other:?}")),
+    }
+}
+
+fn parse_name<T>(item: &Value) -> Result<T, String>
+where
+    T: FromStr,
+    T::Err: std::fmt::Display,
+{
+    match item {
+        Value::Str(s) => s.parse().map_err(|e| format!("{e}")),
+        other => Err(format!("expected a name string, got {other:?}")),
+    }
+}
+
+fn reject_duplicate_keys(entries: &[(String, Value)], context: &str) -> Result<(), String> {
+    for (i, (key, _)) in entries.iter().enumerate() {
+        if entries[..i].iter().any(|(k, _)| k == key) {
+            return Err(format!("duplicate key {key:?} in `{context}`"));
+        }
+    }
+    Ok(())
+}
+
+fn reject_unknown(section: &Value, known: &[&str], context: &str) -> Result<(), String> {
+    let Value::Obj(entries) = section else {
+        return Err(format!("`{context}` must be a table/object"));
+    };
+    reject_duplicate_keys(entries, context)?;
+    for (key, _) in entries {
+        if !known.contains(&key.as_str()) {
+            return Err(format!("unknown key {key:?} in `{context}`"));
+        }
+    }
+    Ok(())
+}
+
+fn decode_axes(section: &Value) -> Result<Axes, String> {
+    reject_unknown(
+        section,
+        &["kinds", "ns", "rates", "patterns", "workloads", "optimized"],
+        "axes",
+    )?;
+    Ok(Axes {
+        kinds: list_field(section, "kinds", parse_name::<ArrangementKind>)?,
+        ns: list_field(section, "ns", |v| match v {
+            Value::Int(i) => {
+                usize::try_from(*i).map_err(|_| "negative chiplet count".to_owned())
+            }
+            other => Err(format!("expected an integer, got {other:?}")),
+        })?,
+        rates: list_field(section, "rates", |v| match v {
+            Value::Num(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(format!("expected a number, got {other:?}")),
+        })?,
+        patterns: list_field(section, "patterns", parse_name::<TrafficPattern>)?,
+        workloads: list_field(section, "workloads", parse_name::<WorkloadKind>)?,
+        optimized: bool_field(section, "optimized")?.unwrap_or(false),
+    })
+}
+
+fn decode_sim(section: &Value) -> Result<SimOverrides, String> {
+    reject_unknown(section, &["routing", "vcs", "buffer_depth"], "sim")?;
+    Ok(SimOverrides {
+        routing: str_field(section, "routing")?.map(str::parse).transpose()?,
+        vcs: usize_field(section, "vcs")?,
+        buffer_depth: usize_field(section, "buffer_depth")?,
+    })
+}
+
+fn decode_schedule(section: &Value) -> Result<Schedule, String> {
+    reject_unknown(
+        section,
+        &["warmup_cycles", "measure_cycles", "rate_resolution"],
+        "schedule",
+    )?;
+    let warmup =
+        u64_field(section, "warmup_cycles")?.ok_or("`schedule` needs `warmup_cycles`")?;
+    let measure =
+        u64_field(section, "measure_cycles")?.ok_or("`schedule` needs `measure_cycles`")?;
+    Ok(Schedule {
+        warmup_cycles: warmup,
+        measure_cycles: measure,
+        rate_resolution: f64_field(section, "rate_resolution")?,
+    })
+}
+
+fn decode_search(section: &Value) -> Result<SearchOverrides, String> {
+    reject_unknown(section, &["restarts", "iterations", "validate"], "search")?;
+    Ok(SearchOverrides {
+        restarts: usize_field(section, "restarts")?,
+        iterations: usize_field(section, "iterations")?,
+        validate: bool_field(section, "validate")?.unwrap_or(true),
+    })
+}
+
+fn decode_workload(section: &Value) -> Result<WorkloadOverrides, String> {
+    reject_unknown(section, &["max_cycles", "traces"], "workload")?;
+    Ok(WorkloadOverrides {
+        max_cycles: u64_field(section, "max_cycles")?,
+        traces: bool_field(section, "traces")?.unwrap_or(false),
+    })
+}
+
+fn decode_saturation(section: &Value) -> Result<SaturationOverrides, String> {
+    reject_unknown(section, &["fanout", "normalized_stem"], "saturation")?;
+    Ok(SaturationOverrides {
+        fanout: usize_field(section, "fanout")?,
+        normalized_stem: str_field(section, "normalized_stem")?.map(str::to_owned),
+    })
+}
+
+fn decode_output(section: &Value) -> Result<OutputSpec, String> {
+    reject_unknown(section, &["dir", "to_repo_root"], "output")?;
+    Ok(OutputSpec {
+        dir: str_field(section, "dir")?.map(str::to_owned),
+        to_repo_root: bool_field(section, "to_repo_root")?.unwrap_or(false),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_round_trip() {
+        for stage in StageKind::ALL {
+            assert_eq!(stage.name().parse::<StageKind>().unwrap(), stage);
+            assert_eq!(stage.to_string().parse::<StageKind>().unwrap(), stage);
+        }
+        assert!("fig7".parse::<StageKind>().is_err());
+    }
+
+    #[test]
+    fn minimal_spec_decodes_with_stage_defaults() {
+        let spec = StudySpec::from_toml("name = \"s\"\nstage = \"load_curve\"\n").unwrap();
+        assert_eq!(spec.name, "s");
+        assert_eq!(spec.stage, StageKind::LoadCurve);
+        assert_eq!(spec.axes, Axes::default());
+        assert!(spec.search.validate);
+    }
+
+    #[test]
+    fn full_spec_round_trips_through_value() {
+        let mut spec = StudySpec::new("ranked", StageKind::Workload);
+        spec.seed = Some(42);
+        spec.replicates = Some(3);
+        spec.axes.kinds = Some(vec![ArrangementKind::HexaMesh, ArrangementKind::Grid]);
+        spec.axes.ns = Some(vec![19, 37]);
+        spec.axes.workloads = Some(vec![WorkloadKind::Stencil]);
+        spec.axes.optimized = true;
+        spec.sim.routing = Some(RoutingKind::UpDownOnly);
+        spec.sim.vcs = Some(4);
+        spec.search.restarts = Some(3);
+        spec.workload.max_cycles = Some(1_000_000);
+        spec.workload.traces = true;
+        spec.output.to_repo_root = true;
+        let round_tripped = StudySpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(round_tripped, spec);
+        // And through the JSON text form too.
+        let via_json = StudySpec::from_json(&spec.to_value().to_json()).unwrap();
+        assert_eq!(via_json, spec);
+    }
+
+    #[test]
+    fn toml_spec_with_sections_decodes() {
+        let spec = StudySpec::from_toml(concat!(
+            "name = \"hotspot_curves\"\n",
+            "stage = \"load_curve\"\n",
+            "seed = 7\n",
+            "[axes]\n",
+            "kinds = [\"brickwall\", \"hexamesh\"]\n",
+            "ns = [19]\n",
+            "patterns = [\"hotspot:4:500\"]\n",
+            "[sim]\n",
+            "routing = \"updown\"\n",
+            "[schedule]\n",
+            "warmup_cycles = 1500\n",
+            "measure_cycles = 3000\n",
+        ))
+        .unwrap();
+        assert_eq!(spec.seed, Some(7));
+        assert_eq!(
+            spec.axes.patterns,
+            Some(vec![TrafficPattern::Hotspot { num_hotspots: 4, fraction_permille: 500 }])
+        );
+        assert_eq!(spec.sim.routing, Some(RoutingKind::UpDownOnly));
+        assert_eq!(spec.schedule, Some(Schedule::new(1_500, 3_000)));
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_values_are_errors() {
+        let base = "name = \"s\"\nstage = \"traffic\"\n";
+        assert!(StudySpec::from_toml(&format!("{base}typo = 1\n")).is_err());
+        assert!(StudySpec::from_toml(&format!("{base}[axes]\ntypo = 1\n")).is_err());
+        assert!(
+            StudySpec::from_toml(&format!("{base}[axes]\nkinds = [\"squircle\"]\n")).is_err()
+        );
+        assert!(StudySpec::from_toml(&format!("{base}[axes]\nns = [1]\n")).is_err());
+        assert!(StudySpec::from_toml(&format!("{base}[axes]\nrates = [1.5]\n")).is_err());
+        assert!(StudySpec::from_toml("stage = \"traffic\"\n").is_err(), "missing name");
+        assert!(StudySpec::from_toml("name = \"s\"\n").is_err(), "missing stage");
+        assert!(StudySpec::from_toml("name = \"a/b\"\nstage = \"traffic\"\n").is_err());
+        assert!(StudySpec::from_toml(&format!("{base}replicates = 0\n")).is_err());
+    }
+
+    #[test]
+    fn duplicate_json_keys_are_errors_not_first_or_last_wins() {
+        let dup_scalar = r#"{"name":"s","stage":"traffic","seed":1,"seed":2}"#;
+        assert!(StudySpec::from_json(dup_scalar).is_err());
+        let dup_section =
+            r#"{"name":"s","stage":"traffic","axes":{"ns":[4]},"axes":{"ns":[9]}}"#;
+        assert!(StudySpec::from_json(dup_section).is_err());
+        let dup_inner = r#"{"name":"s","stage":"traffic","axes":{"ns":[4],"ns":[9]}}"#;
+        assert!(StudySpec::from_json(dup_inner).is_err());
+    }
+
+    #[test]
+    fn settings_the_stage_ignores_are_rejected() {
+        let mut spec = StudySpec::new("s", StageKind::Cost);
+        spec.axes.rates = Some(vec![0.5]);
+        assert!(spec.validate().is_err(), "cost stage reads no rates axis");
+        let mut spec = StudySpec::new("s", StageKind::Cost);
+        spec.sim.vcs = Some(2);
+        assert!(spec.validate().is_err(), "cost stage runs no simulator");
+        let mut spec = StudySpec::new("s", StageKind::Thermal);
+        spec.schedule = Some(Schedule::new(100, 200));
+        assert!(spec.validate().is_err(), "thermal stage has no measurement windows");
+        let mut spec = StudySpec::new("s", StageKind::Traffic);
+        spec.search.restarts = Some(2);
+        assert!(spec.validate().is_err(), "search settings need the search stage or optimized");
+        let mut spec = StudySpec::new("s", StageKind::LoadCurve);
+        spec.saturation.fanout = Some(2);
+        assert!(spec.validate().is_err(), "saturation settings are saturation-stage only");
+        let mut spec = StudySpec::new("s", StageKind::Saturation);
+        spec.workload.traces = true;
+        assert!(spec.validate().is_err(), "workload settings are workload-stage only");
+        // The same settings pass on the stages that read them.
+        let mut spec = StudySpec::new("s", StageKind::LoadCurve);
+        spec.axes.optimized = true;
+        spec.search.restarts = Some(2);
+        spec.sim.vcs = Some(2);
+        spec.schedule = Some(Schedule::new(100, 200));
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn cross_field_constraints_are_enforced() {
+        let mut spec = StudySpec::new("s", StageKind::Saturation);
+        spec.axes.patterns = Some(vec![TrafficPattern::UniformRandom, TrafficPattern::Tornado]);
+        assert!(spec.validate().is_err(), "saturation takes one pattern");
+        let mut spec = StudySpec::new("s", StageKind::Traffic);
+        spec.axes.optimized = true;
+        assert!(spec.validate().is_err(), "optimized axis is load_curve/workload only");
+        let mut spec = StudySpec::new("s", StageKind::Workload);
+        spec.axes.optimized = true;
+        assert!(spec.validate().is_ok());
+    }
+}

@@ -1,0 +1,285 @@
+//! A minimal TOML reader for study specs.
+//!
+//! This environment vendors no TOML crate, so — like the JSON writer in
+//! [`crate::json`] — the spec loader reads a well-defined TOML subset by
+//! hand, producing the same [`Value`] model the JSON reader does (so
+//! `study --spec file.toml` and `--spec file.json` share one decode
+//! path). The subset covers everything a [`crate::spec::StudySpec`]
+//! needs:
+//!
+//! * top-level `key = value` pairs and single-level `[section]` tables;
+//! * basic strings (`"..."` with `\"`, `\\`, `\n`, `\r`, `\t` escapes)
+//!   and literal strings (`'...'`, no escapes);
+//! * integers, floats, booleans;
+//! * single-line arrays of those scalars (`[1, 2, 3]`, trailing comma
+//!   allowed);
+//! * `#` comments and blank lines.
+//!
+//! Not supported (an explicit error, never a silent misread): nested or
+//! dotted tables, arrays of tables, inline tables, multi-line strings,
+//! and multi-line arrays. Duplicate keys and duplicate sections are
+//! errors too — a spec that assigns twice is almost certainly a typo.
+
+use crate::json::Value;
+
+/// Parses the supported TOML subset into a [`Value::Obj`]: top-level keys
+/// first, then one nested object per `[section]` in file order.
+///
+/// # Errors
+///
+/// Returns `"line N: <problem>"` for the first offending line.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Index into `root` of the table new keys go into; None = top level.
+    let mut current: Option<usize> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {lineno}: unterminated [section] header"))?
+                .trim();
+            if name.is_empty() || name.starts_with('[') {
+                return Err(format!(
+                    "line {lineno}: arrays of tables and empty section names are not supported"
+                ));
+            }
+            if name.contains('.') {
+                return Err(format!(
+                    "line {lineno}: dotted section {name:?} is not supported (one level only)"
+                ));
+            }
+            if root.iter().any(|(k, _)| k == name) {
+                return Err(format!("line {lineno}: duplicate section [{name}]"));
+            }
+            root.push((name.to_owned(), Value::object()));
+            current = Some(root.len() - 1);
+            continue;
+        }
+        let (key, value_text) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value` or `[section]`"))?;
+        let key = key.trim();
+        if key.is_empty()
+            || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(format!("line {lineno}: bad key {key:?} (bare keys only)"));
+        }
+        let value = parse_scalar_or_array(value_text.trim(), lineno)?;
+        let table = match current {
+            Some(i) => &mut root[i].1,
+            None => {
+                // Top-level keys live directly in `root`; fabricate a
+                // temporary object API by pushing below.
+                if root.iter().any(|(k, _)| k == key) {
+                    return Err(format!("line {lineno}: duplicate key {key:?}"));
+                }
+                root.push((key.to_owned(), value));
+                continue;
+            }
+        };
+        let Value::Obj(entries) = table else { unreachable!("sections are objects") };
+        if entries.iter().any(|(k, _)| k == key) {
+            return Err(format!("line {lineno}: duplicate key {key:?}"));
+        }
+        entries.push((key.to_owned(), value));
+    }
+    Ok(Value::Obj(root))
+}
+
+/// Strips a `#` comment, respecting `"` / `'` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_basic => escaped = true,
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '#' if !in_basic && !in_literal => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_scalar_or_array(text: &str, lineno: usize) -> Result<Value, String> {
+    if text.is_empty() {
+        return Err(format!("line {lineno}: missing value"));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| format!("line {lineno}: arrays must close on the same line"))?;
+        let mut items = Vec::new();
+        for element in split_array(body, lineno)? {
+            items.push(parse_scalar(&element, lineno)?);
+        }
+        return Ok(Value::Arr(items));
+    }
+    parse_scalar(text, lineno)
+}
+
+/// Splits an array body on commas outside strings. Returns trimmed,
+/// non-empty element texts (a trailing comma is allowed).
+fn split_array(body: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let mut elements = Vec::new();
+    let mut depth_guard = false;
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escaped = false;
+    let mut start = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_basic => escaped = true,
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '[' | '{' if !in_basic && !in_literal => depth_guard = true,
+            ',' if !in_basic && !in_literal => {
+                elements.push(body[start..i].trim().to_owned());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth_guard {
+        return Err(format!("line {lineno}: nested arrays / inline tables are not supported"));
+    }
+    let tail = body[start..].trim();
+    if !tail.is_empty() {
+        elements.push(tail.to_owned());
+    }
+    if elements.iter().any(String::is_empty) {
+        return Err(format!("line {lineno}: empty array element"));
+    }
+    Ok(elements)
+}
+
+fn parse_scalar(text: &str, lineno: usize) -> Result<Value, String> {
+    if let Some(body) = text.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .filter(|_| text.len() >= 2)
+            .ok_or_else(|| format!("line {lineno}: unterminated string"))?;
+        let mut out = String::new();
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                other => {
+                    return Err(format!("line {lineno}: unsupported escape \\{other:?}"));
+                }
+            }
+        }
+        return Ok(Value::Str(out));
+    }
+    if let Some(body) = text.strip_prefix('\'') {
+        let body = body
+            .strip_suffix('\'')
+            .filter(|_| text.len() >= 2)
+            .ok_or_else(|| format!("line {lineno}: unterminated literal string"))?;
+        return Ok(Value::Str(body.to_owned()));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let digits = text.replace('_', "");
+    if let Ok(i) = digits.parse::<i128>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(x) = digits.parse::<f64>() {
+        if x.is_finite() {
+            return Ok(Value::Num(x));
+        }
+    }
+    Err(format!(
+        "line {lineno}: unsupported value {text:?} (expected string, number, bool, or array)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_arrays() {
+        let doc = parse(concat!(
+            "# a study\n",
+            "name = \"fig7\"   # trailing comment\n",
+            "seed = 42\n",
+            "threshold = 0.95\n",
+            "quick = true\n",
+            "\n",
+            "[axes]\n",
+            "ns = [2, 9, 16,]\n",
+            "kinds = [\"grid\", 'hexamesh']\n",
+            "rates = [0.04, 0.08]\n",
+        ))
+        .unwrap();
+        assert_eq!(doc.get("name"), Some(&Value::Str("fig7".to_owned())));
+        assert_eq!(doc.get("seed"), Some(&Value::Int(42)));
+        assert_eq!(doc.get("threshold"), Some(&Value::Num(0.95)));
+        assert_eq!(doc.get("quick"), Some(&Value::Bool(true)));
+        let axes = doc.get("axes").unwrap();
+        assert_eq!(
+            axes.get("ns"),
+            Some(&Value::Arr(vec![Value::Int(2), Value::Int(9), Value::Int(16)]))
+        );
+        assert_eq!(
+            axes.get("kinds"),
+            Some(&Value::Arr(vec![
+                Value::Str("grid".to_owned()),
+                Value::Str("hexamesh".to_owned())
+            ]))
+        );
+    }
+
+    #[test]
+    fn hash_inside_strings_is_not_a_comment() {
+        let doc = parse("label = \"a # b\"\n").unwrap();
+        assert_eq!(doc.get("label"), Some(&Value::Str("a # b".to_owned())));
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        let doc = parse("s = \"a\\\"b\\\\c\\nd\"\n").unwrap();
+        assert_eq!(doc.get("s"), Some(&Value::Str("a\"b\\c\nd".to_owned())));
+    }
+
+    #[test]
+    fn unsupported_constructs_are_errors_not_misreads() {
+        assert!(parse("[a.b]\nk = 1\n").is_err(), "dotted tables");
+        assert!(parse("[[rows]]\nk = 1\n").is_err(), "arrays of tables");
+        assert!(parse("k = [[1, 2]]\n").is_err(), "nested arrays");
+        assert!(parse("k = { a = 1 }\n").is_err(), "inline tables");
+        assert!(parse("k = [1,\n2]\n").is_err(), "multi-line arrays");
+        assert!(parse("k = \"open\n").is_err(), "unterminated string");
+        assert!(parse("k = 1\nk = 2\n").is_err(), "duplicate keys");
+        assert!(parse("[s]\nk = 1\n[s]\n").is_err(), "duplicate sections");
+        assert!(parse("just a line\n").is_err(), "missing =");
+        assert!(parse("k = nope\n").is_err(), "bare words");
+    }
+
+    #[test]
+    fn underscored_numbers_parse() {
+        let doc = parse("cycles = 50_000_000\n").unwrap();
+        assert_eq!(doc.get("cycles"), Some(&Value::Int(50_000_000)));
+    }
+}

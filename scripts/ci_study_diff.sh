@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# study-vs-legacy: run `study` against every checked-in preset spec with
+# --quick and diff the CSV against the matching legacy binary invoked
+# with the equivalent flags. Proves the spec files, the preset registry,
+# and the binaries' flag translation all name the same campaign.
+#
+# Delete-safe once the legacy binaries are retired: drop the binary side
+# of a pair and keep the spec-only run.
+#
+# Usage: scripts/ci_study_diff.sh [target/release]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-target/release}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+SHARED=(--quick --seed 42 --workers 2 --format both)
+
+run_pair() {
+    local name="$1" spec="$2" csv="$3"
+    shift 3
+    echo "== $name"
+    "$BIN/study" --spec "examples/specs/$spec" "${SHARED[@]}" --out "$OUT/spec_$name" \
+        > /dev/null
+    "$BIN/$name" "$@" "${SHARED[@]}" --out "$OUT/bin_$name" > /dev/null
+    for stem in $csv; do
+        cmp "$OUT/spec_$name/$stem.csv" "$OUT/bin_$name/$stem.csv"
+        echo "   $stem.csv identical"
+    done
+}
+
+run_pair fig7_simulation fig7_quick.toml "fig7_results fig7_normalized" \
+    --step 7 --max-n 9
+run_pair load_curves load_curves_quick.toml load_curves --n 16
+run_pair ablation_traffic ablation_traffic_quick.toml ablation_traffic \
+    --n 9 --patterns uniform,tornado
+run_pair workload_comparison workload_quick.toml BENCH_workload \
+    --ns 7,13 --workloads stencil,client_server
+run_pair kite_comparison kite_quick.toml kite_comparison --ns 16
+run_pair arrangement_search arrangement_search_quick.toml BENCH_arrange \
+    --ns 19 --restarts 3 --iterations 120
+run_pair thermal_comparison thermal_quick.toml thermal_comparison --n 16
+run_pair cost_model cost_model.toml cost_model
+
+# The axis combination no legacy binary covers: runs end to end purely
+# from data (no diff target by construction).
+echo "== opt_hotspot_load_curve (spec-only)"
+"$BIN/study" --spec examples/specs/opt_hotspot_load_curve.toml "${SHARED[@]}" \
+    --out "$OUT/spec_opt" > /dev/null
+grep -q ",OPT," "$OUT/spec_opt/opt_hotspot_curves.csv"
+echo "   searched-arrangement rows present"
+
+echo "study-vs-legacy: all preset specs byte-identical"

@@ -2,6 +2,12 @@
 //!
 //! Re-exports every layer of the reproduction so that examples and
 //! integration tests can depend on a single crate.
+//!
+//! The usual entry point for running experiments is the declarative
+//! study API: build (or load) a [`StudySpec`], then execute it with
+//! [`xp::flow::run_study`] and the [`arrange::study::hooks`] stage hooks
+//! — see `examples/custom_study.rs` and the `study` binary
+//! (`crates/bench/src/bin/study.rs`).
 
 #![forbid(unsafe_code)]
 
@@ -17,3 +23,5 @@ pub use chiplet_workload as workload;
 pub use hexamesh;
 pub use nocsim;
 pub use xp;
+
+pub use xp::spec::{StageKind, StudySpec};

@@ -129,12 +129,10 @@ fn simulated_latency_matches_analytic_zero_load_at_light_load() {
         ..SimConfig::paper_defaults()
     };
     let analytic = measure::zero_load_latency(a.graph(), &config).unwrap();
-    let point = measure::run_load_point(
-        a.graph(),
-        &config,
-        &MeasureConfig { warmup_cycles: 1_000, measure_cycles: 20_000, ..Default::default() },
-    )
-    .unwrap();
+    let mut schedule = MeasureConfig::default();
+    schedule.warmup_cycles = 1_000;
+    schedule.measure_cycles = 20_000;
+    let point = measure::run_load_point(a.graph(), &config, &schedule).unwrap();
     let simulated = point.stats.avg_packet_latency.expect("packets measured");
     let rel_err = (simulated - analytic).abs() / analytic;
     assert!(rel_err < 0.10, "analytic {analytic:.1} vs simulated {simulated:.1}");
