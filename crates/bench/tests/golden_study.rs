@@ -217,6 +217,36 @@ fn checked_in_specs_parse_and_match_their_presets() {
 }
 
 #[test]
+fn large_n_saturation_spec_parses_with_shards() {
+    // The paper-scale spec is too big to *run* in a test; pin that it
+    // parses, targets n >= 1000, and engages the sharded engine.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/specs/large_n_saturation.toml");
+    let spec = StudySpec::from_toml(&std::fs::read_to_string(path).expect("spec file"))
+        .expect("spec parses");
+    assert_eq!(spec.stage, xp::spec::StageKind::Saturation);
+    assert_eq!(spec.sim.shards, Some(8));
+    assert_eq!(spec.axes.ns, Some(vec![1_027]));
+}
+
+#[test]
+fn sharded_study_rows_are_byte_identical_to_serial() {
+    // `sim.shards` must never change a row — only the wall clock. Run a
+    // small saturation study serial and sharded and diff the CSV bytes.
+    let base = "name = \"shard_diff\"\nstage = \"saturation\"\n[axes]\nns = [9]\n";
+    let serial_spec = StudySpec::from_toml(base).expect("serial spec");
+    let sharded_spec =
+        StudySpec::from_toml(&format!("{base}[sim]\nshards = 4\n")).expect("sharded spec");
+    let out_serial = temp_out("shard_diff_serial");
+    let out_sharded = temp_out("shard_diff_sharded");
+    run(&serial_spec, &out_serial, 2);
+    run(&sharded_spec, &out_sharded, 2);
+    let a = std::fs::read_to_string(out_serial.join("shard_diff.csv")).unwrap();
+    let b = std::fs::read_to_string(out_sharded.join("shard_diff.csv")).unwrap();
+    assert_eq!(a, b, "sharded rows drifted from serial");
+}
+
+#[test]
 fn optimized_hotspot_load_curve_spec_runs_end_to_end() {
     // The acceptance spec: an axis combination no hand-wired binary
     // covers (search-optimized arrangement × hotspot traffic × load

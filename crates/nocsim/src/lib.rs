@@ -15,6 +15,7 @@
 //!   flow control and separable round-robin allocation,
 //! * [`endpoint`] / [`traffic`] — Bernoulli traffic sources and sinks,
 //! * [`sim`] — the cycle loop and statistics,
+//! * [`shard`] — conservative bounded-lag parallel execution of one run,
 //! * [`measure`] — zero-load latency and saturation-throughput methodology.
 //!
 //! # Example: latency/throughput of a 4×4 chiplet grid
@@ -39,10 +40,12 @@ pub mod flit;
 pub mod measure;
 pub mod router;
 pub mod routing;
+pub mod shard;
 pub mod sim;
 pub mod traffic;
 
 pub use measure::{LoadPointResult, MeasureConfig, SaturationResult};
 pub use routing::{RoutingError, RoutingKind};
+pub use shard::ShardedSimulator;
 pub use sim::{Delivery, LinkSpec, NetworkStats, SimConfig, SimError, Simulator};
 pub use traffic::TrafficPattern;

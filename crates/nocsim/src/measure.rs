@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::flit::RouterId;
 use crate::routing::RoutingTables;
+use crate::shard::ShardedSimulator;
 use crate::sim::{LinkSpec, NetworkStats, SimConfig, SimError, Simulator};
 
 /// Warmup/measurement schedule and saturation criteria.
@@ -26,6 +27,9 @@ pub struct MeasureConfig {
     pub latency_guard: f64,
     /// Binary-search resolution on the injection rate (flits/cycle/endpoint).
     pub rate_resolution: f64,
+    /// Worker threads one simulation is sharded across (`1` = the serial
+    /// engine; more uses [`ShardedSimulator`], bit-identical results).
+    pub shards: usize,
 }
 
 impl Default for MeasureConfig {
@@ -36,6 +40,7 @@ impl Default for MeasureConfig {
             accepted_ratio_threshold: 0.95,
             latency_guard: 4.0,
             rate_resolution: 0.01,
+            shards: 1,
         }
     }
 }
@@ -170,9 +175,15 @@ pub fn run_load_point_with_specs(
     spec: impl Fn(RouterId, RouterId) -> LinkSpec,
     zero_load: f64,
 ) -> Result<LoadPointResult, SimError> {
-    let mut sim = Simulator::with_link_specs(g, *config, spec)?;
-    let stats = sim.run_to_window(schedule.warmup_cycles, schedule.measure_cycles);
-    let deadlock = sim.deadlock_suspected();
+    let (stats, deadlock) = if schedule.shards > 1 {
+        let mut sim = ShardedSimulator::with_link_specs(g, *config, spec, schedule.shards)?;
+        let stats = sim.run_to_window(schedule.warmup_cycles, schedule.measure_cycles);
+        (stats, sim.deadlock_suspected())
+    } else {
+        let mut sim = Simulator::with_link_specs(g, *config, spec)?;
+        let stats = sim.run_to_window(schedule.warmup_cycles, schedule.measure_cycles);
+        (stats, sim.deadlock_suspected())
+    };
 
     let accepted_ratio = if stats.offered_flits_per_cycle_per_endpoint > 0.0 {
         stats.accepted_flits_per_cycle_per_endpoint / stats.offered_flits_per_cycle_per_endpoint
@@ -405,6 +416,16 @@ mod tests {
             hetero.throughput,
             uniform.throughput
         );
+    }
+
+    #[test]
+    fn sharded_schedule_matches_serial_load_point() {
+        let g = gen::grid(3, 3);
+        let schedule = MeasureConfig::quick();
+        let serial = run_load_point(&g, &config(0.1), &schedule).unwrap();
+        let sharded =
+            run_load_point(&g, &config(0.1), &MeasureConfig { shards: 4, ..schedule }).unwrap();
+        assert_eq!(serial, sharded, "sharded load point must be bit-identical");
     }
 
     #[test]

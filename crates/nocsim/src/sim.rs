@@ -19,7 +19,7 @@ use std::fmt;
 
 use crate::channel::{Credit, DelayLine, Link, IDLE};
 use crate::endpoint::Endpoint;
-use crate::flit::{PacketId, RouterId};
+use crate::flit::{Flit, PacketId, RouterId};
 use crate::router::{RouteContext, Router, RouterParams, SentCredit, SentFlit};
 use crate::routing::{RoutingError, RoutingKind, RoutingTables};
 use crate::traffic::{InjectionProcess, ProcessKind, TrafficPattern};
@@ -188,6 +188,151 @@ impl LinkSpec {
     }
 }
 
+/// Sentinel for "this link's pushes stay local" in [`ShardRole`] maps.
+const NO_OUTBOX: u32 = u32::MAX;
+
+/// Partition bookkeeping for one shard of a conservative parallel run
+/// (see [`crate::shard::ShardedSimulator`]).
+///
+/// A shard is a full `Simulator` over the whole graph that *owns* the
+/// contiguous router range `[first_router, last_router)` plus those
+/// routers' endpoints. For a boundary link (src and dst owned by
+/// different shards), the flit delay line lives in the **destination**
+/// shard and the credit delay line in the **source** shard — whichever
+/// side pops it. The pushing side intercepts its pushes into a per-link
+/// outbox instead; the owning side replays them at the next window
+/// barrier with the original push cycle, so the line's serialization
+/// state (`last_delivery`) evolves exactly as in the serial run.
+#[derive(Debug)]
+struct ShardRole {
+    /// Owned routers `[first_router, last_router)`.
+    first_router: usize,
+    last_router: usize,
+    /// Per net link: outbox slot for flit pushes whose destination router
+    /// is foreign, or [`NO_OUTBOX`].
+    flit_out: Vec<u32>,
+    /// Per net link: outbox slot for credit pushes whose source router is
+    /// foreign, or [`NO_OUTBOX`].
+    credit_out: Vec<u32>,
+    /// Outgoing boundary messages `(push_cycle, item)`, one buffer per
+    /// intercepted line, preallocated to the window bound (a delay line
+    /// takes at most one push per cycle).
+    flit_outboxes: Vec<Vec<(u64, Flit)>>,
+    credit_outboxes: Vec<Vec<(u64, Credit)>>,
+    /// Link ids behind `flit_outboxes` / `credit_outboxes`, ascending.
+    flit_out_links: Vec<usize>,
+    credit_out_links: Vec<usize>,
+    /// Boundary links whose flit / credit line this shard owns (receives
+    /// replayed messages on), ascending link id.
+    flit_in_links: Vec<usize>,
+    credit_in_links: Vec<usize>,
+}
+
+/// Per-shard raw measurement-window sums. Integer counters only, so
+/// cross-shard aggregation is order-independent and the final float
+/// arithmetic ([`stats_from_sums`]) is bit-identical to the serial path.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct WindowSums {
+    pub(crate) offered_packets: u64,
+    pub(crate) accepted_packets: u64,
+    pub(crate) received_flits: u64,
+    pub(crate) received_packets: u64,
+    pub(crate) measured: u64,
+    pub(crate) latency_sum: u64,
+    pub(crate) latency_max: u64,
+    pub(crate) queue_max: u64,
+    pub(crate) queue_integral: u64,
+}
+
+impl WindowSums {
+    pub(crate) fn merge(&mut self, o: &WindowSums) {
+        self.offered_packets += o.offered_packets;
+        self.accepted_packets += o.accepted_packets;
+        self.received_flits += o.received_flits;
+        self.received_packets += o.received_packets;
+        self.measured += o.measured;
+        self.latency_sum += o.latency_sum;
+        self.latency_max = self.latency_max.max(o.latency_max);
+        self.queue_max = self.queue_max.max(o.queue_max);
+        self.queue_integral += o.queue_integral;
+    }
+}
+
+/// The one place window sums become [`NetworkStats`] — shared by the
+/// serial and sharded paths so both produce bit-identical floats.
+pub(crate) fn stats_from_sums(
+    sums: &WindowSums,
+    window_cycles: u64,
+    num_endpoints: usize,
+    packet_size: usize,
+) -> NetworkStats {
+    let denom = (window_cycles.max(1) as f64) * num_endpoints as f64;
+    NetworkStats {
+        window_cycles,
+        offered_packets: sums.offered_packets,
+        accepted_packets: sums.accepted_packets,
+        received_flits: sums.received_flits,
+        received_packets: sums.received_packets,
+        measured_packets: sums.measured,
+        avg_packet_latency: (sums.measured > 0)
+            .then(|| sums.latency_sum as f64 / sums.measured as f64),
+        max_packet_latency: sums.latency_max,
+        accepted_flits_per_cycle_per_endpoint: sums.received_flits as f64 / denom,
+        offered_flits_per_cycle_per_endpoint: (sums.offered_packets * packet_size as u64)
+            as f64
+            / denom,
+        max_source_queue_flits: sums.queue_max,
+        avg_source_queue_flits: sums.queue_integral as f64 / denom,
+    }
+}
+
+/// Percentile sweep over a merged latency histogram — the algorithm of
+/// [`Simulator::latency_percentiles`], shared with the sharded path.
+///
+/// # Panics
+///
+/// Panics if any `p` is outside `(0, 1]`.
+pub(crate) fn percentiles_from_histogram(
+    ps: &[f64],
+    merged: &[u64],
+    total: u64,
+) -> Vec<Option<f64>> {
+    for &p in ps {
+        assert!(p > 0.0 && p <= 1.0, "percentile must be in (0, 1]");
+    }
+    let mut out = vec![None; ps.len()];
+    if total == 0 || ps.is_empty() {
+        return out;
+    }
+    // One cumulative sweep serves every requested percentile in
+    // ascending target order.
+    let mut order: Vec<usize> = (0..ps.len()).collect();
+    order.sort_by(|&a, &b| ps[a].total_cmp(&ps[b]));
+    let mut k = 0;
+    let mut seen = 0u64;
+    for (latency, &count) in merged.iter().enumerate() {
+        seen += count;
+        while k < order.len() {
+            let idx = order[k];
+            let target = (ps[idx] * total as f64).ceil() as u64;
+            if seen < target {
+                break;
+            }
+            out[idx] = Some(latency as f64);
+            k += 1;
+        }
+        if k == order.len() {
+            break;
+        }
+    }
+    // p == 1.0 rounding can leave a straggler: saturate into the top
+    // bucket, matching the single-percentile behaviour.
+    for &idx in &order[k..] {
+        out[idx] = Some((merged.len() - 1) as f64);
+    }
+    out
+}
+
 /// A cycle-accurate NoC simulator over an arbitrary router graph.
 ///
 /// # Example
@@ -259,6 +404,10 @@ pub struct Simulator {
     credit_scratch: Vec<SentCredit>,
     /// Forced poll-every-cycle stepping (the golden-test reference path).
     reference_stepping: bool,
+    /// Sharding role when this simulator is one shard of a
+    /// [`crate::shard::ShardedSimulator`] (`None` for a whole-network
+    /// simulator — the common case, costing one branch per sent flit).
+    shard: Option<Box<ShardRole>>,
     /// When enabled, tail-flit arrivals are appended here until drained by
     /// [`Simulator::take_deliveries`]. Preallocated to one delivery per
     /// endpoint — the per-cycle bound, which is also the log's high-water
@@ -307,6 +456,31 @@ impl Simulator {
         g: &Graph,
         config: SimConfig,
         spec: impl Fn(RouterId, RouterId) -> LinkSpec,
+    ) -> Result<Self, SimError> {
+        Self::build(g, config, spec, None)
+    }
+
+    /// Builds one shard of a conservative parallel run: a full simulator
+    /// owning routers `[first, last)` and their endpoints. Non-owned
+    /// endpoints never generate traffic; pushes onto boundary lines whose
+    /// pop side is foreign are intercepted into outboxes of capacity
+    /// `outbox_capacity` (the window length — at most one push per cycle
+    /// per line, so a barrier every window keeps them in bounds).
+    pub(crate) fn new_shard(
+        g: &Graph,
+        config: SimConfig,
+        spec: impl Fn(RouterId, RouterId) -> LinkSpec,
+        owned: (usize, usize),
+        outbox_capacity: usize,
+    ) -> Result<Self, SimError> {
+        Self::build(g, config, spec, Some((owned, outbox_capacity)))
+    }
+
+    fn build(
+        g: &Graph,
+        config: SimConfig,
+        spec: impl Fn(RouterId, RouterId) -> LinkSpec,
+        shard: Option<((usize, usize), usize)>,
     ) -> Result<Self, SimError> {
         validate(g, &config)?;
         let tables = RoutingTables::new(g, config.routing)?;
@@ -417,12 +591,62 @@ impl Simulator {
             sent_scratch: Vec::with_capacity(max_ports),
             credit_scratch: Vec::with_capacity(max_ports),
             reference_stepping: false,
+            shard: None,
             delivery_log: Vec::with_capacity(num_endpoints),
             log_deliveries: false,
         };
+        if let Some(((first, last), cap)) = shard {
+            assert!(first < last && last <= n, "shard range out of bounds");
+            let mut role = ShardRole {
+                first_router: first,
+                last_router: last,
+                flit_out: vec![NO_OUTBOX; num_net_links],
+                credit_out: vec![NO_OUTBOX; num_net_links],
+                flit_outboxes: Vec::new(),
+                credit_outboxes: Vec::new(),
+                flit_out_links: Vec::new(),
+                credit_out_links: Vec::new(),
+                flit_in_links: Vec::new(),
+                credit_in_links: Vec::new(),
+            };
+            let owned = first..last;
+            for l in 0..num_net_links {
+                let src = sim.link_src[l].0;
+                let dst = sim.link_dst[l].0;
+                match (owned.contains(&src), owned.contains(&dst)) {
+                    // We feed the link but its flit line is popped by the
+                    // destination's shard; credits come back to us.
+                    (true, false) => {
+                        role.flit_out[l] = u32::try_from(role.flit_outboxes.len())
+                            .expect("outbox count fits u32");
+                        role.flit_outboxes.push(Vec::with_capacity(cap));
+                        role.flit_out_links.push(l);
+                        role.credit_in_links.push(l);
+                    }
+                    // We pop the flit line; the credits we push back are
+                    // popped by the source's shard.
+                    (false, true) => {
+                        role.credit_out[l] = u32::try_from(role.credit_outboxes.len())
+                            .expect("outbox count fits u32");
+                        role.credit_outboxes.push(Vec::with_capacity(cap));
+                        role.credit_out_links.push(l);
+                        role.flit_in_links.push(l);
+                    }
+                    _ => {}
+                }
+            }
+            sim.shard = Some(Box::new(role));
+        }
         let process = sim.injection_process();
-        for e in &mut sim.endpoints {
-            e.schedule_arrival(0, process);
+        let epr = sim.config.endpoints_per_router;
+        let owned_endpoints = match &sim.shard {
+            Some(role) => role.first_router * epr..role.last_router * epr,
+            None => 0..sim.endpoints.len(),
+        };
+        // Only owned endpoints ever generate traffic; foreign ones stay
+        // idle forever (their routers are serviced by another shard).
+        for e in owned_endpoints {
+            sim.endpoints[e].schedule_arrival(0, process);
         }
         sim.rebuild_event_state();
         Ok(sim)
@@ -666,6 +890,19 @@ impl Simulator {
             if out_port < num_net_ports {
                 let l = self.link_out[r][out_port];
                 self.link_flit_counts[l] += 1;
+                if let Some(role) = self.shard.as_deref_mut() {
+                    let slot = role.flit_out[l];
+                    if slot != NO_OUTBOX {
+                        // Boundary link: the flit line lives in the
+                        // destination's shard. Record the push for the
+                        // next window barrier; the flit leaves this
+                        // shard's in-flight accounting now and enters the
+                        // receiver's when the message is applied.
+                        role.flit_outboxes[slot as usize].push((t, flit));
+                        self.in_flight -= 1;
+                        continue;
+                    }
+                }
                 push_line(
                     &mut self.net_links[l].flits,
                     event.then(|| (&mut self.line_events, net_flit_id(l))),
@@ -687,6 +924,16 @@ impl Simulator {
         for &SentCredit { in_port, credit } in &credits {
             if in_port < num_net_ports {
                 let l = self.link_in[r][in_port];
+                if let Some(role) = self.shard.as_deref_mut() {
+                    let slot = role.credit_out[l];
+                    if slot != NO_OUTBOX {
+                        // Boundary link: the credit line lives in the
+                        // source's shard; hand the push over at the next
+                        // window barrier.
+                        role.credit_outboxes[slot as usize].push((t, credit));
+                        continue;
+                    }
+                }
                 push_line(
                     &mut self.net_links[l].credits,
                     event.then(|| (&mut self.line_events, net_credit_id(l))),
@@ -1006,46 +1253,33 @@ impl Simulator {
     pub fn stats(&self) -> NetworkStats {
         assert!(self.window_start != u64::MAX, "open a measurement window first");
         let window_cycles = self.cycle - self.window_start;
-        let mut offered_packets = 0;
-        let mut accepted_packets = 0;
-        let mut received_flits = 0;
-        let mut received_packets = 0;
-        let mut measured = 0;
-        let mut latency_sum = 0u64;
-        let mut latency_max = 0u64;
-        let mut queue_max = 0u64;
-        let mut queue_integral = 0u64;
+        stats_from_sums(
+            &self.window_sums(),
+            window_cycles,
+            self.endpoints.len(),
+            self.config.packet_size,
+        )
+    }
+
+    /// Raw window counter sums over this simulator's endpoints. For a
+    /// shard, foreign endpoints never generate or receive, so this is
+    /// exactly the owned endpoints' contribution — summable across shards.
+    pub(crate) fn window_sums(&self) -> WindowSums {
+        let mut sums = WindowSums::default();
         for e in &self.endpoints {
             let s = e.stats();
-            offered_packets += s.offered_packets;
-            accepted_packets += s.accepted_packets;
-            received_flits += s.received_flits;
-            received_packets += s.received_packets;
-            measured += s.latency_count;
-            latency_sum += s.latency_sum;
-            latency_max = latency_max.max(s.latency_max);
+            sums.offered_packets += s.offered_packets;
+            sums.accepted_packets += s.accepted_packets;
+            sums.received_flits += s.received_flits;
+            sums.received_packets += s.received_packets;
+            sums.measured += s.latency_count;
+            sums.latency_sum += s.latency_sum;
+            sums.latency_max = sums.latency_max.max(s.latency_max);
             let (m, integral) = e.queue_occupancy(self.cycle);
-            queue_max = queue_max.max(m);
-            queue_integral += integral;
+            sums.queue_max = sums.queue_max.max(m);
+            sums.queue_integral += integral;
         }
-        let denom = (window_cycles.max(1) as f64) * self.endpoints.len() as f64;
-        NetworkStats {
-            window_cycles,
-            offered_packets,
-            accepted_packets,
-            received_flits,
-            received_packets,
-            measured_packets: measured,
-            avg_packet_latency: (measured > 0).then(|| latency_sum as f64 / measured as f64),
-            max_packet_latency: latency_max,
-            accepted_flits_per_cycle_per_endpoint: received_flits as f64 / denom,
-            offered_flits_per_cycle_per_endpoint: (offered_packets
-                * self.config.packet_size as u64)
-                as f64
-                / denom,
-            max_source_queue_flits: queue_max,
-            avg_source_queue_flits: queue_integral as f64 / denom,
-        }
+        sums
     }
 
     /// Latency percentile estimate over the measured packets (e.g. `0.5`,
@@ -1076,48 +1310,23 @@ impl Simulator {
     /// Panics if any `p` is outside `(0, 1]`.
     #[must_use]
     pub fn latency_percentiles(&self, ps: &[f64]) -> Vec<Option<f64>> {
-        for &p in ps {
-            assert!(p > 0.0 && p <= 1.0, "percentile must be in (0, 1]");
-        }
-        let mut out = vec![None; ps.len()];
-        let total: u64 = self.endpoints.iter().map(|e| e.stats().latency_count).sum();
-        if total == 0 || ps.is_empty() {
-            return out;
-        }
-        let buckets = crate::endpoint::LATENCY_HISTOGRAM_BUCKETS;
-        let mut merged = vec![0u64; buckets];
+        let mut merged = vec![0u64; crate::endpoint::LATENCY_HISTOGRAM_BUCKETS];
+        let total = self.add_latency_histogram(&mut merged);
+        percentiles_from_histogram(ps, &merged, total)
+    }
+
+    /// Adds this simulator's per-endpoint latency histograms into `merged`
+    /// and returns the measured-packet count — the merge step shared with
+    /// the sharded path.
+    pub(crate) fn add_latency_histogram(&self, merged: &mut [u64]) -> u64 {
+        let mut total = 0u64;
         for e in &self.endpoints {
+            total += e.stats().latency_count;
             for (m, &c) in merged.iter_mut().zip(e.latency_histogram()) {
                 *m += u64::from(c);
             }
         }
-        // One cumulative sweep serves every requested percentile in
-        // ascending target order.
-        let mut order: Vec<usize> = (0..ps.len()).collect();
-        order.sort_by(|&a, &b| ps[a].total_cmp(&ps[b]));
-        let mut k = 0;
-        let mut seen = 0u64;
-        for (latency, &count) in merged.iter().enumerate() {
-            seen += count;
-            while k < order.len() {
-                let idx = order[k];
-                let target = (ps[idx] * total as f64).ceil() as u64;
-                if seen < target {
-                    break;
-                }
-                out[idx] = Some(latency as f64);
-                k += 1;
-            }
-            if k == order.len() {
-                break;
-            }
-        }
-        // p == 1.0 rounding can leave a straggler: saturate into the top
-        // bucket, matching the single-percentile behaviour.
-        for &idx in &order[k..] {
-            out[idx] = Some((buckets - 1) as f64);
-        }
-        out
+        total
     }
 
     /// Human-readable report of every router holding flits or bindings —
@@ -1232,6 +1441,119 @@ impl Simulator {
             self.step();
         }
         self.fully_drained()
+    }
+
+    // ── Shard-coordination hooks (crate::shard) ─────────────────────────
+    //
+    // Everything the bounded-lag coordinator needs: posting/applying
+    // boundary messages at window barriers, drain bookkeeping, and raw
+    // accessors for bit-exact cross-shard stat aggregation.
+
+    /// Boundary links this shard sends flits on (ascending link id; index
+    /// `i` is outbox slot `i`).
+    pub(crate) fn flit_out_links(&self) -> &[usize] {
+        self.shard.as_ref().map_or(&[], |r| &r.flit_out_links)
+    }
+
+    /// Boundary links this shard sends credits on (ascending link id).
+    pub(crate) fn credit_out_links(&self) -> &[usize] {
+        self.shard.as_ref().map_or(&[], |r| &r.credit_out_links)
+    }
+
+    /// Boundary links whose flit line this shard owns (ascending link id).
+    pub(crate) fn flit_in_links(&self) -> &[usize] {
+        self.shard.as_ref().map_or(&[], |r| &r.flit_in_links)
+    }
+
+    /// Boundary links whose credit line this shard owns (ascending link
+    /// id).
+    pub(crate) fn credit_in_links(&self) -> &[usize] {
+        self.shard.as_ref().map_or(&[], |r| &r.credit_in_links)
+    }
+
+    /// Swaps outbox slot `i` (flit direction) with the empty, equally
+    /// preallocated `mailbox` — O(1), allocation-free handoff.
+    pub(crate) fn post_flit_outbox(&mut self, i: usize, mailbox: &mut Vec<(u64, Flit)>) {
+        debug_assert!(mailbox.is_empty(), "mailbox not drained by its receiver");
+        let role = self.shard.as_deref_mut().expect("sharded simulator");
+        std::mem::swap(&mut role.flit_outboxes[i], mailbox);
+    }
+
+    /// Swaps outbox slot `i` (credit direction) with the empty `mailbox`.
+    pub(crate) fn post_credit_outbox(&mut self, i: usize, mailbox: &mut Vec<(u64, Credit)>) {
+        debug_assert!(mailbox.is_empty(), "mailbox not drained by its receiver");
+        let role = self.shard.as_deref_mut().expect("sharded simulator");
+        std::mem::swap(&mut role.credit_outboxes[i], mailbox);
+    }
+
+    /// Replays boundary flit pushes onto link `l`'s flit line. Each
+    /// message re-runs the exact `push(cycle, pipeline)` the sending
+    /// router performed, so delivery cycles and the line's serialization
+    /// state are bit-identical to the serial run. Clears `msgs` (capacity
+    /// kept).
+    pub(crate) fn apply_boundary_flits(&mut self, l: usize, msgs: &mut Vec<(u64, Flit)>) {
+        debug_assert!(!self.reference_stepping, "sharded runs are event-driven");
+        let pipeline = self.config.router_latency;
+        for &(cycle, flit) in msgs.iter() {
+            push_line(
+                &mut self.net_links[l].flits,
+                Some((&mut self.line_events, net_flit_id(l))),
+                cycle,
+                pipeline,
+                flit,
+            );
+            self.in_flight += 1;
+        }
+        msgs.clear();
+    }
+
+    /// Replays boundary credit pushes onto link `l`'s credit line; see
+    /// [`Simulator::apply_boundary_flits`].
+    pub(crate) fn apply_boundary_credits(&mut self, l: usize, msgs: &mut Vec<(u64, Credit)>) {
+        debug_assert!(!self.reference_stepping, "sharded runs are event-driven");
+        for &(cycle, credit) in msgs.iter() {
+            push_line(
+                &mut self.net_links[l].credits,
+                Some((&mut self.line_events, net_credit_id(l))),
+                cycle,
+                0,
+                credit,
+            );
+        }
+        msgs.clear();
+    }
+
+    /// Stops traffic generation without running (the sharded drain's
+    /// per-worker half of [`Simulator::drain`]).
+    pub(crate) fn stop_generation(&mut self) {
+        self.generation_stopped = true;
+    }
+
+    /// Whether nothing is left to move locally (see
+    /// [`Simulator::fully_drained`]).
+    pub(crate) fn is_fully_drained(&self) -> bool {
+        self.fully_drained()
+    }
+
+    /// Last cycle any flit moved in this shard.
+    pub(crate) fn last_progress_cycle(&self) -> u64 {
+        self.last_progress
+    }
+
+    /// Rewinds the cycle counter to the exact global drain cycle. Sound
+    /// only after a global drain: the cycles being unwound moved no flit
+    /// anywhere (only residual credit deliveries, which no reported stat
+    /// observes), and generation is stopped.
+    pub(crate) fn rewind_cycle(&mut self, to: u64) {
+        debug_assert!(self.generation_stopped, "rewind is a drain-only operation");
+        debug_assert!(to <= self.cycle, "rewind must not advance the clock");
+        self.cycle = to;
+    }
+
+    /// Per-link flit counts since construction (boundary links count on
+    /// the sending shard only, so cross-shard sums match the serial run).
+    pub(crate) fn link_flit_counts(&self) -> &[u64] {
+        &self.link_flit_counts
     }
 }
 

@@ -1,0 +1,225 @@
+//! Golden determinism suite for the sharded engine: a
+//! [`ShardedSimulator`] run must produce *bit-identical* results to the
+//! serial [`Simulator`] — same `NetworkStats`, same per-channel loads,
+//! same latency percentiles, same drain outcome and final cycle — across
+//! routing kinds, traffic patterns, injection processes, heterogeneous
+//! link specs, and shard counts 1/2/4/8. Plus a property test pinning
+//! that *any* contiguous partition of the router ids (not just the
+//! balanced cuts) yields identical statistics.
+
+use chiplet_graph::{gen, Graph};
+use nocsim::traffic::ProcessKind;
+use nocsim::{LinkSpec, RoutingKind, ShardedSimulator, SimConfig, Simulator, TrafficPattern};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn base_config(rate: f64) -> SimConfig {
+    SimConfig {
+        vcs: 4,
+        buffer_depth: 4,
+        injection_rate: rate,
+        seed: 0xBEEF,
+        source_queue_cap: 16,
+        ..SimConfig::paper_defaults()
+    }
+}
+
+/// Everything serial and sharded must agree on, bit for bit.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    cycle: u64,
+    stats: nocsim::NetworkStats,
+    channel_loads: Vec<(usize, usize, u64)>,
+    percentiles: Vec<Option<f64>>,
+    in_network: usize,
+    drained: Option<bool>,
+}
+
+fn serial_fingerprint(
+    g: &Graph,
+    config: SimConfig,
+    spec: impl Fn(usize, usize) -> LinkSpec,
+    drain: bool,
+) -> Fingerprint {
+    let mut sim = Simulator::with_link_specs(g, config, spec).expect("valid config");
+    sim.run(600);
+    sim.open_measurement_window();
+    sim.run(2_500);
+    let drained = drain.then(|| sim.drain(40_000));
+    Fingerprint {
+        cycle: sim.cycle(),
+        stats: sim.stats(),
+        channel_loads: sim.channel_loads(),
+        percentiles: sim.latency_percentiles(&[0.5, 0.9, 0.95, 0.99]),
+        in_network: sim.flits_in_network(),
+        drained,
+    }
+}
+
+fn sharded_fingerprint(
+    g: &Graph,
+    config: SimConfig,
+    spec: impl Fn(usize, usize) -> LinkSpec,
+    shards: usize,
+    drain: bool,
+) -> Fingerprint {
+    let mut sim = ShardedSimulator::with_link_specs(g, config, spec, shards).expect("valid");
+    sim.run(600);
+    sim.open_measurement_window();
+    sim.run(2_500);
+    let drained = drain.then(|| sim.drain(40_000));
+    Fingerprint {
+        cycle: sim.cycle(),
+        stats: sim.stats(),
+        channel_loads: sim.channel_loads(),
+        percentiles: sim.latency_percentiles(&[0.5, 0.9, 0.95, 0.99]),
+        in_network: sim.flits_in_network(),
+        drained,
+    }
+}
+
+fn assert_equivalent(
+    g: &Graph,
+    config: SimConfig,
+    spec: impl Fn(usize, usize) -> LinkSpec + Copy,
+    drain: bool,
+    label: &str,
+) {
+    let serial = serial_fingerprint(g, config, spec, drain);
+    for shards in SHARD_COUNTS {
+        let sharded = sharded_fingerprint(g, config, spec, shards, drain);
+        assert_eq!(sharded, serial, "sharded ({shards}) vs serial mismatch: {label}");
+    }
+}
+
+fn uniform_spec(config: &SimConfig) -> impl Fn(usize, usize) -> LinkSpec + Copy {
+    let latency = config.link_latency;
+    move |_, _| LinkSpec::uniform(latency)
+}
+
+#[test]
+fn sharded_golden_across_routing_kinds() {
+    let g = gen::grid(4, 4);
+    for routing in [
+        RoutingKind::MinimalAdaptiveEscape,
+        RoutingKind::MinimalDeterministic,
+        RoutingKind::UpDownOnly,
+    ] {
+        let config = SimConfig { routing, ..base_config(0.08) };
+        assert_equivalent(&g, config, uniform_spec(&config), false, &format!("{routing:?}"));
+    }
+}
+
+#[test]
+fn sharded_golden_across_traffic_patterns() {
+    let g = gen::grid(3, 3);
+    for pattern in [
+        TrafficPattern::UniformRandom,
+        TrafficPattern::Complement,
+        TrafficPattern::NeighborShift { shift: 3 },
+        TrafficPattern::BitComplement,
+        TrafficPattern::BitReverse,
+        TrafficPattern::Tornado,
+        TrafficPattern::Hotspot { num_hotspots: 2, fraction_permille: 700 },
+    ] {
+        let config = SimConfig { pattern, ..base_config(0.07) };
+        assert_equivalent(&g, config, uniform_spec(&config), false, &format!("{pattern:?}"));
+    }
+}
+
+#[test]
+fn sharded_golden_across_injection_processes() {
+    let g = gen::grid(3, 3);
+    for process in [ProcessKind::Bernoulli, ProcessKind::OnOff { alpha: 0.02, beta: 0.05 }] {
+        let config = SimConfig { process, ..base_config(0.1) };
+        assert_equivalent(&g, config, uniform_spec(&config), false, &format!("{process:?}"));
+    }
+}
+
+#[test]
+fn sharded_golden_under_heterogeneous_link_specs() {
+    // A ring cut by any contiguous partition has boundary links of
+    // different latencies: exercises the min-latency lookahead window.
+    let g = gen::cycle(6);
+    let config = base_config(0.08);
+    let spec = |u: usize, v: usize| {
+        if (u, v) == (0, 1) || (u, v) == (1, 0) {
+            LinkSpec { latency: 41, interval: 5 }
+        } else if (u, v) == (2, 3) || (u, v) == (3, 2) {
+            LinkSpec { latency: 3, interval: 1 }
+        } else {
+            LinkSpec { latency: 27, interval: 2 }
+        }
+    };
+    assert_equivalent(&g, config, spec, false, "heterogeneous links");
+}
+
+#[test]
+fn sharded_golden_through_drain() {
+    let g = gen::grid(3, 3);
+    // High enough load that drain starts with real backlog in every
+    // shard — exercises the global drain detection and cycle rewind.
+    let config = base_config(0.25);
+    assert_equivalent(&g, config, uniform_spec(&config), true, "drain");
+}
+
+#[test]
+fn sharded_golden_at_fast_forward_loads() {
+    // So little traffic that idle stretches dominate: per-shard
+    // fast-forward must still stop at every window boundary handoff.
+    let g = gen::grid(3, 3);
+    let config = base_config(0.004);
+    assert_equivalent(&g, config, uniform_spec(&config), true, "fast-forward");
+}
+
+#[test]
+fn sharded_golden_on_irregular_topology() {
+    let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6)])
+        .expect("simple graph");
+    let config = base_config(0.1);
+    assert_equivalent(&g, config, uniform_spec(&config), true, "irregular");
+}
+
+#[test]
+fn sharded_golden_on_dense_topology() {
+    // A complete graph puts every link on some shard boundary — the
+    // worst case for handoff volume relative to local work.
+    let g = gen::complete(6);
+    let config = base_config(0.1);
+    assert_equivalent(&g, config, uniform_spec(&config), true, "complete");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any contiguous partition — not just the balanced default cuts —
+    /// yields statistics bit-identical to the serial run.
+    #[test]
+    fn any_contiguous_partition_is_bit_identical(
+        raw_cuts in proptest::collection::vec(1usize..16, 1..5),
+        rate in 0.02f64..0.2,
+    ) {
+        let g = gen::grid(4, 4);
+        let n = g.num_vertices();
+        let mut cuts: Vec<usize> = raw_cuts.into_iter().filter(|&c| c < n).collect();
+        cuts.push(0);
+        cuts.push(n);
+        cuts.sort_unstable();
+        cuts.dedup();
+        let config = base_config(rate);
+        let latency = config.link_latency;
+        let spec = move |_: usize, _: usize| LinkSpec::uniform(latency);
+
+        let mut serial = Simulator::new(&g, config).expect("valid");
+        let serial_stats = serial.run_to_window(400, 1_200);
+
+        let mut sharded =
+            ShardedSimulator::with_partition(&g, config, spec, &cuts).expect("valid cuts");
+        let sharded_stats = sharded.run_to_window(400, 1_200);
+
+        prop_assert_eq!(sharded_stats, serial_stats, "cuts {:?}", cuts);
+        prop_assert_eq!(sharded.flits_in_network(), serial.flits_in_network());
+        prop_assert_eq!(sharded.channel_loads(), serial.channel_loads());
+    }
+}

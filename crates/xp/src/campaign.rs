@@ -55,10 +55,28 @@ impl Campaign {
         R: Send,
         F: Fn(&Job) -> R + Sync,
     {
+        self.run_grid_budgeted(scenario, 1, run)
+    }
+
+    /// [`Campaign::run_grid`] for jobs that are internally
+    /// `threads_per_job`-way parallel (e.g. sharded simulations): the
+    /// pool gets `--workers / threads_per_job` workers
+    /// ([`pool::budgeted_workers`]) so the thread total stays within the
+    /// budget. Results are identical for every worker count either way.
+    pub fn run_grid_budgeted<R, F>(
+        &self,
+        scenario: &Scenario,
+        threads_per_job: usize,
+        run: F,
+    ) -> Vec<(Job, R)>
+    where
+        R: Send,
+        F: Fn(&Job) -> R + Sync,
+    {
         let scenario = scenario.clone().with_replicates(self.args.seeds);
         let jobs = scenario.jobs(self.args.campaign_seed);
-        let results =
-            pool::run_jobs(&jobs, self.args.workers, Job::weight, run, Some(&self.name));
+        let workers = pool::budgeted_workers(self.args.workers, threads_per_job);
+        let results = pool::run_jobs(&jobs, workers, Job::weight, run, Some(&self.name));
         jobs.into_iter().zip(results).collect()
     }
 

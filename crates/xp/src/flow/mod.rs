@@ -38,7 +38,7 @@ use hexamesh::eval::{normalize, EvalError, EvalParams, EvalResult};
 use hexamesh::link::{estimate_link, LinkParams, UCIE_POWER_FRACTION, UCIE_TOTAL_AREA_MM2};
 use hexamesh::shape::{shape_for, ShapeError, ShapeParams};
 use nocsim::measure as noc_measure;
-use nocsim::{MeasureConfig, SimConfig, SimError, Simulator, TrafficPattern};
+use nocsim::{MeasureConfig, ShardedSimulator, SimConfig, SimError, Simulator, TrafficPattern};
 
 use crate::cli::CampaignArgs;
 use crate::grid::{expand_replicates, pattern_code, Scenario, OPTIMIZED_KIND_CODE};
@@ -293,6 +293,9 @@ fn measure_for(spec: &StudySpec, args: &CampaignArgs) -> MeasureConfig {
     if let Some(over) = &spec.schedule {
         over.apply(&mut schedule);
     }
+    if let Some(shards) = spec.sim.shards {
+        schedule.shards = shards;
+    }
     schedule
 }
 
@@ -483,7 +486,7 @@ fn traffic_stage(spec: &StudySpec, campaign: &Campaign) -> Result<StageOutput, S
     // replicate); the sort below restores the historical pattern-major
     // row order after aggregation.
     let scenario = Scenario::new(&kinds, &ns).with_patterns(&patterns);
-    let results = campaign.run_grid(&scenario, |job| {
+    let results = campaign.run_grid_budgeted(&scenario, schedule.shards, |job| {
         let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
         let graph = arrangement.graph();
         let mut config = sim;
@@ -565,15 +568,24 @@ fn curve_point(
     pattern: TrafficPattern,
     seed: u64,
     windows: (u64, u64),
+    shards: usize,
 ) -> CurvePoint {
     let mut config = sim;
     config.injection_rate = rate;
     config.pattern = pattern;
     config.seed = seed;
-    let mut simulator = Simulator::new(graph, config).expect("valid configuration");
-    let stats = simulator.run_to_window(windows.0, windows.1);
-    // One histogram merge serves all three tail percentiles.
-    let tails = simulator.latency_percentiles(&[0.50, 0.95, 0.99]);
+    // One histogram merge serves all three tail percentiles. The sharded
+    // engine is bit-identical, so `shards` never changes a row.
+    let (stats, tails) = if shards > 1 {
+        let mut simulator =
+            ShardedSimulator::new(graph, config, shards).expect("valid configuration");
+        let stats = simulator.run_to_window(windows.0, windows.1);
+        (stats, simulator.latency_percentiles(&[0.50, 0.95, 0.99]))
+    } else {
+        let mut simulator = Simulator::new(graph, config).expect("valid configuration");
+        let stats = simulator.run_to_window(windows.0, windows.1);
+        (stats, simulator.latency_percentiles(&[0.50, 0.95, 0.99]))
+    };
     CurvePoint {
         accepted: stats.accepted_flits_per_cycle_per_endpoint,
         avg: stats.avg_packet_latency.unwrap_or(f64::NAN),
@@ -608,10 +620,11 @@ fn load_curve_stage(
         None => (4_000, 8_000),
     };
     let sim = base_sim(spec);
+    let shards = spec.sim.shards.unwrap_or(1);
     let optimized = require_optimized_hook(spec, hooks)?;
 
     let scenario = Scenario::new(&kinds, &ns).with_rates(&rates).with_patterns(&patterns);
-    let results = campaign.run_grid(&scenario, |job| {
+    let results = campaign.run_grid_budgeted(&scenario, shards, |job| {
         let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
         curve_point(
             arrangement.graph(),
@@ -620,6 +633,7 @@ fn load_curve_stage(
             job.pattern,
             job.seed,
             windows,
+            shards,
         )
     });
 
@@ -696,7 +710,7 @@ fn load_curve_stage(
                 &expanded,
                 |&((_, n, _, _), _)| n as u64,
                 |&((_, _, rate, pattern), seed)| {
-                    curve_point(&graph, sim, rate, pattern, seed, windows)
+                    curve_point(&graph, sim, rate, pattern, seed, windows, shards)
                 },
             );
             add_rows(&opt_jobs, &points);

@@ -171,13 +171,14 @@ pub fn evaluation_campaign_over(
 ) -> Vec<EvalResult> {
     let scenario = Scenario::new(kinds, ns).with_patterns(&[pattern]);
     // Keep the thread total bounded by the worker budget: the nested
-    // rate-point pool only gets the workers the grid leaves idle. (The
-    // probe *sequence* depends only on `fanout`, so this split never
+    // rate-point pool only gets the workers the grid leaves idle, and
+    // sharded simulations charge their shard threads to the same budget.
+    // (The probe *sequence* depends only on `fanout`, so this split never
     // changes results.)
     let k = campaign.args().seeds.max(1) as usize;
     let total_jobs = (kinds.len() * ns.len() * k).max(1);
     let inner_workers = (campaign.args().workers / total_jobs).max(1);
-    let results = campaign.run_grid(&scenario, |job: &Job| {
+    let results = campaign.run_grid_budgeted(&scenario, params.measure.shards, |job: &Job| {
         let arrangement = Arrangement::build(job.kind, job.n).expect("n >= 1 builds");
         let mut p = *params;
         p.sim.seed = job.seed;

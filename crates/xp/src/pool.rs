@@ -18,6 +18,15 @@ use std::time::Duration;
 /// How often the progress ticker prints.
 const TICK: Duration = Duration::from_secs(2);
 
+/// Pool size for jobs that are themselves `threads_per_job`-way parallel
+/// (e.g. sharded simulations): divides the worker budget so job-level ×
+/// shard-level parallelism never oversubscribes `--workers`, while always
+/// leaving at least one pool worker.
+#[must_use]
+pub fn budgeted_workers(workers: usize, threads_per_job: usize) -> usize {
+    (workers / threads_per_job.max(1)).max(1)
+}
+
 /// Runs `run` over every job on `workers` threads and returns the results
 /// in submission order.
 ///

@@ -143,13 +143,21 @@ pub struct SimOverrides {
     pub vcs: Option<usize>,
     /// Buffer depth in flits per VC.
     pub buffer_depth: Option<usize>,
+    /// Worker threads each simulation is sharded across
+    /// ([`nocsim::ShardedSimulator`]; results stay bit-identical to the
+    /// serial engine). Not supported by the workload stage, whose
+    /// closed-loop driver is serial-only.
+    pub shards: Option<usize>,
 }
 
 impl SimOverrides {
     /// `true` if no override is set (the stage runs paper defaults).
     #[must_use]
     pub fn is_neutral(&self) -> bool {
-        self.routing.is_none() && self.vcs.is_none() && self.buffer_depth.is_none()
+        self.routing.is_none()
+            && self.vcs.is_none()
+            && self.buffer_depth.is_none()
+            && self.shards.is_none()
     }
 }
 
@@ -414,6 +422,9 @@ impl StudySpec {
         if let Some(depth) = self.sim.buffer_depth {
             sim.set("buffer_depth", depth);
         }
+        if let Some(shards) = self.sim.shards {
+            sim.set("shards", shards);
+        }
         set_section(&mut root, "sim", sim);
 
         if let Some(schedule) = &self.schedule {
@@ -522,6 +533,16 @@ impl StudySpec {
             if schedule.warmup_cycles == 0 || schedule.measure_cycles == 0 {
                 return Err("schedule windows must be positive".to_owned());
             }
+        }
+        if self.sim.shards == Some(0) {
+            return Err("`sim.shards` must be at least 1".to_owned());
+        }
+        if self.sim.shards.is_some() && self.stage == StageKind::Workload {
+            return Err(
+                "`sim.shards` is not supported by the workload stage (its closed-loop \
+                 driver runs serial)"
+                    .to_owned(),
+            );
         }
         self.reject_settings_the_stage_ignores()
     }
@@ -701,11 +722,12 @@ fn decode_axes(section: &Value) -> Result<Axes, String> {
 }
 
 fn decode_sim(section: &Value) -> Result<SimOverrides, String> {
-    reject_unknown(section, &["routing", "vcs", "buffer_depth"], "sim")?;
+    reject_unknown(section, &["routing", "vcs", "buffer_depth", "shards"], "sim")?;
     Ok(SimOverrides {
         routing: str_field(section, "routing")?.map(str::parse).transpose()?,
         vcs: usize_field(section, "vcs")?,
         buffer_depth: usize_field(section, "buffer_depth")?,
+        shards: usize_field(section, "shards")?,
     })
 }
 
@@ -883,6 +905,32 @@ mod tests {
         spec.sim.vcs = Some(2);
         spec.schedule = Some(Schedule::new(100, 200));
         assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn sim_shards_round_trips_and_is_validated() {
+        let mut spec = StudySpec::new("large", StageKind::Saturation);
+        spec.axes.ns = Some(vec![1_027]);
+        spec.sim.shards = Some(8);
+        spec.validate().unwrap();
+        let round_tripped = StudySpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(round_tripped, spec);
+        let via_json = StudySpec::from_json(&spec.to_value().to_json()).unwrap();
+        assert_eq!(via_json, spec);
+
+        let toml = StudySpec::from_toml(concat!(
+            "name = \"large\"\nstage = \"saturation\"\n",
+            "[sim]\nshards = 8\n",
+        ))
+        .unwrap();
+        assert_eq!(toml.sim.shards, Some(8));
+
+        let mut zero = StudySpec::new("s", StageKind::Saturation);
+        zero.sim.shards = Some(0);
+        assert!(zero.validate().is_err(), "shards = 0 is meaningless");
+        let mut workload = StudySpec::new("s", StageKind::Workload);
+        workload.sim.shards = Some(4);
+        assert!(workload.validate().is_err(), "the closed-loop driver is serial-only");
     }
 
     #[test]
