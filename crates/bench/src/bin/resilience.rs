@@ -1,98 +1,54 @@
-//! EXP-R1 — fault tolerance of chiplet arrangements.
+//! EXP-R1 — fault tolerance of chiplet arrangements, static and live.
 //!
 //! §IV motivates HexaMesh partly through the *minimum* number of
 //! neighbours per chiplet (3 vs. the grid's 2; §IV-C notes irregular grids
 //! drop to 1). The engineering content of minimum degree is fault
-//! tolerance: this experiment measures it directly — bridges (links whose
-//! failure splits the ICI), articulation chiplets, and the Stoer–Wagner
-//! edge connectivity (the number of link failures that suffice to
-//! disconnect any pair).
+//! tolerance, measured here in two ways:
 //!
-//! Declared as an engine grid (kind × n); the Stoer–Wagner analyses of
-//! the large counts dominate, so the pool's large-first schedule pays off
-//! even for this purely structural sweep.
+//! * **structural** (`resilience.{csv,json}`): bridges (links whose
+//!   failure splits the ICI), articulation chiplets, and the Stoer–Wagner
+//!   edge connectivity — the legacy sweep, byte-identical to the
+//!   pre-preset binary;
+//! * **dynamic** (`BENCH_resilience.{csv,json}`): graceful degradation
+//!   under live link failures — saturation throughput and stencil /
+//!   ring-all-reduce makespans (with source retransmission) after 0, 1,
+//!   2, 4 random links die mid-run.
+//!
+//! A preset wrapper over the study flow (stage `resilience`):
+//! `study --preset resilience` runs the identical campaign.
 //!
 //! Usage: `cargo run --release -p hexamesh-bench --bin resilience
-//! [--workers W] [--out DIR] [--format F]`
-//! Writes `results/resilience.{csv,json}`.
+//! [--quick] [--workers W] [--out DIR] [--format F]`
+//!
+//! Writes to the repository root by default (`BENCH_resilience` is a
+//! tracked baseline record; pass `--out` to redirect). `--seeds` is
+//! rejected: the structural half has no randomness, and the degradation
+//! table's replicate count is the preset's contract — silently forcing
+//! the flag back to 1 (the historical behaviour) hid user error.
 
-use chiplet_graph::resilience::{articulation_points, bridges, edge_connectivity};
-use hexamesh::arrangement::{Arrangement, ArrangementKind};
-use hexamesh_bench::csv::Table;
-use hexamesh_bench::sweep;
-use xp::grid::Scenario;
-use xp::json::Value;
-use xp::{Campaign, CampaignArgs};
-
-/// Regular sizes plus irregular ones (where the paper concedes weaker
-/// minimum degree).
-const NS: [usize; 8] = [16, 17, 36, 37, 41, 64, 91, 100];
+use hexamesh_bench::presets;
+use xp::cli::{self, CampaignArgs};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    xp::cli::reject_unknown_flags(&args, &xp::cli::with_shared(&[]));
-    let mut shared = CampaignArgs::parse(&args);
-    // Structural analyses have no randomness: replicates would only
-    // duplicate identical rows.
-    shared.seeds = 1;
-    let campaign = Campaign::new("resilience", shared);
-
-    let scenario = Scenario::new(&ArrangementKind::EVALUATED, &NS);
-    let results = campaign.run_grid(&scenario, |job| {
-        let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
-        let g = arrangement.graph();
-        (
-            arrangement.regularity().to_string(),
-            arrangement.degree_stats().min,
-            bridges(g).len(),
-            articulation_points(g).len(),
-            edge_connectivity(g).unwrap_or(0),
-        )
-    });
-
-    let mut table = Table::new(&[
-        "n",
-        "kind",
-        "regularity",
-        "min_degree",
-        "bridges",
-        "articulation_points",
-        "edge_connectivity",
-    ]);
-
-    println!("Fault tolerance of arrangements (bridges / cut chiplets / edge connectivity):");
-    println!(
-        "{:>3} {:<4} {:<12} {:>7} {:>8} {:>7} {:>7}",
-        "N", "kind", "regularity", "min deg", "bridges", "cut ch.", "k_edge"
-    );
-    // Historical row order is n-major; the grid expands kind-major.
-    let mut rows: Vec<_> = results
-        .iter()
-        .map(|(job, (regularity, min_deg, b, cuts, k))| {
-            (job.n, job.kind, regularity.clone(), *min_deg, *b, *cuts, *k)
-        })
-        .collect();
-    rows.sort_by_key(|&(n, kind, ..)| (n, sweep::evaluated_rank(kind)));
-
-    for (n, kind, regularity, min_deg, b, cuts, k) in &rows {
-        println!(
-            "{:>3} {:<4} {:<12} {:>7} {:>8} {:>7} {:>7}",
-            n,
-            kind.label(),
-            regularity,
-            min_deg,
-            b,
-            cuts,
-            k
+    if args.iter().any(|a| a == "--seeds") {
+        eprintln!(
+            "error: `resilience` does not accept --seeds: the structural sweep is \
+             deterministic (replicates would duplicate identical rows) and the degradation \
+             sweep's replicate count is fixed by the preset. Use `study --preset resilience` \
+             with a spec file to change replication."
         );
-        table.row(&[n, &kind.label(), regularity, min_deg, b, cuts, k]);
+        std::process::exit(2);
     }
+    let allowed: Vec<&str> =
+        cli::with_shared(&[]).into_iter().filter(|&f| f != "--seeds").collect();
+    cli::reject_unknown_flags(&args, &allowed);
+    let mut resolved = CampaignArgs::parse(&args);
 
-    let config = Value::object();
-    let written = campaign.finish(&table, config).expect("results dir writable");
-    for path in written {
-        println!("wrote {}", path.display());
-    }
-    println!("(edge connectivity <= min degree always; equality means the only");
-    println!(" weakness is a single chiplet's full link set, not a fabric cut)");
+    let spec = presets::preset("resilience").expect("registered preset");
+    xp::flow::apply_spec_defaults(&spec, &mut resolved, &args);
+
+    println!("Fault tolerance of arrangements (bridges / cut chiplets / edge connectivity,");
+    println!(" plus graceful degradation under live link failures):");
+    presets::run_and_report(&spec, resolved);
 }

@@ -12,7 +12,7 @@
 use xp::spec::{StageKind, StudySpec};
 
 /// Every preset name, in documentation order.
-pub const PRESET_NAMES: [&str; 9] = [
+pub const PRESET_NAMES: [&str; 10] = [
     "fig7_simulation",
     "load_curves",
     "ablation_traffic",
@@ -22,6 +22,7 @@ pub const PRESET_NAMES: [&str; 9] = [
     "proxies",
     "thermal_comparison",
     "cost_model",
+    "resilience",
 ];
 
 /// Builds the named preset, or `None` for an unknown name. Axes left
@@ -52,6 +53,17 @@ pub fn preset(name: &str) -> Option<StudySpec> {
         "proxies" => StudySpec::new("proxies", StageKind::Proxies),
         "thermal_comparison" => StudySpec::new("thermal_comparison", StageKind::Thermal),
         "cost_model" => StudySpec::new("cost_model", StageKind::Cost),
+        "resilience" => {
+            let mut spec = StudySpec::new("resilience", StageKind::Resilience);
+            // Structural analyses have no randomness and the degradation
+            // table aggregates replicates internally; one seed is the
+            // historical contract (the binary refuses `--seeds` outright).
+            spec.replicates = Some(1);
+            // The degradation table (`BENCH_resilience`) is a tracked
+            // repo-root baseline like `BENCH_workload` / `BENCH_arrange`.
+            spec.output.to_repo_root = true;
+            spec
+        }
         _ => return None,
     };
     Some(spec)

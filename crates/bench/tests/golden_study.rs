@@ -116,6 +116,13 @@ fn fixture_spec(name: &str) -> StudySpec {
         }
         "thermal_comparison" => spec.axes.ns = Some(vec![16]), // --n 16
         "cost_model" => {}
+        // The structural table (the byte-compared fixture) keeps its full
+        // legacy axes; only the degradation sweep is shrunk for
+        // debug-profile test time.
+        "resilience" => {
+            spec.faults.ns = Some(vec![7]);
+            spec.faults.link_failures = Some(vec![0, 1]);
+        }
         other => panic!("no fixture for {other}"),
     }
     if name == "ablation_traffic" {
@@ -194,6 +201,18 @@ fn thermal_and_cost_presets_reproduce_the_legacy_binaries() {
 }
 
 #[test]
+fn resilience_preset_reproduces_the_legacy_binary() {
+    let out = temp_out("resilience");
+    run(&fixture_spec("resilience"), &out, 2);
+    assert_matches_fixture(&out, "resilience", "resilience");
+    // The degradation companion exists and covers every point of the
+    // shrunk sweep: 1 chiplet count x 4 kinds x 2 failure levels.
+    let degradation =
+        std::fs::read_to_string(out.join("BENCH_resilience.csv")).expect("degradation csv");
+    assert_eq!(degradation.lines().count(), 1 + 8, "header + 8 degradation rows");
+}
+
+#[test]
 fn checked_in_specs_parse_and_match_their_presets() {
     // Every CI diff pair stays honest only if the spec file encodes the
     // same study the test above runs; parse each and compare the fields
@@ -208,6 +227,7 @@ fn checked_in_specs_parse_and_match_their_presets() {
         ("kite_quick.toml", "kite_comparison"),
         ("thermal_quick.toml", "thermal_comparison"),
         ("cost_model.toml", "cost_model"),
+        ("resilience_quick.toml", "resilience"),
     ] {
         let source = std::fs::read_to_string(specs_dir.join(file)).expect("spec file");
         let from_file = StudySpec::from_toml(&source).unwrap_or_else(|e| panic!("{file}: {e}"));

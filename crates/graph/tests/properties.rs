@@ -34,6 +34,38 @@ fn arb_connected_graph() -> impl Strategy<Value = Graph> {
     })
 }
 
+/// Strategy: a random simple graph with 2..=8 vertices — small enough to
+/// brute-force every bipartition. Deliberately *not* forced connected:
+/// disconnected samples pin the `Some(0)` contract.
+fn arb_small_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=8).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec(proptest::bool::ANY, max_edges).prop_map(move |coins| {
+            let mut k = 0;
+            gen::from_coin(n, |_, _| {
+                let c = coins[k];
+                k += 1;
+                c
+            })
+        })
+    })
+}
+
+#[test]
+fn edge_connectivity_degenerate_cases() {
+    use chiplet_graph::resilience::edge_connectivity;
+    // Fewer than two vertices: no cut exists at all.
+    assert_eq!(edge_connectivity(&Graph::from_edges(0, &[]).unwrap()), None);
+    assert_eq!(edge_connectivity(&Graph::from_edges(1, &[]).unwrap()), None);
+    // Already disconnected: the empty cut suffices.
+    assert_eq!(edge_connectivity(&Graph::from_edges(2, &[]).unwrap()), Some(0));
+    let two_islands = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+    assert_eq!(edge_connectivity(&two_islands), Some(0));
+    // An isolated vertex next to a clique still reads as disconnected.
+    let stranded = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+    assert_eq!(edge_connectivity(&stranded), Some(0));
+}
+
 proptest! {
     #[test]
     fn bfs_distance_is_symmetric(g in arb_graph()) {
@@ -161,6 +193,25 @@ proptest! {
             let h = Graph::from_edges(g.num_vertices(), &pruned).expect("still simple");
             prop_assert!(metrics::is_connected(&h), "non-bridge ({u},{v}) removal disconnected");
         }
+    }
+
+    /// Stoer–Wagner agrees with exhaustive bipartition enumeration: on a
+    /// small graph the global minimum edge cut is the minimum, over every
+    /// proper vertex subset, of the number of crossing edges.
+    #[test]
+    fn edge_connectivity_matches_brute_force_min_cut(g in arb_small_graph()) {
+        use chiplet_graph::resilience::edge_connectivity;
+        let n = g.num_vertices();
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        let mut brute = usize::MAX;
+        // Fixing vertex 0 on one side halves the symmetric enumeration;
+        // mask 0 (empty subset) is the only non-proper case left.
+        for mask in 1u32..(1 << (n - 1)) {
+            let side = |v: usize| v != 0 && (mask >> (v - 1)) & 1 == 1;
+            let crossing = edges.iter().filter(|&&(u, v)| side(u) != side(v)).count();
+            brute = brute.min(crossing);
+        }
+        prop_assert_eq!(edge_connectivity(&g), Some(brute));
     }
 
     #[test]

@@ -125,6 +125,23 @@ impl<T> DelayLine<T> {
         self.next_due
     }
 
+    /// Removes every in-flight item for which `doomed` returns `true` and
+    /// recomputes the cached front delivery cycle. Returns the number
+    /// removed. Serialization history (`last_delivery`) is deliberately
+    /// kept: a fault does not rewrite the wire's past, and for a dead line
+    /// nothing is ever pushed again.
+    pub fn purge(&mut self, mut doomed: impl FnMut(&T) -> bool) -> usize {
+        let before = self.queue.len();
+        self.queue.retain(|(_, item)| !doomed(item));
+        self.next_due = self.queue.front().map_or(IDLE, |&(due, _)| due);
+        before - self.queue.len()
+    }
+
+    /// Iterates over the in-flight items in delivery order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.queue.iter().map(|(_, item)| item)
+    }
+
     /// Number of items in flight.
     #[must_use]
     pub fn in_flight(&self) -> usize {
@@ -286,6 +303,19 @@ mod tests {
         assert_eq!(link.flits.interval(), 4);
         assert_eq!(link.credits.interval(), 1);
         assert_eq!(link.credits.latency(), 27);
+    }
+
+    #[test]
+    fn purge_removes_matching_items_and_fixes_next_due() {
+        let mut c: DelayLine<u32> = DelayLine::new(1);
+        c.push(0, 0, 1);
+        c.push(1, 0, 2);
+        c.push(2, 0, 3);
+        assert_eq!(c.purge(|&x| x != 2), 2);
+        assert_eq!(c.next_due(), 2);
+        assert_eq!(c.pop_due(2), Some(2));
+        assert_eq!(c.purge(|_| true), 0);
+        assert_eq!(c.next_due(), IDLE);
     }
 
     #[test]

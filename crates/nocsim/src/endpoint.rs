@@ -57,6 +57,13 @@ pub struct Endpoint {
     credits: Vec<usize>,
     /// VC bound for the packet currently being injected.
     bound_vc: Option<VcId>,
+    /// Packets this endpoint has sourced. Packet ids are endpoint-strided
+    /// (`id + num_endpoints * seq`): globally unique without any shared
+    /// counter, so a sharded run — where each shard generates
+    /// independently — assigns every packet the exact id the serial run
+    /// does. Fault handling relies on this: the doomed-set union exchanged
+    /// at failure barriers identifies packets *by id across shards*.
+    next_seq: u64,
     rng: StdRng,
     process_state: ProcessState,
     /// Cycle of the next scheduled packet generation ([`IDLE`] when the
@@ -110,6 +117,7 @@ impl Endpoint {
             source_queue_cap_flits: cap_flits,
             credits: vec![buffer_depth; vcs],
             bound_vc: None,
+            next_seq: 0,
             rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             process_state: ProcessState::default(),
             next_arrival: IDLE,
@@ -205,7 +213,6 @@ impl Endpoint {
         cycle: u64,
         process: InjectionProcess,
         pattern: TrafficPattern,
-        next_packet_id: &mut PacketId,
     ) -> u64 {
         debug_assert_eq!(cycle, self.next_arrival, "generation fired off schedule");
         if cycle >= self.window_start {
@@ -213,13 +220,50 @@ impl Endpoint {
         }
         if self.source_queue.len() + process.packet_size <= self.source_queue_cap_flits {
             let dest = pattern.destination(self.id, self.num_endpoints, &mut self.rng);
-            self.enqueue(cycle, dest, process.packet_size, next_packet_id);
+            self.enqueue(cycle, dest, process.packet_size);
             if cycle >= self.window_start {
                 self.stats.accepted_packets += 1;
             }
         } // else refused: source queue full (network saturated)
         self.schedule_arrival(cycle + 1, process);
         self.next_arrival
+    }
+
+    /// Like [`Self::generate_due`], but for a (potentially) degraded
+    /// network. The destination is sampled exactly as in the healthy path —
+    /// the RNG consumes the same draws, so a run whose fault plan never
+    /// fires stays bit-identical to an unfaulted one — and then checked
+    /// against `deliverable`: packets toward a dead or partitioned
+    /// destination are *squelched* (never enqueued; the second return value
+    /// is `true`). On acceptance, `accepted` receives `(id, dest, size)` so
+    /// the simulator can register the packet for retransmission tracking.
+    pub fn generate_due_degraded(
+        &mut self,
+        cycle: u64,
+        process: InjectionProcess,
+        pattern: TrafficPattern,
+        mut deliverable: impl FnMut(EndpointId) -> bool,
+        accepted: &mut impl FnMut(PacketId, EndpointId, usize),
+    ) -> (u64, bool) {
+        debug_assert_eq!(cycle, self.next_arrival, "generation fired off schedule");
+        if cycle >= self.window_start {
+            self.stats.offered_packets += 1;
+        }
+        let mut squelched = false;
+        if self.source_queue.len() + process.packet_size <= self.source_queue_cap_flits {
+            let dest = pattern.destination(self.id, self.num_endpoints, &mut self.rng);
+            if deliverable(dest) {
+                let id = self.enqueue(cycle, dest, process.packet_size);
+                if cycle >= self.window_start {
+                    self.stats.accepted_packets += 1;
+                }
+                accepted(id, dest, process.packet_size);
+            } else {
+                squelched = true;
+            }
+        } // else refused: source queue full (network saturated)
+        self.schedule_arrival(cycle + 1, process);
+        (self.next_arrival, squelched)
     }
 
     /// Offers one explicit packet to the source queue at `cycle` — the
@@ -242,14 +286,13 @@ impl Endpoint {
         cycle: u64,
         dest: EndpointId,
         size_flits: usize,
-        next_packet_id: &mut PacketId,
     ) -> Option<PacketId> {
         debug_assert_ne!(dest, self.id, "self-traffic does not exercise the interconnect");
         debug_assert!(size_flits >= 1, "packets need at least one flit");
         if self.source_queue.len() + size_flits > self.source_queue_cap_flits {
             return None;
         }
-        let id = self.enqueue(cycle, dest, size_flits, next_packet_id);
+        let id = self.enqueue(cycle, dest, size_flits);
         if cycle >= self.window_start {
             self.stats.offered_packets += 1;
             self.stats.accepted_packets += 1;
@@ -258,17 +301,13 @@ impl Endpoint {
     }
 
     /// Segments one packet into the source queue, maintaining the
-    /// occupancy integral. Capacity was checked by the caller.
-    fn enqueue(
-        &mut self,
-        cycle: u64,
-        dest: EndpointId,
-        size_flits: usize,
-        next_packet_id: &mut PacketId,
-    ) -> PacketId {
-        let packet =
-            Packet { id: *next_packet_id, src: self.id, dest, size_flits, created_at: cycle };
-        *next_packet_id += 1;
+    /// occupancy integral. Capacity was checked by the caller. The
+    /// assigned id is endpoint-strided (see [`Endpoint::next_seq`]), so
+    /// `id % num_endpoints` recovers the source.
+    fn enqueue(&mut self, cycle: u64, dest: EndpointId, size_flits: usize) -> PacketId {
+        let id = self.id as PacketId + self.num_endpoints as PacketId * self.next_seq;
+        self.next_seq += 1;
+        let packet = Packet { id, src: self.id, dest, size_flits, created_at: cycle };
         self.note_queue(cycle);
         self.source_queue.extend(packet.flits());
         self.queue_max = self.queue_max.max(self.source_queue.len() as u64);
@@ -335,6 +374,120 @@ impl Endpoint {
         }
     }
 
+    /// Re-offers a previously accepted packet whose flits were dropped by a
+    /// fault (source retransmission). The packet keeps its original id and
+    /// `created_at` — a latency sample on eventual delivery then covers the
+    /// loss and backoff, which is the honest degraded-network metric — and
+    /// no offered/accepted counters move (the packet was counted when first
+    /// accepted). Returns `false` when the source queue has no room; the
+    /// caller backs off and retries.
+    pub fn requeue_packet(
+        &mut self,
+        now: u64,
+        id: PacketId,
+        dest: EndpointId,
+        size_flits: usize,
+        created_at: u64,
+    ) -> bool {
+        if self.source_queue.len() + size_flits > self.source_queue_cap_flits {
+            return false;
+        }
+        let packet = Packet { id, src: self.id, dest, size_flits, created_at };
+        self.note_queue(now);
+        self.source_queue.extend(packet.flits());
+        self.queue_max = self.queue_max.max(self.source_queue.len() as u64);
+        true
+    }
+
+    /// Fault handling for a *surviving* endpoint: discards source-queue
+    /// flits of packets that are globally doomed (`is_doomed`) and whole
+    /// queued packets whose destination died or was partitioned away
+    /// (`dest_cut`). The partially injected front packet (bound VC held) is
+    /// exempt from the `dest_cut` rule — if it must die, the simulator has
+    /// already doomed it globally, which also releases the VC binding here.
+    /// Each packet dropped by `dest_cut` alone (its flits never entered the
+    /// network) is reported once through `queue_dropped`. Returns flits
+    /// removed.
+    pub fn purge_faulted(
+        &mut self,
+        now: u64,
+        mut is_doomed: impl FnMut(PacketId) -> bool,
+        mut dest_cut: impl FnMut(EndpointId) -> bool,
+        mut queue_dropped: impl FnMut(PacketId),
+    ) -> usize {
+        self.note_queue(now);
+        let bound_packet = if self.bound_vc.is_some() {
+            self.source_queue.front().map(|f| f.packet)
+        } else {
+            None
+        };
+        let before = self.source_queue.len();
+        let mut last_reported = None;
+        self.source_queue.retain(|flit| {
+            if is_doomed(flit.packet) {
+                return false;
+            }
+            if Some(flit.packet) != bound_packet && dest_cut(flit.dest) {
+                if last_reported != Some(flit.packet) {
+                    last_reported = Some(flit.packet);
+                    queue_dropped(flit.packet);
+                }
+                return false;
+            }
+            true
+        });
+        if bound_packet.is_some_and(&mut is_doomed) {
+            self.bound_vc = None;
+        }
+        before - self.source_queue.len()
+    }
+
+    /// Fault handling for a *dying* endpoint (its router was killed): the
+    /// source queue is abandoned, generation stops for good, and any VC
+    /// binding is forgotten. Reports each discarded packet id once through
+    /// `dropped`; returns `(flits_removed, partially_injected)` where
+    /// `partially_injected` is the id of the front packet if its head had
+    /// already entered the network (the simulator must doom those in-flight
+    /// flits too).
+    pub fn kill(
+        &mut self,
+        now: u64,
+        mut dropped: impl FnMut(PacketId),
+    ) -> (usize, Option<PacketId>) {
+        self.note_queue(now);
+        let partial = if self.bound_vc.is_some() {
+            self.source_queue.front().map(|f| f.packet)
+        } else {
+            None
+        };
+        let mut last = None;
+        for flit in &self.source_queue {
+            if last != Some(flit.packet) {
+                last = Some(flit.packet);
+                dropped(flit.packet);
+            }
+        }
+        let removed = self.source_queue.len();
+        self.source_queue.clear();
+        self.bound_vc = None;
+        self.next_arrival = IDLE;
+        (removed, partial)
+    }
+
+    /// The front packet's `(id, dest)` when it is partially injected (an
+    /// injection VC is bound, so some of its flits are already in the
+    /// network), `None` otherwise. Fault handling seeds the doomed set
+    /// from this: a half-injected packet cannot simply be dropped from
+    /// the queue.
+    #[must_use]
+    pub fn partially_injected(&self) -> Option<(PacketId, EndpointId)> {
+        if self.bound_vc.is_some() {
+            self.source_queue.front().map(|f| (f.packet, f.dest))
+        } else {
+            None
+        }
+    }
+
     /// Flits waiting in the source queue.
     #[must_use]
     pub fn backlog_flits(&self) -> usize {
@@ -362,11 +515,11 @@ mod tests {
 
     /// Drives the generator over `cycles` cycles, firing scheduled
     /// arrivals (the per-cycle shape the simulator's reference path uses).
-    fn drive(e: &mut Endpoint, proc: InjectionProcess, cycles: u64, id: &mut u64) {
+    fn drive(e: &mut Endpoint, proc: InjectionProcess, cycles: u64) {
         e.schedule_arrival(0, proc);
         for cycle in 0..cycles {
             if e.next_arrival() == cycle {
-                e.generate_due(cycle, proc, TrafficPattern::UniformRandom, id);
+                e.generate_due(cycle, proc, TrafficPattern::UniformRandom);
             }
         }
     }
@@ -374,10 +527,9 @@ mod tests {
     #[test]
     fn generates_and_injects_in_order() {
         let mut e = endpoint();
-        let mut id = 0;
         // Force generation by running many cycles at rate 1.0.
-        drive(&mut e, process(1.0), 8, &mut id);
-        assert!(id > 0);
+        drive(&mut e, process(1.0), 8);
+        assert!(e.backlog_flits() > 0);
         let f0 = e.try_inject(100).expect("credit available");
         assert!(f0.is_head);
         let f1 = e.try_inject(100).expect("credit available");
@@ -389,8 +541,7 @@ mod tests {
     #[test]
     fn injection_blocks_without_credits() {
         let mut e = endpoint();
-        let mut id = 0;
-        drive(&mut e, process(1.0), 20, &mut id);
+        drive(&mut e, process(1.0), 20);
         // Drain all credits: 2 VCs x 4 slots = 8 flits.
         let mut sent = 0;
         while e.try_inject(100).is_some() {
@@ -406,8 +557,7 @@ mod tests {
     fn source_queue_cap_refuses_packets() {
         let mut e = Endpoint::new(0, 4, 2, 4, 2, 2, 7); // cap: 2 packets = 4 flits
         e.open_window(0);
-        let mut id = 0;
-        drive(&mut e, process(1.0), 100, &mut id);
+        drive(&mut e, process(1.0), 100);
         let s = e.stats();
         assert!(s.offered_packets > s.accepted_packets);
         assert_eq!(e.backlog_flits(), 4);
@@ -440,13 +590,56 @@ mod tests {
     }
 
     #[test]
+    fn purge_and_requeue_round_trip() {
+        let mut e = endpoint();
+        e.open_window(0);
+        // Two 2-flit packets: one to endpoint 1, one to endpoint 2. Ids are
+        // endpoint-strided: endpoint 0 of 4 assigns 0, 4, 8, ...
+        assert_eq!(e.offer_packet(0, 1, 2), Some(0));
+        assert_eq!(e.offer_packet(0, 2, 2), Some(4));
+        // Inject one flit of packet 0 so it becomes the bound front packet.
+        assert!(e.try_inject(1).is_some());
+        // Cutting destination 1 must NOT drop the partially injected front
+        // packet; cutting destination 2 drops the queued packet 4 wholesale.
+        let mut dropped = Vec::new();
+        let removed = e.purge_faulted(2, |_| false, |d| d == 1 || d == 2, |p| dropped.push(p));
+        assert_eq!(removed, 2, "only packet 4's two flits leave the queue");
+        assert_eq!(dropped, [4]);
+        assert_eq!(e.backlog_flits(), 1);
+        // Now doom packet 0 globally: its tail leaves, binding released.
+        let removed = e.purge_faulted(3, |p| p == 0, |_| false, |_| ());
+        assert_eq!(removed, 1);
+        assert!(e.is_drained());
+        // Retransmission: packet 0 re-offered with its original identity.
+        let accepted_before = e.stats().accepted_packets;
+        assert!(e.requeue_packet(10, 0, 1, 2, 0));
+        assert_eq!(e.stats().accepted_packets, accepted_before, "no double count");
+        let f = e.try_inject(11).expect("credits available");
+        assert_eq!(f.packet, 0);
+        assert_eq!(f.created_at, 0, "original creation time preserved");
+    }
+
+    #[test]
+    fn kill_reports_queued_packets_and_stops_generation() {
+        let mut e = endpoint();
+        drive(&mut e, process(1.0), 6);
+        assert!(e.backlog_flits() >= 4, "rate-1.0 generation produced packets");
+        assert!(e.try_inject(50).is_some(), "head of first packet injected");
+        let mut dropped = Vec::new();
+        let (removed, partial) = e.kill(50, |p| dropped.push(p));
+        assert!(removed > 0);
+        assert_eq!(partial, Some(0), "front packet was mid-injection");
+        assert!(dropped.contains(&0));
+        assert!(e.is_drained());
+        assert_eq!(e.next_arrival(), IDLE, "a dead endpoint never generates");
+    }
+
+    #[test]
     fn no_traffic_with_single_endpoint() {
         let mut e = Endpoint::new(0, 1, 2, 4, 8, 2, 3);
-        let mut id = 0;
         e.schedule_arrival(0, process(1.0));
         assert_eq!(e.next_arrival(), IDLE, "single endpoint never generates");
-        drive(&mut e, process(1.0), 100, &mut id);
-        assert_eq!(id, 0);
+        drive(&mut e, process(1.0), 100);
         assert!(e.is_drained());
     }
 }

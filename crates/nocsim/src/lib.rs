@@ -14,6 +14,8 @@
 //! * [`router`] — input-queued virtual-channel routers with credit-based
 //!   flow control and separable round-robin allocation,
 //! * [`endpoint`] / [`traffic`] — Bernoulli traffic sources and sinks,
+//! * [`fault`] — deterministic link/router failure schedules and
+//!   source retransmission,
 //! * [`sim`] — the cycle loop and statistics,
 //! * [`shard`] — conservative bounded-lag parallel execution of one run,
 //! * [`measure`] — zero-load latency and saturation-throughput methodology.
@@ -36,6 +38,7 @@
 
 pub mod channel;
 pub mod endpoint;
+pub mod fault;
 pub mod flit;
 pub mod measure;
 pub mod router;
@@ -44,6 +47,7 @@ pub mod shard;
 pub mod sim;
 pub mod traffic;
 
+pub use fault::{FaultEvent, FaultPlan, FaultSchedule, FaultTarget, RetransmitConfig};
 pub use measure::{LoadPointResult, MeasureConfig, SaturationResult};
 pub use routing::{RoutingError, RoutingKind};
 pub use shard::ShardedSimulator;

@@ -7,6 +7,7 @@
 use chiplet_graph::Graph;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultPlan;
 use crate::flit::RouterId;
 use crate::routing::RoutingTables;
 use crate::shard::ShardedSimulator;
@@ -175,12 +176,58 @@ pub fn run_load_point_with_specs(
     spec: impl Fn(RouterId, RouterId) -> LinkSpec,
     zero_load: f64,
 ) -> Result<LoadPointResult, SimError> {
+    run_load_point_inner(g, config, schedule, spec, zero_load, None)
+}
+
+/// [`run_load_point`] on a network that suffers the failures in `plan`
+/// mid-run. The saturation criteria compare against the *healthy*
+/// zero-load latency, so a degraded network saturates earlier — which is
+/// exactly the degradation the resilience studies chart. Squelched
+/// packets (sources cut off from their sampled destination) count as
+/// offered but never accepted, so a partitioned network also reads as
+/// degraded throughput rather than wedging the run.
+///
+/// # Errors
+///
+/// Propagates simulator construction failures.
+pub fn run_load_point_faulted(
+    g: &Graph,
+    config: &SimConfig,
+    schedule: &MeasureConfig,
+    plan: &FaultPlan,
+) -> Result<LoadPointResult, SimError> {
+    let zero_load = zero_load_latency(g, config)?;
+    let latency = config.link_latency;
+    run_load_point_inner(
+        g,
+        config,
+        schedule,
+        |_, _| LinkSpec::uniform(latency),
+        zero_load,
+        Some(plan),
+    )
+}
+
+fn run_load_point_inner(
+    g: &Graph,
+    config: &SimConfig,
+    schedule: &MeasureConfig,
+    spec: impl Fn(RouterId, RouterId) -> LinkSpec,
+    zero_load: f64,
+    plan: Option<&FaultPlan>,
+) -> Result<LoadPointResult, SimError> {
     let (stats, deadlock) = if schedule.shards > 1 {
         let mut sim = ShardedSimulator::with_link_specs(g, *config, spec, schedule.shards)?;
+        if let Some(plan) = plan {
+            sim.install_fault_plan(plan.clone());
+        }
         let stats = sim.run_to_window(schedule.warmup_cycles, schedule.measure_cycles);
         (stats, sim.deadlock_suspected())
     } else {
         let mut sim = Simulator::with_link_specs(g, *config, spec)?;
+        if let Some(plan) = plan {
+            sim.install_fault_plan(plan.clone());
+        }
         let stats = sim.run_to_window(schedule.warmup_cycles, schedule.measure_cycles);
         (stats, sim.deadlock_suspected())
     };
@@ -243,6 +290,40 @@ pub fn saturation_search_with_specs(
             .map(|&rate| {
                 let config = SimConfig { injection_rate: rate, ..*base };
                 run_load_point_with_specs(g, &config, schedule, spec, zero_load)
+            })
+            .collect()
+    })
+}
+
+/// [`saturation_search`] on a network that suffers the failures in `plan`
+/// during every probed load point — the degraded-saturation half of the
+/// resilience study. The latency-guard baseline is the healthy zero-load
+/// latency (see [`run_load_point_faulted`]).
+///
+/// # Errors
+///
+/// Propagates simulator construction failures.
+pub fn saturation_search_faulted(
+    g: &Graph,
+    base: &SimConfig,
+    schedule: &MeasureConfig,
+    plan: &FaultPlan,
+) -> Result<SaturationResult, SimError> {
+    let zero_load = zero_load_latency(g, base)?;
+    let latency = base.link_latency;
+    saturation_search_batched(schedule.rate_resolution, 1, |rates| {
+        rates
+            .iter()
+            .map(|&rate| {
+                let config = SimConfig { injection_rate: rate, ..*base };
+                run_load_point_inner(
+                    g,
+                    &config,
+                    schedule,
+                    |_, _| LinkSpec::uniform(latency),
+                    zero_load,
+                    Some(plan),
+                )
             })
             .collect()
     })

@@ -14,7 +14,7 @@
 //! an assertion enforces it.
 
 use crate::channel::Credit;
-use crate::flit::{Flit, RouterId, VcId};
+use crate::flit::{Flit, PacketId, RouterId, VcId};
 use crate::routing::{RoutingKind, RoutingTables};
 
 /// Static router parameters shared by the whole network.
@@ -62,6 +62,10 @@ struct InputVc {
     buffer: std::collections::VecDeque<Flit>,
     /// Output (port, vc) held by the packet currently at the head.
     bound: Option<(usize, VcId)>,
+    /// Id of the packet holding the binding. Kept alongside `bound` so
+    /// fault handling can identify the owning packet even when the VC is
+    /// momentarily empty (all its flits already forwarded downstream).
+    bound_packet: Option<PacketId>,
     /// The bound packet committed to the escape network at this hop.
     escape_committed: bool,
 }
@@ -73,6 +77,7 @@ impl InputVc {
         Self {
             buffer: std::collections::VecDeque::with_capacity(buffer_depth),
             bound: None,
+            bound_packet: None,
             escape_committed: false,
         }
     }
@@ -290,8 +295,10 @@ impl Router {
                         let (port, vc) = (idx / self.params.vcs, idx % self.params.vcs);
                         self.outputs[out_port * self.params.vcs + out_vc].owner =
                             Some((port, vc));
+                        let packet = head.packet;
                         let state = &mut self.inputs[idx];
                         state.bound = Some((out_port, out_vc));
+                        state.bound_packet = Some(packet);
                         state.escape_committed = escape;
                         self.unbound_heads -= 1;
                         self.sa_candidates[port] += 1;
@@ -502,6 +509,7 @@ impl Router {
             if flit.is_tail {
                 self.outputs[out_idx].owner = None;
                 self.inputs[in_idx].bound = None;
+                self.inputs[in_idx].bound_packet = None;
                 self.inputs[in_idx].escape_committed = false;
                 self.sa_candidates[in_port] -= 1;
                 if !self.inputs[in_idx].buffer.is_empty() {
@@ -545,6 +553,99 @@ impl Router {
                 );
             }
         }
+    }
+
+    /// Visits every flit buffered in any input VC. Fault handling uses this
+    /// to seed the doomed-packet set (e.g. flits inside a dying router, or
+    /// flits whose destination just became unreachable).
+    pub fn for_each_flit(&self, mut f: impl FnMut(&Flit)) {
+        for state in &self.inputs {
+            for flit in &state.buffer {
+                f(flit);
+            }
+        }
+    }
+
+    /// Visits `(bound_out_port, packet_id, escape_committed)` for every
+    /// input VC holding an output binding. A packet severed by a dying link
+    /// necessarily holds a binding onto that link's output port at the
+    /// router feeding it, so this is how fault handling finds the ids of
+    /// packets whose remaining flits are stranded upstream of a failure —
+    /// and which packets are committed to the (about to be rebuilt)
+    /// escape tree.
+    pub fn for_each_bound_packet(&self, mut f: impl FnMut(usize, PacketId, bool)) {
+        for state in &self.inputs {
+            if let (Some((out_port, _)), Some(packet)) = (state.bound, state.bound_packet) {
+                f(out_port, packet, state.escape_committed);
+            }
+        }
+    }
+
+    /// Fault handling: removes every buffered flit whose packet id is
+    /// doomed and releases every binding (input side and output owner)
+    /// held by a doomed packet, then recounts the incremental allocation
+    /// counters from scratch. `removed` is called with `(in_port, flit)`
+    /// for each dropped flit so the simulator can return the freed buffer
+    /// slot's credit to whoever holds it upstream. Returns the number of
+    /// flits removed.
+    pub fn purge_doomed(
+        &mut self,
+        mut is_doomed: impl FnMut(PacketId) -> bool,
+        mut removed: impl FnMut(usize, &Flit),
+    ) -> usize {
+        let vcs = self.params.vcs;
+        let mut count = 0;
+        for idx in 0..self.inputs.len() {
+            let port = idx / vcs;
+            let state = &mut self.inputs[idx];
+            let before = state.buffer.len();
+            state.buffer.retain(|flit| {
+                if is_doomed(flit.packet) {
+                    removed(port, flit);
+                    false
+                } else {
+                    true
+                }
+            });
+            count += before - state.buffer.len();
+            if let Some(packet) = state.bound_packet {
+                if is_doomed(packet) {
+                    let (out_port, out_vc) = state.bound.expect("bound_packet implies bound");
+                    state.bound = None;
+                    state.bound_packet = None;
+                    state.escape_committed = false;
+                    self.outputs[out_port * vcs + out_vc].owner = None;
+                }
+            }
+        }
+        self.recount_counters();
+        count
+    }
+
+    /// Flits currently buffered in input VC `vc` of `port`.
+    #[must_use]
+    pub fn input_occupancy(&self, port: usize, vc: VcId) -> usize {
+        self.inputs[port * self.params.vcs + vc].buffer.len()
+    }
+
+    /// Recomputes `buffered`, `unbound_heads` and `sa_candidates` from the
+    /// input VC state (the non-debug twin of [`Self::debug_check_counters`],
+    /// used after a fault purge invalidates the incremental counts).
+    fn recount_counters(&mut self) {
+        let vcs = self.params.vcs;
+        self.buffered = self.inputs.iter().map(|s| s.buffer.len()).sum();
+        self.unbound_heads =
+            self.inputs.iter().filter(|s| s.bound.is_none() && !s.buffer.is_empty()).count();
+        for port in 0..self.num_ports {
+            let cands = (0..vcs)
+                .filter(|&v| {
+                    let s = &self.inputs[port * vcs + v];
+                    s.bound.is_some() && !s.buffer.is_empty()
+                })
+                .count();
+            self.sa_candidates[port] = u16::try_from(cands).expect("candidate count fits u16");
+        }
+        self.debug_check_counters();
     }
 
     /// `true` if no flit is buffered in any input VC.
@@ -760,6 +861,50 @@ mod tests {
         assert!(sent[0].flit.escape, "escape commitment must persist");
         assert_eq!(sent[0].flit.vc, 0, "escape traffic rides VC 0");
         assert_eq!(sent[0].out_port, t.escape_port(0, 2));
+    }
+
+    #[test]
+    fn purge_doomed_releases_bindings_and_recounts() {
+        let g = gen::path(3);
+        let t = tables(&g, RoutingKind::MinimalDeterministic);
+        let ctx = RouteContext { tables: &t, endpoints_per_router: 1 };
+        let mut r = Router::new(1, 2, 1, params());
+
+        // Packet 10: two flits, head forwarded, body still buffered (binding
+        // held). Packet 11: single-flit head queued behind on the same VC.
+        let mut head = head_flit(2, 0);
+        head.packet = 10;
+        head.is_tail = false;
+        let mut body = head;
+        body.index = 1;
+        body.is_head = false;
+        body.is_tail = true;
+        r.receive_flit(0, head);
+        r.allocate_vcs(ctx);
+        let (mut sent, mut credits) = (Vec::new(), Vec::new());
+        r.allocate_switch(&mut sent, &mut credits);
+        assert_eq!(sent.len(), 1, "head forwarded");
+        r.receive_flit(0, body);
+        let mut queued = head_flit(2, 0);
+        queued.packet = 11;
+        r.receive_flit(0, queued);
+
+        let mut seen = Vec::new();
+        r.for_each_bound_packet(|out_port, packet, _| seen.push((out_port, packet)));
+        assert_eq!(seen, [(1, 10)]);
+
+        // Dooming packet 10 removes its body, frees the output VC, and
+        // leaves packet 11's head as a fresh unbound head.
+        let mut freed = Vec::new();
+        assert_eq!(r.purge_doomed(|p| p == 10, |port, flit| freed.push((port, flit.vc))), 1);
+        assert_eq!(freed.len(), 1);
+        assert_eq!(r.buffered_flits(), 1);
+        assert!(r.output_report().is_empty(), "output VC released");
+        r.allocate_vcs(ctx);
+        r.allocate_switch(&mut sent, &mut credits);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].flit.packet, 11);
+        assert!(r.is_drained());
     }
 
     #[test]

@@ -185,6 +185,145 @@ impl RoutingTables {
         Ok(Self { kind, num_routers: n, dist, minimal, escape })
     }
 
+    /// Builds tables over the *surviving* subgraph of `g`: routers with
+    /// `dead_router[r]` set, and edges for which `dead_link(u, v)` returns
+    /// `true`, are excluded. Unlike [`RoutingTables::new`] this never fails:
+    /// an unreachable pair simply gets `u32::MAX` distance, no minimal
+    /// ports, and no escape port — callers must check
+    /// [`RoutingTables::reachable`] before asking for a port. Output ports
+    /// keep their numbering from the *full* graph's sorted neighbour lists,
+    /// matching the simulator's physical port wiring; each surviving
+    /// connected component gets its own up*/down* escape tree rooted at the
+    /// component's lowest live router id.
+    #[must_use]
+    pub fn new_degraded(
+        g: &Graph,
+        kind: RoutingKind,
+        dead_router: &[bool],
+        mut dead_link: impl FnMut(RouterId, RouterId) -> bool,
+    ) -> Self {
+        let n = g.num_vertices();
+        assert_eq!(dead_router.len(), n, "dead_router mask length mismatch");
+        // Liveness of each directed port, aligned with g.neighbors(r).
+        let live_port: Vec<Vec<bool>> = (0..n)
+            .map(|r| {
+                g.neighbors(r)
+                    .iter()
+                    .map(|&u| !dead_router[r] && !dead_router[u] && !dead_link(r, u))
+                    .collect()
+            })
+            .collect();
+
+        // All-pairs BFS over live edges; u32::MAX marks unreachable (every
+        // pair involving a dead router stays unreachable, including (r, r)).
+        let mut dist = vec![u32::MAX; n * n];
+        let mut queue = std::collections::VecDeque::new();
+        for r in 0..n {
+            if dead_router[r] {
+                continue;
+            }
+            dist[r * n + r] = 0;
+            queue.clear();
+            queue.push_back(r);
+            while let Some(v) = queue.pop_front() {
+                let dv = dist[r * n + v];
+                for (&u, &live) in g.neighbors(v).iter().zip(&live_port[v]) {
+                    if live && dist[r * n + u] == u32::MAX {
+                        dist[r * n + u] = dv + 1;
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+
+        let mut minimal = vec![Vec::new(); n * n];
+        for r in 0..n {
+            for d in 0..n {
+                if r == d || dist[r * n + d] == u32::MAX {
+                    continue;
+                }
+                let target = dist[r * n + d];
+                let ports = g
+                    .neighbors(r)
+                    .iter()
+                    .zip(&live_port[r])
+                    .enumerate()
+                    .filter(|&(_, (&u, &live))| {
+                        live && dist[u * n + d] != u32::MAX && dist[u * n + d] + 1 == target
+                    })
+                    .map(|(p, _)| u16::try_from(p).expect("port fits u16"))
+                    .collect();
+                minimal[r * n + d] = ports;
+            }
+        }
+
+        // Per-component spanning forest: each component's tree is rooted at
+        // its lowest live router id (BFS parents over live edges).
+        let mut tree_adj: Vec<Vec<RouterId>> = vec![Vec::new(); n];
+        let mut in_tree = vec![false; n];
+        for root in 0..n {
+            if dead_router[root] || in_tree[root] {
+                continue;
+            }
+            in_tree[root] = true;
+            queue.clear();
+            queue.push_back(root);
+            while let Some(v) = queue.pop_front() {
+                for (&u, &live) in g.neighbors(v).iter().zip(&live_port[v]) {
+                    if live && !in_tree[u] {
+                        in_tree[u] = true;
+                        tree_adj[v].push(u);
+                        tree_adj[u].push(v);
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        let mut escape = vec![u16::MAX; n * n];
+        let mut next_toward_d: Vec<Option<RouterId>> = vec![None; n];
+        let mut seen = vec![false; n];
+        for d in 0..n {
+            if dead_router[d] {
+                continue;
+            }
+            next_toward_d.iter_mut().for_each(|x| *x = None);
+            seen.iter_mut().for_each(|x| *x = false);
+            seen[d] = true;
+            queue.clear();
+            queue.push_back(d);
+            while let Some(u) = queue.pop_front() {
+                for &w in &tree_adj[u] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        next_toward_d[w] = Some(u);
+                        queue.push_back(w);
+                    }
+                }
+            }
+            for r in 0..n {
+                if r == d {
+                    continue;
+                }
+                let Some(hop) = next_toward_d[r] else { continue };
+                let port =
+                    g.neighbors(r).binary_search(&hop).expect("tree edge exists in graph");
+                escape[r * n + d] = u16::try_from(port).expect("port fits u16");
+            }
+        }
+
+        Self { kind, num_routers: n, dist, minimal, escape }
+    }
+
+    /// `true` if a path from `r` to `d` exists in the (possibly degraded)
+    /// topology these tables were built over. Tables from
+    /// [`RoutingTables::new`] are fully reachable; in
+    /// [`RoutingTables::new_degraded`] tables a dead router reaches nothing,
+    /// not even itself.
+    #[must_use]
+    pub fn reachable(&self, r: RouterId, d: RouterId) -> bool {
+        self.dist[r * self.num_routers + d] != u32::MAX
+    }
+
     /// The algorithm these tables were built for.
     #[must_use]
     pub fn kind(&self) -> RoutingKind {
@@ -354,5 +493,83 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(RoutingError::DisconnectedTopology.to_string().contains("connected"));
+    }
+
+    #[test]
+    fn degraded_with_no_faults_matches_pristine_tables() {
+        let g = gen::grid(4, 4);
+        let dead = vec![false; 16];
+        let a = RoutingTables::new(&g, RoutingKind::MinimalAdaptiveEscape).unwrap();
+        let b = RoutingTables::new_degraded(
+            &g,
+            RoutingKind::MinimalAdaptiveEscape,
+            &dead,
+            |_, _| false,
+        );
+        assert_eq!(a.dist, b.dist);
+        assert_eq!(a.minimal, b.minimal);
+        assert_eq!(a.escape, b.escape);
+    }
+
+    #[test]
+    fn degraded_routes_around_a_dead_link() {
+        // Cycle of 6 with edge (0, 1) dead: distance 0 -> 1 becomes 5 and
+        // the only minimal port from 0 avoids the dead edge.
+        let g = gen::cycle(6);
+        let dead = vec![false; 6];
+        let t = RoutingTables::new_degraded(&g, RoutingKind::default(), &dead, |u, v| {
+            (u.min(v), u.max(v)) == (0, 1)
+        });
+        assert_eq!(t.distance(0, 1), 5);
+        assert!(t.reachable(0, 1));
+        let ports = t.minimal_ports(0, 1);
+        assert_eq!(ports.len(), 1);
+        assert_eq!(g.neighbors(0)[usize::from(ports[0])], 5);
+        // Escape paths still reach every destination.
+        for r in 0..6usize {
+            for d in 0..6usize {
+                if r == d {
+                    continue;
+                }
+                let mut cur = r;
+                let mut hops = 0;
+                while cur != d {
+                    cur = g.neighbors(cur)[t.escape_port(cur, d)];
+                    hops += 1;
+                    assert!(hops <= 6, "escape path loops");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_marks_partitions_unreachable() {
+        // Path 0-1-2-3 with edge (1, 2) dead: {0,1} and {2,3} split.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let dead = vec![false; 4];
+        let t = RoutingTables::new_degraded(&g, RoutingKind::default(), &dead, |u, v| {
+            (u.min(v), u.max(v)) == (1, 2)
+        });
+        assert!(t.reachable(0, 1) && t.reachable(2, 3));
+        assert!(!t.reachable(0, 2) && !t.reachable(1, 3));
+        assert!(t.minimal_ports(0, 2).is_empty());
+        // Each side keeps a working escape tree.
+        assert_eq!(g.neighbors(0)[t.escape_port(0, 1)], 1);
+        assert_eq!(g.neighbors(3)[t.escape_port(3, 2)], 2);
+    }
+
+    #[test]
+    fn degraded_dead_router_reaches_nothing() {
+        let g = gen::grid(3, 3);
+        let mut dead = vec![false; 9];
+        dead[4] = true; // centre router
+        let t = RoutingTables::new_degraded(&g, RoutingKind::default(), &dead, |_, _| false);
+        for d in 0..9 {
+            assert!(!t.reachable(4, d));
+            assert!(!t.reachable(d, 4));
+        }
+        // The ring around the centre stays connected.
+        assert!(t.reachable(0, 8));
+        assert_eq!(t.distance(0, 8), 4);
     }
 }

@@ -35,7 +35,8 @@ use chiplet_graph::Graph;
 
 use crate::channel::Credit;
 use crate::endpoint::LATENCY_HISTOGRAM_BUCKETS;
-use crate::flit::{Flit, RouterId};
+use crate::fault::FaultPlan;
+use crate::flit::{Flit, PacketId, RouterId};
 use crate::sim::{
     percentiles_from_histogram, stats_from_sums, LinkSpec, NetworkStats, SimConfig, SimError,
     Simulator, WindowSums,
@@ -122,6 +123,11 @@ struct Shared {
     in_flight: Vec<AtomicU64>,
     last_progress: Vec<AtomicU64>,
     local_drained: Vec<AtomicBool>,
+    /// Per-shard fault-exchange slots: at a failure barrier each shard
+    /// publishes the doomed packet ids it can see locally, then the
+    /// credit returns it owes routers owned by other shards.
+    fault_seeds: Vec<Mutex<Vec<PacketId>>>,
+    fault_credits: Vec<Mutex<Vec<(u32, u32)>>>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -194,10 +200,46 @@ impl Worker {
         self.apply(sim);
     }
 
+    /// Applies every failure event due at the current cycle, in lockstep
+    /// across shards: each shard publishes the doomed packet ids it can
+    /// see locally, every shard unions all published sets (sorted and
+    /// deduplicated, so the result is identical everywhere), every shard
+    /// purges that same set, and the credit returns owed across shard
+    /// boundaries are exchanged. Two `sync` barriers per event; same-cycle
+    /// events replay sequentially in schedule order, exactly mirroring the
+    /// serial `service_faults` loop. Windows are capped at the next
+    /// failure cycle, so when an event is due *all* shards sit at its
+    /// cycle and execute the same barrier sequence.
+    fn exchange_faults(&self, sim: &mut Simulator) {
+        while sim.next_fault_cycle() <= sim.cycle() {
+            let seeds = sim.fault_begin();
+            *lock(&self.shared.fault_seeds[self.index]) = seeds;
+            self.shared.sync.wait();
+            let mut doomed: Vec<PacketId> = Vec::new();
+            for slot in &self.shared.fault_seeds {
+                doomed.extend_from_slice(&lock(slot));
+            }
+            doomed.sort_unstable();
+            doomed.dedup();
+            // Exactly one shard accounts the agreed doomed set, so the
+            // cross-shard sum matches the serial drop counter.
+            let credits = sim.fault_commit(&doomed, self.index == 0);
+            *lock(&self.shared.fault_credits[self.index]) = credits;
+            self.shared.sync.wait();
+            for (k, slot) in self.shared.fault_credits.iter().enumerate() {
+                if k != self.index {
+                    sim.apply_foreign_fault_credits(&lock(slot));
+                }
+            }
+        }
+    }
+
     fn advance(&self, target: u64) {
         let sim = &mut *lock(&self.sim);
         while sim.cycle() < target {
-            let to = sim.cycle().saturating_add(self.window).min(target);
+            self.exchange_faults(sim);
+            let to =
+                sim.cycle().saturating_add(self.window).min(target).min(sim.next_fault_cycle());
             self.window(sim, to);
         }
     }
@@ -235,7 +277,14 @@ impl Worker {
             if sim.cycle() >= deadline {
                 return;
             }
-            let to = sim.cycle().saturating_add(self.window).min(deadline);
+            // Mirrors the serial drain loop: the drained verdict comes
+            // first, then due failure events apply, then the network runs.
+            self.exchange_faults(sim);
+            let to = sim
+                .cycle()
+                .saturating_add(self.window)
+                .min(deadline)
+                .min(sim.next_fault_cycle());
             self.window(sim, to);
         }
     }
@@ -405,6 +454,8 @@ impl ShardedSimulator {
             in_flight: (0..k).map(|_| AtomicU64::new(0)).collect(),
             last_progress: (0..k).map(|_| AtomicU64::new(0)).collect(),
             local_drained: (0..k).map(|_| AtomicBool::new(false)).collect(),
+            fault_seeds: (0..k).map(|_| Mutex::new(Vec::new())).collect(),
+            fault_credits: (0..k).map(|_| Mutex::new(Vec::new())).collect(),
         });
 
         let mut workers = Vec::with_capacity(k);
@@ -471,6 +522,22 @@ impl ShardedSimulator {
     #[must_use]
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// Installs a fault plan on every shard; see
+    /// [`Simulator::install_fault_plan`]. Each shard holds the complete
+    /// schedule, and failure events are applied in lockstep at window
+    /// barriers — a faulted run is bit-identical for any shard count.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::install_fault_plan`], and if the simulation has
+    /// already run.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        assert_eq!(self.cycle, 0, "install the fault plan before running");
+        for shard in &self.shards {
+            lock(shard).install_fault_plan(plan.clone());
+        }
     }
 
     /// Current cycle.
@@ -735,6 +802,60 @@ mod tests {
         let drained = serial.drain(30_000);
         for shards in [2, 4] {
             let mut sharded = ShardedSimulator::new(&g, cfg, shards).unwrap();
+            sharded.run(400);
+            sharded.open_measurement_window();
+            sharded.run(1_500);
+            assert_eq!(sharded.drain(30_000), drained, "{shards} shards");
+            assert_eq!(sharded.cycle(), serial.cycle(), "{shards} shards");
+            assert_eq!(sharded.stats(), serial.stats(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_faulted_run_matches_serial() {
+        use crate::fault::{FaultEvent, FaultPlan, FaultSchedule, FaultTarget};
+        let g = gen::grid(4, 4);
+        let cfg = config(0.1);
+        let plan = FaultPlan::new(FaultSchedule::new(vec![
+            FaultEvent { cycle: 700, target: FaultTarget::Link { a: 5, b: 6 } },
+            FaultEvent { cycle: 1_200, target: FaultTarget::Router(10) },
+        ]));
+        let mut serial = Simulator::new(&g, cfg).unwrap();
+        serial.install_fault_plan(plan.clone());
+        let serial_stats = serial.run_to_window(600, 2_000);
+        assert!(
+            serial_stats.link_fault_dropped_flits + serial_stats.router_fault_dropped_flits > 0,
+            "scenario expected to drop flits: {serial_stats:?}"
+        );
+        for shards in [1, 2, 3, 4, 8] {
+            let mut sharded = ShardedSimulator::new(&g, cfg, shards).unwrap();
+            sharded.install_fault_plan(plan.clone());
+            let stats = sharded.run_to_window(600, 2_000);
+            assert_eq!(stats, serial_stats, "{shards} shards");
+            assert_eq!(
+                sharded.flits_in_network(),
+                serial.flits_in_network(),
+                "{shards} shards"
+            );
+            assert_eq!(sharded.channel_loads(), serial.channel_loads(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_faulted_drain_matches_serial() {
+        use crate::fault::{FaultPlan, FaultSchedule};
+        let g = gen::grid(4, 4);
+        let cfg = config(0.2);
+        let plan = FaultPlan::new(FaultSchedule::random_links(&g, 2, 900, 11));
+        let mut serial = Simulator::new(&g, cfg).unwrap();
+        serial.install_fault_plan(plan.clone());
+        serial.run(400);
+        serial.open_measurement_window();
+        serial.run(1_500);
+        let drained = serial.drain(30_000);
+        for shards in [2, 4] {
+            let mut sharded = ShardedSimulator::new(&g, cfg, shards).unwrap();
+            sharded.install_fault_plan(plan.clone());
             sharded.run(400);
             sharded.open_measurement_window();
             sharded.run(1_500);

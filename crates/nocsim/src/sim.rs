@@ -14,11 +14,12 @@
 use chiplet_graph::Graph;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
 use crate::channel::{Credit, DelayLine, Link, IDLE};
 use crate::endpoint::Endpoint;
+use crate::fault::{FaultPlan, FaultTarget};
 use crate::flit::{Flit, PacketId, RouterId};
 use crate::router::{RouteContext, Router, RouterParams, SentCredit, SentFlit};
 use crate::routing::{RoutingError, RoutingKind, RoutingTables};
@@ -153,6 +154,21 @@ pub struct NetworkStats {
     /// Mean source-queue occupancy in flits, averaged over time and over
     /// endpoints (time-weighted integral / window / endpoints).
     pub avg_source_queue_flits: f64,
+    /// Flits dropped inside the window because the link carrying (or about
+    /// to carry) them died.
+    pub link_fault_dropped_flits: u64,
+    /// Flits dropped inside the window because a router — and with it its
+    /// endpoints — died.
+    pub router_fault_dropped_flits: u64,
+    /// Distinct packets that lost at least one flit to a fault inside the
+    /// window, including queued packets abandoned at a dead or
+    /// partitioned-away source.
+    pub fault_dropped_packets: u64,
+    /// Packets re-offered by source retransmission inside the window.
+    pub retransmitted_packets: u64,
+    /// Packets whose generation was squelched inside the window because
+    /// the sampled destination was dead or unreachable.
+    pub squelched_packets: u64,
 }
 
 /// One delivered packet, reported through the delivery log
@@ -242,6 +258,11 @@ pub(crate) struct WindowSums {
     pub(crate) latency_max: u64,
     pub(crate) queue_max: u64,
     pub(crate) queue_integral: u64,
+    pub(crate) link_fault_dropped_flits: u64,
+    pub(crate) router_fault_dropped_flits: u64,
+    pub(crate) fault_dropped_packets: u64,
+    pub(crate) retransmitted_packets: u64,
+    pub(crate) squelched_packets: u64,
 }
 
 impl WindowSums {
@@ -255,6 +276,11 @@ impl WindowSums {
         self.latency_max = self.latency_max.max(o.latency_max);
         self.queue_max = self.queue_max.max(o.queue_max);
         self.queue_integral += o.queue_integral;
+        self.link_fault_dropped_flits += o.link_fault_dropped_flits;
+        self.router_fault_dropped_flits += o.router_fault_dropped_flits;
+        self.fault_dropped_packets += o.fault_dropped_packets;
+        self.retransmitted_packets += o.retransmitted_packets;
+        self.squelched_packets += o.squelched_packets;
     }
 }
 
@@ -283,6 +309,11 @@ pub(crate) fn stats_from_sums(
             / denom,
         max_source_queue_flits: sums.queue_max,
         avg_source_queue_flits: sums.queue_integral as f64 / denom,
+        link_fault_dropped_flits: sums.link_fault_dropped_flits,
+        router_fault_dropped_flits: sums.router_fault_dropped_flits,
+        fault_dropped_packets: sums.fault_dropped_packets,
+        retransmitted_packets: sums.retransmitted_packets,
+        squelched_packets: sums.squelched_packets,
     }
 }
 
@@ -333,6 +364,55 @@ pub(crate) fn percentiles_from_histogram(
     out
 }
 
+/// A source-retransmission record: everything needed to re-offer a packet
+/// after its flits were dropped by a fault.
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    src: u32,
+    dest: u32,
+    size: u32,
+    /// Original creation cycle — preserved across retransmissions so
+    /// eventual-delivery latency samples include the loss and backoff time.
+    created_at: u64,
+    /// Retransmissions scheduled so far (the initial send is not counted).
+    attempt: u32,
+}
+
+/// Per-window fault statistics (reset by
+/// [`Simulator::open_measurement_window`]).
+#[derive(Debug, Default, Clone, Copy)]
+struct FaultCounters {
+    link_dropped_flits: u64,
+    router_dropped_flits: u64,
+    dropped_packets: u64,
+    retransmitted: u64,
+    squelched: u64,
+}
+
+/// All state behind [`Simulator::install_fault_plan`]. Boxed behind an
+/// `Option` so the unfaulted common case pays one branch, not cache space.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    /// Next unapplied event index into `plan.schedule.events()`.
+    cursor: usize,
+    /// Reconstructed router graph — [`RoutingTables::new_degraded`] needs
+    /// the adjacency to rebuild tables over the surviving topology.
+    graph: Graph,
+    /// Dead directed net links (both directions die together).
+    dead_link: Vec<bool>,
+    dead_router: Vec<bool>,
+    dead_endpoint: Vec<bool>,
+    /// Undelivered packets eligible for retransmission, by id. Empty when
+    /// the plan has no [`crate::RetransmitConfig`].
+    outstanding: HashMap<PacketId, Outstanding>,
+    /// Pending re-offers: min-heap of `(due_cycle, source_endpoint,
+    /// packet)` — the tuple order makes same-cycle processing
+    /// deterministic.
+    retx_heap: BinaryHeap<Reverse<(u64, u32, PacketId)>>,
+    counters: FaultCounters,
+}
+
 /// A cycle-accurate NoC simulator over an arbitrary router graph.
 ///
 /// # Example
@@ -372,7 +452,6 @@ pub struct Simulator {
     /// Flits that traversed each net link (since construction).
     link_flit_counts: Vec<u64>,
     cycle: u64,
-    next_packet_id: PacketId,
     window_start: u64,
     last_progress: u64,
     /// Set by [`Simulator::drain`]: endpoints stop generating traffic while
@@ -415,6 +494,9 @@ pub struct Simulator {
     /// ([`Simulator::run_until_deliveries`]).
     delivery_log: Vec<Delivery>,
     log_deliveries: bool,
+    /// Fault-injection state ([`Simulator::install_fault_plan`]); `None`
+    /// in the common unfaulted case.
+    faults: Option<Box<FaultState>>,
 }
 
 // The experiment engine (`crates/xp`) moves simulators onto worker
@@ -571,7 +653,6 @@ impl Simulator {
             ej_links,
             link_flit_counts: vec![0; num_net_links],
             cycle: 0,
-            next_packet_id: 0,
             window_start: u64::MAX,
             last_progress: 0,
             generation_stopped: false,
@@ -594,6 +675,7 @@ impl Simulator {
             shard: None,
             delivery_log: Vec::with_capacity(num_endpoints),
             log_deliveries: false,
+            faults: None,
         };
         if let Some(((first, last), cap)) = shard {
             assert!(first < last && last <= n, "shard range out of bounds");
@@ -681,6 +763,9 @@ impl Simulator {
         self.window_start = self.cycle;
         for e in &mut self.endpoints {
             e.open_window(self.cycle);
+        }
+        if let Some(f) = self.faults.as_deref_mut() {
+            f.counters = FaultCounters::default();
         }
     }
 
@@ -818,6 +903,14 @@ impl Simulator {
             self.in_flight -= 1;
             if self.log_deliveries && flit.is_tail {
                 self.delivery_log.push(Delivery { packet: flit.packet, dest: e, cycle: t });
+            }
+            if flit.is_tail {
+                // Delivered: the packet no longer needs retransmission
+                // cover (no-op unless a retransmitting fault plan is
+                // installed — the map stays empty otherwise).
+                if let Some(f) = self.faults.as_deref_mut() {
+                    f.outstanding.remove(&flit.packet);
+                }
             }
             // Endpoint consumes immediately; return the buffer slot.
             push_line(
@@ -960,12 +1053,45 @@ impl Simulator {
     /// re-arms its next arrival.
     fn generate_endpoint(&mut self, t: u64, e: usize) {
         let process = self.injection_process();
-        let next = self.endpoints[e].generate_due(
-            t,
-            process,
-            self.config.pattern,
-            &mut self.next_packet_id,
-        );
+        let next = if let Some(f) = self.faults.as_deref_mut() {
+            // Degraded generation: identical RNG draws, but destinations
+            // that are dead or partitioned away are squelched instead of
+            // enqueued — sources on a severed island go quiet rather than
+            // wedging the drain watchdog.
+            let epr = self.config.endpoints_per_router;
+            let src_router = e / epr;
+            let tables = &self.tables;
+            let dead_endpoint = &f.dead_endpoint;
+            let retransmit = f.plan.retransmit.is_some();
+            let outstanding = &mut f.outstanding;
+            let (next, squelched) = self.endpoints[e].generate_due_degraded(
+                t,
+                process,
+                self.config.pattern,
+                |dest| !dead_endpoint[dest] && tables.reachable(src_router, dest / epr),
+                &mut |id, dest, size| {
+                    if retransmit {
+                        let prev = outstanding.insert(
+                            id,
+                            Outstanding {
+                                src: e as u32,
+                                dest: dest as u32,
+                                size: size as u32,
+                                created_at: t,
+                                attempt: 0,
+                            },
+                        );
+                        debug_assert!(prev.is_none(), "packet id reused");
+                    }
+                },
+            );
+            if squelched {
+                f.counters.squelched += 1;
+            }
+            next
+        } else {
+            self.endpoints[e].generate_due(t, process, self.config.pattern)
+        };
         if !self.reference_stepping {
             if next != IDLE {
                 self.arrival_events.push(Reverse((next, e as u32)));
@@ -1095,7 +1221,18 @@ impl Simulator {
     fn next_event_cycle(&self) -> u64 {
         let line = self.line_events.next_at_or_after(self.cycle);
         let arrival = self.arrival_events.peek().map_or(IDLE, |&Reverse((due, _))| due);
-        line.min(arrival)
+        let mut next = line.min(arrival);
+        if let Some(f) = self.faults.as_deref() {
+            // Idle fast-forward must not skip a scheduled failure or a
+            // pending retransmission.
+            if let Some(ev) = f.plan.schedule.events().get(f.cursor) {
+                next = next.min(ev.cycle);
+            }
+            if let Some(&Reverse((due, _, _))) = f.retx_heap.peek() {
+                next = next.min(due);
+            }
+        }
+        next
     }
 
     /// Runs `cycles` simulation cycles. Idle stretches (no active router,
@@ -1106,11 +1243,13 @@ impl Simulator {
         let target = self.cycle.saturating_add(cycles);
         if self.reference_stepping {
             while self.cycle < target {
+                self.service_faults();
                 self.step_reference();
             }
             return;
         }
         while self.cycle < target {
+            self.service_faults();
             if self.active_routers.is_empty() && self.inject_list.is_empty() {
                 let next = self.next_event_cycle();
                 if next > self.cycle {
@@ -1118,6 +1257,9 @@ impl Simulator {
                     if self.cycle >= target {
                         break;
                     }
+                    // Failures or retransmissions may be due exactly at
+                    // the landing cycle — before its step.
+                    self.service_faults();
                 }
             }
             self.step_event();
@@ -1157,6 +1299,11 @@ impl Simulator {
     /// the caller retries after the queue drains (deliveries are the
     /// natural wake-up).
     ///
+    /// With a fault plan installed, offers whose source or destination is
+    /// dead — or whose destination sits on a severed partition — are also
+    /// refused with `None`: such a packet could never be delivered, and
+    /// routing a flit toward an unreachable destination is unsound.
+    ///
     /// The packet's `created_at` is the current cycle, so closed-loop
     /// packets are measured by the normal latency machinery.
     ///
@@ -1174,9 +1321,31 @@ impl Simulator {
         assert!(dest < self.endpoints.len(), "destination endpoint out of range");
         assert_ne!(src, dest, "self-traffic does not exercise the interconnect");
         assert!(size_flits >= 1, "packets need at least one flit");
+        if let Some(f) = self.faults.as_deref() {
+            let epr = self.config.endpoints_per_router;
+            if f.dead_endpoint[src]
+                || f.dead_endpoint[dest]
+                || !self.tables.reachable(src / epr, dest / epr)
+            {
+                return None;
+            }
+        }
         let t = self.cycle;
-        let id =
-            self.endpoints[src].offer_packet(t, dest, size_flits, &mut self.next_packet_id)?;
+        let id = self.endpoints[src].offer_packet(t, dest, size_flits)?;
+        if let Some(f) = self.faults.as_deref_mut() {
+            if f.plan.retransmit.is_some() {
+                f.outstanding.insert(
+                    id,
+                    Outstanding {
+                        src: src as u32,
+                        dest: dest as u32,
+                        size: size_flits as u32,
+                        created_at: t,
+                        attempt: 0,
+                    },
+                );
+            }
+        }
         if !self.reference_stepping && !self.endpoint_injecting[src] {
             self.endpoint_injecting[src] = true;
             self.inject_list.push(src as u32);
@@ -1195,6 +1364,7 @@ impl Simulator {
     /// in between.
     pub fn run_until_deliveries(&mut self, target: u64) -> bool {
         while self.cycle < target && self.delivery_log.is_empty() {
+            self.service_faults();
             if !self.reference_stepping
                 && self.active_routers.is_empty()
                 && self.inject_list.is_empty()
@@ -1205,6 +1375,7 @@ impl Simulator {
                     if self.cycle >= target {
                         break;
                     }
+                    self.service_faults();
                 }
             }
             self.step();
@@ -1278,6 +1449,13 @@ impl Simulator {
             let (m, integral) = e.queue_occupancy(self.cycle);
             sums.queue_max = sums.queue_max.max(m);
             sums.queue_integral += integral;
+        }
+        if let Some(f) = self.faults.as_deref() {
+            sums.link_fault_dropped_flits = f.counters.link_dropped_flits;
+            sums.router_fault_dropped_flits = f.counters.router_dropped_flits;
+            sums.fault_dropped_packets = f.counters.dropped_packets;
+            sums.retransmitted_packets = f.counters.retransmitted;
+            sums.squelched_packets = f.counters.squelched;
         }
         sums
     }
@@ -1413,11 +1591,12 @@ impl Simulator {
         self.stats()
     }
 
-    /// `true` once nothing is left to move: no flit in the network and no
-    /// source-queue backlog. O(1) in event mode (incremental in-flight
-    /// counter + injection worklist).
+    /// `true` once nothing is left to move: no flit in the network, no
+    /// source-queue backlog, and no retransmission still pending. O(1) in
+    /// event mode (incremental in-flight counter + injection worklist).
     fn fully_drained(&self) -> bool {
         self.flits_in_network() == 0
+            && self.faults.as_deref().is_none_or(|f| f.retx_heap.is_empty())
             && if self.reference_stepping {
                 self.endpoints.iter().all(Endpoint::is_drained)
             } else {
@@ -1438,9 +1617,501 @@ impl Simulator {
             if self.fully_drained() {
                 return true;
             }
+            self.service_faults();
             self.step();
         }
         self.fully_drained()
+    }
+
+    // ── Fault injection (crate::fault) ──────────────────────────────────
+    //
+    // Failures are applied atomically at the start of their scheduled
+    // cycle, in two halves so the sharded coordinator can interpose a
+    // barrier between them: `fault_begin` marks the dying components,
+    // rebuilds the routing tables over the survivors, and returns the
+    // locally visible *doomed* packet ids; `fault_commit` then purges a
+    // (globally agreed, sorted) doomed set everywhere, returns each freed
+    // buffer slot's credit to whoever holds it upstream, and schedules
+    // retransmissions. The standalone path simply commits its own seeds.
+
+    /// Installs a fault plan: scheduled permanent link/router failures and
+    /// optional source retransmission. Must be called on a freshly built
+    /// simulator (cycle 0). Installing a plan — even an empty one —
+    /// switches generation to the fault-aware path, which draws the exact
+    /// same RNG sequence and only squelches destinations that are actually
+    /// dead or unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator has already run, a plan is already
+    /// installed, or an event targets a link or router absent from the
+    /// topology.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        assert_eq!(self.cycle, 0, "install the fault plan before running");
+        assert!(self.faults.is_none(), "a fault plan is already installed");
+        let n = self.routers.len();
+        for ev in plan.schedule.events() {
+            match ev.target {
+                FaultTarget::Router(r) => {
+                    assert!(r < n, "fault targets router {r}, but the topology has {n}");
+                }
+                FaultTarget::Link { a, b } => {
+                    assert!(
+                        a < n
+                            && b < n
+                            && self.link_out[a].iter().any(|&l| self.link_dst[l].0 == b),
+                        "fault targets link ({a}, {b}) absent from the topology"
+                    );
+                }
+            }
+        }
+        // Reconstruct the router graph from the wiring: every post-failure
+        // table rebuild needs the adjacency.
+        let edges: Vec<(usize, usize)> = (0..self.net_links.len())
+            .filter_map(|l| {
+                let a = self.link_src[l].0;
+                let b = self.link_dst[l].0;
+                (a < b).then_some((a, b))
+            })
+            .collect();
+        let graph = Graph::from_edges(n, &edges).expect("simulator wiring is a valid graph");
+        self.faults = Some(Box::new(FaultState {
+            plan,
+            cursor: 0,
+            graph,
+            dead_link: vec![false; self.net_links.len()],
+            dead_router: vec![false; n],
+            dead_endpoint: vec![false; self.endpoints.len()],
+            outstanding: HashMap::new(),
+            retx_heap: BinaryHeap::new(),
+            counters: FaultCounters::default(),
+        }));
+    }
+
+    /// Cycle of the next unapplied failure event ([`IDLE`] when none).
+    pub(crate) fn next_fault_cycle(&self) -> u64 {
+        self.faults
+            .as_deref()
+            .and_then(|f| f.plan.schedule.events().get(f.cursor))
+            .map_or(IDLE, |ev| ev.cycle)
+    }
+
+    /// First half of applying the failure event at the cursor: marks the
+    /// dying components dead, rebuilds the routing tables over the
+    /// surviving topology, and returns the sorted, deduplicated ids of
+    /// every packet this simulator can see is doomed:
+    ///
+    /// * flits on a dying wire, and flits buffered in (or bound through) a
+    ///   dying router;
+    /// * a dying endpoint's in-transit flits and partially injected front
+    ///   packet;
+    /// * the bound packet of any input VC aimed at a dead link — the
+    ///   upstream remnant of a packet severed mid-link;
+    /// * flits at (or en route to) a router from which their destination
+    ///   is no longer reachable, and flits to a dead endpoint;
+    /// * every packet committed to the escape sub-network, whose per-
+    ///   component trees are rebuilt from scratch (mixing old- and
+    ///   new-tree hops could cycle the escape VC, so the escape layer is
+    ///   flushed wholesale — rare in practice, and retransmission
+    ///   re-offers the flushed packets).
+    ///
+    /// In a sharded run every physical flit lives in exactly one shard, so
+    /// the union of the shards' seed sets equals the serial set.
+    pub(crate) fn fault_begin(&mut self) -> Vec<PacketId> {
+        let mut f = self.faults.take().expect("no fault plan installed");
+        let epr = self.config.endpoints_per_router;
+        let ev = f.plan.schedule.events()[f.cursor];
+        debug_assert!(ev.cycle <= self.cycle, "fault event serviced early");
+        match ev.target {
+            FaultTarget::Link { a, b } => {
+                for l in 0..self.net_links.len() {
+                    let (src, _) = self.link_src[l];
+                    let (dst, _) = self.link_dst[l];
+                    if (src == a && dst == b) || (src == b && dst == a) {
+                        f.dead_link[l] = true;
+                    }
+                }
+            }
+            FaultTarget::Router(r) => {
+                f.dead_router[r] = true;
+                for e in r * epr..(r + 1) * epr {
+                    f.dead_endpoint[e] = true;
+                }
+                for l in 0..self.net_links.len() {
+                    if self.link_src[l].0 == r || self.link_dst[l].0 == r {
+                        f.dead_link[l] = true;
+                    }
+                }
+            }
+        }
+        let link_out = &self.link_out;
+        let link_dst = &self.link_dst;
+        let dead_link = &f.dead_link;
+        let tables = RoutingTables::new_degraded(
+            &f.graph,
+            self.config.routing,
+            &f.dead_router,
+            |u, v| link_out[u].iter().any(|&l| link_dst[l].0 == v && dead_link[l]),
+        );
+
+        let mut seeds: Vec<PacketId> = Vec::new();
+        for l in 0..self.net_links.len() {
+            let (dst, _) = self.link_dst[l];
+            if f.dead_link[l] {
+                for flit in self.net_links[l].flits.iter() {
+                    seeds.push(flit.packet);
+                }
+            } else {
+                for flit in self.net_links[l].flits.iter() {
+                    if flit.escape
+                        || f.dead_endpoint[flit.dest]
+                        || !tables.reachable(dst, flit.dest / epr)
+                    {
+                        seeds.push(flit.packet);
+                    }
+                }
+            }
+        }
+        for r in 0..self.routers.len() {
+            if f.dead_router[r] {
+                self.routers[r].for_each_flit(|flit| seeds.push(flit.packet));
+                self.routers[r].for_each_bound_packet(|_, p, _| seeds.push(p));
+            } else {
+                self.routers[r].for_each_flit(|flit| {
+                    if flit.escape
+                        || f.dead_endpoint[flit.dest]
+                        || !tables.reachable(r, flit.dest / epr)
+                    {
+                        seeds.push(flit.packet);
+                    }
+                });
+                let num_net = self.routers[r].num_net_ports();
+                let link_out_r = &self.link_out[r];
+                self.routers[r].for_each_bound_packet(|out_port, p, escape| {
+                    if escape || (out_port < num_net && f.dead_link[link_out_r[out_port]]) {
+                        seeds.push(p);
+                    }
+                });
+            }
+        }
+        for e in 0..self.endpoints.len() {
+            let r = e / epr;
+            if f.dead_endpoint[e] {
+                for flit in self.inj_links[e].flits.iter() {
+                    seeds.push(flit.packet);
+                }
+                for flit in self.ej_links[e].flits.iter() {
+                    seeds.push(flit.packet);
+                }
+                if let Some((p, _)) = self.endpoints[e].partially_injected() {
+                    seeds.push(p);
+                }
+            } else {
+                for flit in self.inj_links[e].flits.iter() {
+                    if flit.escape
+                        || f.dead_endpoint[flit.dest]
+                        || !tables.reachable(r, flit.dest / epr)
+                    {
+                        seeds.push(flit.packet);
+                    }
+                }
+                // Ejection-line flits are already at their live
+                // destination and always deliverable. But a live source
+                // mid-way through injecting toward a now-severed
+                // destination must abandon that packet: its flits would
+                // have nowhere to route.
+                if let Some((p, dest)) = self.endpoints[e].partially_injected() {
+                    if f.dead_endpoint[dest] || !tables.reachable(r, dest / epr) {
+                        seeds.push(p);
+                    }
+                }
+            }
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        self.tables = tables;
+        self.faults = Some(f);
+        seeds
+    }
+
+    /// Second half: purges the agreed doomed set from every component,
+    /// returns freed buffer slots' credits upstream, drops dead or
+    /// unreachable source-queue packets, schedules retransmissions for
+    /// doomed packets this simulator sourced, and advances the event
+    /// cursor. `count_doomed` attributes the doomed-set cardinality to
+    /// this simulator's packet-drop counter (true for standalone runs and
+    /// exactly one shard, so cross-shard sums match the serial count).
+    ///
+    /// Returns `(link, vc)` credit returns owed to routers this shard does
+    /// not own (always empty for standalone runs); the coordinator routes
+    /// them to the owning shard's
+    /// [`Simulator::apply_foreign_fault_credits`].
+    ///
+    /// Credit sidebands are never purged: credits in flight on a dead link
+    /// keep draining so surviving packets that already crossed release
+    /// upstream state cleanly, and stale credits toward a dead output are
+    /// harmless because nothing routes onto a dead link again.
+    pub(crate) fn fault_commit(
+        &mut self,
+        doomed: &[PacketId],
+        count_doomed: bool,
+    ) -> Vec<(u32, u32)> {
+        debug_assert!(
+            doomed.windows(2).all(|w| w[0] < w[1]),
+            "doomed set must be sorted and deduplicated"
+        );
+        let t = self.cycle;
+        let epr = self.config.endpoints_per_router;
+        let mut f = self.faults.take().expect("no fault plan installed");
+        let ev = f.plan.schedule.events()[f.cursor];
+        let is_doomed = |p: PacketId| doomed.binary_search(&p).is_ok();
+        let (first_owned, last_owned) = self
+            .shard
+            .as_deref()
+            .map_or((0, self.routers.len()), |r| (r.first_router, r.last_router));
+        let mut dropped = 0usize;
+        let mut foreign: Vec<(u32, u32)> = Vec::new();
+        let mut freed: Vec<(usize, usize)> = Vec::new();
+
+        // Net flit lines: a dead wire loses everything on it, live wires
+        // lose exactly the doomed flits. A flit on a wire holds a slot in
+        // the downstream input buffer, tracked by the upstream output's
+        // credit counter — which may live in another shard.
+        for l in 0..self.net_links.len() {
+            if self.net_links[l].flits.is_empty() {
+                continue;
+            }
+            let dead = f.dead_link[l];
+            let (src, out_port) = self.link_src[l];
+            freed.clear();
+            self.net_links[l].flits.purge(|flit| {
+                if dead || is_doomed(flit.packet) {
+                    freed.push((out_port, flit.vc));
+                    true
+                } else {
+                    false
+                }
+            });
+            dropped += freed.len();
+            for &(port, vc) in &freed {
+                if (first_owned..last_owned).contains(&src) {
+                    self.routers[src].receive_credit(port, Credit { vc });
+                } else {
+                    foreign.push((l as u32, vc as u32));
+                }
+            }
+        }
+
+        // Router buffers and bindings; dead routers lose everything.
+        for r in 0..self.routers.len() {
+            let dead_r = f.dead_router[r];
+            let num_net = self.routers[r].num_net_ports();
+            freed.clear();
+            dropped += self.routers[r].purge_doomed(
+                |p| dead_r || is_doomed(p),
+                |port, flit| freed.push((port, flit.vc)),
+            );
+            for &(port, vc) in &freed {
+                if port < num_net {
+                    let l = self.link_in[r][port];
+                    let (src, out_port) = self.link_src[l];
+                    if (first_owned..last_owned).contains(&src) {
+                        self.routers[src].receive_credit(out_port, Credit { vc });
+                    } else {
+                        foreign.push((l as u32, vc as u32));
+                    }
+                } else {
+                    let e = r * epr + (port - num_net);
+                    self.endpoints[e].receive_credit(vc);
+                }
+            }
+        }
+
+        // Injection/ejection wires and source queues (all endpoint-local,
+        // so never cross a shard boundary).
+        for e in 0..self.endpoints.len() {
+            let r = e / epr;
+            let dead_e = f.dead_endpoint[e];
+            freed.clear();
+            self.inj_links[e].flits.purge(|flit| {
+                if dead_e || is_doomed(flit.packet) {
+                    freed.push((0, flit.vc));
+                    true
+                } else {
+                    false
+                }
+            });
+            dropped += freed.len();
+            for &(_, vc) in &freed {
+                self.endpoints[e].receive_credit(vc);
+            }
+            let ej_port = self.routers[r].endpoint_port(e % epr);
+            freed.clear();
+            self.ej_links[e].flits.purge(|flit| {
+                if dead_e || is_doomed(flit.packet) {
+                    freed.push((0, flit.vc));
+                    true
+                } else {
+                    false
+                }
+            });
+            dropped += freed.len();
+            for &(_, vc) in &freed {
+                self.routers[r].receive_credit(ej_port, Credit { vc });
+            }
+            if dead_e {
+                let counters = &mut f.counters;
+                let outstanding = &mut f.outstanding;
+                self.endpoints[e].kill(t, |p| {
+                    if !is_doomed(p) {
+                        counters.dropped_packets += 1;
+                    }
+                    outstanding.remove(&p);
+                });
+            } else {
+                let dead_endpoint = &f.dead_endpoint;
+                let counters = &mut f.counters;
+                let outstanding = &mut f.outstanding;
+                let tables = &self.tables;
+                self.endpoints[e].purge_faulted(
+                    t,
+                    &is_doomed,
+                    |dest| dead_endpoint[dest] || !tables.reachable(r, dest / epr),
+                    |p| {
+                        counters.dropped_packets += 1;
+                        outstanding.remove(&p);
+                    },
+                );
+            }
+        }
+
+        if count_doomed {
+            f.counters.dropped_packets += doomed.len() as u64;
+        }
+        match ev.target {
+            FaultTarget::Link { .. } => f.counters.link_dropped_flits += dropped as u64,
+            FaultTarget::Router(_) => f.counters.router_dropped_flits += dropped as u64,
+        }
+        self.in_flight -= dropped;
+        // The purge itself is movement; don't let the watchdog misread
+        // the quiet right after a mass drop.
+        self.last_progress = t;
+
+        // Source retransmission: re-offer each doomed packet we sourced
+        // after an exponential-backoff timeout. In a sharded run only the
+        // source shard holds the outstanding entry, so exactly one shard
+        // schedules each packet.
+        if let Some(cfg) = f.plan.retransmit {
+            for &p in doomed {
+                let Some(entry) = f.outstanding.get(&p).copied() else { continue };
+                let src = entry.src as usize;
+                let dest = entry.dest as usize;
+                if f.dead_endpoint[src]
+                    || f.dead_endpoint[dest]
+                    || !self.tables.reachable(src / epr, dest / epr)
+                    || entry.attempt + 1 >= cfg.max_attempts
+                {
+                    f.outstanding.remove(&p);
+                } else {
+                    let delay = cfg.backoff(entry.attempt).max(1);
+                    f.outstanding.get_mut(&p).expect("entry present").attempt += 1;
+                    f.retx_heap.push(Reverse((t.saturating_add(delay), entry.src, p)));
+                }
+            }
+        }
+
+        f.cursor += 1;
+        self.faults = Some(f);
+        if !self.reference_stepping {
+            self.rebuild_event_state();
+        }
+        foreign
+    }
+
+    /// Applies credit returns computed by another shard's
+    /// [`Simulator::fault_commit`]; entries for routers this shard does
+    /// not own are skipped (the list is broadcast to all shards).
+    pub(crate) fn apply_foreign_fault_credits(&mut self, items: &[(u32, u32)]) {
+        let Some(role) = self.shard.as_deref() else { return };
+        let owned = role.first_router..role.last_router;
+        for &(l, vc) in items {
+            let (src, out_port) = self.link_src[l as usize];
+            if owned.contains(&src) {
+                self.routers[src].receive_credit(out_port, Credit { vc: vc as usize });
+            }
+        }
+    }
+
+    /// Per-step fault pump: applies every failure event due at the current
+    /// cycle, then performs due retransmissions. Sharded runs skip the
+    /// application half — the coordinator drives `fault_begin`/
+    /// `fault_commit` at window barriers so all shards purge in lockstep.
+    fn service_faults(&mut self) {
+        if self.faults.is_none() {
+            return;
+        }
+        if self.shard.is_none() {
+            while self.next_fault_cycle() <= self.cycle {
+                let seeds = self.fault_begin();
+                let foreign = self.fault_commit(&seeds, true);
+                debug_assert!(foreign.is_empty(), "standalone runs own every router");
+            }
+        }
+        self.process_due_retx();
+    }
+
+    /// Re-offers every retransmission due at the current cycle. A packet
+    /// whose source or destination died — or whose destination is no
+    /// longer reachable — is given up; a full source queue backs off
+    /// again.
+    fn process_due_retx(&mut self) {
+        let t = self.cycle;
+        let due_now = match self.faults.as_deref() {
+            Some(fs) => matches!(fs.retx_heap.peek(), Some(&Reverse((d, _, _))) if d <= t),
+            None => return,
+        };
+        if !due_now {
+            return;
+        }
+        let mut f = self.faults.take().expect("peeked above");
+        let cfg = f.plan.retransmit.expect("retransmission heap implies a config");
+        let epr = self.config.endpoints_per_router;
+        while let Some(&Reverse((d, src, p))) = f.retx_heap.peek() {
+            if d > t {
+                break;
+            }
+            f.retx_heap.pop();
+            let Some(entry) = f.outstanding.get(&p).copied() else { continue };
+            let src_e = src as usize;
+            let dest = entry.dest as usize;
+            if f.dead_endpoint[src_e]
+                || f.dead_endpoint[dest]
+                || !self.tables.reachable(src_e / epr, dest / epr)
+            {
+                f.outstanding.remove(&p);
+                continue;
+            }
+            if self.endpoints[src_e].requeue_packet(
+                t,
+                p,
+                dest,
+                entry.size as usize,
+                entry.created_at,
+            ) {
+                f.counters.retransmitted += 1;
+                if !self.reference_stepping && !self.endpoint_injecting[src_e] {
+                    self.endpoint_injecting[src_e] = true;
+                    self.inject_list.push(src);
+                }
+            } else if entry.attempt + 1 >= cfg.max_attempts {
+                f.outstanding.remove(&p);
+            } else {
+                let delay = cfg.backoff(entry.attempt).max(1);
+                f.outstanding.get_mut(&p).expect("entry present").attempt += 1;
+                f.retx_heap.push(Reverse((t.saturating_add(delay), src, p)));
+            }
+        }
+        self.faults = Some(f);
     }
 
     // ── Shard-coordination hooks (crate::shard) ─────────────────────────

@@ -222,4 +222,56 @@ proptest! {
         prop_assert_eq!(sharded.flits_in_network(), serial.flits_in_network());
         prop_assert_eq!(sharded.channel_loads(), serial.channel_loads());
     }
+
+    /// A run that loses at least one link mid-flight stays bit-identical
+    /// across shard counts: failure events replay in global order at the
+    /// sync barriers, so the doomed set, the rebuilt tables, and the
+    /// post-fault traffic all match the serial engine exactly.
+    #[test]
+    fn mid_run_link_failure_is_bit_identical(
+        rate in 0.03f64..0.2,
+        fault_seed in 0u64..500,
+        fault_cycle in 450u64..1_400,
+        extra in 0u8..2,
+        extra_cycle in 1_450u64..2_400,
+    ) {
+        use nocsim::{FaultPlan, FaultSchedule};
+
+        let g = gen::grid(4, 4);
+        let mut events =
+            FaultSchedule::random_links(&g, 1, fault_cycle, fault_seed).events().to_vec();
+        if extra == 1 {
+            events.extend(
+                FaultSchedule::random_links(&g, 1, extra_cycle, fault_seed ^ 0x5A5A)
+                    .events()
+                    .iter()
+                    .copied(),
+            );
+        }
+        let plan = FaultPlan::new(FaultSchedule::new(events));
+        let config = base_config(rate);
+
+        let mut serial = Simulator::new(&g, config).expect("valid");
+        serial.install_fault_plan(plan.clone());
+        let serial_stats = serial.run_to_window(400, 2_200);
+        let serial_drained = serial.drain(60_000);
+
+        for shards in SHARD_COUNTS {
+            let latency = config.link_latency;
+            let mut sharded = ShardedSimulator::with_link_specs(
+                &g,
+                config,
+                move |_, _| LinkSpec::uniform(latency),
+                shards,
+            )
+            .expect("valid");
+            sharded.install_fault_plan(plan.clone());
+            let sharded_stats = sharded.run_to_window(400, 2_200);
+            let sharded_drained = sharded.drain(60_000);
+            prop_assert_eq!(&sharded_stats, &serial_stats, "{} shards", shards);
+            prop_assert_eq!(sharded_drained, serial_drained);
+            prop_assert_eq!(sharded.cycle(), serial.cycle());
+            prop_assert_eq!(sharded.channel_loads(), serial.channel_loads());
+        }
+    }
 }

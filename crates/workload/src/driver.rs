@@ -24,7 +24,7 @@
 //! `tests/determinism.rs`).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 
 use chiplet_graph::{bfs, Graph};
@@ -137,7 +137,8 @@ pub struct WorkloadDriver {
     endpoint_full: Vec<u64>,
     epoch: u64,
     /// Packet id → message id (offers are the only packet source).
-    packet_msgs: Vec<MsgId>,
+    /// Ids are endpoint-strided, not dense, so this is a map.
+    packet_msgs: HashMap<u64, MsgId>,
     /// Delivery cycle per message (`u64::MAX` until delivered).
     completion: Vec<u64>,
     /// Reused drain buffer for the simulator's delivery log.
@@ -238,7 +239,7 @@ impl WorkloadDriver {
             blocked: VecDeque::with_capacity(n),
             endpoint_full: vec![0; num_endpoints],
             epoch: 0,
-            packet_msgs: Vec::with_capacity(n),
+            packet_msgs: HashMap::with_capacity(n),
             completion: vec![u64::MAX; n],
             deliveries: Vec::with_capacity(num_endpoints),
             tag_completion: vec![0; max_tag as usize + 1],
@@ -262,6 +263,15 @@ impl WorkloadDriver {
     #[must_use]
     pub fn sim(&self) -> &Simulator {
         &self.sim
+    }
+
+    /// Installs a fault plan on the underlying simulator. Must be called
+    /// before the first [`advance`](Self::advance). Pair with
+    /// [`nocsim::RetransmitConfig`] when the workload must complete on a
+    /// degraded-but-connected network: without retransmission a flit lost
+    /// to a fault retires its message as undeliverable and the run stalls.
+    pub fn install_fault_plan(&mut self, plan: nocsim::FaultPlan) {
+        self.sim.install_fault_plan(plan);
     }
 
     /// `true` once every message has been delivered.
@@ -298,8 +308,8 @@ impl WorkloadDriver {
                 }
                 match self.sim.offer_packet(meta.src, meta.dest, meta.size_flits) {
                     Some(packet) => {
-                        debug_assert_eq!(packet as usize, self.packet_msgs.len());
-                        self.packet_msgs.push(m);
+                        let prev = self.packet_msgs.insert(packet, m);
+                        debug_assert!(prev.is_none(), "packet id reused");
                     }
                     None => {
                         self.endpoint_full[meta.src] = self.epoch;
@@ -328,7 +338,7 @@ impl WorkloadDriver {
 
     /// Marks one delivery: records completion and unlocks dependents.
     fn retire(&mut self, d: Delivery) {
-        let m = self.packet_msgs[usize::try_from(d.packet).expect("packet ids fit usize")];
+        let m = self.packet_msgs[&d.packet];
         debug_assert_eq!(self.msgs[m].dest, d.dest, "delivery at the wrong endpoint");
         debug_assert_eq!(self.completion[m], u64::MAX, "message retired twice");
         self.completion[m] = d.cycle;

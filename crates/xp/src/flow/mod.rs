@@ -41,7 +41,7 @@ use nocsim::measure as noc_measure;
 use nocsim::{MeasureConfig, ShardedSimulator, SimConfig, SimError, Simulator, TrafficPattern};
 
 use crate::cli::CampaignArgs;
-use crate::grid::{expand_replicates, pattern_code, Scenario, OPTIMIZED_KIND_CODE};
+use crate::grid::{expand_replicates, kind_code, pattern_code, Scenario, OPTIMIZED_KIND_CODE};
 use crate::spec::{StageKind, StudySpec};
 use crate::stats::mean_of;
 use crate::table::{f3, Table};
@@ -258,6 +258,7 @@ pub fn run_study(
         StageKind::Kite => kite_stage(spec, &campaign),
         StageKind::Thermal => thermal_stage(spec, &campaign),
         StageKind::Cost => cost_stage(spec, &campaign),
+        StageKind::Resilience => resilience_stage(spec, &campaign),
         StageKind::Search => match hooks.search {
             Some(run) => run(spec, &campaign),
             None => Err(StudyError::Spec(
@@ -1122,6 +1123,236 @@ fn with_mm_lengths(
         .collect();
     chiplet_topo::Topology::new(topo.name().to_owned(), topo.num_routers(), edges)
         .expect("lengths stay positive")
+}
+
+// ── resilience stage (structural metrics + graceful degradation) ────────
+
+/// The legacy structural sweep: regular sizes plus irregular ones (where
+/// the paper concedes weaker minimum degree).
+const STRUCTURAL_RESILIENCE_NS: [usize; 8] = [16, 17, 36, 37, 41, 64, 91, 100];
+
+/// Degradation-sweep chiplet counts: paper-adjacent sizes by default,
+/// CI-sized under `--quick`.
+fn degradation_ns(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![7, 13]
+    } else {
+        vec![37, 91, 169]
+    }
+}
+
+/// One degradation measurement: a network that loses `failures` random
+/// links at `fault_cycle`, probed open-loop (degraded saturation) and
+/// closed-loop (stencil / ring-all-reduce makespans with source
+/// retransmission recovering the dropped packets).
+struct DegradationPoint {
+    connected: bool,
+    saturation: f64,
+    stencil_makespan: f64,
+    allreduce_makespan: f64,
+}
+
+fn degradation_point(
+    graph: &Graph,
+    sim: SimConfig,
+    schedule: &MeasureConfig,
+    failures: usize,
+    fault_cycle: u64,
+    retransmit: nocsim::RetransmitConfig,
+    seed: u64,
+) -> Result<DegradationPoint, StudyError> {
+    use nocsim::{FaultPlan, FaultSchedule, FaultTarget};
+
+    let mut config = sim;
+    config.seed = seed;
+    let fault_schedule = FaultSchedule::random_links(graph, failures, fault_cycle, seed);
+
+    // Survivor connectivity decides whether the closed-loop runs can
+    // complete at all (the open-loop probe tolerates a partition — cut
+    // sources squelch — but a workload spanning the cut never finishes).
+    let killed: std::collections::HashSet<(usize, usize)> = fault_schedule
+        .events()
+        .iter()
+        .map(|e| match e.target {
+            FaultTarget::Link { a, b } => (a.min(b), a.max(b)),
+            FaultTarget::Router(_) => unreachable!("random_links kills links only"),
+        })
+        .collect();
+    let surviving: Vec<(usize, usize)> =
+        graph.edges().filter(|&(u, v)| !killed.contains(&(u.min(v), u.max(v)))).collect();
+    let degraded = Graph::from_edges(graph.num_vertices(), &surviving)
+        .expect("removing edges keeps the graph simple");
+    let connected = chiplet_graph::metrics::is_connected(&degraded);
+
+    let plan = FaultPlan::new(fault_schedule.clone());
+    let sat = noc_measure::saturation_search_faulted(graph, &config, schedule, &plan)?;
+
+    let makespan = |kind: WorkloadKind| -> Result<f64, StudyError> {
+        if !connected {
+            return Ok(f64::NAN);
+        }
+        let endpoints = graph.num_vertices() * config.endpoints_per_router;
+        let workload = kind.build(endpoints);
+        let mut driver = WorkloadDriver::new(graph, config, &workload)?;
+        driver.install_fault_plan(
+            FaultPlan::new(fault_schedule.clone()).with_retransmit(retransmit),
+        );
+        let stats = driver.run(DEFAULT_MAX_CYCLES);
+        Ok(if stats.completed { stats.makespan as f64 } else { f64::NAN })
+    };
+    Ok(DegradationPoint {
+        connected,
+        saturation: sat.throughput,
+        stencil_makespan: makespan(WorkloadKind::Stencil)?,
+        allreduce_makespan: makespan(WorkloadKind::RingAllReduce)?,
+    })
+}
+
+fn resilience_stage(spec: &StudySpec, campaign: &Campaign) -> Result<StageOutput, StudyError> {
+    use chiplet_graph::resilience::{articulation_points, bridges, edge_connectivity};
+
+    let kinds = kinds_or(spec, &ArrangementKind::EVALUATED);
+    let ns = ns_or(spec, STRUCTURAL_RESILIENCE_NS.to_vec());
+    let k = campaign.args().seeds.max(1) as usize;
+
+    // ── Structural table (byte-identical to the legacy binary) ──────────
+    let scenario = Scenario::new(&kinds, &ns);
+    let results = campaign.run_grid(&scenario, |job| {
+        let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
+        let g = arrangement.graph();
+        (
+            arrangement.regularity().to_string(),
+            arrangement.degree_stats().min,
+            bridges(g).len(),
+            articulation_points(g).len(),
+            edge_connectivity(g).unwrap_or(0),
+        )
+    });
+    let kind_rank =
+        |kind: ArrangementKind| kinds.iter().position(|&q| q == kind).unwrap_or(usize::MAX);
+    // Structural analyses have no randomness: replicates are identical,
+    // keep one row per point. Historical row order is n-major.
+    let mut rows: Vec<_> = results
+        .chunks(k)
+        .map(|chunk| {
+            let job = chunk[0].0;
+            (job.n, job.kind, chunk[0].1.clone())
+        })
+        .collect();
+    rows.sort_by_key(|&(n, kind, _)| (n, kind_rank(kind)));
+    let mut structural = Table::new(&[
+        "n",
+        "kind",
+        "regularity",
+        "min_degree",
+        "bridges",
+        "articulation_points",
+        "edge_connectivity",
+    ]);
+    for (n, kind, (regularity, min_deg, b, cuts, k_edge)) in &rows {
+        structural.row(&[n, &kind.label(), regularity, min_deg, b, cuts, k_edge]);
+    }
+
+    // ── Degradation table (live link failures) ──────────────────────────
+    // Default kinds include the honeycomb: the degradation story is about
+    // all four families, while the structural table keeps the legacy
+    // EVALUATED trio.
+    let degrade_kinds = kinds_or(spec, &ArrangementKind::ALL);
+    let fault_ns =
+        spec.faults.ns.clone().unwrap_or_else(|| degradation_ns(campaign.args().quick));
+    let failure_counts = spec.faults.link_failures.clone().unwrap_or_else(|| vec![0, 1, 2, 4]);
+    let schedule = measure_for(spec, campaign.args());
+    let fault_cycle = spec.faults.fault_cycle.unwrap_or(schedule.warmup_cycles / 2);
+    let sim = base_sim(spec);
+    let mut retransmit = nocsim::RetransmitConfig::default();
+    if let Some(timeout) = spec.faults.retransmit_timeout {
+        retransmit.timeout = timeout;
+    }
+
+    let mut jobs = Vec::new();
+    for &n in &fault_ns {
+        for &kind in &degrade_kinds {
+            for &failures in &failure_counts {
+                jobs.push((n, kind, failures));
+            }
+        }
+    }
+    let expanded = expand_replicates(
+        &jobs,
+        campaign.args().seeds,
+        campaign.args().campaign_seed,
+        |&(n, kind, failures)| vec![kind_code(kind), n as u64, failures as u64],
+    );
+    let points = campaign.run_jobs(
+        &expanded,
+        |&((n, _, _), _)| (n * n) as u64,
+        |&((n, kind, failures), seed)| {
+            let arrangement = Arrangement::build(kind, n)?;
+            degradation_point(
+                arrangement.graph(),
+                sim,
+                &schedule,
+                failures,
+                fault_cycle,
+                retransmit,
+                seed,
+            )
+        },
+    );
+    let points: Vec<DegradationPoint> = points.into_iter().collect::<Result<_, _>>()?;
+
+    let mut degradation = Table::new(&[
+        "n",
+        "kind",
+        "link_failures",
+        "connected",
+        "saturation_fraction",
+        "stencil_makespan_cycles",
+        "allreduce_makespan_cycles",
+    ]);
+    let mut summary = Vec::new();
+    for (job, chunk) in jobs.iter().zip(points.chunks(k)) {
+        let &(n, kind, failures) = job;
+        let connected = chunk.iter().all(|p| p.connected);
+        degradation.row(&[
+            &n,
+            &kind.label(),
+            &failures,
+            &usize::from(connected),
+            &f3(mean_of(chunk, |p| p.saturation)),
+            &f3(mean_of(chunk, |p| p.stencil_makespan)),
+            &f3(mean_of(chunk, |p| p.allreduce_makespan)),
+        ]);
+    }
+    // Headline: how much saturation headroom each family keeps at the
+    // heaviest failure count probed.
+    let worst = *failure_counts.iter().max().expect("validated non-empty");
+    for &n in &fault_ns {
+        for &kind in &degrade_kinds {
+            let at = |f: usize| {
+                jobs.iter()
+                    .position(|&j| j == (n, kind, f))
+                    .map(|i| mean_of(&points[i * k..(i + 1) * k], |p| p.saturation))
+            };
+            if let (Some(healthy), Some(degraded)) = (at(0), at(worst)) {
+                if healthy > 0.0 {
+                    summary.push(format!(
+                        "{} n={n}: saturation {healthy:.3} -> {degraded:.3} after {worst} \
+                         link failures ({:.0}% retained)",
+                        kind.label(),
+                        100.0 * degraded / healthy,
+                    ));
+                }
+            }
+        }
+    }
+    Ok(StageOutput {
+        tables: vec![
+            StageTable::main(structural),
+            StageTable { stem: Some("BENCH_resilience".to_owned()), table: degradation },
+        ],
+        summary,
+    })
 }
 
 // ── thermal stage ───────────────────────────────────────────────────────

@@ -60,11 +60,16 @@ pub enum StageKind {
     Thermal,
     /// Monolithic vs 2.5D manufacturing cost model.
     Cost,
+    /// Fault tolerance: structural resilience metrics (bridges,
+    /// articulation points, edge connectivity) plus graceful-degradation
+    /// curves — saturation throughput and closed-loop makespans under
+    /// deterministic live link failures.
+    Resilience,
 }
 
 impl StageKind {
     /// Every stage, in documentation order.
-    pub const ALL: [StageKind; 9] = [
+    pub const ALL: [StageKind; 10] = [
         StageKind::Proxies,
         StageKind::Saturation,
         StageKind::Traffic,
@@ -74,6 +79,7 @@ impl StageKind {
         StageKind::Kite,
         StageKind::Thermal,
         StageKind::Cost,
+        StageKind::Resilience,
     ];
 
     /// Canonical name, as accepted by the [`FromStr`] parser and used in
@@ -90,6 +96,7 @@ impl StageKind {
             StageKind::Kite => "kite",
             StageKind::Thermal => "thermal",
             StageKind::Cost => "cost",
+            StageKind::Resilience => "resilience",
         }
     }
 }
@@ -239,6 +246,25 @@ pub struct SaturationOverrides {
     pub normalized_stem: Option<String>,
 }
 
+/// Resilience-stage fault-injection parameters (the degradation sweep;
+/// the structural table follows `axes.ns` / `axes.kinds` instead).
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub struct FaultsSpec {
+    /// Chiplet counts of the degradation sweep; `None` = the stage
+    /// default (`{37, 91, 169}`, shrunk under `--quick`).
+    pub ns: Option<Vec<usize>>,
+    /// Numbers of randomly chosen links to kill per run; `None` =
+    /// `{0, 1, 2, 4}`. `0` rows are the healthy baseline.
+    pub link_failures: Option<Vec<usize>>,
+    /// Cycle at which all of a run's failures strike; `None` = half the
+    /// resolved warmup window (tables rebuild before measurement opens).
+    pub fault_cycle: Option<u64>,
+    /// Source-retransmission timeout (cycles) for the closed-loop
+    /// makespan runs; `None` = the [`nocsim::RetransmitConfig`] default.
+    pub retransmit_timeout: Option<u64>,
+}
+
 /// Output configuration beyond the shared `--out` / `--format` flags.
 #[derive(Debug, Clone, PartialEq, Default)]
 #[non_exhaustive]
@@ -275,6 +301,8 @@ pub struct StudySpec {
     pub workload: WorkloadOverrides,
     /// Saturation parameters.
     pub saturation: SaturationOverrides,
+    /// Fault-injection parameters (resilience stage).
+    pub faults: FaultsSpec,
     /// Output configuration.
     pub output: OutputSpec,
 }
@@ -295,6 +323,7 @@ impl StudySpec {
             search: SearchOverrides::default(),
             workload: WorkloadOverrides::default(),
             saturation: SaturationOverrides::default(),
+            faults: FaultsSpec::default(),
             output: OutputSpec::default(),
         }
     }
@@ -358,6 +387,7 @@ impl StudySpec {
                 "search" => spec.search = decode_search(section)?,
                 "workload" => spec.workload = decode_workload(section)?,
                 "saturation" => spec.saturation = decode_saturation(section)?,
+                "faults" => spec.faults = decode_faults(section)?,
                 "output" => spec.output = decode_output(section)?,
                 other => return Err(format!("unknown spec key {other:?}")),
             }
@@ -467,6 +497,24 @@ impl StudySpec {
         }
         set_section(&mut root, "saturation", saturation);
 
+        let mut faults = Value::object();
+        if let Some(ns) = &self.faults.ns {
+            faults.set("ns", Value::Arr(ns.iter().map(|&n| Value::from(n)).collect()));
+        }
+        if let Some(counts) = &self.faults.link_failures {
+            faults.set(
+                "link_failures",
+                Value::Arr(counts.iter().map(|&c| Value::from(c)).collect()),
+            );
+        }
+        if let Some(cycle) = self.faults.fault_cycle {
+            faults.set("fault_cycle", cycle);
+        }
+        if let Some(timeout) = self.faults.retransmit_timeout {
+            faults.set("retransmit_timeout", timeout);
+        }
+        set_section(&mut root, "faults", faults);
+
         let mut output = Value::object();
         if let Some(dir) = &self.output.dir {
             output.set("dir", dir.as_str());
@@ -534,6 +582,20 @@ impl StudySpec {
                 return Err("schedule windows must be positive".to_owned());
             }
         }
+        if let Some(ns) = &self.faults.ns {
+            if ns.is_empty() {
+                return Err("faults.ns must not be empty".to_owned());
+            }
+            if let Some(&bad) = ns.iter().find(|&&n| n < 2) {
+                return Err(format!("faults.ns value {bad} is below the simulation minimum 2"));
+            }
+        }
+        if self.faults.link_failures.as_ref().is_some_and(Vec::is_empty) {
+            return Err("faults.link_failures must not be empty".to_owned());
+        }
+        if self.faults.retransmit_timeout == Some(0) {
+            return Err("`faults.retransmit_timeout` must be at least 1".to_owned());
+        }
         if self.sim.shards == Some(0) {
             return Err("`sim.shards` must be at least 1".to_owned());
         }
@@ -553,15 +615,20 @@ impl StudySpec {
     /// would then document the ignored values as applied configuration.
     fn reject_settings_the_stage_ignores(&self) -> Result<(), String> {
         use StageKind::Workload as Wl;
-        use StageKind::{Kite, LoadCurve, Proxies, Saturation, Search, Thermal, Traffic};
+        use StageKind::{
+            Kite, LoadCurve, Proxies, Resilience, Saturation, Search, Thermal, Traffic,
+        };
         let stage = self.stage;
         // `search` settings also drive the `optimized` axis.
         let searches = stage == Search || self.axes.optimized;
-        let checks: [(&str, bool, bool); 8] = [
+        let checks: [(&str, bool, bool); 9] = [
             (
                 "axes.kinds",
                 self.axes.kinds.is_some(),
-                matches!(stage, Proxies | Saturation | Traffic | LoadCurve | Wl | Thermal),
+                matches!(
+                    stage,
+                    Proxies | Saturation | Traffic | LoadCurve | Wl | Thermal | Resilience
+                ),
             ),
             ("axes.rates", self.axes.rates.is_some(), stage == LoadCurve),
             (
@@ -573,12 +640,12 @@ impl StudySpec {
             (
                 "[sim]",
                 !self.sim.is_neutral(),
-                matches!(stage, Saturation | Traffic | LoadCurve | Wl),
+                matches!(stage, Saturation | Traffic | LoadCurve | Wl | Resilience),
             ),
             (
                 "[schedule]",
                 self.schedule.is_some(),
-                matches!(stage, Saturation | Traffic | LoadCurve | Search | Kite),
+                matches!(stage, Saturation | Traffic | LoadCurve | Search | Kite | Resilience),
             ),
             ("[search]", self.search != SearchOverrides::default(), searches),
             (
@@ -586,6 +653,7 @@ impl StudySpec {
                 self.saturation != SaturationOverrides::default(),
                 stage == Saturation,
             ),
+            ("[faults]", self.faults != FaultsSpec::default(), stage == Resilience),
         ];
         for (key, set, applicable) in checks {
             if set && !applicable {
@@ -773,6 +841,26 @@ fn decode_saturation(section: &Value) -> Result<SaturationOverrides, String> {
     })
 }
 
+fn decode_faults(section: &Value) -> Result<FaultsSpec, String> {
+    reject_unknown(
+        section,
+        &["ns", "link_failures", "fault_cycle", "retransmit_timeout"],
+        "faults",
+    )?;
+    let counts = |key: &str| {
+        list_field(section, key, |v| match v {
+            Value::Int(i) => usize::try_from(*i).map_err(|_| "negative count".to_owned()),
+            other => Err(format!("expected an integer, got {other:?}")),
+        })
+    };
+    Ok(FaultsSpec {
+        ns: counts("ns")?,
+        link_failures: counts("link_failures")?,
+        fault_cycle: u64_field(section, "fault_cycle")?,
+        retransmit_timeout: u64_field(section, "retransmit_timeout")?,
+    })
+}
+
 fn decode_output(section: &Value) -> Result<OutputSpec, String> {
     reject_unknown(section, &["dir", "to_repo_root"], "output")?;
     Ok(OutputSpec {
@@ -931,6 +1019,46 @@ mod tests {
         let mut workload = StudySpec::new("s", StageKind::Workload);
         workload.sim.shards = Some(4);
         assert!(workload.validate().is_err(), "the closed-loop driver is serial-only");
+    }
+
+    #[test]
+    fn faults_section_round_trips_and_is_validated() {
+        let mut spec = StudySpec::new("degrade", StageKind::Resilience);
+        spec.faults.ns = Some(vec![37, 91]);
+        spec.faults.link_failures = Some(vec![0, 1, 2, 4]);
+        spec.faults.fault_cycle = Some(750);
+        spec.faults.retransmit_timeout = Some(512);
+        spec.validate().unwrap();
+        let round_tripped = StudySpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(round_tripped, spec);
+        let via_json = StudySpec::from_json(&spec.to_value().to_json()).unwrap();
+        assert_eq!(via_json, spec);
+
+        let toml = StudySpec::from_toml(concat!(
+            "name = \"degrade\"\nstage = \"resilience\"\n",
+            "[faults]\nlink_failures = [0, 2]\nfault_cycle = 600\n",
+        ))
+        .unwrap();
+        assert_eq!(toml.faults.link_failures, Some(vec![0, 2]));
+        assert_eq!(toml.faults.fault_cycle, Some(600));
+
+        // Rejections: wrong stage, empty lists, degenerate values.
+        let mut wrong_stage = StudySpec::new("s", StageKind::Saturation);
+        wrong_stage.faults.link_failures = Some(vec![1]);
+        assert!(wrong_stage.validate().is_err(), "[faults] is resilience-stage only");
+        let mut empty = StudySpec::new("s", StageKind::Resilience);
+        empty.faults.link_failures = Some(vec![]);
+        assert!(empty.validate().is_err());
+        let mut tiny = StudySpec::new("s", StageKind::Resilience);
+        tiny.faults.ns = Some(vec![1]);
+        assert!(tiny.validate().is_err());
+        let mut zero = StudySpec::new("s", StageKind::Resilience);
+        zero.faults.retransmit_timeout = Some(0);
+        assert!(zero.validate().is_err());
+        assert!(StudySpec::from_toml(
+            "name = \"s\"\nstage = \"resilience\"\n[faults]\ntypo = 1\n"
+        )
+        .is_err());
     }
 
     #[test]

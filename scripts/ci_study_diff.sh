@@ -41,6 +41,10 @@ run_pair arrangement_search arrangement_search_quick.toml BENCH_arrange \
     --ns 19 --restarts 3 --iterations 120
 run_pair thermal_comparison thermal_quick.toml thermal_comparison --n 16
 run_pair cost_model cost_model.toml cost_model
+# Only the structural table is diffed: the spec file shrinks the
+# [faults] degradation axes below the binary's --quick defaults (the
+# degradation table is covered by the golden test instead).
+run_pair resilience resilience_quick.toml resilience
 
 # The axis combination no legacy binary covers: runs end to end purely
 # from data (no diff target by construction).
