@@ -1,0 +1,69 @@
+//! ⚙ `netview` — replay one load point with every observability sink on.
+//!
+//! Runs the `netview` preset (stage `load_curve`, HexaMesh + grid at one
+//! rate) with the `[observe]` section fully enabled, writing next to the
+//! result table and manifest:
+//!
+//! * `timeline.csv` — the probe's windowed time series (throughput,
+//!   latency, flits in flight, buffered flits, stall causes, link load);
+//! * `heatmap_<kind>_n<N>_r<permille>_<pattern>.svg` — the per-link /
+//!   per-chiplet congestion choropleth over the physical placement;
+//! * `trace.json` — Chrome-trace spans of the worker pool, loadable by
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! Observability is zero-perturbation: the result rows are byte-identical
+//! with `--no-observe` (which strips the `[observe]` section — CI diffs
+//! the two). Probes record into buffers preallocated at attach, so even
+//! the simulator's steady-state allocation contract holds with them on.
+//!
+//! Usage: `cargo run --release -p hexamesh-bench --bin netview
+//! [--n N] [--rate R] [--kinds hexamesh,grid,...] [--no-observe]`
+//! plus the shared campaign flags (`--workers`, `--quick`, `--out`, …).
+//! Writes `results/netview.{csv,json}` and the artefacts above.
+
+use hexamesh::arrangement::ArrangementKind;
+use hexamesh_bench::presets;
+use hexamesh_bench::sweep;
+use xp::cli::{self, arg_flag, try_arg_list, try_arg_value};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn strict<T>(result: Result<T, String>) -> T {
+    result.unwrap_or_else(|e| fail(&e))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    cli::reject_unknown_flags(
+        &args,
+        &cli::with_shared(&["--n", "--rate", "--kinds", "--no-observe"]),
+    );
+
+    let mut spec = presets::preset("netview").expect("registered preset");
+    if let Some(kinds) = strict(try_arg_list::<ArrangementKind>(&args, "--kinds")) {
+        spec.axes.kinds = Some(kinds);
+    }
+    spec.axes.ns = Some(vec![sweep::arg_usize(&args, "--n", 19)]);
+    if let Some(rate) = strict(try_arg_value(&args, "--rate")) {
+        let rate: f64 = rate
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("--rate expects a number, got {rate:?}")));
+        spec.axes.rates = Some(vec![rate]);
+    }
+    if arg_flag(&args, "--no-observe") {
+        spec.observe = Default::default();
+    }
+    let shared = strict(xp::flow::campaign_args_for(&spec, &args));
+
+    eprintln!("netview: one observed load point per family (observe = {})", {
+        if spec.observe.is_off() {
+            "off"
+        } else {
+            "timeline + heatmap + trace"
+        }
+    });
+    presets::run_and_report(&spec, shared);
+}

@@ -9,10 +9,11 @@
 //! so the preset *is* the binary's behaviour, and
 //! `study --preset <name>` reproduces it byte for byte.
 
+use hexamesh::arrangement::ArrangementKind;
 use xp::spec::{StageKind, StudySpec};
 
 /// Every preset name, in documentation order.
-pub const PRESET_NAMES: [&str; 10] = [
+pub const PRESET_NAMES: [&str; 11] = [
     "fig7_simulation",
     "load_curves",
     "ablation_traffic",
@@ -23,6 +24,7 @@ pub const PRESET_NAMES: [&str; 10] = [
     "thermal_comparison",
     "cost_model",
     "resilience",
+    "netview",
 ];
 
 /// Builds the named preset, or `None` for an unknown name. Axes left
@@ -62,6 +64,20 @@ pub fn preset(name: &str) -> Option<StudySpec> {
             // The degradation table (`BENCH_resilience`) is a tracked
             // repo-root baseline like `BENCH_workload` / `BENCH_arrange`.
             spec.output.to_repo_root = true;
+            spec
+        }
+        "netview" => {
+            let mut spec = StudySpec::new("netview", StageKind::LoadCurve);
+            // One load point per family, near the grid's knee, with every
+            // observability sink on: windowed timeline, congestion
+            // heatmaps, and the engine trace.
+            spec.axes.kinds = Some(vec![ArrangementKind::HexaMesh, ArrangementKind::Grid]);
+            spec.axes.ns = Some(vec![19]);
+            spec.axes.rates = Some(vec![0.30]);
+            spec.observe.sample_every = Some(250);
+            spec.observe.heatmap = true;
+            spec.observe.timeline = true;
+            spec.observe.trace = true;
             spec
         }
         _ => return None,

@@ -34,6 +34,7 @@ fn args(out: &Path, workers: usize) -> CampaignArgs {
         out: out.to_path_buf(),
         format: OutputFormat::Both,
         campaign_seed: 42,
+        progress: false,
     }
 }
 

@@ -1,0 +1,73 @@
+//! The observability zero-perturbation contract at the preset level: the
+//! `netview` preset's result table is byte-identical with the whole
+//! `[observe]` section stripped, while the observed run also emits the
+//! timeline, heatmap, and trace artefacts.
+//!
+//! (The simulator-level version of this contract — `NetworkStats`
+//! bit-identical with a probe attached, under both the serial and the
+//! sharded engine — is pinned by `crates/nocsim/tests/obs_probe.rs`.)
+
+use std::path::Path;
+
+use xp::cli::{CampaignArgs, OutputFormat};
+use xp::flow::{run_study, StageHooks};
+use xp::spec::ObserveSpec;
+
+fn args(out: &Path) -> CampaignArgs {
+    CampaignArgs {
+        workers: 2,
+        seeds: 1,
+        quick: true,
+        full: false,
+        out: out.to_path_buf(),
+        format: OutputFormat::Both,
+        campaign_seed: 42,
+        progress: false,
+    }
+}
+
+#[test]
+fn netview_rows_are_byte_identical_with_observability_stripped() {
+    let dir = std::env::temp_dir().join("bench_observe_equivalence");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let watched_spec = hexamesh_bench::presets::preset("netview").expect("preset");
+    let mut plain_spec = watched_spec.clone();
+    plain_spec.observe = ObserveSpec::default();
+
+    let watched_dir = dir.join("watched");
+    let plain_dir = dir.join("plain");
+    let watched = run_study(&watched_spec, args(&watched_dir), &StageHooks::default()).unwrap();
+    let plain = run_study(&plain_spec, args(&plain_dir), &StageHooks::default()).unwrap();
+
+    // The main table does not change by a byte when observing.
+    let watched_csv =
+        std::fs::read_to_string(watched_dir.join("netview.csv")).expect("watched csv");
+    let plain_csv = std::fs::read_to_string(plain_dir.join("netview.csv")).expect("plain csv");
+    assert_eq!(watched_csv, plain_csv, "observability perturbed the result rows");
+
+    // The observed run emits every artefact; the plain run emits none.
+    assert!(watched_dir.join("timeline.csv").exists());
+    assert!(watched_dir.join("trace.json").exists());
+    let heatmaps: Vec<_> = std::fs::read_dir(&watched_dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy().into_owned();
+            name.starts_with("heatmap_") && name.ends_with(".svg")
+        })
+        .collect();
+    assert_eq!(heatmaps.len(), 2, "one heatmap per family at replicate 0");
+    assert!(!plain_dir.join("timeline.csv").exists());
+    assert!(!plain_dir.join("trace.json").exists());
+
+    // The watched manifest still books the per-stage wall-time map.
+    let manifest = std::fs::read_to_string(watched_dir.join("netview.json")).expect("manifest");
+    assert!(manifest.contains("\"stages\":{\"load_curve\":{\"jobs\":2"), "{manifest}");
+    assert!(manifest.contains("\"peak_workers\":"), "{manifest}");
+
+    assert!(watched.written.iter().any(|p| p.ends_with("trace.json")));
+    assert_eq!(plain.written.len(), 2, "csv + json only");
+    let _ = std::fs::remove_dir_all(&dir);
+}

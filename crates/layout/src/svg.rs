@@ -1,5 +1,7 @@
 //! SVG rendering of placements, for inspecting floorplans (Fig. 2 / Fig. 4
-//! style top views).
+//! style top views) — plain kind-coloured views via [`to_svg`], and
+//! congestion choropleths over the same arrangement via
+//! [`to_heatmap_svg`].
 
 use std::fmt::Write as _;
 
@@ -79,6 +81,114 @@ pub fn to_svg(placement: &Placement, style: &SvgStyle) -> String {
     out
 }
 
+/// Normalized congestion data overlaid on a placement by
+/// [`to_heatmap_svg`].
+///
+/// Indices refer to **compute-graph vertices**: vertex `i` is the `i`-th
+/// compute chiplet of the placement, exactly as in
+/// [`Placement::compute_adjacency_graph`]. Loads are expected in
+/// `[0, 1]` (values outside are clamped); out-of-range vertex indices
+/// are skipped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeatOverlay<'a> {
+    /// Per-compute-vertex load, colouring the chiplet cell fill.
+    pub cell_load: &'a [f64],
+    /// Per-edge load `(u, v, load)` between compute vertices, drawn as a
+    /// line between chiplet centres whose colour and width track the
+    /// load.
+    pub edge_load: &'a [(usize, usize, f64)],
+}
+
+/// Diverging three-stop colour ramp (blue → pale yellow → red) for
+/// normalized load `t` in `[0, 1]`; values outside are clamped.
+#[must_use]
+pub fn heat_color(t: f64) -> String {
+    const LOW: (f64, f64, f64) = (0x45 as f64, 0x75 as f64, 0xb4 as f64);
+    const MID: (f64, f64, f64) = (0xff as f64, 0xff as f64, 0xbf as f64);
+    const HIGH: (f64, f64, f64) = (0xd7 as f64, 0x30 as f64, 0x27 as f64);
+    let t = if t.is_finite() { t.clamp(0.0, 1.0) } else { 0.0 };
+    let lerp = |a: (f64, f64, f64), b: (f64, f64, f64), s: f64| {
+        (a.0 + (b.0 - a.0) * s, a.1 + (b.1 - a.1) * s, a.2 + (b.2 - a.2) * s)
+    };
+    let (r, g, b) =
+        if t < 0.5 { lerp(LOW, MID, t * 2.0) } else { lerp(MID, HIGH, (t - 0.5) * 2.0) };
+    format!("#{:02x}{:02x}{:02x}", r.round() as u8, g.round() as u8, b.round() as u8)
+}
+
+/// Renders a placement with per-chiplet and per-link congestion colours:
+/// compute cells are filled by [`heat_color`] of their load, I/O cells
+/// keep the style's I/O fill, and loaded links are drawn as centre-to-
+/// centre strokes over the cells. Same geometry conventions as
+/// [`to_svg`].
+#[must_use]
+pub fn to_heatmap_svg(placement: &Placement, style: &SvgStyle, heat: &HeatOverlay) -> String {
+    let Some(bb) = placement.bounding_box() else {
+        return String::from(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"1\" height=\"1\"/>\n",
+        );
+    };
+    let width = bb.width() as f64 * style.scale + 2.0 * style.margin;
+    let height = bb.height() as f64 * style.scale + 2.0 * style.margin;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.2} {height:.2}\">"
+    )
+    .expect("writing to String cannot fail");
+
+    let computes = placement.compute_indices();
+    let mut compute_vertex = 0usize;
+    for chiplet in placement.chiplets() {
+        let r = chiplet.rect;
+        let x = (r.x() - bb.x()) as f64 * style.scale + style.margin;
+        let y = (bb.top() - r.top()) as f64 * style.scale + style.margin;
+        let w = r.width() as f64 * style.scale;
+        let h = r.height() as f64 * style.scale;
+        let fill = match chiplet.kind {
+            ChipletKind::Compute => {
+                let load = heat.cell_load.get(compute_vertex).copied().unwrap_or(0.0);
+                compute_vertex += 1;
+                heat_color(load)
+            }
+            ChipletKind::Io => style.io_fill.to_string(),
+        };
+        writeln!(
+            out,
+            "  <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" \
+             fill=\"{fill}\" stroke=\"#202020\" stroke-width=\"1\"/>"
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    // Centre of compute vertex `i` in SVG pixel coordinates.
+    let center = |i: usize| -> Option<(f64, f64)> {
+        let r = placement.chiplets().get(*computes.get(i)?)?.rect;
+        let cx = (r.x() - bb.x()) as f64 * style.scale
+            + style.margin
+            + r.width() as f64 * style.scale / 2.0;
+        let cy = (bb.top() - r.top()) as f64 * style.scale
+            + style.margin
+            + r.height() as f64 * style.scale / 2.0;
+        Some((cx, cy))
+    };
+    for &(u, v, load) in heat.edge_load {
+        let (Some((x1, y1)), Some((x2, y2))) = (center(u), center(v)) else { continue };
+        let t = if load.is_finite() { load.clamp(0.0, 1.0) } else { 0.0 };
+        let stroke = heat_color(t);
+        let stroke_width = (0.08 + 0.22 * t) * style.scale;
+        writeln!(
+            out,
+            "  <line x1=\"{x1:.2}\" y1=\"{y1:.2}\" x2=\"{x2:.2}\" y2=\"{y2:.2}\" \
+             stroke=\"{stroke}\" stroke-width=\"{stroke_width:.2}\" stroke-linecap=\"round\" \
+             opacity=\"0.85\"/>"
+        )
+        .expect("writing to String cannot fail");
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +233,45 @@ mod tests {
             line[start..end].parse().expect("numeric y")
         };
         assert!(y_of(lines[0]) > y_of(lines[1]));
+    }
+
+    #[test]
+    fn heat_color_ramp_endpoints_and_clamping() {
+        assert_eq!(heat_color(0.0), "#4575b4");
+        assert_eq!(heat_color(0.5), "#ffffbf");
+        assert_eq!(heat_color(1.0), "#d73027");
+        assert_eq!(heat_color(-3.0), heat_color(0.0));
+        assert_eq!(heat_color(7.0), heat_color(1.0));
+        assert_eq!(heat_color(f64::NAN), heat_color(0.0));
+    }
+
+    #[test]
+    fn heatmap_colours_compute_cells_and_draws_edges() {
+        // Two adjacent compute chiplets plus one I/O chiplet.
+        let mut p = Placement::new();
+        p.push(PlacedChiplet::compute(rect(0, 0, 2, 2))).unwrap();
+        p.push(PlacedChiplet::compute(rect(2, 0, 2, 2))).unwrap();
+        p.push(PlacedChiplet::io(rect(4, 0, 2, 2))).unwrap();
+        let heat = HeatOverlay { cell_load: &[0.0, 1.0], edge_load: &[(0, 1, 1.0)] };
+        let doc = to_heatmap_svg(&p, &SvgStyle::default(), &heat);
+        assert_eq!(doc.matches("<rect").count(), 3);
+        assert_eq!(doc.matches("<line").count(), 1);
+        assert!(doc.contains("#4575b4"), "cold cell: {doc}");
+        assert!(doc.contains("#d73027"), "hot cell and edge: {doc}");
+        assert!(doc.contains("#f28e2b"), "io keeps its kind colour: {doc}");
+    }
+
+    #[test]
+    fn heatmap_skips_out_of_range_edges_and_missing_loads() {
+        let mut p = Placement::new();
+        p.push(PlacedChiplet::compute(rect(0, 0, 1, 1))).unwrap();
+        // No cell loads provided, and the edge names a vertex that does
+        // not exist: the render must not panic and draws no line.
+        let heat = HeatOverlay { cell_load: &[], edge_load: &[(0, 9, 0.5)] };
+        let doc = to_heatmap_svg(&p, &SvgStyle::default(), &heat);
+        assert_eq!(doc.matches("<rect").count(), 1);
+        assert_eq!(doc.matches("<line").count(), 0);
+        assert!(doc.contains(&heat_color(0.0)), "missing load defaults cold");
     }
 
     #[test]

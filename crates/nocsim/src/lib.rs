@@ -18,7 +18,9 @@
 //!   source retransmission,
 //! * [`sim`] — the cycle loop and statistics,
 //! * [`shard`] — conservative bounded-lag parallel execution of one run,
-//! * [`measure`] — zero-load latency and saturation-throughput methodology.
+//! * [`measure`] — zero-load latency and saturation-throughput methodology,
+//! * [`obs`] — windowed observability probes (time-series sampling that
+//!   never perturbs the run it measures).
 //!
 //! # Example: latency/throughput of a 4×4 chiplet grid
 //!
@@ -41,6 +43,7 @@ pub mod endpoint;
 pub mod fault;
 pub mod flit;
 pub mod measure;
+pub mod obs;
 pub mod router;
 pub mod routing;
 pub mod shard;
@@ -48,7 +51,9 @@ pub mod sim;
 pub mod traffic;
 
 pub use fault::{FaultEvent, FaultPlan, FaultSchedule, FaultTarget, RetransmitConfig};
-pub use measure::{LoadPointResult, MeasureConfig, SaturationResult};
+pub use measure::{LoadPointObservation, LoadPointResult, MeasureConfig, SaturationResult};
+pub use obs::{Probe, WindowSample};
+pub use router::StallCounters;
 pub use routing::{RoutingError, RoutingKind};
 pub use shard::ShardedSimulator;
 pub use sim::{Delivery, LinkSpec, NetworkStats, SimConfig, SimError, Simulator};

@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::fault::FaultPlan;
 use crate::flit::RouterId;
+use crate::obs::{Probe, WindowSample};
 use crate::routing::RoutingTables;
 use crate::shard::ShardedSimulator;
 use crate::sim::{LinkSpec, NetworkStats, SimConfig, SimError, Simulator};
@@ -31,6 +32,11 @@ pub struct MeasureConfig {
     /// Worker threads one simulation is sharded across (`1` = the serial
     /// engine; more uses [`ShardedSimulator`], bit-identical results).
     pub shards: usize,
+    /// Observability probe attached to every simulation run under this
+    /// schedule (`None` — the default — runs probe-free). Probes observe,
+    /// never perturb: results are bit-identical either way; collect the
+    /// series with [`run_load_point_observed`].
+    pub probe: Option<Probe>,
 }
 
 impl Default for MeasureConfig {
@@ -42,6 +48,7 @@ impl Default for MeasureConfig {
             latency_guard: 4.0,
             rate_resolution: 0.01,
             shards: 1,
+            probe: None,
         }
     }
 }
@@ -176,7 +183,47 @@ pub fn run_load_point_with_specs(
     spec: impl Fn(RouterId, RouterId) -> LinkSpec,
     zero_load: f64,
 ) -> Result<LoadPointResult, SimError> {
-    run_load_point_inner(g, config, schedule, spec, zero_load, None)
+    run_load_point_inner(g, config, schedule, spec, zero_load, None, None)
+}
+
+/// Windowed time-series and spatial link loads observed during one load
+/// point ([`run_load_point_observed`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct LoadPointObservation {
+    /// The probe's window series (merged across shards when sharded).
+    pub windows: Vec<WindowSample>,
+    /// Per-directed-link flit counts over the whole run, `(src, dst,
+    /// flits)` — the congestion-heatmap input.
+    pub channel_loads: Vec<(RouterId, RouterId, u64)>,
+}
+
+/// [`run_load_point`] that also returns what the probe saw. Requires
+/// [`MeasureConfig::probe`] to be set for a non-empty window series (the
+/// channel loads are collected regardless). The [`LoadPointResult`] is
+/// bit-identical to the probe-free [`run_load_point`].
+///
+/// # Errors
+///
+/// Propagates simulator construction failures.
+pub fn run_load_point_observed(
+    g: &Graph,
+    config: &SimConfig,
+    schedule: &MeasureConfig,
+) -> Result<(LoadPointResult, LoadPointObservation), SimError> {
+    let zero_load = zero_load_latency(g, config)?;
+    let latency = config.link_latency;
+    let mut obs = LoadPointObservation::default();
+    let point = run_load_point_inner(
+        g,
+        config,
+        schedule,
+        |_, _| LinkSpec::uniform(latency),
+        zero_load,
+        None,
+        Some(&mut obs),
+    )?;
+    Ok((point, obs))
 }
 
 /// [`run_load_point`] on a network that suffers the failures in `plan`
@@ -205,6 +252,7 @@ pub fn run_load_point_faulted(
         |_, _| LinkSpec::uniform(latency),
         zero_load,
         Some(plan),
+        None,
     )
 }
 
@@ -215,20 +263,35 @@ fn run_load_point_inner(
     spec: impl Fn(RouterId, RouterId) -> LinkSpec,
     zero_load: f64,
     plan: Option<&FaultPlan>,
+    observe: Option<&mut LoadPointObservation>,
 ) -> Result<LoadPointResult, SimError> {
     let (stats, deadlock) = if schedule.shards > 1 {
         let mut sim = ShardedSimulator::with_link_specs(g, *config, spec, schedule.shards)?;
         if let Some(plan) = plan {
             sim.install_fault_plan(plan.clone());
         }
+        if let Some(probe) = schedule.probe {
+            sim.attach_probe(probe);
+        }
         let stats = sim.run_to_window(schedule.warmup_cycles, schedule.measure_cycles);
+        if let Some(out) = observe {
+            out.windows = sim.obs_windows();
+            out.channel_loads = sim.channel_loads();
+        }
         (stats, sim.deadlock_suspected())
     } else {
         let mut sim = Simulator::with_link_specs(g, *config, spec)?;
         if let Some(plan) = plan {
             sim.install_fault_plan(plan.clone());
         }
+        if let Some(probe) = schedule.probe {
+            sim.attach_probe(probe);
+        }
         let stats = sim.run_to_window(schedule.warmup_cycles, schedule.measure_cycles);
+        if let Some(out) = observe {
+            out.windows = sim.detach_probe();
+            out.channel_loads = sim.channel_loads();
+        }
         (stats, sim.deadlock_suspected())
     };
 
@@ -323,6 +386,7 @@ pub fn saturation_search_faulted(
                     |_, _| LinkSpec::uniform(latency),
                     zero_load,
                     Some(plan),
+                    None,
                 )
             })
             .collect()

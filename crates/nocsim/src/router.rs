@@ -122,6 +122,35 @@ struct Nominee {
     out_vc: u32,
 }
 
+/// Cumulative stall-cause counters, maintained since construction.
+///
+/// Diagnostic only: probes read them, nothing feeds them back into
+/// [`crate::NetworkStats`], so attaching a probe cannot perturb reported
+/// results. Each counter is a plain integer increment on a path the
+/// allocator already walks, keeping the hot path allocation-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StallCounters {
+    /// Head flits that found no allocatable output VC during VC
+    /// allocation (every candidate port's VCs owned or credit-less).
+    pub vc_starved: u64,
+    /// Bound input VCs with buffered flits passed over during switch
+    /// allocation because their bound output VC held zero credits.
+    pub credit_starved: u64,
+    /// Switch-allocation nominees that lost output-port arbitration to
+    /// another input this cycle.
+    pub switch_lost: u64,
+}
+
+impl StallCounters {
+    /// Field-wise sum (used to aggregate across routers and shards).
+    pub fn absorb(&mut self, other: Self) {
+        self.vc_starved += other.vc_starved;
+        self.credit_starved += other.credit_starved;
+        self.switch_lost += other.switch_lost;
+    }
+}
+
 /// An input-queued VC router.
 ///
 /// Input and output VC state is stored flat (`port * vcs + vc`) for cache
@@ -155,6 +184,8 @@ pub struct Router {
     /// Switch-allocation scratch (reused every cycle so the steady-state
     /// hot path never allocates).
     nominees: Vec<Nominee>,
+    /// Cumulative stall-cause tallies (observability only).
+    stalls: StallCounters,
 }
 
 impl Router {
@@ -190,6 +221,7 @@ impl Router {
             unbound_heads: 0,
             sa_candidates: vec![0; num_ports],
             nominees: Vec::with_capacity(num_ports),
+            stalls: StallCounters::default(),
         }
     }
 
@@ -302,6 +334,8 @@ impl Router {
                         state.escape_committed = escape;
                         self.unbound_heads -= 1;
                         self.sa_candidates[port] += 1;
+                    } else {
+                        self.stalls.vc_starved += 1;
                     }
                     if remaining == 0 {
                         break;
@@ -447,16 +481,17 @@ impl Router {
             for _ in 0..vcs {
                 let ivc = &self.inputs[port * vcs + vc];
                 if let Some((out_port, out_vc)) = ivc.bound {
-                    if !ivc.buffer.is_empty()
-                        && self.outputs[out_port * vcs + out_vc].credits > 0
-                    {
-                        self.nominees.push(Nominee {
-                            in_port: port as u32,
-                            vc: vc as u32,
-                            out_port: out_port as u32,
-                            out_vc: out_vc as u32,
-                        });
-                        break;
+                    if !ivc.buffer.is_empty() {
+                        if self.outputs[out_port * vcs + out_vc].credits > 0 {
+                            self.nominees.push(Nominee {
+                                in_port: port as u32,
+                                vc: vc as u32,
+                                out_port: out_port as u32,
+                                out_vc: out_vc as u32,
+                            });
+                            break;
+                        }
+                        self.stalls.credit_starved += 1;
                     }
                 }
                 vc += 1;
@@ -470,11 +505,13 @@ impl Router {
         // port: grant the nominee closest to the port's round-robin
         // pointer and move its flit. Only nominated ports are visited —
         // the old all-ports × all-inputs scan did the same grants.
+        let mut granted = 0;
         for i in 0..self.nominees.len() {
             let op = self.nominees[i].out_port;
             if self.nominees[..i].iter().any(|n| n.out_port == op) {
                 continue; // this output port was already arbitrated
             }
+            granted += 1;
             let out_port = op as usize;
             let start = self.sa_in_rr[out_port];
             let p = self.num_ports;
@@ -525,6 +562,7 @@ impl Router {
             sent.push(SentFlit { out_port, flit });
             credits.push(SentCredit { in_port, credit: Credit { vc: in_vc } });
         }
+        self.stalls.switch_lost += (self.nominees.len() - granted) as u64;
     }
 
     /// Debug-only audit of the incremental allocation counters against a
@@ -664,6 +702,13 @@ impl Router {
             "incremental buffered-flit counter out of sync"
         );
         self.buffered
+    }
+
+    /// Cumulative stall-cause counters since construction (observability
+    /// only; see [`StallCounters`]).
+    #[must_use]
+    pub fn stall_counters(&self) -> StallCounters {
+        self.stalls
     }
 
     /// `true` while any input VC holds a flit — the router may be able to

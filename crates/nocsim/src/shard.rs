@@ -37,6 +37,8 @@ use crate::channel::Credit;
 use crate::endpoint::LATENCY_HISTOGRAM_BUCKETS;
 use crate::fault::FaultPlan;
 use crate::flit::{Flit, PacketId, RouterId};
+use crate::obs::{merge_window_series, Probe, WindowSample};
+use crate::router::StallCounters;
 use crate::sim::{
     percentiles_from_histogram, stats_from_sums, LinkSpec, NetworkStats, SimConfig, SimError,
     Simulator, WindowSums,
@@ -670,6 +672,44 @@ impl ShardedSimulator {
             }
         }
         out
+    }
+
+    /// Attaches an observability probe to every shard; see
+    /// [`Simulator::attach_probe`]. Shards sample at the same
+    /// absolute-cycle boundaries, so the per-shard series line up window
+    /// for window and [`ShardedSimulator::obs_windows`] merges them
+    /// deterministically.
+    pub fn attach_probe(&mut self, probe: Probe) {
+        for shard in &self.shards {
+            lock(shard).attach_probe(probe);
+        }
+    }
+
+    /// The probe's recorded series, merged across shards by window index
+    /// in ascending shard order (integer sums — deterministic regardless
+    /// of how the shards interleaved in wall time). Empty without a probe.
+    ///
+    /// Endpoint-local counters (offered/accepted/received/latency) merge
+    /// to exactly the serial run's values; occupancy gauges sum each
+    /// shard's owned region, so a flit mid-handoff between shards at a
+    /// boundary is attributed to neither until applied.
+    #[must_use]
+    pub fn obs_windows(&self) -> Vec<WindowSample> {
+        let per_shard: Vec<Vec<WindowSample>> =
+            self.shards.iter().map(|s| lock(s).obs_windows().to_vec()).collect();
+        let views: Vec<&[WindowSample]> = per_shard.iter().map(Vec::as_slice).collect();
+        merge_window_series(&views)
+    }
+
+    /// Network-wide stall-cause tallies, summed across shards; see
+    /// [`Simulator::stall_counters`].
+    #[must_use]
+    pub fn stall_counters(&self) -> StallCounters {
+        let mut stalls = StallCounters::default();
+        for shard in &self.shards {
+            stalls.absorb(lock(shard).stall_counters());
+        }
+        stalls
     }
 
     /// Flits currently inside the network, summed across shards.

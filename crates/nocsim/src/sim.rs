@@ -21,7 +21,8 @@ use crate::channel::{Credit, DelayLine, Link, IDLE};
 use crate::endpoint::Endpoint;
 use crate::fault::{FaultPlan, FaultTarget};
 use crate::flit::{Flit, PacketId, RouterId};
-use crate::router::{RouteContext, Router, RouterParams, SentCredit, SentFlit};
+use crate::obs::{ObsState, Probe, WindowSample};
+use crate::router::{RouteContext, Router, RouterParams, SentCredit, SentFlit, StallCounters};
 use crate::routing::{RoutingError, RoutingKind, RoutingTables};
 use crate::traffic::{InjectionProcess, ProcessKind, TrafficPattern};
 
@@ -497,6 +498,9 @@ pub struct Simulator {
     /// Fault-injection state ([`Simulator::install_fault_plan`]); `None`
     /// in the common unfaulted case.
     faults: Option<Box<FaultState>>,
+    /// Observability probe state ([`Simulator::attach_probe`]); `None` —
+    /// the default — costs one branch per `run` iteration.
+    obs: Option<Box<ObsState>>,
 }
 
 // The experiment engine (`crates/xp`) moves simulators onto worker
@@ -676,6 +680,7 @@ impl Simulator {
             delivery_log: Vec::with_capacity(num_endpoints),
             log_deliveries: false,
             faults: None,
+            obs: None,
         };
         if let Some(((first, last), cap)) = shard {
             assert!(first < last && last <= n, "shard range out of bounds");
@@ -766,6 +771,12 @@ impl Simulator {
         }
         if let Some(f) = self.faults.as_deref_mut() {
             f.counters = FaultCounters::default();
+        }
+        // Endpoint (and fault) counters just reset; re-zero the probe's
+        // delta snapshot so the next window's deltas stay exact. Stall and
+        // link counters are never reset, so their snapshots stand.
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.prev = WindowSums::default();
         }
     }
 
@@ -1243,20 +1254,28 @@ impl Simulator {
         let target = self.cycle.saturating_add(cycles);
         if self.reference_stepping {
             while self.cycle < target {
+                self.obs_sample_if_due();
                 self.service_faults();
                 self.step_reference();
             }
+            self.obs_sample_if_due();
             return;
         }
         while self.cycle < target {
+            self.obs_sample_if_due();
             self.service_faults();
             if self.active_routers.is_empty() && self.inject_list.is_empty() {
                 let next = self.next_event_cycle();
                 if next > self.cycle {
-                    self.cycle = next.min(target);
+                    // An attached probe clamps the jump to its next sample
+                    // boundary: the extra cycles stepped are idle by
+                    // construction, so the sample lands at the exact
+                    // boundary without perturbing any statistic.
+                    self.cycle = next.min(target).min(self.obs_next_sample());
                     if self.cycle >= target {
                         break;
                     }
+                    self.obs_sample_if_due();
                     // Failures or retransmissions may be due exactly at
                     // the landing cycle — before its step.
                     self.service_faults();
@@ -1264,6 +1283,10 @@ impl Simulator {
             }
             self.step_event();
         }
+        // A boundary landing exactly on `target` samples here, so e.g. a
+        // measurement window whose length is a multiple of `sample_every`
+        // records its final window.
+        self.obs_sample_if_due();
     }
 
     // ── Closed-loop driver interface ────────────────────────────────────
@@ -1579,6 +1602,115 @@ impl Simulator {
                 (src, dst, count)
             })
             .collect()
+    }
+
+    // ── Observability probes (crate::obs) ───────────────────────────────
+
+    /// Attaches an observability probe: every `probe.sample_every` cycles
+    /// (at absolute-cycle multiples, so serial and sharded runs sample at
+    /// identical boundaries) a [`WindowSample`] is recorded into a series
+    /// preallocated for `probe.capacity` windows. Recording stops when the
+    /// series is full; re-attaching replaces it.
+    ///
+    /// Probes observe, never perturb: all buffers are allocated here,
+    /// sampling reads counters the simulator already maintains, and
+    /// nothing recorded feeds back into simulation decisions — statistics
+    /// are bit-identical to a probe-free run (see [`crate::obs`]).
+    pub fn attach_probe(&mut self, probe: Probe) {
+        let mut state = ObsState::new(probe, self.cycle, self.link_flit_counts.len());
+        state.prev = self.window_sums();
+        state.prev_stalls = self.stall_counters();
+        state.prev_links.copy_from_slice(&self.link_flit_counts);
+        self.obs = Some(Box::new(state));
+    }
+
+    /// The probe's recorded window series so far (empty without a probe).
+    #[must_use]
+    pub fn obs_windows(&self) -> &[WindowSample] {
+        self.obs.as_deref().map_or(&[], |o| &o.windows)
+    }
+
+    /// Detaches the probe (if any), returning the recorded series.
+    pub fn detach_probe(&mut self) -> Vec<WindowSample> {
+        self.obs.take().map_or_else(Vec::new, |o| o.windows)
+    }
+
+    /// Network-wide stall-cause tallies since construction (observability
+    /// only — see [`StallCounters`]).
+    #[must_use]
+    pub fn stall_counters(&self) -> StallCounters {
+        let mut stalls = StallCounters::default();
+        for r in &self.routers {
+            stalls.absorb(r.stall_counters());
+        }
+        stalls
+    }
+
+    /// The next sample boundary, or `u64::MAX` without an attached (and
+    /// non-full) probe — [`Simulator::run`] clamps idle fast-forward here.
+    #[inline]
+    fn obs_next_sample(&self) -> u64 {
+        self.obs.as_deref().map_or(u64::MAX, |o| o.next_sample)
+    }
+
+    /// Takes a window sample if the current cycle reached the boundary.
+    #[inline]
+    fn obs_sample_if_due(&mut self) {
+        if self.cycle >= self.obs_next_sample() {
+            self.obs_sample();
+        }
+    }
+
+    /// Records one [`WindowSample`]: deltas of the endpoint / stall / link
+    /// counters against the previous sample's snapshots (updated in
+    /// place), plus instantaneous occupancy gauges. Allocation-free: the
+    /// series and snapshots were preallocated at attach time.
+    fn obs_sample(&mut self) {
+        let sums = self.window_sums();
+        let stalls = self.stall_counters();
+        let buffered: u64 = self.routers.iter().map(|r| r.buffered_flits() as u64).sum();
+        let flits_in_network = self.in_flight as u64;
+        let cycle = self.cycle;
+        let Some(obs) = self.obs.as_deref_mut() else { return };
+        if obs.windows.len() == obs.windows.capacity() {
+            obs.next_sample = u64::MAX;
+            return;
+        }
+        let mut link_flits = 0u64;
+        let mut max_link_flits = 0u64;
+        for (prev, &cur) in obs.prev_links.iter_mut().zip(&self.link_flit_counts) {
+            let d = cur - *prev;
+            *prev = cur;
+            link_flits += d;
+            max_link_flits = max_link_flits.max(d);
+        }
+        // Endpoint counters reset at `open_measurement_window` (which also
+        // resets `obs.prev`); between resets they are monotone, so plain
+        // subtraction is exact.
+        obs.windows.push(WindowSample {
+            window: obs.windows.len() as u64,
+            start_cycle: obs.last_sample_cycle,
+            end_cycle: cycle,
+            offered_packets: sums.offered_packets - obs.prev.offered_packets,
+            accepted_packets: sums.accepted_packets - obs.prev.accepted_packets,
+            received_flits: sums.received_flits - obs.prev.received_flits,
+            received_packets: sums.received_packets - obs.prev.received_packets,
+            measured_packets: sums.measured - obs.prev.measured,
+            latency_sum: sums.latency_sum - obs.prev.latency_sum,
+            flits_in_network,
+            buffered_flits: buffered,
+            stalls: StallCounters {
+                vc_starved: stalls.vc_starved - obs.prev_stalls.vc_starved,
+                credit_starved: stalls.credit_starved - obs.prev_stalls.credit_starved,
+                switch_lost: stalls.switch_lost - obs.prev_stalls.switch_lost,
+            },
+            link_flits,
+            max_link_flits,
+        });
+        obs.prev = sums;
+        obs.prev_stalls = stalls;
+        obs.last_sample_cycle = cycle;
+        obs.next_sample = (cycle / obs.sample_every + 1) * obs.sample_every;
     }
 
     /// Runs `warmup` cycles, opens the measurement window, then runs
@@ -2588,6 +2720,51 @@ mod tests {
         let g = gen::grid(2, 2);
         let sim = Simulator::new(&g, small_config(0.1)).unwrap();
         let _ = sim.latency_percentile(0.0);
+    }
+
+    #[test]
+    fn percentile_histogram_empty_yields_all_none() {
+        let merged = vec![0u64; 16];
+        assert_eq!(
+            percentiles_from_histogram(&[0.01, 0.5, 0.99, 1.0], &merged, 0),
+            vec![None; 4]
+        );
+        // No requested percentiles is fine too.
+        assert_eq!(percentiles_from_histogram(&[], &merged, 0), Vec::<Option<f64>>::new());
+    }
+
+    #[test]
+    fn percentile_histogram_single_sample_answers_every_p() {
+        // One sample at latency 7: every percentile in (0, 1] is 7.
+        let mut merged = vec![0u64; 16];
+        merged[7] = 1;
+        let out = percentiles_from_histogram(&[0.001, 0.5, 1.0], &merged, 1);
+        assert_eq!(out, vec![Some(7.0); 3]);
+    }
+
+    #[test]
+    fn percentile_histogram_p_one_is_the_maximum() {
+        // p = 1.0 must land on the largest observed latency, and rounding
+        // stragglers saturate instead of returning None.
+        let mut merged = vec![0u64; 32];
+        merged[3] = 10;
+        merged[12] = 5;
+        let out = percentiles_from_histogram(&[0.5, 1.0], &merged, 15);
+        assert_eq!(out[0], Some(3.0));
+        assert_eq!(out[1], Some(12.0));
+    }
+
+    #[test]
+    fn percentile_histogram_output_is_nan_free_and_monotone() {
+        let mut merged = vec![0u64; 64];
+        for (latency, count) in [(2usize, 7u64), (5, 3), (9, 1), (40, 2)] {
+            merged[latency] = count;
+        }
+        let ps = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let out = percentiles_from_histogram(&ps, &merged, 13);
+        let values: Vec<f64> = out.iter().map(|v| v.expect("total > 0")).collect();
+        assert!(values.iter().all(|v| v.is_finite()), "{values:?}");
+        assert!(values.windows(2).all(|w| w[0] <= w[1]), "not monotone: {values:?}");
     }
 
     #[test]

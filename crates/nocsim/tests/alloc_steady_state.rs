@@ -12,7 +12,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use chiplet_graph::gen;
-use nocsim::{SimConfig, Simulator};
+use nocsim::{Probe, SimConfig, Simulator};
 
 struct CountingAllocator;
 
@@ -48,6 +48,11 @@ fn steady_state_step_never_allocates() {
     let config = SimConfig { injection_rate: 0.1, seed: 42, ..SimConfig::paper_defaults() };
     let mut sim = Simulator::new(&g, config).expect("valid config");
 
+    // Run probe-attached: the observability contract says sampling lives
+    // inside preallocated buffers, so it must not break this test. The
+    // capacity covers the full run with headroom.
+    sim.attach_probe(Probe::new(100, 256));
+
     // Warm up traffic, open the window (preallocates the latency
     // histograms), then let every growable buffer reach its working
     // capacity before measuring.
@@ -68,4 +73,8 @@ fn steady_state_step_never_allocates() {
     // The run did real work (this is a busy network, not a no-op window).
     let stats = sim.stats();
     assert!(stats.received_packets > 1_000, "unexpectedly idle: {stats:?}");
+
+    // And the probe recorded the whole run without reallocating: 10_000
+    // cycles at one sample per 100 cycles.
+    assert_eq!(sim.obs_windows().len(), 100, "probe sampled every boundary");
 }

@@ -9,16 +9,44 @@
 //! * `<out>/<name>.json` — the same rows plus a run manifest: the shared
 //!   flags, binary-specific config, `git describe`, and wall time.
 
+use std::collections::BTreeSet;
 use std::io;
 use std::path::PathBuf;
 use std::process::Command;
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use obs::{ArgValue, TraceBuilder, TraceSpan};
 
 use crate::cli::CampaignArgs;
 use crate::grid::{Job, Scenario};
 use crate::json::Value;
-use crate::pool;
+use crate::pool::{self, PoolOptions, PoolReport};
 use crate::table::Table;
+
+/// Accounting for one pool run, keyed by the stage label that was active
+/// when it ran. Recorded for every study and folded into the manifest's
+/// `stages` map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRecord {
+    /// Stage label ([`Campaign::set_stage`]; defaults to the campaign
+    /// name).
+    pub stage: String,
+    /// Jobs the pool ran.
+    pub jobs: usize,
+    /// Wall time of the pool run, milliseconds.
+    pub wall_ms: u64,
+    /// High-water mark of concurrently busy workers.
+    pub peak_workers: usize,
+}
+
+/// Engine-trace collection state: the span sink plus which thread tracks
+/// have been named already.
+#[derive(Debug, Default)]
+struct TraceState {
+    builder: TraceBuilder,
+    named_tids: BTreeSet<u64>,
+}
 
 /// One experiment invocation: shared flags plus sink bookkeeping.
 #[derive(Debug)]
@@ -26,13 +54,118 @@ pub struct Campaign {
     name: String,
     args: CampaignArgs,
     started: Instant,
+    stage: Mutex<String>,
+    stages: Mutex<Vec<StageRecord>>,
+    trace: Mutex<Option<TraceState>>,
 }
 
 impl Campaign {
     /// Starts a campaign named `name` (the output file stem).
     #[must_use]
     pub fn new(name: &str, args: CampaignArgs) -> Self {
-        Self { name: name.to_owned(), args, started: Instant::now() }
+        Self {
+            name: name.to_owned(),
+            args,
+            started: Instant::now(),
+            stage: Mutex::new(name.to_owned()),
+            stages: Mutex::new(Vec::new()),
+            trace: Mutex::new(None),
+        }
+    }
+
+    /// Labels subsequent pool runs in the manifest's `stages` map and the
+    /// engine trace. The label defaults to the campaign name; stages with
+    /// several pool phases call this between them.
+    pub fn set_stage(&self, label: &str) {
+        *self.stage.lock().unwrap() = label.to_owned();
+    }
+
+    /// Starts collecting engine-level spans (one per pool job) for
+    /// [`Campaign::write_trace`]. Off by default: span collection is
+    /// cheap, but traces only get written when a study asks for them.
+    pub fn enable_trace(&self) {
+        let mut trace = self.trace.lock().unwrap();
+        if trace.is_none() {
+            let mut state = TraceState::default();
+            state.builder.name_thread(0, "coordinator");
+            state.named_tids.insert(0);
+            *trace = Some(state);
+        }
+    }
+
+    /// The stage records accumulated so far, in execution order.
+    #[must_use]
+    pub fn stage_records(&self) -> Vec<StageRecord> {
+        self.stages.lock().unwrap().clone()
+    }
+
+    /// Writes the collected engine trace as Chrome-trace JSON to
+    /// `<out>/trace.json` and returns the path; `Ok(None)` when tracing
+    /// was never enabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_trace(&self) -> io::Result<Option<PathBuf>> {
+        let trace = self.trace.lock().unwrap();
+        let Some(state) = trace.as_ref() else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(&self.args.out)?;
+        let path = self.args.out.join("trace.json");
+        std::fs::write(&path, state.builder.to_json())?;
+        Ok(Some(path))
+    }
+
+    /// Reporting knobs for a pool run under this campaign: ticker always,
+    /// per-job stderr lines under `--progress`, spans when tracing.
+    fn pool_options(&self) -> PoolOptions<'_> {
+        PoolOptions {
+            ticker: Some(&self.name),
+            per_job: self.args.progress.then_some(self.name.as_str()),
+            collect_spans: self.trace.lock().unwrap().is_some(),
+        }
+    }
+
+    /// Books one finished pool run: appends the [`StageRecord`] and, when
+    /// tracing, converts the schedule spans (offset by `epoch_offset_ns`,
+    /// the campaign-relative start of the pool run) into trace spans named
+    /// by `describe(job_index)`.
+    fn record_pool_run(
+        &self,
+        jobs: usize,
+        report: &PoolReport,
+        epoch_offset_ns: u64,
+        describe: impl Fn(usize) -> (String, Vec<(&'static str, ArgValue)>),
+    ) {
+        let stage = self.stage.lock().unwrap().clone();
+        self.stages.lock().unwrap().push(StageRecord {
+            stage: stage.clone(),
+            jobs,
+            wall_ms: report.wall_ns / 1_000_000,
+            peak_workers: report.peak_workers,
+        });
+        let mut trace = self.trace.lock().unwrap();
+        let Some(state) = trace.as_mut() else {
+            return;
+        };
+        let mut stage_span = TraceSpan::new(stage, "stage", 0, epoch_offset_ns, report.wall_ns);
+        stage_span.args.push(("jobs", ArgValue::from(jobs)));
+        stage_span.args.push(("peak_workers", ArgValue::from(report.peak_workers)));
+        state.builder.push(stage_span);
+        for span in &report.spans {
+            let tid = span.worker as u64 + 1;
+            if state.named_tids.insert(tid) {
+                state.builder.name_thread(tid, format!("worker {}", span.worker));
+            }
+            let (name, args) = describe(span.index);
+            let mut event =
+                TraceSpan::new(name, "job", tid, epoch_offset_ns + span.start_ns, span.dur_ns);
+            event.args.push(("job", ArgValue::from(span.index)));
+            event.args.push(("wall_ns", ArgValue::from(span.dur_ns)));
+            event.args.extend(args);
+            state.builder.push(event);
+        }
     }
 
     /// The campaign name (output file stem).
@@ -76,7 +209,22 @@ impl Campaign {
         let scenario = scenario.clone().with_replicates(self.args.seeds);
         let jobs = scenario.jobs(self.args.campaign_seed);
         let workers = pool::budgeted_workers(self.args.workers, threads_per_job);
-        let results = pool::run_jobs(&jobs, workers, Job::weight, run, Some(&self.name));
+        let offset = ns_u64(self.started.elapsed());
+        let (results, report) =
+            pool::run_jobs_reported(&jobs, workers, Job::weight, run, self.pool_options());
+        self.record_pool_run(jobs.len(), &report, offset, |i| {
+            let job = &jobs[i];
+            let mut coord = format!("{} n={}", job.kind, job.n);
+            if let Some(rate) = job.rate {
+                let _ = std::fmt::Write::write_fmt(&mut coord, format_args!(" rate={rate}"));
+            }
+            let args = vec![
+                ("coord", ArgValue::from(coord.clone())),
+                ("replicate", ArgValue::from(job.replicate)),
+                ("shards", ArgValue::from(threads_per_job)),
+            ];
+            (coord, args)
+        });
         jobs.into_iter().zip(results).collect()
     }
 
@@ -90,7 +238,14 @@ impl Campaign {
         W: Fn(&J) -> u64,
         F: Fn(&J) -> R + Sync,
     {
-        pool::run_jobs(jobs, self.args.workers, weight, run, Some(&self.name))
+        let offset = ns_u64(self.started.elapsed());
+        let (results, report) =
+            pool::run_jobs_reported(jobs, self.args.workers, weight, run, self.pool_options());
+        let stage = self.stage.lock().unwrap().clone();
+        self.record_pool_run(jobs.len(), &report, offset, |i| {
+            (format!("{stage} job {i}"), Vec::new())
+        });
+        results
     }
 
     /// Writes `table` through the selected sinks and returns the paths
@@ -154,6 +309,35 @@ impl Campaign {
         doc.set("args", shared);
         doc.set("config", config);
 
+        // The per-stage wall-time map: every pool run books a record, so
+        // every study's manifest shows where its time went and how full
+        // the pool actually was.
+        let records = self.stages.lock().unwrap();
+        if !records.is_empty() {
+            let mut stages = Value::object();
+            let mut order: Vec<&str> = Vec::new();
+            for rec in records.iter() {
+                if !order.contains(&rec.stage.as_str()) {
+                    order.push(&rec.stage);
+                }
+            }
+            for label in order {
+                let (mut jobs, mut wall_ms, mut peak) = (0usize, 0u64, 0usize);
+                for rec in records.iter().filter(|r| r.stage == label) {
+                    jobs += rec.jobs;
+                    wall_ms += rec.wall_ms;
+                    peak = peak.max(rec.peak_workers);
+                }
+                let mut entry = Value::object();
+                entry.set("jobs", jobs);
+                entry.set("wall_ms", wall_ms);
+                entry.set("peak_workers", peak);
+                stages.set(label, entry);
+            }
+            doc.set("stages", stages);
+            doc.set("peak_workers", records.iter().map(|r| r.peak_workers).max().unwrap_or(0));
+        }
+
         let columns: Vec<Value> =
             table.header().iter().map(|c| Value::Str(c.clone())).collect();
         doc.set("columns", Value::Arr(columns));
@@ -178,6 +362,12 @@ impl Campaign {
         doc.set("rows", Value::Arr(rows));
         doc
     }
+}
+
+/// Saturating nanosecond count of a [`Duration`] (u64 overflows after
+/// ~584 years of campaign wall time).
+fn ns_u64(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// `git describe --always --dirty`, or `"unknown"` outside a git checkout.
@@ -208,6 +398,7 @@ mod tests {
             out: out.to_path_buf(),
             format: OutputFormat::Both,
             campaign_seed: 7,
+            progress: false,
         }
     }
 
@@ -234,6 +425,52 @@ mod tests {
         assert!(json.contains("\"campaign\":\"unit\""));
         assert!(json.contains("\"seeds\":2"));
         assert!(json.contains("\"rows\":[{\"n\":2,\"value\":20}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pool_runs_book_stage_records_into_the_manifest() {
+        let dir = std::env::temp_dir().join("xp_campaign_stages");
+        let _ = std::fs::remove_dir_all(&dir);
+        let campaign = Campaign::new("staged", test_args(&dir));
+        campaign.set_stage("sweep");
+        let scenario = Scenario::new(&[ArrangementKind::Grid], &[2]);
+        let _ = campaign.run_grid(&scenario, |job| job.n);
+        campaign.set_stage("refine");
+        let _ = campaign.run_jobs(&[1u64, 2, 3], |_| 1, |j| j + 1);
+
+        let records = campaign.stage_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].stage, "sweep");
+        assert_eq!(records[0].jobs, 2, "1 n x --seeds 2");
+        assert_eq!(records[1].stage, "refine");
+        assert_eq!(records[1].jobs, 3);
+        assert!(records.iter().all(|r| (1..=4).contains(&r.peak_workers)));
+
+        let table = Table::new(&["n"]);
+        let json = campaign.manifest(&table, Value::object()).to_json();
+        assert!(json.contains("\"stages\":{\"sweep\":{\"jobs\":2"), "{json}");
+        assert!(json.contains("\"refine\":{\"jobs\":3"), "{json}");
+        assert!(json.contains("\"peak_workers\":"), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enabled_trace_collects_spans_and_writes_json() {
+        let dir = std::env::temp_dir().join("xp_campaign_trace");
+        let _ = std::fs::remove_dir_all(&dir);
+        let campaign = Campaign::new("traced", test_args(&dir));
+        assert_eq!(campaign.write_trace().unwrap(), None, "off by default");
+        campaign.enable_trace();
+        let scenario = Scenario::new(&[ArrangementKind::Grid], &[2, 3]).with_rates(&[0.1]);
+        let _ = campaign.run_grid(&scenario, |job| job.n);
+        let path = campaign.write_trace().unwrap().expect("trace path");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"coordinator\""), "{json}");
+        assert!(json.contains("Grid n=2 rate=0.1"), "{json}");
+        assert!(json.contains("\"replicate\":"), "{json}");
+        assert!(json.contains("\"shards\":1"), "{json}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

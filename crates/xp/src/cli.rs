@@ -65,8 +65,8 @@ impl std::fmt::Display for OutputFormat {
 /// The flags [`CampaignArgs::parse`] consumes — every engine binary
 /// accepts these on top of its own. [`with_shared`] builds the allow-list
 /// for [`reject_unknown_flags`].
-pub const SHARED_FLAGS: [&str; 7] =
-    ["--workers", "--seeds", "--quick", "--full", "--out", "--format", "--seed"];
+pub const SHARED_FLAGS: [&str; 8] =
+    ["--workers", "--seeds", "--quick", "--full", "--out", "--format", "--seed", "--progress"];
 
 /// The shared campaign flags plus a binary's own flags, for
 /// [`reject_unknown_flags`].
@@ -234,6 +234,10 @@ pub struct CampaignArgs {
     /// Campaign master seed (`--seed`, default the simulator's paper
     /// seed) from which every job seed is derived.
     pub campaign_seed: u64,
+    /// Per-job completion lines on stderr (`--progress`, off by
+    /// default). Never touches stdout, so golden CSV output stays
+    /// byte-identical.
+    pub progress: bool,
 }
 
 impl CampaignArgs {
@@ -269,7 +273,8 @@ impl CampaignArgs {
         let out = PathBuf::from(try_arg_value(args, "--out")?.unwrap_or("results").to_owned());
         let format = try_arg(args, "--format", OutputFormat::Both)?;
         let campaign_seed = try_arg(args, "--seed", 0xD2D_11CC)?;
-        Ok(Self { workers, seeds, quick, full, out, format, campaign_seed })
+        let progress = arg_flag(args, "--progress");
+        Ok(Self { workers, seeds, quick, full, out, format, campaign_seed, progress })
     }
 }
 
@@ -292,6 +297,9 @@ mod tests {
         assert!(c.workers >= 1);
         assert_eq!(c.format, OutputFormat::Both);
         assert_eq!(c.out, PathBuf::from("results"));
+        assert!(!c.progress, "--progress is off by default");
+        let c = CampaignArgs::try_parse(&args(&["bin", "--progress"])).unwrap();
+        assert!(c.progress);
     }
 
     #[test]

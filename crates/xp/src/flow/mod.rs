@@ -38,7 +38,10 @@ use hexamesh::eval::{normalize, EvalError, EvalParams, EvalResult};
 use hexamesh::link::{estimate_link, LinkParams, UCIE_POWER_FRACTION, UCIE_TOTAL_AREA_MM2};
 use hexamesh::shape::{shape_for, ShapeError, ShapeParams};
 use nocsim::measure as noc_measure;
-use nocsim::{MeasureConfig, ShardedSimulator, SimConfig, SimError, Simulator, TrafficPattern};
+use nocsim::{
+    LoadPointObservation, MeasureConfig, Probe, ShardedSimulator, SimConfig, SimError,
+    Simulator, TrafficPattern,
+};
 
 use crate::cli::CampaignArgs;
 use crate::grid::{expand_replicates, kind_code, pattern_code, Scenario, OPTIMIZED_KIND_CODE};
@@ -249,6 +252,10 @@ pub fn run_study(
 ) -> Result<StudyReport, StudyError> {
     spec.validate().map_err(StudyError::Spec)?;
     let campaign = Campaign::new(&spec.name, args);
+    if spec.observe.trace {
+        campaign.enable_trace();
+    }
+    campaign.set_stage(spec.stage.name());
     let output = match spec.stage {
         StageKind::Proxies => proxies_stage(spec, &campaign),
         StageKind::Saturation => saturation_stage(spec, &campaign),
@@ -273,6 +280,11 @@ pub fn run_study(
     for staged in &output.tables {
         let stem = staged.stem.clone().unwrap_or_else(|| campaign.name().to_owned());
         written.extend(campaign.finish_named(&stem, &staged.table, config.clone())?);
+    }
+    if spec.observe.trace {
+        if let Some(path) = campaign.write_trace()? {
+            written.push(path);
+        }
     }
     Ok(StudyReport { written, summary: output.summary, tables: output.tables })
 }
@@ -562,32 +574,58 @@ struct CurvePoint {
     queue_mean: f64,
 }
 
-fn curve_point(
-    graph: &Graph,
-    sim: SimConfig,
-    rate: f64,
-    pattern: TrafficPattern,
-    seed: u64,
-    windows: (u64, u64),
-    shards: usize,
-) -> CurvePoint {
+/// The base [`SimConfig`] with one curve point's coordinates applied.
+fn point_config(sim: SimConfig, rate: f64, pattern: TrafficPattern, seed: u64) -> SimConfig {
     let mut config = sim;
     config.injection_rate = rate;
     config.pattern = pattern;
     config.seed = seed;
+    config
+}
+
+fn curve_point(
+    graph: &Graph,
+    config: SimConfig,
+    windows: (u64, u64),
+    shards: usize,
+    probe: Option<Probe>,
+) -> (CurvePoint, Option<LoadPointObservation>) {
+    let observing = probe.is_some();
     // One histogram merge serves all three tail percentiles. The sharded
-    // engine is bit-identical, so `shards` never changes a row.
-    let (stats, tails) = if shards > 1 {
+    // engine is bit-identical, so `shards` never changes a row — and the
+    // probe records on the side, so observing never changes one either
+    // (the zero-perturbation contract, pinned by nocsim's probe tests).
+    let (stats, tails, observed) = if shards > 1 {
         let mut simulator =
             ShardedSimulator::new(graph, config, shards).expect("valid configuration");
+        if let Some(probe) = probe {
+            simulator.attach_probe(probe);
+        }
         let stats = simulator.run_to_window(windows.0, windows.1);
-        (stats, simulator.latency_percentiles(&[0.50, 0.95, 0.99]))
+        let tails = simulator.latency_percentiles(&[0.50, 0.95, 0.99]);
+        let observed = observing.then(|| {
+            let mut o = LoadPointObservation::default();
+            o.windows = simulator.obs_windows();
+            o.channel_loads = simulator.channel_loads();
+            o
+        });
+        (stats, tails, observed)
     } else {
         let mut simulator = Simulator::new(graph, config).expect("valid configuration");
+        if let Some(probe) = probe {
+            simulator.attach_probe(probe);
+        }
         let stats = simulator.run_to_window(windows.0, windows.1);
-        (stats, simulator.latency_percentiles(&[0.50, 0.95, 0.99]))
+        let tails = simulator.latency_percentiles(&[0.50, 0.95, 0.99]);
+        let observed = observing.then(|| {
+            let mut o = LoadPointObservation::default();
+            o.windows = simulator.detach_probe();
+            o.channel_loads = simulator.channel_loads();
+            o
+        });
+        (stats, tails, observed)
     };
-    CurvePoint {
+    let point = CurvePoint {
         accepted: stats.accepted_flits_per_cycle_per_endpoint,
         avg: stats.avg_packet_latency.unwrap_or(f64::NAN),
         p50: tails[0].unwrap_or(f64::NAN),
@@ -595,7 +633,139 @@ fn curve_point(
         p99: tails[2].unwrap_or(f64::NAN),
         queue_max: stats.max_source_queue_flits,
         queue_mean: stats.avg_source_queue_flits,
+    };
+    (point, observed)
+}
+
+// ── load-curve observability ────────────────────────────────────────────
+
+/// Default probe sampling window (cycles) when `observe.sample_every` is
+/// absent.
+const DEFAULT_SAMPLE_EVERY: u64 = 250;
+
+/// One observed load point: its coordinates plus what the probe saw.
+struct ObservedPoint {
+    /// Fixed arrangement family; `None` for search-discovered (`OPT`)
+    /// rows, which have no physical placement to draw.
+    kind: Option<ArrangementKind>,
+    label: String,
+    n: usize,
+    rate: f64,
+    pattern: TrafficPattern,
+    replicate: u64,
+    obs: LoadPointObservation,
+}
+
+/// The windowed time series of every observed point as one long table
+/// (the `timeline` companion artefact).
+fn timeline_table(points: &[ObservedPoint], endpoints_per_router: usize) -> Table {
+    let mut table = Table::new(&[
+        "kind",
+        "n",
+        "pattern",
+        "offered_flits_per_cycle",
+        "replicate",
+        "window",
+        "start_cycle",
+        "end_cycle",
+        "received_flits_per_cycle_per_endpoint",
+        "avg_latency_cycles",
+        "flits_in_network",
+        "buffered_flits",
+        "vc_starved",
+        "credit_starved",
+        "switch_lost",
+        "link_flits",
+        "max_link_flits",
+    ]);
+    for point in points {
+        let endpoints = point.n * endpoints_per_router;
+        let pattern_name = point.pattern.name();
+        for w in &point.obs.windows {
+            table.row(&[
+                &point.label,
+                &point.n,
+                &pattern_name,
+                &f3(point.rate),
+                &point.replicate,
+                &w.window,
+                &w.start_cycle,
+                &w.end_cycle,
+                &f3(w.received_flits_per_cycle_per_endpoint(endpoints)),
+                &f3(w.avg_latency().unwrap_or(f64::NAN)),
+                &w.flits_in_network,
+                &w.buffered_flits,
+                &w.stalls.vc_starved,
+                &w.stalls.credit_starved,
+                &w.stalls.switch_lost,
+                &w.link_flits,
+                &w.max_link_flits,
+            ]);
+        }
     }
+    table
+}
+
+/// Renders one congestion-heatmap SVG per replicate-0 observed point that
+/// has a physical placement (the honeycomb and `OPT` rows are graph-only
+/// and are skipped). Returns the paths written.
+fn write_heatmaps(
+    out: &std::path::Path,
+    points: &[ObservedPoint],
+) -> io::Result<Vec<std::path::PathBuf>> {
+    use chiplet_layout::svg::{to_heatmap_svg, HeatOverlay, SvgStyle};
+
+    let mut written = Vec::new();
+    for point in points {
+        if point.replicate != 0 {
+            continue;
+        }
+        let Some(kind) = point.kind else {
+            continue;
+        };
+        let arrangement = Arrangement::build(kind, point.n).expect("any n builds");
+        let Some(placement) = arrangement.placement() else {
+            continue;
+        };
+        // Fold the directed channel loads into undirected edge totals and
+        // per-vertex sums, each normalised to its hottest element so the
+        // full colour ramp is always used.
+        let n = point.n;
+        let mut vertex = vec![0u64; n];
+        let mut edges: Vec<((usize, usize), u64)> = Vec::new();
+        for &(src, dst, flits) in &point.obs.channel_loads {
+            if let Some(sum) = vertex.get_mut(src) {
+                *sum += flits;
+            }
+            if let Some(sum) = vertex.get_mut(dst) {
+                *sum += flits;
+            }
+            let key = (src.min(dst), src.max(dst));
+            match edges.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, sum)) => *sum += flits,
+                None => edges.push((key, flits)),
+            }
+        }
+        let vertex_max = vertex.iter().copied().max().unwrap_or(0).max(1) as f64;
+        let edge_max = edges.iter().map(|&(_, sum)| sum).max().unwrap_or(0).max(1) as f64;
+        let cell_load: Vec<f64> = vertex.iter().map(|&v| v as f64 / vertex_max).collect();
+        let edge_load: Vec<(usize, usize, f64)> =
+            edges.iter().map(|&((a, b), sum)| (a, b, sum as f64 / edge_max)).collect();
+
+        let heat = HeatOverlay { cell_load: &cell_load, edge_load: &edge_load };
+        let svg = to_heatmap_svg(placement, &SvgStyle::default(), &heat);
+        let permille = (point.rate * 1000.0).round() as u64;
+        std::fs::create_dir_all(out)?;
+        let path = out.join(format!(
+            "heatmap_{}_n{}_r{permille:03}_{}.svg",
+            kind.name(),
+            point.n,
+            point.pattern.name()
+        ));
+        std::fs::write(&path, svg)?;
+        written.push(path);
+    }
+    Ok(written)
 }
 
 fn load_curve_stage(
@@ -623,18 +793,24 @@ fn load_curve_stage(
     let sim = base_sim(spec);
     let shards = spec.sim.shards.unwrap_or(1);
     let optimized = require_optimized_hook(spec, hooks)?;
+    // `[observe]`: probes ride along with every job (recording into
+    // preallocated buffers, never changing a row) and feed the timeline
+    // table and the per-point heatmaps below.
+    let probe = spec.observe.wants_probe().then(|| {
+        let every = spec.observe.sample_every.unwrap_or(DEFAULT_SAMPLE_EVERY);
+        Probe::new(every, Probe::capacity_for(every, windows.0 + windows.1) + 1)
+    });
+    let mut observed_points: Vec<ObservedPoint> = Vec::new();
 
     let scenario = Scenario::new(&kinds, &ns).with_rates(&rates).with_patterns(&patterns);
     let results = campaign.run_grid_budgeted(&scenario, shards, |job| {
         let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
         curve_point(
             arrangement.graph(),
-            sim,
-            job.rate.expect("rate axis set"),
-            job.pattern,
-            job.seed,
+            point_config(sim, job.rate.expect("rate axis set"), job.pattern, job.seed),
             windows,
             shards,
+            probe,
         )
     });
 
@@ -684,7 +860,21 @@ fn load_curve_stage(
             (job.kind.label().to_owned(), job.n, job.rate.expect("rate axis set"), job.pattern)
         })
         .collect();
-    let grid_points: Vec<CurvePoint> = results.into_iter().map(|(_, p)| p).collect();
+    let mut grid_points: Vec<CurvePoint> = Vec::with_capacity(results.len());
+    for (job, (point, obs)) in results {
+        grid_points.push(point);
+        if let Some(obs) = obs {
+            observed_points.push(ObservedPoint {
+                kind: Some(job.kind),
+                label: job.kind.label().to_owned(),
+                n: job.n,
+                rate: job.rate.expect("rate axis set"),
+                pattern: job.pattern,
+                replicate: job.replicate,
+                obs,
+            });
+        }
+    }
     add_rows(&grid_jobs, &grid_points);
 
     // Search-discovered arrangement rows, appended after the fixed
@@ -707,25 +897,61 @@ fn load_curve_stage(
                     vec![OPTIMIZED_KIND_CODE, n as u64, rate.to_bits(), pattern_code(pattern)]
                 },
             );
-            let points = campaign.run_jobs(
+            let results = campaign.run_jobs(
                 &expanded,
                 |&((_, n, _, _), _)| n as u64,
                 |&((_, _, rate, pattern), seed)| {
-                    curve_point(&graph, sim, rate, pattern, seed, windows, shards)
+                    curve_point(
+                        &graph,
+                        point_config(sim, rate, pattern, seed),
+                        windows,
+                        shards,
+                        probe,
+                    )
                 },
             );
+            let mut points = Vec::with_capacity(results.len());
+            for (index, (point, obs)) in results.into_iter().enumerate() {
+                points.push(point);
+                if let Some(obs) = obs {
+                    let ((_, n, rate, pattern), _) = expanded[index];
+                    observed_points.push(ObservedPoint {
+                        kind: None,
+                        label: OPTIMIZED_LABEL.to_owned(),
+                        n,
+                        rate,
+                        pattern,
+                        replicate: (index % k) as u64,
+                        obs,
+                    });
+                }
+            }
             add_rows(&opt_jobs, &points);
         }
     }
 
-    let summary = vec![format!(
+    let mut summary = vec![format!(
         "load curves over kinds={} ns={ns:?} rates={} patterns={} ({} rows)",
         kinds.len(),
         rates.len(),
         patterns.len(),
         table.len()
     )];
-    Ok(StageOutput { tables: vec![StageTable::main(table)], summary })
+    let mut tables = vec![StageTable::main(table)];
+    if spec.observe.timeline {
+        let timeline = timeline_table(&observed_points, sim.endpoints_per_router);
+        summary.push(format!("timeline: {} windowed samples", timeline.len()));
+        tables.push(StageTable { stem: Some("timeline".to_owned()), table: timeline });
+    }
+    if spec.observe.heatmap {
+        let paths = write_heatmaps(&campaign.args().out, &observed_points)?;
+        summary.push(format!(
+            "heatmaps: {} SVGs under {}",
+            paths.len(),
+            campaign.args().out.display()
+        ));
+    }
+    Ok(StageOutput { tables, summary })
 }
 
 // ── workload stage ──────────────────────────────────────────────────────
@@ -1507,6 +1733,7 @@ mod tests {
             out: dir.to_path_buf(),
             format: OutputFormat::Csv,
             campaign_seed: 7,
+            progress: false,
         }
     }
 
@@ -1571,6 +1798,54 @@ mod tests {
         let csv = std::fs::read_to_string(&report.written[0]).unwrap();
         assert!(csv.starts_with("kind,regularity,n,diameter,bisection\n"));
         assert_eq!(csv.lines().count(), 1 + 2 * 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observed_load_curve_emits_artefacts_without_changing_rows() {
+        let dir = std::env::temp_dir().join("xp_flow_observe");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut spec = StudySpec::new("curve_unit", StageKind::LoadCurve);
+        spec.axes.kinds = Some(vec![ArrangementKind::HexaMesh, ArrangementKind::Grid]);
+        spec.axes.ns = Some(vec![7]);
+        spec.axes.rates = Some(vec![0.1]);
+        spec.schedule = Some(crate::spec::Schedule::new(300, 600));
+        let plain =
+            run_study(&spec, args(&dir.join("plain"), 2), &StageHooks::default()).unwrap();
+
+        spec.observe.sample_every = Some(150);
+        spec.observe.timeline = true;
+        spec.observe.heatmap = true;
+        spec.observe.trace = true;
+        let watched_dir = dir.join("watched");
+        let watched = run_study(&spec, args(&watched_dir, 2), &StageHooks::default()).unwrap();
+
+        // Zero perturbation: observing never changes the result rows.
+        assert_eq!(
+            std::fs::read_to_string(&plain.written[0]).unwrap(),
+            std::fs::read_to_string(&watched.written[0]).unwrap()
+        );
+
+        // Timeline: (300 + 600) / 150 = 6 windows per job, 2 jobs.
+        let timeline = std::fs::read_to_string(watched_dir.join("timeline.csv")).unwrap();
+        assert!(timeline.starts_with("kind,n,pattern,offered_flits_per_cycle,replicate,"));
+        assert_eq!(timeline.lines().count(), 1 + 2 * 6, "{timeline}");
+        assert!(timeline.contains("\nHM,7,"), "{timeline}");
+
+        // Heatmaps: one SVG per (kind, rate) at replicate 0.
+        for name in ["heatmap_hexamesh_n7_r100_uniform.svg", "heatmap_grid_n7_r100_uniform.svg"]
+        {
+            let svg = std::fs::read_to_string(watched_dir.join(name)).unwrap();
+            assert!(svg.starts_with("<svg"), "{name}: {svg}");
+            assert!(svg.contains("stroke=\"#"), "{name} draws heat edges");
+        }
+
+        // Trace: a Perfetto-loadable document with one span per job.
+        let trace = std::fs::read_to_string(watched_dir.join("trace.json")).unwrap();
+        assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+        assert!(trace.contains("\"load_curve\""), "stage span present: {trace}");
+        assert!(trace.contains("HexaMesh n=7"), "{trace}");
+        assert!(watched.written.iter().any(|p| p.ends_with("trace.json")));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -13,10 +13,51 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often the progress ticker prints.
 const TICK: Duration = Duration::from_secs(2);
+
+/// One completed job's schedule record: which worker ran it and when,
+/// relative to the pool's start. Feeds the engine-level trace sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpan {
+    /// Submission index of the job.
+    pub index: usize,
+    /// Worker slot that ran it (a stable thread-track id).
+    pub worker: usize,
+    /// Start offset from the pool launch, nanoseconds.
+    pub start_ns: u64,
+    /// Wall duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// What a pool run did, beyond the results: schedule spans (when
+/// requested) and occupancy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolReport {
+    /// Per-job schedule records, in submission order; empty unless
+    /// [`PoolOptions::collect_spans`] was set.
+    pub spans: Vec<JobSpan>,
+    /// High-water mark of concurrently busy workers.
+    pub peak_workers: usize,
+    /// Wall time of the whole pool run, nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Reporting knobs for [`run_jobs_reported`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolOptions<'a> {
+    /// Label for the periodic `done/total` stderr ticker (`None` =
+    /// silent).
+    pub ticker: Option<&'a str>,
+    /// Label for per-job completion lines on stderr (`--progress`);
+    /// `None` = silent. Lines go to stderr only, so stdout sinks stay
+    /// byte-identical.
+    pub per_job: Option<&'a str>,
+    /// Record a [`JobSpan`] per job.
+    pub collect_spans: bool,
+}
 
 /// Pool size for jobs that are themselves `threads_per_job`-way parallel
 /// (e.g. sharded simulations): divides the worker budget so job-level ×
@@ -49,9 +90,35 @@ where
     W: Fn(&J) -> u64,
     F: Fn(&J) -> R + Sync,
 {
+    let options = PoolOptions { ticker: progress, ..PoolOptions::default() };
+    run_jobs_reported(jobs, workers, weight, run, options).0
+}
+
+/// [`run_jobs`] plus a [`PoolReport`]: per-job schedule spans (when
+/// requested), peak worker occupancy, and the pool's wall time. Same
+/// determinism contract — results in submission order, byte-identical
+/// for any worker count; only the report (and stderr) reflects the
+/// actual schedule.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the scope joins all workers first).
+pub fn run_jobs_reported<J, R, W, F>(
+    jobs: &[J],
+    workers: usize,
+    weight: W,
+    run: F,
+    options: PoolOptions<'_>,
+) -> (Vec<R>, PoolReport)
+where
+    J: Sync,
+    R: Send,
+    W: Fn(&J) -> u64,
+    F: Fn(&J) -> R + Sync,
+{
     let total = jobs.len();
     if total == 0 {
-        return Vec::new();
+        return (Vec::new(), PoolReport::default());
     }
     // Dispatch stack: ascending weight, popped from the end ⇒ heaviest
     // first. Ties keep submission order for a stable schedule.
@@ -76,20 +143,55 @@ where
 
     let num_workers = workers.max(1).min(total);
     let workers_exited = AtomicUsize::new(0);
+    let busy = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let spans: Mutex<Vec<JobSpan>> = Mutex::new(Vec::new());
+    let epoch = Instant::now();
     std::thread::scope(|scope| {
-        for _ in 0..num_workers {
-            scope.spawn(|| {
-                let _exited = CountOnDrop(&workers_exited);
+        for worker in 0..num_workers {
+            let busy = &busy;
+            let peak = &peak;
+            let spans = &spans;
+            let done = &done;
+            let workers_exited = &workers_exited;
+            let queue = &queue;
+            let slots = &slots;
+            let run = &run;
+            let options = &options;
+            scope.spawn(move || {
+                let _exited = CountOnDrop(workers_exited);
                 loop {
                     let job = queue.lock().expect("queue lock").pop();
                     let Some(i) = job else { break };
-                    let _done = CountOnDrop(&done);
+                    let _done = CountOnDrop(done);
+                    let now_busy = busy.fetch_add(1, Ordering::Relaxed) + 1;
+                    peak.fetch_max(now_busy, Ordering::Relaxed);
+                    let start = Instant::now();
                     let result = run(&jobs[i]);
+                    let dur = start.elapsed();
+                    busy.fetch_sub(1, Ordering::Relaxed);
                     *slots[i].lock().expect("slot lock") = Some(result);
+                    if options.collect_spans {
+                        spans.lock().expect("span lock").push(JobSpan {
+                            index: i,
+                            worker,
+                            start_ns: ns(start.duration_since(epoch)),
+                            dur_ns: ns(dur),
+                        });
+                    }
+                    if let Some(label) = options.per_job {
+                        // Relaxed count: the line is informational, and
+                        // stderr never feeds an output sink.
+                        let d = done.load(Ordering::Relaxed) + 1;
+                        eprintln!(
+                            "{label}: job {i} done in {} ms [{d}/{total}]",
+                            dur.as_millis()
+                        );
+                    }
                 }
             });
         }
-        if let Some(label) = progress {
+        if let Some(label) = options.ticker {
             let done = &done;
             let workers_exited = &workers_exited;
             scope.spawn(move || {
@@ -113,10 +215,23 @@ where
         }
     });
 
-    slots
+    let results = slots
         .into_iter()
         .map(|slot| slot.into_inner().expect("slot mutex").expect("every job ran exactly once"))
-        .collect()
+        .collect();
+    let mut spans = spans.into_inner().expect("span mutex");
+    spans.sort_by_key(|s| s.index);
+    let report = PoolReport {
+        spans,
+        peak_workers: peak.load(Ordering::Relaxed),
+        wall_ns: ns(epoch.elapsed()),
+    };
+    (results, report)
+}
+
+/// Saturating nanosecond count of a duration.
+fn ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -161,6 +276,40 @@ mod tests {
             "pool did not overlap jobs: {:?}",
             t0.elapsed()
         );
+    }
+
+    #[test]
+    fn report_records_spans_and_occupancy() {
+        let jobs: Vec<u32> = (0..12).collect();
+        let options = PoolOptions { collect_spans: true, ..PoolOptions::default() };
+        let (out, report) = run_jobs_reported(
+            &jobs,
+            4,
+            |_| 1,
+            |&j| {
+                std::thread::sleep(Duration::from_millis(5));
+                j * 2
+            },
+            options,
+        );
+        assert_eq!(out, (0..12).map(|j| j * 2).collect::<Vec<_>>());
+        assert_eq!(report.spans.len(), 12);
+        // Spans come back sorted by submission index with sane fields.
+        for (i, s) in report.spans.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert!(s.worker < 4);
+            assert!(s.dur_ns > 0);
+        }
+        assert!(report.peak_workers >= 1 && report.peak_workers <= 4);
+        assert!(report.wall_ns > 0);
+    }
+
+    #[test]
+    fn spans_are_off_by_default() {
+        let (_, report) =
+            run_jobs_reported(&[1u32, 2], 2, |_| 1, |&j| j, PoolOptions::default());
+        assert!(report.spans.is_empty());
+        assert!(report.peak_workers >= 1);
     }
 
     #[test]

@@ -265,6 +265,45 @@ pub struct FaultsSpec {
     pub retransmit_timeout: Option<u64>,
 }
 
+/// Observability settings (`[observe]`): windowed time-series probes,
+/// per-load-point congestion heatmaps, and engine-level tracing.
+///
+/// Everything here is off by default, and turning any of it on never
+/// changes the result tables: probes record into preallocated buffers on
+/// the side (the zero-perturbation contract, pinned by the nocsim probe
+/// equivalence tests), heatmaps/timelines are extra files, and tracing
+/// only watches the worker pool.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub struct ObserveSpec {
+    /// Probe sampling window in cycles; `None` = 250 when a probe
+    /// consumer (`timeline` / `heatmap`) is enabled.
+    pub sample_every: Option<u64>,
+    /// Render a congestion heatmap SVG per load point (replicate 0),
+    /// merging per-link flit counts with the physical placement.
+    pub heatmap: bool,
+    /// Write the windowed time series as a `timeline` companion table.
+    pub timeline: bool,
+    /// Write engine-level spans as Chrome-trace `trace.json` next to the
+    /// manifest (loadable by Perfetto / `chrome://tracing`).
+    pub trace: bool,
+}
+
+impl ObserveSpec {
+    /// `true` when nothing is enabled (the default).
+    #[must_use]
+    pub fn is_off(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// `true` when a simulator-side probe must be attached (the timeline
+    /// and heatmap both consume per-run observations).
+    #[must_use]
+    pub fn wants_probe(&self) -> bool {
+        self.timeline || self.heatmap
+    }
+}
+
 /// Output configuration beyond the shared `--out` / `--format` flags.
 #[derive(Debug, Clone, PartialEq, Default)]
 #[non_exhaustive]
@@ -303,6 +342,8 @@ pub struct StudySpec {
     pub saturation: SaturationOverrides,
     /// Fault-injection parameters (resilience stage).
     pub faults: FaultsSpec,
+    /// Observability settings.
+    pub observe: ObserveSpec,
     /// Output configuration.
     pub output: OutputSpec,
 }
@@ -324,6 +365,7 @@ impl StudySpec {
             workload: WorkloadOverrides::default(),
             saturation: SaturationOverrides::default(),
             faults: FaultsSpec::default(),
+            observe: ObserveSpec::default(),
             output: OutputSpec::default(),
         }
     }
@@ -388,6 +430,7 @@ impl StudySpec {
                 "workload" => spec.workload = decode_workload(section)?,
                 "saturation" => spec.saturation = decode_saturation(section)?,
                 "faults" => spec.faults = decode_faults(section)?,
+                "observe" => spec.observe = decode_observe(section)?,
                 "output" => spec.output = decode_output(section)?,
                 other => return Err(format!("unknown spec key {other:?}")),
             }
@@ -515,6 +558,21 @@ impl StudySpec {
         }
         set_section(&mut root, "faults", faults);
 
+        let mut observe = Value::object();
+        if let Some(every) = self.observe.sample_every {
+            observe.set("sample_every", every);
+        }
+        if self.observe.heatmap {
+            observe.set("heatmap", true);
+        }
+        if self.observe.timeline {
+            observe.set("timeline", true);
+        }
+        if self.observe.trace {
+            observe.set("trace", true);
+        }
+        set_section(&mut root, "observe", observe);
+
         let mut output = Value::object();
         if let Some(dir) = &self.output.dir {
             output.set("dir", dir.as_str());
@@ -595,6 +653,21 @@ impl StudySpec {
         }
         if self.faults.retransmit_timeout == Some(0) {
             return Err("`faults.retransmit_timeout` must be at least 1".to_owned());
+        }
+        if self.observe.sample_every == Some(0) {
+            return Err("`observe.sample_every` must be at least 1".to_owned());
+        }
+        if self.observe.sample_every.is_some() && !self.observe.wants_probe() {
+            return Err("`observe.sample_every` is set but neither `observe.timeline` nor \
+                 `observe.heatmap` is enabled"
+                .to_owned());
+        }
+        if self.observe.wants_probe() && self.stage != StageKind::LoadCurve {
+            return Err(format!(
+                "`observe.timeline` / `observe.heatmap` replay load points and are only \
+                 supported by the load_curve stage, not {}",
+                self.stage
+            ));
         }
         if self.sim.shards == Some(0) {
             return Err("`sim.shards` must be at least 1".to_owned());
@@ -861,6 +934,16 @@ fn decode_faults(section: &Value) -> Result<FaultsSpec, String> {
     })
 }
 
+fn decode_observe(section: &Value) -> Result<ObserveSpec, String> {
+    reject_unknown(section, &["sample_every", "heatmap", "timeline", "trace"], "observe")?;
+    Ok(ObserveSpec {
+        sample_every: u64_field(section, "sample_every")?,
+        heatmap: bool_field(section, "heatmap")?.unwrap_or(false),
+        timeline: bool_field(section, "timeline")?.unwrap_or(false),
+        trace: bool_field(section, "trace")?.unwrap_or(false),
+    })
+}
+
 fn decode_output(section: &Value) -> Result<OutputSpec, String> {
     reject_unknown(section, &["dir", "to_repo_root"], "output")?;
     Ok(OutputSpec {
@@ -1057,6 +1140,49 @@ mod tests {
         assert!(zero.validate().is_err());
         assert!(StudySpec::from_toml(
             "name = \"s\"\nstage = \"resilience\"\n[faults]\ntypo = 1\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn observe_section_round_trips_and_is_validated() {
+        let mut spec = StudySpec::new("watched", StageKind::LoadCurve);
+        spec.observe.sample_every = Some(200);
+        spec.observe.heatmap = true;
+        spec.observe.timeline = true;
+        spec.observe.trace = true;
+        spec.validate().unwrap();
+        let round_tripped = StudySpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(round_tripped, spec);
+        let via_json = StudySpec::from_json(&spec.to_value().to_json()).unwrap();
+        assert_eq!(via_json, spec);
+
+        let toml = StudySpec::from_toml(concat!(
+            "name = \"watched\"\nstage = \"load_curve\"\n",
+            "[observe]\ntimeline = true\nsample_every = 125\n",
+        ))
+        .unwrap();
+        assert_eq!(toml.observe.sample_every, Some(125));
+        assert!(toml.observe.timeline);
+        assert!(!toml.observe.heatmap);
+
+        // Rejections: zero window, orphan sample_every, wrong stage.
+        let mut zero = StudySpec::new("s", StageKind::LoadCurve);
+        zero.observe.sample_every = Some(0);
+        zero.observe.timeline = true;
+        assert!(zero.validate().is_err());
+        let mut orphan = StudySpec::new("s", StageKind::LoadCurve);
+        orphan.observe.sample_every = Some(100);
+        assert!(orphan.validate().is_err(), "sample_every needs a probe consumer");
+        let mut wrong_stage = StudySpec::new("s", StageKind::Saturation);
+        wrong_stage.observe.heatmap = true;
+        assert!(wrong_stage.validate().is_err(), "heatmap replays load_curve points");
+        // Pool tracing is engine-level and works for any stage.
+        let mut traced = StudySpec::new("s", StageKind::Saturation);
+        traced.observe.trace = true;
+        traced.validate().unwrap();
+        assert!(StudySpec::from_toml(
+            "name = \"s\"\nstage = \"load_curve\"\n[observe]\ntypo = 1\n"
         )
         .is_err());
     }

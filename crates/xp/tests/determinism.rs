@@ -19,6 +19,7 @@ fn args(workers: usize, seeds: u64) -> CampaignArgs {
         out: std::env::temp_dir().join("xp_determinism"),
         format: OutputFormat::Csv,
         campaign_seed: 0xD2D_11CC,
+        progress: false,
     }
 }
 

@@ -39,6 +39,7 @@ fn main() -> Result<(), StudyError> {
         out: std::env::temp_dir().join("custom_study"),
         format: OutputFormat::Csv,
         campaign_seed: spec.seed.unwrap_or(0),
+        progress: false,
     };
 
     let report = flow::run_study(&spec, args, &arrange::study::hooks())?;
