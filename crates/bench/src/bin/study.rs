@@ -11,6 +11,11 @@
 //! study --spec FILE.toml|FILE.json     # run a spec file
 //! study --preset NAME                  # run a registered preset
 //! study --list                         # list presets and stages
+//! study serve [--cache-dir DIR] [--socket PATH] [--stats-out FILE]
+//!                                      # resident service: JSONL spec
+//!                                      # requests on stdin (or the Unix
+//!                                      # socket), served from a
+//!                                      # content-addressed result cache
 //! ```
 //! plus the shared campaign flags (`--workers`, `--seeds`, `--quick`,
 //! `--full`, `--out`, `--format`, `--seed`) and generic axis overrides
@@ -102,8 +107,50 @@ fn apply_overrides(spec: &mut StudySpec, args: &[String]) {
     }
 }
 
+/// `study serve`: a resident server answering JSONL spec requests from
+/// the content-addressed result cache (see `xp::serve`). Without
+/// `--socket`, requests stream over stdin and events over stdout; the
+/// shared campaign flags set the backend worker count, schedule tier,
+/// and seed/replicate defaults.
+fn run_serve(args: &[String]) {
+    cli::reject_unknown_flags(
+        args,
+        &cli::with_shared(&["--cache-dir", "--socket", "--stats-out"]),
+    );
+    let shared = strict(xp::cli::CampaignArgs::try_parse(args));
+    let cache_dir =
+        strict(try_arg_value(args, "--cache-dir")).unwrap_or("serve_cache").to_owned();
+    let socket = strict(try_arg_value(args, "--socket")).map(str::to_owned);
+    let stats_out = strict(try_arg_value(args, "--stats-out")).map(str::to_owned);
+    let hooks = chiplet_arrange::study::hooks();
+    let config = xp::serve::ServeConfig::new(shared);
+    eprintln!(
+        "study serve: cache {cache_dir}, version {}, {} workers",
+        config.version, config.args.workers
+    );
+    let server = xp::Server::new(&cache_dir, config, hooks);
+    if let Some(path) = socket {
+        eprintln!("study serve: listening on {path}");
+        if let Err(e) = xp::serve::serve_unix(&server, std::path::Path::new(&path)) {
+            fail(&format!("serve: {e}"));
+        }
+        return;
+    }
+    let stats = xp::serve::serve_lines(&server, std::io::stdin().lock(), std::io::stdout())
+        .unwrap_or_else(|e| fail(&format!("serve: {e}")));
+    if let Some(path) = stats_out {
+        std::fs::write(&path, stats.to_value().to_json())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!("study serve: stats written to {path}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("serve") {
+        run_serve(&args);
+        return;
+    }
     cli::reject_unknown_flags(
         &args,
         &cli::with_shared(&[

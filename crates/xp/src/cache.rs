@@ -1,0 +1,433 @@
+//! The content-addressed on-disk result cache behind `study serve`.
+//!
+//! One directory per cache key under the cache root:
+//!
+//! ```text
+//! <root>/<64-hex-key>/
+//!   entry.json     # version, canonical spec echo, file list + checksums
+//!   <stem>.csv     # the served artefacts, byte-exact
+//!   <stem>.json
+//! ```
+//!
+//! The key is the SHA-256 of the request's canonical material (resolved
+//! spec + engine version + schedule tier — see [`crate::serve`]), so an
+//! engine-version change or any semantic spec change lands on a
+//! different directory and behaves as a cold miss. `entry.json` carries
+//! a SHA-256 per artefact; [`ResultCache::load`] re-hashes every file
+//! and treats any damage — truncation, corruption, a missing file, an
+//! unreadable or mismatched entry — as [`Lookup::Evicted`]: the entry is
+//! deleted and the caller recomputes. Poisoned bytes are never served.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::hash::sha256_hex;
+use crate::json::{self, Value};
+
+/// The entry-metadata file name inside a cache directory. Written last
+/// on store, so its presence marks a complete entry.
+const ENTRY_FILE: &str = "entry.json";
+
+/// One cached artefact: its served file name and exact bytes (the
+/// artefacts are CSV/JSON text, stored and replayed verbatim).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedFile {
+    /// Bare file name (no path separators), e.g. `load_curves.csv`.
+    pub name: String,
+    /// The full file content.
+    pub content: String,
+}
+
+impl CachedFile {
+    /// The file's SHA-256, as recorded in `entry.json`.
+    #[must_use]
+    pub fn sha256(&self) -> String {
+        sha256_hex(self.content.as_bytes())
+    }
+}
+
+/// How a cache entry came to be — echoed into served manifests so a
+/// client can audit whether its bytes were computed, replayed, or
+/// spliced from a warm-start donor.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Provenance {
+    /// `"backend"` (fully computed) or `"warm"` (spliced from a donor).
+    pub outcome: String,
+    /// Grid cells of the resolved spec.
+    pub cells_total: u64,
+    /// Cells replayed from the warm-start donor.
+    pub cells_cached: u64,
+    /// Cells the backend actually ran.
+    pub cells_run: u64,
+    /// The donor entry's key, for warm-start entries.
+    pub warm_from: Option<String>,
+    /// Backend pool jobs booked while producing the entry.
+    pub backend_jobs: u64,
+}
+
+impl Provenance {
+    /// The provenance as a JSON object.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let mut doc = Value::object();
+        doc.set("outcome", self.outcome.as_str());
+        doc.set("cells_total", self.cells_total);
+        doc.set("cells_cached", self.cells_cached);
+        doc.set("cells_run", self.cells_run);
+        if let Some(donor) = &self.warm_from {
+            doc.set("warm_from", donor.as_str());
+        }
+        doc.set("backend_jobs", self.backend_jobs);
+        doc
+    }
+}
+
+/// One complete cache entry: the artefacts plus the metadata that lets a
+/// later request trust and reuse them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The content-addressed cache key (64 hex chars).
+    pub key: String,
+    /// Engine version (`git describe`) the entry was computed under.
+    pub version: String,
+    /// The canonical resolved spec, as stored (warm-start donor
+    /// matching reads this back).
+    pub spec: Value,
+    /// The served artefacts, in serve order (CSV before JSON).
+    pub files: Vec<CachedFile>,
+    /// How the entry was produced.
+    pub provenance: Provenance,
+}
+
+/// The outcome of a cache lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// A verified entry: every artefact re-hashed to its recorded
+    /// checksum.
+    Hit(Entry),
+    /// No entry under this key (cold cache or never computed).
+    Miss,
+    /// An entry existed but was damaged or stale; it has been deleted
+    /// and the caller must recompute.
+    Evicted,
+}
+
+/// Running serve-session counters, reported by `study serve` on
+/// shutdown and uploaded by the CI smoke job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Requests submitted.
+    pub requests: u64,
+    /// Served from a verified disk entry.
+    pub hits: u64,
+    /// Computed from scratch.
+    pub misses: u64,
+    /// Spliced from a warm-start donor.
+    pub warm: u64,
+    /// Damaged or stale entries deleted.
+    pub evictions: u64,
+    /// Requests that blocked on an identical in-flight run instead of
+    /// recomputing.
+    pub deduped: u64,
+    /// Backend study executions (the dedup test pins this to 1 for N
+    /// identical concurrent submissions).
+    pub backend_runs: u64,
+    /// Pool jobs those executions booked.
+    pub backend_jobs: u64,
+}
+
+impl CacheStats {
+    /// The counters as a JSON object (the `stats` event / artifact).
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let mut doc = Value::object();
+        doc.set("requests", self.requests);
+        doc.set("hits", self.hits);
+        doc.set("misses", self.misses);
+        doc.set("warm", self.warm);
+        doc.set("evictions", self.evictions);
+        doc.set("deduped", self.deduped);
+        doc.set("backend_runs", self.backend_runs);
+        doc.set("backend_jobs", self.backend_jobs);
+        doc
+    }
+}
+
+/// The on-disk cache root. All methods are safe to call concurrently
+/// from one server process; the serving layer's in-flight dedup
+/// guarantees a key is only ever stored by one thread at a time.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    root: PathBuf,
+}
+
+impl ResultCache {
+    /// A cache rooted at `root` (created lazily on first store).
+    #[must_use]
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The cache root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory of entry `key`.
+    #[must_use]
+    pub fn dir(&self, key: &str) -> PathBuf {
+        self.root.join(key)
+    }
+
+    /// Loads and verifies entry `key` for engine `version`. Any damage
+    /// (bad metadata, missing file, checksum mismatch) or a version
+    /// mismatch deletes the entry and reports [`Lookup::Evicted`].
+    ///
+    /// # Errors
+    ///
+    /// Only filesystem errors outside the entry's own content (e.g. an
+    /// unreadable cache root) surface as `Err`; a damaged entry is an
+    /// eviction, not an error.
+    pub fn load(&self, key: &str, version: &str) -> io::Result<Lookup> {
+        let dir = self.dir(key);
+        if !dir.join(ENTRY_FILE).exists() {
+            return Ok(Lookup::Miss);
+        }
+        match self.read_verified(key, &dir, version) {
+            Some(entry) => Ok(Lookup::Hit(entry)),
+            None => {
+                self.evict(key)?;
+                Ok(Lookup::Evicted)
+            }
+        }
+    }
+
+    /// Every loadable entry under the root, for warm-start donor
+    /// scanning. Damaged entries are skipped (not evicted — the next
+    /// direct lookup handles that).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-root read errors; a missing root is an empty
+    /// cache.
+    pub fn entries(&self, version: &str) -> io::Result<Vec<Entry>> {
+        let mut out = Vec::new();
+        let read = match fs::read_dir(&self.root) {
+            Ok(read) => read,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e),
+        };
+        let mut keys: Vec<String> = read
+            .filter_map(Result::ok)
+            .filter_map(|d| d.file_name().into_string().ok())
+            .filter(|name| name.len() == 64 && name.bytes().all(|b| b.is_ascii_hexdigit()))
+            .collect();
+        keys.sort();
+        for key in keys {
+            if let Some(entry) = self.read_verified(&key, &self.dir(&key), version) {
+                out.push(entry);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes `entry` under its key: artefacts first, `entry.json` last
+    /// (its presence marks completeness).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; rejects artefact names containing
+    /// path separators.
+    pub fn store(&self, entry: &Entry) -> io::Result<()> {
+        for file in &entry.files {
+            if file.name.contains('/') || file.name.contains('\\') || file.name == ENTRY_FILE {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("invalid cached file name `{}`", file.name),
+                ));
+            }
+        }
+        let dir = self.dir(&entry.key);
+        fs::create_dir_all(&dir)?;
+        for file in &entry.files {
+            fs::write(dir.join(&file.name), file.content.as_bytes())?;
+        }
+        let mut doc = Value::object();
+        doc.set("key", entry.key.as_str());
+        doc.set("version", entry.version.as_str());
+        doc.set("spec", entry.spec.clone());
+        let files: Vec<Value> = entry
+            .files
+            .iter()
+            .map(|f| {
+                let mut file = Value::object();
+                file.set("name", f.name.as_str());
+                file.set("sha256", f.sha256());
+                file.set("bytes", f.content.len() as u64);
+                file
+            })
+            .collect();
+        doc.set("files", Value::Arr(files));
+        doc.set("provenance", entry.provenance.to_value());
+        fs::write(dir.join(ENTRY_FILE), doc.to_json().as_bytes())
+    }
+
+    /// Deletes entry `key` (a no-op if absent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than the entry being gone.
+    pub fn evict(&self, key: &str) -> io::Result<()> {
+        match fs::remove_dir_all(self.dir(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reads and verifies one entry; `None` means damaged/stale.
+    fn read_verified(&self, key: &str, dir: &Path, version: &str) -> Option<Entry> {
+        let meta = fs::read_to_string(dir.join(ENTRY_FILE)).ok()?;
+        let doc = json::parse(&meta).ok()?;
+        let str_of = |v: &Value| match v {
+            Value::Str(s) => Some(s.clone()),
+            _ => None,
+        };
+        let recorded_key = str_of(doc.get("key")?)?;
+        let recorded_version = str_of(doc.get("version")?)?;
+        if recorded_key != key || recorded_version != version {
+            return None;
+        }
+        let spec = doc.get("spec")?.clone();
+        let Value::Arr(listed) = doc.get("files")? else {
+            return None;
+        };
+        let mut files = Vec::with_capacity(listed.len());
+        for item in listed {
+            let name = str_of(item.get("name")?)?;
+            let sha = str_of(item.get("sha256")?)?;
+            let content = fs::read_to_string(dir.join(&name)).ok()?;
+            if sha256_hex(content.as_bytes()) != sha {
+                return None;
+            }
+            files.push(CachedFile { name, content });
+        }
+        let provenance = doc.get("provenance").and_then(parse_provenance)?;
+        Some(Entry { key: key.to_owned(), version: recorded_version, spec, files, provenance })
+    }
+}
+
+fn parse_provenance(doc: &Value) -> Option<Provenance> {
+    let u64_of = |v: Option<&Value>| match v {
+        Some(Value::Int(i)) => u64::try_from(*i).ok(),
+        _ => None,
+    };
+    Some(Provenance {
+        outcome: match doc.get("outcome") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => return None,
+        },
+        cells_total: u64_of(doc.get("cells_total"))?,
+        cells_cached: u64_of(doc.get("cells_cached"))?,
+        cells_run: u64_of(doc.get("cells_run"))?,
+        warm_from: match doc.get("warm_from") {
+            Some(Value::Str(s)) => Some(s.clone()),
+            None => None,
+            _ => return None,
+        },
+        backend_jobs: u64_of(doc.get("backend_jobs"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(key: &str) -> Entry {
+        let mut spec = Value::object();
+        spec.set("name", "s");
+        Entry {
+            key: key.to_owned(),
+            version: "v1".to_owned(),
+            spec,
+            files: vec![
+                CachedFile { name: "s.csv".to_owned(), content: "a,b\n1,2\n".to_owned() },
+                CachedFile { name: "s.json".to_owned(), content: "{\"a\":1}".to_owned() },
+            ],
+            provenance: Provenance {
+                outcome: "backend".to_owned(),
+                cells_total: 4,
+                cells_cached: 0,
+                cells_run: 4,
+                warm_from: None,
+                backend_jobs: 8,
+            },
+        }
+    }
+
+    fn temp_cache(tag: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!("xp_cache_{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        ResultCache::new(dir)
+    }
+
+    const KEY: &str = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+
+    #[test]
+    fn store_then_load_round_trips_bytes_and_provenance() {
+        let cache = temp_cache("round_trip");
+        let entry = sample(KEY);
+        cache.store(&entry).unwrap();
+        match cache.load(KEY, "v1").unwrap() {
+            Lookup::Hit(loaded) => assert_eq!(loaded, entry),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(cache.entries("v1").unwrap().len(), 1);
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn cold_cache_is_a_miss() {
+        let cache = temp_cache("cold");
+        assert_eq!(cache.load(KEY, "v1").unwrap(), Lookup::Miss);
+        assert!(cache.entries("v1").unwrap().is_empty());
+    }
+
+    #[test]
+    fn corruption_truncation_and_version_mismatch_evict() {
+        for damage in ["truncate", "corrupt", "remove", "meta", "version"] {
+            let cache = temp_cache(&format!("damage_{damage}"));
+            cache.store(&sample(KEY)).unwrap();
+            let dir = cache.dir(KEY);
+            let mut version = "v1";
+            match damage {
+                "truncate" => fs::write(dir.join("s.csv"), b"a,b\n").unwrap(),
+                "corrupt" => fs::write(dir.join("s.csv"), b"a,b\n9,9\n").unwrap(),
+                "remove" => fs::remove_file(dir.join("s.json")).unwrap(),
+                "meta" => fs::write(dir.join(ENTRY_FILE), b"{not json").unwrap(),
+                "version" => version = "v2",
+                _ => unreachable!(),
+            }
+            assert_eq!(
+                cache.load(KEY, version).unwrap(),
+                Lookup::Evicted,
+                "damage mode {damage}"
+            );
+            assert!(!dir.exists(), "damage mode {damage} must delete the entry");
+            // After eviction the key is a plain miss and can be restored.
+            assert_eq!(cache.load(KEY, version).unwrap(), Lookup::Miss);
+            let _ = fs::remove_dir_all(cache.root());
+        }
+    }
+
+    #[test]
+    fn store_rejects_traversal_names() {
+        let cache = temp_cache("names");
+        let mut entry = sample(KEY);
+        entry.files[0].name = "../escape.csv".to_owned();
+        assert!(cache.store(&entry).is_err());
+    }
+}

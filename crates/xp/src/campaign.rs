@@ -238,12 +238,42 @@ impl Campaign {
         W: Fn(&J) -> u64,
         F: Fn(&J) -> R + Sync,
     {
+        let stage = self.stage.lock().unwrap().clone();
+        self.run_jobs_budgeted(jobs, 1, weight, run, |i, _| format!("{stage} job {i}"))
+    }
+
+    /// [`Campaign::run_jobs`] for jobs that are internally
+    /// `threads_per_job`-way parallel, with a caller-provided trace label
+    /// per job (the ad-hoc twin of [`Campaign::run_grid_budgeted`]): the
+    /// pool gets `--workers / threads_per_job` workers so the thread
+    /// total stays within the budget. Results are identical for every
+    /// worker count either way.
+    pub fn run_jobs_budgeted<J, R, W, F, L>(
+        &self,
+        jobs: &[J],
+        threads_per_job: usize,
+        weight: W,
+        run: F,
+        label: L,
+    ) -> Vec<R>
+    where
+        J: Sync,
+        R: Send,
+        W: Fn(&J) -> u64,
+        F: Fn(&J) -> R + Sync,
+        L: Fn(usize, &J) -> String,
+    {
+        let workers = pool::budgeted_workers(self.args.workers, threads_per_job);
         let offset = ns_u64(self.started.elapsed());
         let (results, report) =
-            pool::run_jobs_reported(jobs, self.args.workers, weight, run, self.pool_options());
-        let stage = self.stage.lock().unwrap().clone();
+            pool::run_jobs_reported(jobs, workers, weight, run, self.pool_options());
         self.record_pool_run(jobs.len(), &report, offset, |i| {
-            (format!("{stage} job {i}"), Vec::new())
+            let coord = label(i, &jobs[i]);
+            let args = vec![
+                ("coord", ArgValue::from(coord.clone())),
+                ("shards", ArgValue::from(threads_per_job)),
+            ];
+            (coord, args)
         });
         results
     }
@@ -338,30 +368,37 @@ impl Campaign {
             doc.set("peak_workers", records.iter().map(|r| r.peak_workers).max().unwrap_or(0));
         }
 
-        let columns: Vec<Value> =
-            table.header().iter().map(|c| Value::Str(c.clone())).collect();
-        doc.set("columns", Value::Arr(columns));
-        let rows: Vec<Value> = table
-            .rows()
-            .iter()
-            .map(|row| {
-                let mut obj = Value::object();
-                for (col, cell) in table.header().iter().zip(row) {
-                    // Numeric cells become JSON numbers (non-finite ones
-                    // `null`, keeping each column single-typed);
-                    // everything else stays a string.
-                    match cell.parse::<f64>() {
-                        Ok(x) if x.is_finite() => obj.set(col, x),
-                        Ok(_) => obj.set(col, Value::Null),
-                        Err(_) => obj.set(col, cell.as_str()),
-                    };
-                }
-                obj
-            })
-            .collect();
-        doc.set("rows", Value::Arr(rows));
+        let (columns, rows) = table_columns_rows(table);
+        doc.set("columns", columns);
+        doc.set("rows", rows);
         doc
     }
+}
+
+/// The manifest's typed `columns` / `rows` encoding of a table: numeric
+/// cells become JSON numbers (non-finite ones `null`, keeping each column
+/// single-typed), everything else stays a string. Shared by the campaign
+/// manifest and the serving layer's deterministic served manifests, so
+/// the two encode rows identically.
+#[must_use]
+pub fn table_columns_rows(table: &Table) -> (Value, Value) {
+    let columns: Vec<Value> = table.header().iter().map(|c| Value::Str(c.clone())).collect();
+    let rows: Vec<Value> = table
+        .rows()
+        .iter()
+        .map(|row| {
+            let mut obj = Value::object();
+            for (col, cell) in table.header().iter().zip(row) {
+                match cell.parse::<f64>() {
+                    Ok(x) if x.is_finite() => obj.set(col, x),
+                    Ok(_) => obj.set(col, Value::Null),
+                    Err(_) => obj.set(col, cell.as_str()),
+                };
+            }
+            obj
+        })
+        .collect();
+    (Value::Arr(columns), Value::Arr(rows))
 }
 
 /// Saturating nanosecond count of a [`Duration`] (u64 overflows after
@@ -370,8 +407,11 @@ fn ns_u64(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
-/// `git describe --always --dirty`, or `"unknown"` outside a git checkout.
-fn git_describe() -> String {
+/// `git describe --always --dirty`, or `"unknown"` outside a git
+/// checkout. Public because the serving layer folds it into cache keys:
+/// a new engine version must never serve an old version's bytes.
+#[must_use]
+pub fn git_describe() -> String {
     Command::new("git")
         .args(["describe", "--always", "--dirty", "--tags"])
         .output()

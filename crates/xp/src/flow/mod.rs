@@ -43,6 +43,7 @@ use nocsim::{
     Simulator, TrafficPattern,
 };
 
+use crate::campaign::StageRecord;
 use crate::cli::CampaignArgs;
 use crate::grid::{expand_replicates, kind_code, pattern_code, Scenario, OPTIMIZED_KIND_CODE};
 use crate::spec::{StageKind, StudySpec};
@@ -164,6 +165,10 @@ pub struct StudyReport {
     pub summary: Vec<String>,
     /// The stage's tables (for tests and programmatic callers).
     pub tables: Vec<StageTable>,
+    /// Pool stage records booked during the run (job counts, wall time,
+    /// peak workers) — the serving layer's evidence of how much backend
+    /// work a request actually caused (a cache hit books none).
+    pub stages: Vec<StageRecord>,
 }
 
 /// A search-stage implementation: runs the arrangement search for the
@@ -251,30 +256,13 @@ pub fn run_study(
     hooks: &StageHooks,
 ) -> Result<StudyReport, StudyError> {
     spec.validate().map_err(StudyError::Spec)?;
+    let resolved = resolved_axes(spec, &args);
+    let spec = &resolved;
     let campaign = Campaign::new(&spec.name, args);
     if spec.observe.trace {
         campaign.enable_trace();
     }
-    campaign.set_stage(spec.stage.name());
-    let output = match spec.stage {
-        StageKind::Proxies => proxies_stage(spec, &campaign),
-        StageKind::Saturation => saturation_stage(spec, &campaign),
-        StageKind::Traffic => traffic_stage(spec, &campaign),
-        StageKind::LoadCurve => load_curve_stage(spec, &campaign, hooks),
-        StageKind::Workload => workload_stage(spec, &campaign, hooks),
-        StageKind::Kite => kite_stage(spec, &campaign),
-        StageKind::Thermal => thermal_stage(spec, &campaign),
-        StageKind::Cost => cost_stage(spec, &campaign),
-        StageKind::Resilience => resilience_stage(spec, &campaign),
-        StageKind::Search => match hooks.search {
-            Some(run) => run(spec, &campaign),
-            None => Err(StudyError::Spec(
-                "the search stage runs through a hook (chiplet_arrange::study::hooks()); \
-                 use the `study` binary or pass the hooks explicitly"
-                    .to_owned(),
-            )),
-        },
-    }?;
+    let output = run_stage(spec, &campaign, hooks)?;
     let config = spec.to_value();
     let mut written = Vec::new();
     for staged in &output.tables {
@@ -286,7 +274,110 @@ pub fn run_study(
             written.push(path);
         }
     }
-    Ok(StudyReport { written, summary: output.summary, tables: output.tables })
+    Ok(StudyReport {
+        written,
+        summary: output.summary,
+        tables: output.tables,
+        stages: campaign.stage_records(),
+    })
+}
+
+/// Executes the spec's stage on an existing campaign and returns its
+/// tables without touching the sinks — the serving layer's entry point
+/// ([`run_study`] is this plus validation, axis resolution, and the
+/// sink writes). The spec should already be validated; axes the caller
+/// left unresolved fall back to the stage defaults.
+///
+/// # Errors
+///
+/// Returns a [`StudyError`] wrapping the failing layer's error.
+pub fn run_stage(
+    spec: &StudySpec,
+    campaign: &Campaign,
+    hooks: &StageHooks,
+) -> Result<StageOutput, StudyError> {
+    campaign.set_stage(spec.stage.name());
+    match spec.stage {
+        StageKind::Proxies => proxies_stage(spec, campaign),
+        StageKind::Saturation => saturation_stage(spec, campaign),
+        StageKind::Traffic => traffic_stage(spec, campaign),
+        StageKind::LoadCurve => load_curve_stage(spec, campaign, hooks),
+        StageKind::Workload => workload_stage(spec, campaign, hooks),
+        StageKind::Kite => kite_stage(spec, campaign),
+        StageKind::Thermal => thermal_stage(spec, campaign),
+        StageKind::Cost => cost_stage(spec, campaign),
+        StageKind::Resilience => resilience_stage(spec, campaign),
+        StageKind::Search => match hooks.search {
+            Some(run) => run(spec, campaign),
+            None => Err(StudyError::Spec(
+                "the search stage runs through a hook (chiplet_arrange::study::hooks()); \
+                 use the `study` binary or pass the hooks explicitly"
+                    .to_owned(),
+            )),
+        },
+    }
+}
+
+/// The spec with every stage-default axis written out explicitly — the
+/// *resolved* form. [`run_study`] resolves internally (so the manifest's
+/// `config` echoes the grid that actually ran), and the serving layer
+/// keys its content-addressed cache on the resolved form: a spec that
+/// spells an axis out and one that leans on the stage default resolve —
+/// and therefore hash — identically.
+///
+/// Only axes the stage consumes are filled, so a resolved spec still
+/// passes [`StudySpec::validate`]. Two stages keep their axes as
+/// written: resilience (its structural and degradation tables resolve
+/// *different* kind defaults) and search (its axes belong to the hook).
+#[must_use]
+pub fn resolved_axes(spec: &StudySpec, args: &CampaignArgs) -> StudySpec {
+    let mut resolved = spec.clone();
+    let axes = &mut resolved.axes;
+    match spec.stage {
+        StageKind::Proxies => {
+            axes.kinds.get_or_insert_with(|| ArrangementKind::EVALUATED.to_vec());
+            axes.ns.get_or_insert_with(|| (1..=100).collect());
+        }
+        StageKind::Saturation => {
+            axes.kinds.get_or_insert_with(|| ArrangementKind::EVALUATED.to_vec());
+            axes.ns.get_or_insert_with(|| (2..=100).collect());
+            axes.patterns.get_or_insert_with(|| vec![TrafficPattern::UniformRandom]);
+        }
+        StageKind::Traffic => {
+            axes.kinds.get_or_insert_with(|| ArrangementKind::EVALUATED.to_vec());
+            axes.ns.get_or_insert_with(|| vec![37]);
+            axes.patterns.get_or_insert_with(|| DEFAULT_TRAFFIC_PATTERNS.to_vec());
+        }
+        StageKind::LoadCurve => {
+            axes.kinds.get_or_insert_with(|| ArrangementKind::EVALUATED.to_vec());
+            axes.ns.get_or_insert_with(|| vec![37]);
+            axes.rates.get_or_insert_with(default_curve_rates);
+            axes.patterns.get_or_insert_with(|| vec![TrafficPattern::UniformRandom]);
+        }
+        StageKind::Workload => {
+            axes.kinds.get_or_insert_with(|| ArrangementKind::ALL.to_vec());
+            axes.ns.get_or_insert_with(|| {
+                if args.quick {
+                    vec![7, 13, 19]
+                } else {
+                    vec![37, 61, 91]
+                }
+            });
+            axes.workloads.get_or_insert_with(|| WorkloadKind::ALL.to_vec());
+        }
+        StageKind::Kite => {
+            axes.ns.get_or_insert_with(|| vec![16, 25, 36, 49]);
+        }
+        StageKind::Thermal => {
+            axes.kinds.get_or_insert_with(|| ArrangementKind::EVALUATED.to_vec());
+            axes.ns.get_or_insert_with(|| vec![16, 37, 64]);
+        }
+        StageKind::Cost => {
+            axes.ns.get_or_insert_with(|| vec![2, 4, 8, 16, 25, 36, 49, 64, 100]);
+        }
+        StageKind::Resilience | StageKind::Search => {}
+    }
+    resolved
 }
 
 // ── shared resolution helpers ───────────────────────────────────────────
@@ -574,6 +665,177 @@ struct CurvePoint {
     queue_mean: f64,
 }
 
+/// The historical default rate sweep: 0.04 … 0.48 in 0.04 steps.
+fn default_curve_rates() -> Vec<f64> {
+    (1..=12u32).map(|step| f64::from(step) * 0.04).collect()
+}
+
+/// Per-point simulation windows: the spec's explicit schedule, else the
+/// historical 4k/8k default (shortened by `--quick`, paper-scale under
+/// `--full`).
+fn curve_windows(spec: &StudySpec, args: &CampaignArgs) -> (u64, u64) {
+    match &spec.schedule {
+        Some(s) => (s.warmup_cycles, s.measure_cycles),
+        None if args.quick => (1_500, 3_000),
+        None if args.full => (5_000, 10_000),
+        None => (4_000, 8_000),
+    }
+}
+
+/// The load-curve result table, header only.
+fn curve_table() -> Table {
+    Table::new(&[
+        "n",
+        "kind",
+        "pattern",
+        "offered_flits_per_cycle",
+        "accepted_flits_per_cycle",
+        "avg_latency_cycles",
+        "p50_latency_cycles",
+        "p95_latency_cycles",
+        "p99_latency_cycles",
+        "max_source_queue_flits",
+        "mean_source_queue_flits",
+    ])
+}
+
+/// Appends one aggregated curve row: the replicate mean of `chunk`
+/// (`max` for the queue high-water mark). Both the full-grid stage and
+/// the partial-grid path row through here, so a cell formats
+/// identically wherever it ran — the byte-identity half of the
+/// warm-start contract.
+fn push_curve_row(
+    table: &mut Table,
+    label: &str,
+    n: usize,
+    rate: f64,
+    pattern: TrafficPattern,
+    chunk: &[CurvePoint],
+) {
+    let of = |f: fn(&CurvePoint) -> f64| mean_of(chunk, f);
+    let pattern_name = pattern.name();
+    let queue_max = chunk.iter().map(|p| p.queue_max).max().unwrap_or(0);
+    table.row(&[
+        &n,
+        &label,
+        &pattern_name,
+        &f3(rate),
+        &f3(of(|p| p.accepted)),
+        &f3(of(|p| p.avg)),
+        &f3(of(|p| p.p50)),
+        &f3(of(|p| p.p95)),
+        &f3(of(|p| p.p99)),
+        &queue_max,
+        &f3(of(|p| p.queue_mean)),
+    ]);
+}
+
+/// One fixed-family load-curve grid coordinate. A cell aggregates its
+/// replicates into exactly one table row, and its seeds derive from the
+/// coordinates alone, so a cell's row is bit-identical whether it runs
+/// in the full grid, in a sub-grid, or alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurveCell {
+    /// Arrangement family.
+    pub kind: ArrangementKind,
+    /// Chiplet count.
+    pub n: usize,
+    /// Offered injection rate (flits per cycle per endpoint).
+    pub rate: f64,
+    /// Traffic pattern.
+    pub pattern: TrafficPattern,
+}
+
+/// The load-curve grid of `spec` in grid order (kind → n → rate →
+/// pattern, stage defaults for absent axes) — the stage's row order and
+/// the universe the serving layer's warm-start splice walks. Excludes
+/// the `optimized` axis, which has no fixed-family cells.
+#[must_use]
+pub fn load_curve_cells(spec: &StudySpec) -> Vec<CurveCell> {
+    let kinds = kinds_or(spec, &ArrangementKind::EVALUATED);
+    let ns = ns_or(spec, vec![37]);
+    let rates = spec.axes.rates.clone().unwrap_or_else(default_curve_rates);
+    let patterns =
+        spec.axes.patterns.clone().unwrap_or_else(|| vec![TrafficPattern::UniformRandom]);
+    let mut cells = Vec::with_capacity(kinds.len() * ns.len() * rates.len() * patterns.len());
+    for &kind in &kinds {
+        for &n in &ns {
+            for &rate in &rates {
+                for &pattern in &patterns {
+                    cells.push(CurveCell { kind, n, rate, pattern });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Runs exactly `cells` of the load-curve stage on `campaign` and
+/// returns their aggregated rows in cell order — the resumable /
+/// partial-grid entry point behind the serving layer's warm-start.
+/// Replicates expand with the engine's coordinate-derived seed rule,
+/// identical to the full-grid scenario expansion, so the rows splice
+/// bit-identically into a from-scratch superset run (pinned by the
+/// serve battery's golden tests).
+///
+/// The partial path covers the plain fixed-family grid; specs using the
+/// `optimized` axis or `[observe]` artefacts need a full [`run_study`].
+///
+/// # Errors
+///
+/// [`StudyError::Spec`] for an invalid spec, a non-load-curve stage, or
+/// an unsupported feature.
+pub fn run_load_curve_cells(
+    spec: &StudySpec,
+    campaign: &Campaign,
+    cells: &[CurveCell],
+) -> Result<Table, StudyError> {
+    if spec.stage != StageKind::LoadCurve {
+        return Err(StudyError::Spec(format!(
+            "run_load_curve_cells runs the load_curve stage, not {}",
+            spec.stage
+        )));
+    }
+    if spec.axes.optimized || !spec.observe.is_off() {
+        return Err(StudyError::Spec(
+            "the partial-grid path covers the plain fixed-family grid; `axes.optimized` \
+             and `[observe]` need a full run_study"
+                .to_owned(),
+        ));
+    }
+    spec.validate().map_err(StudyError::Spec)?;
+    let windows = curve_windows(spec, campaign.args());
+    let sim = base_sim(spec);
+    let shards = spec.sim.shards.unwrap_or(1);
+    let expanded =
+        expand_replicates(cells, campaign.args().seeds, campaign.args().campaign_seed, |c| {
+            vec![kind_code(c.kind), c.n as u64, c.rate.to_bits(), pattern_code(c.pattern)]
+        });
+    let results = campaign.run_jobs_budgeted(
+        &expanded,
+        shards,
+        |&(c, _)| c.n as u64,
+        |&(c, seed)| {
+            let arrangement = Arrangement::build(c.kind, c.n).expect("any n builds");
+            curve_point(
+                arrangement.graph(),
+                point_config(sim, c.rate, c.pattern, seed),
+                windows,
+                shards,
+                None,
+            )
+            .0
+        },
+        |_, &(c, _)| format!("{} n={} rate={}", c.kind, c.n, f3(c.rate)),
+    );
+    let k = campaign.args().seeds.max(1) as usize;
+    let mut table = curve_table();
+    for (cell, chunk) in cells.iter().zip(results.chunks(k)) {
+        push_curve_row(&mut table, cell.kind.label(), cell.n, cell.rate, cell.pattern, chunk);
+    }
+    Ok(table)
+}
+
 /// The base [`SimConfig`] with one curve point's coordinates applied.
 fn point_config(sim: SimConfig, rate: f64, pattern: TrafficPattern, seed: u64) -> SimConfig {
     let mut config = sim;
@@ -775,21 +1037,12 @@ fn load_curve_stage(
 ) -> Result<StageOutput, StudyError> {
     let kinds = kinds_or(spec, &ArrangementKind::EVALUATED);
     let ns = ns_or(spec, vec![37]);
-    let rates: Vec<f64> = spec
-        .axes
-        .rates
-        .clone()
-        .unwrap_or_else(|| (1..=12u32).map(|step| f64::from(step) * 0.04).collect());
+    let rates: Vec<f64> = spec.axes.rates.clone().unwrap_or_else(default_curve_rates);
     let patterns =
         spec.axes.patterns.clone().unwrap_or_else(|| vec![TrafficPattern::UniformRandom]);
     // Per-point simulation windows: the historical 4k/8k by default,
     // shortened by --quick, paper-scale under --full.
-    let windows = match &spec.schedule {
-        Some(s) => (s.warmup_cycles, s.measure_cycles),
-        None if campaign.args().quick => (1_500, 3_000),
-        None if campaign.args().full => (5_000, 10_000),
-        None => (4_000, 8_000),
-    };
+    let windows = curve_windows(spec, campaign.args());
     let sim = base_sim(spec);
     let shards = spec.sim.shards.unwrap_or(1);
     let optimized = require_optimized_hook(spec, hooks)?;
@@ -814,19 +1067,7 @@ fn load_curve_stage(
         )
     });
 
-    let mut table = Table::new(&[
-        "n",
-        "kind",
-        "pattern",
-        "offered_flits_per_cycle",
-        "accepted_flits_per_cycle",
-        "avg_latency_cycles",
-        "p50_latency_cycles",
-        "p95_latency_cycles",
-        "p99_latency_cycles",
-        "max_source_queue_flits",
-        "mean_source_queue_flits",
-    ]);
+    let mut table = curve_table();
 
     // Replicates of one (kind, n, rate, pattern) point are adjacent in
     // grid order; aggregate each chunk to the replicate mean.
@@ -835,22 +1076,7 @@ fn load_curve_stage(
                         points: &[CurvePoint]| {
         for (job, chunk) in jobs.iter().zip(points.chunks(k)) {
             let &(ref label, n, rate, pattern) = job;
-            let of = |f: fn(&CurvePoint) -> f64| mean_of(chunk, f);
-            let pattern_name = pattern.name();
-            let queue_max = chunk.iter().map(|p| p.queue_max).max().unwrap_or(0);
-            table.row(&[
-                &n,
-                label,
-                &pattern_name,
-                &f3(rate),
-                &f3(of(|p| p.accepted)),
-                &f3(of(|p| p.avg)),
-                &f3(of(|p| p.p50)),
-                &f3(of(|p| p.p95)),
-                &f3(of(|p| p.p99)),
-                &queue_max,
-                &f3(of(|p| p.queue_mean)),
-            ]);
+            push_curve_row(&mut table, label, n, rate, pattern, chunk);
         }
     };
     let grid_jobs: Vec<(String, usize, f64, TrafficPattern)> = results

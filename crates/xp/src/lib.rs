@@ -28,14 +28,21 @@
 //!   compiles it onto the grid/campaign machinery above and writes the
 //!   unified sinks. The `study` binary and every rewritten experiment
 //!   binary run through this one path.
+//! * [`hash`] + [`cache`] + [`serve`] — the **serving layer**: `study
+//!   serve` keeps the engine resident and answers JSONL spec requests
+//!   from a content-addressed result cache (key = SHA-256 of the
+//!   resolved spec + engine version), with in-flight dedup and
+//!   warm-start reuse of cached sub-grids.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod campaign;
 pub mod cli;
 pub mod flow;
 pub mod grid;
+pub mod hash;
 pub mod json;
 pub mod pool;
 pub mod seed;
@@ -44,9 +51,12 @@ pub mod stats;
 pub mod table;
 pub mod toml;
 
+pub mod serve;
+
 pub use campaign::Campaign;
 pub use cli::CampaignArgs;
 pub use flow::{run_study, StageHooks, StudyError, StudyReport};
 pub use grid::{Job, Scenario};
+pub use serve::{ServeConfig, Served, Server};
 pub use spec::{StageKind, StudySpec};
 pub use stats::Summary;

@@ -315,6 +315,70 @@ pub struct OutputSpec {
     pub to_repo_root: bool,
 }
 
+/// How a request interacts with the serving layer's result cache
+/// (`serve.mode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum ServeMode {
+    /// Serve from the cache when possible, compute and store otherwise
+    /// (the default).
+    #[default]
+    Reuse,
+    /// Compute fresh without reading or writing the cache.
+    Bypass,
+    /// Compute fresh and overwrite whatever the cache held.
+    Refresh,
+}
+
+impl ServeMode {
+    /// Canonical name, as accepted by the [`FromStr`] parser.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeMode::Reuse => "reuse",
+            ServeMode::Bypass => "bypass",
+            ServeMode::Refresh => "refresh",
+        }
+    }
+}
+
+impl FromStr for ServeMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "reuse" => Ok(ServeMode::Reuse),
+            "bypass" => Ok(ServeMode::Bypass),
+            "refresh" => Ok(ServeMode::Refresh),
+            other => {
+                Err(format!("unknown serve mode {other:?} (expected reuse|bypass|refresh)"))
+            }
+        }
+    }
+}
+
+/// Cache-control settings for the serving layer (`[serve]`).
+///
+/// Transport-level only: nothing here changes what a study computes, so
+/// the whole section is erased from the canonical form the cache key is
+/// hashed over (see `xp::serve`). Any stage may carry it.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ServeSpec {
+    /// Cache interaction mode.
+    pub mode: ServeMode,
+    /// Allow serving a superset grid by reusing cached sub-grid cells
+    /// and running only the delta coordinates (default `true`;
+    /// load-curve stage only — other stages always run whole).
+    pub warm_start: bool,
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        Self { mode: ServeMode::Reuse, warm_start: true }
+    }
+}
+
 /// A declarative study: one stage, its axes, and its parameters. See the
 /// [module docs](self) for the file format.
 #[derive(Debug, Clone, PartialEq)]
@@ -346,6 +410,8 @@ pub struct StudySpec {
     pub observe: ObserveSpec,
     /// Output configuration.
     pub output: OutputSpec,
+    /// Serving-layer cache control.
+    pub serve: ServeSpec,
 }
 
 impl StudySpec {
@@ -367,6 +433,7 @@ impl StudySpec {
             faults: FaultsSpec::default(),
             observe: ObserveSpec::default(),
             output: OutputSpec::default(),
+            serve: ServeSpec::default(),
         }
     }
 
@@ -432,6 +499,7 @@ impl StudySpec {
                 "faults" => spec.faults = decode_faults(section)?,
                 "observe" => spec.observe = decode_observe(section)?,
                 "output" => spec.output = decode_output(section)?,
+                "serve" => spec.serve = decode_serve(section)?,
                 other => return Err(format!("unknown spec key {other:?}")),
             }
         }
@@ -581,6 +649,15 @@ impl StudySpec {
             output.set("to_repo_root", true);
         }
         set_section(&mut root, "output", output);
+
+        let mut serve = Value::object();
+        if self.serve.mode != ServeMode::default() {
+            serve.set("mode", self.serve.mode.name());
+        }
+        if !self.serve.warm_start {
+            serve.set("warm_start", false);
+        }
+        set_section(&mut root, "serve", serve);
         root
     }
 
@@ -952,6 +1029,14 @@ fn decode_output(section: &Value) -> Result<OutputSpec, String> {
     })
 }
 
+fn decode_serve(section: &Value) -> Result<ServeSpec, String> {
+    reject_unknown(section, &["mode", "warm_start"], "serve")?;
+    Ok(ServeSpec {
+        mode: str_field(section, "mode")?.map(str::parse).transpose()?.unwrap_or_default(),
+        warm_start: bool_field(section, "warm_start")?.unwrap_or(true),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1183,6 +1268,49 @@ mod tests {
         traced.validate().unwrap();
         assert!(StudySpec::from_toml(
             "name = \"s\"\nstage = \"load_curve\"\n[observe]\ntypo = 1\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn serve_section_round_trips_and_is_stage_agnostic() {
+        // `[serve]` is transport-level cache control: any stage carries it.
+        for stage in StageKind::ALL {
+            let mut spec = StudySpec::new("s", stage);
+            spec.serve.mode = ServeMode::Refresh;
+            spec.serve.warm_start = false;
+            spec.validate().unwrap();
+            let round_tripped = StudySpec::from_value(&spec.to_value()).unwrap();
+            assert_eq!(round_tripped, spec);
+        }
+
+        let toml = StudySpec::from_toml(concat!(
+            "name = \"cached\"\nstage = \"load_curve\"\n",
+            "[serve]\nmode = \"bypass\"\nwarm_start = false\n",
+        ))
+        .unwrap();
+        assert_eq!(toml.serve.mode, ServeMode::Bypass);
+        assert!(!toml.serve.warm_start);
+
+        // Defaults vanish from the serialized form: the canonical value of
+        // a default `[serve]` has no serve section at all, so writing the
+        // defaults out explicitly cannot change a cache key.
+        let explicit = StudySpec::from_toml(concat!(
+            "name = \"cached\"\nstage = \"load_curve\"\n",
+            "[serve]\nmode = \"reuse\"\nwarm_start = true\n",
+        ))
+        .unwrap();
+        let implicit =
+            StudySpec::from_toml("name = \"cached\"\nstage = \"load_curve\"\n").unwrap();
+        assert_eq!(explicit.to_value().to_json(), implicit.to_value().to_json());
+        assert!(explicit.to_value().get("serve").is_none());
+
+        assert!(StudySpec::from_toml(
+            "name = \"s\"\nstage = \"load_curve\"\n[serve]\nmode = \"always\"\n"
+        )
+        .is_err());
+        assert!(StudySpec::from_toml(
+            "name = \"s\"\nstage = \"load_curve\"\n[serve]\ntypo = 1\n"
         )
         .is_err());
     }
