@@ -1,124 +1,50 @@
-//! EXP-A2 — ablation of our BookSim2-substitute design choices: routing
-//! algorithm and virtual-channel count, at a fixed arrangement size.
+//! EXP-A4 — router-microarchitecture sensitivity of the arrangement
+//! comparison.
 //!
-//! The paper fixes 8 VCs and (implicitly) BookSim2's `anynet` shortest-path
-//! routing; our default is minimal-adaptive with an up*/down* escape VC so
-//! unattended sweeps cannot deadlock. This ablation quantifies the effect of
-//! that substitution.
+//! The paper evaluates one router pipeline (§VI: round-robin VC
+//! allocation, nominee round-robin output arbitration, single-cycle
+//! crossbar). This ablation re-runs the G/BW/HM comparison across the
+//! pluggable [`nocsim::RouterModelKind`] matrix — random / least-loaded
+//! VC allocation, age- and transit-priority arbitration, bubble escape
+//! flow control, deeper crossbar pipelines — to check that the
+//! arrangement ranking is not an artefact of one microarchitecture.
 //!
-//! The routing × VC axes are beyond the standard scenario grid, so this
-//! binary feeds an ad-hoc job list (kind × routing × VCs × `--seeds K`)
-//! straight to the engine pool — all 27 saturation searches in parallel,
-//! with seeds derived from the job coordinates.
+//! A preset wrapper over the study flow (stage `router`):
+//! `study --preset ablation_router` runs the identical campaign.
 //!
 //! Usage: `cargo run --release -p hexamesh-bench --bin ablation_router
-//! [--n N] [--quick|--full] [--workers W] [--seeds K] [--out DIR]
-//! [--format F]`
-//! Writes `results/ablation_router.{csv,json}`.
+//! [--n N] [--routers baseline,fortified,...] [--quick] [--workers W]
+//! [--seeds K] [--out DIR] [--format F]`
+//! Writes `results/ablation_router.{csv,json}`. Router-model names parse
+//! through the shared `xp::cli` list layer (strict: malformed names
+//! abort).
+//!
+//! Historical note: before the router-model axis existed, this binary
+//! swept routing algorithm x VC count instead; that sweep is now spelled
+//! as `[sim]` overrides (`sim.routing`, `sim.vcs`) on any simulating
+//! stage, and this name keeps the microarchitecture ablation.
 
-use hexamesh::arrangement::{Arrangement, ArrangementKind};
-use hexamesh_bench::csv::{f3, Table};
-use hexamesh_bench::sweep::{self, mean_of};
-use nocsim::{measure, RoutingKind, SimConfig};
-use xp::grid::expand_replicates;
-use xp::json::Value;
-use xp::{Campaign, CampaignArgs};
-
-const ROUTINGS: [RoutingKind; 3] = [
-    RoutingKind::MinimalAdaptiveEscape,
-    RoutingKind::MinimalDeterministic,
-    RoutingKind::UpDownOnly,
-];
-const VC_COUNTS: [usize; 3] = [2, 4, 8];
-
-#[derive(Clone, Copy)]
-struct AblationJob {
-    kind: ArrangementKind,
-    routing: RoutingKind,
-    vcs: usize,
-}
+use hexamesh_bench::presets;
+use hexamesh_bench::sweep;
+use nocsim::RouterModelKind;
+use xp::cli::{self, try_arg_list, CampaignArgs};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    xp::cli::reject_unknown_flags(&args, &xp::cli::with_shared(&["--n"]));
+    cli::reject_unknown_flags(&args, &cli::with_shared(&["--n", "--routers"]));
     let n = sweep::arg_usize(&args, "--n", 37);
-    let campaign = Campaign::new("ablation_router", CampaignArgs::parse(&args));
-
-    let schedule = sweep::schedule_for(campaign.args());
-
-    let mut jobs = Vec::new();
-    for &kind in &ArrangementKind::EVALUATED {
-        for &routing in &ROUTINGS {
-            for &vcs in &VC_COUNTS {
-                jobs.push(AblationJob { kind, routing, vcs });
-            }
-        }
-    }
-    let seeds = campaign.args().seeds.max(1);
-    let expanded = expand_replicates(&jobs, seeds, campaign.args().campaign_seed, |job| {
-        let routing_rank =
-            ROUTINGS.iter().position(|&r| r == job.routing).expect("listed routing");
-        vec![sweep::evaluated_rank(job.kind) as u64, routing_rank as u64, job.vcs as u64]
+    let routers = try_arg_list::<RouterModelKind>(&args, "--routers").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
     });
+    let shared = CampaignArgs::parse(&args);
 
-    let results = campaign.run_jobs(
-        &expanded,
-        |(job, _)| job.vcs as u64,
-        |(job, seed)| {
-            let arrangement = Arrangement::build(job.kind, n).expect("n >= 1 builds");
-            let graph = arrangement.graph();
-            let config = SimConfig {
-                routing: job.routing,
-                vcs: job.vcs,
-                seed: *seed,
-                ..SimConfig::paper_defaults()
-            };
-            let zero_load =
-                measure::zero_load_latency(graph, &config).expect("connected graph");
-            let sat = measure::saturation_search(graph, &config, &schedule)
-                .expect("valid configuration");
-            (zero_load, sat.throughput)
-        },
-    );
-
-    let mut table = Table::new(&[
-        "kind",
-        "routing",
-        "vcs",
-        "zero_load_latency_cycles",
-        "saturation_fraction",
-    ]);
-
-    println!("Routing/VC ablation at N = {n}:");
-    println!(
-        "{:<4} {:<22} {:>3}  {:>10} {:>10}",
-        "kind", "routing", "vcs", "lat [cyc]", "sat [frac]"
-    );
-    for (job, chunk) in jobs.iter().zip(results.chunks(seeds as usize)) {
-        let zero_load = mean_of(chunk, |(l, _)| *l);
-        let saturation = mean_of(chunk, |(_, s)| *s);
-        let routing_name = format!("{:?}", job.routing);
-        println!(
-            "{:<4} {:<22} {:>3}  {:>10.1} {:>10.3}",
-            job.kind.label(),
-            routing_name,
-            job.vcs,
-            zero_load,
-            saturation
-        );
-        table.row(&[
-            &job.kind.label(),
-            &routing_name,
-            &job.vcs,
-            &f3(zero_load),
-            &f3(saturation),
-        ]);
+    let mut spec = presets::preset("ablation_router").expect("registered preset");
+    spec.axes.ns = Some(vec![n]);
+    if routers.is_some() {
+        spec.axes.routers = routers;
     }
 
-    let mut config = Value::object();
-    config.set("n", n);
-    let written = campaign.finish(&table, config).expect("write sinks");
-    for path in &written {
-        println!("wrote {} ({} rows)", path.display(), table.len());
-    }
+    println!("Router-model ablation at N = {n}:");
+    presets::run_and_report(&spec, shared);
 }

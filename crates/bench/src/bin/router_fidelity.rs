@@ -1,0 +1,58 @@
+//! ⚙ `router_fidelity` — does the arrangement ranking survive router
+//! fidelity?
+//!
+//! The headline comparison (HexaMesh vs. brickwall vs. grid vs.
+//! honeycomb) is simulated under one router pipeline. This campaign
+//! re-ranks the four families under six [`nocsim::RouterModelKind`]
+//! microarchitectures — from the paper baseline through occupancy-aware
+//! VC allocation, age-ordered arbitration, bubble escape flow control,
+//! and deeper crossbar pipelines to the fully fortified router — by
+//! open-loop saturation throughput *and* closed-loop stencil /
+//! ring-all-reduce makespan at n ∈ {37, 91, 169}.
+//!
+//! A preset wrapper over the study flow (stage `router`):
+//! `study --preset router_fidelity` runs the identical campaign.
+//!
+//! Usage: `cargo run --release -p hexamesh-bench --bin router_fidelity
+//! [--ns 37,91,169] [--routers baseline,...] [--workloads stencil,...]
+//! [--quick] [--workers W] [--seeds K] [--out DIR] [--format F]`
+//!
+//! Writes `BENCH_router.{csv,json}` — to the repository root by default
+//! (the tracked baseline record; pass `--out` to redirect). `--quick`
+//! shrinks the chiplet counts to {7, 13} for CI smoke runs.
+
+use chiplet_workload::WorkloadKind;
+use hexamesh_bench::presets;
+use nocsim::RouterModelKind;
+use xp::cli::{self, try_arg_list, CampaignArgs};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    cli::reject_unknown_flags(&args, &cli::with_shared(&["--ns", "--routers", "--workloads"]));
+    let strict = |e: String| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    };
+    let ns = try_arg_list::<usize>(&args, "--ns").unwrap_or_else(|e| strict(e));
+    let routers =
+        try_arg_list::<RouterModelKind>(&args, "--routers").unwrap_or_else(|e| strict(e));
+    let workloads =
+        try_arg_list::<WorkloadKind>(&args, "--workloads").unwrap_or_else(|e| strict(e));
+    let shared = CampaignArgs::parse(&args);
+
+    let mut spec = presets::preset("router_fidelity").expect("registered preset");
+    if ns.is_some() {
+        spec.axes.ns = ns;
+    }
+    if routers.is_some() {
+        spec.axes.routers = routers;
+    }
+    if workloads.is_some() {
+        spec.axes.workloads = workloads;
+    }
+    let mut resolved = shared;
+    xp::flow::apply_spec_defaults(&spec, &mut resolved, &args);
+
+    println!("Router-model fidelity re-ranking (open- and closed-loop):");
+    presets::run_and_report(&spec, resolved);
+}

@@ -2,7 +2,8 @@
 //!
 //! Every campaign in this repository is a [`StudySpec`] value: a stage
 //! (`proxies | saturation | traffic | load_curve | workload | search |
-//! kite | thermal | cost`), sweep axes, parameter overrides, and output
+//! kite | thermal | cost | resilience | router`), sweep axes, parameter
+//! overrides, and output
 //! configuration. This binary loads a spec and executes it through
 //! `xp::flow::run_study` — so a new study is a file, not a new binary.
 //!
@@ -20,8 +21,9 @@
 //! plus the shared campaign flags (`--workers`, `--seeds`, `--quick`,
 //! `--full`, `--out`, `--format`, `--seed`) and generic axis overrides
 //! that win over the spec: `--kinds`, `--ns`, `--n` (single-count
-//! shorthand), `--rates`, `--patterns`, `--workloads`, `--restarts`,
-//! `--iterations`, `--no-validate`, `--optimized`.
+//! shorthand), `--rates`, `--patterns`, `--workloads`, `--routers`
+//! (router-model sweep), `--router` (fixed named model via `sim.router`),
+//! `--restarts`, `--iterations`, `--no-validate`, `--optimized`.
 //!
 //! A spec's `seed` / `replicates` / `output` keys act as defaults for
 //! the matching flags, so checked-in specs pin their reproduction
@@ -32,7 +34,7 @@
 use chiplet_workload::WorkloadKind;
 use hexamesh::arrangement::ArrangementKind;
 use hexamesh_bench::presets;
-use nocsim::TrafficPattern;
+use nocsim::{RouterModelKind, TrafficPattern};
 use xp::cli::{self, arg_flag, try_arg_list, try_arg_value};
 use xp::spec::{StageKind, StudySpec};
 
@@ -90,6 +92,13 @@ fn apply_overrides(spec: &mut StudySpec, args: &[String]) {
     }
     if let Some(workloads) = strict(try_arg_list::<WorkloadKind>(args, "--workloads")) {
         spec.axes.workloads = Some(workloads);
+    }
+    if let Some(routers) = strict(try_arg_list::<RouterModelKind>(args, "--routers")) {
+        spec.axes.routers = Some(routers);
+    }
+    if let Some(router) = strict(try_arg_value(args, "--router")) {
+        spec.sim.router =
+            Some(router.parse().unwrap_or_else(|e: String| fail(&format!("--router: {e}"))));
     }
     if let Some(restarts) = strict(try_arg_value(args, "--restarts")) {
         spec.search.restarts =
@@ -163,6 +172,8 @@ fn main() {
             "--rates",
             "--patterns",
             "--workloads",
+            "--routers",
+            "--router",
             "--restarts",
             "--iterations",
             "--no-validate",

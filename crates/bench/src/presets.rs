@@ -9,14 +9,17 @@
 //! so the preset *is* the binary's behaviour, and
 //! `study --preset <name>` reproduces it byte for byte.
 
+use chiplet_workload::WorkloadKind;
 use hexamesh::arrangement::ArrangementKind;
+use nocsim::RouterModelKind;
 use xp::spec::{StageKind, StudySpec};
 
 /// Every preset name, in documentation order.
-pub const PRESET_NAMES: [&str; 11] = [
+pub const PRESET_NAMES: [&str; 13] = [
     "fig7_simulation",
     "load_curves",
     "ablation_traffic",
+    "ablation_router",
     "workload_comparison",
     "kite_comparison",
     "arrangement_search",
@@ -25,6 +28,7 @@ pub const PRESET_NAMES: [&str; 11] = [
     "cost_model",
     "resilience",
     "netview",
+    "router_fidelity",
 ];
 
 /// Builds the named preset, or `None` for an unknown name. Axes left
@@ -41,6 +45,14 @@ pub fn preset(name: &str) -> Option<StudySpec> {
         }
         "load_curves" => StudySpec::new("load_curves", StageKind::LoadCurve),
         "ablation_traffic" => StudySpec::new("ablation_traffic", StageKind::Traffic),
+        "ablation_router" => {
+            let mut spec = StudySpec::new("ablation_router", StageKind::Router);
+            // The legacy trio at the paper's headline count, across the
+            // full router-model matrix (open-loop: no makespan columns).
+            spec.axes.kinds = Some(ArrangementKind::EVALUATED.to_vec());
+            spec.axes.ns = Some(vec![37]);
+            spec
+        }
         "workload_comparison" => {
             let mut spec = StudySpec::new("BENCH_workload", StageKind::Workload);
             spec.output.to_repo_root = true;
@@ -78,6 +90,30 @@ pub fn preset(name: &str) -> Option<StudySpec> {
             spec.observe.heatmap = true;
             spec.observe.timeline = true;
             spec.observe.trace = true;
+            spec
+        }
+        "router_fidelity" => {
+            let mut spec = StudySpec::new("BENCH_router", StageKind::Router);
+            // The fidelity re-ranking record: does the arrangement
+            // comparison survive raising router-microarchitecture
+            // fidelity? Six models spanning every policy axis (including
+            // the adaptive occupancy-aware allocator and bubble escape
+            // flow control), ranked by saturation throughput and by
+            // stencil / ring-all-reduce makespan. Kinds and chiplet
+            // counts resolve to the stage defaults (all four families;
+            // n ∈ {37, 91, 169}, CI-sized under `--quick`).
+            spec.axes.routers = Some(vec![
+                RouterModelKind::Baseline,
+                RouterModelKind::LeastLoaded,
+                RouterModelKind::OldestFirst,
+                RouterModelKind::Bubble,
+                RouterModelKind::DeepCrossbar,
+                RouterModelKind::Fortified,
+            ]);
+            spec.axes.workloads =
+                Some(vec![WorkloadKind::Stencil, WorkloadKind::RingAllReduce]);
+            // A tracked repo-root baseline like `BENCH_workload`.
+            spec.output.to_repo_root = true;
             spec
         }
         _ => return None,

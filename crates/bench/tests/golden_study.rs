@@ -99,6 +99,17 @@ fn fixture_spec(name: &str) -> StudySpec {
         "fig7_simulation" => spec.axes.ns = Some(vec![2, 9]), // --step 7 --max-n 9
         "load_curves" => spec.axes.ns = Some(vec![16]),       // --n 16
         "ablation_traffic" => spec.axes.ns = Some(vec![9]),   // --n 9
+        // Not a pre-redesign pin (the legacy binary swept routing x VC
+        // count): this fixture freezes the router-model table the day the
+        // axis landed, so later sessions cannot drift it silently.
+        "ablation_router" => {
+            spec.axes.ns = Some(vec![9]); // --n 9
+            spec.axes.routers = Some(vec![
+                nocsim::RouterModelKind::Baseline,
+                nocsim::RouterModelKind::OldestFirst,
+                nocsim::RouterModelKind::Fortified,
+            ]);
+        }
         "workload_comparison" => {
             spec.axes.ns = Some(vec![7, 13]);
             spec.axes.workloads = Some(vec![
@@ -158,6 +169,16 @@ fn ablation_traffic_preset_reproduces_the_legacy_binary() {
     let out = temp_out("ablation_traffic");
     run(&fixture_spec("ablation_traffic"), &out, 2);
     assert_matches_fixture(&out, "ablation_traffic", "ablation_traffic");
+}
+
+#[test]
+fn ablation_router_preset_matches_its_pinned_fixture_at_any_worker_count() {
+    let spec = fixture_spec("ablation_router");
+    for workers in [1usize, 4] {
+        let out = temp_out(&format!("ablation_router_w{workers}"));
+        run(&spec, &out, workers);
+        assert_matches_fixture(&out, "ablation_router", "ablation_router");
+    }
 }
 
 #[test]
@@ -223,6 +244,7 @@ fn checked_in_specs_parse_and_match_their_presets() {
         ("fig7_quick.toml", "fig7_simulation"),
         ("load_curves_quick.toml", "load_curves"),
         ("ablation_traffic_quick.toml", "ablation_traffic"),
+        ("ablation_router_quick.toml", "ablation_router"),
         ("workload_quick.toml", "workload_comparison"),
         ("arrangement_search_quick.toml", "arrangement_search"),
         ("kite_quick.toml", "kite_comparison"),

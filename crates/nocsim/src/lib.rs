@@ -13,6 +13,9 @@
 //!   escape layer for arbitrary topologies,
 //! * [`router`] — input-queued virtual-channel routers with credit-based
 //!   flow control and separable round-robin allocation,
+//! * [`rmodel`] — pluggable router microarchitectures (VC allocation and
+//!   output arbitration policies, escape-VC bubble flow control,
+//!   crossbar pipeline depth),
 //! * [`endpoint`] / [`traffic`] — Bernoulli traffic sources and sinks,
 //! * [`fault`] — deterministic link/router failure schedules and
 //!   source retransmission,
@@ -44,6 +47,7 @@ pub mod fault;
 pub mod flit;
 pub mod measure;
 pub mod obs;
+pub mod rmodel;
 pub mod router;
 pub mod routing;
 pub mod shard;
@@ -53,6 +57,7 @@ pub mod traffic;
 pub use fault::{FaultEvent, FaultPlan, FaultSchedule, FaultTarget, RetransmitConfig};
 pub use measure::{LoadPointObservation, LoadPointResult, MeasureConfig, SaturationResult};
 pub use obs::{Probe, WindowSample};
+pub use rmodel::{OutputArbPolicy, RouterModel, RouterModelKind, VcAllocPolicy};
 pub use router::StallCounters;
 pub use routing::{RoutingError, RoutingKind};
 pub use shard::ShardedSimulator;

@@ -112,9 +112,9 @@ pub fn zero_load_latency(g: &Graph, config: &SimConfig) -> Result<f64, SimError>
     if endpoints < 2 {
         return Err(SimError::InvalidConfig("need at least two endpoints"));
     }
-    let per_hop = (config.router_latency + config.link_latency) as f64;
+    let per_hop = (config.pipeline_cycles() + config.link_latency) as f64;
     let constant = 2.0 * config.injection_latency as f64
-        + config.router_latency as f64
+        + config.pipeline_cycles() as f64
         + (config.packet_size as f64 - 1.0);
     // Average router-to-router hop distance over ordered endpoint pairs.
     let mut total_hops = 0u64;

@@ -15,6 +15,7 @@
 
 use crate::channel::Credit;
 use crate::flit::{Flit, PacketId, RouterId, VcId};
+use crate::rmodel::{OutputArbPolicy, RouterModel, VcAllocPolicy};
 use crate::routing::{RoutingKind, RoutingTables};
 
 /// Static router parameters shared by the whole network.
@@ -25,8 +26,14 @@ pub struct RouterParams {
     /// Buffer depth (flits) per virtual channel.
     pub buffer_depth: usize,
     /// Pipeline latency in cycles added to every flit that traverses the
-    /// router (3 in the paper's configuration).
+    /// router (3 in the paper's configuration, plus the model's crossbar
+    /// depth).
     pub pipeline_latency: u64,
+    /// Microarchitecture policies (see [`crate::rmodel`]).
+    pub model: RouterModel,
+    /// Run seed; each router derives its own deterministic policy-RNG
+    /// stream from it (only the [`VcAllocPolicy::Random`] model draws).
+    pub seed: u64,
 }
 
 /// Where an output port leads.
@@ -113,13 +120,15 @@ impl RouteContext<'_> {
 }
 
 /// A switch-allocation nominee: input (port, vc) bound to output
-/// (port, vc), with buffered flits and downstream credits.
+/// (port, vc), plus the head flit's creation cycle so age-based output
+/// arbitration can rank nominees without touching the buffers again.
 #[derive(Debug, Clone, Copy)]
 struct Nominee {
     in_port: u32,
     vc: u32,
     out_port: u32,
     out_vc: u32,
+    age: u64,
 }
 
 /// Cumulative stall-cause counters, maintained since construction.
@@ -186,6 +195,12 @@ pub struct Router {
     nominees: Vec<Nominee>,
     /// Cumulative stall-cause tallies (observability only).
     stalls: StallCounters,
+    /// Policy-RNG state (splitmix64); a per-router stream derived from
+    /// the run seed. Only [`VcAllocPolicy::Random`] draws from it, and
+    /// only while a head awaits allocation, so the draw sequence is a
+    /// pure function of router state — identical under event-driven,
+    /// reference, and sharded stepping.
+    rng: u64,
 }
 
 impl Router {
@@ -222,7 +237,17 @@ impl Router {
             sa_candidates: vec![0; num_ports],
             nominees: Vec::with_capacity(num_ports),
             stalls: StallCounters::default(),
+            rng: params.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         }
+    }
+
+    /// One splitmix64 draw from the router's policy-RNG stream.
+    fn next_rand(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     /// Router id.
@@ -351,48 +376,144 @@ impl Router {
 
     /// Chooses a free output (port, vc) for a head flit, or `None` to stall.
     /// Returns `(port, vc, escape_committed)`.
-    fn select_output(&self, ctx: RouteContext<'_>, head: &Flit) -> Option<(usize, VcId, bool)> {
+    ///
+    /// `&mut self` only for the policy-RNG stream; the default model
+    /// performs the exact pre-axis selection and never draws.
+    fn select_output(
+        &mut self,
+        ctx: RouteContext<'_>,
+        head: &Flit,
+    ) -> Option<(usize, VcId, bool)> {
         let dest_router = ctx.router_of(head.dest);
         // Ejection at the destination router.
         if dest_router == self.id {
             let slot = head.dest % ctx.endpoints_per_router;
             let port = self.num_net_ports + slot;
-            let vc = self.best_free_vc(port, 0)?;
+            let vc = self.pick_free_vc(port, 0)?;
             return Some((port, vc, false));
         }
         let escape_port = ctx.tables.escape_port(self.id, dest_router);
         match (ctx.tables.kind(), head.escape) {
             // Already committed to the escape network: stay on it (VC 0).
+            // A single credit suffices even under bubble flow control —
+            // the bubble rule restricts *entry*, never progress.
             (RoutingKind::MinimalAdaptiveEscape, true) => {
                 self.free_output(escape_port, 0).then_some((escape_port, 0, true))
             }
             (RoutingKind::MinimalAdaptiveEscape, false) => {
-                // Adaptive: any minimal port, VCs 1.., most credits first.
+                if let Some((port, vc)) = self.pick_adaptive(ctx, dest_router) {
+                    return Some((port, vc, false));
+                }
+                // No adaptive VC free: commit to escape if possible. Under
+                // bubble flow control entry needs two free slots so the
+                // escape ring always keeps a deadlock-breaking bubble.
+                let need = if self.params.model.bubble_escape { 2 } else { 1 };
+                let out = &self.outputs[escape_port * self.params.vcs];
+                (out.owner.is_none() && out.credits >= need).then_some((escape_port, 0, true))
+            }
+            (RoutingKind::MinimalDeterministic, _) => {
+                let port =
+                    usize::from(*ctx.tables.minimal_ports(self.id, dest_router).first()?);
+                let vc = self.pick_free_vc(port, 0)?;
+                Some((port, vc, false))
+            }
+            (RoutingKind::UpDownOnly, _) => {
+                let vc = self.pick_free_vc(escape_port, 0)?;
+                Some((escape_port, vc, false))
+            }
+        }
+    }
+
+    /// Adaptive output selection among the minimal ports' VCs `1..`,
+    /// dispatched on the model's VC-allocation policy.
+    fn pick_adaptive(
+        &mut self,
+        ctx: RouteContext<'_>,
+        dest_router: usize,
+    ) -> Option<(usize, VcId)> {
+        let vcs = self.params.vcs;
+        match self.params.model.vc_alloc {
+            // The paper's allocator: the (port, vc) with the most
+            // downstream credits, first-found winning ties.
+            VcAllocPolicy::RoundRobin => {
                 let mut best: Option<(usize, VcId, usize)> = None;
                 for &p in ctx.tables.minimal_ports(self.id, dest_router) {
                     let port = usize::from(p);
                     if let Some(vc) = self.best_free_vc(port, 1) {
-                        let credits = self.outputs[port * self.params.vcs + vc].credits;
+                        let credits = self.outputs[port * vcs + vc].credits;
                         if best.is_none_or(|(_, _, c)| credits > c) {
                             best = Some((port, vc, credits));
                         }
                     }
                 }
-                if let Some((port, vc, _)) = best {
-                    return Some((port, vc, false));
+                best.map(|(port, vc, _)| (port, vc))
+            }
+            // Uniform-random among all allocatable (port, vc) pairs, by
+            // reservoir sampling (one draw per candidate — a pure
+            // function of router state, so stepping-mode independent).
+            VcAllocPolicy::Random => {
+                let mut chosen: Option<(usize, VcId)> = None;
+                let mut seen: u64 = 0;
+                for &p in ctx.tables.minimal_ports(self.id, dest_router) {
+                    let port = usize::from(p);
+                    for v in 1..vcs {
+                        let out = &self.outputs[port * vcs + v];
+                        if out.owner.is_none() && out.credits > 0 {
+                            seen += 1;
+                            if self.next_rand().is_multiple_of(seen) {
+                                chosen = Some((port, v));
+                            }
+                        }
+                    }
                 }
-                // No adaptive VC free: commit to escape if possible.
-                self.free_output(escape_port, 0).then_some((escape_port, 0, true))
+                chosen
             }
-            (RoutingKind::MinimalDeterministic, _) => {
-                let port =
-                    usize::from(*ctx.tables.minimal_ports(self.id, dest_router).first()?);
-                let vc = self.best_free_vc(port, 0)?;
-                Some((port, vc, false))
+            // Occupancy-aware: the minimal port with the most total free
+            // credits across its adaptive VCs (the least-loaded
+            // direction), first-found winning ties; best VC within it.
+            VcAllocPolicy::LeastLoaded => {
+                let mut best: Option<(usize, usize)> = None;
+                for &p in ctx.tables.minimal_ports(self.id, dest_router) {
+                    let port = usize::from(p);
+                    if self.best_free_vc(port, 1).is_none() {
+                        continue;
+                    }
+                    let free: usize = (1..vcs)
+                        .filter(|&v| self.outputs[port * vcs + v].owner.is_none())
+                        .map(|v| self.outputs[port * vcs + v].credits)
+                        .sum();
+                    if best.is_none_or(|(_, f)| free > f) {
+                        best = Some((port, free));
+                    }
+                }
+                let (port, _) = best?;
+                self.best_free_vc(port, 1).map(|vc| (port, vc))
             }
-            (RoutingKind::UpDownOnly, _) => {
-                let vc = self.best_free_vc(escape_port, 0)?;
-                Some((escape_port, vc, false))
+        }
+    }
+
+    /// Policy-dispatched free-VC choice on one port: the default and
+    /// least-loaded models take the most-credits VC; the random model
+    /// draws uniformly among the allocatable ones.
+    fn pick_free_vc(&mut self, port: usize, min_vc: usize) -> Option<VcId> {
+        match self.params.model.vc_alloc {
+            VcAllocPolicy::RoundRobin | VcAllocPolicy::LeastLoaded => {
+                self.best_free_vc(port, min_vc)
+            }
+            VcAllocPolicy::Random => {
+                let base = port * self.params.vcs;
+                let mut chosen = None;
+                let mut seen: u64 = 0;
+                for v in min_vc..self.params.vcs {
+                    let out = &self.outputs[base + v];
+                    if out.owner.is_none() && out.credits > 0 {
+                        seen += 1;
+                        if self.next_rand().is_multiple_of(seen) {
+                            chosen = Some(v);
+                        }
+                    }
+                }
+                chosen
             }
         }
     }
@@ -481,13 +602,14 @@ impl Router {
             for _ in 0..vcs {
                 let ivc = &self.inputs[port * vcs + vc];
                 if let Some((out_port, out_vc)) = ivc.bound {
-                    if !ivc.buffer.is_empty() {
+                    if let Some(front) = ivc.buffer.front() {
                         if self.outputs[out_port * vcs + out_vc].credits > 0 {
                             self.nominees.push(Nominee {
                                 in_port: port as u32,
                                 vc: vc as u32,
                                 out_port: out_port as u32,
                                 out_vc: out_vc as u32,
+                                age: front.created_at,
                             });
                             break;
                         }
@@ -515,14 +637,27 @@ impl Router {
             let out_port = op as usize;
             let start = self.sa_in_rr[out_port];
             let p = self.num_ports;
-            let mut best = (usize::MAX, i);
+            // Policy-dispatched grant: minimise a per-nominee rank key.
+            // Round-robin ranks by distance from the port's pointer;
+            // oldest-first by head-flit age (input port breaks ties);
+            // transit-first by input class (network beats injection),
+            // round-robin within each class.
+            let arb = self.params.model.output_arb;
+            let net_ports = self.num_net_ports;
+            let mut best = ((u64::MAX, usize::MAX), i);
             for (j, n) in self.nominees.iter().enumerate() {
                 if n.out_port != op {
                     continue;
                 }
-                let rank = (n.in_port as usize + p - start) % p;
-                if rank < best.0 {
-                    best = (rank, j);
+                let in_port = n.in_port as usize;
+                let rank = (in_port + p - start) % p;
+                let key = match arb {
+                    OutputArbPolicy::RoundRobin => (rank as u64, in_port),
+                    OutputArbPolicy::OldestFirst => (n.age, in_port),
+                    OutputArbPolicy::TransitFirst => (u64::from(in_port >= net_ports), rank),
+                };
+                if key < best.0 {
+                    best = (key, j);
                 }
             }
             let n = self.nominees[best.1];
@@ -733,7 +868,13 @@ mod tests {
     use chiplet_graph::gen;
 
     fn params() -> RouterParams {
-        RouterParams { vcs: 2, buffer_depth: 4, pipeline_latency: 3 }
+        RouterParams {
+            vcs: 2,
+            buffer_depth: 4,
+            pipeline_latency: 3,
+            model: RouterModel::default(),
+            seed: 0xBEEF,
+        }
     }
 
     fn tables(g: &chiplet_graph::Graph, kind: RoutingKind) -> RoutingTables {

@@ -22,6 +22,7 @@ use crate::endpoint::Endpoint;
 use crate::fault::{FaultPlan, FaultTarget};
 use crate::flit::{Flit, PacketId, RouterId};
 use crate::obs::{ObsState, Probe, WindowSample};
+use crate::rmodel::RouterModel;
 use crate::router::{RouteContext, Router, RouterParams, SentCredit, SentFlit, StallCounters};
 use crate::routing::{RoutingError, RoutingKind, RoutingTables};
 use crate::traffic::{InjectionProcess, ProcessKind, TrafficPattern};
@@ -62,6 +63,9 @@ pub struct SimConfig {
     /// Watchdog: cycles without any flit movement (while flits are in the
     /// network) before deadlock is suspected.
     pub deadlock_watchdog: u64,
+    /// Router microarchitecture (defaults to the paper's router; see
+    /// [`crate::rmodel`]).
+    pub router: RouterModel,
 }
 
 impl SimConfig {
@@ -83,7 +87,16 @@ impl SimConfig {
             seed: 0xD2D_11CC,
             source_queue_cap: 64,
             deadlock_watchdog: 5_000,
+            router: RouterModel::default(),
         }
+    }
+
+    /// Total per-hop pipeline cycles: the base router latency plus the
+    /// model's extra crossbar stages. Every path that delays a traversing
+    /// flit (serial, sharded replay, analytic zero-load) must use this.
+    #[must_use]
+    pub fn pipeline_cycles(&self) -> u64 {
+        self.router_latency + self.router.crossbar_depth
     }
 }
 
@@ -574,7 +587,9 @@ impl Simulator {
         let params = RouterParams {
             vcs: config.vcs,
             buffer_depth: config.buffer_depth,
-            pipeline_latency: config.router_latency,
+            pipeline_latency: config.pipeline_cycles(),
+            model: config.router,
+            seed: config.seed,
         };
 
         let mut routers = Vec::with_capacity(n);
@@ -664,7 +679,7 @@ impl Simulator {
             // Scheduling distance is bounded by latency + pipeline (or the
             // serialization interval), so this horizon always fits.
             line_events: EventWheel::new(
-                config.router_latency + max_latency + max_interval + 2,
+                config.pipeline_cycles() + max_latency + max_interval + 2,
                 2 * num_net_links + 4 * num_endpoints,
             ),
             wheel_scratch: Vec::with_capacity(2 * num_net_links + 4 * num_endpoints),
@@ -986,7 +1001,7 @@ impl Simulator {
         if !sent.is_empty() {
             self.last_progress = t;
         }
-        let pipeline = self.config.router_latency;
+        let pipeline = self.config.pipeline_cycles();
         let num_net_ports = self.routers[r].num_net_ports();
         let base = 2 * self.net_links.len();
         let event = !self.reference_stepping;
@@ -2296,7 +2311,9 @@ impl Simulator {
     /// kept).
     pub(crate) fn apply_boundary_flits(&mut self, l: usize, msgs: &mut Vec<(u64, Flit)>) {
         debug_assert!(!self.reference_stepping, "sharded runs are event-driven");
-        let pipeline = self.config.router_latency;
+        // Must match `service_router` exactly: boundary replays re-run the
+        // sending router's push, crossbar stages included.
+        let pipeline = self.config.pipeline_cycles();
         for &(cycle, flit) in msgs.iter() {
             push_line(
                 &mut self.net_links[l].flits,
@@ -2509,6 +2526,16 @@ fn validate(g: &Graph, config: &SimConfig) -> Result<(), SimError> {
     if config.source_queue_cap == 0 {
         return Err(SimError::InvalidConfig("source_queue_cap must be at least 1"));
     }
+    if config.router.bubble_escape && config.buffer_depth < 2 {
+        return Err(SimError::InvalidConfig(
+            "bubble flow control needs buffer_depth >= 2 (entry requires two free slots)",
+        ));
+    }
+    // The event wheel's horizon grows with the pipeline; cap the crossbar
+    // depth so a typo cannot allocate an absurd wheel.
+    if config.router.crossbar_depth > 256 {
+        return Err(SimError::InvalidConfig("crossbar_depth must be at most 256"));
+    }
     let _ = g;
     Ok(())
 }
@@ -2534,6 +2561,7 @@ mod tests {
             seed: 99,
             source_queue_cap: 16,
             deadlock_watchdog: 2_000,
+            router: RouterModel::default(),
         }
     }
 

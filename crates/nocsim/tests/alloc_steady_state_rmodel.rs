@@ -1,0 +1,80 @@
+//! Zero-allocation steady state under every router model. The policy
+//! dispatch (enum matches, per-router splitmix RNG, age-keyed
+//! arbitration, bubble credit checks, deeper crossbar pipelines) must
+//! not introduce a single heap allocation on the hot path — including
+//! probe-attached runs.
+//!
+//! Like `alloc_steady_state.rs` this file holds exactly one test so no
+//! concurrent test perturbs the allocation counter; the models run
+//! sequentially inside it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use chiplet_graph::gen;
+use nocsim::{Probe, RouterModelKind, SimConfig, Simulator};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_never_allocates_under_any_router_model() {
+    let g = gen::grid(4, 4);
+    for kind in RouterModelKind::ALL {
+        let config = SimConfig {
+            injection_rate: 0.1,
+            seed: 42,
+            router: kind.model(),
+            ..SimConfig::paper_defaults()
+        };
+        let mut sim = Simulator::new(&g, config).expect("valid config");
+        sim.attach_probe(Probe::new(100, 256));
+
+        // Warm up, open the window, let every growable buffer reach its
+        // working capacity, then measure an exact allocation window.
+        sim.run(3_000);
+        sim.open_measurement_window();
+        sim.run(3_000);
+
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        sim.run(4_000);
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state run() must not allocate under the {kind} model \
+             (got {} allocations over 4000 cycles)",
+            after - before
+        );
+
+        // The run did real work under this model.
+        let stats = sim.stats();
+        assert!(stats.received_packets > 1_000, "{kind} unexpectedly idle: {stats:?}");
+        assert_eq!(sim.obs_windows().len(), 100, "{kind}: probe sampled every boundary");
+    }
+}

@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 use chiplet_graph::{gen, Graph};
 use nocsim::channel::{DelayLine, IDLE};
 use nocsim::traffic::ProcessKind;
-use nocsim::{LinkSpec, RoutingKind, SimConfig, Simulator, TrafficPattern};
+use nocsim::{LinkSpec, RouterModelKind, RoutingKind, SimConfig, Simulator, TrafficPattern};
 use proptest::prelude::*;
 
 fn base_config(rate: f64) -> SimConfig {
@@ -158,6 +158,44 @@ fn golden_on_irregular_topology() {
     let config = base_config(0.1);
     assert_equivalent(&g, config, uniform_spec(&config), true, "irregular");
 }
+
+#[test]
+fn golden_across_router_models() {
+    // Every router model — not just the default — must keep the
+    // event-driven and reference paths bit-identical: the policy RNG and
+    // the arbitration keys are pure functions of router state, never of
+    // the stepping mode.
+    let g = gen::grid(4, 4);
+    for kind in RouterModelKind::ALL {
+        let config = SimConfig { router: kind.model(), ..base_config(0.12) };
+        assert_equivalent(&g, config, uniform_spec(&config), true, kind.name());
+    }
+}
+
+#[test]
+fn default_router_model_is_pinned_to_pre_axis_output() {
+    // The exact statistics the pre-rmodel simulator produced for this
+    // configuration (captured before the router axis landed). Any drift
+    // in the default model — a reordered draw, a changed tie-break —
+    // fails here even if event/reference stay self-consistent.
+    let g = gen::grid(4, 4);
+    let config = base_config(0.12);
+    let fp = fingerprint(&g, config, uniform_spec(&config), false, false);
+    assert_eq!(config.router, nocsim::RouterModel::default());
+    assert_eq!(
+        (fp.cycle, fp.stats.received_packets, fp.stats.received_flits, fp.in_network),
+        PRE_AXIS_FINGERPRINT,
+        "default router model drifted from the pre-axis simulator"
+    );
+    assert_eq!(fp.stats.avg_packet_latency.map(f64::to_bits), Some(PRE_AXIS_AVG_LATENCY_BITS));
+}
+
+/// `(cycle, received_packets, received_flits, flits_in_network)` of the
+/// pre-axis simulator for `base_config(0.12)` on the 4×4 grid above.
+const PRE_AXIS_FINGERPRINT: (u64, u64, u64, usize) = (3_100, 777, 3_107, 1_079);
+
+/// Bit pattern of the pre-axis mean packet latency for the same run.
+const PRE_AXIS_AVG_LATENCY_BITS: u64 = 4_650_781_536_326_259_343;
 
 #[test]
 fn switching_modes_mid_run_is_seamless() {

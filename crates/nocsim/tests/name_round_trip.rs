@@ -6,7 +6,7 @@
 
 use std::str::FromStr;
 
-use nocsim::{RoutingKind, TrafficPattern};
+use nocsim::{OutputArbPolicy, RouterModelKind, RoutingKind, TrafficPattern, VcAllocPolicy};
 use proptest::prelude::*;
 
 const FINITE_PATTERNS: [TrafficPattern; 5] = [
@@ -63,6 +63,49 @@ fn routing_kinds_round_trip() {
         assert_eq!(RoutingKind::from_str(&routing.to_string()).unwrap(), routing);
     }
     assert!(RoutingKind::from_str("xy").is_err());
+}
+
+#[test]
+fn router_model_kinds_round_trip() {
+    for kind in RouterModelKind::ALL {
+        assert_eq!(RouterModelKind::from_str(kind.name()).unwrap(), kind);
+        assert_eq!(RouterModelKind::from_str(&kind.to_string()).unwrap(), kind);
+    }
+    assert!(RouterModelKind::from_str("default").is_err());
+}
+
+#[test]
+fn router_policy_names_round_trip() {
+    for policy in VcAllocPolicy::ALL {
+        assert_eq!(VcAllocPolicy::from_str(policy.name()).unwrap(), policy);
+        assert_eq!(VcAllocPolicy::from_str(&policy.to_string()).unwrap(), policy);
+    }
+    for policy in OutputArbPolicy::ALL {
+        assert_eq!(OutputArbPolicy::from_str(policy.name()).unwrap(), policy);
+        assert_eq!(OutputArbPolicy::from_str(&policy.to_string()).unwrap(), policy);
+    }
+    assert!(VcAllocPolicy::from_str("lru").is_err());
+    assert!(OutputArbPolicy::from_str("age").is_err());
+}
+
+proptest! {
+    #[test]
+    fn malformed_router_model_names_never_parse_to_defaults(
+        letters in proptest::collection::vec(0u8..26, 1usize..12),
+    ) {
+        // Same contract as the pattern names: noise either names exactly
+        // the kind it parses to, or errors — never a silent fallback.
+        let noise: String = letters.iter().map(|&l| char::from(b'a' + l)).collect();
+        if let Ok(parsed) = RouterModelKind::from_str(&noise) {
+            prop_assert_eq!(parsed.name(), noise);
+        }
+        if let Ok(parsed) = VcAllocPolicy::from_str(&noise) {
+            prop_assert_eq!(parsed.name(), noise);
+        }
+        if let Ok(parsed) = OutputArbPolicy::from_str(&noise) {
+            prop_assert_eq!(parsed.name(), noise);
+        }
+    }
 }
 
 #[test]

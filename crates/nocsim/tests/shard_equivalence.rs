@@ -9,7 +9,10 @@
 
 use chiplet_graph::{gen, Graph};
 use nocsim::traffic::ProcessKind;
-use nocsim::{LinkSpec, RoutingKind, ShardedSimulator, SimConfig, Simulator, TrafficPattern};
+use nocsim::{
+    LinkSpec, RouterModelKind, RoutingKind, ShardedSimulator, SimConfig, Simulator,
+    TrafficPattern,
+};
 use proptest::prelude::*;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -153,6 +156,20 @@ fn sharded_golden_under_heterogeneous_link_specs() {
         }
     };
     assert_equivalent(&g, config, spec, false, "heterogeneous links");
+}
+
+#[test]
+fn sharded_golden_across_router_models() {
+    // Every router model must shard bit-identically: per-router policy
+    // RNG state lives with the owning shard, boundary replays re-apply
+    // the crossbar-deepened pipeline, and arbitration keys carry no
+    // global state. Drain included — bubble flow control restricts
+    // escape entry, so the drain path is the risky one.
+    let g = gen::grid(4, 4);
+    for kind in RouterModelKind::ALL {
+        let config = SimConfig { router: kind.model(), ..base_config(0.12) };
+        assert_equivalent(&g, config, uniform_spec(&config), true, kind.name());
+    }
 }
 
 #[test]

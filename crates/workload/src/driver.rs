@@ -409,7 +409,7 @@ fn critical_path_cycles(
     let ideal = |m: &crate::ir::Message| -> u64 {
         let h = u64::from(hops[(m.src / epr) * n + m.dest / epr]);
         2 * config.injection_latency
-            + (h + 1) * config.router_latency
+            + (h + 1) * config.pipeline_cycles()
             + h * config.link_latency
             + (m.size_flits as u64 - 1)
     };

@@ -39,8 +39,8 @@ use hexamesh::link::{estimate_link, LinkParams, UCIE_POWER_FRACTION, UCIE_TOTAL_
 use hexamesh::shape::{shape_for, ShapeError, ShapeParams};
 use nocsim::measure as noc_measure;
 use nocsim::{
-    LoadPointObservation, MeasureConfig, Probe, ShardedSimulator, SimConfig, SimError,
-    Simulator, TrafficPattern,
+    LoadPointObservation, MeasureConfig, Probe, RouterModelKind, ShardedSimulator, SimConfig,
+    SimError, Simulator, TrafficPattern,
 };
 
 use crate::campaign::StageRecord;
@@ -307,6 +307,7 @@ pub fn run_stage(
         StageKind::Thermal => thermal_stage(spec, campaign),
         StageKind::Cost => cost_stage(spec, campaign),
         StageKind::Resilience => resilience_stage(spec, campaign),
+        StageKind::Router => router_stage(spec, campaign),
         StageKind::Search => match hooks.search {
             Some(run) => run(spec, campaign),
             None => Err(StudyError::Spec(
@@ -375,6 +376,20 @@ pub fn resolved_axes(spec: &StudySpec, args: &CampaignArgs) -> StudySpec {
         StageKind::Cost => {
             axes.ns.get_or_insert_with(|| vec![2, 4, 8, 16, 25, 36, 49, 64, 100]);
         }
+        StageKind::Router => {
+            axes.kinds.get_or_insert_with(|| ArrangementKind::ALL.to_vec());
+            axes.ns.get_or_insert_with(|| {
+                if args.quick {
+                    vec![7, 13]
+                } else {
+                    vec![37, 91, 169]
+                }
+            });
+            axes.routers.get_or_insert_with(|| RouterModelKind::ALL.to_vec());
+            // `workloads` stays as written: unset means open-loop only
+            // (no makespan columns), which is a different table shape,
+            // not a default to fill in.
+        }
         StageKind::Resilience | StageKind::Search => {}
     }
     resolved
@@ -415,6 +430,12 @@ fn base_sim(spec: &StudySpec) -> SimConfig {
     if let Some(depth) = spec.sim.buffer_depth {
         sim.buffer_depth = depth;
     }
+    // A named model and a non-neutral `[router]` section are mutually
+    // exclusive (validated), so applying both in sequence is exact.
+    if let Some(kind) = spec.sim.router {
+        sim.router = kind.model();
+    }
+    sim.router = spec.router.apply(sim.router);
     sim
 }
 
@@ -1807,6 +1828,183 @@ fn resilience_stage(spec: &StudySpec, campaign: &Campaign) -> Result<StageOutput
     })
 }
 
+// ── router stage (microarchitecture fidelity re-ranking) ────────────────
+
+fn router_stage(spec: &StudySpec, campaign: &Campaign) -> Result<StageOutput, StudyError> {
+    let kinds = kinds_or(spec, &ArrangementKind::ALL);
+    let ns = ns_or(spec, if campaign.args().quick { vec![7, 13] } else { vec![37, 91, 169] });
+    let routers = spec.axes.routers.clone().unwrap_or_else(|| RouterModelKind::ALL.to_vec());
+    // The makespan half is opt-in: with `axes.workloads` set, every
+    // (router, n, kind) point also runs those kernels closed-loop and
+    // the table gains per-kernel makespan + rank columns.
+    let workloads = spec.axes.workloads.clone().unwrap_or_default();
+    let schedule = measure_for(spec, campaign.args());
+    let sim = base_sim(spec);
+
+    eprintln!(
+        "{}: {} router models x {} kinds x {} chiplet counts ({} workloads) on {} workers",
+        campaign.name(),
+        routers.len(),
+        kinds.len(),
+        ns.len(),
+        workloads.len(),
+        campaign.args().workers,
+    );
+
+    let scenario = Scenario::new(&kinds, &ns).with_routers(&routers);
+    let results = campaign.run_grid_budgeted(&scenario, schedule.shards, |job| {
+        let arrangement = Arrangement::build(job.kind, job.n).expect("any n builds");
+        let graph = arrangement.graph();
+        let mut config = sim;
+        config.router = job.router.expect("router axis set").model();
+        config.seed = job.seed;
+        let zero_load =
+            noc_measure::zero_load_latency(graph, &config).expect("connected graph");
+        let sat = noc_measure::saturation_search(graph, &config, &schedule)
+            .expect("valid configuration");
+        // Closed-loop kernels under the same model and seed; a stalled
+        // run reads as NaN (ranked last by total_cmp), not an abort.
+        let makespans: Vec<f64> = workloads
+            .iter()
+            .map(|&w| {
+                let endpoints = job.n * config.endpoints_per_router;
+                let workload = w.build(endpoints);
+                let mut driver =
+                    WorkloadDriver::new(graph, config, &workload).expect("valid driver");
+                let stats = driver.run(DEFAULT_MAX_CYCLES);
+                if stats.completed {
+                    stats.makespan as f64
+                } else {
+                    f64::NAN
+                }
+            })
+            .collect();
+        (zero_load, sat.throughput, makespans)
+    });
+
+    struct Row {
+        router: RouterModelKind,
+        n: usize,
+        kind: ArrangementKind,
+        zero_load: f64,
+        saturation: f64,
+        makespans: Vec<f64>,
+    }
+    let k = campaign.args().seeds.max(1) as usize;
+    let mut rows: Vec<Row> = results
+        .chunks(k)
+        .map(|chunk| {
+            let job = chunk[0].0;
+            Row {
+                router: job.router.expect("router axis set"),
+                n: job.n,
+                kind: job.kind,
+                zero_load: mean_of(chunk, |(_, (z, _, _))| *z),
+                saturation: mean_of(chunk, |(_, (_, s, _))| *s),
+                makespans: (0..workloads.len())
+                    .map(|i| mean_of(chunk, |(_, (_, _, m))| m[i]))
+                    .collect(),
+            }
+        })
+        .collect();
+
+    // The grid expands kind-outermost; the table reads router-major
+    // (router → n → kind), one ranking group per (router, n).
+    let router_rank =
+        |r: RouterModelKind| routers.iter().position(|&q| q == r).unwrap_or(usize::MAX);
+    let kind_rank =
+        |kind: ArrangementKind| kinds.iter().position(|&q| q == kind).unwrap_or(usize::MAX);
+    rows.sort_by_key(|r| (router_rank(r.router), r.n, kind_rank(r.kind)));
+
+    let mut columns: Vec<String> = ["router", "n", "kind", "zero_load_latency_cycles"]
+        .iter()
+        .map(|&c| c.to_owned())
+        .collect();
+    columns.push("saturation_fraction".to_owned());
+    columns.push("sat_rank".to_owned());
+    for w in &workloads {
+        columns.push(format!("{}_makespan_cycles", w.label()));
+        columns.push(format!("{}_rank", w.label()));
+    }
+    let header: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header);
+
+    let mut summary = Vec::new();
+    // Per-(router, n) saturation rank vectors, kept in `kinds` order for
+    // the fidelity comparison below (rank vectors are tie-exact where a
+    // sorted kind order would not be).
+    let mut rank_vectors: Vec<(RouterModelKind, usize, Vec<usize>)> = Vec::new();
+    for group in rows.chunks(kinds.len()) {
+        // Saturation: higher is better, so rank the negated series.
+        // Makespans rank directly (lower is better).
+        let sats: Vec<f64> = group.iter().map(|r| -r.saturation).collect();
+        let sat_rank = sweep::competition_rank(&sats);
+        let makespan_ranks: Vec<Vec<usize>> = (0..workloads.len())
+            .map(|i| {
+                let series: Vec<f64> = group.iter().map(|r| r.makespans[i]).collect();
+                sweep::competition_rank(&series)
+            })
+            .collect();
+        for (i, row) in group.iter().enumerate() {
+            let mut cells: Vec<String> = vec![
+                row.router.name().to_owned(),
+                row.n.to_string(),
+                row.kind.label().to_owned(),
+                f3(row.zero_load),
+                f3(row.saturation),
+                sat_rank[i].to_string(),
+            ];
+            for (w, ranks) in row.makespans.iter().zip(&makespan_ranks) {
+                cells.push(f3(*w));
+                cells.push(ranks[i].to_string());
+            }
+            let rendered: Vec<&dyn fmt::Display> =
+                cells.iter().map(|c| c as &dyn fmt::Display).collect();
+            table.row(&rendered);
+        }
+        let best = sat_rank.iter().position(|&r| r == 1).expect("non-empty group");
+        summary.push(format!(
+            "{:<11} n={:<4} best saturation {} ({:.3})",
+            group[0].router.name(),
+            group[0].n,
+            group[best].kind.label(),
+            group[best].saturation,
+        ));
+        rank_vectors.push((group[0].router, group[0].n, sat_rank));
+    }
+
+    // The fidelity headline: does raising router fidelity re-rank the
+    // arrangements, or is the comparison robust to the microarchitecture?
+    if let Some(&reference) = routers.first() {
+        let rank_of = |router: RouterModelKind, n: usize| {
+            rank_vectors.iter().find(|&&(r, m, _)| r == router && m == n).map(|(_, _, v)| v)
+        };
+        let mut reordered = Vec::new();
+        for &n in &ns {
+            let base = rank_of(reference, n);
+            for &router in routers.iter().skip(1) {
+                if rank_of(router, n) != base {
+                    reordered.push(format!("{} at n={n}", router.name()));
+                }
+            }
+        }
+        summary.push(if reordered.is_empty() {
+            format!(
+                "saturation ranking matches the {} model under all {} router models",
+                reference.name(),
+                routers.len(),
+            )
+        } else {
+            format!(
+                "models re-ranking the {} saturation order: {}",
+                reference.name(),
+                reordered.join(", "),
+            )
+        });
+    }
+    Ok(StageOutput { tables: vec![StageTable::main(table)], summary })
+}
+
 // ── thermal stage ───────────────────────────────────────────────────────
 
 /// Areal power density of compute silicon, W/mm² (200 W per 800 mm²).
@@ -2072,6 +2270,34 @@ mod tests {
         assert!(trace.contains("\"load_curve\""), "stage span present: {trace}");
         assert!(trace.contains("HexaMesh n=7"), "{trace}");
         assert!(watched.written.iter().any(|p| p.ends_with("trace.json")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn router_study_ranks_models_and_is_worker_count_invariant() {
+        let dir = std::env::temp_dir().join("xp_flow_router");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut spec = StudySpec::new("router_unit", StageKind::Router);
+        spec.axes.kinds = Some(vec![ArrangementKind::HexaMesh, ArrangementKind::Grid]);
+        spec.axes.ns = Some(vec![4]);
+        spec.axes.routers = Some(vec![RouterModelKind::Baseline, RouterModelKind::Fortified]);
+        spec.axes.workloads = Some(vec![WorkloadKind::Stencil]);
+        spec.schedule = Some(crate::spec::Schedule::new(300, 600));
+        let serial =
+            run_study(&spec, args(&dir.join("w1"), 1), &StageHooks::default()).unwrap();
+        let parallel =
+            run_study(&spec, args(&dir.join("w8"), 8), &StageHooks::default()).unwrap();
+        let csv = std::fs::read_to_string(&serial.written[0]).unwrap();
+        assert_eq!(csv, std::fs::read_to_string(&parallel.written[0]).unwrap());
+        assert!(
+            csv.starts_with(
+                "router,n,kind,zero_load_latency_cycles,saturation_fraction,sat_rank,\
+                 stencil_makespan_cycles,stencil_rank\n"
+            ),
+            "{csv}"
+        );
+        assert_eq!(csv.lines().count(), 1 + 2 * 2, "{csv}");
+        assert!(csv.contains("\nfortified,4,"), "{csv}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

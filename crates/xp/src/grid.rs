@@ -2,7 +2,7 @@
 //!
 //! A [`Scenario`] is the cartesian product the paper's figures sweep:
 //! arrangement kind × chiplet count × injection rate × traffic pattern ×
-//! workload × replicate seed. [`Scenario::jobs`] expands it into [`Job`]s
+//! workload × router model × replicate seed. [`Scenario::jobs`] expands it into [`Job`]s
 //! whose seeds come from [`crate::seed::derive_seed`] over the job's
 //! *coordinates*, so the expansion is independent of axis ordering,
 //! worker count, and the presence of other axis values.
@@ -30,14 +30,21 @@
 //! below: a scenario that leaves every optional axis at its neutral
 //! value derives exactly the historical five-word seeds, whatever
 //! optional axes the engine has since grown.
+//!
+//! Two optional axes exist today, in insertion order: the **workload**
+//! axis (PR 3) and the **router-model** axis. A used router coordinate
+//! ([`nocsim::RouterModelKind::code`], append-only like every other
+//! code) is therefore appended *after* the workload word (when that is
+//! used) and immediately before the replicate word; a scenario on the
+//! default router model appends nothing and keeps its historical seeds.
 
 use chiplet_workload::WorkloadKind;
 use hexamesh::arrangement::ArrangementKind;
-use nocsim::TrafficPattern;
+use nocsim::{RouterModelKind, TrafficPattern};
 
 use crate::seed::derive_seed;
 
-/// A declarative sweep: the cartesian product of the six axes.
+/// A declarative sweep: the cartesian product of the seven axes.
 ///
 /// Axes left at their defaults contribute a single neutral point, so a
 /// scenario only names the dimensions it actually sweeps.
@@ -57,6 +64,11 @@ pub struct Scenario {
     /// the pre-workload five words, so adding this axis moved no
     /// existing point's seed.
     pub workloads: Vec<Option<WorkloadKind>>,
+    /// Router microarchitectures; `None` marks a job on the default
+    /// (paper) router. Like the workload axis, a `None` job contributes
+    /// no coordinate word, so adding this axis moved no existing
+    /// point's seed.
+    pub routers: Vec<Option<RouterModelKind>>,
     /// Number of replicate seeds per grid point (`--seeds K`).
     pub replicates: u64,
 }
@@ -72,6 +84,7 @@ impl Scenario {
             rates: vec![None],
             patterns: vec![TrafficPattern::UniformRandom],
             workloads: vec![None],
+            routers: vec![None],
             replicates: 1,
         }
     }
@@ -98,6 +111,14 @@ impl Scenario {
         self
     }
 
+    /// Sweeps the given router models (replacing the neutral
+    /// default-router point).
+    #[must_use]
+    pub fn with_routers(mut self, routers: &[RouterModelKind]) -> Self {
+        self.routers = routers.iter().copied().map(Some).collect();
+        self
+    }
+
     /// Runs `k` replicate seeds per grid point.
     #[must_use]
     pub fn with_replicates(mut self, k: u64) -> Self {
@@ -113,6 +134,7 @@ impl Scenario {
             * self.rates.len()
             * self.patterns.len()
             * self.workloads.len()
+            * self.routers.len()
             * self.replicates as usize
     }
 
@@ -125,7 +147,7 @@ impl Scenario {
     /// Expands the cartesian product into jobs with derived seeds.
     ///
     /// Iteration order is row-major over (kind, n, rate, pattern,
-    /// workload, replicate) — the order sinks write rows in.
+    /// workload, router, replicate) — the order sinks write rows in.
     #[must_use]
     pub fn jobs(&self, campaign_seed: u64) -> Vec<Job> {
         let mut out = Vec::with_capacity(self.len());
@@ -134,31 +156,39 @@ impl Scenario {
                 for &rate in &self.rates {
                     for &pattern in &self.patterns {
                         for &workload in &self.workloads {
-                            for replicate in 0..self.replicates {
-                                // Open-loop jobs keep the historical
-                                // five-word coordinates; the workload
-                                // word is appended only when the axis is
-                                // set, so pre-workload seeds are stable.
-                                let mut coords = vec![
-                                    kind_code(kind),
-                                    n as u64,
-                                    rate.map_or(u64::MAX, f64::to_bits),
-                                    pattern_code(pattern),
-                                ];
-                                if let Some(w) = workload {
-                                    coords.push(w.code());
+                            for &router in &self.routers {
+                                for replicate in 0..self.replicates {
+                                    // Neutral jobs keep the historical
+                                    // five-word coordinates; the workload
+                                    // and router words are appended only
+                                    // when those axes are set (in axis
+                                    // insertion order), so earlier seeds
+                                    // are stable.
+                                    let mut coords = vec![
+                                        kind_code(kind),
+                                        n as u64,
+                                        rate.map_or(u64::MAX, f64::to_bits),
+                                        pattern_code(pattern),
+                                    ];
+                                    if let Some(w) = workload {
+                                        coords.push(w.code());
+                                    }
+                                    if let Some(r) = router {
+                                        coords.push(r.code());
+                                    }
+                                    coords.push(replicate);
+                                    let seed = derive_seed(campaign_seed, &coords);
+                                    out.push(Job {
+                                        kind,
+                                        n,
+                                        rate,
+                                        pattern,
+                                        workload,
+                                        router,
+                                        replicate,
+                                        seed,
+                                    });
                                 }
-                                coords.push(replicate);
-                                let seed = derive_seed(campaign_seed, &coords);
-                                out.push(Job {
-                                    kind,
-                                    n,
-                                    rate,
-                                    pattern,
-                                    workload,
-                                    replicate,
-                                    seed,
-                                });
                             }
                         }
                     }
@@ -182,6 +212,8 @@ pub struct Job {
     pub pattern: TrafficPattern,
     /// Closed-loop workload (`None` = open-loop pattern job).
     pub workload: Option<WorkloadKind>,
+    /// Router microarchitecture (`None` = default paper router).
+    pub router: Option<RouterModelKind>,
     /// Replicate index within this grid point (`0..K`).
     pub replicate: u64,
     /// RNG seed derived from the campaign seed and the coordinates above.
@@ -396,6 +428,42 @@ mod tests {
             ];
             assert_eq!(job.seed, derive_seed(99, &six_words));
         }
+        // With both optional axes set, insertion order holds: workload
+        // word first, then the router word, then the replicate word.
+        let both = closed.with_routers(&[RouterModelKind::Fortified]);
+        for job in both.jobs(99) {
+            let seven_words = [
+                kind_code(job.kind),
+                job.n as u64,
+                job.rate.map_or(u64::MAX, f64::to_bits),
+                pattern_code(job.pattern),
+                job.workload.expect("workload axis set").code(),
+                job.router.expect("router axis set").code(),
+                job.replicate,
+            ];
+            assert_eq!(job.seed, derive_seed(99, &seven_words));
+        }
+    }
+
+    #[test]
+    fn router_axis_expands_with_distinct_seeds() {
+        let s = Scenario::new(&[ArrangementKind::Grid, ArrangementKind::HexaMesh], &[37])
+            .with_routers(&[RouterModelKind::Baseline, RouterModelKind::Bubble])
+            .with_replicates(2);
+        assert_eq!(s.len(), 2 * 2 * 2);
+        let jobs = s.jobs(5);
+        assert_eq!(jobs.len(), 8);
+        // Row-major: router is the innermost non-replicate axis.
+        assert_eq!(jobs[0].router, Some(RouterModelKind::Baseline));
+        assert_eq!(jobs[2].router, Some(RouterModelKind::Bubble));
+        let mut seeds: Vec<u64> = jobs.iter().map(|j| j.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8, "router coordinates must differentiate seeds");
+        // Even the explicit Baseline coordinate gets a word: sweeping the
+        // axis is not the same grid point as leaving it neutral.
+        let neutral = Scenario::new(&[ArrangementKind::Grid], &[37]).jobs(5);
+        assert_ne!(jobs[0].seed, neutral[0].seed);
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! ([`StudySpec::from_toml`]) and JSON ([`StudySpec::from_json`]):
 //! scalars `name` / `stage` / `seed` / `replicates` at the top level,
 //! then one optional section per parameter group (`[axes]`, `[sim]`,
-//! `[schedule]`, `[search]`, `[workload]`, `[saturation]`, `[output]`).
+//! `[router]`, `[schedule]`, `[search]`, `[workload]`, `[saturation]`,
+//! `[output]`).
 //! Decoding is strict — unknown keys, malformed values, and axis names
 //! that do not parse are errors, never silently ignored — and round-trips
 //! through [`StudySpec::to_value`].
@@ -25,7 +26,9 @@ use std::str::FromStr;
 
 use chiplet_workload::WorkloadKind;
 use hexamesh::arrangement::ArrangementKind;
-use nocsim::{RoutingKind, TrafficPattern};
+use nocsim::{
+    OutputArbPolicy, RouterModel, RouterModelKind, RoutingKind, TrafficPattern, VcAllocPolicy,
+};
 
 use crate::json::Value;
 use crate::toml;
@@ -65,11 +68,16 @@ pub enum StageKind {
     /// curves — saturation throughput and closed-loop makespans under
     /// deterministic live link failures.
     Resilience,
+    /// Router-microarchitecture fidelity: zero-load latency + saturation
+    /// throughput per arrangement across a matrix of
+    /// [`nocsim::RouterModelKind`]s, checking whether the arrangement
+    /// ranking survives router-model changes.
+    Router,
 }
 
 impl StageKind {
     /// Every stage, in documentation order.
-    pub const ALL: [StageKind; 10] = [
+    pub const ALL: [StageKind; 11] = [
         StageKind::Proxies,
         StageKind::Saturation,
         StageKind::Traffic,
@@ -80,6 +88,7 @@ impl StageKind {
         StageKind::Thermal,
         StageKind::Cost,
         StageKind::Resilience,
+        StageKind::Router,
     ];
 
     /// Canonical name, as accepted by the [`FromStr`] parser and used in
@@ -97,6 +106,7 @@ impl StageKind {
             StageKind::Thermal => "thermal",
             StageKind::Cost => "cost",
             StageKind::Resilience => "resilience",
+            StageKind::Router => "router",
         }
     }
 }
@@ -132,8 +142,11 @@ pub struct Axes {
     pub rates: Option<Vec<f64>>,
     /// Spatial traffic patterns.
     pub patterns: Option<Vec<TrafficPattern>>,
-    /// Closed-loop workload kernels; workload stage only.
+    /// Closed-loop workload kernels; workload stage, plus the router
+    /// stage's optional makespan columns.
     pub workloads: Option<Vec<WorkloadKind>>,
+    /// Named router-microarchitecture models; router stage only.
+    pub routers: Option<Vec<RouterModelKind>>,
     /// Also evaluate a search-discovered (`OPT`) arrangement next to the
     /// fixed families (load-curve and workload stages; requires the
     /// search hook — see [`crate::flow::StageHooks`]).
@@ -155,6 +168,11 @@ pub struct SimOverrides {
     /// serial engine). Not supported by the workload stage, whose
     /// closed-loop driver is serial-only.
     pub shards: Option<usize>,
+    /// Named router-microarchitecture model every run uses
+    /// (`baseline` | `randomvc` | … — see [`RouterModelKind`]).
+    /// Mutually exclusive with a non-neutral `[router]` section and with
+    /// the `axes.routers` sweep.
+    pub router: Option<RouterModelKind>,
 }
 
 impl SimOverrides {
@@ -165,6 +183,45 @@ impl SimOverrides {
             && self.vcs.is_none()
             && self.buffer_depth.is_none()
             && self.shards.is_none()
+            && self.router.is_none()
+    }
+}
+
+/// Field-level router-microarchitecture overrides (`[router]`): composes
+/// a custom [`RouterModel`] instead of picking a named
+/// [`RouterModelKind`]. Unset fields keep the paper-default policy.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub struct RouterSpec {
+    /// VC allocation policy (`roundrobin` | `random` | `leastloaded`).
+    pub vc_alloc: Option<VcAllocPolicy>,
+    /// Output arbitration policy (`roundrobin` | `oldest` | `transit`).
+    pub output_arb: Option<OutputArbPolicy>,
+    /// Bubble flow control on the escape VC: entering VC 0 requires two
+    /// free slots downstream.
+    pub bubble: Option<bool>,
+    /// Extra crossbar pipeline cycles between switch allocation and link
+    /// traversal (0 = the paper's single-stage crossbar; at most 16).
+    pub crossbar_depth: Option<u64>,
+}
+
+impl RouterSpec {
+    /// `true` if no field is set (runs keep the default router model).
+    #[must_use]
+    pub fn is_neutral(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// The [`RouterModel`] this section describes: `base` with every set
+    /// field overridden.
+    #[must_use]
+    pub fn apply(&self, base: RouterModel) -> RouterModel {
+        RouterModel {
+            vc_alloc: self.vc_alloc.unwrap_or(base.vc_alloc),
+            output_arb: self.output_arb.unwrap_or(base.output_arb),
+            bubble_escape: self.bubble.unwrap_or(base.bubble_escape),
+            crossbar_depth: self.crossbar_depth.unwrap_or(base.crossbar_depth),
+        }
     }
 }
 
@@ -396,6 +453,8 @@ pub struct StudySpec {
     pub axes: Axes,
     /// Simulator overrides.
     pub sim: SimOverrides,
+    /// Field-level router-model overrides.
+    pub router: RouterSpec,
     /// Measurement-schedule override.
     pub schedule: Option<Schedule>,
     /// Search parameters.
@@ -426,6 +485,7 @@ impl StudySpec {
             replicates: None,
             axes: Axes::default(),
             sim: SimOverrides::default(),
+            router: RouterSpec::default(),
             schedule: None,
             search: SearchOverrides::default(),
             workload: WorkloadOverrides::default(),
@@ -492,6 +552,7 @@ impl StudySpec {
                 "name" | "stage" | "seed" | "replicates" => {}
                 "axes" => spec.axes = decode_axes(section)?,
                 "sim" => spec.sim = decode_sim(section)?,
+                "router" => spec.router = decode_router(section)?,
                 "schedule" => spec.schedule = Some(decode_schedule(section)?),
                 "search" => spec.search = decode_search(section)?,
                 "workload" => spec.workload = decode_workload(section)?,
@@ -548,6 +609,12 @@ impl StudySpec {
                 Value::Arr(workloads.iter().map(|w| Value::from(w.label())).collect()),
             );
         }
+        if let Some(routers) = &self.axes.routers {
+            axes.set(
+                "routers",
+                Value::Arr(routers.iter().map(|r| Value::from(r.name())).collect()),
+            );
+        }
         if self.axes.optimized {
             axes.set("optimized", true);
         }
@@ -566,7 +633,25 @@ impl StudySpec {
         if let Some(shards) = self.sim.shards {
             sim.set("shards", shards);
         }
+        if let Some(router) = self.sim.router {
+            sim.set("router", router.name());
+        }
         set_section(&mut root, "sim", sim);
+
+        let mut router = Value::object();
+        if let Some(vc_alloc) = self.router.vc_alloc {
+            router.set("vc_alloc", vc_alloc.name());
+        }
+        if let Some(output_arb) = self.router.output_arb {
+            router.set("output_arb", output_arb.name());
+        }
+        if let Some(bubble) = self.router.bubble {
+            router.set("bubble", bubble);
+        }
+        if let Some(depth) = self.router.crossbar_depth {
+            router.set("crossbar_depth", depth);
+        }
+        set_section(&mut root, "router", router);
 
         if let Some(schedule) = &self.schedule {
             let mut s = Value::object();
@@ -684,6 +769,7 @@ impl StudySpec {
             ("rates", self.axes.rates.as_ref().is_some_and(Vec::is_empty)),
             ("patterns", self.axes.patterns.as_ref().is_some_and(Vec::is_empty)),
             ("workloads", self.axes.workloads.as_ref().is_some_and(Vec::is_empty)),
+            ("routers", self.axes.routers.as_ref().is_some_and(Vec::is_empty)),
         ] {
             if empty {
                 return Err(format!("axes.{key} must not be empty"));
@@ -749,6 +835,25 @@ impl StudySpec {
         if self.sim.shards == Some(0) {
             return Err("`sim.shards` must be at least 1".to_owned());
         }
+        if self.router.crossbar_depth.is_some_and(|d| d > 16) {
+            return Err("`router.crossbar_depth` must be at most 16".to_owned());
+        }
+        if self.sim.router.is_some() && !self.router.is_neutral() {
+            return Err(
+                "`sim.router` (a named model) and `[router]` (field overrides) are mutually \
+                 exclusive"
+                    .to_owned(),
+            );
+        }
+        if self.axes.routers.is_some()
+            && (self.sim.router.is_some() || !self.router.is_neutral())
+        {
+            return Err(
+                "`axes.routers` sweeps router models — it cannot be combined with a fixed \
+                 `sim.router` / `[router]` override"
+                    .to_owned(),
+            );
+        }
         if self.sim.shards.is_some() && self.stage == StageKind::Workload {
             return Err(
                 "`sim.shards` is not supported by the workload stage (its closed-loop \
@@ -764,6 +869,7 @@ impl StudySpec {
     /// experiment than the spec describes, and the manifest's spec echo
     /// would then document the ignored values as applied configuration.
     fn reject_settings_the_stage_ignores(&self) -> Result<(), String> {
+        use StageKind::Router as Rt;
         use StageKind::Workload as Wl;
         use StageKind::{
             Kite, LoadCurve, Proxies, Resilience, Saturation, Search, Thermal, Traffic,
@@ -771,13 +877,13 @@ impl StudySpec {
         let stage = self.stage;
         // `search` settings also drive the `optimized` axis.
         let searches = stage == Search || self.axes.optimized;
-        let checks: [(&str, bool, bool); 9] = [
+        let checks: [(&str, bool, bool); 11] = [
             (
                 "axes.kinds",
                 self.axes.kinds.is_some(),
                 matches!(
                     stage,
-                    Proxies | Saturation | Traffic | LoadCurve | Wl | Thermal | Resilience
+                    Proxies | Saturation | Traffic | LoadCurve | Wl | Thermal | Resilience | Rt
                 ),
             ),
             ("axes.rates", self.axes.rates.is_some(), stage == LoadCurve),
@@ -786,16 +892,25 @@ impl StudySpec {
                 self.axes.patterns.is_some(),
                 matches!(stage, Saturation | Traffic | LoadCurve),
             ),
-            ("axes.workloads", self.axes.workloads.is_some(), stage == Wl),
+            ("axes.workloads", self.axes.workloads.is_some(), matches!(stage, Wl | Rt)),
+            ("axes.routers", self.axes.routers.is_some(), stage == Rt),
             (
                 "[sim]",
                 !self.sim.is_neutral(),
-                matches!(stage, Saturation | Traffic | LoadCurve | Wl | Resilience),
+                matches!(stage, Saturation | Traffic | LoadCurve | Wl | Resilience | Rt),
+            ),
+            (
+                "[router]",
+                !self.router.is_neutral(),
+                matches!(stage, Saturation | Traffic | LoadCurve | Wl | Resilience | Rt),
             ),
             (
                 "[schedule]",
                 self.schedule.is_some(),
-                matches!(stage, Saturation | Traffic | LoadCurve | Search | Kite | Resilience),
+                matches!(
+                    stage,
+                    Saturation | Traffic | LoadCurve | Search | Kite | Resilience | Rt
+                ),
             ),
             ("[search]", self.search != SearchOverrides::default(), searches),
             (
@@ -917,7 +1032,7 @@ fn reject_unknown(section: &Value, known: &[&str], context: &str) -> Result<(), 
 fn decode_axes(section: &Value) -> Result<Axes, String> {
     reject_unknown(
         section,
-        &["kinds", "ns", "rates", "patterns", "workloads", "optimized"],
+        &["kinds", "ns", "rates", "patterns", "workloads", "routers", "optimized"],
         "axes",
     )?;
     Ok(Axes {
@@ -935,17 +1050,29 @@ fn decode_axes(section: &Value) -> Result<Axes, String> {
         })?,
         patterns: list_field(section, "patterns", parse_name::<TrafficPattern>)?,
         workloads: list_field(section, "workloads", parse_name::<WorkloadKind>)?,
+        routers: list_field(section, "routers", parse_name::<RouterModelKind>)?,
         optimized: bool_field(section, "optimized")?.unwrap_or(false),
     })
 }
 
 fn decode_sim(section: &Value) -> Result<SimOverrides, String> {
-    reject_unknown(section, &["routing", "vcs", "buffer_depth", "shards"], "sim")?;
+    reject_unknown(section, &["routing", "vcs", "buffer_depth", "shards", "router"], "sim")?;
     Ok(SimOverrides {
         routing: str_field(section, "routing")?.map(str::parse).transpose()?,
         vcs: usize_field(section, "vcs")?,
         buffer_depth: usize_field(section, "buffer_depth")?,
         shards: usize_field(section, "shards")?,
+        router: str_field(section, "router")?.map(str::parse).transpose()?,
+    })
+}
+
+fn decode_router(section: &Value) -> Result<RouterSpec, String> {
+    reject_unknown(section, &["vc_alloc", "output_arb", "bubble", "crossbar_depth"], "router")?;
+    Ok(RouterSpec {
+        vc_alloc: str_field(section, "vc_alloc")?.map(str::parse).transpose()?,
+        output_arb: str_field(section, "output_arb")?.map(str::parse).transpose()?,
+        bubble: bool_field(section, "bubble")?,
+        crossbar_depth: u64_field(section, "crossbar_depth")?,
     })
 }
 
@@ -1313,6 +1440,98 @@ mod tests {
             "name = \"s\"\nstage = \"load_curve\"\n[serve]\ntypo = 1\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn router_section_round_trips_and_is_validated() {
+        let mut spec = StudySpec::new("rmodel", StageKind::Router);
+        spec.axes.kinds = Some(vec![ArrangementKind::HexaMesh, ArrangementKind::Grid]);
+        spec.router.vc_alloc = Some(VcAllocPolicy::LeastLoaded);
+        spec.router.output_arb = Some(OutputArbPolicy::OldestFirst);
+        spec.router.bubble = Some(true);
+        spec.router.crossbar_depth = Some(2);
+        spec.validate().unwrap();
+        let round_tripped = StudySpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(round_tripped, spec);
+        let via_json = StudySpec::from_json(&spec.to_value().to_json()).unwrap();
+        assert_eq!(via_json, spec);
+
+        let toml = StudySpec::from_toml(concat!(
+            "name = \"rmodel\"\nstage = \"router\"\n",
+            "[router]\nvc_alloc = \"random\"\nbubble = true\n",
+        ))
+        .unwrap();
+        assert_eq!(toml.router.vc_alloc, Some(VcAllocPolicy::Random));
+        assert_eq!(toml.router.bubble, Some(true));
+        assert_eq!(toml.router.output_arb, None);
+        assert_eq!(
+            toml.router.apply(RouterModel::default()),
+            RouterModel {
+                vc_alloc: VcAllocPolicy::Random,
+                bubble_escape: true,
+                ..RouterModel::default()
+            }
+        );
+
+        // Named models decode through `sim.router` and the axes sweep.
+        let named = StudySpec::from_toml(concat!(
+            "name = \"rmodel\"\nstage = \"router\"\n",
+            "[sim]\nrouter = \"fortified\"\n",
+        ))
+        .unwrap();
+        assert_eq!(named.sim.router, Some(RouterModelKind::Fortified));
+        let swept = StudySpec::from_toml(concat!(
+            "name = \"rmodel\"\nstage = \"router\"\n",
+            "[axes]\nrouters = [\"baseline\", \"bubble\", \"deepxbar\"]\n",
+        ))
+        .unwrap();
+        assert_eq!(
+            swept.axes.routers,
+            Some(vec![
+                RouterModelKind::Baseline,
+                RouterModelKind::Bubble,
+                RouterModelKind::DeepCrossbar,
+            ])
+        );
+    }
+
+    #[test]
+    fn router_settings_are_strictly_rejected() {
+        // Unknown keys and unknown policy names.
+        let base = "name = \"s\"\nstage = \"router\"\n";
+        assert!(StudySpec::from_toml(&format!("{base}[router]\ntypo = 1\n")).is_err());
+        assert!(StudySpec::from_toml(&format!("{base}[router]\nvc_alloc = \"lru\"\n")).is_err());
+        assert!(StudySpec::from_toml(&format!("{base}[sim]\nrouter = \"default\"\n")).is_err());
+        assert!(
+            StudySpec::from_toml(&format!("{base}[axes]\nrouters = [\"turbo\"]\n")).is_err()
+        );
+        assert!(StudySpec::from_toml(&format!("{base}[axes]\nrouters = []\n")).is_err());
+        // Out-of-range pipeline depth.
+        assert!(
+            StudySpec::from_toml(&format!("{base}[router]\ncrossbar_depth = 17\n")).is_err()
+        );
+        StudySpec::from_toml(&format!("{base}[router]\ncrossbar_depth = 16\n")).unwrap();
+        // Contradictory combinations.
+        let mut both = StudySpec::new("s", StageKind::Router);
+        both.sim.router = Some(RouterModelKind::Bubble);
+        both.router.bubble = Some(true);
+        assert!(both.validate().is_err(), "named model vs field overrides");
+        let mut sweep_and_fix = StudySpec::new("s", StageKind::Router);
+        sweep_and_fix.axes.routers = Some(vec![RouterModelKind::Baseline]);
+        sweep_and_fix.sim.router = Some(RouterModelKind::Bubble);
+        assert!(sweep_and_fix.validate().is_err(), "sweep vs fixed override");
+        // Stage gating: the proxies stage runs no simulator, and the
+        // routers axis needs a stage that sweeps it.
+        let mut wrong_stage = StudySpec::new("s", StageKind::Proxies);
+        wrong_stage.router.bubble = Some(true);
+        assert!(wrong_stage.validate().is_err(), "[router] needs a simulating stage");
+        let mut wrong_axis = StudySpec::new("s", StageKind::Saturation);
+        wrong_axis.axes.routers = Some(vec![RouterModelKind::Baseline]);
+        assert!(wrong_axis.validate().is_err(), "axes.routers is router-stage only");
+        // But a fixed override on a simulating stage is fine.
+        let mut fixed = StudySpec::new("s", StageKind::Saturation);
+        fixed.sim.router = Some(RouterModelKind::Fortified);
+        fixed.validate().unwrap();
     }
 
     #[test]

@@ -34,6 +34,8 @@ run_pair fig7_simulation fig7_quick.toml "fig7_results fig7_normalized" \
 run_pair load_curves load_curves_quick.toml load_curves --n 16
 run_pair ablation_traffic ablation_traffic_quick.toml ablation_traffic \
     --n 9 --patterns uniform,tornado
+run_pair ablation_router ablation_router_quick.toml ablation_router \
+    --n 9 --routers baseline,oldest,fortified
 run_pair workload_comparison workload_quick.toml BENCH_workload \
     --ns 7,13 --workloads stencil,client_server
 run_pair kite_comparison kite_quick.toml kite_comparison --ns 16
